@@ -1,0 +1,37 @@
+#include "bench/bench_common.hpp"
+
+namespace pnoc::bench {
+
+network::SimulationParameters makeParams(const ExperimentConfig& config, double load) {
+  network::SimulationParameters params;
+  params.architecture = config.architecture;
+  params.bandwidthSet = traffic::BandwidthSet::byIndex(config.bandwidthSet);
+  params.pattern = config.pattern;
+  params.offeredLoad = load;
+  params.seed = config.seed;
+  params.warmupCycles = config.warmupCycles;
+  params.measureCycles = config.measureCycles;
+  params.tokenHopCyclesOverride = config.tokenHopCyclesOverride;
+  params.reservedPerCluster = config.reservedPerCluster;
+  params.maxChannelWavelengthsOverride = config.maxChannelWavelengthsOverride;
+  return params;
+}
+
+metrics::RunMetrics runAt(const ExperimentConfig& config, double load) {
+  network::PhotonicNetwork net(makeParams(config, load));
+  return net.run();
+}
+
+metrics::PeakSearchResult findPeak(const ExperimentConfig& config) {
+  metrics::PeakSearchOptions options;
+  // Larger wavelength budgets saturate at proportionally larger loads; start
+  // low enough that set 1's knee is bracketed from below.
+  options.startLoad = 0.0002 * static_cast<double>(1 << (config.bandwidthSet - 1));
+  options.growthFactor = 1.5;
+  options.acceptanceFloor = 0.90;
+  options.maxRampSteps = 12;
+  options.bisectionSteps = 3;
+  return metrics::findPeak([&](double load) { return runAt(config, load); }, options);
+}
+
+}  // namespace pnoc::bench

@@ -1,0 +1,35 @@
+// Shared harness for the figure-reproduction benches: builds networks,
+// runs the saturation search of Section 3.4.1 (peak bandwidth under a
+// mix-preserving acceptance criterion) and returns the paper's quantities.
+#pragma once
+
+#include <string>
+
+#include "metrics/metrics.hpp"
+#include "metrics/saturation.hpp"
+#include "network/network.hpp"
+
+namespace pnoc::bench {
+
+struct ExperimentConfig {
+  network::Architecture architecture = network::Architecture::kDhetpnoc;
+  int bandwidthSet = 1;
+  std::string pattern = "uniform";
+  std::uint64_t seed = 7;
+  Cycle warmupCycles = 1000;   // Table 3-3
+  Cycle measureCycles = 10000;  // Table 3-3
+  Cycle tokenHopCyclesOverride = 0;
+  std::uint32_t reservedPerCluster = 1;
+  std::uint32_t maxChannelWavelengthsOverride = 0;
+};
+
+/// Builds SimulationParameters from the experiment config and an offered load.
+network::SimulationParameters makeParams(const ExperimentConfig& config, double load);
+
+/// One run at a fixed load.
+metrics::RunMetrics runAt(const ExperimentConfig& config, double load);
+
+/// Saturation search (peak bandwidth per the DESIGN.md methodology).
+metrics::PeakSearchResult findPeak(const ExperimentConfig& config);
+
+}  // namespace pnoc::bench

@@ -1,0 +1,42 @@
+// Figure 1-1: speedup of a 1024B flit size over the 32B baseline for CUDA SDK
+// (upper case) and Rodinia (lower case) benchmarks at 700 MHz, with the
+// number of kernel launches in parentheses.
+//
+// Paper shape: "most of the benchmarks show very modest performance
+// improvement of less than below 1%.  On the other hand a few of the
+// benchmarks show considerable speedup of up to 63%." — the motivation for
+// heterogeneous interconnect channels.  Demands come from the gpusim
+// substrate (see DESIGN.md substitution table).
+#include <iostream>
+
+#include "gpusim/kernel_model.hpp"
+#include "metrics/report.hpp"
+
+using namespace pnoc;
+
+int main() {
+  metrics::ReportTable table("Figure 1-1: speedup of 1024B flits over 32B baseline @ 700 MHz");
+  table.setHeader({"benchmark", "suite", "speedup", "gain", "achieved Gb/s @128B"});
+  gpusim::InterconnectParams profile;
+  profile.flitBytes = 128;
+  for (const auto& kernel : gpusim::benchmarkRoster()) {
+    const double speedup = gpusim::GpuKernelModel::speedup(kernel, 1024);
+    table.addRow({kernel.name + " (" + std::to_string(kernel.kernelLaunches) + ")",
+                  kernel.fromCudaSdk ? "CUDA SDK" : "Rodinia",
+                  metrics::ReportTable::num(speedup, 3),
+                  metrics::ReportTable::percent(speedup - 1.0),
+                  metrics::ReportTable::num(
+                      gpusim::GpuKernelModel::achievedBandwidthGbps(kernel, profile), 1)});
+  }
+  table.print(std::cout);
+
+  metrics::ReportTable sweep("BFS speedup vs flit size (bandwidth-bound kernel)");
+  sweep.setHeader({"flit bytes", "speedup over 32B"});
+  for (const std::uint32_t flit : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    sweep.addRow({std::to_string(flit),
+                  metrics::ReportTable::num(
+                      gpusim::GpuKernelModel::speedup(gpusim::benchmarkByName("BFS"), flit), 3)});
+  }
+  sweep.print(std::cout);
+  return 0;
+}

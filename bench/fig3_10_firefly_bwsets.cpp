@@ -1,0 +1,67 @@
+// Figure 3-10 (a,b): Firefly peak core bandwidth and energy per message
+// across the three bandwidth sets, for uniform-random and skewed traffic.
+//
+// Paper shape: same growth-with-budget trend as d-HetPNoC (Fig 3-7), but the
+// absolute peak bandwidths are lower and the energies per message higher
+// under skew.  The 64 -> 512 scaling anchors quoted in the text: area
+// +41.17% (see the area-model tests for the 256-vs-512 typo note),
+// bandwidth +764.52%, EPM -10.85%.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "metrics/report.hpp"
+#include "photonic/area_model.hpp"
+
+using namespace pnoc;
+
+int main() {
+  const std::string patterns[] = {"uniform", "skewed1", "skewed2", "skewed3"};
+
+  metrics::ReportTable bw("Figure 3-10(a): Firefly Peak Core Bandwidth (Gb/s/core)");
+  bw.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
+  metrics::ReportTable epm("Figure 3-10(b): Firefly Energy Per Message (pJ)");
+  epm.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
+
+  double bw64skew3 = 0.0;
+  double bw512skew3 = 0.0;
+  double epm64skew3 = 0.0;
+  double epm512skew3 = 0.0;
+  for (const auto& pattern : patterns) {
+    std::vector<std::string> bwRow{pattern};
+    std::vector<std::string> epmRow{pattern};
+    for (int set = 1; set <= 3; ++set) {
+      bench::ExperimentConfig config;
+      config.architecture = network::Architecture::kFirefly;
+      config.bandwidthSet = set;
+      config.pattern = pattern;
+      const auto peak = bench::findPeak(config);
+      bwRow.push_back(metrics::ReportTable::num(peak.peak.metrics.deliveredGbpsPerCore(64), 3));
+      epmRow.push_back(metrics::ReportTable::num(peak.peak.metrics.energyPerPacketPj(), 1));
+      if (pattern == "skewed3" && set == 1) {
+        bw64skew3 = peak.peak.metrics.deliveredGbps();
+        epm64skew3 = peak.peak.metrics.energyPerPacketPj();
+      }
+      if (pattern == "skewed3" && set == 3) {
+        bw512skew3 = peak.peak.metrics.deliveredGbps();
+        epm512skew3 = peak.peak.metrics.energyPerPacketPj();
+      }
+    }
+    bw.addRow(bwRow);
+    epm.addRow(epmRow);
+  }
+  bw.print(std::cout);
+  epm.print(std::cout);
+
+  const photonic::AreaParams areaParams;
+  const double area64 = photonic::areaMm2(photonic::fireflyCounts(areaParams, 64));
+  const double area512 = photonic::areaMm2(photonic::fireflyCounts(areaParams, 512));
+  metrics::ReportTable deltas("Firefly 64 -> 512 scaling (paper: +41.17% area, +764.52% BW, -10.85% EPM)");
+  deltas.setHeader({"quantity", "measured", "paper"});
+  deltas.addRow({"total area", metrics::ReportTable::percent(area512 / area64 - 1.0), "+41.17%"});
+  deltas.addRow({"peak bandwidth (skewed3)",
+                 metrics::ReportTable::percent(bw512skew3 / bw64skew3 - 1.0), "+764.52%"});
+  deltas.addRow({"energy per message (skewed3)",
+                 metrics::ReportTable::percent(epm512skew3 / epm64skew3 - 1.0), "-10.85%"});
+  deltas.print(std::cout);
+  return 0;
+}

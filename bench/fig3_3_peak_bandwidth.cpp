@@ -1,0 +1,95 @@
+// Figure 3-3 (a,b,c): peak bandwidth of Firefly vs d-HetPNoC for
+// uniform-random and skewed traffic, one panel per bandwidth set.
+//
+// Paper shape: equal under uniform-random (identical configurations); the
+// d-HetPNoC advantage grows with skew.  Also prints the Section 3.4.1.1
+// reservation-flit timing analysis that underpins the "no overhead for set 1,
+// one extra cycle for set 3" claim.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/reservation.hpp"
+#include "photonic/area_model.hpp"
+#include "metrics/report.hpp"
+
+using namespace pnoc;
+
+int main() {
+  const std::string patterns[] = {"uniform", "skewed1", "skewed2", "skewed3"};
+
+  for (int set = 1; set <= 3; ++set) {
+    const auto bwSet = traffic::BandwidthSet::byIndex(set);
+    metrics::ReportTable table("Figure 3-3(" + std::string(1, char('a' + set - 1)) +
+                               "): Peak Bandwidth, " + bwSet.name + " (Total Wavelengths = " +
+                               std::to_string(bwSet.totalWavelengths) + ")");
+    table.setHeader({"traffic", "Firefly (Gb/s)", "d-HetPNoC (Gb/s)", "d-HetPNoC gain",
+                     "Firefly load*", "d-HetPNoC load*"});
+    for (const auto& pattern : patterns) {
+      bench::ExperimentConfig config;
+      config.bandwidthSet = set;
+      config.pattern = pattern;
+      config.architecture = network::Architecture::kFirefly;
+      const auto firefly = bench::findPeak(config);
+      config.architecture = network::Architecture::kDhetpnoc;
+      const auto dhet = bench::findPeak(config);
+      const double fireflyGbps = firefly.peak.metrics.deliveredGbps();
+      const double dhetGbps = dhet.peak.metrics.deliveredGbps();
+      table.addRow({pattern, metrics::ReportTable::num(fireflyGbps),
+                    metrics::ReportTable::num(dhetGbps),
+                    metrics::ReportTable::percent(dhetGbps / fireflyGbps - 1.0),
+                    metrics::ReportTable::num(firefly.peak.offeredLoad, 5),
+                    metrics::ReportTable::num(dhet.peak.offeredLoad, 5)});
+    }
+    table.print(std::cout);
+  }
+
+  // Secondary view: delivered bandwidth with BOTH architectures at the SAME
+  // offered load, chosen as Firefly's saturation knee.  This is the closest
+  // analog of measuring both networks at one injection point (how the
+  // paper's ~0.1%..7% deltas read); the mix-preserving per-architecture
+  // peaks above show the full headroom instead.
+  {
+    metrics::ReportTable table(
+        "Fig 3-3 companion: delivered Gb/s at a common load (Firefly knee), BW set 1");
+    table.setHeader({"traffic", "load", "Firefly (Gb/s)", "d-HetPNoC (Gb/s)", "gain"});
+    for (const auto& pattern : patterns) {
+      bench::ExperimentConfig config;
+      config.pattern = pattern;
+      config.architecture = network::Architecture::kFirefly;
+      const auto knee = bench::findPeak(config);
+      const double load = knee.peak.offeredLoad;
+      const auto firefly = knee.peak.metrics;
+      config.architecture = network::Architecture::kDhetpnoc;
+      const auto dhet = bench::runAt(config, load);
+      table.addRow({pattern, metrics::ReportTable::num(load, 5),
+                    metrics::ReportTable::num(firefly.deliveredGbps()),
+                    metrics::ReportTable::num(dhet.deliveredGbps()),
+                    metrics::ReportTable::percent(
+                        dhet.deliveredGbps() / firefly.deliveredGbps() - 1.0)});
+    }
+    table.print(std::cout);
+  }
+
+  // Section 3.4.1.1 reservation timing analysis.
+  metrics::ReportTable timing("Section 3.4.1.1: reservation flit timing (2.5 GHz clock)");
+  timing.setHeader({"BW set", "waveguides", "max ids", "id bits", "payload bits",
+                    "serialization", "cycles"});
+  const sim::Clock clock;
+  for (int set = 1; set <= 3; ++set) {
+    const auto bwSet = traffic::BandwidthSet::byIndex(set);
+    const std::uint32_t waveguides =
+        photonic::dataWaveguidesNeeded(bwSet.totalWavelengths, 64);
+    const std::uint32_t ids = bwSet.maxChannelWavelengths;
+    const std::uint32_t bits = core::identifierPayloadBits(ids, waveguides);
+    const Cycle cycles = core::reservationCycles(ids, waveguides, 64, clock);
+    timing.addRow({bwSet.name, std::to_string(waveguides), std::to_string(ids),
+                   std::to_string(photonic::identifierBits(waveguides)),
+                   std::to_string(bits),
+                   metrics::ReportTable::num(bits / 800.0 * 1000.0, 0) + " ps",
+                   std::to_string(cycles)});
+  }
+  timing.print(std::cout);
+  std::cout << "\n* load = offered packets/core/cycle at the peak (mix-preserving"
+               " acceptance >= 0.90; see DESIGN.md).\n";
+  return 0;
+}

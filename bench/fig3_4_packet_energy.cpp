@@ -1,0 +1,80 @@
+// Figure 3-4 (a,b,c): packet energy (energy per message at saturation) of
+// Firefly vs d-HetPNoC for uniform-random and skewed traffic, per bandwidth
+// set.  Each architecture is measured at its own saturation point, as in the
+// paper.  Also reprints Tables 3-4/3-5 (the energy model inputs) and the
+// per-category decomposition at skewed3 so the buffer-residency mechanism of
+// Section 3.4.1.2 is visible.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "metrics/report.hpp"
+
+using namespace pnoc;
+
+int main() {
+  // Tables 3-4 / 3-5 as configured.
+  const photonic::EnergyParams energy;
+  metrics::ReportTable constants("Tables 3-4/3-5: energy model inputs");
+  constants.setHeader({"component", "value"});
+  constants.addRow({"modulation/demodulation", metrics::ReportTable::num(energy.modulationPjPerBit, 3) + " pJ/bit"});
+  constants.addRow({"tuning", metrics::ReportTable::num(energy.tuningPjPerBit, 3) + " pJ/bit"});
+  constants.addRow({"laser launch", metrics::ReportTable::num(energy.launchPjPerBit, 3) + " pJ/bit"});
+  constants.addRow({"photonic buffer", metrics::ReportTable::num(energy.bufferPjPerBit, 7) + " pJ/bit"});
+  constants.addRow({"electrical router", metrics::ReportTable::num(energy.routerPjPerBit, 3) + " pJ/bit"});
+  constants.addRow({"laser source", metrics::ReportTable::num(energy.laserPowerMwPerWavelength, 1) + " mW/wavelength"});
+  constants.addRow({"tuning power", metrics::ReportTable::num(energy.tuningPowerMwPerNm, 1) + " mW/nm"});
+  constants.print(std::cout);
+
+  const std::string patterns[] = {"uniform", "skewed1", "skewed2", "skewed3"};
+  for (int set = 1; set <= 3; ++set) {
+    const auto bwSet = traffic::BandwidthSet::byIndex(set);
+    metrics::ReportTable table("Figure 3-4(" + std::string(1, char('a' + set - 1)) +
+                               "): Packet Energy, " + bwSet.name + " (Total Wavelengths = " +
+                               std::to_string(bwSet.totalWavelengths) + ")");
+    table.setHeader({"traffic", "Firefly EPM (pJ)", "d-HetPNoC EPM (pJ)", "d-HetPNoC delta"});
+    for (const auto& pattern : patterns) {
+      bench::ExperimentConfig config;
+      config.bandwidthSet = set;
+      config.pattern = pattern;
+      config.architecture = network::Architecture::kFirefly;
+      const auto firefly = bench::findPeak(config);
+      config.architecture = network::Architecture::kDhetpnoc;
+      const auto dhet = bench::findPeak(config);
+      const double fireflyEpm = firefly.peak.metrics.energyPerPacketPj();
+      const double dhetEpm = dhet.peak.metrics.energyPerPacketPj();
+      table.addRow({pattern, metrics::ReportTable::num(fireflyEpm, 1),
+                    metrics::ReportTable::num(dhetEpm, 1),
+                    metrics::ReportTable::percent(dhetEpm / fireflyEpm - 1.0)});
+    }
+    table.print(std::cout);
+  }
+
+  // Decomposition at skewed3 / set 1, both architectures at a common
+  // operating point past Firefly's knee: the buffer term carries the gap.
+  metrics::ReportTable split("Packet-energy decomposition, skewed3, BW set 1 (pJ/packet)");
+  split.setHeader({"component", "Firefly", "d-HetPNoC"});
+  bench::ExperimentConfig config;
+  config.pattern = "skewed3";
+  config.architecture = network::Architecture::kFirefly;
+  const auto firefly = bench::runAt(config, 0.0012);
+  config.architecture = network::Architecture::kDhetpnoc;
+  const auto dhet = bench::runAt(config, 0.0012);
+  using photonic::EnergyCategory;
+  const auto row = [&](const char* name, EnergyCategory category) {
+    split.addRow({name,
+                  metrics::ReportTable::num(firefly.ledger.of(category) /
+                                            static_cast<double>(firefly.packetsDelivered), 1),
+                  metrics::ReportTable::num(dhet.ledger.of(category) /
+                                            static_cast<double>(dhet.packetsDelivered), 1)});
+  };
+  row("launch (incl. laser static)", EnergyCategory::kLaunch);
+  row("modulation", EnergyCategory::kModulation);
+  row("tuning", EnergyCategory::kTuning);
+  row("photonic buffer", EnergyCategory::kPhotonicBuffer);
+  row("electrical router", EnergyCategory::kElectricalRouter);
+  row("electrical link", EnergyCategory::kElectricalLink);
+  split.addRow({"TOTAL", metrics::ReportTable::num(firefly.energyPerPacketPj(), 1),
+                metrics::ReportTable::num(dhet.energyPerPacketPj(), 1)});
+  split.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 3-5: case studies with synthetic (skewed-hotspot 1..4) and real
+// application based traffic (MUM/BFS/CP/RAY/LPS on 12 GPU clusters + 4 memory
+// clusters, demands profiled via the gpusim substrate at 128B flits/700 MHz).
+//
+// Paper shape: d-HetPNoC's peak core bandwidth is higher and its packet
+// energy lower in every case, with the same trend regardless of the hotspot
+// percentage.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "metrics/report.hpp"
+#include "traffic/app_profile.hpp"
+
+using namespace pnoc;
+
+int main() {
+  // The application demand profile backing the real-apps rows.
+  noc::ClusterTopology topology;
+  traffic::RealApplicationPattern apps(topology, traffic::BandwidthSet::set1());
+  metrics::ReportTable profile("Section 3.4.2: application profile (gpusim, 128B flits @ 700 MHz)");
+  profile.setHeader({"app", "cores", "clusters", "profiled Gb/s", "lambda demand/cluster"});
+  for (const auto& app : apps.placements()) {
+    profile.addRow({app.name, std::to_string(app.clusters.size() * 4),
+                    std::to_string(app.clusters.size()),
+                    metrics::ReportTable::num(app.totalGbps, 1),
+                    std::to_string(app.demandLambdas)});
+  }
+  profile.addRow({"memory", "16", "4", "(responses)",
+                  std::to_string(apps.memoryDemandLambdas())});
+  profile.print(std::cout);
+
+  metrics::ReportTable table("Figure 3-5: Peak Core Bandwidth and Packet Energy, BW set 1");
+  table.setHeader({"traffic", "Firefly (Gb/s/core)", "d-HetPNoC (Gb/s/core)", "BW gain",
+                   "Firefly EPM (pJ)", "d-HetPNoC EPM (pJ)", "EPM delta"});
+  const std::string patterns[] = {"skewed-hotspot1", "skewed-hotspot2", "skewed-hotspot3",
+                                  "skewed-hotspot4", "real-apps"};
+  for (const auto& pattern : patterns) {
+    bench::ExperimentConfig config;
+    config.pattern = pattern;
+    config.architecture = network::Architecture::kFirefly;
+    const auto firefly = bench::findPeak(config);
+    config.architecture = network::Architecture::kDhetpnoc;
+    const auto dhet = bench::findPeak(config);
+    const double fireflyCore = firefly.peak.metrics.deliveredGbpsPerCore(64);
+    const double dhetCore = dhet.peak.metrics.deliveredGbpsPerCore(64);
+    const double fireflyEpm = firefly.peak.metrics.energyPerPacketPj();
+    const double dhetEpm = dhet.peak.metrics.energyPerPacketPj();
+    table.addRow({pattern, metrics::ReportTable::num(fireflyCore, 3),
+                  metrics::ReportTable::num(dhetCore, 3),
+                  metrics::ReportTable::percent(dhetCore / fireflyCore - 1.0),
+                  metrics::ReportTable::num(fireflyEpm, 1),
+                  metrics::ReportTable::num(dhetEpm, 1),
+                  metrics::ReportTable::percent(dhetEpm / fireflyEpm - 1.0)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 3-6: total electro-optic device area of d-HetPNoC vs Firefly as the
+// aggregate data-bandwidth requirement grows (eqs. (5)-(24), Section 3.4.3).
+//
+// Paper anchors: 1.608 mm^2 vs 1.367 mm^2 at 64 data wavelengths; the
+// d-HetPNoC overhead grows with the waveguide count because every router must
+// be able to modulate any wavelength of any data waveguide.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "photonic/area_model.hpp"
+
+using namespace pnoc;
+
+int main() {
+  const photonic::AreaParams params;  // 16 routers, 64 lambdas/waveguide, 5 um MRRs
+  metrics::ReportTable table("Figure 3-6: total area vs aggregate data wavelengths");
+  table.setHeader({"wavelengths", "waveguides", "Firefly rings", "Firefly mm^2",
+                   "d-HetPNoC rings", "d-HetPNoC mm^2", "overhead"});
+  for (std::uint32_t lambdas = 64; lambdas <= 512; lambdas += 64) {
+    const auto firefly = photonic::fireflyCounts(params, lambdas);
+    const auto dhet = photonic::dhetpnocCounts(params, lambdas);
+    const double fireflyArea = photonic::areaMm2(firefly);
+    const double dhetArea = photonic::areaMm2(dhet);
+    table.addRow({std::to_string(lambdas),
+                  std::to_string(photonic::dataWaveguidesNeeded(lambdas, 64)),
+                  std::to_string(firefly.totalRings()),
+                  metrics::ReportTable::num(fireflyArea, 3),
+                  std::to_string(dhet.totalRings()),
+                  metrics::ReportTable::num(dhetArea, 3),
+                  metrics::ReportTable::percent(dhetArea / fireflyArea - 1.0)});
+  }
+  table.print(std::cout);
+
+  metrics::ReportTable breakdown("Device breakdown at 64 wavelengths (paper anchor)");
+  breakdown.setHeader({"architecture", "mod data", "mod resv", "mod ctrl", "det data",
+                       "det resv", "det ctrl", "area mm^2"});
+  const auto add = [&](const char* name, const photonic::DeviceCounts& counts) {
+    breakdown.addRow({name, std::to_string(counts.modulatorsData),
+                      std::to_string(counts.modulatorsReservation),
+                      std::to_string(counts.modulatorsControl),
+                      std::to_string(counts.detectorsData),
+                      std::to_string(counts.detectorsReservation),
+                      std::to_string(counts.detectorsControl),
+                      metrics::ReportTable::num(photonic::areaMm2(counts), 3)});
+  };
+  add("Firefly", photonic::fireflyCounts(params, 64));
+  add("d-HetPNoC", photonic::dhetpnocCounts(params, 64));
+  breakdown.print(std::cout);
+  std::cout << "\nPaper anchors: d-HetPNoC 1.608 mm^2, Firefly 1.367 mm^2 at 64"
+               " data wavelengths (Section 3.4.3).\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 3-7 (a,b): d-HetPNoC peak core bandwidth and energy per message
+// across the three bandwidth sets for uniform-random and skewed traffic.
+//
+// Paper shape: peak bandwidth rises strongly with the aggregate wavelength
+// budget while energy per message falls slightly.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "metrics/report.hpp"
+
+using namespace pnoc;
+
+int main() {
+  const std::string patterns[] = {"uniform", "skewed1", "skewed2", "skewed3"};
+
+  metrics::ReportTable bw("Figure 3-7(a): d-HetPNoC Peak Core Bandwidth (Gb/s/core)");
+  bw.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
+  metrics::ReportTable epm("Figure 3-7(b): d-HetPNoC Energy Per Message (pJ)");
+  epm.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
+
+  for (const auto& pattern : patterns) {
+    std::vector<std::string> bwRow{pattern};
+    std::vector<std::string> epmRow{pattern};
+    for (int set = 1; set <= 3; ++set) {
+      bench::ExperimentConfig config;
+      config.architecture = network::Architecture::kDhetpnoc;
+      config.bandwidthSet = set;
+      config.pattern = pattern;
+      const auto peak = bench::findPeak(config);
+      bwRow.push_back(metrics::ReportTable::num(peak.peak.metrics.deliveredGbpsPerCore(64), 3));
+      epmRow.push_back(metrics::ReportTable::num(peak.peak.metrics.energyPerPacketPj(), 1));
+    }
+    bw.addRow(bwRow);
+    epm.addRow(epmRow);
+  }
+  bw.print(std::cout);
+  epm.print(std::cout);
+  return 0;
+}

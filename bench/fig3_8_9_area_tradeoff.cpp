@@ -1,0 +1,59 @@
+// Figures 3-8 and 3-9: d-HetPNoC area vs peak bandwidth (3-8) and area vs
+// energy per message (3-9) for the skewed-3 pattern as the total wavelength
+// budget grows 64 -> 256 -> 512.
+//
+// Paper anchors (64 -> 512): total area +70%, peak bandwidth +751.31%,
+// packet energy -10.89%.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "metrics/report.hpp"
+#include "photonic/area_model.hpp"
+
+using namespace pnoc;
+
+int main() {
+  const photonic::AreaParams areaParams;
+  metrics::ReportTable table(
+      "Figures 3-8/3-9: d-HetPNoC area vs peak bandwidth and EPM (skewed3)");
+  table.setHeader({"wavelengths", "area mm^2", "peak BW (Gb/s)", "EPM (pJ)"});
+
+  double area64 = 0.0;
+  double bw64 = 0.0;
+  double epm64 = 0.0;
+  double area512 = 0.0;
+  double bw512 = 0.0;
+  double epm512 = 0.0;
+  for (const int set : {1, 2, 3}) {
+    bench::ExperimentConfig config;
+    config.architecture = network::Architecture::kDhetpnoc;
+    config.bandwidthSet = set;
+    config.pattern = "skewed3";
+    const auto peak = bench::findPeak(config);
+    const std::uint32_t lambdas = traffic::BandwidthSet::byIndex(set).totalWavelengths;
+    const double area = photonic::areaMm2(photonic::dhetpnocCounts(areaParams, lambdas));
+    const double bw = peak.peak.metrics.deliveredGbps();
+    const double epm = peak.peak.metrics.energyPerPacketPj();
+    table.addRow({std::to_string(lambdas), metrics::ReportTable::num(area, 3),
+                  metrics::ReportTable::num(bw), metrics::ReportTable::num(epm, 1)});
+    if (set == 1) {
+      area64 = area;
+      bw64 = bw;
+      epm64 = epm;
+    }
+    if (set == 3) {
+      area512 = area;
+      bw512 = bw;
+      epm512 = epm;
+    }
+  }
+  table.print(std::cout);
+
+  metrics::ReportTable deltas("64 -> 512 wavelength scaling (paper: +70% area, +751.31% BW, -10.89% EPM)");
+  deltas.setHeader({"quantity", "measured", "paper"});
+  deltas.addRow({"total area", metrics::ReportTable::percent(area512 / area64 - 1.0), "+70%"});
+  deltas.addRow({"peak bandwidth", metrics::ReportTable::percent(bw512 / bw64 - 1.0), "+751.31%"});
+  deltas.addRow({"energy per message", metrics::ReportTable::percent(epm512 / epm64 - 1.0), "-10.89%"});
+  deltas.print(std::cout);
+  return 0;
+}

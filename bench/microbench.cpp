@@ -1,0 +1,65 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: full-system
+// cycle rate, electrical router cycles, DBA token handling and RNG draws.
+// These guard the simulator's own performance (a cycle-accurate model is only
+// useful if sweeps stay cheap), complementing the figure-reproduction
+// binaries.
+#include <benchmark/benchmark.h>
+
+#include "core/dba.hpp"
+#include "core/token.hpp"
+#include "network/network.hpp"
+#include "sim/rng.hpp"
+
+using namespace pnoc;
+
+namespace {
+
+void BM_FullSystemCycles(benchmark::State& state) {
+  network::SimulationParameters params;
+  params.pattern = state.range(0) == 0 ? "uniform" : "skewed3";
+  params.offeredLoad = 0.001;
+  params.warmupCycles = 0;
+  params.measureCycles = 0;
+  network::PhotonicNetwork net(params);
+  for (auto _ : state) {
+    net.step(100);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.SetLabel(params.pattern);
+}
+BENCHMARK(BM_FullSystemCycles)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DbaTokenRotation(benchmark::State& state) {
+  photonic::WavelengthAllocationMap map(8, 64);
+  core::Token token(512, 16);
+  core::DbaConfig config;
+  config.maxChannelWavelengths = 64;
+  std::vector<std::unique_ptr<core::RouterTables>> tables;
+  std::vector<std::unique_ptr<core::DbaController>> controllers;
+  for (ClusterId c = 0; c < 16; ++c) {
+    tables.push_back(std::make_unique<core::RouterTables>(c, 16, 4));
+    controllers.push_back(std::make_unique<core::DbaController>(c, config, *tables[c], map));
+    core::WavelengthTable demand(16);
+    for (ClusterId d = 0; d < 16; ++d) {
+      if (d != c) demand.set(d, 8 * (c % 4 + 1));
+    }
+    tables[c]->updateDemand(0, demand);
+  }
+  for (auto _ : state) {
+    for (auto& controller : controllers) controller->onToken(token, 0);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_DbaTokenRotation);
+
+void BM_RngDraws(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.nextBelow(63));
+  }
+}
+BENCHMARK(BM_RngDraws);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Interactive exploration of the Section 3.4.3 area model: sweep the
+// aggregate wavelength budget for a configurable chip and compare Firefly,
+// d-HetPNoC and the waveguide-restricted d-HetPNoC variant.
+//
+//   ./build/examples/area_explorer [routers=16] [lambdas_per_wg=64] \
+//       [radius_um=5] [max_wavelengths=512] [restrict=2]
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "photonic/area_model.hpp"
+#include "sim/config.hpp"
+
+using namespace pnoc;
+
+int main(int argc, char** argv) {
+  sim::Config config;
+  if (auto error = config.parseArgs(argc - 1, argv + 1)) {
+    std::cerr << "error: " << *error << "\n";
+    return 1;
+  }
+  photonic::AreaParams params;
+  params.numPhotonicRouters = static_cast<std::uint32_t>(config.getInt("routers", 16));
+  params.lambdasPerWaveguide =
+      static_cast<std::uint32_t>(config.getInt("lambdas_per_wg", 64));
+  params.mrrRadiusUm = config.getDouble("radius_um", 5.0);
+  const auto maxWavelengths =
+      static_cast<std::uint32_t>(config.getInt("max_wavelengths", 512));
+  const auto restrict_ = static_cast<std::uint32_t>(config.getInt("restrict", 2));
+  for (const auto& key : config.unconsumedKeys()) {
+    std::cerr << "error: unknown option '" << key << "'\n";
+    return 1;
+  }
+
+  metrics::ReportTable table(
+      "area model: " + std::to_string(params.numPhotonicRouters) + " routers, " +
+      std::to_string(params.lambdasPerWaveguide) + " lambdas/waveguide, r=" +
+      metrics::ReportTable::num(params.mrrRadiusUm, 1) + " um");
+  table.setHeader({"wavelengths", "Firefly mm^2", "d-HetPNoC mm^2",
+                   "restricted(" + std::to_string(restrict_) + ") mm^2", "overhead",
+                   "restricted overhead"});
+  for (std::uint32_t lambdas = params.lambdasPerWaveguide; lambdas <= maxWavelengths;
+       lambdas += params.lambdasPerWaveguide) {
+    const double firefly = photonic::areaMm2(photonic::fireflyCounts(params, lambdas),
+                                             params.mrrRadiusUm);
+    const double dhet = photonic::areaMm2(photonic::dhetpnocCounts(params, lambdas),
+                                          params.mrrRadiusUm);
+    const double restricted = photonic::areaMm2(
+        photonic::restrictedDhetpnocCounts(params, lambdas, restrict_),
+        params.mrrRadiusUm);
+    table.addRow({std::to_string(lambdas), metrics::ReportTable::num(firefly, 3),
+                  metrics::ReportTable::num(dhet, 3),
+                  metrics::ReportTable::num(restricted, 3),
+                  metrics::ReportTable::percent(dhet / firefly - 1.0),
+                  metrics::ReportTable::percent(restricted / firefly - 1.0)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: simulate the paper's 64-core / 16-cluster chip under a skewed
+// traffic pattern with both architectures and print the comparison.
+//
+//   ./build/examples/quickstart [pattern=skewed3] [set=1] [load=0.002] [seed=1]
+//
+// Keys mirror SimulationParameters; anything omitted uses Table 3-3 defaults.
+#include <cstdio>
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "network/network.hpp"
+#include "sim/config.hpp"
+
+using namespace pnoc;
+
+int main(int argc, char** argv) {
+  sim::Config config;
+  if (auto error = config.parseArgs(argc - 1, argv + 1)) {
+    std::cerr << "error: " << *error << "\n";
+    return 1;
+  }
+  const std::string pattern = config.getString("pattern", "skewed3");
+  const int set = static_cast<int>(config.getInt("set", 1));
+  const double load = config.getDouble("load", 0.002);
+  const auto seed = static_cast<std::uint64_t>(config.getInt("seed", 1));
+  for (const auto& key : config.unconsumedKeys()) {
+    std::cerr << "error: unknown option '" << key << "'\n";
+    return 1;
+  }
+
+  metrics::ReportTable table("quickstart: " + pattern + ", " +
+                             traffic::BandwidthSet::byIndex(set).name);
+  table.setHeader({"architecture", "delivered Gb/s", "pkts", "accept", "avg lat (cyc)",
+                   "p99 lat", "EPM (pJ)", "res.failures"});
+
+  for (const auto arch :
+       {network::Architecture::kFirefly, network::Architecture::kDhetpnoc}) {
+    network::SimulationParameters params;
+    params.architecture = arch;
+    params.bandwidthSet = traffic::BandwidthSet::byIndex(set);
+    params.pattern = pattern;
+    params.offeredLoad = load;
+    params.seed = seed;
+    network::PhotonicNetwork net(params);
+    const metrics::RunMetrics m = net.run();
+    table.addRow({toString(arch), metrics::ReportTable::num(m.deliveredGbps()),
+                  std::to_string(m.packetsDelivered),
+                  metrics::ReportTable::num(m.acceptance(), 3),
+                  metrics::ReportTable::num(m.avgLatencyCycles(), 1),
+                  metrics::ReportTable::num(m.latencyP99(), 0),
+                  metrics::ReportTable::num(m.energyPerPacketPj(), 1),
+                  std::to_string(m.reservationFailures)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "core/dba.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pnoc::core {
+
+DbaController::DbaController(ClusterId self, const DbaConfig& config, RouterTables& tables,
+                             photonic::WavelengthAllocationMap& map)
+    : self_(self), config_(config), tables_(&tables), map_(&map) {
+  assert(config.reservedPerCluster >= 1);
+  const std::uint32_t lambdasPerWg = map.lambdasPerWaveguide();
+  for (std::uint32_t i = 0; i < config.reservedPerCluster; ++i) {
+    const std::uint32_t flat = self * config.reservedPerCluster + i;
+    const photonic::WavelengthId id = photonic::unflatten(flat, lambdasPerWg);
+    map.allocate(id, self);
+    owned_.push_back(id);
+  }
+  refreshCurrentTable();
+}
+
+std::uint32_t DbaController::lambdasFor(ClusterId dst) const {
+  return tables_->current().get(dst);
+}
+
+void DbaController::markDefective(const photonic::WavelengthId& id) {
+  if (!isDefective(id)) defective_.push_back(id);
+}
+
+bool DbaController::isDefective(const photonic::WavelengthId& id) const {
+  return std::find(defective_.begin(), defective_.end(), id) != defective_.end();
+}
+
+bool DbaController::mayAcquire(std::uint32_t flatIndex) const {
+  if (config_.writableWaveguides == 0) return true;
+  const std::uint32_t numWaveguides = map_->numWaveguides();
+  const std::uint32_t waveguide = flatIndex / map_->lambdasPerWaveguide();
+  // Allowed window: waveguides self..self+k-1 (mod NW), the conclusion's
+  // "restrict PRx to Waveguide(x) and Waveguide(x+1)" generalized.
+  const std::uint32_t first = self_ % numWaveguides;
+  const std::uint32_t offset = (waveguide + numWaveguides - first) % numWaveguides;
+  return offset < config_.writableWaveguides;
+}
+
+void DbaController::onToken(Token& token, Cycle) {
+  ++stats_.tokenVisits;
+  const std::uint32_t target = std::clamp<std::uint32_t>(
+      tables_->request().maxEntry(), config_.reservedPerCluster,
+      config_.maxChannelWavelengths);
+
+  // Return dynamically held wavelengths that went defective since the last
+  // visit; they stay marked allocated in the token so no cluster re-acquires
+  // a broken channel (the token is the natural quarantine list).
+  for (std::size_t i = owned_.size(); i > config_.reservedPerCluster; --i) {
+    const photonic::WavelengthId id = owned_[i - 1];
+    if (!isDefective(id)) continue;
+    owned_.erase(owned_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+    map_->release(id, self_);
+    // Deliberately NOT token.markFree: quarantined.
+    ++stats_.releases;
+  }
+
+  // Release surplus (never the reserved prefix).
+  while (ownedCount() > target) {
+    const photonic::WavelengthId id = owned_.back();
+    owned_.pop_back();
+    map_->release(id, self_);
+    token.markFree(token.tokenBitFor(photonic::flatten(id, map_->lambdasPerWaveguide())));
+    ++stats_.releases;
+  }
+
+  // Acquire toward the target from whatever the token says is free and the
+  // waveguide restriction (if any) permits.
+  std::uint32_t scan = 0;
+  while (ownedCount() < target && scan < token.sizeBits()) {
+    const std::uint32_t flat = token.flatIndexFor(scan);
+    const photonic::WavelengthId id =
+        photonic::unflatten(flat, map_->lambdasPerWaveguide());
+    if (!token.isAllocated(scan) && mayAcquire(flat) && !isDefective(id)) {
+      token.markAllocated(scan);
+      map_->allocate(id, self_);
+      owned_.push_back(id);
+      ++stats_.acquisitions;
+    }
+    ++scan;
+  }
+  if (ownedCount() < target) ++stats_.shortfallVisits;
+
+  refreshCurrentTable();
+}
+
+void DbaController::refreshCurrentTable() {
+  WavelengthTable& current = tables_->mutableCurrent();
+  for (ClusterId dst = 0; dst < tables_->numClusters(); ++dst) {
+    if (dst == self_) {
+      current.set(dst, 0);
+      continue;
+    }
+    // Usable lambdas toward dst: what the flow wants, bounded by what we
+    // own, but never below the starvation-proof minimum.
+    const std::uint32_t want = tables_->request().get(dst);
+    const std::uint32_t usable =
+        std::clamp<std::uint32_t>(std::min(want, ownedCount()),
+                                  config_.reservedPerCluster, ownedCount());
+    current.set(dst, usable);
+  }
+}
+
+}  // namespace pnoc::core

@@ -1,0 +1,27 @@
+#include "core/reservation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pnoc::core {
+
+std::uint32_t identifierPayloadBits(std::uint32_t numIdentifiers,
+                                    std::uint32_t numWaveguides) {
+  return numIdentifiers * photonic::identifierBits(numWaveguides);
+}
+
+Cycle reservationCycles(std::uint32_t numIdentifiers, std::uint32_t numWaveguides,
+                        std::uint32_t lambdasPerWaveguide, const sim::Clock& clock) {
+  // The base reservation flit (destination ID + packet size) always fits one
+  // cycle, as in Firefly [20].  Identifier bits ride along; once they exceed
+  // what the reservation waveguide moves per cycle, extra cycles are needed
+  // (Section 3.4.1.1's 2-cycle case for BW set 3).
+  if (numIdentifiers == 0) return 1;
+  const double channelBitsPerCycle =
+      static_cast<double>(lambdasPerWaveguide) *
+      clock.bitsPerCycle(photonic::kBitsPerSecondPerWavelength);
+  const double bits = identifierPayloadBits(numIdentifiers, numWaveguides);
+  return std::max<Cycle>(1, static_cast<Cycle>(std::ceil(bits / channelBitsPerCycle)));
+}
+
+}  // namespace pnoc::core

@@ -1,0 +1,40 @@
+// Reservation-channel timing and flit contents (Sections 3.3.1 and 3.4.1.1).
+//
+// d-HetPNoC extends Firefly's reservation flit with the identifiers of the
+// wavelengths the destination must listen on.  Each identifier is 6 bits of
+// wavelength number plus ceil(log2 NW) bits of waveguide number (none when a
+// single data waveguide suffices).  The identifiers are serialized over the
+// source's reservation waveguide at full DWDM width (lambda_W wavelengths x
+// 12.5 Gb/s = 800 Gb/s), giving the paper's timing analysis:
+//   BW set 1:  8 ids x 6 b =  48 b -> 60 ps  -> fits the 1-cycle flit, no overhead
+//   BW set 3: 64 ids x 9 b = 576 b -> 720 ps -> needs a second cycle
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "photonic/wavelength.hpp"
+#include "sim/clock.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::core {
+
+/// What the source broadcasts before a packet (Section 3.3.1): destination,
+/// packet length, and — in d-HetPNoC — the wavelength identifiers to use.
+struct ReservationFlit {
+  ClusterId srcCluster = 0;
+  ClusterId dstCluster = 0;
+  std::uint32_t packetFlits = 0;
+  std::vector<photonic::WavelengthId> wavelengths;  // empty for Firefly
+};
+
+/// Cycles to serialize a reservation flit carrying `numIdentifiers`
+/// wavelength identifiers (0 for Firefly's reservation flit).
+Cycle reservationCycles(std::uint32_t numIdentifiers, std::uint32_t numWaveguides,
+                        std::uint32_t lambdasPerWaveguide, const sim::Clock& clock);
+
+/// Serialized size of the identifier payload in bits (Section 3.4.1.1).
+std::uint32_t identifierPayloadBits(std::uint32_t numIdentifiers,
+                                    std::uint32_t numWaveguides);
+
+}  // namespace pnoc::core

@@ -1,0 +1,40 @@
+#include "core/tables.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pnoc::core {
+
+std::uint32_t WavelengthTable::maxEntry() const {
+  std::uint32_t best = 0;
+  for (const std::uint32_t entry : entries_) best = std::max(best, entry);
+  return best;
+}
+
+RouterTables::RouterTables(ClusterId self, std::uint32_t numClusters,
+                           std::uint32_t coresPerCluster)
+    : self_(self),
+      numClusters_(numClusters),
+      demands_(coresPerCluster, WavelengthTable(numClusters)),
+      request_(numClusters),
+      current_(numClusters) {
+  assert(self < numClusters);
+}
+
+void RouterTables::updateDemand(std::uint32_t localCore, const WavelengthTable& demand) {
+  assert(localCore < demands_.size());
+  assert(demand.numClusters() == numClusters_);
+  demands_[localCore] = demand;
+  recomputeRequest();
+}
+
+void RouterTables::recomputeRequest() {
+  for (ClusterId dst = 0; dst < numClusters_; ++dst) {
+    std::uint32_t best = 0;
+    for (const auto& demand : demands_) best = std::max(best, demand.get(dst));
+    request_.set(dst, best);
+  }
+  request_.set(self_, 0);
+}
+
+}  // namespace pnoc::core

@@ -1,0 +1,68 @@
+// The six tables of the photonic router (Section 3.2.1, Figure 3-2):
+// four per-core demand tables, one request table, one current table.
+//
+//  * A demand table holds the wavelength count a core's current task needs to
+//    every destination cluster; the core re-sends it when its task changes.
+//  * The request table entry for destination d is the MAX over the four
+//    demand tables' entries for d — it always reflects the highest demanded
+//    bandwidth and is NOT reduced after allocation, so an unsatisfied router
+//    retries the next time it holds the token.
+//  * The current table holds the wavelengths actually usable toward each
+//    destination right now (bounded by what was acquired); it is what the
+//    flow control consults when composing a reservation flit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace pnoc::core {
+
+/// Per-destination wavelength counts for one cluster's router. Index =
+/// destination cluster id (the self entry stays 0 and is ignored).
+class WavelengthTable {
+ public:
+  explicit WavelengthTable(std::uint32_t numClusters) : entries_(numClusters, 0) {}
+
+  std::uint32_t numClusters() const { return static_cast<std::uint32_t>(entries_.size()); }
+  std::uint32_t get(ClusterId dst) const { return entries_[dst]; }
+  void set(ClusterId dst, std::uint32_t lambdas) { entries_[dst] = lambdas; }
+
+  /// Largest entry — what the DBA tries to acquire (Section 3.2.1).
+  std::uint32_t maxEntry() const;
+
+ private:
+  std::vector<std::uint32_t> entries_;
+};
+
+/// The demand/request/current table assembly of one photonic router.
+class RouterTables {
+ public:
+  RouterTables(ClusterId self, std::uint32_t numClusters, std::uint32_t coresPerCluster);
+
+  ClusterId self() const { return self_; }
+  std::uint32_t numClusters() const { return numClusters_; }
+
+  /// A core (by local index 0..coresPerCluster-1) publishes a new demand
+  /// table; the request table is recomputed as the element-wise max.  This
+  /// can happen at any time, token present or not (Section 3.2.1).
+  void updateDemand(std::uint32_t localCore, const WavelengthTable& demand);
+
+  const WavelengthTable& demand(std::uint32_t localCore) const { return demands_[localCore]; }
+  const WavelengthTable& request() const { return request_; }
+  const WavelengthTable& current() const { return current_; }
+  WavelengthTable& mutableCurrent() { return current_; }
+
+  /// Rebuilds request = element-wise max over all demand tables.
+  void recomputeRequest();
+
+ private:
+  ClusterId self_;
+  std::uint32_t numClusters_;
+  std::vector<WavelengthTable> demands_;
+  WavelengthTable request_;
+  WavelengthTable current_;
+};
+
+}  // namespace pnoc::core

@@ -1,0 +1,64 @@
+#include "core/token.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pnoc::core {
+
+Token::Token(std::uint32_t totalWavelengths, std::uint32_t reserved)
+    : total_(totalWavelengths), reserved_(reserved) {
+  assert(reserved <= totalWavelengths);
+  allocated_.assign(totalWavelengths - reserved, false);
+}
+
+void Token::markAllocated(std::uint32_t tokenBit) {
+  assert(tokenBit < allocated_.size());
+  assert(!allocated_[tokenBit] && "token bit already allocated");
+  allocated_[tokenBit] = true;
+}
+
+void Token::markFree(std::uint32_t tokenBit) {
+  assert(tokenBit < allocated_.size());
+  assert(allocated_[tokenBit] && "token bit already free");
+  allocated_[tokenBit] = false;
+}
+
+std::uint32_t Token::freeCount() const {
+  std::uint32_t count = 0;
+  for (const bool bit : allocated_) count += bit ? 0 : 1;
+  return count;
+}
+
+std::uint32_t Token::tokenBitFor(std::uint32_t flatIndex) const {
+  assert(flatIndex >= reserved_ && flatIndex < total_);
+  return flatIndex - reserved_;
+}
+
+Cycle tokenHopCycles(std::uint32_t tokenBits, std::uint32_t lambdasPerWaveguide,
+                     const sim::Clock& clock) {
+  // eq. (2): T_L = N_TW / (lambda_W * B), with B the line rate per
+  // wavelength.  Convert to cycles via bits-per-cycle of the full control
+  // waveguide and round up; a hop always costs at least one cycle.
+  const double controlBitsPerCycle =
+      static_cast<double>(lambdasPerWaveguide) *
+      clock.bitsPerCycle(photonic::kBitsPerSecondPerWavelength);
+  const double cycles = static_cast<double>(tokenBits) / controlBitsPerCycle;
+  return std::max<Cycle>(1, static_cast<Cycle>(std::ceil(cycles)));
+}
+
+TokenRing::TokenRing(Token token, Cycle hopLatency)
+    : token_(std::move(token)), hopLatency_(hopLatency) {
+  assert(hopLatency >= 1);
+}
+
+void TokenRing::evaluate(Cycle) {}
+
+void TokenRing::advance(Cycle cycle) {
+  if (clients_.empty() || cycle < nextArrival_) return;
+  clients_[holder_]->onToken(token_, cycle);
+  holder_ = (holder_ + 1) % clients_.size();
+  if (holder_ == 0) ++rotations_;
+  nextArrival_ = cycle + hopLatency_;
+}
+
+}  // namespace pnoc::core

@@ -1,0 +1,74 @@
+// Analytic GPU kernel / memory-interconnect model.
+//
+// SUBSTITUTION (see DESIGN.md): the paper profiles CUDA SDK and Rodinia
+// benchmarks in GPGPUSim [27] to obtain (a) Figure 1-1, speedup as the
+// GPU-memory interconnect flit size grows from 32B to 1024B at 700 MHz, and
+// (b) the per-application core<->memory bandwidth demands that feed the
+// "real application" traffic of Section 3.4.2.  GPGPUSim and its proprietary
+// traces are not available offline, so we model each kernel with a
+// bounded-MLP roofline:
+//
+//   t_iter = max( computeCycles,                     // compute bound
+//                 memoryBytes / interconnectBpc,     // bandwidth bound
+//                 requests * latency / MLP )         // latency/MLP bound
+//
+// where interconnectBpc is the interconnect's payload bytes per cycle for a
+// given flit size.  The model reproduces exactly what the paper consumes:
+// kernels whose 32B-flit bottleneck is the bandwidth term speed up with
+// larger flits until the compute or MLP term takes over (BFS, MUM: tens of
+// percent), while compute-bound kernels are flat (<1%).  Parameters are
+// synthetic calibrations, documented per benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnoc::gpusim {
+
+struct KernelParams {
+  std::string name;
+  bool fromCudaSdk = true;    // Fig 1-1 renders CUDA SDK uppercase, Rodinia lowercase
+  std::uint32_t kernelLaunches = 1;
+  double computeCyclesPerIteration = 1000.0;
+  double memoryBytesPerIteration = 1000.0;
+  double memoryLatencyCycles = 400.0;  // round-trip to DRAM through the NoC
+  std::uint32_t maxOutstandingRequests = 64;  // memory-level parallelism
+  std::uint32_t requestBytes = 128;           // coalesced access granularity
+  std::uint32_t iterations = 1000;
+};
+
+struct InterconnectParams {
+  std::uint32_t flitBytes = 32;
+  double clockHz = 700e6;  // the paper's GPU-memory NoC clock
+  std::uint32_t headerBytes = 8;  // per-flit routing overhead
+
+  /// Payload bytes the interconnect moves per cycle (one flit per cycle).
+  double payloadBytesPerCycle() const;
+};
+
+class GpuKernelModel {
+ public:
+  /// Total runtime in interconnect cycles.
+  static double runtimeCycles(const KernelParams& kernel, const InterconnectParams& icnt);
+
+  /// Speedup of `flitBytes` over the 32B baseline (Fig 1-1's y-axis).
+  static double speedup(const KernelParams& kernel, std::uint32_t flitBytes,
+                        std::uint32_t baselineFlitBytes = 32);
+
+  /// Achieved GPU<->memory bandwidth in Gb/s at the given interconnect
+  /// configuration; Section 3.4.2 uses 128B flits at 700 MHz to size the
+  /// real-application demand tables.
+  static double achievedBandwidthGbps(const KernelParams& kernel,
+                                      const InterconnectParams& icnt);
+};
+
+/// The benchmark roster used by Fig 1-1 and the Section 3.4.2 case study:
+/// MUM, BFS (bandwidth-sensitive) and CP, RAY, LPS (not), plus additional
+/// CUDA SDK / Rodinia entries to fill out the figure.
+std::vector<KernelParams> benchmarkRoster();
+
+/// Lookup by name (case-sensitive); throws std::invalid_argument if missing.
+KernelParams benchmarkByName(const std::string& name);
+
+}  // namespace pnoc::gpusim

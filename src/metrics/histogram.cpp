@@ -1,0 +1,76 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pnoc::metrics {
+
+std::size_t LatencyHistogram::bucketFor(Cycle latency) {
+  if (latency == 0) return 0;
+  return std::min<std::size_t>(kBuckets - 1, 1 + std::bit_width(latency) - 1);
+}
+
+Cycle LatencyHistogram::bucketLow(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  return Cycle{1} << (bucket - 1);
+}
+
+void LatencyHistogram::record(Cycle latency) {
+  ++buckets_[bucketFor(latency)];
+  ++count_;
+  sum_ += latency;
+  min_ = std::min(min_, latency);
+  max_ = std::max(max_, latency);
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[b]);
+    if (next >= target) {
+      const double within =
+          buckets_[b] == 0 ? 0.0 : (target - cumulative) / static_cast<double>(buckets_[b]);
+      const double low = static_cast<double>(bucketLow(b));
+      const double high = static_cast<double>(b + 1 < kBuckets ? bucketLow(b + 1)
+                                                               : bucketLow(b) * 2);
+      return low + within * (high - low);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+LatencyHistogram& LatencyHistogram::operator+=(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return *this;
+}
+
+LatencyHistogram LatencyHistogram::since(const LatencyHistogram& earlier) const {
+  LatencyHistogram diff;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    assert(buckets_[b] >= earlier.buckets_[b]);
+    diff.buckets_[b] = buckets_[b] - earlier.buckets_[b];
+    diff.count_ += diff.buckets_[b];
+  }
+  diff.sum_ = sum_ - earlier.sum_;
+  // min/max of the window cannot be reconstructed exactly; approximate with
+  // the cumulative extremes, which is what the window observed at worst.
+  diff.min_ = min_;
+  diff.max_ = max_;
+  return diff;
+}
+
+}  // namespace pnoc::metrics

@@ -1,0 +1,48 @@
+// Power-of-two bucketed histogram for cycle counts (packet latencies).
+//
+// Recording is O(1) with no allocation after construction, so it can sit on
+// the delivery path of every packet; quantile queries interpolate within the
+// matched bucket, which is plenty for p50/p95/p99 reporting at the cycle
+// scales involved (tens to thousands).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace pnoc::metrics {
+
+class LatencyHistogram {
+ public:
+  /// Buckets: [0,1), [1,2), [2,4), ... [2^62, inf).
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(Cycle latency);
+
+  std::uint64_t count() const { return count_; }
+  Cycle min() const { return count_ == 0 ? 0 : min_; }
+  Cycle max() const { return max_; }
+  double mean() const;
+
+  /// Quantile in [0,1]; linear interpolation within the bucket.
+  double quantile(double q) const;
+
+  LatencyHistogram& operator+=(const LatencyHistogram& other);
+
+  /// Difference of cumulative histograms (for warmup-window subtraction).
+  /// Precondition: `earlier` is a prefix of *this (bucket-wise <=).
+  LatencyHistogram since(const LatencyHistogram& earlier) const;
+
+ private:
+  static std::size_t bucketFor(Cycle latency);
+  static Cycle bucketLow(std::size_t bucket);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  Cycle min_ = kNoCycle;
+  Cycle max_ = 0;
+};
+
+}  // namespace pnoc::metrics

@@ -1,0 +1,30 @@
+#include "metrics/metrics.hpp"
+
+namespace pnoc::metrics {
+
+double RunMetrics::deliveredGbps() const {
+  if (measuredSeconds <= 0.0) return 0.0;
+  return static_cast<double>(bitsDelivered) / measuredSeconds / 1e9;
+}
+
+double RunMetrics::deliveredGbpsPerCore(std::uint32_t numCores) const {
+  if (numCores == 0) return 0.0;
+  return deliveredGbps() / static_cast<double>(numCores);
+}
+
+double RunMetrics::energyPerPacketPj() const {
+  if (packetsDelivered == 0) return 0.0;
+  return ledger.total() / static_cast<double>(packetsDelivered);
+}
+
+double RunMetrics::avgLatencyCycles() const {
+  if (packetsDelivered == 0) return 0.0;
+  return static_cast<double>(latencyCyclesSum) / static_cast<double>(packetsDelivered);
+}
+
+double RunMetrics::acceptance() const {
+  if (packetsOffered == 0) return 1.0;
+  return static_cast<double>(packetsDelivered) / static_cast<double>(packetsOffered);
+}
+
+}  // namespace pnoc::metrics

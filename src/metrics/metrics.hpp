@@ -1,0 +1,55 @@
+// Run-level metrics, matching the paper's reported quantities:
+//  * peak bandwidth — "average number of bits successfully arriving at all
+//    cores per second" (Section 3.4.1.1),
+//  * packet energy / energy per message — total energy over the measurement
+//    window divided by packets delivered, at network saturation
+//    (Section 3.4.1.2),
+// plus the acceptance ratio the saturation search uses and the congestion
+// counters (drops/retries) the paper's simulator also tracks.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/histogram.hpp"
+#include "photonic/energy_model.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::metrics {
+
+struct RunMetrics {
+  // --- window ---
+  Cycle measuredCycles = 0;
+  double measuredSeconds = 0.0;
+
+  // --- delivery ---
+  std::uint64_t packetsDelivered = 0;
+  Bits bitsDelivered = 0;
+  std::uint64_t latencyCyclesSum = 0;
+  LatencyHistogram latency;
+
+  // --- offer / congestion ---
+  std::uint64_t packetsOffered = 0;
+  std::uint64_t packetsRefused = 0;
+  std::uint64_t packetsGenerated = 0;
+  std::uint64_t headRetries = 0;
+  std::uint64_t reservationsIssued = 0;
+  std::uint64_t reservationFailures = 0;
+
+  // --- energy (eq. (3)/(4) decomposition lives in the ledger) ---
+  photonic::EnergyLedger ledger;
+
+  /// Aggregate delivered bandwidth in Gb/s (the paper's peak-bandwidth axis).
+  double deliveredGbps() const;
+  /// Per-core delivered bandwidth in Gb/s (Fig 3-5's "peak core bandwidth").
+  double deliveredGbpsPerCore(std::uint32_t numCores) const;
+  /// Energy per message / packet energy in pJ.
+  double energyPerPacketPj() const;
+  double avgLatencyCycles() const;
+  double latencyP50() const { return latency.quantile(0.50); }
+  double latencyP99() const { return latency.quantile(0.99); }
+  /// Fraction of offered packets actually delivered during the window; the
+  /// saturation criterion (mix-preserving operation needs this near 1).
+  double acceptance() const;
+};
+
+}  // namespace pnoc::metrics

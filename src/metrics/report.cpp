@@ -1,0 +1,61 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pnoc::metrics {
+
+ReportTable::ReportTable(std::string title) : title_(std::move(title)) {}
+
+void ReportTable::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void ReportTable::addRow(std::vector<std::string> row) {
+  assert(header_.empty() || row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void ReportTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  os << "\n== " << title_ << " ==\n";
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(widths[i]))
+         << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    printRow(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w;
+    os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  }
+  for (const auto& row : rows_) printRow(row);
+  os.flush();
+}
+
+std::string ReportTable::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string ReportTable::percent(double fraction, int precision) {
+  std::ostringstream out;
+  out << std::showpos << std::fixed << std::setprecision(precision)
+      << fraction * 100.0 << '%';
+  return out.str();
+}
+
+}  // namespace pnoc::metrics

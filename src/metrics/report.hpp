@@ -1,0 +1,40 @@
+// ASCII table formatting for the bench binaries: every figure/table of the
+// paper is regenerated as a fixed-width table with a caption, so bench output
+// reads like the paper's evaluation section.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pnoc::metrics {
+
+class ReportTable {
+ public:
+  explicit ReportTable(std::string title);
+
+  /// Sets the column headers (fixes the column count).
+  void setHeader(std::vector<std::string> header);
+
+  /// Appends a row; must match the header's column count.
+  void addRow(std::vector<std::string> row);
+
+  /// Renders with per-column widths, a rule under the header and the title
+  /// above.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision (helper for cells).
+  static std::string num(double value, int precision = 2);
+  /// Formats a percentage delta, signed (e.g. "+7.0%").
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pnoc::metrics

@@ -1,0 +1,55 @@
+#include "metrics/saturation.hpp"
+
+#include <cassert>
+
+namespace pnoc::metrics {
+
+PeakSearchResult findPeak(const std::function<RunMetrics(double)>& runAtLoad,
+                          const PeakSearchOptions& options) {
+  assert(options.startLoad > 0.0 && options.growthFactor > 1.0);
+  PeakSearchResult result;
+  auto evaluate = [&](double load) -> const LoadPoint& {
+    result.sweep.push_back(LoadPoint{load, runAtLoad(load)});
+    return result.sweep.back();
+  };
+  auto consider = [&](const LoadPoint& point) {
+    if (point.metrics.acceptance() >= options.acceptanceFloor &&
+        point.metrics.deliveredGbps() > result.peak.metrics.deliveredGbps()) {
+      result.peak = point;
+    }
+  };
+
+  // Geometric ramp until the acceptance floor breaks (or steps run out).
+  double load = options.startLoad;
+  double lastGood = 0.0;
+  double firstBad = 0.0;
+  for (int step = 0; step < options.maxRampSteps; ++step) {
+    const LoadPoint& point = evaluate(load);
+    consider(point);
+    if (point.metrics.acceptance() >= options.acceptanceFloor) {
+      lastGood = load;
+      load *= options.growthFactor;
+    } else {
+      firstBad = load;
+      break;
+    }
+  }
+  if (firstBad == 0.0 || lastGood == 0.0) return result;  // never bracketed
+
+  // Bisect the bracket to sharpen the knee.
+  double lo = lastGood;
+  double hi = firstBad;
+  for (int step = 0; step < options.bisectionSteps; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    const LoadPoint& point = evaluate(mid);
+    consider(point);
+    if (point.metrics.acceptance() >= options.acceptanceFloor) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return result;
+}
+
+}  // namespace pnoc::metrics

@@ -1,0 +1,41 @@
+// Saturation search: finds the peak delivered bandwidth of a configuration
+// while the offered traffic mix is preserved.
+//
+// The paper reports "peak achievable bandwidth" per traffic pattern.  We
+// operationalize that as the largest delivered bandwidth over an offered-load
+// sweep subject to an acceptance floor (delivered/offered >= floor): past the
+// floor the network is shedding the pattern's hot flows and the measured mix
+// no longer is the pattern.  The sweep ramps the load geometrically until
+// acceptance collapses, then bisects the bracket.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace pnoc::metrics {
+
+struct LoadPoint {
+  double offeredLoad = 0.0;
+  RunMetrics metrics;
+};
+
+struct PeakSearchOptions {
+  double startLoad = 0.001;   // packets/core/cycle, uniform-equivalent
+  double growthFactor = 1.6;  // geometric ramp
+  double acceptanceFloor = 0.90;
+  int maxRampSteps = 14;
+  int bisectionSteps = 4;
+};
+
+struct PeakSearchResult {
+  LoadPoint peak;                 // best point meeting the acceptance floor
+  std::vector<LoadPoint> sweep;   // every point evaluated, in order
+};
+
+/// `runAtLoad` builds and runs a fresh network at the given offered load.
+PeakSearchResult findPeak(const std::function<RunMetrics(double)>& runAtLoad,
+                          const PeakSearchOptions& options = {});
+
+}  // namespace pnoc::metrics

@@ -1,0 +1,137 @@
+#include "network/channel_policy.hpp"
+
+#include <cassert>
+
+#include "network/params.hpp"
+#include "photonic/area_model.hpp"
+
+namespace pnoc::network {
+
+FireflyPolicy::FireflyPolicy(const noc::ClusterTopology& topology,
+                             const traffic::BandwidthSet& set)
+    : numClusters_(topology.numClusters()),
+      lambdasPerChannel_(set.fireflyLambdasPerChannel(topology.numClusters())) {}
+
+std::uint32_t FireflyPolicy::lambdasFor(ClusterId src, ClusterId dst) const {
+  assert(src != dst && src < numClusters_ && dst < numClusters_);
+  (void)src;
+  (void)dst;
+  return lambdasPerChannel_;
+}
+
+std::vector<photonic::WavelengthId> FireflyPolicy::wavelengthsFor(ClusterId src,
+                                                                  ClusterId dst) const {
+  // Static assignment: cluster `src` owns the first lambdasPerChannel_
+  // wavelengths of its dedicated waveguide; readers already know this, so the
+  // reservation flit carries no identifiers (maxReservationIdentifiers()==0).
+  assert(src != dst);
+  (void)dst;
+  std::vector<photonic::WavelengthId> ids;
+  ids.reserve(lambdasPerChannel_);
+  for (std::uint32_t l = 0; l < lambdasPerChannel_; ++l) {
+    ids.push_back(photonic::WavelengthId{src, l});
+  }
+  return ids;
+}
+
+DhetpnocPolicy::DhetpnocPolicy(const noc::ClusterTopology& topology,
+                               const traffic::BandwidthSet& set,
+                               const traffic::TrafficPattern& pattern,
+                               const sim::Clock& clock, std::uint32_t reservedPerCluster,
+                               Cycle tokenHopOverride, std::uint32_t channelCapOverride,
+                               std::uint32_t writableWaveguides)
+    : topology_(&topology),
+      set_(set),
+      map_(photonic::dataWaveguidesNeeded(set.totalWavelengths,
+                                          photonic::kMaxWavelengthsPerWaveguide),
+           photonic::kMaxWavelengthsPerWaveguide) {
+  dbaConfig_.maxChannelWavelengths =
+      channelCapOverride != 0 ? channelCapOverride : set.maxChannelWavelengths;
+  dbaConfig_.reservedPerCluster = reservedPerCluster;
+  dbaConfig_.writableWaveguides = writableWaveguides;
+
+  const std::uint32_t numClusters = topology.numClusters();
+  const std::uint32_t reservedTotal = reservedPerCluster * numClusters;
+  core::Token token(set.totalWavelengths, reservedTotal);
+  const Cycle hop =
+      tokenHopOverride != 0
+          ? tokenHopOverride
+          : core::tokenHopCycles(token.sizeBits(),
+                                 photonic::kMaxWavelengthsPerWaveguide, clock);
+  ring_ = std::make_unique<core::TokenRing>(std::move(token), hop);
+
+  tables_.reserve(numClusters);
+  controllers_.reserve(numClusters);
+  for (ClusterId c = 0; c < numClusters; ++c) {
+    tables_.push_back(
+        std::make_unique<core::RouterTables>(c, numClusters, topology.clusterSize()));
+    controllers_.push_back(
+        std::make_unique<core::DbaController>(c, dbaConfig_, *tables_[c], map_));
+    ring_->addClient(*controllers_[c]);
+  }
+  publishDemands(pattern);
+}
+
+void DhetpnocPolicy::publishDemands(const traffic::TrafficPattern& pattern) {
+  const std::uint32_t numClusters = topology_->numClusters();
+  for (ClusterId src = 0; src < numClusters; ++src) {
+    core::WavelengthTable demand(numClusters);
+    for (ClusterId dst = 0; dst < numClusters; ++dst) {
+      if (dst == src) continue;
+      demand.set(dst, pattern.wavelengthDemand(src, dst));
+    }
+    // All cores of the cluster publish the cluster-level demand; the request
+    // table (element-wise max) then equals it.
+    for (std::uint32_t local = 0; local < topology_->clusterSize(); ++local) {
+      tables_[src]->updateDemand(local, demand);
+    }
+  }
+}
+
+std::uint32_t DhetpnocPolicy::lambdasFor(ClusterId src, ClusterId dst) const {
+  assert(src != dst);
+  return controllers_[src]->lambdasFor(dst);
+}
+
+std::vector<photonic::WavelengthId> DhetpnocPolicy::wavelengthsFor(ClusterId src,
+                                                                   ClusterId dst) const {
+  // Section 3.3.1: the specific wavelengths are chosen among the allocated
+  // ones based on the current-table entry for the destination.
+  const std::uint32_t count = lambdasFor(src, dst);
+  const auto& owned = controllers_[src]->ownedWavelengths();
+  assert(count <= owned.size());
+  return {owned.begin(), owned.begin() + count};
+}
+
+std::uint32_t DhetpnocPolicy::maxReservationIdentifiers() const {
+  return dbaConfig_.maxChannelWavelengths;
+}
+
+std::uint32_t DhetpnocPolicy::numDataWaveguides() const { return map_.numWaveguides(); }
+
+void DhetpnocPolicy::attachTo(sim::Engine& engine) { engine.add(*ring_); }
+
+const core::DbaController& DhetpnocPolicy::controller(ClusterId cluster) const {
+  return *controllers_[cluster];
+}
+
+void DhetpnocPolicy::injectWavelengthFault(const photonic::WavelengthId& id) {
+  for (auto& controller : controllers_) controller->markDefective(id);
+}
+
+std::unique_ptr<ChannelPolicy> makePolicy(const SimulationParameters& params,
+                                          const noc::ClusterTopology& topology,
+                                          const traffic::TrafficPattern& pattern) {
+  switch (params.architecture) {
+    case Architecture::kFirefly:
+      return std::make_unique<FireflyPolicy>(topology, params.bandwidthSet);
+    case Architecture::kDhetpnoc:
+      return std::make_unique<DhetpnocPolicy>(
+          topology, params.bandwidthSet, pattern, params.clock,
+          params.reservedPerCluster, params.tokenHopCyclesOverride,
+          params.maxChannelWavelengthsOverride, params.writableWaveguides);
+  }
+  return nullptr;
+}
+
+}  // namespace pnoc::network

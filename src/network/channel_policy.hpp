@@ -1,0 +1,114 @@
+// Channel allocation policies: the single point where Firefly and d-HetPNoC
+// differ.  The shared network assembly asks the policy how many wavelengths
+// (and which identifiers) a source cluster may use toward a destination; the
+// d-HetPNoC policy additionally owns the token ring and DBA controllers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dba.hpp"
+#include "core/token.hpp"
+#include "noc/topology.hpp"
+#include "photonic/waveguide.hpp"
+#include "sim/engine.hpp"
+#include "traffic/pattern.hpp"
+
+namespace pnoc::network {
+
+class ChannelPolicy {
+ public:
+  virtual ~ChannelPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Wavelengths the source may use for a packet to `dst` right now.
+  virtual std::uint32_t lambdasFor(ClusterId src, ClusterId dst) const = 0;
+
+  /// Identifiers carried in the reservation flit for this pair (empty for
+  /// Firefly, whose channel assignment is static and known to all readers).
+  virtual std::vector<photonic::WavelengthId> wavelengthsFor(ClusterId src,
+                                                             ClusterId dst) const = 0;
+
+  /// Worst-case identifier count a reservation flit may carry (sizes the
+  /// reservation serialization latency per Section 3.4.1.1).
+  virtual std::uint32_t maxReservationIdentifiers() const = 0;
+
+  /// Number of data waveguides the policy's wiring needs (for identifier
+  /// encoding width and the area model).
+  virtual std::uint32_t numDataWaveguides() const = 0;
+
+  /// Registers any clocked machinery (e.g. the token ring) with the engine.
+  virtual void attachTo(sim::Engine& engine) { (void)engine; }
+};
+
+/// Firefly [20]: every cluster permanently owns totalWavelengths/numClusters
+/// wavelengths of its dedicated write waveguide.
+class FireflyPolicy final : public ChannelPolicy {
+ public:
+  FireflyPolicy(const noc::ClusterTopology& topology, const traffic::BandwidthSet& set);
+
+  std::string name() const override { return "Firefly"; }
+  std::uint32_t lambdasFor(ClusterId src, ClusterId dst) const override;
+  std::vector<photonic::WavelengthId> wavelengthsFor(ClusterId src,
+                                                     ClusterId dst) const override;
+  std::uint32_t maxReservationIdentifiers() const override { return 0; }
+  std::uint32_t numDataWaveguides() const override { return numClusters_; }
+
+ private:
+  std::uint32_t numClusters_;
+  std::uint32_t lambdasPerChannel_;
+};
+
+/// d-HetPNoC: token-based dynamic allocation (Section 3.2).
+class DhetpnocPolicy final : public ChannelPolicy {
+ public:
+  /// `tokenHopOverride` / `channelCapOverride` are ablation knobs; 0 keeps
+  /// the eq.-(2) hop latency and the bandwidth set's per-channel cap.
+  DhetpnocPolicy(const noc::ClusterTopology& topology, const traffic::BandwidthSet& set,
+                 const traffic::TrafficPattern& pattern, const sim::Clock& clock,
+                 std::uint32_t reservedPerCluster, Cycle tokenHopOverride = 0,
+                 std::uint32_t channelCapOverride = 0,
+                 std::uint32_t writableWaveguides = 0);
+
+  std::string name() const override { return "d-HetPNoC"; }
+  std::uint32_t lambdasFor(ClusterId src, ClusterId dst) const override;
+  std::vector<photonic::WavelengthId> wavelengthsFor(ClusterId src,
+                                                     ClusterId dst) const override;
+  std::uint32_t maxReservationIdentifiers() const override;
+  std::uint32_t numDataWaveguides() const override;
+  void attachTo(sim::Engine& engine) override;
+
+  // Introspection for tests, benches and the dba_reconfiguration example.
+  const core::DbaController& controller(ClusterId cluster) const;
+  core::RouterTables& tables(ClusterId cluster) { return *tables_[cluster]; }
+  const core::TokenRing& tokenRing() const { return *ring_; }
+  const photonic::WavelengthAllocationMap& allocationMap() const { return map_; }
+  core::DbaConfig dbaConfig() const { return dbaConfig_; }
+
+  /// Re-publishes demand tables from a (possibly different) traffic pattern —
+  /// models a task-remapping event at runtime.
+  void publishDemands(const traffic::TrafficPattern& pattern);
+
+  /// Fault injection: marks one wavelength defective chip-wide.  The owning
+  /// controller quarantines it at its next token visit.
+  void injectWavelengthFault(const photonic::WavelengthId& id);
+
+ private:
+  const noc::ClusterTopology* topology_;
+  traffic::BandwidthSet set_;
+  core::DbaConfig dbaConfig_;
+  photonic::WavelengthAllocationMap map_;
+  std::vector<std::unique_ptr<core::RouterTables>> tables_;
+  std::vector<std::unique_ptr<core::DbaController>> controllers_;
+  std::unique_ptr<core::TokenRing> ring_;
+};
+
+/// Builds the policy matching `params.architecture`.
+std::unique_ptr<ChannelPolicy> makePolicy(const struct SimulationParameters& params,
+                                          const noc::ClusterTopology& topology,
+                                          const traffic::TrafficPattern& pattern);
+
+}  // namespace pnoc::network

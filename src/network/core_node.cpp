@@ -1,0 +1,79 @@
+#include "network/core_node.hpp"
+
+#include <cassert>
+
+namespace pnoc::network {
+
+CoreNode::CoreNode(const Config& config, const noc::ClusterTopology& topology,
+                   const traffic::TrafficPattern& pattern, noc::ElectricalRouter& router,
+                   sim::Rng rng, PacketId* nextPacketId)
+    : config_(config),
+      topology_(&topology),
+      pattern_(&pattern),
+      router_(&router),
+      rng_(rng),
+      nextPacketId_(nextPacketId) {
+  assert(nextPacketId != nullptr);
+}
+
+void CoreNode::evaluate(Cycle) {}
+
+void CoreNode::advance(Cycle cycle) {
+  generate(cycle);
+  injectFlits(cycle);
+}
+
+void CoreNode::generate(Cycle cycle) {
+  if (!rng_.nextBool(config_.injectionProbability)) return;
+  ++stats_.packetsOffered;
+  if (queue_.size() >= config_.queueCapacityPackets) {
+    ++stats_.packetsRefused;
+    return;
+  }
+  noc::PacketDescriptor packet;
+  packet.id = (*nextPacketId_)++;
+  packet.srcCore = config_.core;
+  packet.dstCore = pattern_->sampleDestination(config_.core, rng_);
+  assert(packet.dstCore != config_.core);
+  packet.srcCluster = topology_->clusterOf(packet.srcCore);
+  packet.dstCluster = topology_->clusterOf(packet.dstCore);
+  packet.numFlits = config_.packetFlits;
+  packet.bitsPerFlit = config_.flitBits;
+  packet.createdAt = cycle;
+  if (packet.srcCluster != packet.dstCluster) {
+    packet.bandwidthClass = pattern_->bandwidthClass(packet.srcCluster, packet.dstCluster);
+  }
+  queue_.push_back(packet);
+  ++stats_.packetsGenerated;
+}
+
+void CoreNode::injectFlits(Cycle cycle) {
+  if (queue_.empty()) return;
+  const noc::PacketDescriptor& packet = queue_.front();
+  const noc::Flit flit = noc::makeFlit(packet, flitCursor_);
+  if (!router_->canAcceptFlit(config_.localPort, flit)) {
+    if (flit.isHead()) ++stats_.headRetries;  // dropped header, retransmit
+    return;
+  }
+  router_->acceptFlit(config_.localPort, flit, cycle);
+  ++stats_.flitsInjected;
+  ++flitCursor_;
+  if (flitCursor_ >= packet.numFlits) {
+    queue_.pop_front();
+    flitCursor_ = 0;
+  }
+}
+
+void EjectionSink::accept(const noc::Flit& flit, Cycle now) {
+  assert(flit.packet.dstCore == core_ && "flit ejected at the wrong core");
+  ++flitsReceived_;
+  if (flit.isTail()) {
+    ++packetsDelivered_;
+    bitsDelivered_ += flit.packet.totalBits();
+    const Cycle latency = (now >= flit.packet.createdAt) ? now - flit.packet.createdAt : 0;
+    latencySum_ += latency;
+    latencies_.record(latency);
+  }
+}
+
+}  // namespace pnoc::network

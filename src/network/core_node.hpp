@@ -1,0 +1,98 @@
+// A processing core: open-loop packet source with a finite injection queue,
+// plus the ejection sink that terminates packets at their destination.
+//
+// Injection follows the traffic pattern's per-core weight: each cycle the
+// core offers a packet with probability offeredLoad * normalizedWeight; if
+// the injection queue is full the offer is refused (counted — this is how
+// saturation shows up at the sources).  Queued packets are pushed into the
+// core's electrical router one flit per cycle; a head flit that finds every
+// VC busy is dropped and retransmitted the next cycle (Section 1.4),
+// counted as a retry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "noc/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "metrics/histogram.hpp"
+#include "traffic/pattern.hpp"
+
+namespace pnoc::network {
+
+struct CoreStats {
+  std::uint64_t packetsOffered = 0;
+  std::uint64_t packetsRefused = 0;  // injection queue full
+  std::uint64_t packetsGenerated = 0;
+  std::uint64_t headRetries = 0;  // header flit dropped by a full router port
+  std::uint64_t flitsInjected = 0;
+};
+
+class CoreNode final : public sim::Clocked {
+ public:
+  struct Config {
+    CoreId core = 0;
+    double injectionProbability = 0.0;  // per cycle, already weighted
+    std::uint32_t queueCapacityPackets = 8;
+    std::uint32_t packetFlits = 64;
+    Bits flitBits = 32;
+    std::uint32_t localPort = 0;  // router port used for injection
+  };
+
+  CoreNode(const Config& config, const noc::ClusterTopology& topology,
+           const traffic::TrafficPattern& pattern, noc::ElectricalRouter& router,
+           sim::Rng rng, PacketId* nextPacketId);
+
+  void evaluate(Cycle cycle) override;
+  void advance(Cycle cycle) override;
+  std::string name() const override { return "core" + std::to_string(config_.core); }
+
+  const CoreStats& stats() const { return stats_; }
+  std::uint32_t queuedPackets() const { return static_cast<std::uint32_t>(queue_.size()); }
+
+ private:
+  void generate(Cycle cycle);
+  void injectFlits(Cycle cycle);
+
+  Config config_;
+  const noc::ClusterTopology* topology_;
+  const traffic::TrafficPattern* pattern_;
+  noc::ElectricalRouter* router_;
+  sim::Rng rng_;
+  PacketId* nextPacketId_;
+  std::deque<noc::PacketDescriptor> queue_;
+  std::uint32_t flitCursor_ = 0;  // next flit of queue_.front() to inject
+  CoreStats stats_;
+};
+
+/// Terminates packets at the destination core: counts delivered packets,
+/// bits and latency (tail arrival minus creation).
+class EjectionSink final : public noc::FlitSink {
+ public:
+  explicit EjectionSink(CoreId core) : core_(core) {}
+
+  bool canAccept(const noc::Flit&) const override { return true; }
+  void accept(const noc::Flit& flit, Cycle now) override;
+
+  CoreId core() const { return core_; }
+  std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+  Bits bitsDelivered() const { return bitsDelivered_; }
+  std::uint64_t latencyCyclesSum() const { return latencySum_; }
+  std::uint64_t flitsReceived() const { return flitsReceived_; }
+  const metrics::LatencyHistogram& latencies() const { return latencies_; }
+
+ private:
+  CoreId core_;
+  std::uint64_t packetsDelivered_ = 0;
+  Bits bitsDelivered_ = 0;
+  std::uint64_t latencySum_ = 0;
+  std::uint64_t flitsReceived_ = 0;
+  metrics::LatencyHistogram latencies_;
+};
+
+}  // namespace pnoc::network

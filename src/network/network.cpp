@@ -1,0 +1,268 @@
+#include "network/network.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace pnoc::network {
+namespace {
+
+/// Adapts an ElectricalRouter input port to the FlitSink interface so links
+/// can feed it.
+class RouterInputAdapter final : public noc::FlitSink {
+ public:
+  RouterInputAdapter(noc::ElectricalRouter& router, std::uint32_t port)
+      : router_(&router), port_(port) {}
+
+  bool canAccept(const noc::Flit& flit) const override {
+    return router_->canAcceptFlit(port_, flit);
+  }
+  void accept(const noc::Flit& flit, Cycle now) override {
+    router_->acceptFlit(port_, flit, now);
+  }
+
+ private:
+  noc::ElectricalRouter* router_;
+  std::uint32_t port_;
+};
+
+}  // namespace
+
+PhotonicNetwork::PhotonicNetwork(const SimulationParameters& params)
+    : params_(params), topology_(params.numCores, params.clusterSize) {
+  params_.validate();
+  pattern_ = traffic::makePattern(params_.pattern, topology_, params_.bandwidthSet);
+  policy_ = makePolicy(params_, topology_, *pattern_);
+  build();
+}
+
+void PhotonicNetwork::build() {
+  const std::uint32_t clusterSize = params_.clusterSize;
+  const std::uint32_t uplinkPort = clusterSize;  // last router port
+
+  // Peer-port arithmetic for the all-to-all intra-cluster wiring: the link
+  // from local core j lands on port 1 + rank(j) at the receiving router.
+  const auto peerPort = [](std::uint32_t receiverLocal, std::uint32_t senderLocal) {
+    return 1 + (senderLocal < receiverLocal ? senderLocal : senderLocal - 1);
+  };
+
+  // --- electrical routers, one per core ---
+  noc::RouterConfig routerConfig = params_.coreRouter;
+  routerConfig.vcDepthFlits = params_.coreRouter.vcDepthFlits;
+  for (CoreId core = 0; core < params_.numCores; ++core) {
+    const ClusterId cluster = topology_.clusterOf(core);
+    const std::uint32_t local = topology_.localIndex(core);
+    auto route = [this, core, cluster, local, clusterSize,
+                  uplinkPort](const noc::PacketDescriptor& packet) -> std::uint32_t {
+      if (packet.dstCore == core) return 0;
+      if (packet.dstCluster == cluster) {
+        const std::uint32_t dstLocal = topology_.localIndex(packet.dstCore);
+        return 1 + (dstLocal < local ? dstLocal : dstLocal - 1);
+      }
+      // The downlink also lands on uplinkPort; flits arriving there for this
+      // core exit via port 0, handled by the dstCore check above.
+      return uplinkPort;
+    };
+    coreRouters_.push_back(std::make_unique<noc::ElectricalRouter>(
+        "r" + std::to_string(core), routerConfig, route));
+    sinks_.push_back(std::make_unique<EjectionSink>(core));
+  }
+
+  // --- photonic routers, one per cluster ---
+  PhotonicRouterConfig photonicConfig;
+  photonicConfig.clusterSize = clusterSize;
+  photonicConfig.vcsPerPort = params_.coreRouter.vcsPerPort;
+  photonicConfig.vcDepthFlits = params_.coreRouter.vcDepthFlits;
+  photonicConfig.flitBits = params_.bandwidthSet.flitBits;
+  photonicConfig.packetFlits = params_.bandwidthSet.packetFlits;
+  photonicConfig.propagationCycles = params_.photonicPropagationCycles;
+  photonicConfig.lambdasPerWaveguide = photonic::kMaxWavelengthsPerWaveguide;
+  photonicConfig.numDataWaveguides = policy_->numDataWaveguides();
+  photonicConfig.bitsPerLambdaPerCycle =
+      params_.clock.bitsPerCycle(photonic::kBitsPerSecondPerWavelength);
+  photonicConfig.energy = params_.energy;
+  for (ClusterId cluster = 0; cluster < topology_.numClusters(); ++cluster) {
+    photonicConfig.cluster = cluster;
+    photonicRouters_.push_back(std::make_unique<PhotonicRouter>(
+        "p" + std::to_string(cluster), photonicConfig, *policy_));
+  }
+  std::vector<PhotonicRouter*> peers;
+  for (auto& router : photonicRouters_) peers.push_back(router.get());
+  for (auto& router : photonicRouters_) router->setPeers(peers);
+
+  // --- wiring ---
+  for (CoreId core = 0; core < params_.numCores; ++core) {
+    const ClusterId cluster = topology_.clusterOf(core);
+    const std::uint32_t local = topology_.localIndex(core);
+    noc::ElectricalRouter& router = *coreRouters_[core];
+
+    // Port 0: local ejection.
+    router.connectOutput(0, *sinks_[core]);
+
+    // Ports 1..clusterSize-1: links to intra-cluster peers.
+    for (std::uint32_t peerLocal = 0; peerLocal < clusterSize; ++peerLocal) {
+      if (peerLocal == local) continue;
+      const CoreId peerCore = topology_.coreAt(cluster, peerLocal);
+      adapters_.push_back(std::make_unique<RouterInputAdapter>(
+          *coreRouters_[peerCore], peerPort(peerLocal, local)));
+      links_.push_back(std::make_unique<noc::Link>(
+          "l" + std::to_string(core) + "-" + std::to_string(peerCore),
+          params_.intraClusterLinkLatency, params_.linkEnergyPerBitPj,
+          *adapters_.back()));
+      router.connectOutput(peerPort(local, peerLocal), *links_.back());
+    }
+
+    // Uplink to the photonic router.
+    links_.push_back(std::make_unique<noc::Link>(
+        "up" + std::to_string(core), params_.intraClusterLinkLatency,
+        params_.linkEnergyPerBitPj, photonicRouters_[cluster]->inputPort(local)));
+    router.connectOutput(uplinkPort, *links_.back());
+
+    // Downlink from the photonic router into this router's uplink port.
+    adapters_.push_back(std::make_unique<RouterInputAdapter>(router, uplinkPort));
+    links_.push_back(std::make_unique<noc::Link>(
+        "down" + std::to_string(core), params_.intraClusterLinkLatency,
+        params_.linkEnergyPerBitPj, *adapters_.back()));
+    photonicRouters_[cluster]->connectEjection(local, *links_.back());
+  }
+
+  // --- cores ---
+  const double totalWeight = [this] {
+    double sum = 0.0;
+    for (CoreId core = 0; core < params_.numCores; ++core) {
+      sum += pattern_->sourceWeight(core);
+    }
+    return sum;
+  }();
+  if (totalWeight <= 0.0) throw std::invalid_argument("pattern weights sum to zero");
+  sim::Rng seeder(params_.seed);
+  for (CoreId core = 0; core < params_.numCores; ++core) {
+    CoreNode::Config config;
+    config.core = core;
+    config.queueCapacityPackets = params_.injectionQueuePackets;
+    config.packetFlits = params_.bandwidthSet.packetFlits;
+    config.flitBits = params_.bandwidthSet.flitBits;
+    config.localPort = 0;
+    const double normalized =
+        pattern_->sourceWeight(core) * params_.numCores / totalWeight;
+    config.injectionProbability = std::min(1.0, params_.offeredLoad * normalized);
+    cores_.push_back(std::make_unique<CoreNode>(config, topology_, *pattern_,
+                                                *coreRouters_[core], seeder.split(),
+                                                &nextPacketId_));
+  }
+
+  // --- engine registration (deterministic order) ---
+  policy_->attachTo(engine_);
+  for (auto& router : photonicRouters_) engine_.add(*router);
+  for (auto& router : coreRouters_) engine_.add(*router);
+  for (auto& link : links_) engine_.add(*link);
+  for (auto& core : cores_) engine_.add(*core);
+}
+
+void PhotonicNetwork::step(Cycle cycles) { engine_.run(cycles); }
+
+PhotonicNetwork::Totals PhotonicNetwork::collectTotals() const {
+  Totals totals;
+  for (const auto& sink : sinks_) {
+    totals.packetsDelivered += sink->packetsDelivered();
+    totals.bitsDelivered += sink->bitsDelivered();
+    totals.latencySum += sink->latencyCyclesSum();
+    totals.latency += sink->latencies();
+  }
+  for (const auto& core : cores_) {
+    const CoreStats& stats = core->stats();
+    totals.packetsOffered += stats.packetsOffered;
+    totals.packetsRefused += stats.packetsRefused;
+    totals.packetsGenerated += stats.packetsGenerated;
+    totals.headRetries += stats.headRetries;
+  }
+  for (const auto& router : coreRouters_) {
+    totals.electricalRouterPj += router->stats().energyPj;
+  }
+  for (const auto& link : links_) totals.linkPj += link->stats().energyPj;
+  for (const auto& router : photonicRouters_) {
+    totals.reservationsIssued += router->stats().reservationsIssued;
+    totals.reservationFailures += router->stats().reservationFailures;
+    totals.transferLedger += router->transferLedger();
+    const noc::BufferStats buffers = router->bufferStats();
+    totals.photonicBufferBitsWritten += buffers.bitsWritten;
+    totals.photonicBufferBitCycles += buffers.bitCyclesResident;
+  }
+  return totals;
+}
+
+metrics::RunMetrics PhotonicNetwork::diffToMetrics(const Totals& before,
+                                                   const Totals& after,
+                                                   Cycle cycles) const {
+  metrics::RunMetrics m;
+  m.measuredCycles = cycles;
+  m.measuredSeconds = params_.clock.toSeconds(cycles);
+  m.packetsDelivered = after.packetsDelivered - before.packetsDelivered;
+  m.bitsDelivered = after.bitsDelivered - before.bitsDelivered;
+  m.latencyCyclesSum = after.latencySum - before.latencySum;
+  m.latency = after.latency.since(before.latency);
+  m.packetsOffered = after.packetsOffered - before.packetsOffered;
+  m.packetsRefused = after.packetsRefused - before.packetsRefused;
+  m.packetsGenerated = after.packetsGenerated - before.packetsGenerated;
+  m.headRetries = after.headRetries - before.headRetries;
+  m.reservationsIssued = after.reservationsIssued - before.reservationsIssued;
+  m.reservationFailures = after.reservationFailures - before.reservationFailures;
+
+  using photonic::EnergyCategory;
+  m.ledger.add(EnergyCategory::kElectricalRouter,
+               after.electricalRouterPj - before.electricalRouterPj);
+  m.ledger.add(EnergyCategory::kElectricalLink, after.linkPj - before.linkPj);
+  for (const EnergyCategory category :
+       {EnergyCategory::kLaunch, EnergyCategory::kModulation, EnergyCategory::kTuning}) {
+    m.ledger.add(category,
+                 after.transferLedger.of(category) - before.transferLedger.of(category));
+  }
+  // Photonic buffer energy (eq. (4)'s Ebuffer): access energy per bit written
+  // plus the congestion-sensitive hold term per bit-cycle of residency.
+  const double bufferPj =
+      params_.energy.bufferPjPerBit *
+          static_cast<double>(after.photonicBufferBitsWritten -
+                              before.photonicBufferBitsWritten) +
+      params_.energy.bufferHoldPjPerBitCycle *
+          static_cast<double>(after.photonicBufferBitCycles -
+                              before.photonicBufferBitCycles);
+  m.ledger.add(EnergyCategory::kPhotonicBuffer, bufferPj);
+  // Static laser power amortized over the window (both architectures light
+  // the same aggregate wavelength budget).
+  const double laserPj = params_.energy.laserPowerMwPerWavelength *
+                         params_.bandwidthSet.totalWavelengths * m.measuredSeconds * 1e9;
+  m.ledger.add(EnergyCategory::kLaunch, laserPj);
+  return m;
+}
+
+metrics::RunMetrics PhotonicNetwork::run() {
+  if (ran_) throw std::logic_error("PhotonicNetwork::run() may only be called once");
+  ran_ = true;
+  engine_.run(params_.warmupCycles);
+  const Totals before = collectTotals();
+  engine_.run(params_.measureCycles);
+  const Totals after = collectTotals();
+  return diffToMetrics(before, after, params_.measureCycles);
+}
+
+std::uint64_t PhotonicNetwork::totalFlitsInjected() const {
+  std::uint64_t total = 0;
+  for (const auto& core : cores_) total += core->stats().flitsInjected;
+  return total;
+}
+
+std::uint64_t PhotonicNetwork::totalFlitsEjected() const {
+  std::uint64_t total = 0;
+  for (const auto& sink : sinks_) total += sink->flitsReceived();
+  return total;
+}
+
+std::uint64_t PhotonicNetwork::occupancy() const {
+  std::uint64_t total = 0;
+  for (const auto& router : coreRouters_) total += router->occupancy();
+  for (const auto& router : photonicRouters_) total += router->occupancy();
+  for (const auto& link : links_) total += link->occupancy();
+  return total;
+}
+
+}  // namespace pnoc::network

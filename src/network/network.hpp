@@ -1,0 +1,108 @@
+// Full-system assembly and the library's top-level simulation API.
+//
+// The PhotonicNetwork wires up, per Figure 3-1:
+//   * 64 cores in 16 clusters of 4 (Table 3-3),
+//   * per-core 5-port electrical routers with all-to-all copper links inside
+//     each cluster (Section 3.1) plus an uplink/downlink pair to the
+//     cluster's photonic router,
+//   * 16 photonic routers joined by the SWMR photonic crossbar, with the
+//     channel-allocation policy (Firefly static / d-HetPNoC token DBA)
+//     injected as a strategy object,
+// and runs warmup + measurement windows, returning RunMetrics with the
+// paper's quantities (delivered bandwidth, packet energy decomposition,
+// congestion counters).
+//
+// Typical use:
+//   SimulationParameters params;
+//   params.architecture = Architecture::kDhetpnoc;
+//   params.pattern = "skewed3";
+//   params.offeredLoad = 0.004;
+//   PhotonicNetwork net(params);
+//   metrics::RunMetrics m = net.run();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "network/channel_policy.hpp"
+#include "network/core_node.hpp"
+#include "network/params.hpp"
+#include "network/photonic_router.hpp"
+#include "noc/link.hpp"
+#include "noc/router.hpp"
+#include "noc/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace pnoc::network {
+
+class PhotonicNetwork {
+ public:
+  explicit PhotonicNetwork(const SimulationParameters& params);
+
+  /// Runs warmup then the measurement window; returns window metrics.
+  /// May be called once per network instance.
+  metrics::RunMetrics run();
+
+  /// Steps the engine manually (examples/tests); not to be mixed with run().
+  void step(Cycle cycles);
+
+  const SimulationParameters& params() const { return params_; }
+  const noc::ClusterTopology& topology() const { return topology_; }
+  const traffic::TrafficPattern& pattern() const { return *pattern_; }
+  ChannelPolicy& policy() { return *policy_; }
+  const PhotonicRouter& photonicRouter(ClusterId cluster) const {
+    return *photonicRouters_[cluster];
+  }
+  sim::Engine& engine() { return engine_; }
+
+  /// Total flits currently buffered anywhere in the system.
+  std::uint64_t occupancy() const;
+
+  /// Flits injected by all cores / ejected at all sinks since construction
+  /// (conservation invariant: injected == ejected + occupancy()).
+  std::uint64_t totalFlitsInjected() const;
+  std::uint64_t totalFlitsEjected() const;
+
+ private:
+  struct Totals {
+    std::uint64_t packetsDelivered = 0;
+    Bits bitsDelivered = 0;
+    std::uint64_t latencySum = 0;
+    metrics::LatencyHistogram latency;
+    std::uint64_t packetsOffered = 0;
+    std::uint64_t packetsRefused = 0;
+    std::uint64_t packetsGenerated = 0;
+    std::uint64_t headRetries = 0;
+    std::uint64_t reservationsIssued = 0;
+    std::uint64_t reservationFailures = 0;
+    double electricalRouterPj = 0.0;
+    double linkPj = 0.0;
+    photonic::EnergyLedger transferLedger;
+    Bits photonicBufferBitsWritten = 0;
+    std::uint64_t photonicBufferBitCycles = 0;
+  };
+
+  void build();
+  Totals collectTotals() const;
+  metrics::RunMetrics diffToMetrics(const Totals& before, const Totals& after,
+                                    Cycle cycles) const;
+
+  SimulationParameters params_;
+  noc::ClusterTopology topology_;
+  std::unique_ptr<traffic::TrafficPattern> pattern_;
+  std::unique_ptr<ChannelPolicy> policy_;
+  sim::Engine engine_;
+  PacketId nextPacketId_ = 0;
+  bool ran_ = false;
+
+  std::vector<std::unique_ptr<noc::ElectricalRouter>> coreRouters_;
+  std::vector<std::unique_ptr<PhotonicRouter>> photonicRouters_;
+  /// Link->router-port adapters; must outlive links_.
+  std::vector<std::unique_ptr<noc::FlitSink>> adapters_;
+  std::vector<std::unique_ptr<noc::Link>> links_;
+  std::vector<std::unique_ptr<CoreNode>> cores_;
+  std::vector<std::unique_ptr<EjectionSink>> sinks_;
+};
+
+}  // namespace pnoc::network

@@ -1,0 +1,217 @@
+#include "network/photonic_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "network/channel_policy.hpp"
+
+namespace pnoc::network {
+
+PhotonicRouter::PhotonicRouter(std::string name, const PhotonicRouterConfig& config,
+                               const ChannelPolicy& policy)
+    : name_(std::move(name)),
+      config_(config),
+      policy_(&policy),
+      receiveBank_(config.vcsPerPort, config.vcDepthFlits),
+      receiveBindings_(config.vcsPerPort),
+      ejection_(config.clusterSize, nullptr),
+      ejectionRoundRobin_(config.clusterSize, 0) {
+  assert(config.vcDepthFlits >= config.packetFlits &&
+         "a receive VC must hold a whole packet");
+  ingress_.reserve(config.clusterSize);
+  for (std::uint32_t i = 0; i < config.clusterSize; ++i) {
+    ingress_.emplace_back(config.vcsPerPort, config.vcDepthFlits);
+  }
+}
+
+void PhotonicRouter::setPeers(std::vector<PhotonicRouter*> peers) {
+  peers_ = std::move(peers);
+}
+
+void PhotonicRouter::connectEjection(std::uint32_t localIndex, noc::FlitSink& sink) {
+  assert(localIndex < ejection_.size());
+  ejection_[localIndex] = &sink;
+}
+
+noc::FlitSink& PhotonicRouter::inputPort(std::uint32_t localIndex) {
+  assert(localIndex < ingress_.size());
+  return ingress_[localIndex];
+}
+
+VcId PhotonicRouter::tryReserveReceiveVc(PacketId packet, CoreId dstCore) {
+  const VcId vc = receiveBank_.findFreeVcForNewPacket();
+  if (vc == kNoVc) return kNoVc;
+  receiveBank_.lock(vc);
+  receiveBindings_[vc] = ReceiveBinding{true, packet, dstCore};
+  return vc;
+}
+
+void PhotonicRouter::scheduleArrival(VcId vc, const noc::Flit& flit, Cycle arriveAt) {
+  assert(vc < receiveBindings_.size() && receiveBindings_[vc].bound);
+  assert(receiveBindings_[vc].packet == flit.packet.id);
+  inFlight_.push_back(PendingArrival{vc, flit, arriveAt});
+}
+
+void PhotonicRouter::evaluate(Cycle) {
+  // All state the router mutates is either its own or a peer's receive-VC
+  // reservation, which is inherently sequential (the token of contention is
+  // the VC lock itself); work happens in advance() in deterministic engine
+  // order, so a two-phase split is unnecessary here.
+}
+
+void PhotonicRouter::advance(Cycle cycle) {
+  processArrivals(cycle);
+  runEjection(cycle);
+  runTransmit(cycle);
+}
+
+void PhotonicRouter::processArrivals(Cycle cycle) {
+  auto due = [cycle](const PendingArrival& a) { return a.arriveAt <= cycle; };
+  // Deliver due flits in scheduling order (FIFO per VC by construction).
+  for (const PendingArrival& arrival : inFlight_) {
+    if (!due(arrival)) continue;
+    auto& vc = receiveBank_.vc(arrival.vc);
+    assert(!vc.full() && "receive VC sized to a whole packet cannot overflow");
+    vc.push(arrival.flit, cycle);
+  }
+  inFlight_.erase(std::remove_if(inFlight_.begin(), inFlight_.end(), due), inFlight_.end());
+}
+
+void PhotonicRouter::runEjection(Cycle cycle) {
+  // Per-core ejection engines: each local core's down link can take one flit
+  // per cycle; round-robin over the receive VCs bound to that core.
+  for (std::uint32_t core = 0; core < ejection_.size(); ++core) {
+    noc::FlitSink* sink = ejection_[core];
+    if (sink == nullptr) continue;
+    const std::uint32_t numVcs = receiveBank_.numVcs();
+    for (std::uint32_t offset = 0; offset < numVcs; ++offset) {
+      const VcId vc = (ejectionRoundRobin_[core] + offset) % numVcs;
+      const ReceiveBinding& binding = receiveBindings_[vc];
+      if (!binding.bound || receiveBank_.vc(vc).empty()) continue;
+      // Bindings are per destination core; skip packets for other cores.
+      if (binding.dstCore % ejection_.size() != core) continue;
+      const noc::Flit& front = receiveBank_.vc(vc).front();
+      if (!sink->canAccept(front)) continue;
+      const noc::Flit flit = receiveBank_.vc(vc).pop(cycle);
+      if (flit.isTail()) {
+        receiveBank_.unlock(vc);
+        receiveBindings_[vc].bound = false;
+      }
+      sink->accept(flit, cycle);
+      ejectionRoundRobin_[core] = (vc + 1) % numVcs;
+      break;  // one flit per core per cycle
+    }
+  }
+}
+
+void PhotonicRouter::chargeReservationEnergy(std::uint32_t identifierCount) {
+  const Bits bits = config_.reservationHeaderBits +
+                    core::identifierPayloadBits(identifierCount, config_.numDataWaveguides);
+  photonic::chargePhotonicTransfer(ledger_, config_.energy, bits);
+}
+
+bool PhotonicRouter::tryStartTransmission(Cycle) {
+  const std::uint32_t ports = static_cast<std::uint32_t>(ingress_.size());
+  const std::uint32_t vcs = config_.vcsPerPort;
+  const std::uint32_t slots = ports * vcs;
+  for (std::uint32_t offset = 0; offset < slots; ++offset) {
+    const std::uint32_t slot = (txScanPort_ * vcs + txScanVc_ + offset) % slots;
+    const std::uint32_t port = slot / vcs;
+    const VcId vc = slot % vcs;
+    const auto& channel = ingress_[port].bank().vc(vc);
+    if (channel.empty() || !channel.front().isHead()) continue;
+    const noc::PacketDescriptor& packet = channel.front().packet;
+    assert(packet.dstCluster != config_.cluster &&
+           "intra-cluster packets must not reach the photonic router");
+    const std::uint32_t lambdas = policy_->lambdasFor(config_.cluster, packet.dstCluster);
+    if (lambdas == 0) continue;  // policy temporarily grants nothing
+    PhotonicRouter* peer = peers_[packet.dstCluster];
+    ++stats_.reservationsIssued;
+    const VcId remoteVc = peer->tryReserveReceiveVc(packet.id, packet.dstCore);
+    if (remoteVc == kNoVc) {
+      // All destination VCs busy: the header is dropped and retransmitted
+      // later (Section 1.4), modeled as a failed reservation retried on a
+      // subsequent cycle.
+      ++stats_.reservationFailures;
+      continue;
+    }
+    tx_.active = true;
+    tx_.inPort = port;
+    tx_.inVc = vc;
+    tx_.packet = packet;
+    tx_.remoteVc = remoteVc;
+    tx_.lambdas = lambdas;
+    const std::uint32_t identifiers =
+        policy_->maxReservationIdentifiers() == 0 ? 0 : lambdas;
+    const double channelBitsPerCycle =
+        static_cast<double>(config_.lambdasPerWaveguide) * config_.bitsPerLambdaPerCycle;
+    const double idBits = core::identifierPayloadBits(identifiers, config_.numDataWaveguides);
+    // The selection cycle itself carries the base reservation flit (as in
+    // Firefly); only identifier payload beyond one channel-cycle adds wait
+    // states (Section 3.4.1.1's 2-cycle case for BW set 3).
+    tx_.reservationRemaining =
+        std::max<Cycle>(1, static_cast<Cycle>(std::ceil(idBits / channelBitsPerCycle))) - 1;
+    tx_.creditBits = 0.0;
+    chargeReservationEnergy(identifiers);
+    txScanPort_ = (slot + 1) / vcs % ports;
+    txScanVc_ = (slot + 1) % vcs;
+    return true;
+  }
+  return false;
+}
+
+void PhotonicRouter::runTransmit(Cycle cycle) {
+  if (!tx_.active) {
+    tryStartTransmission(cycle);
+    return;  // reservation occupies at least this cycle
+  }
+  ++stats_.transmitBusyCycles;
+  if (tx_.reservationRemaining > 0) {
+    --tx_.reservationRemaining;
+    ++stats_.reservationCyclesSpent;
+    return;
+  }
+  // Stream data: the channel moves lambdas * 5 bits per cycle.
+  tx_.creditBits += static_cast<double>(tx_.lambdas) * config_.bitsPerLambdaPerCycle;
+  auto& channel = ingress_[tx_.inPort].bank().vc(tx_.inVc);
+  bool sentTail = false;
+  while (!channel.empty() && tx_.creditBits >= static_cast<double>(config_.flitBits)) {
+    assert(channel.front().packet.id == tx_.packet.id && "VC lock violated");
+    const noc::Flit flit = ingress_[tx_.inPort].pop(tx_.inVc, cycle);
+    tx_.creditBits -= static_cast<double>(flit.bits());
+    photonic::chargePhotonicTransfer(ledger_, config_.energy, flit.bits());
+    stats_.bitsTransmitted += flit.bits();
+    peers_[tx_.packet.dstCluster]->scheduleArrival(tx_.remoteVc, flit,
+                                                   cycle + config_.propagationCycles);
+    if (flit.isTail()) {
+      sentTail = true;
+      break;
+    }
+  }
+  if (sentTail) {
+    ++stats_.packetsTransmitted;
+    tx_ = Transmission{};
+  } else if (channel.empty()) {
+    // Wormhole bubble: the source core has not yet delivered the next flit.
+    // The wavelengths idle; unspent capacity cannot be banked.
+    tx_.creditBits = 0.0;
+  }
+}
+
+noc::BufferStats PhotonicRouter::bufferStats() const {
+  noc::BufferStats total;
+  for (const auto& port : ingress_) total += port.bank().aggregateStats();
+  total += receiveBank_.aggregateStats();
+  return total;
+}
+
+std::uint32_t PhotonicRouter::occupancy() const {
+  std::uint32_t total = 0;
+  for (const auto& port : ingress_) total += port.bank().totalOccupancy();
+  total += receiveBank_.totalOccupancy();
+  total += static_cast<std::uint32_t>(inFlight_.size());
+  return total;
+}
+
+}  // namespace pnoc::network

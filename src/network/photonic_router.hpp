@@ -1,0 +1,147 @@
+// The photonic router of one cluster (paper Section 3.3.2, Figure 3-2).
+//
+// Electrical side: one buffered ingress port per core of the cluster (fed by
+// the cores' uplink wires) and one ejection path per core (a down link back
+// to the core's electrical router).
+//
+// Photonic side, implementing the reservation-assisted SWMR flow control of
+// Section 3.3.1:
+//   1. TRANSMIT — the router arbitrates round-robin over buffered
+//      inter-cluster head flits; for the chosen packet it asks the channel
+//      policy how many wavelengths the (src,dst) pair may use, broadcasts a
+//      reservation flit (latency from core::reservationCycles — 1 cycle, or
+//      2 when many identifiers must be piggybacked), and — if the destination
+//      has a free receive VC — streams the packet at
+//      lambdas * 5 bits/cycle.  If the destination has no free VC the
+//      reservation fails and is retried: the drop-and-retransmit behaviour of
+//      Section 1.4, counted in the stats.
+//   2. RECEIVE — reserved receive VCs accept the in-flight flits after the
+//      waveguide propagation delay; per-core ejection engines drain them
+//      toward the destination cores' routers.
+// One transmission is in flight per write channel at a time (SWMR: the
+// cluster owns a single write channel whose width the DBA varies).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/reservation.hpp"
+#include "noc/buffered_port.hpp"
+#include "noc/flit.hpp"
+#include "noc/topology.hpp"
+#include "photonic/energy_model.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::network {
+
+class ChannelPolicy;
+
+struct PhotonicRouterConfig {
+  ClusterId cluster = 0;
+  std::uint32_t clusterSize = 4;
+  std::uint32_t vcsPerPort = 16;    // Table 3-3
+  std::uint32_t vcDepthFlits = 64;  // Table 3-3
+  Bits flitBits = 32;
+  std::uint32_t packetFlits = 64;
+  Cycle propagationCycles = 1;
+  std::uint32_t lambdasPerWaveguide = 64;
+  std::uint32_t numDataWaveguides = 1;
+  double bitsPerLambdaPerCycle = 5.0;  // 12.5 Gb/s at 2.5 GHz
+  std::uint32_t reservationHeaderBits = 16;  // dst id + packet size
+  photonic::EnergyParams energy{};
+};
+
+struct PhotonicRouterStats {
+  std::uint64_t reservationsIssued = 0;
+  std::uint64_t reservationFailures = 0;  // destination had no free VC
+  std::uint64_t packetsTransmitted = 0;
+  Bits bitsTransmitted = 0;
+  std::uint64_t transmitBusyCycles = 0;
+  std::uint64_t reservationCyclesSpent = 0;
+};
+
+class PhotonicRouter final : public sim::Clocked {
+ public:
+  PhotonicRouter(std::string name, const PhotonicRouterConfig& config,
+                 const ChannelPolicy& policy);
+
+  /// Wiring: peers[c] is cluster c's photonic router (peers[self] unused).
+  void setPeers(std::vector<PhotonicRouter*> peers);
+  /// Wiring: down link delivering ejected flits to local core `localIndex`.
+  void connectEjection(std::uint32_t localIndex, noc::FlitSink& sink);
+
+  /// Electrical ingress from local core `localIndex`'s uplink.
+  noc::FlitSink& inputPort(std::uint32_t localIndex);
+
+  // --- remote-side API (called by the source router during its advance) ---
+  /// Reserves a free receive VC for an incoming packet; returns kNoVc when
+  /// none is available (reservation failure at the source).
+  VcId tryReserveReceiveVc(PacketId packet, CoreId dstCore);
+  /// Schedules a flit to arrive into a previously reserved receive VC.
+  void scheduleArrival(VcId vc, const noc::Flit& flit, Cycle arriveAt);
+
+  // sim::Clocked
+  void evaluate(Cycle cycle) override;
+  void advance(Cycle cycle) override;
+  std::string name() const override { return name_; }
+
+  const PhotonicRouterStats& stats() const { return stats_; }
+  const photonic::EnergyLedger& transferLedger() const { return ledger_; }
+  /// Aggregated buffer statistics over ingress and receive banks (the
+  /// photonic-buffer term of eq. (4) is priced from these).
+  noc::BufferStats bufferStats() const;
+  std::uint32_t occupancy() const;
+
+ private:
+  struct Transmission {
+    bool active = false;
+    std::uint32_t inPort = 0;
+    VcId inVc = kNoVc;
+    noc::PacketDescriptor packet;
+    VcId remoteVc = kNoVc;
+    std::uint32_t lambdas = 0;
+    Cycle reservationRemaining = 0;
+    double creditBits = 0.0;
+  };
+
+  struct PendingArrival {
+    VcId vc;
+    noc::Flit flit;
+    Cycle arriveAt;
+  };
+
+  struct ReceiveBinding {
+    bool bound = false;
+    PacketId packet = 0;
+    CoreId dstCore = 0;
+  };
+
+  void processArrivals(Cycle cycle);
+  void runEjection(Cycle cycle);
+  void runTransmit(Cycle cycle);
+  bool tryStartTransmission(Cycle cycle);
+  void chargeReservationEnergy(std::uint32_t identifierCount);
+
+  std::string name_;
+  PhotonicRouterConfig config_;
+  const ChannelPolicy* policy_;
+  std::vector<noc::BufferedPort> ingress_;  // one per local core
+  noc::VcBufferBank receiveBank_;
+  std::vector<ReceiveBinding> receiveBindings_;
+  std::vector<PendingArrival> inFlight_;
+  std::vector<PhotonicRouter*> peers_;
+  std::vector<noc::FlitSink*> ejection_;  // one per local core
+  std::vector<VcId> ejectionRoundRobin_;  // per-core RR pointer over receive VCs
+  Transmission tx_;
+  std::uint32_t txScanPort_ = 0;  // RR over (port, vc) candidates
+  std::uint32_t txScanVc_ = 0;
+  PhotonicRouterStats stats_;
+  photonic::EnergyLedger ledger_;
+};
+
+}  // namespace pnoc::network

@@ -1,0 +1,66 @@
+#include "noc/arbiter.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pnoc::noc {
+
+RoundRobinArbiter::RoundRobinArbiter(std::uint32_t size) : size_(size) {
+  assert(size > 0);
+}
+
+std::uint32_t RoundRobinArbiter::grant(const std::vector<bool>& requests) {
+  assert(requests.size() == size_);
+  for (std::uint32_t offset = 0; offset < size_; ++offset) {
+    const std::uint32_t candidate = (nextPriority_ + offset) % size_;
+    if (requests[candidate]) {
+      nextPriority_ = (candidate + 1) % size_;
+      return candidate;
+    }
+  }
+  return kNoGrant;
+}
+
+MatrixArbiter::MatrixArbiter(std::uint32_t size)
+    : size_(size), matrix_(static_cast<std::size_t>(size) * size, false) {
+  assert(size > 0);
+  // Initial priority: lower index beats higher index.
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    for (std::uint32_t j = i + 1; j < size_; ++j) matrix_[i * size_ + j] = true;
+  }
+}
+
+std::uint32_t MatrixArbiter::grant(const std::vector<bool>& requests) {
+  assert(requests.size() == size_);
+  std::uint32_t winner = kNoGrant;
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    if (!requests[i]) continue;
+    bool dominated = false;
+    for (std::uint32_t j = 0; j < size_; ++j) {
+      if (j != i && requests[j] && beats(j, i)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      winner = i;
+      break;
+    }
+  }
+  if (winner != kNoGrant) {
+    // Winner drops below everyone: clear its row, set its column.
+    for (std::uint32_t j = 0; j < size_; ++j) {
+      matrix_[winner * size_ + j] = false;
+      if (j != winner) matrix_[j * size_ + winner] = true;
+    }
+  }
+  return winner;
+}
+
+std::unique_ptr<Arbiter> makeArbiter(const std::string& kind, std::uint32_t size) {
+  if (kind == "round-robin") return std::make_unique<RoundRobinArbiter>(size);
+  if (kind == "matrix") return std::make_unique<MatrixArbiter>(size);
+  throw std::invalid_argument("unknown arbiter kind: '" + kind + "'");
+}
+
+}  // namespace pnoc::noc

@@ -1,0 +1,68 @@
+// Arbiters for the 3-stage router of [24] (input arbitration, routing,
+// output arbitration — paper Section 3.3.2).
+//
+// Two classic designs:
+//  * RoundRobinArbiter — rotating priority; starvation free, O(n) grant.
+//  * MatrixArbiter     — least-recently-served priority matrix; fairer under
+//                        asymmetric request rates, O(n^2) state.
+// Both expose the same interface so the router can be instantiated with
+// either (the ablation benches compare them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pnoc::noc {
+
+/// Sentinel meaning "no requestor granted".
+inline constexpr std::uint32_t kNoGrant = ~std::uint32_t{0};
+
+class Arbiter {
+ public:
+  virtual ~Arbiter() = default;
+
+  /// Number of requestors this arbiter serves.
+  virtual std::uint32_t size() const = 0;
+
+  /// Grants one of the requesting inputs (requests[i] == true) and updates
+  /// internal priority state. Returns kNoGrant if nothing is requesting.
+  virtual std::uint32_t grant(const std::vector<bool>& requests) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class RoundRobinArbiter final : public Arbiter {
+ public:
+  explicit RoundRobinArbiter(std::uint32_t size);
+
+  std::uint32_t size() const override { return size_; }
+  std::uint32_t grant(const std::vector<bool>& requests) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::uint32_t size_;
+  std::uint32_t nextPriority_ = 0;  // index searched first
+};
+
+class MatrixArbiter final : public Arbiter {
+ public:
+  explicit MatrixArbiter(std::uint32_t size);
+
+  std::uint32_t size() const override { return size_; }
+  std::uint32_t grant(const std::vector<bool>& requests) override;
+  std::string name() const override { return "matrix"; }
+
+ private:
+  /// matrix_[i][j] == true means i has priority over j.
+  bool beats(std::uint32_t i, std::uint32_t j) const { return matrix_[i * size_ + j]; }
+  std::uint32_t size_;
+  std::vector<bool> matrix_;
+};
+
+/// Factory by name ("round-robin" | "matrix"); throws std::invalid_argument
+/// on unknown names.
+std::unique_ptr<Arbiter> makeArbiter(const std::string& kind, std::uint32_t size);
+
+}  // namespace pnoc::noc

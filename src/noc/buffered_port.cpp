@@ -1,0 +1,38 @@
+#include "noc/buffered_port.hpp"
+
+#include <cassert>
+
+namespace pnoc::noc {
+
+BufferedPort::BufferedPort(std::uint32_t numVcs, std::uint32_t depthFlits)
+    : bank_(numVcs, depthFlits) {}
+
+bool BufferedPort::canAccept(const Flit& flit) const {
+  if (flit.isHead()) return bank_.findFreeVcForNewPacket() != kNoVc;
+  const auto it = receivingVc_.find(flit.packet.id);
+  if (it == receivingVc_.end()) return false;
+  return !bank_.vc(it->second).full();
+}
+
+void BufferedPort::accept(const Flit& flit, Cycle now) {
+  assert(canAccept(flit));
+  VcId vc = kNoVc;
+  if (flit.isHead()) {
+    vc = bank_.findFreeVcForNewPacket();
+    bank_.lock(vc);
+    if (!flit.isTail()) receivingVc_[flit.packet.id] = vc;
+  } else {
+    const auto it = receivingVc_.find(flit.packet.id);
+    vc = it->second;
+    if (flit.isTail()) receivingVc_.erase(it);
+  }
+  bank_.vc(vc).push(flit, now);
+}
+
+Flit BufferedPort::pop(VcId vc, Cycle now) {
+  Flit flit = bank_.vc(vc).pop(now);
+  if (flit.isTail()) bank_.unlock(vc);
+  return flit;
+}
+
+}  // namespace pnoc::noc

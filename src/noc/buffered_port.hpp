@@ -1,0 +1,35 @@
+// A buffered ingress port: a FlitSink backed by a VC bank with wormhole
+// VC-per-packet allocation.  Head flits claim a free unlocked VC (locked
+// until the tail is *popped* by the consumer); body/tail flits follow their
+// packet's VC.  Used for the electrical ingress and photonic receive sides
+// of the photonic router.
+#pragma once
+
+#include <map>
+
+#include "noc/router.hpp"
+#include "noc/vc_buffer.hpp"
+
+namespace pnoc::noc {
+
+class BufferedPort final : public FlitSink {
+ public:
+  BufferedPort(std::uint32_t numVcs, std::uint32_t depthFlits);
+
+  // FlitSink
+  bool canAccept(const Flit& flit) const override;
+  void accept(const Flit& flit, Cycle now) override;
+
+  VcBufferBank& bank() { return bank_; }
+  const VcBufferBank& bank() const { return bank_; }
+
+  /// Consumer side: pops the front flit of `vc`; unlocks the VC when the
+  /// popped flit is a tail.
+  Flit pop(VcId vc, Cycle now);
+
+ private:
+  VcBufferBank bank_;
+  std::map<PacketId, VcId> receivingVc_;
+};
+
+}  // namespace pnoc::noc

@@ -1,0 +1,35 @@
+#include "noc/crossbar.hpp"
+
+#include <cassert>
+
+namespace pnoc::noc {
+
+Crossbar::Crossbar(std::uint32_t numInputs, std::uint32_t numOutputs)
+    : numInputs_(numInputs),
+      numOutputs_(numOutputs),
+      inputToOutput_(numInputs, kUnconnected),
+      outputToInput_(numOutputs, kUnconnected) {
+  assert(numInputs > 0 && numOutputs > 0);
+}
+
+void Crossbar::reset() {
+  std::fill(inputToOutput_.begin(), inputToOutput_.end(), kUnconnected);
+  std::fill(outputToInput_.begin(), outputToInput_.end(), kUnconnected);
+}
+
+void Crossbar::connect(std::uint32_t input, std::uint32_t output) {
+  assert(input < numInputs_ && output < numOutputs_);
+  assert(!inputBusy(input) && "crossbar input already connected this cycle");
+  assert(!outputBusy(output) && "crossbar output already connected this cycle");
+  inputToOutput_[input] = output;
+  outputToInput_[output] = input;
+}
+
+void Crossbar::traverse(std::uint32_t input, const Flit& flit) {
+  assert(input < numInputs_);
+  assert(inputBusy(input) && "traverse without an established connection");
+  bitsSwitched_ += flit.bits();
+  ++flitsSwitched_;
+}
+
+}  // namespace pnoc::noc

@@ -1,0 +1,49 @@
+// Switch fabric of a router: connects input ports to output ports for one
+// cycle at a time and accounts traversal energy (Erouter of Table 3-5 is
+// charged per bit moved through the electrical router, switch included).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::noc {
+
+class Crossbar {
+ public:
+  Crossbar(std::uint32_t numInputs, std::uint32_t numOutputs);
+
+  std::uint32_t numInputs() const { return numInputs_; }
+  std::uint32_t numOutputs() const { return numOutputs_; }
+
+  /// Clears all connections (start of a new cycle).
+  void reset();
+
+  /// Connects input -> output for this cycle.
+  /// Precondition: neither endpoint is already connected.
+  void connect(std::uint32_t input, std::uint32_t output);
+
+  bool inputBusy(std::uint32_t input) const { return inputToOutput_[input] != kUnconnected; }
+  bool outputBusy(std::uint32_t output) const { return outputToInput_[output] != kUnconnected; }
+  std::uint32_t outputFor(std::uint32_t input) const { return inputToOutput_[input]; }
+
+  /// Records a flit moving through an established connection.
+  /// Precondition: connect(input, ...) was called this cycle.
+  void traverse(std::uint32_t input, const Flit& flit);
+
+  Bits bitsSwitched() const { return bitsSwitched_; }
+  std::uint64_t flitsSwitched() const { return flitsSwitched_; }
+
+ private:
+  static constexpr std::uint32_t kUnconnected = ~std::uint32_t{0};
+  std::uint32_t numInputs_;
+  std::uint32_t numOutputs_;
+  std::vector<std::uint32_t> inputToOutput_;
+  std::vector<std::uint32_t> outputToInput_;
+  Bits bitsSwitched_ = 0;
+  std::uint64_t flitsSwitched_ = 0;
+};
+
+}  // namespace pnoc::noc

@@ -1,0 +1,34 @@
+#include "noc/flit.hpp"
+
+#include <cassert>
+
+namespace pnoc::noc {
+
+std::string toString(FlitType type) {
+  switch (type) {
+    case FlitType::kHead: return "HEAD";
+    case FlitType::kBody: return "BODY";
+    case FlitType::kTail: return "TAIL";
+    case FlitType::kHeadTail: return "HEAD_TAIL";
+  }
+  return "?";
+}
+
+Flit makeFlit(const PacketDescriptor& packet, std::uint32_t sequence) {
+  assert(sequence < packet.numFlits);
+  Flit flit;
+  flit.packet = packet;
+  flit.sequence = sequence;
+  if (packet.numFlits == 1) {
+    flit.type = FlitType::kHeadTail;
+  } else if (sequence == 0) {
+    flit.type = FlitType::kHead;
+  } else if (sequence == packet.numFlits - 1) {
+    flit.type = FlitType::kTail;
+  } else {
+    flit.type = FlitType::kBody;
+  }
+  return flit;
+}
+
+}  // namespace pnoc::noc

@@ -1,0 +1,58 @@
+// Flits and packets: the units of wormhole switching (paper Section 1.4).
+//
+// A packet is divided into fixed-size flits; the head flit carries routing
+// information and establishes the path, body flits follow it, and the tail
+// flit releases the path.  Per Table 3-3 a packet is always 2048 bits; the
+// flit size (and hence flit count) depends on the bandwidth set:
+//   BW set 1: 64 flits x 32 bits, set 2: 16 x 128, set 3: 8 x 256.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace pnoc::noc {
+
+enum class FlitType : std::uint8_t {
+  kHead,
+  kBody,
+  kTail,
+  kHeadTail,  // single-flit packet
+};
+
+std::string toString(FlitType type);
+
+/// Static description of a packet, shared by all its flits.
+struct PacketDescriptor {
+  PacketId id = 0;
+  CoreId srcCore = 0;
+  CoreId dstCore = 0;
+  ClusterId srcCluster = 0;
+  ClusterId dstCluster = 0;
+  std::uint32_t numFlits = 1;
+  Bits bitsPerFlit = 32;
+  Cycle createdAt = 0;
+  /// Index of the application bandwidth class that generated this packet
+  /// (0..3 for the four per-BW-set channel bandwidths of Table 3-1); used by
+  /// the DBA layer to look up the wavelength demand of the flow.
+  std::uint32_t bandwidthClass = 0;
+
+  Bits totalBits() const { return static_cast<Bits>(numFlits) * bitsPerFlit; }
+};
+
+/// One flow-control unit.
+struct Flit {
+  PacketDescriptor packet;
+  FlitType type = FlitType::kHead;
+  std::uint32_t sequence = 0;  // 0-based index within the packet
+
+  bool isHead() const { return type == FlitType::kHead || type == FlitType::kHeadTail; }
+  bool isTail() const { return type == FlitType::kTail || type == FlitType::kHeadTail; }
+  Bits bits() const { return packet.bitsPerFlit; }
+};
+
+/// Builds the flit at position `sequence` of the given packet.
+Flit makeFlit(const PacketDescriptor& packet, std::uint32_t sequence);
+
+}  // namespace pnoc::noc

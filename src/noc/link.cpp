@@ -1,0 +1,46 @@
+#include "noc/link.hpp"
+
+#include <cassert>
+
+namespace pnoc::noc {
+
+Link::Link(std::string name, std::uint32_t latency, double energyPerBitPj,
+           FlitSink& downstream)
+    : name_(std::move(name)),
+      latency_(latency),
+      energyPerBitPj_(energyPerBitPj),
+      downstream_(&downstream) {
+  assert(latency >= 1 && "a link needs at least one cycle of latency");
+}
+
+bool Link::canAccept(const Flit&) const { return pipe_.size() < latency_; }
+
+void Link::accept(const Flit& flit, Cycle now) {
+  assert(canAccept(flit));
+  pipe_.push_back(InFlight{flit, now + latency_});
+}
+
+void Link::evaluate(Cycle cycle) {
+  deliverHead_ = false;
+  if (pipe_.empty()) return;
+  const InFlight& head = pipe_.front();
+  if (head.readyAt > cycle) return;  // still traversing the wire
+  if (downstream_->canAccept(head.flit)) {
+    deliverHead_ = true;
+  } else {
+    ++stats_.stallCycles;
+  }
+}
+
+void Link::advance(Cycle cycle) {
+  if (!deliverHead_) return;
+  const Flit flit = pipe_.front().flit;
+  pipe_.pop_front();
+  downstream_->accept(flit, cycle);
+  ++stats_.flitsDelivered;
+  stats_.bitsDelivered += flit.bits();
+  stats_.energyPj += energyPerBitPj_ * static_cast<double>(flit.bits());
+  deliverHead_ = false;
+}
+
+}  // namespace pnoc::noc

@@ -1,0 +1,63 @@
+// Point-to-point electrical link with fixed latency, modeled as an elastic
+// pipeline of `latency` slots.  accept() is only allowed when the pipe has a
+// free slot, and the head of the pipe stalls (backpressure) while the
+// downstream sink cannot take it, so flits are never lost in flight.
+//
+// Intra-cluster links in the d-HetPNoC are short copper wires between
+// physically adjacent cores (paper Section 3.1), so the default latency is a
+// single cycle; energy per bit is configurable (derived, like the paper's,
+// from wire length).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::noc {
+
+struct LinkStats {
+  std::uint64_t flitsDelivered = 0;
+  Bits bitsDelivered = 0;
+  Picojoule energyPj = 0.0;
+  std::uint64_t stallCycles = 0;  // cycles the head of the pipe waited
+};
+
+class Link final : public FlitSink, public sim::Clocked {
+ public:
+  /// `latency` >= 1; capacity of the pipe equals the latency so a fully
+  /// pipelined stream sustains one flit per cycle.
+  Link(std::string name, std::uint32_t latency, double energyPerBitPj, FlitSink& downstream);
+
+  // FlitSink (upstream side)
+  bool canAccept(const Flit& flit) const override;
+  void accept(const Flit& flit, Cycle now) override;
+
+  // sim::Clocked
+  void evaluate(Cycle cycle) override;
+  void advance(Cycle cycle) override;
+  std::string name() const override { return name_; }
+
+  const LinkStats& stats() const { return stats_; }
+  std::uint32_t occupancy() const { return static_cast<std::uint32_t>(pipe_.size()); }
+
+ private:
+  struct InFlight {
+    Flit flit;
+    Cycle readyAt;  // earliest cycle the flit may exit the link
+  };
+
+  std::string name_;
+  std::uint32_t latency_;
+  double energyPerBitPj_;
+  FlitSink* downstream_;
+  std::deque<InFlight> pipe_;
+  bool deliverHead_ = false;  // decision from evaluate()
+  LinkStats stats_;
+};
+
+}  // namespace pnoc::noc

@@ -1,0 +1,174 @@
+#include "noc/router.hpp"
+
+#include <cassert>
+
+namespace pnoc::noc {
+
+ElectricalRouter::ElectricalRouter(
+    std::string name, const RouterConfig& config,
+    std::function<std::uint32_t(const PacketDescriptor&)> routeFn)
+    : name_(std::move(name)),
+      config_(config),
+      routeFn_(std::move(routeFn)),
+      outputs_(config.numPorts),
+      crossbar_(config.numPorts, config.numPorts),
+      receivingVc_(config.numPorts) {
+  assert(routeFn_ && "router requires a routing function");
+  inputs_.reserve(config.numPorts);
+  for (std::uint32_t p = 0; p < config.numPorts; ++p) {
+    inputs_.emplace_back(config.vcsPerPort, config.vcDepthFlits);
+    inputArbiters_.push_back(makeArbiter(config.arbiter, config.vcsPerPort));
+    outputArbiters_.push_back(makeArbiter(config.arbiter, config.numPorts));
+  }
+}
+
+void ElectricalRouter::connectOutput(std::uint32_t port, FlitSink& sink) {
+  assert(port < config_.numPorts);
+  outputs_[port].sink = &sink;
+}
+
+bool ElectricalRouter::canAcceptFlit(std::uint32_t inputPort, const Flit& flit) const {
+  assert(inputPort < config_.numPorts);
+  const VcBufferBank& bank = inputs_[inputPort];
+  if (flit.isHead()) {
+    return bank.findFreeVcForNewPacket() != kNoVc;
+  }
+  const auto& map = receivingVc_[inputPort];
+  const auto it = map.find(flit.packet.id);
+  if (it == map.end()) return false;  // head was never accepted here
+  return !bank.vc(it->second).full();
+}
+
+void ElectricalRouter::acceptFlit(std::uint32_t inputPort, const Flit& flit, Cycle now) {
+  assert(canAcceptFlit(inputPort, flit));
+  VcBufferBank& bank = inputs_[inputPort];
+  VcId vc = kNoVc;
+  if (flit.isHead()) {
+    vc = bank.findFreeVcForNewPacket();
+    bank.lock(vc);
+    if (!flit.isTail()) receivingVc_[inputPort][flit.packet.id] = vc;
+  } else {
+    auto& map = receivingVc_[inputPort];
+    const auto it = map.find(flit.packet.id);
+    vc = it->second;
+    if (flit.isTail()) map.erase(it);
+  }
+  bank.vc(vc).push(flit, now);
+}
+
+bool ElectricalRouter::flitEligible(std::uint32_t inPort, VcId vc, Cycle now) const {
+  const VirtualChannel& channel = inputs_[inPort].vc(vc);
+  if (channel.empty()) return false;
+  if (config_.pipelineLatency <= 1) return true;
+  return channel.frontArrival() + (config_.pipelineLatency - 1) <= now;
+}
+
+void ElectricalRouter::evaluate(Cycle cycle) {
+  pendingMoves_.clear();
+  crossbar_.reset();
+
+  // Stage 0: continue wormhole streams that already own an output port.
+  for (std::uint32_t out = 0; out < config_.numPorts; ++out) {
+    OutputState& state = outputs_[out];
+    if (!state.owned) continue;
+    if (crossbar_.inputBusy(state.inPort)) continue;
+    const VirtualChannel& channel = inputs_[state.inPort].vc(state.inVc);
+    if (channel.empty()) continue;
+    const Flit& flit = channel.front();
+    assert(flit.packet.id == state.packet && "VC lock violated");
+    if (!flitEligible(state.inPort, state.inVc, cycle)) continue;
+    if (state.sink == nullptr || !state.sink->canAccept(flit)) continue;
+    crossbar_.connect(state.inPort, out);
+    pendingMoves_.push_back(Move{state.inPort, state.inVc, out});
+  }
+
+  // Stage 1 (input arbitration): each idle input picks one VC holding an
+  // eligible head flit whose route targets a free output that can accept it.
+  std::vector<VcId> selectedVc(config_.numPorts, kNoVc);
+  std::vector<std::uint32_t> selectedOut(config_.numPorts, 0);
+  for (std::uint32_t in = 0; in < config_.numPorts; ++in) {
+    if (crossbar_.inputBusy(in)) continue;
+    std::vector<bool> requests(config_.vcsPerPort, false);
+    std::vector<std::uint32_t> target(config_.vcsPerPort, 0);
+    bool any = false;
+    for (VcId vc = 0; vc < config_.vcsPerPort; ++vc) {
+      const VirtualChannel& channel = inputs_[in].vc(vc);
+      if (channel.empty() || !channel.front().isHead()) continue;
+      if (!flitEligible(in, vc, cycle)) continue;
+      const std::uint32_t out = routeFn_(channel.front().packet);
+      assert(out < config_.numPorts);
+      const OutputState& state = outputs_[out];
+      if (state.owned || crossbar_.outputBusy(out)) continue;
+      if (state.sink == nullptr || !state.sink->canAccept(channel.front())) continue;
+      requests[vc] = true;
+      target[vc] = out;
+      any = true;
+    }
+    if (!any) continue;
+    const std::uint32_t vc = inputArbiters_[in]->grant(requests);
+    if (vc != kNoGrant) {
+      selectedVc[in] = vc;
+      selectedOut[in] = target[vc];
+    }
+  }
+
+  // Stage 2 (output arbitration): each free output picks among the inputs
+  // whose selected head flit targets it.
+  for (std::uint32_t out = 0; out < config_.numPorts; ++out) {
+    if (outputs_[out].owned || crossbar_.outputBusy(out)) continue;
+    std::vector<bool> requests(config_.numPorts, false);
+    bool any = false;
+    for (std::uint32_t in = 0; in < config_.numPorts; ++in) {
+      if (selectedVc[in] != kNoVc && selectedOut[in] == out) {
+        requests[in] = true;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const std::uint32_t in = outputArbiters_[out]->grant(requests);
+    if (in == kNoGrant) continue;
+    crossbar_.connect(in, out);
+    pendingMoves_.push_back(Move{in, selectedVc[in], out});
+  }
+}
+
+void ElectricalRouter::advance(Cycle cycle) {
+  for (const Move& move : pendingMoves_) {
+    VcBufferBank& bank = inputs_[move.inPort];
+    const Flit flit = bank.vc(move.inVc).pop(cycle);
+    crossbar_.traverse(move.inPort, flit);
+    stats_.flitsRouted += 1;
+    stats_.bitsRouted += flit.bits();
+    stats_.energyPj += config_.routerEnergyPerBitPj * static_cast<double>(flit.bits());
+
+    OutputState& state = outputs_[move.outPort];
+    assert(state.sink != nullptr);
+    state.sink->accept(flit, cycle);
+
+    if (flit.isHead() && !flit.isTail()) {
+      state.owned = true;
+      state.inPort = move.inPort;
+      state.inVc = move.inVc;
+      state.packet = flit.packet.id;
+    }
+    if (flit.isTail()) {
+      if (state.owned && state.packet == flit.packet.id) state.owned = false;
+      bank.unlock(move.inVc);
+    }
+  }
+  pendingMoves_.clear();
+}
+
+BufferStats ElectricalRouter::aggregateBufferStats() const {
+  BufferStats total;
+  for (const auto& bank : inputs_) total += bank.aggregateStats();
+  return total;
+}
+
+std::uint32_t ElectricalRouter::occupancy() const {
+  std::uint32_t total = 0;
+  for (const auto& bank : inputs_) total += bank.totalOccupancy();
+  return total;
+}
+
+}  // namespace pnoc::noc

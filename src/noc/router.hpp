@@ -1,0 +1,123 @@
+// Three-stage wormhole electrical router (paper Section 3.3.2, after [24]):
+// input arbitration, routing/crossbar traversal, output arbitration.
+//
+// The router is a Clocked component.  Movement decisions are made in
+// evaluate() against the state committed at the end of the previous cycle and
+// applied in advance(), so a network of routers is order independent.
+//
+// Flow control is wormhole with per-packet VC locking: a head flit allocates
+// a free, unlocked VC at the input port; body flits follow on the same VC;
+// the lock is released when the tail leaves.  If no VC is available for an
+// arriving head flit, canAcceptFlit() is false and the source must retry —
+// the drop-and-retransmit behaviour of Section 1.4 is implemented at the
+// injection site, which counts the drop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "noc/arbiter.hpp"
+#include "noc/crossbar.hpp"
+#include "noc/flit.hpp"
+#include "noc/vc_buffer.hpp"
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::noc {
+
+/// Downstream consumer of flits leaving a router output port.
+class FlitSink {
+ public:
+  virtual ~FlitSink() = default;
+  /// Must be side-effect free; if it returns true, accept() in the same
+  /// cycle must succeed.
+  virtual bool canAccept(const Flit& flit) const = 0;
+  virtual void accept(const Flit& flit, Cycle now) = 0;
+};
+
+struct RouterConfig {
+  std::uint32_t numPorts = 5;       // 4 cores + 1 photonic uplink in a cluster
+  std::uint32_t vcsPerPort = 16;    // Table 3-3
+  std::uint32_t vcDepthFlits = 64;  // Table 3-3
+  /// Cycles a flit spends inside the router pipeline before it may leave
+  /// (3 stages -> earliest departure 2 cycles after arrival, arriving
+  /// downstream on the 3rd).
+  std::uint32_t pipelineLatency = 3;
+  std::string arbiter = "round-robin";
+  /// Electrical energy charged per bit traversing the router (Table 3-5).
+  double routerEnergyPerBitPj = 0.625;
+};
+
+struct RouterStats {
+  std::uint64_t flitsRouted = 0;
+  Bits bitsRouted = 0;
+  Picojoule energyPj = 0.0;
+};
+
+class ElectricalRouter final : public sim::Clocked {
+ public:
+  ElectricalRouter(std::string name, const RouterConfig& config,
+                   std::function<std::uint32_t(const PacketDescriptor&)> routeFn);
+
+  /// Wires output port `port` to a sink. All ports must be wired before the
+  /// first cycle runs.
+  void connectOutput(std::uint32_t port, FlitSink& sink);
+
+  /// Ingress: true if the flit can be buffered at the input port this cycle.
+  bool canAcceptFlit(std::uint32_t inputPort, const Flit& flit) const;
+
+  /// Ingress: buffers the flit. Precondition: canAcceptFlit() is true.
+  void acceptFlit(std::uint32_t inputPort, const Flit& flit, Cycle now);
+
+  // sim::Clocked
+  void evaluate(Cycle cycle) override;
+  void advance(Cycle cycle) override;
+  std::string name() const override { return name_; }
+
+  const RouterConfig& config() const { return config_; }
+  const RouterStats& stats() const { return stats_; }
+  BufferStats aggregateBufferStats() const;
+
+  /// Flits currently buffered (all ports, all VCs) — used by tests and by
+  /// drain-detection in the network.
+  std::uint32_t occupancy() const;
+
+ private:
+  struct OutputState {
+    bool owned = false;
+    std::uint32_t inPort = 0;
+    VcId inVc = kNoVc;
+    PacketId packet = 0;
+    FlitSink* sink = nullptr;
+  };
+
+  struct Move {
+    std::uint32_t inPort;
+    VcId inVc;
+    std::uint32_t outPort;
+  };
+
+  bool flitEligible(std::uint32_t inPort, VcId vc, Cycle now) const;
+
+  std::string name_;
+  RouterConfig config_;
+  std::function<std::uint32_t(const PacketDescriptor&)> routeFn_;
+  std::vector<VcBufferBank> inputs_;
+  std::vector<OutputState> outputs_;
+  Crossbar crossbar_;
+  /// Input-arbitration stage: one arbiter per input port picks among VCs.
+  std::vector<std::unique_ptr<Arbiter>> inputArbiters_;
+  /// Output-arbitration stage: one arbiter per output port picks among inputs.
+  std::vector<std::unique_ptr<Arbiter>> outputArbiters_;
+  /// VC a partially received packet is being written to, per input port.
+  std::vector<std::map<PacketId, VcId>> receivingVc_;
+  std::vector<Move> pendingMoves_;  // decided in evaluate, applied in advance
+  RouterStats stats_;
+};
+
+}  // namespace pnoc::noc

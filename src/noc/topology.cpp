@@ -1,0 +1,38 @@
+#include "noc/topology.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pnoc::noc {
+
+ClusterTopology::ClusterTopology(std::uint32_t numCores, std::uint32_t clusterSize)
+    : numCores_(numCores), clusterSize_(clusterSize) {
+  if (clusterSize == 0 || numCores == 0 || numCores % clusterSize != 0) {
+    throw std::invalid_argument("numCores must be a positive multiple of clusterSize");
+  }
+}
+
+ClusterId ClusterTopology::clusterOf(CoreId core) const {
+  assert(core < numCores_);
+  return core / clusterSize_;
+}
+
+std::uint32_t ClusterTopology::localIndex(CoreId core) const {
+  assert(core < numCores_);
+  return core % clusterSize_;
+}
+
+CoreId ClusterTopology::coreAt(ClusterId cluster, std::uint32_t localIndex) const {
+  assert(cluster < numClusters() && localIndex < clusterSize_);
+  return cluster * clusterSize_ + localIndex;
+}
+
+std::vector<CoreId> ClusterTopology::coresInCluster(ClusterId cluster) const {
+  assert(cluster < numClusters());
+  std::vector<CoreId> cores;
+  cores.reserve(clusterSize_);
+  for (std::uint32_t i = 0; i < clusterSize_; ++i) cores.push_back(coreAt(cluster, i));
+  return cores;
+}
+
+}  // namespace pnoc::noc

@@ -1,0 +1,39 @@
+// Chip topology bookkeeping: cores grouped into clusters of 4, one photonic
+// router per cluster (paper Section 3.1, Table 3-3: 64 cores, 16 clusters).
+//
+// Intra-cluster wiring is all-to-all copper (the paper deliberately departs
+// from Firefly's concentrated mesh here); inter-cluster wiring is the
+// photonic crossbar.  This class only does the index arithmetic — the actual
+// components are assembled in src/network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace pnoc::noc {
+
+class ClusterTopology {
+ public:
+  /// Defaults match Table 3-3.
+  explicit ClusterTopology(std::uint32_t numCores = 64, std::uint32_t clusterSize = 4);
+
+  std::uint32_t numCores() const { return numCores_; }
+  std::uint32_t clusterSize() const { return clusterSize_; }
+  std::uint32_t numClusters() const { return numCores_ / clusterSize_; }
+
+  ClusterId clusterOf(CoreId core) const;
+  /// Position of the core within its cluster (0 .. clusterSize-1).
+  std::uint32_t localIndex(CoreId core) const;
+  CoreId coreAt(ClusterId cluster, std::uint32_t localIndex) const;
+  std::vector<CoreId> coresInCluster(ClusterId cluster) const;
+
+  bool sameCluster(CoreId a, CoreId b) const { return clusterOf(a) == clusterOf(b); }
+
+ private:
+  std::uint32_t numCores_;
+  std::uint32_t clusterSize_;
+};
+
+}  // namespace pnoc::noc

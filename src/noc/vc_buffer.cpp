@@ -1,0 +1,77 @@
+#include "noc/vc_buffer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pnoc::noc {
+
+BufferStats& BufferStats::operator+=(const BufferStats& other) {
+  flitsWritten += other.flitsWritten;
+  flitsRead += other.flitsRead;
+  bitsWritten += other.bitsWritten;
+  bitsRead += other.bitsRead;
+  bitCyclesResident += other.bitCyclesResident;
+  peakOccupancy = std::max(peakOccupancy, other.peakOccupancy);
+  return *this;
+}
+
+VirtualChannel::VirtualChannel(std::uint32_t capacityFlits) : capacity_(capacityFlits) {
+  assert(capacityFlits > 0);
+}
+
+void VirtualChannel::push(const Flit& flit, Cycle now) {
+  assert(!full());
+  entries_.push_back(Entry{flit, now});
+  ++stats_.flitsWritten;
+  stats_.bitsWritten += flit.bits();
+  stats_.peakOccupancy = std::max<std::uint64_t>(stats_.peakOccupancy, entries_.size());
+}
+
+const Flit& VirtualChannel::front() const {
+  assert(!empty());
+  return entries_.front().flit;
+}
+
+Cycle VirtualChannel::frontArrival() const {
+  assert(!empty());
+  return entries_.front().enqueuedAt;
+}
+
+Flit VirtualChannel::pop(Cycle now) {
+  assert(!empty());
+  Entry entry = entries_.front();
+  entries_.pop_front();
+  ++stats_.flitsRead;
+  stats_.bitsRead += entry.flit.bits();
+  const Cycle resident = (now >= entry.enqueuedAt) ? now - entry.enqueuedAt : 0;
+  stats_.bitCyclesResident += entry.flit.bits() * resident;
+  return entry.flit;
+}
+
+VcBufferBank::VcBufferBank(std::uint32_t numVcs, std::uint32_t depthFlits)
+    : locked_(numVcs, false) {
+  assert(numVcs > 0);
+  vcs_.reserve(numVcs);
+  for (std::uint32_t i = 0; i < numVcs; ++i) vcs_.emplace_back(depthFlits);
+}
+
+VcId VcBufferBank::findFreeVcForNewPacket() const {
+  for (VcId i = 0; i < numVcs(); ++i) {
+    if (vcs_[i].empty() && !locked_[i]) return i;
+  }
+  return kNoVc;
+}
+
+BufferStats VcBufferBank::aggregateStats() const {
+  BufferStats total;
+  for (const auto& vc : vcs_) total += vc.stats();
+  return total;
+}
+
+std::uint32_t VcBufferBank::totalOccupancy() const {
+  std::uint32_t total = 0;
+  for (const auto& vc : vcs_) total += vc.size();
+  return total;
+}
+
+}  // namespace pnoc::noc

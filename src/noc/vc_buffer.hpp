@@ -1,0 +1,102 @@
+// Virtual-channel buffers (paper Section 1.4, Figure 1-3; Table 3-3 sizes
+// them at 16 VCs per port, 64 flits deep).
+//
+// Besides FIFO semantics the buffers keep the occupancy statistics the
+// energy model needs: buffer energy is charged per bit on write and read, and
+// congestion shows up as longer residency, which Section 3.4.1.2 identifies
+// as the reason d-HetPNoC's packet energy is lower under skewed traffic.  We
+// therefore track bit-cycles of residency explicitly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::noc {
+
+/// Occupancy/energy statistics for one buffer (or aggregated over a bank).
+struct BufferStats {
+  std::uint64_t flitsWritten = 0;
+  std::uint64_t flitsRead = 0;
+  Bits bitsWritten = 0;
+  Bits bitsRead = 0;
+  /// Sum over all dequeued flits of bits * cyclesResident.
+  std::uint64_t bitCyclesResident = 0;
+  std::uint64_t peakOccupancy = 0;
+
+  BufferStats& operator+=(const BufferStats& other);
+};
+
+/// One virtual channel: a bounded FIFO of flits.
+class VirtualChannel {
+ public:
+  explicit VirtualChannel(std::uint32_t capacityFlits);
+
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() >= capacity_; }
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(entries_.size()); }
+  std::uint32_t freeSlots() const { return capacity_ - size(); }
+
+  /// Enqueues a flit at the given cycle. Precondition: !full().
+  void push(const Flit& flit, Cycle now);
+
+  /// Front flit without removing it. Precondition: !empty().
+  const Flit& front() const;
+
+  /// Cycle at which the front flit was enqueued. Precondition: !empty().
+  Cycle frontArrival() const;
+
+  /// Dequeues the front flit at the given cycle. Precondition: !empty().
+  Flit pop(Cycle now);
+
+  const BufferStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Flit flit;
+    Cycle enqueuedAt;
+  };
+  std::uint32_t capacity_;
+  std::deque<Entry> entries_;
+  BufferStats stats_;
+};
+
+/// A bank of VCs forming one router input port.
+class VcBufferBank {
+ public:
+  VcBufferBank(std::uint32_t numVcs, std::uint32_t depthFlits);
+
+  std::uint32_t numVcs() const { return static_cast<std::uint32_t>(vcs_.size()); }
+  VirtualChannel& vc(VcId id) { return vcs_[id]; }
+  const VirtualChannel& vc(VcId id) const { return vcs_[id]; }
+
+  /// First VC that can accept a new packet's head flit (empty and not
+  /// reserved by an in-flight packet), or kNoVc.
+  VcId findFreeVcForNewPacket() const;
+
+  /// Marks a VC reserved-by-packet (wormhole: one packet owns a VC from head
+  /// to tail).
+  void lock(VcId id) { locked_[id] = true; }
+  void unlock(VcId id) { locked_[id] = false; }
+  bool isLocked(VcId id) const { return locked_[id]; }
+
+  /// True if every VC is either non-empty or locked: a newly arriving head
+  /// flit would be dropped (paper Section 1.4 drop-and-retransmit).
+  bool allBusy() const { return findFreeVcForNewPacket() == kNoVc; }
+
+  BufferStats aggregateStats() const;
+
+  /// Total flits currently buffered across all VCs.
+  std::uint32_t totalOccupancy() const;
+
+ private:
+  std::vector<VirtualChannel> vcs_;
+  std::vector<bool> locked_;
+};
+
+}  // namespace pnoc::noc

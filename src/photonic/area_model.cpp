@@ -1,0 +1,82 @@
+#include "photonic/area_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pnoc::photonic {
+
+std::uint32_t dataWaveguidesNeeded(std::uint32_t totalDataWavelengths,
+                                   std::uint32_t lambdasPerWaveguide) {
+  assert(totalDataWavelengths > 0 && lambdasPerWaveguide > 0);
+  return (totalDataWavelengths + lambdasPerWaveguide - 1) / lambdasPerWaveguide;
+}
+
+DeviceCounts dhetpnocCounts(const AreaParams& params, std::uint32_t totalDataWavelengths) {
+  const std::uint64_t npr = params.numPhotonicRouters;
+  const std::uint64_t lw = params.lambdasPerWaveguide;
+  const std::uint64_t nwd = dataWaveguidesNeeded(totalDataWavelengths, params.lambdasPerWaveguide);
+
+  DeviceCounts counts;
+  // eq. (6): every router can modulate any wavelength of any data waveguide.
+  counts.modulatorsData = npr * lw * nwd;
+  // eq. (7): each router writes its own reservation waveguide, full DWDM.
+  counts.modulatorsReservation = npr * lw;
+  // eq. (8): the token travels on a control waveguide with maximum DWDM that
+  // every router can write when it holds the token.
+  counts.modulatorsControl = npr * lw;
+
+  // eq. (15): every router can receive any wavelength of any data waveguide.
+  counts.detectorsData = npr * lw * nwd;
+  // eq. (16): each router listens to every reservation waveguide except its own.
+  counts.detectorsReservation = npr * lw * (npr - 1);
+  // eq. (17): every router receives the full control waveguide.
+  counts.detectorsControl = npr * lw;
+  return counts;
+}
+
+DeviceCounts fireflyCounts(const AreaParams& params, std::uint32_t totalDataWavelengths) {
+  const std::uint64_t npr = params.numPhotonicRouters;
+  const std::uint64_t lw = params.lambdasPerWaveguide;
+  // Firefly dedicates one data waveguide per router; each carries
+  // lambda_NF = ceil(Nlambda / N_WF) wavelengths for the same aggregate
+  // bandwidth (Section 3.4.3).
+  const std::uint64_t lambdaNf = (totalDataWavelengths + npr - 1) / npr;
+
+  DeviceCounts counts;
+  // eq. (11): each router modulates lambda_NF channels of its own waveguide.
+  counts.modulatorsData = npr * lambdaNf;
+  // eq. (12): reservation broadcast waveguide per router, full DWDM.
+  counts.modulatorsReservation = npr * lw;
+  // eq. (20): each router receives lambda_NF channels of the other NPR-1
+  // routers' data waveguides.
+  counts.detectorsData = npr * lambdaNf * (npr - 1);
+  // eq. (21): reservation detectors on all waveguides but its own.
+  counts.detectorsReservation = npr * lw * (npr - 1);
+  return counts;
+}
+
+DeviceCounts restrictedDhetpnocCounts(const AreaParams& params,
+                                      std::uint32_t totalDataWavelengths,
+                                      std::uint32_t waveguidesPerRouter) {
+  assert(waveguidesPerRouter >= 1);
+  DeviceCounts counts = dhetpnocCounts(params, totalDataWavelengths);
+  const std::uint64_t npr = params.numPhotonicRouters;
+  const std::uint64_t lw = params.lambdasPerWaveguide;
+  const std::uint64_t nwd = dataWaveguidesNeeded(totalDataWavelengths, params.lambdasPerWaveguide);
+  // Only the data modulators shrink: a router can now write at most
+  // `waveguidesPerRouter` waveguides.  Readers are unchanged — any cluster
+  // must still be able to receive from any writer.
+  const std::uint64_t writable = std::min<std::uint64_t>(waveguidesPerRouter, nwd);
+  counts.modulatorsData = npr * lw * writable;
+  return counts;
+}
+
+double areaMm2(const DeviceCounts& counts, double mrrRadiusUm) {
+  const double ringAreaUm2 = std::numbers::pi * mrrRadiusUm * mrrRadiusUm;
+  const double totalUm2 = static_cast<double>(counts.totalRings()) * ringAreaUm2;
+  return totalUm2 * 1e-6;  // um^2 -> mm^2
+}
+
+}  // namespace pnoc::photonic

@@ -1,0 +1,55 @@
+#include "photonic/devices.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pnoc::photonic {
+
+MicroRingResonator::MicroRingResonator(Role role, WavelengthId resonantWavelength)
+    : role_(role), resonant_(resonantWavelength) {}
+
+std::uint64_t MicroRingResonator::tuneTo(WavelengthId wavelength) {
+  if (wavelength != resonant_) {
+    resonant_ = wavelength;
+    ++retunes_;
+  }
+  return retunes_;
+}
+
+void MicroRingResonator::transferBits(Bits bits) {
+  assert(on_ && "MRR must be on to transfer bits");
+  bitsTransferred_ += bits;
+}
+
+double MicroRingResonator::areaUm2() {
+  return std::numbers::pi * kRadiusUm * kRadiusUm;
+}
+
+void Photodetector::receiveBits(Bits bits) {
+  assert(on_ && "detector must be on to receive");
+  bitsReceived_ += bits;
+}
+
+LaserSource::LaserSource(std::uint32_t numWavelengths, double powerPerWavelengthMw)
+    : numWavelengths_(numWavelengths), powerPerWavelengthMw_(powerPerWavelengthMw) {
+  assert(numWavelengths > 0);
+}
+
+Picojoule LaserSource::energyOverSecondsPj(double seconds) const {
+  // mW * s = mJ; 1 mJ = 1e9 pJ.
+  return totalPowerMw() * seconds * 1e9;
+}
+
+PhotonicSwitchElement::PhotonicSwitchElement(WavelengthId resonant)
+    : ring_(MicroRingResonator::Role::kSwitch, resonant) {}
+
+bool PhotonicSwitchElement::turns(WavelengthId wavelength) const {
+  return isOn() && wavelength == ring_.resonantWavelength();
+}
+
+double PhotonicSwitchElement::insertionLossDb(WavelengthId wavelength) const {
+  return turns(wavelength) ? kDropLossDb : kThroughLossDb;
+}
+
+}  // namespace pnoc::photonic

@@ -1,0 +1,129 @@
+// Photonic device models (paper Section 2.1).
+//
+// These are behavioural models at the abstraction level the paper's own
+// simulator uses: state (on/off, resonant wavelength), per-bit energies and
+// static powers (Tables 3-4/3-5), and geometry for the area model.  No
+// electromagnetic simulation — the evaluation consumes only energy, area and
+// data-rate figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "photonic/wavelength.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::photonic {
+
+/// Micro-ring resonator (Section 2.1.1).  Depending on the attached circuit
+/// an MRR acts as a modulator, a demodulator filter, or a switch element; the
+/// role only matters for bookkeeping.
+class MicroRingResonator {
+ public:
+  enum class Role { kModulator, kDemodulator, kSwitch };
+
+  /// Radius 5 um per [28] (Section 3.4.3 uses this for the area model).
+  static constexpr double kRadiusUm = 5.0;
+
+  MicroRingResonator(Role role, WavelengthId resonantWavelength);
+
+  Role role() const { return role_; }
+  WavelengthId resonantWavelength() const { return resonant_; }
+
+  /// Thermally retunes the ring to a new resonant wavelength (Section 2.1.1:
+  /// one local heater per MRR).  Returns the number of retune operations so
+  /// far, which the energy model can price.
+  std::uint64_t tuneTo(WavelengthId wavelength);
+
+  bool isOn() const { return on_; }
+  void setOn(bool on) { on_ = on; }
+
+  /// Bits modulated / filtered while on. Precondition: isOn().
+  void transferBits(Bits bits);
+
+  Bits bitsTransferred() const { return bitsTransferred_; }
+  std::uint64_t retuneCount() const { return retunes_; }
+
+  /// Footprint of one ring: pi * r^2 (eq. (23)/(24) use this for the total).
+  static double areaUm2();
+
+ private:
+  Role role_;
+  WavelengthId resonant_;
+  bool on_ = false;
+  Bits bitsTransferred_ = 0;
+  std::uint64_t retunes_ = 0;
+};
+
+/// Germanium p-i-n photo-detector (Section 2.1.2): converts filtered light to
+/// current; we model the detection threshold decision as ideal and count
+/// received bits.
+class Photodetector {
+ public:
+  /// Demonstrated line rate (Section 2.1.2 cites 40 Gb/s devices; the system
+  /// runs each wavelength at 12.5 Gb/s so the detector is never the limit).
+  static constexpr double kMaxBitsPerSecond = 40e9;
+  /// Responsivity in A/W (Section 2.1.2 cites up to 1.08 A/W).
+  static constexpr double kResponsivityAPerW = 1.08;
+
+  bool isOn() const { return on_; }
+  void setOn(bool on) { on_ = on; }
+
+  void receiveBits(Bits bits);
+  Bits bitsReceived() const { return bitsReceived_; }
+
+ private:
+  bool on_ = false;
+  Bits bitsReceived_ = 0;
+};
+
+/// Multi-wavelength laser source (Section 2.1.4): heterogeneously integrated
+/// on-chip source, one DFB element per wavelength, 1.5 mW per wavelength
+/// (Table 3-4, [30]).
+class LaserSource {
+ public:
+  explicit LaserSource(std::uint32_t numWavelengths,
+                       double powerPerWavelengthMw = 1.5);
+
+  std::uint32_t numWavelengths() const { return numWavelengths_; }
+  double powerPerWavelengthMw() const { return powerPerWavelengthMw_; }
+  double totalPowerMw() const { return powerPerWavelengthMw_ * numWavelengths_; }
+
+  /// Energy emitted over a duration, in pJ (used to amortize static laser
+  /// power into per-packet energy at saturation).
+  Picojoule energyOverSecondsPj(double seconds) const;
+
+ private:
+  std::uint32_t numWavelengths_;
+  double powerPerWavelengthMw_;
+};
+
+/// Photonic switching element (Section 2.1.3): an MRR that turns a matching
+/// wavelength by 90 degrees when on.  The crossbar topologies evaluated in
+/// the paper do not need PSEs on the data path, but tile-based PNoCs such as
+/// the 2D folded torus [15] do, so the substrate provides them (and the
+/// insertion-loss accounting that motivates blocking switches).
+class PhotonicSwitchElement {
+ public:
+  explicit PhotonicSwitchElement(WavelengthId resonant);
+
+  bool isOn() const { return ring_.isOn(); }
+  void setOn(bool on) { ring_.setOn(on); }
+  WavelengthId resonantWavelength() const { return ring_.resonantWavelength(); }
+
+  /// Whether light at `wavelength` turns (true) or passes through (false).
+  bool turns(WavelengthId wavelength) const;
+
+  /// Insertion loss contributed to a traversing signal, in dB.  Each PSE hop
+  /// adds loss and crosstalk (Section 2.1.3), which is why the paper's cited
+  /// designs prefer compact blocking switches.
+  double insertionLossDb(WavelengthId wavelength) const;
+
+  static constexpr double kThroughLossDb = 0.005;
+  static constexpr double kDropLossDb = 0.5;
+
+ private:
+  MicroRingResonator ring_;
+};
+
+}  // namespace pnoc::photonic

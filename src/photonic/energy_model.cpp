@@ -1,0 +1,59 @@
+#include "photonic/energy_model.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace pnoc::photonic {
+
+std::string_view toString(EnergyCategory category) {
+  switch (category) {
+    case EnergyCategory::kLaunch: return "launch";
+    case EnergyCategory::kModulation: return "modulation";
+    case EnergyCategory::kTuning: return "tuning";
+    case EnergyCategory::kPhotonicBuffer: return "photonic-buffer";
+    case EnergyCategory::kElectricalRouter: return "electrical-router";
+    case EnergyCategory::kElectricalLink: return "electrical-link";
+    case EnergyCategory::kCount: break;
+  }
+  return "?";
+}
+
+void EnergyLedger::add(EnergyCategory category, Picojoule pj) {
+  assert(category != EnergyCategory::kCount);
+  assert(pj >= 0.0);
+  byCategory_[static_cast<std::size_t>(category)] += pj;
+}
+
+Picojoule EnergyLedger::total() const {
+  return std::accumulate(byCategory_.begin(), byCategory_.end(), 0.0);
+}
+
+Picojoule EnergyLedger::of(EnergyCategory category) const {
+  assert(category != EnergyCategory::kCount);
+  return byCategory_[static_cast<std::size_t>(category)];
+}
+
+Picojoule EnergyLedger::photonic() const {
+  return of(EnergyCategory::kLaunch) + of(EnergyCategory::kModulation) +
+         of(EnergyCategory::kTuning) + of(EnergyCategory::kPhotonicBuffer);
+}
+
+Picojoule EnergyLedger::electrical() const {
+  return of(EnergyCategory::kElectricalRouter) + of(EnergyCategory::kElectricalLink);
+}
+
+EnergyLedger& EnergyLedger::operator+=(const EnergyLedger& other) {
+  for (std::size_t i = 0; i < byCategory_.size(); ++i) {
+    byCategory_[i] += other.byCategory_[i];
+  }
+  return *this;
+}
+
+void chargePhotonicTransfer(EnergyLedger& ledger, const EnergyParams& params, Bits bits) {
+  const auto b = static_cast<double>(bits);
+  ledger.add(EnergyCategory::kLaunch, params.launchPjPerBit * b);
+  ledger.add(EnergyCategory::kModulation, params.modulationPjPerBit * b);
+  ledger.add(EnergyCategory::kTuning, params.tuningPjPerBit * b);
+}
+
+}  // namespace pnoc::photonic

@@ -1,0 +1,72 @@
+// Energy model of the PNoC (paper Section 3.4.1.2, Tables 3-4 and 3-5).
+//
+//   Epacket   = Eelectrical + Ephotonic                       (eq. 3)
+//   Ephotonic = Elaunch + Emodulation + Etuning + Ebuffer     (eq. 4)
+//
+// All per-bit constants default to Table 3-5.  The ledger accumulates energy
+// by category so benches can report the decomposition, and packet energy is
+// total ledger energy divided by packets delivered at saturation, exactly as
+// the paper defines it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace pnoc::photonic {
+
+/// Per-bit energies (pJ/bit) and static powers, Table 3-4 / Table 3-5.
+struct EnergyParams {
+  double modulationPjPerBit = 0.04;   // 40 fJ/bit modulator+demodulator [28]
+  double tuningPjPerBit = 0.24;       // thermal tuning, amortized per bit [28]
+  double launchPjPerBit = 0.15;       // laser launch energy per bit [30]
+  double bufferPjPerBit = 0.0781250;  // photonic router buffer write+read
+  double routerPjPerBit = 0.625;      // electrical router traversal
+  double laserPowerMwPerWavelength = 1.5;  // static laser power [30]
+  double tuningPowerMwPerNm = 2.4;         // heater power per nm of shift [28]
+  /// Buffer *hold* energy: leakage-ish cost per bit per cycle of residency
+  /// beyond the write/read pair.  This is what couples congestion to packet
+  /// energy (Section 3.4.1.2: flits occupying buffers longer in the congested
+  /// Firefly raises its energy per message).  Chosen as 1/64 of the buffer
+  /// access energy per cycle so a flit held for a full 64-cycle buffer drain
+  /// costs about one extra buffer access.
+  double bufferHoldPjPerBitCycle = 0.0781250 / 64.0;
+};
+
+enum class EnergyCategory : std::uint8_t {
+  kLaunch = 0,
+  kModulation,
+  kTuning,
+  kPhotonicBuffer,
+  kElectricalRouter,
+  kElectricalLink,
+  kCount,
+};
+
+std::string_view toString(EnergyCategory category);
+
+class EnergyLedger {
+ public:
+  void add(EnergyCategory category, Picojoule pj);
+
+  Picojoule total() const;
+  Picojoule of(EnergyCategory category) const;
+
+  /// Ephotonic of eq. (4): launch + modulation + tuning + photonic buffer.
+  Picojoule photonic() const;
+  /// Eelectrical of eq. (3): electrical routers + links.
+  Picojoule electrical() const;
+
+  EnergyLedger& operator+=(const EnergyLedger& other);
+
+ private:
+  std::array<Picojoule, static_cast<std::size_t>(EnergyCategory::kCount)> byCategory_{};
+};
+
+/// Convenience: charges all per-bit photonic transmission costs for `bits`
+/// transferred over the photonic fabric (launch + modulation + tuning).
+void chargePhotonicTransfer(EnergyLedger& ledger, const EnergyParams& params, Bits bits);
+
+}  // namespace pnoc::photonic

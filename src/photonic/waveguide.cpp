@@ -1,0 +1,64 @@
+#include "photonic/waveguide.hpp"
+
+#include <cassert>
+
+namespace pnoc::photonic {
+
+double WaveguideSpec::propagationDelaySeconds() const {
+  constexpr double kSpeedOfLightCmPerS = 2.99792458e10;
+  return lengthCm / (groupVelocityFractionC * kSpeedOfLightCmPerS);
+}
+
+WavelengthAllocationMap::WavelengthAllocationMap(std::uint32_t numWaveguides,
+                                                 std::uint32_t lambdasPerWaveguide)
+    : numWaveguides_(numWaveguides),
+      lambdasPerWaveguide_(lambdasPerWaveguide),
+      owners_(static_cast<std::size_t>(numWaveguides) * lambdasPerWaveguide, kInvalidId) {
+  assert(numWaveguides > 0 && lambdasPerWaveguide > 0);
+}
+
+std::size_t WavelengthAllocationMap::index(const WavelengthId& id) const {
+  assert(id.waveguide < numWaveguides_ && id.lambda < lambdasPerWaveguide_);
+  return static_cast<std::size_t>(id.waveguide) * lambdasPerWaveguide_ + id.lambda;
+}
+
+std::optional<ClusterId> WavelengthAllocationMap::owner(const WavelengthId& id) const {
+  const std::uint32_t raw = owners_[index(id)];
+  if (raw == kInvalidId) return std::nullopt;
+  return raw;
+}
+
+void WavelengthAllocationMap::allocate(const WavelengthId& id, ClusterId cluster) {
+  auto& slot = owners_[index(id)];
+  assert(slot == kInvalidId && "double allocation of a wavelength");
+  slot = cluster;
+}
+
+void WavelengthAllocationMap::release(const WavelengthId& id, ClusterId cluster) {
+  auto& slot = owners_[index(id)];
+  assert(slot == cluster && "releasing a wavelength not owned by this cluster");
+  (void)cluster;
+  slot = kInvalidId;
+}
+
+std::vector<WavelengthId> WavelengthAllocationMap::owned(ClusterId cluster) const {
+  std::vector<WavelengthId> out;
+  for (std::uint32_t flat = 0; flat < owners_.size(); ++flat) {
+    if (owners_[flat] == cluster) out.push_back(unflatten(flat, lambdasPerWaveguide_));
+  }
+  return out;
+}
+
+std::uint32_t WavelengthAllocationMap::freeCount() const {
+  std::uint32_t count = 0;
+  for (const auto owner : owners_) count += (owner == kInvalidId) ? 1 : 0;
+  return count;
+}
+
+std::uint32_t WavelengthAllocationMap::ownedCount(ClusterId cluster) const {
+  std::uint32_t count = 0;
+  for (const auto owner : owners_) count += (owner == cluster) ? 1 : 0;
+  return count;
+}
+
+}  // namespace pnoc::photonic

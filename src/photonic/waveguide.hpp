@@ -1,0 +1,66 @@
+// Waveguides and the chip-wide wavelength allocation map.
+//
+// A data waveguide carries up to kMaxWavelengthsPerWaveguide DWDM channels
+// (Section 2.1.5).  The allocation map records, for every (waveguide,
+// wavelength) pair, which cluster currently owns the right to modulate on it.
+// The core d-HetPNoC token protocol is a distributed mechanism for mutating
+// exactly this map; keeping the authoritative copy here lets tests assert
+// the central safety invariant — no wavelength is ever owned by two clusters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "photonic/wavelength.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::photonic {
+
+/// Physical parameters of one on-chip waveguide (Section 2.1.5: SOI
+/// nanophotonic waveguide, deep-UV lithography [17]).
+struct WaveguideSpec {
+  std::uint32_t lambdas = kMaxWavelengthsPerWaveguide;
+  double lengthCm = 2.0 * 2.0;        // serpentine across a 20x20 mm die, roughly
+  double lossDbPerCm = 1.0;           // typical SOI propagation loss
+  double groupVelocityFractionC = 0.4;  // light in silicon travels ~0.4c
+
+  /// One-way propagation delay in seconds.
+  double propagationDelaySeconds() const;
+  /// End-to-end propagation loss in dB.
+  double propagationLossDb() const { return lossDbPerCm * lengthCm; }
+};
+
+class WavelengthAllocationMap {
+ public:
+  WavelengthAllocationMap(std::uint32_t numWaveguides, std::uint32_t lambdasPerWaveguide);
+
+  std::uint32_t numWaveguides() const { return numWaveguides_; }
+  std::uint32_t lambdasPerWaveguide() const { return lambdasPerWaveguide_; }
+  std::uint32_t totalWavelengths() const { return numWaveguides_ * lambdasPerWaveguide_; }
+
+  /// Owner of a wavelength, or nullopt if free.
+  std::optional<ClusterId> owner(const WavelengthId& id) const;
+
+  bool isFree(const WavelengthId& id) const { return !owner(id).has_value(); }
+
+  /// Claims a free wavelength. Precondition: isFree(id).
+  void allocate(const WavelengthId& id, ClusterId cluster);
+
+  /// Releases a wavelength owned by `cluster`. Precondition: owner == cluster.
+  void release(const WavelengthId& id, ClusterId cluster);
+
+  /// All wavelengths owned by a cluster, in (waveguide, lambda) order.
+  std::vector<WavelengthId> owned(ClusterId cluster) const;
+
+  std::uint32_t freeCount() const;
+  std::uint32_t ownedCount(ClusterId cluster) const;
+
+ private:
+  std::size_t index(const WavelengthId& id) const;
+  std::uint32_t numWaveguides_;
+  std::uint32_t lambdasPerWaveguide_;
+  std::vector<std::uint32_t> owners_;  // kInvalidId == free
+};
+
+}  // namespace pnoc::photonic

@@ -1,0 +1,41 @@
+#include "photonic/wavelength.hpp"
+
+#include <cassert>
+
+namespace pnoc::photonic {
+
+std::string toString(const WavelengthId& id) {
+  return "wg" + std::to_string(id.waveguide) + ":l" + std::to_string(id.lambda);
+}
+
+std::uint32_t flatten(const WavelengthId& id, std::uint32_t lambdasPerWaveguide) {
+  assert(id.lambda < lambdasPerWaveguide);
+  return id.waveguide * lambdasPerWaveguide + id.lambda;
+}
+
+WavelengthId unflatten(std::uint32_t flat, std::uint32_t lambdasPerWaveguide) {
+  assert(lambdasPerWaveguide > 0);
+  return WavelengthId{flat / lambdasPerWaveguide, flat % lambdasPerWaveguide};
+}
+
+std::uint32_t ceilLog2(std::uint32_t n) {
+  assert(n >= 1);
+  std::uint32_t bits = 0;
+  std::uint32_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+std::uint32_t identifierBits(std::uint32_t numWaveguides) {
+  assert(numWaveguides >= 1);
+  // 6 bits select one of up to 64 wavelengths within the waveguide; the
+  // waveguide number is only needed when there are multiple data waveguides
+  // (Section 3.4.1.1: "For BW set 1 ... a waveguide number is not needed").
+  const std::uint32_t lambdaBits = 6;
+  return lambdaBits + (numWaveguides > 1 ? ceilLog2(numWaveguides) : 0);
+}
+
+}  // namespace pnoc::photonic

@@ -1,0 +1,46 @@
+// DWDM wavelength identifiers.
+//
+// A wavelength is addressed by (waveguide number, wavelength number within
+// the waveguide).  Section 3.4.1.1 of the paper fixes the encoding used in
+// reservation flits: 6 bits for the wavelength number (up to 64 wavelengths
+// per waveguide, as in Firefly [20]) plus ceil(log2 NW) bits for the
+// waveguide number when more than one data waveguide exists.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace pnoc::photonic {
+
+/// Maximum DWDM wavelengths per waveguide (paper: 64, as in [20]).
+inline constexpr std::uint32_t kMaxWavelengthsPerWaveguide = 64;
+
+/// Line rate of a single wavelength carrier: 12.5 Gb/s [28].
+inline constexpr double kBitsPerSecondPerWavelength = 12.5e9;
+
+struct WavelengthId {
+  std::uint32_t waveguide = 0;
+  std::uint32_t lambda = 0;  // index within the waveguide, < lambdasPerWaveguide
+
+  auto operator<=>(const WavelengthId&) const = default;
+};
+
+std::string toString(const WavelengthId& id);
+
+/// Flattens (waveguide, lambda) to a global index given the per-waveguide
+/// wavelength count, and back.  Used for token bit positions.
+std::uint32_t flatten(const WavelengthId& id, std::uint32_t lambdasPerWaveguide);
+WavelengthId unflatten(std::uint32_t flat, std::uint32_t lambdasPerWaveguide);
+
+/// Bits needed to encode a wavelength identifier in a reservation flit
+/// (Section 3.4.1.1): 6 bits for the wavelength number plus ceil(log2 NW)
+/// bits of waveguide number when NW > 1.
+std::uint32_t identifierBits(std::uint32_t numWaveguides);
+
+/// ceil(log2 n) for n >= 1 (0 for n == 1).
+std::uint32_t ceilLog2(std::uint32_t n);
+
+}  // namespace pnoc::photonic

@@ -1,0 +1,51 @@
+// Global clock model: converts between cycles, seconds, and transferred bits.
+//
+// The paper's network clock is 2.5 GHz (Table 3-3) and one DWDM wavelength
+// carries 12.5 Gb/s [28], i.e. exactly 5 bits per network cycle per
+// wavelength.  Those conversions appear in the flow control, the reservation
+// timing analysis (Section 3.4.1.1) and the bandwidth metrics, so they live
+// here in one place.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace pnoc::sim {
+
+class Clock {
+ public:
+  /// Default matches Table 3-3.
+  explicit Clock(double frequencyHz = kDefaultFrequencyHz)
+      : frequencyHz_(frequencyHz) {}
+
+  static constexpr double kDefaultFrequencyHz = 2.5e9;
+
+  double frequencyHz() const { return frequencyHz_; }
+
+  /// Duration of one cycle in seconds (400 ps at 2.5 GHz).
+  double periodSeconds() const { return 1.0 / frequencyHz_; }
+
+  /// Seconds elapsed after the given number of cycles.
+  double toSeconds(Cycle cycles) const {
+    return static_cast<double>(cycles) * periodSeconds();
+  }
+
+  /// Cycles needed to cover the given duration, rounded up.
+  Cycle cyclesForSeconds(double seconds) const {
+    const double c = seconds * frequencyHz_;
+    auto whole = static_cast<Cycle>(c);
+    return (static_cast<double>(whole) < c) ? whole + 1 : whole;
+  }
+
+  /// Bits one wavelength moves per cycle given its line rate in bits/second.
+  /// 12.5 Gb/s at 2.5 GHz -> 5 bits/cycle.
+  double bitsPerCycle(double bitsPerSecond) const {
+    return bitsPerSecond / frequencyHz_;
+  }
+
+ private:
+  double frequencyHz_;
+};
+
+}  // namespace pnoc::sim

@@ -1,0 +1,88 @@
+#include "sim/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnoc::sim {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string> Config::parseArgs(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return "malformed argument '" + token + "' (expected key=value)";
+    }
+    set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return std::nullopt;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::string Config::getString(const std::string& key, const std::string& fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::getInt(const std::string& key, std::int64_t fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "' is not an integer: '" +
+                                it->second + "'");
+  }
+}
+
+double Config::getDouble(const std::string& key, double fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "' is not a number: '" +
+                                it->second + "'");
+  }
+}
+
+bool Config::getBool(const std::string& key, bool fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = lower(it->second);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("config key '" + key + "' is not a boolean: '" + it->second +
+                              "'");
+}
+
+std::vector<std::string> Config::unconsumedKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace pnoc::sim

@@ -1,0 +1,46 @@
+// Key/value configuration store.
+//
+// Benches and examples accept `key=value` command-line overrides (e.g.
+// `wavelengths=256 pattern=skewed3 seed=7`); this class parses and serves
+// them with typed accessors.  Unknown keys are detectable via consumedKeys()
+// so callers can reject typos instead of silently ignoring them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pnoc::sim {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses tokens of the form "key=value". Tokens without '=' are invalid.
+  /// Returns an error description, or std::nullopt on success.
+  std::optional<std::string> parseArgs(int argc, const char* const* argv);
+
+  /// Inserts or overwrites one entry.
+  void set(const std::string& key, const std::string& value);
+
+  bool contains(const std::string& key) const { return values_.count(key) != 0; }
+
+  /// Typed getters. Marks the key consumed. Throws std::invalid_argument on
+  /// unparseable values (misconfiguration should fail loudly, not default).
+  std::string getString(const std::string& key, const std::string& fallback) const;
+  std::int64_t getInt(const std::string& key, std::int64_t fallback) const;
+  double getDouble(const std::string& key, double fallback) const;
+  bool getBool(const std::string& key, bool fallback) const;
+
+  /// Keys present in the config but never read by any getter (likely typos).
+  std::vector<std::string> unconsumedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace pnoc::sim

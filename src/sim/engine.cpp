@@ -1,0 +1,16 @@
+#include "sim/engine.hpp"
+
+namespace pnoc::sim {
+
+void Engine::step() {
+  for (Clocked* c : components_) c->evaluate(now_);
+  for (Clocked* c : components_) c->advance(now_);
+  if (onCycleEnd_) onCycleEnd_(now_);
+  ++now_;
+}
+
+void Engine::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+}  // namespace pnoc::sim

@@ -1,0 +1,63 @@
+// Cycle-accurate simulation engine.
+//
+// Components implement Clocked and are registered with an Engine.  Each cycle
+// runs in two phases so results do not depend on registration order:
+//   evaluate(cycle)  - read the state other components exposed last cycle and
+//                      compute this cycle's outputs; must not publish state
+//                      that other components read this cycle.
+//   advance(cycle)   - commit the computed outputs, making them visible to
+//                      every component's evaluate() next cycle.
+// This is the standard two-phase (combinational/sequential) discipline used
+// by RTL-ish NoC simulators such as BookSim.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace pnoc::sim {
+
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+
+  /// Phase 1: compute, reading only previously committed state.
+  virtual void evaluate(Cycle cycle) = 0;
+
+  /// Phase 2: commit computed state.
+  virtual void advance(Cycle cycle) = 0;
+
+  /// Human-readable name for tracing and error messages.
+  virtual std::string name() const = 0;
+};
+
+class Engine {
+ public:
+  /// Registers a component. The engine does not own components; callers keep
+  /// them alive for the engine's lifetime (they are typically members of the
+  /// network object that also owns the engine).
+  void add(Clocked& component) { components_.push_back(&component); }
+
+  /// Runs `cycles` more cycles.
+  void run(Cycle cycles);
+
+  /// Runs exactly one cycle.
+  void step();
+
+  /// Cycles executed so far (also the cycle number passed to the next step).
+  Cycle now() const { return now_; }
+
+  std::size_t componentCount() const { return components_.size(); }
+
+  /// Optional per-cycle observer invoked after both phases (tracing, stats).
+  void setOnCycleEnd(std::function<void(Cycle)> hook) { onCycleEnd_ = std::move(hook); }
+
+ private:
+  std::vector<Clocked*> components_;
+  std::function<void(Cycle)> onCycleEnd_;
+  Cycle now_ = 0;
+};
+
+}  // namespace pnoc::sim

@@ -1,0 +1,42 @@
+#include "sim/log.hpp"
+
+#include <iostream>
+
+namespace pnoc::sim {
+
+std::string_view toString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  setSink(nullptr);
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::setSink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view message) {
+      std::cerr << "[pnoc " << toString(level) << "] " << message << '\n';
+    };
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace pnoc::sim

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator is hot-loop heavy, so logging is pull-gated: callers check
+// `enabled(level)` (an inline comparison) before formatting.  Output goes to
+// a caller-supplied sink so tests can capture it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pnoc::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+std::string_view toString(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Global logger used by the library. Defaults to kWarn on stderr.
+  static Logger& instance();
+
+  LogLevel level() const { return level_; }
+  void setLevel(LogLevel level) { level_ = level; }
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Replaces the sink; passing nullptr restores the default stderr sink.
+  void setSink(Sink sink);
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+}  // namespace pnoc::sim
+
+/// Usage: PNOC_LOG(kDebug, "router " << id << " acquired " << n << " lambdas");
+#define PNOC_LOG(levelSuffix, expr)                                                    \
+  do {                                                                                 \
+    auto& pnocLogger = ::pnoc::sim::Logger::instance();                                \
+    if (pnocLogger.enabled(::pnoc::sim::LogLevel::levelSuffix)) {                      \
+      std::ostringstream pnocLogStream;                                                \
+      pnocLogStream << expr;                                                           \
+      pnocLogger.log(::pnoc::sim::LogLevel::levelSuffix, pnocLogStream.str());         \
+    }                                                                                  \
+  } while (false)

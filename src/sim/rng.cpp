@@ -1,0 +1,109 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+
+namespace pnoc::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) {
+  assert(bound > 0 && "nextBelow requires a positive bound");
+  // Lemire's method: multiply into a 128-bit product; reject the small biased
+  // band at the bottom of the range.
+  using u128 = unsigned __int128;
+  std::uint64_t x = next();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::nextInRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi && "nextInRange requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range (lo==INT64_MIN, hi==INT64_MAX).
+  const std::uint64_t offset = (span == 0) ? next() : nextBelow(span);
+  return lo + static_cast<std::int64_t>(offset);
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits scaled into [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return nextDouble() < p;
+}
+
+Rng Rng::split() {
+  // Derive a child seed from fresh output; the child re-mixes via SplitMix64
+  // so parent and child streams are effectively independent.
+  return Rng(next());
+}
+
+DiscreteDistribution::DiscreteDistribution(std::span<const double> weights) {
+  cumulative_.reserve(weights.size());
+  double running = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0 && "weights must be non-negative");
+    running += w;
+    cumulative_.push_back(running);
+  }
+  total_ = running;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  assert(!empty());
+  if (total_ <= 0.0) return rng.nextBelow(cumulative_.size());
+  const double u = rng.nextDouble() * total_;
+  // Linear scan is fine: all paper distributions have <= 4 categories.
+  for (std::size_t i = 0; i + 1 < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) return i;
+  }
+  return cumulative_.size() - 1;
+}
+
+double DiscreteDistribution::probability(std::size_t i) const {
+  assert(i < cumulative_.size());
+  if (total_ <= 0.0) return 1.0 / static_cast<double>(cumulative_.size());
+  const double prev = (i == 0) ? 0.0 : cumulative_[i - 1];
+  return (cumulative_[i] - prev) / total_;
+}
+
+}  // namespace pnoc::sim

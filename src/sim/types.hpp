@@ -1,0 +1,45 @@
+// Fundamental scalar types and identifiers shared by every simulator module.
+//
+// The simulator is cycle accurate: all time is expressed in integer cycles of
+// the global network clock (2.5 GHz in the paper's configuration, Table 3-3).
+// Identifiers are strong-ish typedefs (distinct enums would be heavier than
+// the codebase needs; the naming convention plus helper accessors keep the
+// call sites unambiguous).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pnoc {
+
+/// One tick of the global network clock.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "not yet happened".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Index of a processing core on the chip (0 .. numCores-1).
+using CoreId = std::uint32_t;
+
+/// Index of a cluster of cores; each cluster hosts one photonic router.
+using ClusterId = std::uint32_t;
+
+/// Index of a packet, unique within one simulation run.
+using PacketId = std::uint64_t;
+
+/// Index of a virtual channel within a router port.
+using VcId = std::uint32_t;
+
+/// Sentinel for "no VC allocated".
+inline constexpr VcId kNoVc = std::numeric_limits<VcId>::max();
+
+/// Invalid / unset identifier value usable for any of the 32-bit id types.
+inline constexpr std::uint32_t kInvalidId = std::numeric_limits<std::uint32_t>::max();
+
+/// Picojoules; all energy bookkeeping is done in pJ (Table 3-5 units).
+using Picojoule = double;
+
+/// Bits of payload.
+using Bits = std::uint64_t;
+
+}  // namespace pnoc

@@ -1,0 +1,129 @@
+#include "traffic/app_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "gpusim/kernel_model.hpp"
+
+namespace pnoc::traffic {
+namespace {
+
+std::uint32_t gbpsToLambdas(double gbps, const BandwidthSet& set) {
+  const double perLambda = photonic::kBitsPerSecondPerWavelength / 1e9;
+  const auto raw = static_cast<std::uint32_t>(std::ceil(std::max(gbps, perLambda) / perLambda));
+  return std::clamp<std::uint32_t>(raw, 1, set.maxChannelWavelengths);
+}
+
+}  // namespace
+
+RealApplicationPattern::RealApplicationPattern(const noc::ClusterTopology& topology,
+                                               const BandwidthSet& set)
+    : topology_(&topology), set_(set) {
+  if (topology.numClusters() != 16 || topology.clusterSize() != 4) {
+    throw std::invalid_argument(
+        "real-apps pattern is defined for the paper's 64-core / 16-cluster chip");
+  }
+  // Section 3.4.2 placement: MUM 20 cores, BFS/CP/RAY 4 each, LPS 16 -> 12
+  // GPU clusters; clusters 12..15 are memory.
+  const std::vector<std::pair<std::string, std::vector<ClusterId>>> placement = {
+      {"MUM", {0, 1, 2, 3, 4}}, {"BFS", {5}}, {"CP", {6}}, {"RAY", {7}},
+      {"LPS", {8, 9, 10, 11}},
+  };
+  memoryClusters_ = {12, 13, 14, 15};
+  clusterToApp_.assign(topology.numClusters(), kMemory);
+
+  gpusim::InterconnectParams profileIcnt;
+  profileIcnt.flitBytes = 128;  // Section 3.4.2: 128B flit size at 700 MHz
+  for (const auto& [name, clusters] : placement) {
+    AppPlacement app;
+    app.name = name;
+    app.clusters = clusters;
+    app.totalGbps = gpusim::GpuKernelModel::achievedBandwidthGbps(
+        gpusim::benchmarkByName(name), profileIcnt);
+    app.demandLambdas =
+        gbpsToLambdas(app.totalGbps / static_cast<double>(clusters.size()), set_);
+    for (const ClusterId c : clusters) clusterToApp_[c] = apps_.size();
+    totalRequestGbps_ += app.totalGbps;
+    apps_.push_back(std::move(app));
+  }
+  // Responses: the aggregate request bandwidth flows back from the memory
+  // clusters, split evenly between them.
+  memoryDemandLambdas_ = gbpsToLambdas(
+      totalRequestGbps_ / static_cast<double>(memoryClusters_.size()), set_);
+}
+
+bool RealApplicationPattern::isMemoryCluster(ClusterId cluster) const {
+  return clusterToApp_[cluster] == kMemory;
+}
+
+std::size_t RealApplicationPattern::appOfCluster(ClusterId cluster) const {
+  return clusterToApp_[cluster];
+}
+
+double RealApplicationPattern::sourceWeight(CoreId src) const {
+  const ClusterId cluster = topology_->clusterOf(src);
+  const std::size_t app = appOfCluster(cluster);
+  if (app == kMemory) {
+    // Response traffic: total request bandwidth split across memory cores.
+    const double cores =
+        static_cast<double>(memoryClusters_.size() * topology_->clusterSize());
+    return totalRequestGbps_ / cores;
+  }
+  const double cores =
+      static_cast<double>(apps_[app].clusters.size() * topology_->clusterSize());
+  return apps_[app].totalGbps / cores;
+}
+
+CoreId RealApplicationPattern::sampleDestination(CoreId src, sim::Rng& rng) const {
+  const ClusterId cluster = topology_->clusterOf(src);
+  const std::size_t app = appOfCluster(cluster);
+  if (app == kMemory) {
+    // Memory -> GPU response, weighted by each application's request share.
+    double pick = rng.nextDouble() * totalRequestGbps_;
+    std::size_t chosen = apps_.size() - 1;
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      if (pick < apps_[i].totalGbps) {
+        chosen = i;
+        break;
+      }
+      pick -= apps_[i].totalGbps;
+    }
+    const auto& clusters = apps_[chosen].clusters;
+    const ClusterId target = clusters[rng.nextBelow(clusters.size())];
+    return topology_->coreAt(target,
+                             static_cast<std::uint32_t>(rng.nextBelow(topology_->clusterSize())));
+  }
+  // GPU -> memory request, uniform over memory cores.
+  const ClusterId target = memoryClusters_[rng.nextBelow(memoryClusters_.size())];
+  return topology_->coreAt(target,
+                           static_cast<std::uint32_t>(rng.nextBelow(topology_->clusterSize())));
+}
+
+std::uint32_t RealApplicationPattern::bandwidthClass(ClusterId src, ClusterId dst) const {
+  // Report the class whose demand is closest to the flow's demand.
+  const std::uint32_t demand = wavelengthDemand(src, dst);
+  std::uint32_t best = 0;
+  std::uint32_t bestDelta = ~std::uint32_t{0};
+  for (std::uint32_t c = 0; c < kNumBandwidthClasses; ++c) {
+    const std::uint32_t classDemand = set_.demandWavelengths(c);
+    const std::uint32_t delta =
+        classDemand > demand ? classDemand - demand : demand - classDemand;
+    if (delta < bestDelta) {
+      bestDelta = delta;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::uint32_t RealApplicationPattern::wavelengthDemand(ClusterId src, ClusterId dst) const {
+  assert(src != dst);
+  (void)dst;
+  const std::size_t app = appOfCluster(src);
+  if (app == kMemory) return memoryDemandLambdas_;
+  return apps_[app].demandLambdas;
+}
+
+}  // namespace pnoc::traffic

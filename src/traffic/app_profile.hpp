@@ -1,0 +1,53 @@
+// Real-application traffic (Section 3.4.2): the parallel GPU applications
+// MUM, BFS, CP, RAY and LPS are mapped to 20, 4, 4, 4 and 16 cores (12 GPU
+// clusters); the remaining 4 clusters are memory clusters holding the
+// applications' data.  GPU clusters issue requests to the memory clusters
+// and the memory clusters stream responses back; per-application bandwidth
+// comes from profiling the gpusim kernel models at 128B flits / 700 MHz,
+// exactly how the paper sizes these demands with GPGPUSim.
+#pragma once
+
+#include <vector>
+
+#include "traffic/pattern.hpp"
+
+namespace pnoc::traffic {
+
+struct AppPlacement {
+  std::string name;
+  std::vector<ClusterId> clusters;
+  double totalGbps = 0.0;       // profiled request bandwidth of the whole app
+  std::uint32_t demandLambdas = 0;  // per-cluster write-channel demand
+};
+
+class RealApplicationPattern final : public TrafficPattern {
+ public:
+  RealApplicationPattern(const noc::ClusterTopology& topology, const BandwidthSet& set);
+
+  std::string name() const override { return "real-apps"; }
+  double sourceWeight(CoreId src) const override;
+  CoreId sampleDestination(CoreId src, sim::Rng& rng) const override;
+  std::uint32_t bandwidthClass(ClusterId src, ClusterId dst) const override;
+  std::uint32_t wavelengthDemand(ClusterId src, ClusterId dst) const override;
+
+  const std::vector<AppPlacement>& placements() const { return apps_; }
+  const std::vector<ClusterId>& memoryClusters() const { return memoryClusters_; }
+  bool isMemoryCluster(ClusterId cluster) const;
+  /// Per-memory-cluster response demand in wavelengths.
+  std::uint32_t memoryDemandLambdas() const { return memoryDemandLambdas_; }
+
+ private:
+  /// Application index hosting this cluster, or npos for memory clusters.
+  std::size_t appOfCluster(ClusterId cluster) const;
+
+  const noc::ClusterTopology* topology_;
+  BandwidthSet set_;
+  std::vector<AppPlacement> apps_;
+  std::vector<ClusterId> memoryClusters_;
+  std::vector<std::size_t> clusterToApp_;  // npos for memory clusters
+  std::uint32_t memoryDemandLambdas_ = 1;
+  double totalRequestGbps_ = 0.0;
+  static constexpr std::size_t kMemory = static_cast<std::size_t>(-1);
+};
+
+}  // namespace pnoc::traffic

@@ -1,0 +1,43 @@
+#include "traffic/bandwidth_set.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnoc::traffic {
+
+std::uint32_t BandwidthSet::demandWavelengths(std::uint32_t bandwidthClass) const {
+  assert(bandwidthClass < kNumBandwidthClasses);
+  const double perLambda = photonic::kBitsPerSecondPerWavelength / 1e9;  // 12.5 Gb/s
+  return static_cast<std::uint32_t>(std::ceil(channelGbps[bandwidthClass] / perLambda));
+}
+
+std::uint32_t BandwidthSet::fireflyLambdasPerChannel(std::uint32_t numClusters) const {
+  assert(numClusters > 0);
+  return (totalWavelengths + numClusters - 1) / numClusters;
+}
+
+BandwidthSet BandwidthSet::set1() {
+  return BandwidthSet{"BW Set 1", {12.5, 25.0, 50.0, 100.0}, 64, 8, 64, 32};
+}
+
+BandwidthSet BandwidthSet::set2() {
+  return BandwidthSet{"BW Set 2", {50.0, 100.0, 200.0, 400.0}, 256, 32, 16, 128};
+}
+
+BandwidthSet BandwidthSet::set3() {
+  return BandwidthSet{"BW Set 3", {100.0, 200.0, 400.0, 800.0}, 512, 64, 8, 256};
+}
+
+std::array<BandwidthSet, 3> BandwidthSet::all() { return {set1(), set2(), set3()}; }
+
+BandwidthSet BandwidthSet::byIndex(int index) {
+  switch (index) {
+    case 1: return set1();
+    case 2: return set2();
+    case 3: return set3();
+    default: throw std::invalid_argument("bandwidth set index must be 1, 2 or 3");
+  }
+}
+
+}  // namespace pnoc::traffic

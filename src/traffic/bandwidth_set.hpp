@@ -1,0 +1,58 @@
+// The three bandwidth sets of Table 3-1 and the packet formats of Table 3-3.
+//
+// Each set defines four application channel bandwidths.  A channel of
+// bandwidth B needs B / 12.5 Gb/s wavelengths (Section 3.4.1: "The number of
+// wavelengths required by an application running on a core is given by
+// dividing the required bandwidth by minimum channel bandwidth").
+//
+//   set 1: {12.5, 25, 50, 100} Gb/s  -> demands {1,2,4,8}   lambdas, total  64
+//   set 2: {50, 100, 200, 400} Gb/s  -> demands {4,8,16,32} lambdas, total 256
+//   set 3: {100, 200, 400, 800} Gb/s -> demands {8,16,32,64} lambdas, total 512
+//
+// Packets are always 2048 bits; the flit size tracks the channel width
+// (Table 3-3): 64x32b, 16x128b, 8x256b.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "photonic/wavelength.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::traffic {
+
+/// Number of distinct application bandwidth classes per set (Table 3-1).
+inline constexpr std::uint32_t kNumBandwidthClasses = 4;
+
+struct BandwidthSet {
+  std::string name;
+  /// Channel bandwidths in Gb/s, ascending (class 0 = lowest).
+  std::array<double, kNumBandwidthClasses> channelGbps{};
+  /// Aggregate data wavelengths of the set (Table 3-1 parenthetical).
+  std::uint32_t totalWavelengths = 0;
+  /// d-HetPNoC per-channel wavelength cap (Table 3-3: 8 / 32 / 64).
+  std::uint32_t maxChannelWavelengths = 0;
+  std::uint32_t packetFlits = 0;  // Table 3-3
+  Bits flitBits = 0;              // Table 3-3
+
+  Bits packetBits() const { return static_cast<Bits>(packetFlits) * flitBits; }
+
+  /// Wavelengths demanded by an application of class `bandwidthClass`.
+  std::uint32_t demandWavelengths(std::uint32_t bandwidthClass) const;
+
+  /// Firefly's uniform per-cluster write-channel width for this set:
+  /// totalWavelengths / numClusters (Table 3-3: 4 / 16 / 32 at 16 clusters).
+  std::uint32_t fireflyLambdasPerChannel(std::uint32_t numClusters) const;
+
+  static BandwidthSet set1();
+  static BandwidthSet set2();
+  static BandwidthSet set3();
+  /// All three, in order, for sweep benches.
+  static std::array<BandwidthSet, 3> all();
+  /// Lookup by 1-based index (matching the paper's numbering); throws
+  /// std::invalid_argument for anything but 1, 2 or 3.
+  static BandwidthSet byIndex(int index);
+};
+
+}  // namespace pnoc::traffic

@@ -1,0 +1,50 @@
+#include "traffic/hotspot.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pnoc::traffic {
+namespace {
+
+int baseSkewLevel(int variant) {
+  switch (variant) {
+    case 1: return 2;  // 10% hotspot + skewed2
+    case 2: return 3;  // 10% hotspot + skewed3
+    case 3: return 2;  // 20% hotspot + skewed2
+    case 4: return 3;  // 20% hotspot + skewed3
+    default: throw std::invalid_argument("hotspot variant must be 1..4");
+  }
+}
+
+double hotspotShare(int variant) { return variant <= 2 ? 0.10 : 0.20; }
+
+}  // namespace
+
+SkewedHotspotPattern::SkewedHotspotPattern(int variant, const noc::ClusterTopology& topology,
+                                           const BandwidthSet& set, CoreId hotspotCore)
+    : variant_(variant),
+      hotspotFraction_(hotspotShare(variant)),
+      hotspotCore_(hotspotCore),
+      topology_(&topology),
+      base_(baseSkewLevel(variant), topology, set) {
+  assert(hotspotCore < topology.numCores());
+}
+
+double SkewedHotspotPattern::sourceWeight(CoreId src) const {
+  return base_.sourceWeight(src);
+}
+
+CoreId SkewedHotspotPattern::sampleDestination(CoreId src, sim::Rng& rng) const {
+  if (src != hotspotCore_ && rng.nextBool(hotspotFraction_)) return hotspotCore_;
+  return base_.sampleDestination(src, rng);
+}
+
+std::uint32_t SkewedHotspotPattern::bandwidthClass(ClusterId src, ClusterId dst) const {
+  return base_.bandwidthClass(src, dst);
+}
+
+std::uint32_t SkewedHotspotPattern::wavelengthDemand(ClusterId src, ClusterId dst) const {
+  return base_.wavelengthDemand(src, dst);
+}
+
+}  // namespace pnoc::traffic

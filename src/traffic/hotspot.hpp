@@ -1,0 +1,41 @@
+// Skewed-hotspot traffic (Section 3.4.2 case studies).
+//
+// A fraction of all traffic is directed at one hotspot core (a scheduler or
+// controller in the CMP); the remainder follows a skewed pattern:
+//   skewed-hotspot1: 10% hotspot + 90% skewed2
+//   skewed-hotspot2: 10% hotspot + 90% skewed3
+//   skewed-hotspot3: 20% hotspot + 80% skewed2
+//   skewed-hotspot4: 20% hotspot + 80% skewed3
+#pragma once
+
+#include <memory>
+
+#include "traffic/skewed.hpp"
+
+namespace pnoc::traffic {
+
+class SkewedHotspotPattern final : public TrafficPattern {
+ public:
+  /// `variant` is 1..4 per the table above; the hotspot core defaults to
+  /// core 0. Throws std::invalid_argument for other variants.
+  SkewedHotspotPattern(int variant, const noc::ClusterTopology& topology,
+                       const BandwidthSet& set, CoreId hotspotCore = 0);
+
+  std::string name() const override { return "skewed-hotspot" + std::to_string(variant_); }
+  double sourceWeight(CoreId src) const override;
+  CoreId sampleDestination(CoreId src, sim::Rng& rng) const override;
+  std::uint32_t bandwidthClass(ClusterId src, ClusterId dst) const override;
+  std::uint32_t wavelengthDemand(ClusterId src, ClusterId dst) const override;
+
+  double hotspotFraction() const { return hotspotFraction_; }
+  CoreId hotspotCore() const { return hotspotCore_; }
+
+ private:
+  int variant_;
+  double hotspotFraction_;
+  CoreId hotspotCore_;
+  const noc::ClusterTopology* topology_;
+  SkewedPattern base_;
+};
+
+}  // namespace pnoc::traffic

@@ -1,0 +1,152 @@
+#include "traffic/matrix_pattern.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace pnoc::traffic {
+namespace {
+
+void validateSquare(const char* what, std::size_t numClusters, std::size_t rows) {
+  if (rows != numClusters) {
+    throw std::invalid_argument(std::string(what) + ": expected " +
+                                std::to_string(numClusters) + " rows, got " +
+                                std::to_string(rows));
+  }
+}
+
+}  // namespace
+
+MatrixPattern::MatrixPattern(const noc::ClusterTopology& topology,
+                             std::vector<std::vector<double>> rates,
+                             std::vector<std::vector<std::uint32_t>> demands,
+                             std::string name)
+    : topology_(&topology),
+      name_(std::move(name)),
+      rates_(std::move(rates)),
+      demands_(std::move(demands)) {
+  const std::uint32_t n = topology.numClusters();
+  validateSquare("rate matrix", n, rates_.size());
+  validateSquare("demand matrix", n, demands_.size());
+  rowSums_.resize(n, 0.0);
+  for (ClusterId s = 0; s < n; ++s) {
+    validateSquare("rate matrix row", n, rates_[s].size());
+    validateSquare("demand matrix row", n, demands_[s].size());
+    if (rates_[s][s] != 0.0 || demands_[s][s] != 0) {
+      throw std::invalid_argument("matrix diagonals must be zero (cluster " +
+                                  std::to_string(s) + ")");
+    }
+    for (ClusterId d = 0; d < n; ++d) {
+      if (rates_[s][d] < 0.0) {
+        throw std::invalid_argument("negative rate at (" + std::to_string(s) + "," +
+                                    std::to_string(d) + ")");
+      }
+      if (rates_[s][d] > 0.0 && demands_[s][d] == 0) {
+        throw std::invalid_argument("flow (" + std::to_string(s) + "," +
+                                    std::to_string(d) +
+                                    ") has traffic but zero wavelength demand");
+      }
+      rowSums_[s] += rates_[s][d];
+    }
+    destinationByCluster_.emplace_back(std::span<const double>(rates_[s]));
+  }
+}
+
+double MatrixPattern::sourceWeight(CoreId src) const {
+  const ClusterId cluster = topology_->clusterOf(src);
+  return rowSums_[cluster] / topology_->clusterSize();
+}
+
+CoreId MatrixPattern::sampleDestination(CoreId src, sim::Rng& rng) const {
+  const ClusterId cluster = topology_->clusterOf(src);
+  if (rowSums_[cluster] <= 0.0) {
+    // A silent cluster asked to generate anyway (weight 0 normally prevents
+    // this); fall back to a uniform remote core so the caller still gets a
+    // valid destination.
+    const std::uint32_t n = topology_->numCores();
+    const auto pick = static_cast<CoreId>(rng.nextBelow(n - 1));
+    return pick >= src ? pick + 1 : pick;
+  }
+  const auto dstCluster =
+      static_cast<ClusterId>(destinationByCluster_[cluster].sample(rng));
+  assert(dstCluster != cluster);
+  return topology_->coreAt(
+      dstCluster, static_cast<std::uint32_t>(rng.nextBelow(topology_->clusterSize())));
+}
+
+std::uint32_t MatrixPattern::bandwidthClass(ClusterId src, ClusterId dst) const {
+  // Report demand magnitude as a pseudo-class: log2 of the demand, clamped.
+  const std::uint32_t demand = wavelengthDemand(src, dst);
+  std::uint32_t cls = 0;
+  for (std::uint32_t d = demand; d > 1 && cls + 1 < kNumBandwidthClasses; d >>= 1) ++cls;
+  return cls;
+}
+
+std::uint32_t MatrixPattern::wavelengthDemand(ClusterId src, ClusterId dst) const {
+  assert(src != dst);
+  // Demand floor of 1: the DBA's current table never goes below the reserved
+  // minimum anyway, and zero-demand destinations may still see stray packets.
+  return demands_[src][dst] == 0 ? 1 : demands_[src][dst];
+}
+
+std::vector<std::vector<double>> parseCsvMatrix(const std::string& csv,
+                                                std::uint32_t expectedSize) {
+  std::vector<std::vector<double>> matrix;
+  std::istringstream lines(csv);
+  std::string line;
+  std::uint32_t lineNumber = 0;
+  while (std::getline(lines, line)) {
+    ++lineNumber;
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::istringstream cells(line);
+    std::string cell;
+    while (std::getline(cells, cell, ',')) {
+      try {
+        std::size_t pos = 0;
+        row.push_back(std::stod(cell, &pos));
+        while (pos < cell.size() && std::isspace(static_cast<unsigned char>(cell[pos]))) {
+          ++pos;
+        }
+        if (pos != cell.size()) throw std::invalid_argument("trailing chars");
+      } catch (const std::exception&) {
+        throw std::invalid_argument("CSV line " + std::to_string(lineNumber) +
+                                    ": bad cell '" + cell + "'");
+      }
+    }
+    if (row.size() != expectedSize) {
+      throw std::invalid_argument("CSV line " + std::to_string(lineNumber) + ": expected " +
+                                  std::to_string(expectedSize) + " columns, got " +
+                                  std::to_string(row.size()));
+    }
+    matrix.push_back(std::move(row));
+  }
+  if (matrix.size() != expectedSize) {
+    throw std::invalid_argument("CSV: expected " + std::to_string(expectedSize) +
+                                " rows, got " + std::to_string(matrix.size()));
+  }
+  return matrix;
+}
+
+MatrixPattern MatrixPattern::fromCsv(const noc::ClusterTopology& topology,
+                                     const std::string& ratesCsv,
+                                     const std::string& demandsCsv, std::string name) {
+  const std::uint32_t n = topology.numClusters();
+  const auto rates = parseCsvMatrix(ratesCsv, n);
+  const auto rawDemands = parseCsvMatrix(demandsCsv, n);
+  std::vector<std::vector<std::uint32_t>> demands(n, std::vector<std::uint32_t>(n, 0));
+  for (ClusterId s = 0; s < n; ++s) {
+    for (ClusterId d = 0; d < n; ++d) {
+      if (rawDemands[s][d] < 0.0 ||
+          rawDemands[s][d] != static_cast<double>(static_cast<std::uint32_t>(rawDemands[s][d]))) {
+        throw std::invalid_argument("demand (" + std::to_string(s) + "," +
+                                    std::to_string(d) +
+                                    ") must be a non-negative integer");
+      }
+      demands[s][d] = static_cast<std::uint32_t>(rawDemands[s][d]);
+    }
+  }
+  return MatrixPattern(topology, rates, std::move(demands), std::move(name));
+}
+
+}  // namespace pnoc::traffic

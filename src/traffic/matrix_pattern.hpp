@@ -1,0 +1,57 @@
+// Matrix-driven traffic: the pattern is specified by an explicit
+// cluster-by-cluster rate matrix (relative packets/cycle) and demand matrix
+// (wavelengths), instead of a built-in formula.  This is how a downstream
+// user replays a profiled workload: profile the rates however they like,
+// dump them as CSV, and hand them to the simulator.
+//
+//   rate.csv / demand.csv: one row per source cluster, comma-separated
+//   columns per destination cluster; diagonal entries must be 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "traffic/pattern.hpp"
+
+namespace pnoc::traffic {
+
+class MatrixPattern final : public TrafficPattern {
+ public:
+  /// `rates[s][d]` — relative traffic rate from cluster s to cluster d;
+  /// `demands[s][d]` — wavelength demand of the (s,d) flow (>= 1 where
+  /// rates[s][d] > 0).  Both must be numClusters x numClusters with zero
+  /// diagonals.  Throws std::invalid_argument on malformed input.
+  MatrixPattern(const noc::ClusterTopology& topology,
+                std::vector<std::vector<double>> rates,
+                std::vector<std::vector<std::uint32_t>> demands,
+                std::string name = "matrix");
+
+  std::string name() const override { return name_; }
+  double sourceWeight(CoreId src) const override;
+  CoreId sampleDestination(CoreId src, sim::Rng& rng) const override;
+  std::uint32_t bandwidthClass(ClusterId src, ClusterId dst) const override;
+  std::uint32_t wavelengthDemand(ClusterId src, ClusterId dst) const override;
+
+  /// Builds from CSV text (not a file path; read the file yourself).  Both
+  /// arguments must contain numClusters lines of numClusters comma-separated
+  /// values.  Throws std::invalid_argument with a line/column diagnostic on
+  /// malformed input.
+  static MatrixPattern fromCsv(const noc::ClusterTopology& topology,
+                               const std::string& ratesCsv,
+                               const std::string& demandsCsv,
+                               std::string name = "matrix-csv");
+
+ private:
+  const noc::ClusterTopology* topology_;
+  std::string name_;
+  std::vector<std::vector<double>> rates_;
+  std::vector<std::vector<std::uint32_t>> demands_;
+  std::vector<double> rowSums_;
+  std::vector<sim::DiscreteDistribution> destinationByCluster_;
+};
+
+/// Parses a square CSV matrix of doubles; helper exposed for tests.
+std::vector<std::vector<double>> parseCsvMatrix(const std::string& csv,
+                                                std::uint32_t expectedSize);
+
+}  // namespace pnoc::traffic

@@ -1,0 +1,40 @@
+#include "traffic/uniform.hpp"
+
+#include <cassert>
+
+namespace pnoc::traffic {
+
+UniformRandomPattern::UniformRandomPattern(const noc::ClusterTopology& topology,
+                                           const BandwidthSet& set)
+    : topology_(&topology) {
+  uniformDemand_ = set.totalWavelengths / topology.numClusters();
+  assert(uniformDemand_ >= 1);
+  // The class whose channel bandwidth matches the even split, for reporting.
+  uniformClass_ = 0;
+  for (std::uint32_t c = 0; c < kNumBandwidthClasses; ++c) {
+    if (set.demandWavelengths(c) == uniformDemand_) uniformClass_ = c;
+  }
+}
+
+double UniformRandomPattern::sourceWeight(CoreId) const { return 1.0; }
+
+CoreId UniformRandomPattern::sampleDestination(CoreId src, sim::Rng& rng) const {
+  const std::uint32_t n = topology_->numCores();
+  assert(n >= 2);
+  // Uniform over all cores except the source itself.
+  const auto pick = static_cast<CoreId>(rng.nextBelow(n - 1));
+  return pick >= src ? pick + 1 : pick;
+}
+
+std::uint32_t UniformRandomPattern::bandwidthClass(ClusterId, ClusterId) const {
+  return uniformClass_;
+}
+
+std::uint32_t UniformRandomPattern::wavelengthDemand(ClusterId src, ClusterId dst) const {
+  assert(src != dst);
+  (void)src;
+  (void)dst;
+  return uniformDemand_;
+}
+
+}  // namespace pnoc::traffic

@@ -1,0 +1,28 @@
+// Uniform-random traffic (Section 3.4.1): every core communicates with every
+// other core at the same rate and every flow needs the same bandwidth, which
+// equals the aggregate budget divided evenly (totalWavelengths / numClusters
+// per write channel) — precisely Firefly's static allocation, so the two
+// architectures are expected to coincide under this pattern.
+#pragma once
+
+#include "traffic/pattern.hpp"
+
+namespace pnoc::traffic {
+
+class UniformRandomPattern final : public TrafficPattern {
+ public:
+  UniformRandomPattern(const noc::ClusterTopology& topology, const BandwidthSet& set);
+
+  std::string name() const override { return "uniform"; }
+  double sourceWeight(CoreId src) const override;
+  CoreId sampleDestination(CoreId src, sim::Rng& rng) const override;
+  std::uint32_t bandwidthClass(ClusterId src, ClusterId dst) const override;
+  std::uint32_t wavelengthDemand(ClusterId src, ClusterId dst) const override;
+
+ private:
+  const noc::ClusterTopology* topology_;
+  std::uint32_t uniformDemand_;
+  std::uint32_t uniformClass_;
+};
+
+}  // namespace pnoc::traffic

@@ -1,0 +1,178 @@
+// Tests of the two d-HetPNoC extensions beyond the paper's main design:
+//  * the waveguide-restricted variant from the thesis conclusion (router x
+//    may only modulate waveguides x .. x+k-1 mod NW), and
+//  * wavelength fault injection (a broken MRR's channel is quarantined via
+//    the token and traffic continues on the remaining wavelengths).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dba.hpp"
+#include "core/tables.hpp"
+#include "core/token.hpp"
+#include "network/network.hpp"
+
+namespace pnoc::core {
+namespace {
+
+WavelengthTable demandAll(std::uint32_t numClusters, ClusterId self, std::uint32_t lambdas) {
+  WavelengthTable table(numClusters);
+  for (ClusterId d = 0; d < numClusters; ++d) {
+    if (d != self) table.set(d, lambdas);
+  }
+  return table;
+}
+
+/// Set-3-like rig: 512 wavelengths over 8 waveguides, 16 clusters.
+struct Rig {
+  explicit Rig(std::uint32_t writableWaveguides) : map(8, 64), token(512, 16) {
+    DbaConfig config;
+    config.maxChannelWavelengths = 64;
+    config.reservedPerCluster = 1;
+    config.writableWaveguides = writableWaveguides;
+    for (ClusterId c = 0; c < 16; ++c) {
+      tables.push_back(std::make_unique<RouterTables>(c, 16, 4));
+      controllers.push_back(std::make_unique<DbaController>(c, config, *tables[c], map));
+    }
+  }
+  void rotate(Cycle now = 0) {
+    for (auto& controller : controllers) controller->onToken(token, now);
+  }
+  photonic::WavelengthAllocationMap map;
+  Token token;
+  std::vector<std::unique_ptr<RouterTables>> tables;
+  std::vector<std::unique_ptr<DbaController>> controllers;
+};
+
+TEST(RestrictedDba, AcquiresOnlyWithinAllowedWaveguides) {
+  Rig rig(2);
+  rig.tables[3]->updateDemand(0, demandAll(16, 3, 64));
+  rig.rotate();
+  for (const auto& id : rig.controllers[3]->ownedWavelengths()) {
+    if (id == rig.controllers[3]->ownedWavelengths().front()) continue;  // reserved
+    EXPECT_TRUE(id.waveguide == 3 || id.waveguide == 4) << "waveguide " << id.waveguide;
+  }
+  EXPECT_EQ(rig.controllers[3]->ownedCount(), 64u);  // 2 x 64 >= 64 demanded
+}
+
+TEST(RestrictedDba, WindowWrapsAroundLastWaveguide) {
+  Rig rig(2);
+  // Cluster 15 -> first waveguide 15 mod 8 = 7, window {7, 0}.
+  rig.tables[15]->updateDemand(0, demandAll(16, 15, 32));
+  rig.rotate();
+  for (const auto& id : rig.controllers[15]->ownedWavelengths()) {
+    if (id == rig.controllers[15]->ownedWavelengths().front()) continue;
+    EXPECT_TRUE(id.waveguide == 7 || id.waveguide == 0) << "waveguide " << id.waveguide;
+  }
+}
+
+TEST(RestrictedDba, SingleWaveguideWindowCapsAcquisition) {
+  Rig rig(1);
+  rig.tables[2]->updateDemand(0, demandAll(16, 2, 64));
+  rig.rotate();
+  // Waveguide 2 has 64 lambdas but shares them with other windows; cluster 2
+  // can never own more than one waveguide's worth.
+  EXPECT_LE(rig.controllers[2]->ownedCount(), 64u);
+  for (const auto& id : rig.controllers[2]->ownedWavelengths()) {
+    if (id == rig.controllers[2]->ownedWavelengths().front()) continue;
+    EXPECT_EQ(id.waveguide, 2u);
+  }
+}
+
+TEST(RestrictedDba, RestrictionReducesSatisfactionUnderContention) {
+  // All clusters demand the cap.  Unrestricted: first-come clusters win big.
+  // Restricted to 1 waveguide: each window is contended by ~2 clusters, so
+  // allocations are flatter and total satisfaction differs.
+  Rig unrestricted(0);
+  Rig restricted(1);
+  for (ClusterId c = 0; c < 16; ++c) {
+    unrestricted.tables[c]->updateDemand(0, demandAll(16, c, 64));
+    restricted.tables[c]->updateDemand(0, demandAll(16, c, 64));
+  }
+  unrestricted.rotate();
+  restricted.rotate();
+  EXPECT_GT(unrestricted.controllers[0]->ownedCount(),
+            restricted.controllers[0]->ownedCount());
+}
+
+TEST(FaultInjection, DefectiveDynamicWavelengthIsQuarantined) {
+  Rig rig(0);
+  rig.tables[0]->updateDemand(0, demandAll(16, 0, 8));
+  rig.rotate();
+  ASSERT_EQ(rig.controllers[0]->ownedCount(), 8u);
+  // Break a dynamically held wavelength of cluster 0.
+  const photonic::WavelengthId broken = rig.controllers[0]->ownedWavelengths().back();
+  rig.controllers[0]->markDefective(broken);
+  rig.rotate();
+  // Released from the map, replaced by a healthy one, never re-acquired.
+  EXPECT_EQ(rig.controllers[0]->ownedCount(), 8u);
+  for (const auto& id : rig.controllers[0]->ownedWavelengths()) {
+    EXPECT_NE(id, broken);
+  }
+  EXPECT_TRUE(rig.map.isFree(broken));
+  // Quarantined in the token: still marked allocated there.
+  EXPECT_TRUE(rig.token.isAllocated(
+      rig.token.tokenBitFor(photonic::flatten(broken, 64))));
+}
+
+TEST(FaultInjection, NoClusterEverAcquiresAQuarantinedWavelength) {
+  Rig rig(0);
+  photonic::WavelengthId broken{1, 7};
+  for (auto& controller : rig.controllers) controller->markDefective(broken);
+  for (ClusterId c = 0; c < 16; ++c) {
+    rig.tables[c]->updateDemand(0, demandAll(16, c, 32));
+  }
+  for (int round = 0; round < 4; ++round) rig.rotate();
+  EXPECT_TRUE(rig.map.isFree(broken));
+}
+
+}  // namespace
+}  // namespace pnoc::core
+
+namespace pnoc::network {
+namespace {
+
+TEST(RestrictedDbaSystem, FullSystemRunsRestricted) {
+  SimulationParameters params;
+  params.architecture = Architecture::kDhetpnoc;
+  params.bandwidthSet = traffic::BandwidthSet::set3();  // 8 data waveguides
+  params.pattern = "skewed3";
+  params.offeredLoad = 0.004;
+  params.writableWaveguides = 2;
+  params.warmupCycles = 500;
+  params.measureCycles = 3000;
+  PhotonicNetwork net(params);
+  const auto m = net.run();
+  EXPECT_GT(m.packetsDelivered, 100u);
+  EXPECT_EQ(net.totalFlitsInjected(), net.totalFlitsEjected() + net.occupancy());
+}
+
+TEST(FaultInjectionSystem, TrafficContinuesAfterWavelengthFaults) {
+  SimulationParameters params;
+  params.architecture = Architecture::kDhetpnoc;
+  params.pattern = "skewed3";
+  params.offeredLoad = 0.001;
+  params.warmupCycles = 200;
+  params.measureCycles = 0;
+  PhotonicNetwork net(params);
+  auto* policy = dynamic_cast<DhetpnocPolicy*>(&net.policy());
+  ASSERT_NE(policy, nullptr);
+  net.step(500);
+  const auto deliveredBefore = net.totalFlitsEjected();
+  // Break several dynamically allocatable wavelengths.
+  for (std::uint32_t lambda = 20; lambda < 26; ++lambda) {
+    policy->injectWavelengthFault({0, lambda});
+  }
+  net.step(2000);
+  EXPECT_GT(net.totalFlitsEjected(), deliveredBefore + 1000u);
+  // Safety: ownership + free + (implicitly quarantined) never exceeds total.
+  const auto& map = policy->allocationMap();
+  std::uint32_t owned = 0;
+  for (ClusterId c = 0; c < 16; ++c) owned += map.ownedCount(c);
+  EXPECT_LE(owned + map.freeCount(), map.totalWavelengths());
+  EXPECT_EQ(net.totalFlitsInjected(), net.totalFlitsEjected() + net.occupancy());
+}
+
+}  // namespace
+}  // namespace pnoc::network

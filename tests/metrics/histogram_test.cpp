@@ -1,0 +1,65 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace pnoc::metrics {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsSafe) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, MeanMinMaxExact) {
+  LatencyHistogram h;
+  for (const Cycle c : {10u, 20u, 30u}) h.record(c);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+}
+
+TEST(LatencyHistogram, QuantilesBracketTruth) {
+  // Power-of-two buckets: a quantile is correct within a factor of 2.
+  LatencyHistogram h;
+  sim::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) h.record(100 + rng.nextBelow(100));  // U[100,200)
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 300.0);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+}
+
+TEST(LatencyHistogram, TailQuantileSeesOutliers) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(10);
+  h.record(100000);
+  EXPECT_LT(h.quantile(0.5), 32.0);
+  EXPECT_GT(h.quantile(0.999), 50000.0);
+}
+
+TEST(LatencyHistogram, AccumulateAndWindowDiff) {
+  LatencyHistogram warmup;
+  for (int i = 0; i < 50; ++i) warmup.record(1000);  // slow warmup packets
+  LatencyHistogram total = warmup;
+  for (int i = 0; i < 100; ++i) total.record(10);  // fast steady-state
+  const LatencyHistogram window = total.since(warmup);
+  EXPECT_EQ(window.count(), 100u);
+  EXPECT_LT(window.quantile(0.5), 32.0);  // warmup packets excluded
+}
+
+TEST(LatencyHistogram, ZeroAndHugeValuesLand) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(kNoCycle - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+}  // namespace
+}  // namespace pnoc::metrics

@@ -1,0 +1,103 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "metrics/report.hpp"
+#include "metrics/saturation.hpp"
+
+namespace pnoc::metrics {
+namespace {
+
+TEST(RunMetrics, DerivedQuantities) {
+  RunMetrics m;
+  m.measuredCycles = 10000;
+  m.measuredSeconds = 4e-6;  // 10000 cycles at 2.5 GHz
+  m.bitsDelivered = 4'000'000;
+  m.packetsDelivered = 100;
+  m.latencyCyclesSum = 25000;
+  m.packetsOffered = 125;
+  m.ledger.add(photonic::EnergyCategory::kLaunch, 5000.0);
+  EXPECT_DOUBLE_EQ(m.deliveredGbps(), 1000.0);
+  EXPECT_DOUBLE_EQ(m.deliveredGbpsPerCore(64), 15.625);
+  EXPECT_DOUBLE_EQ(m.energyPerPacketPj(), 50.0);
+  EXPECT_DOUBLE_EQ(m.avgLatencyCycles(), 250.0);
+  EXPECT_DOUBLE_EQ(m.acceptance(), 0.8);
+}
+
+TEST(RunMetrics, EmptyWindowIsSafe) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.deliveredGbps(), 0.0);
+  EXPECT_DOUBLE_EQ(m.energyPerPacketPj(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avgLatencyCycles(), 0.0);
+  EXPECT_DOUBLE_EQ(m.acceptance(), 1.0);
+}
+
+/// Synthetic network: delivered = min(offered, capacity); EPM rises past the
+/// knee.  findPeak must locate the capacity.
+RunMetrics synthetic(double load, double capacityGbps) {
+  RunMetrics m;
+  m.measuredCycles = 10000;
+  m.measuredSeconds = 4e-6;
+  const double offeredGbps = load * 1e5;  // arbitrary scale
+  const double deliveredGbps = std::min(offeredGbps, capacityGbps);
+  m.bitsDelivered = static_cast<Bits>(deliveredGbps * 1e9 * m.measuredSeconds);
+  m.packetsDelivered = static_cast<std::uint64_t>(m.bitsDelivered / 2048);
+  m.packetsOffered = static_cast<std::uint64_t>(offeredGbps * 1e9 * m.measuredSeconds / 2048);
+  return m;
+}
+
+TEST(Saturation, FindsCapacityKnee) {
+  PeakSearchOptions options;
+  options.startLoad = 0.0001;
+  const auto result =
+      findPeak([](double load) { return synthetic(load, 250.0); }, options);
+  EXPECT_NEAR(result.peak.metrics.deliveredGbps(), 250.0, 25.0);
+  EXPECT_GE(result.peak.metrics.acceptance(), options.acceptanceFloor);
+  EXPECT_GT(result.sweep.size(), 4u);
+}
+
+TEST(Saturation, HigherCapacityYieldsHigherPeak) {
+  PeakSearchOptions options;
+  options.startLoad = 0.0001;
+  const auto low = findPeak([](double l) { return synthetic(l, 100.0); }, options);
+  const auto high = findPeak([](double l) { return synthetic(l, 400.0); }, options);
+  EXPECT_GT(high.peak.metrics.deliveredGbps(), 2.0 * low.peak.metrics.deliveredGbps());
+}
+
+TEST(Saturation, SweepLoadsAreMonotoneDuringRamp) {
+  PeakSearchOptions options;
+  options.startLoad = 0.001;
+  options.bisectionSteps = 0;
+  const auto result = findPeak([](double l) { return synthetic(l, 200.0); }, options);
+  for (std::size_t i = 1; i < result.sweep.size(); ++i) {
+    EXPECT_GT(result.sweep[i].offeredLoad, result.sweep[i - 1].offeredLoad);
+  }
+}
+
+TEST(ReportTable, RendersAlignedColumns) {
+  ReportTable table("demo");
+  table.setHeader({"name", "value"});
+  table.addRow({"alpha", "1"});
+  table.addRow({"b", "22222"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22222"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(ReportTable, NumberFormatting) {
+  EXPECT_EQ(ReportTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(ReportTable::num(2.0, 0), "2");
+  EXPECT_EQ(ReportTable::percent(0.0712), "+7.1%");
+  EXPECT_EQ(ReportTable::percent(-0.05), "-5.0%");
+}
+
+}  // namespace
+}  // namespace pnoc::metrics

@@ -1,0 +1,191 @@
+// Unit tests of the PhotonicRouter in isolation: a two-cluster rig with a
+// stub channel policy, checking reservation flow control, serialization rate,
+// receive-VC exhaustion (drop-and-retransmit) and ejection.
+#include "network/photonic_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/channel_policy.hpp"
+#include "sim/engine.hpp"
+
+namespace pnoc::network {
+namespace {
+
+/// Grants a fixed wavelength count to every pair.
+class StubPolicy final : public ChannelPolicy {
+ public:
+  explicit StubPolicy(std::uint32_t lambdas) : lambdas_(lambdas) {}
+  std::string name() const override { return "stub"; }
+  std::uint32_t lambdasFor(ClusterId, ClusterId) const override { return lambdas_; }
+  std::vector<photonic::WavelengthId> wavelengthsFor(ClusterId,
+                                                     ClusterId) const override {
+    std::vector<photonic::WavelengthId> ids;
+    for (std::uint32_t l = 0; l < lambdas_; ++l) ids.push_back({0, l});
+    return ids;
+  }
+  std::uint32_t maxReservationIdentifiers() const override { return lambdas_; }
+  std::uint32_t numDataWaveguides() const override { return 1; }
+  std::uint32_t lambdas_;
+};
+
+class CountingSink final : public noc::FlitSink {
+ public:
+  bool canAccept(const noc::Flit&) const override { return !blocked; }
+  void accept(const noc::Flit& flit, Cycle now) override {
+    flits.push_back(flit);
+    lastArrival = now;
+  }
+  bool blocked = false;
+  std::vector<noc::Flit> flits;
+  Cycle lastArrival = 0;
+};
+
+PhotonicRouterConfig smallConfig(ClusterId cluster) {
+  PhotonicRouterConfig config;
+  config.cluster = cluster;
+  config.clusterSize = 4;
+  config.vcsPerPort = 2;  // small so exhaustion is easy to trigger
+  config.vcDepthFlits = 8;
+  config.flitBits = 32;
+  config.packetFlits = 8;  // 256-bit packets for fast tests
+  return config;
+}
+
+noc::PacketDescriptor interPacket(PacketId id, ClusterId srcCluster, CoreId dstCore) {
+  noc::PacketDescriptor packet;
+  packet.id = id;
+  packet.srcCluster = srcCluster;
+  packet.dstCore = dstCore;
+  packet.dstCluster = dstCore / 4;
+  packet.numFlits = 8;
+  packet.bitsPerFlit = 32;
+  return packet;
+}
+
+class PhotonicRouterTest : public ::testing::Test {
+ protected:
+  PhotonicRouterTest()
+      : policy(4),
+        source("p0", smallConfig(0), policy),
+        destination("p1", smallConfig(1), policy) {
+    source.setPeers({&source, &destination});
+    destination.setPeers({&source, &destination});
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      source.connectEjection(i, sourceSinks[i]);
+      destination.connectEjection(i, destinationSinks[i]);
+    }
+    engine.add(source);
+    engine.add(destination);
+  }
+
+  void inject(const noc::PacketDescriptor& packet, std::uint32_t port = 0) {
+    for (std::uint32_t i = 0; i < packet.numFlits; ++i) {
+      const noc::Flit flit = noc::makeFlit(packet, i);
+      ASSERT_TRUE(source.inputPort(port).canAccept(flit));
+      source.inputPort(port).accept(flit, engine.now());
+    }
+  }
+
+  StubPolicy policy;
+  PhotonicRouter source;
+  PhotonicRouter destination;
+  CountingSink sourceSinks[4];
+  CountingSink destinationSinks[4];
+  sim::Engine engine;
+};
+
+TEST_F(PhotonicRouterTest, DeliversPacketToDestinationCoreSink) {
+  inject(interPacket(1, 0, 6));  // cluster 1, local core 2
+  engine.run(40);
+  EXPECT_EQ(destinationSinks[2].flits.size(), 8u);
+  EXPECT_EQ(destinationSinks[0].flits.size(), 0u);
+  EXPECT_EQ(source.stats().packetsTransmitted, 1u);
+  EXPECT_EQ(source.stats().bitsTransmitted, 256u);
+}
+
+TEST_F(PhotonicRouterTest, SerializationMatchesChannelWidth) {
+  // 4 lambdas * 5 bits/cycle = 20 bits/cycle; a 256-bit packet needs
+  // ceil(256/20) = 13 streaming cycles plus reservation + propagation.
+  inject(interPacket(1, 0, 4));
+  engine.run(40);
+  ASSERT_EQ(destinationSinks[0].flits.size(), 8u);
+  EXPECT_GE(destinationSinks[0].lastArrival, 13u);
+  EXPECT_LE(destinationSinks[0].lastArrival, 20u);
+}
+
+TEST_F(PhotonicRouterTest, WiderChannelIsFaster) {
+  CountingSink narrowSink;
+  Cycle narrowDone = 0;
+  {
+    inject(interPacket(1, 0, 4));
+    engine.run(40);
+    narrowDone = destinationSinks[0].lastArrival;
+  }
+  // Fresh rig with 8 lambdas.
+  StubPolicy widePolicy(8);
+  PhotonicRouter wideSource("w0", smallConfig(0), widePolicy);
+  PhotonicRouter wideDestination("w1", smallConfig(1), widePolicy);
+  wideSource.setPeers({&wideSource, &wideDestination});
+  wideDestination.setPeers({&wideSource, &wideDestination});
+  CountingSink wideSinks[4];
+  for (std::uint32_t i = 0; i < 4; ++i) wideDestination.connectEjection(i, wideSinks[i]);
+  for (std::uint32_t i = 0; i < 4; ++i) wideSource.connectEjection(i, narrowSink);
+  sim::Engine wideEngine;
+  wideEngine.add(wideSource);
+  wideEngine.add(wideDestination);
+  const auto packet = interPacket(1, 0, 4);
+  for (std::uint32_t i = 0; i < packet.numFlits; ++i) {
+    wideSource.inputPort(0).accept(noc::makeFlit(packet, i), 0);
+  }
+  wideEngine.run(40);
+  ASSERT_EQ(wideSinks[0].flits.size(), 8u);
+  EXPECT_LT(wideSinks[0].lastArrival, narrowDone);
+}
+
+TEST_F(PhotonicRouterTest, ReceiveVcExhaustionFailsReservation) {
+  // Block ejection so receive VCs stay occupied; with 2 VCs the third packet
+  // cannot reserve and the source counts failures (drop-and-retransmit).
+  for (auto& sink : destinationSinks) sink.blocked = true;
+  inject(interPacket(1, 0, 4), 0);
+  inject(interPacket(2, 0, 5), 1);
+  inject(interPacket(3, 0, 6), 2);
+  engine.run(60);
+  EXPECT_GT(source.stats().reservationFailures, 0u);
+  EXPECT_EQ(source.stats().packetsTransmitted, 2u);
+  // Unblock: the third packet goes through on retry.
+  for (auto& sink : destinationSinks) sink.blocked = false;
+  engine.run(60);
+  EXPECT_EQ(source.stats().packetsTransmitted, 3u);
+}
+
+TEST_F(PhotonicRouterTest, OneTransmissionAtATimePerWriteChannel) {
+  inject(interPacket(1, 0, 4), 0);
+  inject(interPacket(2, 0, 5), 1);
+  engine.run(14);  // enough for packet 1 (13 cycles) but not both
+  const auto transmitted = source.stats().packetsTransmitted;
+  EXPECT_LE(transmitted, 1u);
+  engine.run(40);
+  EXPECT_EQ(source.stats().packetsTransmitted, 2u);
+}
+
+TEST_F(PhotonicRouterTest, EjectionRoundRobinsAcrossConcurrentReceives) {
+  // Two packets for the same destination core from different input ports:
+  // both reserve receive VCs, ejection serves one flit per cycle.
+  inject(interPacket(1, 0, 4), 0);
+  inject(interPacket(2, 0, 4), 1);
+  engine.run(80);
+  EXPECT_EQ(destinationSinks[0].flits.size(), 16u);
+}
+
+TEST_F(PhotonicRouterTest, ChargesPhotonicEnergyPerBit) {
+  inject(interPacket(1, 0, 4));
+  engine.run(40);
+  // 256 data bits at 0.43 pJ/bit (launch+mod+tuning) plus the reservation
+  // flit's bits.
+  const double dataOnly = 256 * 0.43;
+  EXPECT_GT(source.transferLedger().total(), dataOnly - 1e-9);
+  EXPECT_LT(source.transferLedger().total(), dataOnly * 1.3);
+}
+
+}  // namespace
+}  // namespace pnoc::network

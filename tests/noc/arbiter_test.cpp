@@ -1,0 +1,96 @@
+#include "noc/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace pnoc::noc {
+namespace {
+
+std::vector<bool> requests(std::initializer_list<int> indices, std::uint32_t size) {
+  std::vector<bool> out(size, false);
+  for (const int i : indices) out[static_cast<std::size_t>(i)] = true;
+  return out;
+}
+
+/// Both arbiter kinds must satisfy the same contract; run the shared suite
+/// over each via a parameterized fixture.
+class ArbiterContract : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Arbiter> make(std::uint32_t size) { return makeArbiter(GetParam(), size); }
+};
+
+TEST_P(ArbiterContract, NoRequestsNoGrant) {
+  auto arbiter = make(4);
+  EXPECT_EQ(arbiter->grant(requests({}, 4)), kNoGrant);
+}
+
+TEST_P(ArbiterContract, SingleRequestWins) {
+  auto arbiter = make(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(arbiter->grant(requests({i}, 4)), static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST_P(ArbiterContract, GrantIsAlwaysARequester) {
+  auto arbiter = make(5);
+  const auto mask = requests({1, 3}, 5);
+  for (int i = 0; i < 20; ++i) {
+    const auto winner = arbiter->grant(mask);
+    EXPECT_TRUE(winner == 1 || winner == 3);
+  }
+}
+
+TEST_P(ArbiterContract, StarvationFree) {
+  // Under persistent full contention, every requester is granted within a
+  // window of `size` grants.
+  auto arbiter = make(4);
+  const auto all = requests({0, 1, 2, 3}, 4);
+  std::map<std::uint32_t, int> lastGranted;
+  for (int round = 0; round < 40; ++round) {
+    const auto winner = arbiter->grant(all);
+    ASSERT_NE(winner, kNoGrant);
+    lastGranted[winner] = round;
+  }
+  ASSERT_EQ(lastGranted.size(), 4u);
+  for (const auto& [who, when] : lastGranted) EXPECT_GE(when, 36) << "requester " << who;
+}
+
+TEST_P(ArbiterContract, FairShareUnderFullLoad) {
+  auto arbiter = make(3);
+  const auto all = requests({0, 1, 2}, 3);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 300; ++i) ++counts[arbiter->grant(all)];
+  for (const auto& [who, count] : counts) EXPECT_EQ(count, 100) << "requester " << who;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ArbiterContract,
+                         ::testing::Values("round-robin", "matrix"));
+
+TEST(RoundRobinArbiter, RotatesPriorityPastWinner) {
+  RoundRobinArbiter arbiter(3);
+  EXPECT_EQ(arbiter.grant(requests({0, 2}, 3)), 0u);
+  // Priority now starts at 1; index 2 beats 0.
+  EXPECT_EQ(arbiter.grant(requests({0, 2}, 3)), 2u);
+  EXPECT_EQ(arbiter.grant(requests({0, 2}, 3)), 0u);
+}
+
+TEST(MatrixArbiter, LeastRecentlyServedWins) {
+  MatrixArbiter arbiter(3);
+  EXPECT_EQ(arbiter.grant(requests({0, 1, 2}, 3)), 0u);
+  EXPECT_EQ(arbiter.grant(requests({0, 1, 2}, 3)), 1u);
+  EXPECT_EQ(arbiter.grant(requests({0, 1, 2}, 3)), 2u);
+  // 0 was served longest ago among {0,1}.
+  EXPECT_EQ(arbiter.grant(requests({0, 1}, 3)), 0u);
+  // 2 was served after 1, so 1 wins.
+  EXPECT_EQ(arbiter.grant(requests({1, 2}, 3)), 1u);
+}
+
+TEST(ArbiterFactory, RejectsUnknownKind) {
+  EXPECT_THROW(makeArbiter("random", 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnoc::noc

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "noc/buffered_port.hpp"
+#include "noc/flit.hpp"
+#include "noc/topology.hpp"
+#include "noc/vc_buffer.hpp"
+
+namespace pnoc::noc {
+namespace {
+
+PacketDescriptor makePacket(PacketId id, std::uint32_t numFlits, Bits bitsPerFlit = 32) {
+  PacketDescriptor packet;
+  packet.id = id;
+  packet.numFlits = numFlits;
+  packet.bitsPerFlit = bitsPerFlit;
+  return packet;
+}
+
+TEST(Flit, TypesByPosition) {
+  const auto packet = makePacket(1, 4);
+  EXPECT_EQ(makeFlit(packet, 0).type, FlitType::kHead);
+  EXPECT_EQ(makeFlit(packet, 1).type, FlitType::kBody);
+  EXPECT_EQ(makeFlit(packet, 2).type, FlitType::kBody);
+  EXPECT_EQ(makeFlit(packet, 3).type, FlitType::kTail);
+}
+
+TEST(Flit, SingleFlitPacketIsHeadTail) {
+  const auto packet = makePacket(2, 1);
+  const Flit flit = makeFlit(packet, 0);
+  EXPECT_EQ(flit.type, FlitType::kHeadTail);
+  EXPECT_TRUE(flit.isHead());
+  EXPECT_TRUE(flit.isTail());
+}
+
+TEST(Flit, TotalBits) {
+  EXPECT_EQ(makePacket(3, 64, 32).totalBits(), 2048u);  // BW set 1 geometry
+  EXPECT_EQ(makePacket(4, 16, 128).totalBits(), 2048u);  // BW set 2
+  EXPECT_EQ(makePacket(5, 8, 256).totalBits(), 2048u);  // BW set 3
+}
+
+TEST(VirtualChannel, FifoOrder) {
+  VirtualChannel vc(4);
+  const auto packet = makePacket(1, 3);
+  for (std::uint32_t i = 0; i < 3; ++i) vc.push(makeFlit(packet, i), i);
+  EXPECT_EQ(vc.pop(5).sequence, 0u);
+  EXPECT_EQ(vc.pop(5).sequence, 1u);
+  EXPECT_EQ(vc.pop(5).sequence, 2u);
+  EXPECT_TRUE(vc.empty());
+}
+
+TEST(VirtualChannel, CapacityAndFreeSlots) {
+  VirtualChannel vc(2);
+  const auto packet = makePacket(1, 2);
+  EXPECT_EQ(vc.freeSlots(), 2u);
+  vc.push(makeFlit(packet, 0), 0);
+  EXPECT_EQ(vc.freeSlots(), 1u);
+  vc.push(makeFlit(packet, 1), 0);
+  EXPECT_TRUE(vc.full());
+}
+
+TEST(VirtualChannel, ResidencyBitCycles) {
+  VirtualChannel vc(4);
+  const auto packet = makePacket(1, 1, 32);
+  vc.push(makeFlit(packet, 0), 10);
+  vc.pop(25);  // resident 15 cycles
+  EXPECT_EQ(vc.stats().bitCyclesResident, 32u * 15u);
+}
+
+TEST(VirtualChannel, StatsCountBits) {
+  VirtualChannel vc(4);
+  const auto packet = makePacket(1, 2, 128);
+  vc.push(makeFlit(packet, 0), 0);
+  vc.push(makeFlit(packet, 1), 0);
+  vc.pop(1);
+  EXPECT_EQ(vc.stats().bitsWritten, 256u);
+  EXPECT_EQ(vc.stats().bitsRead, 128u);
+  EXPECT_EQ(vc.stats().peakOccupancy, 2u);
+}
+
+TEST(VcBufferBank, FindFreeSkipsLockedAndOccupied) {
+  VcBufferBank bank(3, 2);
+  EXPECT_EQ(bank.findFreeVcForNewPacket(), 0u);
+  bank.lock(0);
+  EXPECT_EQ(bank.findFreeVcForNewPacket(), 1u);
+  bank.vc(1).push(makeFlit(makePacket(1, 2), 0), 0);
+  EXPECT_EQ(bank.findFreeVcForNewPacket(), 2u);
+  bank.lock(2);
+  EXPECT_EQ(bank.findFreeVcForNewPacket(), kNoVc);
+  EXPECT_TRUE(bank.allBusy());
+}
+
+TEST(VcBufferBank, AggregateStats) {
+  VcBufferBank bank(2, 4);
+  const auto packet = makePacket(1, 2, 64);
+  bank.vc(0).push(makeFlit(packet, 0), 0);
+  bank.vc(1).push(makeFlit(packet, 1), 0);
+  const BufferStats stats = bank.aggregateStats();
+  EXPECT_EQ(stats.flitsWritten, 2u);
+  EXPECT_EQ(stats.bitsWritten, 128u);
+  EXPECT_EQ(bank.totalOccupancy(), 2u);
+}
+
+TEST(BufferedPort, HeadAllocatesVcAndBodyFollows) {
+  BufferedPort port(2, 4);
+  const auto packet = makePacket(7, 3);
+  ASSERT_TRUE(port.canAccept(makeFlit(packet, 0)));
+  port.accept(makeFlit(packet, 0), 0);
+  port.accept(makeFlit(packet, 1), 1);
+  port.accept(makeFlit(packet, 2), 2);
+  // All flits of the packet must land in the same VC, in order.
+  EXPECT_EQ(port.bank().vc(0).size(), 3u);
+  EXPECT_EQ(port.pop(0, 3).sequence, 0u);
+  EXPECT_EQ(port.pop(0, 3).sequence, 1u);
+  EXPECT_EQ(port.pop(0, 3).sequence, 2u);
+}
+
+TEST(BufferedPort, RejectsBodyWithoutHead) {
+  BufferedPort port(2, 4);
+  const auto packet = makePacket(8, 3);
+  EXPECT_FALSE(port.canAccept(makeFlit(packet, 1)));
+}
+
+TEST(BufferedPort, TailPopUnlocksVc) {
+  BufferedPort port(1, 4);
+  const auto first = makePacket(1, 2);
+  port.accept(makeFlit(first, 0), 0);
+  port.accept(makeFlit(first, 1), 0);
+  // Only one VC and it is locked: a second packet's head must be refused.
+  const auto second = makePacket(2, 2);
+  EXPECT_FALSE(port.canAccept(makeFlit(second, 0)));
+  port.pop(0, 1);
+  EXPECT_FALSE(port.canAccept(makeFlit(second, 0)));  // tail not yet popped
+  port.pop(0, 1);
+  EXPECT_TRUE(port.canAccept(makeFlit(second, 0)));
+}
+
+TEST(BufferedPort, TwoPacketsUseDistinctVcs) {
+  BufferedPort port(2, 4);
+  const auto a = makePacket(1, 2);
+  const auto b = makePacket(2, 2);
+  port.accept(makeFlit(a, 0), 0);
+  port.accept(makeFlit(b, 0), 0);
+  port.accept(makeFlit(a, 1), 1);
+  port.accept(makeFlit(b, 1), 1);
+  EXPECT_EQ(port.bank().vc(0).front().packet.id, 1u);
+  EXPECT_EQ(port.bank().vc(1).front().packet.id, 2u);
+}
+
+TEST(ClusterTopology, PaperConfiguration) {
+  ClusterTopology topology;  // defaults: 64 cores, clusters of 4
+  EXPECT_EQ(topology.numCores(), 64u);
+  EXPECT_EQ(topology.numClusters(), 16u);
+  EXPECT_EQ(topology.clusterOf(0), 0u);
+  EXPECT_EQ(topology.clusterOf(63), 15u);
+  EXPECT_EQ(topology.localIndex(5), 1u);
+  EXPECT_EQ(topology.coreAt(15, 3), 63u);
+  EXPECT_TRUE(topology.sameCluster(4, 7));
+  EXPECT_FALSE(topology.sameCluster(3, 4));
+}
+
+TEST(ClusterTopology, CoresInClusterRoundTrip) {
+  ClusterTopology topology(12, 3);
+  const auto cores = topology.coresInCluster(2);
+  ASSERT_EQ(cores.size(), 3u);
+  for (const CoreId core : cores) EXPECT_EQ(topology.clusterOf(core), 2u);
+}
+
+TEST(ClusterTopology, RejectsInvalidGeometry) {
+  EXPECT_THROW(ClusterTopology(10, 4), std::invalid_argument);
+  EXPECT_THROW(ClusterTopology(0, 4), std::invalid_argument);
+  EXPECT_THROW(ClusterTopology(8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnoc::noc

@@ -1,0 +1,206 @@
+#include "noc/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/crossbar.hpp"
+#include "noc/link.hpp"
+#include "sim/engine.hpp"
+
+namespace pnoc::noc {
+namespace {
+
+PacketDescriptor makePacket(PacketId id, CoreId dst, std::uint32_t numFlits,
+                            Bits bitsPerFlit = 32) {
+  PacketDescriptor packet;
+  packet.id = id;
+  packet.dstCore = dst;
+  packet.numFlits = numFlits;
+  packet.bitsPerFlit = bitsPerFlit;
+  return packet;
+}
+
+/// Test sink that records accepted flits and can simulate fullness.
+class RecordingSink final : public FlitSink {
+ public:
+  bool canAccept(const Flit&) const override { return !blocked; }
+  void accept(const Flit& flit, Cycle now) override {
+    flits.push_back(flit);
+    arrivals.push_back(now);
+  }
+  bool blocked = false;
+  std::vector<Flit> flits;
+  std::vector<Cycle> arrivals;
+};
+
+RouterConfig smallConfig() {
+  RouterConfig config;
+  config.numPorts = 3;
+  config.vcsPerPort = 2;
+  config.vcDepthFlits = 8;
+  config.pipelineLatency = 3;
+  return config;
+}
+
+/// Routes by destination core id modulo port count (test-only convention).
+std::uint32_t routeByDst(const PacketDescriptor& packet) { return packet.dstCore % 3; }
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest() : router("r", smallConfig(), routeByDst) {
+    for (std::uint32_t p = 0; p < 3; ++p) router.connectOutput(p, sinks[p]);
+    engine.add(router);
+  }
+
+  void injectPacket(std::uint32_t port, const PacketDescriptor& packet) {
+    for (std::uint32_t i = 0; i < packet.numFlits; ++i) {
+      const Flit flit = makeFlit(packet, i);
+      ASSERT_TRUE(router.canAcceptFlit(port, flit));
+      router.acceptFlit(port, flit, engine.now());
+    }
+  }
+
+  sim::Engine engine;
+  ElectricalRouter router;
+  RecordingSink sinks[3];
+};
+
+TEST_F(RouterTest, DeliversWholePacketInOrder) {
+  injectPacket(0, makePacket(1, 1, 4));  // dst 1 -> output port 1
+  engine.run(12);
+  ASSERT_EQ(sinks[1].flits.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(sinks[1].flits[i].sequence, i);
+  EXPECT_TRUE(sinks[0].flits.empty());
+  EXPECT_TRUE(sinks[2].flits.empty());
+}
+
+TEST_F(RouterTest, RespectsPipelineLatency) {
+  injectPacket(0, makePacket(1, 1, 1));
+  engine.run(12);
+  ASSERT_EQ(sinks[1].flits.size(), 1u);
+  // 3-stage pipeline: a flit accepted at cycle 0 leaves at cycle 2 earliest.
+  EXPECT_GE(sinks[1].arrivals[0], 2u);
+}
+
+TEST_F(RouterTest, OneFlitPerOutputPerCycle) {
+  injectPacket(0, makePacket(1, 1, 6));
+  engine.run(20);
+  ASSERT_EQ(sinks[1].flits.size(), 6u);
+  for (std::size_t i = 1; i < sinks[1].arrivals.size(); ++i) {
+    EXPECT_GT(sinks[1].arrivals[i], sinks[1].arrivals[i - 1]);
+  }
+}
+
+TEST_F(RouterTest, WormholeDoesNotInterleavePacketsOnOneOutput) {
+  injectPacket(0, makePacket(1, 1, 4));
+  injectPacket(1, makePacket(2, 1, 4));  // same output port 1
+  engine.run(30);
+  ASSERT_EQ(sinks[1].flits.size(), 8u);
+  // Once a packet's head goes through, all its flits precede the other's.
+  const PacketId first = sinks[1].flits[0].packet.id;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sinks[1].flits[i].packet.id, first);
+  const PacketId second = sinks[1].flits[4].packet.id;
+  EXPECT_NE(first, second);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(sinks[1].flits[i].packet.id, second);
+}
+
+TEST_F(RouterTest, DistinctOutputsFlowInParallel) {
+  injectPacket(0, makePacket(1, 0, 4));  // -> output 0
+  injectPacket(1, makePacket(2, 1, 4));  // -> output 1
+  engine.run(10);
+  EXPECT_EQ(sinks[0].flits.size(), 4u);
+  EXPECT_EQ(sinks[1].flits.size(), 4u);
+}
+
+TEST_F(RouterTest, BlockedSinkBackpressures) {
+  sinks[1].blocked = true;
+  injectPacket(0, makePacket(1, 1, 2));
+  engine.run(10);
+  EXPECT_TRUE(sinks[1].flits.empty());
+  EXPECT_EQ(router.occupancy(), 2u);
+  sinks[1].blocked = false;
+  engine.run(10);
+  EXPECT_EQ(sinks[1].flits.size(), 2u);
+  EXPECT_EQ(router.occupancy(), 0u);
+}
+
+TEST_F(RouterTest, HeadRefusedWhenAllVcsBusy) {
+  // Two VCs per port: two in-flight packets exhaust them.
+  sinks[1].blocked = true;
+  injectPacket(0, makePacket(1, 1, 2));
+  injectPacket(0, makePacket(2, 1, 2));
+  const Flit head = makeFlit(makePacket(3, 1, 2), 0);
+  EXPECT_FALSE(router.canAcceptFlit(0, head));
+}
+
+TEST_F(RouterTest, BodyWithoutHeadRefused) {
+  const Flit body = makeFlit(makePacket(9, 1, 3), 1);
+  EXPECT_FALSE(router.canAcceptFlit(0, body));
+}
+
+TEST_F(RouterTest, EnergyChargedPerBit) {
+  injectPacket(0, makePacket(1, 1, 4, 32));
+  engine.run(12);
+  EXPECT_EQ(router.stats().bitsRouted, 128u);
+  EXPECT_DOUBLE_EQ(router.stats().energyPj, 128 * 0.625);
+}
+
+TEST(Crossbar, ConnectAndTraverse) {
+  Crossbar crossbar(3, 3);
+  crossbar.connect(0, 2);
+  EXPECT_TRUE(crossbar.inputBusy(0));
+  EXPECT_TRUE(crossbar.outputBusy(2));
+  EXPECT_FALSE(crossbar.outputBusy(1));
+  const Flit flit = makeFlit(makePacket(1, 0, 1, 64), 0);
+  crossbar.traverse(0, flit);
+  EXPECT_EQ(crossbar.bitsSwitched(), 64u);
+  crossbar.reset();
+  EXPECT_FALSE(crossbar.inputBusy(0));
+}
+
+TEST(Link, DeliversAfterLatency) {
+  RecordingSink sink;
+  Link link("l", 3, 0.1, sink);
+  sim::Engine engine;
+  engine.add(link);
+  const Flit flit = makeFlit(makePacket(1, 0, 1), 0);
+  ASSERT_TRUE(link.canAccept(flit));
+  link.accept(flit, 0);
+  engine.run(3);  // cycles 0..2: still traversing the wire
+  EXPECT_TRUE(sink.flits.empty());
+  engine.run(1);
+  ASSERT_EQ(sink.flits.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0], 3u);  // accepted during cycle 0, arrives at 0+3
+}
+
+TEST(Link, BackpressureStallsWithoutLoss) {
+  RecordingSink sink;
+  sink.blocked = true;
+  Link link("l", 1, 0.1, sink);
+  sim::Engine engine;
+  engine.add(link);
+  const auto packet = makePacket(1, 0, 2);
+  link.accept(makeFlit(packet, 0), 0);
+  EXPECT_FALSE(link.canAccept(makeFlit(packet, 1)));  // pipe full (capacity 1)
+  engine.run(5);
+  EXPECT_TRUE(sink.flits.empty());
+  EXPECT_GT(link.stats().stallCycles, 0u);
+  sink.blocked = false;
+  engine.run(2);
+  EXPECT_EQ(sink.flits.size(), 1u);
+}
+
+TEST(Link, CountsEnergyPerBit) {
+  RecordingSink sink;
+  Link link("l", 1, 0.5, sink);
+  sim::Engine engine;
+  engine.add(link);
+  link.accept(makeFlit(makePacket(1, 0, 1, 100), 0), 0);
+  engine.run(3);
+  EXPECT_DOUBLE_EQ(link.stats().energyPj, 50.0);
+  EXPECT_EQ(link.stats().bitsDelivered, 100u);
+}
+
+}  // namespace
+}  // namespace pnoc::noc

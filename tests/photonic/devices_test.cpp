@@ -1,0 +1,168 @@
+#include "photonic/devices.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photonic/energy_model.hpp"
+#include "photonic/waveguide.hpp"
+#include "photonic/wavelength.hpp"
+
+namespace pnoc::photonic {
+namespace {
+
+TEST(Wavelength, FlattenUnflattenRoundTrip) {
+  for (std::uint32_t wg = 0; wg < 8; ++wg) {
+    for (std::uint32_t l = 0; l < 64; ++l) {
+      const WavelengthId id{wg, l};
+      EXPECT_EQ(unflatten(flatten(id, 64), 64), id);
+    }
+  }
+}
+
+TEST(Wavelength, FlattenIsDense) {
+  // Flat indices must cover 0..N-1 exactly once.
+  std::vector<bool> seen(4 * 16, false);
+  for (std::uint32_t wg = 0; wg < 4; ++wg) {
+    for (std::uint32_t l = 0; l < 16; ++l) {
+      const std::uint32_t flat = flatten(WavelengthId{wg, l}, 16);
+      ASSERT_LT(flat, seen.size());
+      EXPECT_FALSE(seen[flat]);
+      seen[flat] = true;
+    }
+  }
+}
+
+TEST(Wavelength, CeilLog2) {
+  EXPECT_EQ(ceilLog2(1), 0u);
+  EXPECT_EQ(ceilLog2(2), 1u);
+  EXPECT_EQ(ceilLog2(3), 2u);
+  EXPECT_EQ(ceilLog2(8), 3u);
+  EXPECT_EQ(ceilLog2(9), 4u);
+  EXPECT_EQ(ceilLog2(64), 6u);
+}
+
+TEST(Wavelength, IdentifierBitsMatchSection3411) {
+  // BW set 1: one data waveguide -> 6-bit identifiers.
+  EXPECT_EQ(identifierBits(1), 6u);
+  // BW set 3: 8 waveguides -> 6 + 3 = 9 bits.
+  EXPECT_EQ(identifierBits(8), 9u);
+  EXPECT_EQ(identifierBits(4), 8u);
+}
+
+TEST(MicroRingResonator, TuneCountsOnlyChanges) {
+  MicroRingResonator ring(MicroRingResonator::Role::kModulator, WavelengthId{0, 0});
+  EXPECT_EQ(ring.retuneCount(), 0u);
+  ring.tuneTo(WavelengthId{0, 0});  // no-op
+  EXPECT_EQ(ring.retuneCount(), 0u);
+  ring.tuneTo(WavelengthId{0, 5});
+  EXPECT_EQ(ring.retuneCount(), 1u);
+  EXPECT_EQ(ring.resonantWavelength(), (WavelengthId{0, 5}));
+}
+
+TEST(MicroRingResonator, TransfersOnlyWhenOn) {
+  MicroRingResonator ring(MicroRingResonator::Role::kModulator, WavelengthId{0, 0});
+  ring.setOn(true);
+  ring.transferBits(128);
+  EXPECT_EQ(ring.bitsTransferred(), 128u);
+}
+
+TEST(MicroRingResonator, FiveMicronFootprint) {
+  EXPECT_NEAR(MicroRingResonator::areaUm2(), 78.54, 0.01);
+}
+
+TEST(LaserSource, PowerScalesWithWavelengths) {
+  LaserSource laser(64);  // 1.5 mW per wavelength (Table 3-4)
+  EXPECT_DOUBLE_EQ(laser.totalPowerMw(), 96.0);
+  // 96 mW for 4 us = 384 nJ = 3.84e5 pJ... check: 96e-3 W * 4e-6 s = 3.84e-7 J.
+  EXPECT_NEAR(laser.energyOverSecondsPj(4e-6), 3.84e5, 1.0);
+}
+
+TEST(PhotonicSwitchElement, TurnsOnlyMatchingWavelengthWhenOn) {
+  PhotonicSwitchElement pse(WavelengthId{0, 3});
+  EXPECT_FALSE(pse.turns(WavelengthId{0, 3}));  // off
+  pse.setOn(true);
+  EXPECT_TRUE(pse.turns(WavelengthId{0, 3}));
+  EXPECT_FALSE(pse.turns(WavelengthId{0, 4}));
+  EXPECT_GT(pse.insertionLossDb(WavelengthId{0, 3}),
+            pse.insertionLossDb(WavelengthId{0, 4}));
+}
+
+TEST(WaveguideSpec, PropagationDelayIsPlausible) {
+  WaveguideSpec spec;  // 4 cm at 0.4c
+  const double delay = spec.propagationDelaySeconds();
+  // 4 cm / (0.4 * 3e10 cm/s) = 333 ps, i.e. about one 400 ps clock cycle.
+  EXPECT_NEAR(delay, 333e-12, 5e-12);
+  EXPECT_DOUBLE_EQ(spec.propagationLossDb(), 4.0);
+}
+
+TEST(WavelengthAllocationMap, AllocateReleaseRoundTrip) {
+  WavelengthAllocationMap map(2, 4);
+  const WavelengthId id{1, 2};
+  EXPECT_TRUE(map.isFree(id));
+  map.allocate(id, 5);
+  EXPECT_EQ(map.owner(id), std::optional<ClusterId>(5));
+  EXPECT_EQ(map.ownedCount(5), 1u);
+  EXPECT_EQ(map.freeCount(), 7u);
+  map.release(id, 5);
+  EXPECT_TRUE(map.isFree(id));
+  EXPECT_EQ(map.freeCount(), 8u);
+}
+
+TEST(WavelengthAllocationMap, OwnedListsInOrder) {
+  WavelengthAllocationMap map(2, 4);
+  map.allocate(WavelengthId{1, 1}, 3);
+  map.allocate(WavelengthId{0, 2}, 3);
+  map.allocate(WavelengthId{0, 0}, 7);
+  const auto owned = map.owned(3);
+  ASSERT_EQ(owned.size(), 2u);
+  EXPECT_EQ(owned[0], (WavelengthId{0, 2}));
+  EXPECT_EQ(owned[1], (WavelengthId{1, 1}));
+}
+
+TEST(EnergyModel, TableConstants) {
+  const EnergyParams params;  // Tables 3-4 / 3-5
+  EXPECT_DOUBLE_EQ(params.modulationPjPerBit, 0.04);
+  EXPECT_DOUBLE_EQ(params.tuningPjPerBit, 0.24);
+  EXPECT_DOUBLE_EQ(params.launchPjPerBit, 0.15);
+  EXPECT_DOUBLE_EQ(params.bufferPjPerBit, 0.0781250);
+  EXPECT_DOUBLE_EQ(params.routerPjPerBit, 0.625);
+  EXPECT_DOUBLE_EQ(params.laserPowerMwPerWavelength, 1.5);
+  EXPECT_DOUBLE_EQ(params.tuningPowerMwPerNm, 2.4);
+}
+
+TEST(EnergyModel, LedgerCategorySplit) {
+  EnergyLedger ledger;
+  ledger.add(EnergyCategory::kLaunch, 1.0);
+  ledger.add(EnergyCategory::kModulation, 2.0);
+  ledger.add(EnergyCategory::kTuning, 3.0);
+  ledger.add(EnergyCategory::kPhotonicBuffer, 4.0);
+  ledger.add(EnergyCategory::kElectricalRouter, 5.0);
+  ledger.add(EnergyCategory::kElectricalLink, 6.0);
+  EXPECT_DOUBLE_EQ(ledger.photonic(), 10.0);   // eq. (4)
+  EXPECT_DOUBLE_EQ(ledger.electrical(), 11.0);
+  EXPECT_DOUBLE_EQ(ledger.total(), 21.0);      // eq. (3)
+}
+
+TEST(EnergyModel, ChargePhotonicTransferPerBit) {
+  EnergyLedger ledger;
+  const EnergyParams params;
+  chargePhotonicTransfer(ledger, params, 1000);
+  EXPECT_DOUBLE_EQ(ledger.of(EnergyCategory::kLaunch), 150.0);
+  EXPECT_DOUBLE_EQ(ledger.of(EnergyCategory::kModulation), 40.0);
+  EXPECT_DOUBLE_EQ(ledger.of(EnergyCategory::kTuning), 240.0);
+  // 0.43 pJ/bit total photonic link energy.
+  EXPECT_DOUBLE_EQ(ledger.photonic(), 430.0);
+}
+
+TEST(EnergyModel, LedgerAccumulates) {
+  EnergyLedger a;
+  EnergyLedger b;
+  a.add(EnergyCategory::kLaunch, 1.5);
+  b.add(EnergyCategory::kLaunch, 2.5);
+  b.add(EnergyCategory::kTuning, 1.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.of(EnergyCategory::kLaunch), 4.0);
+  EXPECT_DOUBLE_EQ(a.of(EnergyCategory::kTuning), 1.0);
+}
+
+}  // namespace
+}  // namespace pnoc::photonic

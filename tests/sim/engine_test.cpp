@@ -1,0 +1,154 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/config.hpp"
+
+namespace pnoc::sim {
+namespace {
+
+/// Records the phase interleaving so tests can assert the two-phase contract.
+class Probe final : public Clocked {
+ public:
+  Probe(std::string name, std::vector<std::string>& log) : name_(std::move(name)), log_(&log) {}
+  void evaluate(Cycle cycle) override {
+    log_->push_back(name_ + ".eval@" + std::to_string(cycle));
+  }
+  void advance(Cycle cycle) override {
+    log_->push_back(name_ + ".adv@" + std::to_string(cycle));
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+TEST(Engine, AllEvaluatesBeforeAnyAdvance) {
+  std::vector<std::string> log;
+  Probe a("a", log);
+  Probe b("b", log);
+  Engine engine;
+  engine.add(a);
+  engine.add(b);
+  engine.step();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "a.eval@0");
+  EXPECT_EQ(log[1], "b.eval@0");
+  EXPECT_EQ(log[2], "a.adv@0");
+  EXPECT_EQ(log[3], "b.adv@0");
+}
+
+TEST(Engine, RunAdvancesCycleCount) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0u);
+  engine.run(10);
+  EXPECT_EQ(engine.now(), 10u);
+  engine.step();
+  EXPECT_EQ(engine.now(), 11u);
+}
+
+TEST(Engine, CycleNumbersAreSequential) {
+  std::vector<std::string> log;
+  Probe a("a", log);
+  Engine engine;
+  engine.add(a);
+  engine.run(3);
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_EQ(log[0], "a.eval@0");
+  EXPECT_EQ(log[2], "a.eval@1");
+  EXPECT_EQ(log[4], "a.eval@2");
+}
+
+TEST(Engine, OnCycleEndHookFiresEachCycle) {
+  Engine engine;
+  std::vector<Cycle> cycles;
+  engine.setOnCycleEnd([&](Cycle c) { cycles.push_back(c); });
+  engine.run(4);
+  EXPECT_EQ(cycles, (std::vector<Cycle>{0, 1, 2, 3}));
+}
+
+TEST(Clock, DefaultMatchesTable33) {
+  Clock clock;
+  EXPECT_DOUBLE_EQ(clock.frequencyHz(), 2.5e9);
+  EXPECT_DOUBLE_EQ(clock.periodSeconds(), 400e-12);
+}
+
+TEST(Clock, WavelengthBitsPerCycleIsFive) {
+  // 12.5 Gb/s per wavelength at 2.5 GHz -> 5 bits per cycle (Section 3.4).
+  Clock clock;
+  EXPECT_DOUBLE_EQ(clock.bitsPerCycle(12.5e9), 5.0);
+}
+
+TEST(Clock, CyclesForSecondsRoundsUp) {
+  Clock clock;
+  EXPECT_EQ(clock.cyclesForSeconds(400e-12), 1u);
+  EXPECT_EQ(clock.cyclesForSeconds(401e-12), 2u);
+  EXPECT_EQ(clock.cyclesForSeconds(0.0), 0u);
+}
+
+TEST(Clock, ToSecondsRoundTrips) {
+  Clock clock;
+  EXPECT_DOUBLE_EQ(clock.toSeconds(10000), 4e-6);
+}
+
+TEST(Config, ParsesKeyValuePairs) {
+  Config config;
+  const char* argv[] = {"a=1", "b=hello", "c=0.5"};
+  EXPECT_FALSE(config.parseArgs(3, argv).has_value());
+  EXPECT_EQ(config.getInt("a", 0), 1);
+  EXPECT_EQ(config.getString("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(config.getDouble("c", 0.0), 0.5);
+}
+
+TEST(Config, RejectsMalformedArguments) {
+  Config config;
+  const char* argv[] = {"novalue"};
+  EXPECT_TRUE(config.parseArgs(1, argv).has_value());
+  const char* argv2[] = {"=x"};
+  EXPECT_TRUE(config.parseArgs(1, argv2).has_value());
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config config;
+  EXPECT_EQ(config.getInt("missing", 7), 7);
+  EXPECT_EQ(config.getString("missing", "d"), "d");
+  EXPECT_TRUE(config.getBool("missing", true));
+}
+
+TEST(Config, ThrowsOnUnparseableValues) {
+  Config config;
+  config.set("n", "abc");
+  EXPECT_THROW(config.getInt("n", 0), std::invalid_argument);
+  config.set("d", "1.2.3");
+  EXPECT_THROW(config.getDouble("d", 0.0), std::invalid_argument);
+  config.set("b", "maybe");
+  EXPECT_THROW(config.getBool("b", false), std::invalid_argument);
+}
+
+TEST(Config, BoolAcceptsCommonSpellings) {
+  Config config;
+  config.set("a", "TRUE");
+  config.set("b", "off");
+  config.set("c", "1");
+  EXPECT_TRUE(config.getBool("a", false));
+  EXPECT_FALSE(config.getBool("b", true));
+  EXPECT_TRUE(config.getBool("c", false));
+}
+
+TEST(Config, TracksUnconsumedKeys) {
+  Config config;
+  config.set("used", "1");
+  config.set("typo", "2");
+  config.getInt("used", 0);
+  const auto unused = config.unconsumedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace pnoc::sim

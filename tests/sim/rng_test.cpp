@@ -1,0 +1,151 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pnoc::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.nextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.nextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.nextBelow(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(17);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.nextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == -3);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.nextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, NextBoolEdgeProbabilities) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+    EXPECT_FALSE(rng.nextBool(-1.0));
+    EXPECT_TRUE(rng.nextBool(2.0));
+  }
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.nextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentContinuation) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child must not replay the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next() == child.next()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(DiscreteDistribution, ProbabilitiesNormalized) {
+  const std::vector<double> weights{1.0, 3.0, 4.0};
+  DiscreteDistribution dist(weights);
+  EXPECT_DOUBLE_EQ(dist.probability(0), 0.125);
+  EXPECT_DOUBLE_EQ(dist.probability(1), 0.375);
+  EXPECT_DOUBLE_EQ(dist.probability(2), 0.5);
+}
+
+TEST(DiscreteDistribution, SamplingMatchesWeights) {
+  const std::vector<double> weights{0.9, 0.05, 0.025, 0.025};  // skewed3 shape
+  DiscreteDistribution dist(weights);
+  Rng rng(37);
+  std::array<int, 4> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[dist.sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, weights[i], 0.01)
+        << "category " << i;
+  }
+}
+
+TEST(DiscreteDistribution, ZeroWeightCategoryNeverSampled) {
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  DiscreteDistribution dist(weights);
+  Rng rng(41);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(dist.sample(rng), 1u);
+}
+
+TEST(DiscreteDistribution, AllZeroWeightsFallBackToUniform) {
+  const std::vector<double> weights{0.0, 0.0};
+  DiscreteDistribution dist(weights);
+  Rng rng(43);
+  std::array<int, 2> counts{};
+  for (int i = 0; i < 10000; ++i) ++counts[dist.sample(rng)];
+  EXPECT_GT(counts[0], 4000);
+  EXPECT_GT(counts[1], 4000);
+}
+
+}  // namespace
+}  // namespace pnoc::sim

@@ -1,0 +1,126 @@
+#include "traffic/matrix_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pnoc::traffic {
+namespace {
+
+const noc::ClusterTopology& smallTopo() {
+  static noc::ClusterTopology topology(8, 2);  // 4 clusters of 2 cores
+  return topology;
+}
+
+std::vector<std::vector<double>> zeroRates() {
+  return std::vector<std::vector<double>>(4, std::vector<double>(4, 0.0));
+}
+std::vector<std::vector<std::uint32_t>> zeroDemands() {
+  return std::vector<std::vector<std::uint32_t>>(4, std::vector<std::uint32_t>(4, 0));
+}
+
+TEST(MatrixPattern, SamplesProportionallyToRates) {
+  auto rates = zeroRates();
+  rates[0][1] = 3.0;
+  rates[0][2] = 1.0;
+  auto demands = zeroDemands();
+  demands[0][1] = 4;
+  demands[0][2] = 2;
+  MatrixPattern pattern(smallTopo(), rates, demands);
+  sim::Rng rng(1);
+  std::map<ClusterId, int> hits;
+  for (int i = 0; i < 40000; ++i) {
+    ++hits[smallTopo().clusterOf(pattern.sampleDestination(0, rng))];
+  }
+  EXPECT_NEAR(static_cast<double>(hits[1]) / 40000.0, 0.75, 0.02);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / 40000.0, 0.25, 0.02);
+  EXPECT_EQ(hits.count(3), 0u);
+}
+
+TEST(MatrixPattern, WeightsSplitAcrossClusterCores) {
+  auto rates = zeroRates();
+  rates[1][0] = 6.0;
+  auto demands = zeroDemands();
+  demands[1][0] = 1;
+  MatrixPattern pattern(smallTopo(), rates, demands);
+  EXPECT_DOUBLE_EQ(pattern.sourceWeight(smallTopo().coreAt(1, 0)), 3.0);
+  EXPECT_DOUBLE_EQ(pattern.sourceWeight(smallTopo().coreAt(1, 1)), 3.0);
+  EXPECT_DOUBLE_EQ(pattern.sourceWeight(0), 0.0);
+}
+
+TEST(MatrixPattern, DemandFloorIsOne) {
+  auto rates = zeroRates();
+  rates[0][1] = 1.0;
+  auto demands = zeroDemands();
+  demands[0][1] = 5;
+  MatrixPattern pattern(smallTopo(), rates, demands);
+  EXPECT_EQ(pattern.wavelengthDemand(0, 1), 5u);
+  EXPECT_EQ(pattern.wavelengthDemand(0, 3), 1u);  // no traffic -> floor
+}
+
+TEST(MatrixPattern, RejectsMalformedMatrices) {
+  auto rates = zeroRates();
+  auto demands = zeroDemands();
+  // Non-zero diagonal.
+  auto badRates = rates;
+  badRates[2][2] = 1.0;
+  EXPECT_THROW(MatrixPattern(smallTopo(), badRates, demands), std::invalid_argument);
+  // Negative rate.
+  badRates = rates;
+  badRates[0][1] = -1.0;
+  EXPECT_THROW(MatrixPattern(smallTopo(), badRates, demands), std::invalid_argument);
+  // Traffic with zero demand.
+  badRates = rates;
+  badRates[0][1] = 1.0;
+  EXPECT_THROW(MatrixPattern(smallTopo(), badRates, demands), std::invalid_argument);
+  // Wrong shape.
+  rates.pop_back();
+  EXPECT_THROW(MatrixPattern(smallTopo(), rates, demands), std::invalid_argument);
+}
+
+TEST(MatrixPattern, ParsesCsv) {
+  const std::string ratesCsv =
+      "0,2,0,0\n"
+      "1,0,0,0\n"
+      "0,0,0,3\n"
+      "0,0,1,0\n";
+  const std::string demandsCsv =
+      "0,4,0,0\n"
+      "2,0,0,0\n"
+      "0,0,0,8\n"
+      "0,0,1,0\n";
+  const MatrixPattern pattern =
+      MatrixPattern::fromCsv(smallTopo(), ratesCsv, demandsCsv, "trace");
+  EXPECT_EQ(pattern.name(), "trace");
+  EXPECT_EQ(pattern.wavelengthDemand(2, 3), 8u);
+  sim::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(smallTopo().clusterOf(pattern.sampleDestination(4, rng)), 3u);
+  }
+}
+
+TEST(MatrixPattern, CsvDiagnosticsNameTheLine) {
+  const std::string bad =
+      "0,1,0,0\n"
+      "1,0,zebra,0\n"
+      "0,0,0,1\n"
+      "1,0,0,0\n";
+  try {
+    MatrixPattern::fromCsv(smallTopo(), bad, bad);
+    FAIL() << "expected a parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(MatrixPattern, CsvRejectsWrongShapeAndNonIntegerDemand) {
+  EXPECT_THROW(MatrixPattern::fromCsv(smallTopo(), "0,1\n1,0\n", "0,1\n1,0\n"),
+               std::invalid_argument);
+  const std::string rates = "0,1,0,0\n1,0,0,0\n0,0,0,1\n0,0,1,0\n";
+  const std::string fractionalDemand = "0,1.5,0,0\n1,0,0,0\n0,0,0,1\n0,0,1,0\n";
+  EXPECT_THROW(MatrixPattern::fromCsv(smallTopo(), rates, fractionalDemand),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnoc::traffic
