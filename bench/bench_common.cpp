@@ -1,5 +1,7 @@
 #include "bench/bench_common.hpp"
 
+#include "bench/sweep_runner.hpp"
+
 namespace pnoc::bench {
 
 network::SimulationParameters makeParams(const ExperimentConfig& config, double load) {
@@ -32,6 +34,11 @@ metrics::PeakSearchResult findPeak(const ExperimentConfig& config) {
   options.maxRampSteps = 12;
   options.bisectionSteps = 3;
   return metrics::findPeak([&](double load) { return runAt(config, load); }, options);
+}
+
+std::vector<metrics::PeakSearchResult> findPeaksParallel(
+    const std::vector<ExperimentConfig>& configs) {
+  return SweepRunner().findPeaks(configs);
 }
 
 }  // namespace pnoc::bench

@@ -1,9 +1,12 @@
 // Shared harness for the figure-reproduction benches: builds networks,
 // runs the saturation search of Section 3.4.1 (peak bandwidth under a
 // mix-preserving acceptance criterion) and returns the paper's quantities.
+// The parallel variants fan independent configs across the SweepRunner
+// thread pool (see bench/sweep_runner.hpp).
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "metrics/metrics.hpp"
 #include "metrics/saturation.hpp"
@@ -31,5 +34,11 @@ metrics::RunMetrics runAt(const ExperimentConfig& config, double load);
 
 /// Saturation search (peak bandwidth per the DESIGN.md methodology).
 metrics::PeakSearchResult findPeak(const ExperimentConfig& config);
+
+/// Saturation searches for several configs, fanned across the SweepRunner
+/// thread pool.  Results are indexed like `configs`; deterministic for a
+/// given config list regardless of thread count.
+std::vector<metrics::PeakSearchResult> findPeaksParallel(
+    const std::vector<ExperimentConfig>& configs);
 
 }  // namespace pnoc::bench

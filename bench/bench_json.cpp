@@ -1,0 +1,86 @@
+#include "bench/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace pnoc::bench {
+namespace {
+
+std::string quote(const std::string& raw) {
+  std::string out = "\"";
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string formatNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+JsonRecord::JsonRecord(std::string name) {
+  fields_.emplace_back("name", quote(name));
+}
+
+JsonRecord& JsonRecord::number(const std::string& key, double value) {
+  fields_.emplace_back(key, formatNumber(value));
+  return *this;
+}
+
+JsonRecord& JsonRecord::integer(const std::string& key, long long value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonRecord& JsonRecord::text(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, quote(value));
+  return *this;
+}
+
+std::string JsonRecord::serialize() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += quote(fields_[i].first) + ":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+JsonRecorder::JsonRecorder(std::string benchName) : benchName_(std::move(benchName)) {}
+
+JsonRecord& JsonRecorder::add(const std::string& recordName) {
+  records_.emplace_back(recordName);
+  return records_.back();
+}
+
+std::string JsonRecorder::write(const std::string& directory) const {
+  const std::string path = directory + "/BENCH_" + benchName_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return "";
+  }
+  out << "{\"bench\":" << "\"" << benchName_ << "\"" << ",\"records\":[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out << "  " << records_[i].serialize();
+    if (i + 1 < records_.size()) out << ",";
+    out << "\n";
+  }
+  out << "]}\n";
+  return path;
+}
+
+}  // namespace pnoc::bench

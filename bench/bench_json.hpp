@@ -1,0 +1,54 @@
+// Machine-readable bench records.
+//
+// Every bench binary appends named records (string and numeric fields) and
+// writes a BENCH_<name>.json file next to its stdout report, so CI and later
+// PRs can track the simulator's own performance trajectory — cycles/sec,
+// wall time per figure, peak bandwidths — without scraping tables.
+//
+// Format (stable, append-only):
+//   { "bench": "<name>",
+//     "records": [ { "name": "...", "<field>": <number|string>, ... }, ... ] }
+#pragma once
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pnoc::bench {
+
+/// One JSON object built from typed key/value pairs (insertion ordered).
+class JsonRecord {
+ public:
+  explicit JsonRecord(std::string name);
+
+  JsonRecord& number(const std::string& key, double value);
+  JsonRecord& integer(const std::string& key, long long value);
+  JsonRecord& text(const std::string& key, const std::string& value);
+
+  /// Serialized object, e.g. {"name":"BM_RngDraws","items_per_sec":1e9}.
+  std::string serialize() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> literal
+};
+
+/// Collects records and writes BENCH_<benchName>.json.
+class JsonRecorder {
+ public:
+  explicit JsonRecorder(std::string benchName);
+
+  /// The returned reference stays valid across further add() calls (deque
+  /// storage), so records can be built incrementally.
+  JsonRecord& add(const std::string& recordName);
+
+  /// Writes to `directory`/BENCH_<benchName>.json ("." by default); returns
+  /// the path written, or "" (with a stderr note) if it cannot be opened.
+  std::string write(const std::string& directory = ".") const;
+
+ private:
+  std::string benchName_;
+  std::deque<JsonRecord> records_;
+};
+
+}  // namespace pnoc::bench

@@ -6,9 +6,13 @@
 // under skew.  The 64 -> 512 scaling anchors quoted in the text: area
 // +41.17% (see the area-model tests for the 256-vs-512 typo note),
 // bandwidth +764.52%, EPM -10.85%.
+//
+// All 12 saturation searches run in parallel on the SweepRunner pool.
+#include <chrono>
 #include <iostream>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "metrics/report.hpp"
 #include "photonic/area_model.hpp"
 
@@ -16,34 +20,51 @@ using namespace pnoc;
 
 int main() {
   const std::string patterns[] = {"uniform", "skewed1", "skewed2", "skewed3"};
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<bench::ExperimentConfig> configs;
+  for (const auto& pattern : patterns) {
+    for (int set = 1; set <= 3; ++set) {
+      bench::ExperimentConfig config;
+      config.architecture = network::Architecture::kFirefly;
+      config.bandwidthSet = set;
+      config.pattern = pattern;
+      configs.push_back(config);
+    }
+  }
+  const auto peaks = bench::findPeaksParallel(configs);
 
   metrics::ReportTable bw("Figure 3-10(a): Firefly Peak Core Bandwidth (Gb/s/core)");
   bw.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
   metrics::ReportTable epm("Figure 3-10(b): Firefly Energy Per Message (pJ)");
   epm.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
 
+  bench::JsonRecorder recorder("fig3_10");
   double bw64skew3 = 0.0;
   double bw512skew3 = 0.0;
   double epm64skew3 = 0.0;
   double epm512skew3 = 0.0;
+  std::size_t point = 0;
   for (const auto& pattern : patterns) {
     std::vector<std::string> bwRow{pattern};
     std::vector<std::string> epmRow{pattern};
-    for (int set = 1; set <= 3; ++set) {
-      bench::ExperimentConfig config;
-      config.architecture = network::Architecture::kFirefly;
-      config.bandwidthSet = set;
-      config.pattern = pattern;
-      const auto peak = bench::findPeak(config);
-      bwRow.push_back(metrics::ReportTable::num(peak.peak.metrics.deliveredGbpsPerCore(64), 3));
-      epmRow.push_back(metrics::ReportTable::num(peak.peak.metrics.energyPerPacketPj(), 1));
+    for (int set = 1; set <= 3; ++set, ++point) {
+      const auto& m = peaks[point].peak.metrics;
+      bwRow.push_back(metrics::ReportTable::num(m.deliveredGbpsPerCore(64), 3));
+      epmRow.push_back(metrics::ReportTable::num(m.energyPerPacketPj(), 1));
+      recorder.add("peak")
+          .text("pattern", pattern)
+          .integer("bandwidth_set", set)
+          .number("peak_gbps", m.deliveredGbps())
+          .number("energy_per_packet_pj", m.energyPerPacketPj())
+          .number("offered_load", peaks[point].peak.offeredLoad);
       if (pattern == "skewed3" && set == 1) {
-        bw64skew3 = peak.peak.metrics.deliveredGbps();
-        epm64skew3 = peak.peak.metrics.energyPerPacketPj();
+        bw64skew3 = m.deliveredGbps();
+        epm64skew3 = m.energyPerPacketPj();
       }
       if (pattern == "skewed3" && set == 3) {
-        bw512skew3 = peak.peak.metrics.deliveredGbps();
-        epm512skew3 = peak.peak.metrics.energyPerPacketPj();
+        bw512skew3 = m.deliveredGbps();
+        epm512skew3 = m.energyPerPacketPj();
       }
     }
     bw.addRow(bwRow);
@@ -63,5 +84,12 @@ int main() {
   deltas.addRow({"energy per message (skewed3)",
                  metrics::ReportTable::percent(epm512skew3 / epm64skew3 - 1.0), "-10.85%"});
   deltas.print(std::cout);
+
+  const double wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  recorder.add("timing")
+      .number("wall_seconds", wallSeconds)
+      .integer("points", static_cast<long long>(configs.size()));
+  std::cout << "wrote " << recorder.write() << " (" << wallSeconds << " s)\n";
   return 0;
 }

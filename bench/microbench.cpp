@@ -1,65 +1,164 @@
-// google-benchmark microbenchmarks of the simulator's hot paths: full-system
-// cycle rate, electrical router cycles, DBA token handling and RNG draws.
-// These guard the simulator's own performance (a cycle-accurate model is only
-// useful if sweeps stay cheap), complementing the figure-reproduction
-// binaries.
-#include <benchmark/benchmark.h>
+// Self-timed microbenchmarks of the simulator's hot paths: full-system cycle
+// rate (with the activity-gated engine on and off), electrical DBA token
+// handling and RNG draws.  These guard the simulator's own performance (a
+// cycle-accurate model is only useful if sweeps stay cheap), complementing
+// the figure-reproduction binaries.
+//
+// Dependency-free on purpose (no google-benchmark): the same binary runs in
+// CI smoke mode and emits the machine-readable BENCH_microbench.json record
+// that tracks the perf trajectory PR over PR.
+//
+// Usage: microbench [minMs=<per-bench ms, default 300>] [json=<dir, default .>]
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench/bench_json.hpp"
 #include "core/dba.hpp"
 #include "core/token.hpp"
 #include "network/network.hpp"
+#include "sim/config.hpp"
 #include "sim/rng.hpp"
 
 using namespace pnoc;
 
 namespace {
 
-void BM_FullSystemCycles(benchmark::State& state) {
+struct Measurement {
+  std::uint64_t calls = 0;
+  double wallSeconds = 0.0;
+};
+
+/// Repeats `body` until at least `minSeconds` of wall time accumulate
+/// (always at least once).
+Measurement timeLoop(const std::function<void()>& body, double minSeconds) {
+  using Clock = std::chrono::steady_clock;
+  Measurement m;
+  const auto start = Clock::now();
+  do {
+    body();
+    ++m.calls;
+    m.wallSeconds = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (m.wallSeconds < minSeconds);
+  return m;
+}
+
+network::SimulationParameters fullSystemParams(const std::string& pattern, bool gating) {
   network::SimulationParameters params;
-  params.pattern = state.range(0) == 0 ? "uniform" : "skewed3";
+  params.pattern = pattern;
   params.offeredLoad = 0.001;
   params.warmupCycles = 0;
   params.measureCycles = 0;
-  network::PhotonicNetwork net(params);
-  for (auto _ : state) {
-    net.step(100);
-  }
-  state.SetItemsProcessed(state.iterations() * 100);
-  state.SetLabel(params.pattern);
+  params.activityGating = gating;
+  return params;
 }
-BENCHMARK(BM_FullSystemCycles)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
-
-void BM_DbaTokenRotation(benchmark::State& state) {
-  photonic::WavelengthAllocationMap map(8, 64);
-  core::Token token(512, 16);
-  core::DbaConfig config;
-  config.maxChannelWavelengths = 64;
-  std::vector<std::unique_ptr<core::RouterTables>> tables;
-  std::vector<std::unique_ptr<core::DbaController>> controllers;
-  for (ClusterId c = 0; c < 16; ++c) {
-    tables.push_back(std::make_unique<core::RouterTables>(c, 16, 4));
-    controllers.push_back(std::make_unique<core::DbaController>(c, config, *tables[c], map));
-    core::WavelengthTable demand(16);
-    for (ClusterId d = 0; d < 16; ++d) {
-      if (d != c) demand.set(d, 8 * (c % 4 + 1));
-    }
-    tables[c]->updateDemand(0, demand);
-  }
-  for (auto _ : state) {
-    for (auto& controller : controllers) controller->onToken(token, 0);
-  }
-  state.SetItemsProcessed(state.iterations() * 16);
-}
-BENCHMARK(BM_DbaTokenRotation);
-
-void BM_RngDraws(benchmark::State& state) {
-  sim::Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.nextBelow(63));
-  }
-}
-BENCHMARK(BM_RngDraws);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sim::Config config;
+  if (auto error = config.parseArgs(argc - 1, const_cast<const char**>(argv + 1))) {
+    std::fprintf(stderr, "microbench: %s\n", error->c_str());
+    return 1;
+  }
+  const double minSeconds = config.getInt("minMs", 300) / 1000.0;
+  const std::string jsonDir = config.getString("json", ".");
+
+  bench::JsonRecorder recorder("microbench");
+  std::printf("%-28s %-10s %-8s %14s %12s\n", "bench", "label", "gating", "per_sec",
+              "wall_ms");
+
+  // --- full-system cycle rate, gated vs ungated ---
+  const Cycle kStep = 100;
+  std::vector<std::pair<std::string, double>> gatingSpeedups;  // pattern -> on/off ratio
+  for (const std::string pattern : {"uniform", "skewed3"}) {
+    double rates[2] = {0.0, 0.0};
+    for (const bool gating : {false, true}) {
+      network::PhotonicNetwork net(fullSystemParams(pattern, gating));
+      const Measurement m =
+          timeLoop([&] { net.step(kStep); }, minSeconds);
+      const double cycles = static_cast<double>(m.calls * kStep);
+      const double cyclesPerSec = cycles / m.wallSeconds;
+      rates[gating ? 1 : 0] = cyclesPerSec;
+      std::printf("%-28s %-10s %-8s %14.0f %12.2f\n", "BM_FullSystemCycles",
+                  pattern.c_str(), gating ? "on" : "off", cyclesPerSec,
+                  m.wallSeconds * 1e3);
+      recorder.add("BM_FullSystemCycles")
+          .text("label", pattern)
+          .text("gating", gating ? "on" : "off")
+          .number("load", 0.001)
+          .number("cycles_per_sec", cyclesPerSec)
+          .integer("cycles", static_cast<long long>(cycles))
+          .number("wall_ms", m.wallSeconds * 1e3);
+    }
+    const double speedup = rates[0] > 0.0 ? rates[1] / rates[0] : 0.0;
+    std::printf("%-28s %-10s %-8s %13.2fx\n", "BM_FullSystemCycles/speedup",
+                pattern.c_str(), "on/off", speedup);
+    recorder.add("BM_FullSystemCycles_gating_speedup")
+        .text("label", pattern)
+        .number("speedup", speedup);
+    gatingSpeedups.emplace_back(pattern, speedup);
+  }
+
+  // --- DBA token handling ---
+  {
+    photonic::WavelengthAllocationMap map(8, 64);
+    core::Token token(512, 16);
+    core::DbaConfig dbaConfig;
+    dbaConfig.maxChannelWavelengths = 64;
+    std::vector<std::unique_ptr<core::RouterTables>> tables;
+    std::vector<std::unique_ptr<core::DbaController>> controllers;
+    for (ClusterId c = 0; c < 16; ++c) {
+      tables.push_back(std::make_unique<core::RouterTables>(c, 16, 4));
+      controllers.push_back(
+          std::make_unique<core::DbaController>(c, dbaConfig, *tables[c], map));
+      core::WavelengthTable demand(16);
+      for (ClusterId d = 0; d < 16; ++d) {
+        if (d != c) demand.set(d, 8 * (c % 4 + 1));
+      }
+      tables[c]->updateDemand(0, demand);
+    }
+    const Measurement m = timeLoop(
+        [&] {
+          for (auto& controller : controllers) controller->onToken(token, 0);
+        },
+        minSeconds);
+    const double tokensPerSec = static_cast<double>(m.calls * 16) / m.wallSeconds;
+    std::printf("%-28s %-10s %-8s %14.0f %12.2f\n", "BM_DbaTokenRotation", "-", "-",
+                tokensPerSec, m.wallSeconds * 1e3);
+    recorder.add("BM_DbaTokenRotation")
+        .number("items_per_sec", tokensPerSec)
+        .number("cycles_per_sec", tokensPerSec)  // one token visit per cycle
+        .number("wall_ms", m.wallSeconds * 1e3);
+  }
+
+  // --- RNG draws ---
+  {
+    sim::Rng rng(1);
+    std::uint64_t sink = 0;
+    const std::uint64_t kBatch = 10000;
+    const Measurement m = timeLoop(
+        [&] {
+          for (std::uint64_t i = 0; i < kBatch; ++i) sink += rng.nextBelow(63);
+        },
+        minSeconds);
+    const double drawsPerSec = static_cast<double>(m.calls * kBatch) / m.wallSeconds;
+    std::printf("%-28s %-10s %-8s %14.0f %12.2f\n", "BM_RngDraws", "-", "-", drawsPerSec,
+                m.wallSeconds * 1e3);
+    recorder.add("BM_RngDraws")
+        .number("items_per_sec", drawsPerSec)
+        .number("cycles_per_sec", drawsPerSec)  // one draw per injector cycle
+        .number("wall_ms", m.wallSeconds * 1e3)
+        .integer("checksum", static_cast<long long>(sink % 1000));
+  }
+
+  const std::string path = recorder.write(jsonDir);
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+  for (const auto& [pattern, speedup] : gatingSpeedups) {
+    std::printf("activity gating speedup (%s, load 0.001): %.2fx\n", pattern.c_str(),
+                speedup);
+  }
+  return 0;
+}

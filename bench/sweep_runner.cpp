@@ -1,0 +1,79 @@
+#include "bench/sweep_runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pnoc::bench {
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    // PNOC_BENCH_THREADS pins the pool size (CI, comparisons); otherwise use
+    // every hardware thread.
+    if (const char* env = std::getenv("PNOC_BENCH_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) threads_ = static_cast<unsigned>(parsed);
+    }
+  }
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+void SweepRunner::forEach(std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+std::vector<metrics::RunMetrics> SweepRunner::runPoints(
+    const std::vector<RunPoint>& points) const {
+  std::vector<metrics::RunMetrics> results(points.size());
+  forEach(points.size(),
+          [&](std::size_t i) { results[i] = runAt(points[i].config, points[i].load); });
+  return results;
+}
+
+std::vector<metrics::PeakSearchResult> SweepRunner::findPeaks(
+    const std::vector<ExperimentConfig>& configs) const {
+  std::vector<metrics::PeakSearchResult> results(configs.size());
+  forEach(configs.size(), [&](std::size_t i) { results[i] = findPeak(configs[i]); });
+  return results;
+}
+
+std::uint64_t SweepRunner::pointSeed(std::uint64_t baseSeed, std::size_t pointIndex) {
+  // SplitMix64 finalizer over base ^ golden-ratio-stride * index.
+  std::uint64_t z = baseSeed + 0x9E3779B97F4A7C15ull * (pointIndex + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace pnoc::bench

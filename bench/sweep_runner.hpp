@@ -1,0 +1,63 @@
+// Parallel sweep runner: fans independent simulation points across a
+// std::thread pool.
+//
+// Every figure reproduction is a saturation search over many (architecture,
+// bandwidth-set, pattern, load) points, and the points are embarrassingly
+// parallel: each one builds its own PhotonicNetwork (own engine, own RNG
+// streams, own packet slab), so no simulator state is shared between
+// workers.  Determinism is preserved by construction: a point's result
+// depends only on its ExperimentConfig (each config carries its own seed)
+// and results are stored by point index, so thread count and scheduling
+// cannot change any number.  Callers that replicate one config across many
+// points should assign each point's seed with pointSeed() so the replicas
+// get independent, replayable RNG streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/saturation.hpp"
+
+namespace pnoc::bench {
+
+/// One fixed-load simulation point.
+struct RunPoint {
+  ExperimentConfig config;
+  double load = 0.0;
+};
+
+class SweepRunner {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit SweepRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, n) across the pool.  Results are indexed
+  /// by i; the first exception thrown by any worker is rethrown after all
+  /// workers join.
+  void forEach(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  /// Parallel runAt over fixed-load points.
+  std::vector<metrics::RunMetrics> runPoints(const std::vector<RunPoint>& points) const;
+
+  /// Parallel saturation searches, one per config.  Each search's internal
+  /// ramp/bisection stays sequential (later loads depend on earlier results);
+  /// the searches themselves are independent.
+  std::vector<metrics::PeakSearchResult> findPeaks(
+      const std::vector<ExperimentConfig>& configs) const;
+
+  /// Deterministic per-point seed: mixes the point index into the base seed
+  /// (SplitMix64 finalizer) so replicated points get independent, replayable
+  /// RNG streams regardless of which worker runs them.
+  static std::uint64_t pointSeed(std::uint64_t baseSeed, std::size_t pointIndex);
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace pnoc::bench

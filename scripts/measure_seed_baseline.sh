@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Measures the pre-hot-path-overhaul (seed) simulator's full-system cycle
+# rate on this machine, for comparison against the current microbench's
+# BM_FullSystemCycles (uniform, load 0.001).  The seed revision has no build
+# system, so this compiles it directly with the same flags the Release build
+# uses (-O3 -DNDEBUG).
+#
+# Usage: scripts/measure_seed_baseline.sh [seed-commit (default: first commit
+#        with src/)]
+set -euo pipefail
+
+repo_root="$(git rev-parse --show-toplevel)"
+seed_commit="${1:-$(git -C "$repo_root" log --reverse --format=%H -- src/sim/engine.cpp | head -1)}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+git -C "$repo_root" archive "$seed_commit" | tar -x -C "$workdir"
+
+cat > "$workdir/baseline_main.cpp" <<'EOF'
+#include <chrono>
+#include <cstdio>
+#include "network/network.hpp"
+using namespace pnoc;
+int main() {
+  network::SimulationParameters params;
+  params.pattern = "uniform";
+  params.offeredLoad = 0.001;
+  params.warmupCycles = 0;
+  params.measureCycles = 0;
+  network::PhotonicNetwork net(params);
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t cycles = 0;
+  double wall = 0.0;
+  const auto start = Clock::now();
+  do {
+    net.step(100);
+    cycles += 100;
+    wall = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (wall < 2.0);
+  std::printf("seed baseline (BM_FullSystemCycles, uniform, load 0.001): "
+              "%.0f cycles/sec\n", cycles / wall);
+  return 0;
+}
+EOF
+
+cd "$workdir"
+g++ -std=c++20 -O3 -DNDEBUG -Isrc baseline_main.cpp $(find src -name '*.cpp') \
+    -o baseline_bench -lpthread
+./baseline_bench

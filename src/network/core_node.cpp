@@ -6,13 +6,15 @@ namespace pnoc::network {
 
 CoreNode::CoreNode(const Config& config, const noc::ClusterTopology& topology,
                    const traffic::TrafficPattern& pattern, noc::ElectricalRouter& router,
-                   sim::Rng rng, PacketId* nextPacketId)
+                   noc::PacketSlab& slab, sim::Rng rng, PacketId* nextPacketId)
     : config_(config),
       topology_(&topology),
       pattern_(&pattern),
       router_(&router),
+      slab_(&slab),
       rng_(rng),
-      nextPacketId_(nextPacketId) {
+      nextPacketId_(nextPacketId),
+      queue_(config.queueCapacityPackets) {
   assert(nextPacketId != nullptr);
 }
 
@@ -26,7 +28,7 @@ void CoreNode::advance(Cycle cycle) {
 void CoreNode::generate(Cycle cycle) {
   if (!rng_.nextBool(config_.injectionProbability)) return;
   ++stats_.packetsOffered;
-  if (queue_.size() >= config_.queueCapacityPackets) {
+  if (queue_.full()) {
     ++stats_.packetsRefused;
     return;
   }
@@ -43,13 +45,13 @@ void CoreNode::generate(Cycle cycle) {
   if (packet.srcCluster != packet.dstCluster) {
     packet.bandwidthClass = pattern_->bandwidthClass(packet.srcCluster, packet.dstCluster);
   }
-  queue_.push_back(packet);
+  queue_.push_back(slab_->intern(packet));
   ++stats_.packetsGenerated;
 }
 
 void CoreNode::injectFlits(Cycle cycle) {
   if (queue_.empty()) return;
-  const noc::PacketDescriptor& packet = queue_.front();
+  const noc::PacketHandle packet = queue_.front();
   const noc::Flit flit = noc::makeFlit(packet, flitCursor_);
   if (!router_->canAcceptFlit(config_.localPort, flit)) {
     if (flit.isHead()) ++stats_.headRetries;  // dropped header, retransmit
@@ -58,21 +60,24 @@ void CoreNode::injectFlits(Cycle cycle) {
   router_->acceptFlit(config_.localPort, flit, cycle);
   ++stats_.flitsInjected;
   ++flitCursor_;
-  if (flitCursor_ >= packet.numFlits) {
+  if (flitCursor_ >= packet->numFlits) {
     queue_.pop_front();
     flitCursor_ = 0;
   }
 }
 
 void EjectionSink::accept(const noc::Flit& flit, Cycle now) {
-  assert(flit.packet.dstCore == core_ && "flit ejected at the wrong core");
+  assert(flit.packet().dstCore == core_ && "flit ejected at the wrong core");
   ++flitsReceived_;
   if (flit.isTail()) {
     ++packetsDelivered_;
-    bitsDelivered_ += flit.packet.totalBits();
-    const Cycle latency = (now >= flit.packet.createdAt) ? now - flit.packet.createdAt : 0;
+    bitsDelivered_ += flit.packet().totalBits();
+    const Cycle latency = (now >= flit.packet().createdAt) ? now - flit.packet().createdAt : 0;
     latencySum_ += latency;
     latencies_.record(latency);
+    // The tail is the packet's last flit anywhere in the system: its
+    // descriptor slot can be recycled.
+    if (slab_ != nullptr) slab_->release(flit.handle);
   }
 }
 

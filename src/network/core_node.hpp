@@ -11,13 +11,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "noc/flit.hpp"
+#include "noc/packet_slab.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 #include "metrics/histogram.hpp"
@@ -46,14 +47,20 @@ class CoreNode final : public sim::Clocked {
 
   CoreNode(const Config& config, const noc::ClusterTopology& topology,
            const traffic::TrafficPattern& pattern, noc::ElectricalRouter& router,
-           sim::Rng rng, PacketId* nextPacketId);
+           noc::PacketSlab& slab, sim::Rng rng, PacketId* nextPacketId);
 
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return "core" + std::to_string(config_.core); }
+  /// A core that can never inject (zero traffic weight) and has drained its
+  /// queue is parked; cores with a live injection probability must draw the
+  /// RNG every cycle and stay active.
+  bool quiescent() const override {
+    return config_.injectionProbability <= 0.0 && queue_.empty();
+  }
 
   const CoreStats& stats() const { return stats_; }
-  std::uint32_t queuedPackets() const { return static_cast<std::uint32_t>(queue_.size()); }
+  std::uint32_t queuedPackets() const { return queue_.size(); }
 
  private:
   void generate(Cycle cycle);
@@ -63,18 +70,22 @@ class CoreNode final : public sim::Clocked {
   const noc::ClusterTopology* topology_;
   const traffic::TrafficPattern* pattern_;
   noc::ElectricalRouter* router_;
+  noc::PacketSlab* slab_;
   sim::Rng rng_;
   PacketId* nextPacketId_;
-  std::deque<noc::PacketDescriptor> queue_;
+  sim::RingBuffer<noc::PacketHandle> queue_;
   std::uint32_t flitCursor_ = 0;  // next flit of queue_.front() to inject
   CoreStats stats_;
 };
 
 /// Terminates packets at the destination core: counts delivered packets,
-/// bits and latency (tail arrival minus creation).
+/// bits and latency (tail arrival minus creation).  When given a slab it
+/// releases each packet's descriptor as the tail flit is consumed, so
+/// steady-state traffic recycles slab slots instead of growing it.
 class EjectionSink final : public noc::FlitSink {
  public:
-  explicit EjectionSink(CoreId core) : core_(core) {}
+  explicit EjectionSink(CoreId core, noc::PacketSlab* slab = nullptr)
+      : core_(core), slab_(slab) {}
 
   bool canAccept(const noc::Flit&) const override { return true; }
   void accept(const noc::Flit& flit, Cycle now) override;
@@ -88,6 +99,7 @@ class EjectionSink final : public noc::FlitSink {
 
  private:
   CoreId core_;
+  noc::PacketSlab* slab_;
   std::uint64_t packetsDelivered_ = 0;
   Bits bitsDelivered_ = 0;
   std::uint64_t latencySum_ = 0;

@@ -47,8 +47,7 @@ void PhotonicNetwork::build() {
   };
 
   // --- electrical routers, one per core ---
-  noc::RouterConfig routerConfig = params_.coreRouter;
-  routerConfig.vcDepthFlits = params_.coreRouter.vcDepthFlits;
+  const noc::RouterConfig& routerConfig = params_.coreRouter;
   for (CoreId core = 0; core < params_.numCores; ++core) {
     const ClusterId cluster = topology_.clusterOf(core);
     const std::uint32_t local = topology_.localIndex(core);
@@ -65,7 +64,7 @@ void PhotonicNetwork::build() {
     };
     coreRouters_.push_back(std::make_unique<noc::ElectricalRouter>(
         "r" + std::to_string(core), routerConfig, route));
-    sinks_.push_back(std::make_unique<EjectionSink>(core));
+    sinks_.push_back(std::make_unique<EjectionSink>(core, &slab_));
   }
 
   // --- photonic routers, one per cluster ---
@@ -147,11 +146,12 @@ void PhotonicNetwork::build() {
         pattern_->sourceWeight(core) * params_.numCores / totalWeight;
     config.injectionProbability = std::min(1.0, params_.offeredLoad * normalized);
     cores_.push_back(std::make_unique<CoreNode>(config, topology_, *pattern_,
-                                                *coreRouters_[core], seeder.split(),
-                                                &nextPacketId_));
+                                                *coreRouters_[core], slab_,
+                                                seeder.split(), &nextPacketId_));
   }
 
   // --- engine registration (deterministic order) ---
+  engine_.setActivityGating(params_.activityGating);
   policy_->attachTo(engine_);
   for (auto& router : photonicRouters_) engine_.add(*router);
   for (auto& router : coreRouters_) engine_.add(*router);

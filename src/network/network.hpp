@@ -30,6 +30,7 @@
 #include "network/params.hpp"
 #include "network/photonic_router.hpp"
 #include "noc/link.hpp"
+#include "noc/packet_slab.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
 #include "sim/engine.hpp"
@@ -93,6 +94,8 @@ class PhotonicNetwork {
   std::unique_ptr<traffic::TrafficPattern> pattern_;
   std::unique_ptr<ChannelPolicy> policy_;
   sim::Engine engine_;
+  /// Owns every live packet descriptor; flits carry handles into it.
+  noc::PacketSlab slab_;
   PacketId nextPacketId_ = 0;
   bool ran_ = false;
 

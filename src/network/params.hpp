@@ -45,6 +45,12 @@ struct SimulationParameters {
   Cycle warmupCycles = 1000;
   Cycle measureCycles = 10000;
 
+  // --- simulator engine ---
+  /// Skip quiescent components each cycle (bit-identical results, large
+  /// speedup at low load; off = classic step-everything engine).  Exposed so
+  /// the microbench and the equivalence test can compare both modes.
+  bool activityGating = true;
+
   // --- traffic ---
   std::string pattern = "uniform";
   /// Offered load in packets per core per cycle (before per-core weighting).

@@ -22,6 +22,7 @@ PhotonicRouter::PhotonicRouter(std::string name, const PhotonicRouterConfig& con
   ingress_.reserve(config.clusterSize);
   for (std::uint32_t i = 0; i < config.clusterSize; ++i) {
     ingress_.emplace_back(config.vcsPerPort, config.vcDepthFlits);
+    ingress_.back().notifyOwner(this, &bufferedFlits_);
   }
 }
 
@@ -49,8 +50,9 @@ VcId PhotonicRouter::tryReserveReceiveVc(PacketId packet, CoreId dstCore) {
 
 void PhotonicRouter::scheduleArrival(VcId vc, const noc::Flit& flit, Cycle arriveAt) {
   assert(vc < receiveBindings_.size() && receiveBindings_[vc].bound);
-  assert(receiveBindings_[vc].packet == flit.packet.id);
+  assert(receiveBindings_[vc].packet == flit.packet().id);
   inFlight_.push_back(PendingArrival{vc, flit, arriveAt});
+  requestWake();
 }
 
 void PhotonicRouter::evaluate(Cycle) {
@@ -71,29 +73,36 @@ void PhotonicRouter::processArrivals(Cycle cycle) {
   // Deliver due flits in scheduling order (FIFO per VC by construction).
   for (const PendingArrival& arrival : inFlight_) {
     if (!due(arrival)) continue;
-    auto& vc = receiveBank_.vc(arrival.vc);
-    assert(!vc.full() && "receive VC sized to a whole packet cannot overflow");
-    vc.push(arrival.flit, cycle);
+    assert(!receiveBank_.vc(arrival.vc).full() &&
+           "receive VC sized to a whole packet cannot overflow");
+    receiveBank_.push(arrival.vc, arrival.flit, cycle);
+    ++bufferedFlits_;
   }
   inFlight_.erase(std::remove_if(inFlight_.begin(), inFlight_.end(), due), inFlight_.end());
 }
 
 void PhotonicRouter::runEjection(Cycle cycle) {
+  if (receiveBank_.totalOccupancy() == 0) return;  // nothing to eject
   // Per-core ejection engines: each local core's down link can take one flit
   // per cycle; round-robin over the receive VCs bound to that core.
   for (std::uint32_t core = 0; core < ejection_.size(); ++core) {
     noc::FlitSink* sink = ejection_[core];
     if (sink == nullptr) continue;
     const std::uint32_t numVcs = receiveBank_.numVcs();
+    const std::uint32_t occupied = receiveBank_.occupiedMask();
+    if (occupied == 0) break;  // this cycle's flits all ejected already
     for (std::uint32_t offset = 0; offset < numVcs; ++offset) {
       const VcId vc = (ejectionRoundRobin_[core] + offset) % numVcs;
+      if ((occupied >> vc & 1u) == 0) continue;
       const ReceiveBinding& binding = receiveBindings_[vc];
-      if (!binding.bound || receiveBank_.vc(vc).empty()) continue;
+      if (!binding.bound) continue;
       // Bindings are per destination core; skip packets for other cores.
       if (binding.dstCore % ejection_.size() != core) continue;
       const noc::Flit& front = receiveBank_.vc(vc).front();
       if (!sink->canAccept(front)) continue;
-      const noc::Flit flit = receiveBank_.vc(vc).pop(cycle);
+      const noc::Flit flit = receiveBank_.pop(vc, cycle);
+      assert(bufferedFlits_ > 0);
+      --bufferedFlits_;
       if (flit.isTail()) {
         receiveBank_.unlock(vc);
         receiveBindings_[vc].bound = false;
@@ -119,9 +128,10 @@ bool PhotonicRouter::tryStartTransmission(Cycle) {
     const std::uint32_t slot = (txScanPort_ * vcs + txScanVc_ + offset) % slots;
     const std::uint32_t port = slot / vcs;
     const VcId vc = slot % vcs;
+    if ((ingress_[port].bank().occupiedMask() >> vc & 1u) == 0) continue;
     const auto& channel = ingress_[port].bank().vc(vc);
-    if (channel.empty() || !channel.front().isHead()) continue;
-    const noc::PacketDescriptor& packet = channel.front().packet;
+    if (!channel.front().isHead()) continue;
+    const noc::PacketDescriptor& packet = channel.front().packet();
     assert(packet.dstCluster != config_.cluster &&
            "intra-cluster packets must not reach the photonic router");
     const std::uint32_t lambdas = policy_->lambdasFor(config_.cluster, packet.dstCluster);
@@ -174,10 +184,10 @@ void PhotonicRouter::runTransmit(Cycle cycle) {
   }
   // Stream data: the channel moves lambdas * 5 bits per cycle.
   tx_.creditBits += static_cast<double>(tx_.lambdas) * config_.bitsPerLambdaPerCycle;
-  auto& channel = ingress_[tx_.inPort].bank().vc(tx_.inVc);
+  const auto& channel = ingress_[tx_.inPort].bank().vc(tx_.inVc);
   bool sentTail = false;
   while (!channel.empty() && tx_.creditBits >= static_cast<double>(config_.flitBits)) {
-    assert(channel.front().packet.id == tx_.packet.id && "VC lock violated");
+    assert(channel.front().packet().id == tx_.packet.id && "VC lock violated");
     const noc::Flit flit = ingress_[tx_.inPort].pop(tx_.inVc, cycle);
     tx_.creditBits -= static_cast<double>(flit.bits());
     photonic::chargePhotonicTransfer(ledger_, config_.energy, flit.bits());
@@ -203,14 +213,6 @@ noc::BufferStats PhotonicRouter::bufferStats() const {
   noc::BufferStats total;
   for (const auto& port : ingress_) total += port.bank().aggregateStats();
   total += receiveBank_.aggregateStats();
-  return total;
-}
-
-std::uint32_t PhotonicRouter::occupancy() const {
-  std::uint32_t total = 0;
-  for (const auto& port : ingress_) total += port.bank().totalOccupancy();
-  total += receiveBank_.totalOccupancy();
-  total += static_cast<std::uint32_t>(inFlight_.size());
   return total;
 }
 

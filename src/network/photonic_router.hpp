@@ -89,13 +89,20 @@ class PhotonicRouter final : public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return name_; }
+  /// Parked when nothing is buffered, in flight or mid-transmission; woken
+  /// by ingress accepts (uplink traffic) and peers scheduling arrivals.
+  bool quiescent() const override {
+    return bufferedFlits_ == 0 && inFlight_.empty() && !tx_.active;
+  }
 
   const PhotonicRouterStats& stats() const { return stats_; }
   const photonic::EnergyLedger& transferLedger() const { return ledger_; }
   /// Aggregated buffer statistics over ingress and receive banks (the
   /// photonic-buffer term of eq. (4) is priced from these).
   noc::BufferStats bufferStats() const;
-  std::uint32_t occupancy() const;
+  std::uint32_t occupancy() const {
+    return bufferedFlits_ + static_cast<std::uint32_t>(inFlight_.size());
+  }
 
  private:
   struct Transmission {
@@ -140,6 +147,10 @@ class PhotonicRouter final : public sim::Clocked {
   Transmission tx_;
   std::uint32_t txScanPort_ = 0;  // RR over (port, vc) candidates
   std::uint32_t txScanVc_ = 0;
+  /// Flits buffered in ingress ports + receive bank; kept current by the
+  /// ingress ports' owner hook and the push/pop sites below (O(1) quiescence
+  /// check).
+  std::uint32_t bufferedFlits_ = 0;
   PhotonicRouterStats stats_;
   photonic::EnergyLedger ledger_;
 };

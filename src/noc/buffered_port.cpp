@@ -7,9 +7,14 @@ namespace pnoc::noc {
 BufferedPort::BufferedPort(std::uint32_t numVcs, std::uint32_t depthFlits)
     : bank_(numVcs, depthFlits) {}
 
+void BufferedPort::notifyOwner(sim::Clocked* owner, std::uint32_t* bufferedCounter) {
+  owner_ = owner;
+  bufferedCounter_ = bufferedCounter;
+}
+
 bool BufferedPort::canAccept(const Flit& flit) const {
   if (flit.isHead()) return bank_.findFreeVcForNewPacket() != kNoVc;
-  const auto it = receivingVc_.find(flit.packet.id);
+  const auto it = receivingVc_.find(flit.packet().id);
   if (it == receivingVc_.end()) return false;
   return !bank_.vc(it->second).full();
 }
@@ -20,18 +25,24 @@ void BufferedPort::accept(const Flit& flit, Cycle now) {
   if (flit.isHead()) {
     vc = bank_.findFreeVcForNewPacket();
     bank_.lock(vc);
-    if (!flit.isTail()) receivingVc_[flit.packet.id] = vc;
+    if (!flit.isTail()) receivingVc_[flit.packet().id] = vc;
   } else {
-    const auto it = receivingVc_.find(flit.packet.id);
+    const auto it = receivingVc_.find(flit.packet().id);
     vc = it->second;
     if (flit.isTail()) receivingVc_.erase(it);
   }
-  bank_.vc(vc).push(flit, now);
+  bank_.push(vc, flit, now);
+  if (bufferedCounter_ != nullptr) ++*bufferedCounter_;
+  if (owner_ != nullptr) owner_->requestWake();
 }
 
 Flit BufferedPort::pop(VcId vc, Cycle now) {
-  Flit flit = bank_.vc(vc).pop(now);
+  Flit flit = bank_.pop(vc, now);
   if (flit.isTail()) bank_.unlock(vc);
+  if (bufferedCounter_ != nullptr) {
+    assert(*bufferedCounter_ > 0);
+    --*bufferedCounter_;
+  }
   return flit;
 }
 

@@ -3,18 +3,28 @@
 // until the tail is *popped* by the consumer); body/tail flits follow their
 // packet's VC.  Used for the electrical ingress and photonic receive sides
 // of the photonic router.
+//
+// The port itself is not Clocked; its owner (the photonic router) is.  The
+// owner hook lets accept() wake the parked owner and keep its buffered-flit
+// count current, so the owner's quiescence check is O(1).
 #pragma once
 
 #include <map>
 
 #include "noc/router.hpp"
 #include "noc/vc_buffer.hpp"
+#include "sim/engine.hpp"
 
 namespace pnoc::noc {
 
 class BufferedPort final : public FlitSink {
  public:
   BufferedPort(std::uint32_t numVcs, std::uint32_t depthFlits);
+
+  /// Registers the Clocked component fed by this port.  Every accept() wakes
+  /// `owner` and, when non-null, increments `bufferedCounter` (the owner
+  /// decrements it on pop()).
+  void notifyOwner(sim::Clocked* owner, std::uint32_t* bufferedCounter);
 
   // FlitSink
   bool canAccept(const Flit& flit) const override;
@@ -30,6 +40,8 @@ class BufferedPort final : public FlitSink {
  private:
   VcBufferBank bank_;
   std::map<PacketId, VcId> receivingVc_;
+  sim::Clocked* owner_ = nullptr;
+  std::uint32_t* bufferedCounter_ = nullptr;
 };
 
 }  // namespace pnoc::noc

@@ -14,16 +14,17 @@ std::string toString(FlitType type) {
   return "?";
 }
 
-Flit makeFlit(const PacketDescriptor& packet, std::uint32_t sequence) {
-  assert(sequence < packet.numFlits);
+Flit makeFlit(PacketHandle packet, std::uint32_t sequence) {
+  assert(packet != nullptr);
+  assert(sequence < packet->numFlits);
   Flit flit;
-  flit.packet = packet;
+  flit.handle = packet;
   flit.sequence = sequence;
-  if (packet.numFlits == 1) {
+  if (packet->numFlits == 1) {
     flit.type = FlitType::kHeadTail;
   } else if (sequence == 0) {
     flit.type = FlitType::kHead;
-  } else if (sequence == packet.numFlits - 1) {
+  } else if (sequence == packet->numFlits - 1) {
     flit.type = FlitType::kTail;
   } else {
     flit.type = FlitType::kBody;

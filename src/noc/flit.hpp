@@ -5,6 +5,10 @@
 // flit releases the path.  Per Table 3-3 a packet is always 2048 bits; the
 // flit size (and hence flit count) depends on the bandwidth set:
 //   BW set 1: 64 flits x 32 bits, set 2: 16 x 128, set 3: 8 x 256.
+//
+// The descriptor is shared, not copied: flits carry a PacketHandle into a
+// PacketSlab (or any other stable storage), so the per-hop copy through link
+// pipes and VC buffers is 16 bytes instead of the full 48-byte descriptor.
 #pragma once
 
 #include <cstdint>
@@ -41,18 +45,23 @@ struct PacketDescriptor {
   Bits totalBits() const { return static_cast<Bits>(numFlits) * bitsPerFlit; }
 };
 
+/// Compact reference to an interned descriptor.  The storage (typically a
+/// PacketSlab owned by the network) must outlive every flit of the packet.
+using PacketHandle = const PacketDescriptor*;
+
 /// One flow-control unit.
 struct Flit {
-  PacketDescriptor packet;
+  PacketHandle handle = nullptr;
   FlitType type = FlitType::kHead;
   std::uint32_t sequence = 0;  // 0-based index within the packet
 
+  const PacketDescriptor& packet() const { return *handle; }
   bool isHead() const { return type == FlitType::kHead || type == FlitType::kHeadTail; }
   bool isTail() const { return type == FlitType::kTail || type == FlitType::kHeadTail; }
-  Bits bits() const { return packet.bitsPerFlit; }
+  Bits bits() const { return handle->bitsPerFlit; }
 };
 
 /// Builds the flit at position `sequence` of the given packet.
-Flit makeFlit(const PacketDescriptor& packet, std::uint32_t sequence);
+Flit makeFlit(PacketHandle packet, std::uint32_t sequence);
 
 }  // namespace pnoc::noc

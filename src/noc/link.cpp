@@ -9,15 +9,17 @@ Link::Link(std::string name, std::uint32_t latency, double energyPerBitPj,
     : name_(std::move(name)),
       latency_(latency),
       energyPerBitPj_(energyPerBitPj),
-      downstream_(&downstream) {
+      downstream_(&downstream),
+      pipe_(latency) {
   assert(latency >= 1 && "a link needs at least one cycle of latency");
 }
 
-bool Link::canAccept(const Flit&) const { return pipe_.size() < latency_; }
+bool Link::canAccept(const Flit&) const { return !pipe_.full(); }
 
 void Link::accept(const Flit& flit, Cycle now) {
   assert(canAccept(flit));
   pipe_.push_back(InFlight{flit, now + latency_});
+  requestWake();
 }
 
 void Link::evaluate(Cycle cycle) {
@@ -36,10 +38,13 @@ void Link::advance(Cycle cycle) {
   if (!deliverHead_) return;
   const Flit flit = pipe_.front().flit;
   pipe_.pop_front();
+  // Charge stats before handing over: a sink consuming the tail flit may
+  // release the packet's slab slot, after which the handle must not be read.
+  const Bits bits = flit.bits();
   downstream_->accept(flit, cycle);
   ++stats_.flitsDelivered;
-  stats_.bitsDelivered += flit.bits();
-  stats_.energyPj += energyPerBitPj_ * static_cast<double>(flit.bits());
+  stats_.bitsDelivered += bits;
+  stats_.energyPj += energyPerBitPj_ * static_cast<double>(bits);
   deliverHead_ = false;
 }
 

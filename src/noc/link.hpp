@@ -7,15 +7,18 @@
 // physically adjacent cores (paper Section 3.1), so the default latency is a
 // single cycle; energy per bit is configurable (derived, like the paper's,
 // from wire length).
+//
+// An empty link is quiescent: the engine parks it and accept() wakes it, so
+// the thousands of idle wires in a low-load sweep cost nothing per cycle.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "noc/flit.hpp"
 #include "noc/router.hpp"
 #include "sim/engine.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/types.hpp"
 
 namespace pnoc::noc {
@@ -41,21 +44,22 @@ class Link final : public FlitSink, public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return name_; }
+  bool quiescent() const override { return pipe_.empty(); }
 
   const LinkStats& stats() const { return stats_; }
-  std::uint32_t occupancy() const { return static_cast<std::uint32_t>(pipe_.size()); }
+  std::uint32_t occupancy() const { return pipe_.size(); }
 
  private:
   struct InFlight {
     Flit flit;
-    Cycle readyAt;  // earliest cycle the flit may exit the link
+    Cycle readyAt = 0;  // earliest cycle the flit may exit the link
   };
 
   std::string name_;
   std::uint32_t latency_;
   double energyPerBitPj_;
   FlitSink* downstream_;
-  std::deque<InFlight> pipe_;
+  sim::RingBuffer<InFlight> pipe_;
   bool deliverHead_ = false;  // decision from evaluate()
   LinkStats stats_;
 };

@@ -1,0 +1,26 @@
+#include "noc/packet_slab.hpp"
+
+#include <cassert>
+
+namespace pnoc::noc {
+
+PacketHandle PacketSlab::intern(const PacketDescriptor& packet) {
+  ++live_;
+  if (!freeList_.empty()) {
+    PacketDescriptor* slot = freeList_.back();
+    freeList_.pop_back();
+    *slot = packet;
+    return slot;
+  }
+  storage_.push_back(packet);
+  return &storage_.back();
+}
+
+void PacketSlab::release(PacketHandle handle) {
+  assert(handle != nullptr);
+  assert(live_ > 0);
+  --live_;
+  freeList_.push_back(const_cast<PacketDescriptor*>(handle));
+}
+
+}  // namespace pnoc::noc

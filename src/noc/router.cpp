@@ -1,5 +1,7 @@
 #include "noc/router.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace pnoc::noc {
@@ -12,7 +14,12 @@ ElectricalRouter::ElectricalRouter(
       routeFn_(std::move(routeFn)),
       outputs_(config.numPorts),
       crossbar_(config.numPorts, config.numPorts),
-      receivingVc_(config.numPorts) {
+      receivingVc_(config.numPorts),
+      vcRequests_(config.vcsPerPort, false),
+      inputRequests_(config.numPorts, false),
+      vcTargets_(config.vcsPerPort, 0),
+      selectedVc_(config.numPorts, kNoVc),
+      selectedOut_(config.numPorts, 0) {
   assert(routeFn_ && "router requires a routing function");
   inputs_.reserve(config.numPorts);
   for (std::uint32_t p = 0; p < config.numPorts; ++p) {
@@ -20,6 +27,7 @@ ElectricalRouter::ElectricalRouter(
     inputArbiters_.push_back(makeArbiter(config.arbiter, config.vcsPerPort));
     outputArbiters_.push_back(makeArbiter(config.arbiter, config.numPorts));
   }
+  pendingMoves_.reserve(config.numPorts);
 }
 
 void ElectricalRouter::connectOutput(std::uint32_t port, FlitSink& sink) {
@@ -34,7 +42,7 @@ bool ElectricalRouter::canAcceptFlit(std::uint32_t inputPort, const Flit& flit) 
     return bank.findFreeVcForNewPacket() != kNoVc;
   }
   const auto& map = receivingVc_[inputPort];
-  const auto it = map.find(flit.packet.id);
+  const auto it = map.find(flit.packet().id);
   if (it == map.end()) return false;  // head was never accepted here
   return !bank.vc(it->second).full();
 }
@@ -46,14 +54,16 @@ void ElectricalRouter::acceptFlit(std::uint32_t inputPort, const Flit& flit, Cyc
   if (flit.isHead()) {
     vc = bank.findFreeVcForNewPacket();
     bank.lock(vc);
-    if (!flit.isTail()) receivingVc_[inputPort][flit.packet.id] = vc;
+    if (!flit.isTail()) receivingVc_[inputPort][flit.packet().id] = vc;
   } else {
     auto& map = receivingVc_[inputPort];
-    const auto it = map.find(flit.packet.id);
+    const auto it = map.find(flit.packet().id);
     vc = it->second;
     if (flit.isTail()) map.erase(it);
   }
-  bank.vc(vc).push(flit, now);
+  bank.push(vc, flit, now);
+  ++occupancy_;
+  requestWake();
 }
 
 bool ElectricalRouter::flitEligible(std::uint32_t inPort, VcId vc, Cycle now) const {
@@ -64,6 +74,11 @@ bool ElectricalRouter::flitEligible(std::uint32_t inPort, VcId vc, Cycle now) co
 }
 
 void ElectricalRouter::evaluate(Cycle cycle) {
+  // Empty router: no moves were pending (advance() cleared them) and the
+  // crossbar is only consulted after the reset below, so skip both phases'
+  // work outright.  This is the ungated engine's fast path; the gated engine
+  // does not call evaluate() on an empty router at all.
+  if (occupancy_ == 0) return;
   pendingMoves_.clear();
   crossbar_.reset();
 
@@ -75,7 +90,7 @@ void ElectricalRouter::evaluate(Cycle cycle) {
     const VirtualChannel& channel = inputs_[state.inPort].vc(state.inVc);
     if (channel.empty()) continue;
     const Flit& flit = channel.front();
-    assert(flit.packet.id == state.packet && "VC lock violated");
+    assert(flit.packet().id == state.packet && "VC lock violated");
     if (!flitEligible(state.inPort, state.inVc, cycle)) continue;
     if (state.sink == nullptr || !state.sink->canAccept(flit)) continue;
     crossbar_.connect(state.inPort, out);
@@ -84,31 +99,31 @@ void ElectricalRouter::evaluate(Cycle cycle) {
 
   // Stage 1 (input arbitration): each idle input picks one VC holding an
   // eligible head flit whose route targets a free output that can accept it.
-  std::vector<VcId> selectedVc(config_.numPorts, kNoVc);
-  std::vector<std::uint32_t> selectedOut(config_.numPorts, 0);
+  std::fill(selectedVc_.begin(), selectedVc_.end(), kNoVc);
   for (std::uint32_t in = 0; in < config_.numPorts; ++in) {
     if (crossbar_.inputBusy(in)) continue;
-    std::vector<bool> requests(config_.vcsPerPort, false);
-    std::vector<std::uint32_t> target(config_.vcsPerPort, 0);
+    std::fill(vcRequests_.begin(), vcRequests_.end(), false);
     bool any = false;
-    for (VcId vc = 0; vc < config_.vcsPerPort; ++vc) {
+    // Iterate only the occupied VCs (ascending, same order as a full scan).
+    for (std::uint32_t occ = inputs_[in].occupiedMask(); occ != 0; occ &= occ - 1) {
+      const VcId vc = static_cast<VcId>(std::countr_zero(occ));
       const VirtualChannel& channel = inputs_[in].vc(vc);
-      if (channel.empty() || !channel.front().isHead()) continue;
+      if (!channel.front().isHead()) continue;
       if (!flitEligible(in, vc, cycle)) continue;
-      const std::uint32_t out = routeFn_(channel.front().packet);
+      const std::uint32_t out = routeFn_(channel.front().packet());
       assert(out < config_.numPorts);
       const OutputState& state = outputs_[out];
       if (state.owned || crossbar_.outputBusy(out)) continue;
       if (state.sink == nullptr || !state.sink->canAccept(channel.front())) continue;
-      requests[vc] = true;
-      target[vc] = out;
+      vcRequests_[vc] = true;
+      vcTargets_[vc] = out;
       any = true;
     }
     if (!any) continue;
-    const std::uint32_t vc = inputArbiters_[in]->grant(requests);
+    const std::uint32_t vc = inputArbiters_[in]->grant(vcRequests_);
     if (vc != kNoGrant) {
-      selectedVc[in] = vc;
-      selectedOut[in] = target[vc];
+      selectedVc_[in] = vc;
+      selectedOut_[in] = vcTargets_[vc];
     }
   }
 
@@ -116,26 +131,28 @@ void ElectricalRouter::evaluate(Cycle cycle) {
   // whose selected head flit targets it.
   for (std::uint32_t out = 0; out < config_.numPorts; ++out) {
     if (outputs_[out].owned || crossbar_.outputBusy(out)) continue;
-    std::vector<bool> requests(config_.numPorts, false);
+    std::fill(inputRequests_.begin(), inputRequests_.end(), false);
     bool any = false;
     for (std::uint32_t in = 0; in < config_.numPorts; ++in) {
-      if (selectedVc[in] != kNoVc && selectedOut[in] == out) {
-        requests[in] = true;
+      if (selectedVc_[in] != kNoVc && selectedOut_[in] == out) {
+        inputRequests_[in] = true;
         any = true;
       }
     }
     if (!any) continue;
-    const std::uint32_t in = outputArbiters_[out]->grant(requests);
+    const std::uint32_t in = outputArbiters_[out]->grant(inputRequests_);
     if (in == kNoGrant) continue;
     crossbar_.connect(in, out);
-    pendingMoves_.push_back(Move{in, selectedVc[in], out});
+    pendingMoves_.push_back(Move{in, selectedVc_[in], out});
   }
 }
 
 void ElectricalRouter::advance(Cycle cycle) {
   for (const Move& move : pendingMoves_) {
     VcBufferBank& bank = inputs_[move.inPort];
-    const Flit flit = bank.vc(move.inVc).pop(cycle);
+    const Flit flit = bank.pop(move.inVc, cycle);
+    assert(occupancy_ > 0);
+    --occupancy_;
     crossbar_.traverse(move.inPort, flit);
     stats_.flitsRouted += 1;
     stats_.bitsRouted += flit.bits();
@@ -143,16 +160,23 @@ void ElectricalRouter::advance(Cycle cycle) {
 
     OutputState& state = outputs_[move.outPort];
     assert(state.sink != nullptr);
+    // Read everything we need from the descriptor before handing the flit
+    // over: an ejection sink releases the packet's slab slot when it
+    // consumes the tail, so the handle must not be dereferenced after
+    // accept().
+    const PacketId packetId = flit.packet().id;
+    const bool isHead = flit.isHead();
+    const bool isTail = flit.isTail();
     state.sink->accept(flit, cycle);
 
-    if (flit.isHead() && !flit.isTail()) {
+    if (isHead && !isTail) {
       state.owned = true;
       state.inPort = move.inPort;
       state.inVc = move.inVc;
-      state.packet = flit.packet.id;
+      state.packet = packetId;
     }
-    if (flit.isTail()) {
-      if (state.owned && state.packet == flit.packet.id) state.owned = false;
+    if (isTail) {
+      if (state.owned && state.packet == packetId) state.owned = false;
       bank.unlock(move.inVc);
     }
   }
@@ -162,12 +186,6 @@ void ElectricalRouter::advance(Cycle cycle) {
 BufferStats ElectricalRouter::aggregateBufferStats() const {
   BufferStats total;
   for (const auto& bank : inputs_) total += bank.aggregateStats();
-  return total;
-}
-
-std::uint32_t ElectricalRouter::occupancy() const {
-  std::uint32_t total = 0;
-  for (const auto& bank : inputs_) total += bank.totalOccupancy();
   return total;
 }
 

@@ -11,6 +11,10 @@
 // arriving head flit, canAcceptFlit() is false and the source must retry —
 // the drop-and-retransmit behaviour of Section 1.4 is implemented at the
 // injection site, which counts the drop.
+//
+// An empty router (no buffered flits) is quiescent and is parked by the
+// engine; acceptFlit() wakes it.  Arbitration scratch state lives in member
+// buffers so evaluate() allocates nothing on the hot path.
 #pragma once
 
 #include <cstdint>
@@ -78,14 +82,15 @@ class ElectricalRouter final : public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return name_; }
+  bool quiescent() const override { return occupancy_ == 0; }
 
   const RouterConfig& config() const { return config_; }
   const RouterStats& stats() const { return stats_; }
   BufferStats aggregateBufferStats() const;
 
   /// Flits currently buffered (all ports, all VCs) — used by tests and by
-  /// drain-detection in the network.
-  std::uint32_t occupancy() const;
+  /// drain-detection in the network.  O(1): tracked on accept/forward.
+  std::uint32_t occupancy() const { return occupancy_; }
 
  private:
   struct OutputState {
@@ -117,6 +122,14 @@ class ElectricalRouter final : public sim::Clocked {
   /// VC a partially received packet is being written to, per input port.
   std::vector<std::map<PacketId, VcId>> receivingVc_;
   std::vector<Move> pendingMoves_;  // decided in evaluate, applied in advance
+  std::uint32_t occupancy_ = 0;     // buffered flits across all ports/VCs
+  // Arbitration scratch, sized once in the constructor (no per-cycle
+  // allocation).
+  std::vector<bool> vcRequests_;          // one slot per VC of a port
+  std::vector<bool> inputRequests_;       // one slot per input port
+  std::vector<std::uint32_t> vcTargets_;  // requested output per VC
+  std::vector<VcId> selectedVc_;          // per input port
+  std::vector<std::uint32_t> selectedOut_;
   RouterStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "noc/vc_buffer.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace pnoc::noc {
@@ -15,7 +16,7 @@ BufferStats& BufferStats::operator+=(const BufferStats& other) {
   return *this;
 }
 
-VirtualChannel::VirtualChannel(std::uint32_t capacityFlits) : capacity_(capacityFlits) {
+VirtualChannel::VirtualChannel(std::uint32_t capacityFlits) : entries_(capacityFlits) {
   assert(capacityFlits > 0);
 }
 
@@ -39,7 +40,7 @@ Cycle VirtualChannel::frontArrival() const {
 
 Flit VirtualChannel::pop(Cycle now) {
   assert(!empty());
-  Entry entry = entries_.front();
+  const Entry entry = entries_.front();
   entries_.pop_front();
   ++stats_.flitsRead;
   stats_.bitsRead += entry.flit.bits();
@@ -48,29 +49,38 @@ Flit VirtualChannel::pop(Cycle now) {
   return entry.flit;
 }
 
-VcBufferBank::VcBufferBank(std::uint32_t numVcs, std::uint32_t depthFlits)
-    : locked_(numVcs, false) {
+VcBufferBank::VcBufferBank(std::uint32_t numVcs, std::uint32_t depthFlits) {
   assert(numVcs > 0);
+  assert(numVcs <= 32 && "VC state is tracked in 32-bit masks");
   vcs_.reserve(numVcs);
   for (std::uint32_t i = 0; i < numVcs; ++i) vcs_.emplace_back(depthFlits);
+  allVcsMask_ = numVcs == 32 ? ~0u : (1u << numVcs) - 1;
+}
+
+void VcBufferBank::push(VcId id, const Flit& flit, Cycle now) {
+  vcs_[id].push(flit, now);
+  occupiedMask_ |= bit(id);
+  ++occupancy_;
+}
+
+Flit VcBufferBank::pop(VcId id, Cycle now) {
+  const Flit flit = vcs_[id].pop(now);
+  if (vcs_[id].empty()) occupiedMask_ &= ~bit(id);
+  assert(occupancy_ > 0);
+  --occupancy_;
+  return flit;
 }
 
 VcId VcBufferBank::findFreeVcForNewPacket() const {
-  for (VcId i = 0; i < numVcs(); ++i) {
-    if (vcs_[i].empty() && !locked_[i]) return i;
-  }
-  return kNoVc;
+  // Lowest VC that is both empty and unlocked — identical to a linear scan.
+  const std::uint32_t freeBits = ~(occupiedMask_ | lockedMask_) & allVcsMask_;
+  if (freeBits == 0) return kNoVc;
+  return static_cast<VcId>(std::countr_zero(freeBits));
 }
 
 BufferStats VcBufferBank::aggregateStats() const {
   BufferStats total;
   for (const auto& vc : vcs_) total += vc.stats();
-  return total;
-}
-
-std::uint32_t VcBufferBank::totalOccupancy() const {
-  std::uint32_t total = 0;
-  for (const auto& vc : vcs_) total += vc.size();
   return total;
 }
 

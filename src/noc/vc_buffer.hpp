@@ -6,14 +6,16 @@
 // congestion shows up as longer residency, which Section 3.4.1.2 identifies
 // as the reason d-HetPNoC's packet energy is lower under skewed traffic.  We
 // therefore track bit-cycles of residency explicitly.
+//
+// Capacities are fixed at construction, so the backing store is a
+// RingBuffer: one allocation per VC for the network's lifetime.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
 #include <vector>
 
 #include "noc/flit.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/types.hpp"
 
 namespace pnoc::noc {
@@ -37,10 +39,10 @@ class VirtualChannel {
   explicit VirtualChannel(std::uint32_t capacityFlits);
 
   bool empty() const { return entries_.empty(); }
-  bool full() const { return entries_.size() >= capacity_; }
-  std::uint32_t capacity() const { return capacity_; }
-  std::uint32_t size() const { return static_cast<std::uint32_t>(entries_.size()); }
-  std::uint32_t freeSlots() const { return capacity_ - size(); }
+  bool full() const { return entries_.full(); }
+  std::uint32_t capacity() const { return entries_.capacity(); }
+  std::uint32_t size() const { return entries_.size(); }
+  std::uint32_t freeSlots() const { return entries_.freeSlots(); }
 
   /// Enqueues a flit at the given cycle. Precondition: !full().
   void push(const Flit& flit, Cycle now);
@@ -59,21 +61,34 @@ class VirtualChannel {
  private:
   struct Entry {
     Flit flit;
-    Cycle enqueuedAt;
+    Cycle enqueuedAt = 0;
   };
-  std::uint32_t capacity_;
-  std::deque<Entry> entries_;
+  sim::RingBuffer<Entry> entries_;
   BufferStats stats_;
 };
 
-/// A bank of VCs forming one router input port.
+/// A bank of VCs forming one router input port (at most 32 VCs so occupancy
+/// and lock state fit in bitmasks).
+///
+/// All mutation goes through the bank — push/pop/lock — so it can maintain
+/// an occupied-VC bitmask and an O(1) flit count.  The hot arbitration loops
+/// iterate set bits of occupiedMask() instead of scanning every VC, and
+/// free-VC lookup is a count-trailing-zeros.
 class VcBufferBank {
  public:
   VcBufferBank(std::uint32_t numVcs, std::uint32_t depthFlits);
 
   std::uint32_t numVcs() const { return static_cast<std::uint32_t>(vcs_.size()); }
-  VirtualChannel& vc(VcId id) { return vcs_[id]; }
   const VirtualChannel& vc(VcId id) const { return vcs_[id]; }
+
+  /// Enqueues into VC `id`. Precondition: !vc(id).full().
+  void push(VcId id, const Flit& flit, Cycle now);
+
+  /// Dequeues the front flit of VC `id`. Precondition: !vc(id).empty().
+  Flit pop(VcId id, Cycle now);
+
+  /// Bit i set iff vc(i) is non-empty.
+  std::uint32_t occupiedMask() const { return occupiedMask_; }
 
   /// First VC that can accept a new packet's head flit (empty and not
   /// reserved by an in-flight packet), or kNoVc.
@@ -81,9 +96,9 @@ class VcBufferBank {
 
   /// Marks a VC reserved-by-packet (wormhole: one packet owns a VC from head
   /// to tail).
-  void lock(VcId id) { locked_[id] = true; }
-  void unlock(VcId id) { locked_[id] = false; }
-  bool isLocked(VcId id) const { return locked_[id]; }
+  void lock(VcId id) { lockedMask_ |= bit(id); }
+  void unlock(VcId id) { lockedMask_ &= ~bit(id); }
+  bool isLocked(VcId id) const { return (lockedMask_ & bit(id)) != 0; }
 
   /// True if every VC is either non-empty or locked: a newly arriving head
   /// flit would be dropped (paper Section 1.4 drop-and-retransmit).
@@ -91,12 +106,17 @@ class VcBufferBank {
 
   BufferStats aggregateStats() const;
 
-  /// Total flits currently buffered across all VCs.
-  std::uint32_t totalOccupancy() const;
+  /// Total flits currently buffered across all VCs (O(1)).
+  std::uint32_t totalOccupancy() const { return occupancy_; }
 
  private:
+  static std::uint32_t bit(VcId id) { return 1u << id; }
+
   std::vector<VirtualChannel> vcs_;
-  std::vector<bool> locked_;
+  std::uint32_t allVcsMask_ = 0;
+  std::uint32_t occupiedMask_ = 0;
+  std::uint32_t lockedMask_ = 0;
+  std::uint32_t occupancy_ = 0;
 };
 
 }  // namespace pnoc::noc

@@ -1,10 +1,64 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 namespace pnoc::sim {
 
+void Engine::add(Clocked& component) {
+  component.engine_ = this;
+  component.slot_ = static_cast<std::uint32_t>(components_.size());
+  components_.push_back(&component);
+  active_.push_back(1);
+  activeSlots_.push_back(component.slot_);  // slots ascend, so stays sorted
+}
+
+void Engine::setActivityGating(bool enabled) {
+  gating_ = enabled;
+  // Re-activate everything: correct for both directions (when enabling, the
+  // first parked components drop out at the end of the next cycle).
+  activeSlots_.clear();
+  for (std::uint32_t slot = 0; slot < components_.size(); ++slot) {
+    active_[slot] = 1;
+    activeSlots_.push_back(slot);
+  }
+  wakeQueue_.clear();
+}
+
+void Engine::drainWakeQueue() {
+  if (wakeQueue_.empty()) return;
+  std::sort(wakeQueue_.begin(), wakeQueue_.end());
+  const std::size_t mid = activeSlots_.size();
+  for (const std::uint32_t slot : wakeQueue_) {
+    if (active_[slot]) continue;  // duplicates collapse here
+    active_[slot] = 1;
+    activeSlots_.push_back(slot);
+  }
+  std::inplace_merge(activeSlots_.begin(),
+                     activeSlots_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     activeSlots_.end());
+  wakeQueue_.clear();
+}
+
 void Engine::step() {
-  for (Clocked* c : components_) c->evaluate(now_);
-  for (Clocked* c : components_) c->advance(now_);
+  if (gating_) {
+    drainWakeQueue();
+    for (const std::uint32_t slot : activeSlots_) components_[slot]->evaluate(now_);
+    for (const std::uint32_t slot : activeSlots_) components_[slot]->advance(now_);
+    // Park components that ended the cycle with nothing to do.  quiescent()
+    // sees the post-advance state, including flits accepted this cycle.
+    std::size_t kept = 0;
+    for (const std::uint32_t slot : activeSlots_) {
+      if (components_[slot]->quiescent()) {
+        active_[slot] = 0;
+      } else {
+        activeSlots_[kept++] = slot;
+      }
+    }
+    activeSlots_.resize(kept);
+  } else {
+    for (Clocked* c : components_) c->evaluate(now_);
+    for (Clocked* c : components_) c->advance(now_);
+  }
   if (onCycleEnd_) onCycleEnd_(now_);
   ++now_;
 }

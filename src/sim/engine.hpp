@@ -9,8 +9,19 @@
 //                      every component's evaluate() next cycle.
 // This is the standard two-phase (combinational/sequential) discipline used
 // by RTL-ish NoC simulators such as BookSim.
+//
+// Activity gating: a component whose evaluate()/advance() would be a no-op
+// can report quiescent(); the engine then parks it on an inactive list and
+// stops stepping it.  Whoever hands the component new work (a link delivering
+// a flit, a peer scheduling an arrival) calls requestWake(), which re-joins
+// the component to the active list from the *next* cycle.  Because every
+// hand-off in this simulator has at least one cycle of latency, skipping a
+// quiescent component is exactly equivalent to stepping it — the gated and
+// ungated engines produce bit-identical runs (asserted by
+// tests/integration/determinism_test.cpp).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,6 +29,8 @@
 #include "sim/types.hpp"
 
 namespace pnoc::sim {
+
+class Engine;
 
 class Clocked {
  public:
@@ -31,6 +44,22 @@ class Clocked {
 
   /// Human-readable name for tracing and error messages.
   virtual std::string name() const = 0;
+
+  /// True when both phases would be no-ops until an external event arrives.
+  /// A component returning true may be parked; it must arrange (via the
+  /// components that feed it calling requestWake()) to be woken before it has
+  /// work again.  The default keeps a component permanently active.
+  virtual bool quiescent() const { return false; }
+
+  /// Marks this component active starting next cycle.  Safe to call from any
+  /// phase, on active or parked components, and before engine registration
+  /// (no-op until added to an engine).
+  void requestWake();
+
+ private:
+  friend class Engine;
+  Engine* engine_ = nullptr;
+  std::uint32_t slot_ = 0;
 };
 
 class Engine {
@@ -38,7 +67,7 @@ class Engine {
   /// Registers a component. The engine does not own components; callers keep
   /// them alive for the engine's lifetime (they are typically members of the
   /// network object that also owns the engine).
-  void add(Clocked& component) { components_.push_back(&component); }
+  void add(Clocked& component);
 
   /// Runs `cycles` more cycles.
   void run(Cycle cycles);
@@ -51,13 +80,39 @@ class Engine {
 
   std::size_t componentCount() const { return components_.size(); }
 
+  /// Components currently on the active list (== componentCount() when
+  /// gating is off); inspectable for tests and the microbench.
+  std::size_t activeCount() const {
+    return gating_ ? activeSlots_.size() : components_.size();
+  }
+
+  /// Enables/disables activity gating (default on).  Disabling re-activates
+  /// every component, restoring the classic step-everything behaviour.
+  void setActivityGating(bool enabled);
+  bool activityGating() const { return gating_; }
+
   /// Optional per-cycle observer invoked after both phases (tracing, stats).
   void setOnCycleEnd(std::function<void(Cycle)> hook) { onCycleEnd_ = std::move(hook); }
 
  private:
+  friend class Clocked;
+  void wake(std::uint32_t slot) {
+    if (!gating_ || active_[slot]) return;
+    wakeQueue_.push_back(slot);
+  }
+  void drainWakeQueue();
+
   std::vector<Clocked*> components_;
+  std::vector<char> active_;               // parallel to components_
+  std::vector<std::uint32_t> activeSlots_;  // sorted registration order
+  std::vector<std::uint32_t> wakeQueue_;    // wakes land next cycle
   std::function<void(Cycle)> onCycleEnd_;
   Cycle now_ = 0;
+  bool gating_ = true;
 };
+
+inline void Clocked::requestWake() {
+  if (engine_ != nullptr) engine_->wake(slot_);
+}
 
 }  // namespace pnoc::sim

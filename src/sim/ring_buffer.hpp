@@ -1,0 +1,75 @@
+// Fixed-capacity ring buffer: the simulator's FIFO workhorse.
+//
+// Link pipes, virtual channels and injection queues all have capacities that
+// are known at construction (link latency, VC depth, queue size), so a
+// std::deque's chunked heap allocation is pure overhead on the hot path.  The
+// ring buffer allocates its storage once and push/pop are an index bump each
+// — no allocation, no pointer chasing, cache-friendly iteration.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pnoc::sim {
+
+/// Bounded FIFO over pre-allocated storage.  T must be default constructible
+/// and assignable.  Overflow/underflow are programming errors (asserted), as
+/// with the flow-control preconditions elsewhere in the simulator.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::uint32_t capacity) : data_(capacity), capacity_(capacity) {
+    assert(capacity > 0 && "a ring buffer needs at least one slot");
+  }
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+  std::uint32_t size() const { return size_; }
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t freeSlots() const { return capacity_ - size_; }
+
+  void push_back(const T& value) {
+    assert(!full());
+    data_[wrap(head_ + size_)] = value;
+    ++size_;
+  }
+
+  T& front() {
+    assert(!empty());
+    return data_[head_];
+  }
+  const T& front() const {
+    assert(!empty());
+    return data_[head_];
+  }
+
+  void pop_front() {
+    assert(!empty());
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+  /// i-th element from the front (0 == front()); bounds asserted.
+  const T& at(std::uint32_t i) const {
+    assert(i < size_);
+    return data_[wrap(head_ + i)];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::uint32_t wrap(std::uint32_t index) const {
+    return index >= capacity_ ? index - capacity_ : index;
+  }
+
+  std::vector<T> data_;
+  std::uint32_t capacity_;
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace pnoc::sim

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "network/channel_policy.hpp"
+#include "noc/packet_slab.hpp"
 #include "sim/engine.hpp"
 
 namespace pnoc::network {
@@ -51,7 +52,10 @@ PhotonicRouterConfig smallConfig(ClusterId cluster) {
   return config;
 }
 
-noc::PacketDescriptor interPacket(PacketId id, ClusterId srcCluster, CoreId dstCore) {
+/// Descriptors live in a test-local slab so flit handles stay valid for the
+/// whole test (as the network's per-run slab guarantees in production).
+noc::PacketHandle interPacket(PacketId id, ClusterId srcCluster, CoreId dstCore) {
+  static noc::PacketSlab slab;
   noc::PacketDescriptor packet;
   packet.id = id;
   packet.srcCluster = srcCluster;
@@ -59,7 +63,7 @@ noc::PacketDescriptor interPacket(PacketId id, ClusterId srcCluster, CoreId dstC
   packet.dstCluster = dstCore / 4;
   packet.numFlits = 8;
   packet.bitsPerFlit = 32;
-  return packet;
+  return slab.intern(packet);
 }
 
 class PhotonicRouterTest : public ::testing::Test {
@@ -78,8 +82,8 @@ class PhotonicRouterTest : public ::testing::Test {
     engine.add(destination);
   }
 
-  void inject(const noc::PacketDescriptor& packet, std::uint32_t port = 0) {
-    for (std::uint32_t i = 0; i < packet.numFlits; ++i) {
+  void inject(noc::PacketHandle packet, std::uint32_t port = 0) {
+    for (std::uint32_t i = 0; i < packet->numFlits; ++i) {
       const noc::Flit flit = noc::makeFlit(packet, i);
       ASSERT_TRUE(source.inputPort(port).canAccept(flit));
       source.inputPort(port).accept(flit, engine.now());
@@ -134,7 +138,7 @@ TEST_F(PhotonicRouterTest, WiderChannelIsFaster) {
   wideEngine.add(wideSource);
   wideEngine.add(wideDestination);
   const auto packet = interPacket(1, 0, 4);
-  for (std::uint32_t i = 0; i < packet.numFlits; ++i) {
+  for (std::uint32_t i = 0; i < packet->numFlits; ++i) {
     wideSource.inputPort(0).accept(noc::makeFlit(packet, i), 0);
   }
   wideEngine.run(40);

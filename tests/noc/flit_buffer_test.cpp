@@ -2,18 +2,22 @@
 
 #include "noc/buffered_port.hpp"
 #include "noc/flit.hpp"
+#include "noc/packet_slab.hpp"
 #include "noc/topology.hpp"
 #include "noc/vc_buffer.hpp"
 
 namespace pnoc::noc {
 namespace {
 
-PacketDescriptor makePacket(PacketId id, std::uint32_t numFlits, Bits bitsPerFlit = 32) {
+/// Descriptors live in a test-local slab so flit handles stay valid for the
+/// whole test (as the network's per-run slab guarantees in production).
+PacketHandle makePacket(PacketId id, std::uint32_t numFlits, Bits bitsPerFlit = 32) {
+  static PacketSlab slab;
   PacketDescriptor packet;
   packet.id = id;
   packet.numFlits = numFlits;
   packet.bitsPerFlit = bitsPerFlit;
-  return packet;
+  return slab.intern(packet);
 }
 
 TEST(Flit, TypesByPosition) {
@@ -33,9 +37,9 @@ TEST(Flit, SingleFlitPacketIsHeadTail) {
 }
 
 TEST(Flit, TotalBits) {
-  EXPECT_EQ(makePacket(3, 64, 32).totalBits(), 2048u);  // BW set 1 geometry
-  EXPECT_EQ(makePacket(4, 16, 128).totalBits(), 2048u);  // BW set 2
-  EXPECT_EQ(makePacket(5, 8, 256).totalBits(), 2048u);  // BW set 3
+  EXPECT_EQ(makePacket(3, 64, 32)->totalBits(), 2048u);  // BW set 1 geometry
+  EXPECT_EQ(makePacket(4, 16, 128)->totalBits(), 2048u);  // BW set 2
+  EXPECT_EQ(makePacket(5, 8, 256)->totalBits(), 2048u);  // BW set 3
 }
 
 TEST(VirtualChannel, FifoOrder) {
@@ -82,7 +86,7 @@ TEST(VcBufferBank, FindFreeSkipsLockedAndOccupied) {
   EXPECT_EQ(bank.findFreeVcForNewPacket(), 0u);
   bank.lock(0);
   EXPECT_EQ(bank.findFreeVcForNewPacket(), 1u);
-  bank.vc(1).push(makeFlit(makePacket(1, 2), 0), 0);
+  bank.push(1, makeFlit(makePacket(1, 2), 0), 0);
   EXPECT_EQ(bank.findFreeVcForNewPacket(), 2u);
   bank.lock(2);
   EXPECT_EQ(bank.findFreeVcForNewPacket(), kNoVc);
@@ -92,8 +96,8 @@ TEST(VcBufferBank, FindFreeSkipsLockedAndOccupied) {
 TEST(VcBufferBank, AggregateStats) {
   VcBufferBank bank(2, 4);
   const auto packet = makePacket(1, 2, 64);
-  bank.vc(0).push(makeFlit(packet, 0), 0);
-  bank.vc(1).push(makeFlit(packet, 1), 0);
+  bank.push(0, makeFlit(packet, 0), 0);
+  bank.push(1, makeFlit(packet, 1), 0);
   const BufferStats stats = bank.aggregateStats();
   EXPECT_EQ(stats.flitsWritten, 2u);
   EXPECT_EQ(stats.bitsWritten, 128u);
@@ -142,8 +146,8 @@ TEST(BufferedPort, TwoPacketsUseDistinctVcs) {
   port.accept(makeFlit(b, 0), 0);
   port.accept(makeFlit(a, 1), 1);
   port.accept(makeFlit(b, 1), 1);
-  EXPECT_EQ(port.bank().vc(0).front().packet.id, 1u);
-  EXPECT_EQ(port.bank().vc(1).front().packet.id, 2u);
+  EXPECT_EQ(port.bank().vc(0).front().packet().id, 1u);
+  EXPECT_EQ(port.bank().vc(1).front().packet().id, 2u);
 }
 
 TEST(ClusterTopology, PaperConfiguration) {

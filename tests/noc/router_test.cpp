@@ -6,19 +6,23 @@
 
 #include "noc/crossbar.hpp"
 #include "noc/link.hpp"
+#include "noc/packet_slab.hpp"
 #include "sim/engine.hpp"
 
 namespace pnoc::noc {
 namespace {
 
-PacketDescriptor makePacket(PacketId id, CoreId dst, std::uint32_t numFlits,
-                            Bits bitsPerFlit = 32) {
+/// Descriptors live in a test-local slab so flit handles stay valid for the
+/// whole test (as the network's per-run slab guarantees in production).
+PacketHandle makePacket(PacketId id, CoreId dst, std::uint32_t numFlits,
+                        Bits bitsPerFlit = 32) {
+  static PacketSlab slab;
   PacketDescriptor packet;
   packet.id = id;
   packet.dstCore = dst;
   packet.numFlits = numFlits;
   packet.bitsPerFlit = bitsPerFlit;
-  return packet;
+  return slab.intern(packet);
 }
 
 /// Test sink that records accepted flits and can simulate fullness.
@@ -53,8 +57,8 @@ class RouterTest : public ::testing::Test {
     engine.add(router);
   }
 
-  void injectPacket(std::uint32_t port, const PacketDescriptor& packet) {
-    for (std::uint32_t i = 0; i < packet.numFlits; ++i) {
+  void injectPacket(std::uint32_t port, PacketHandle packet) {
+    for (std::uint32_t i = 0; i < packet->numFlits; ++i) {
       const Flit flit = makeFlit(packet, i);
       ASSERT_TRUE(router.canAcceptFlit(port, flit));
       router.acceptFlit(port, flit, engine.now());
@@ -98,11 +102,11 @@ TEST_F(RouterTest, WormholeDoesNotInterleavePacketsOnOneOutput) {
   engine.run(30);
   ASSERT_EQ(sinks[1].flits.size(), 8u);
   // Once a packet's head goes through, all its flits precede the other's.
-  const PacketId first = sinks[1].flits[0].packet.id;
-  for (int i = 0; i < 4; ++i) EXPECT_EQ(sinks[1].flits[i].packet.id, first);
-  const PacketId second = sinks[1].flits[4].packet.id;
+  const PacketId first = sinks[1].flits[0].packet().id;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sinks[1].flits[i].packet().id, first);
+  const PacketId second = sinks[1].flits[4].packet().id;
   EXPECT_NE(first, second);
-  for (int i = 4; i < 8; ++i) EXPECT_EQ(sinks[1].flits[i].packet.id, second);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(sinks[1].flits[i].packet().id, second);
 }
 
 TEST_F(RouterTest, DistinctOutputsFlowInParallel) {

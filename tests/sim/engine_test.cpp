@@ -72,6 +72,106 @@ TEST(Engine, OnCycleEndHookFiresEachCycle) {
   EXPECT_EQ(cycles, (std::vector<Cycle>{0, 1, 2, 3}));
 }
 
+/// Probe whose quiescence is externally controlled, for gating tests.
+class GatedProbe final : public Clocked {
+ public:
+  GatedProbe(std::string name, std::vector<std::string>& log)
+      : name_(std::move(name)), log_(&log) {}
+  void evaluate(Cycle cycle) override {
+    log_->push_back(name_ + ".eval@" + std::to_string(cycle));
+  }
+  void advance(Cycle cycle) override {
+    log_->push_back(name_ + ".adv@" + std::to_string(cycle));
+  }
+  std::string name() const override { return name_; }
+  bool quiescent() const override { return idle; }
+
+  bool idle = false;
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+TEST(Engine, QuiescentComponentIsParked) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  EXPECT_EQ(engine.activeCount(), 1u);
+  probe.idle = true;
+  engine.step();  // runs this cycle, parked at its end
+  EXPECT_EQ(engine.activeCount(), 0u);
+  engine.run(3);  // parked: neither phase runs
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "p.eval@0");
+  EXPECT_EQ(log[1], "p.adv@0");
+}
+
+TEST(Engine, RequestWakeReactivatesFromNextCycle) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  probe.idle = true;
+  engine.run(2);  // parked after cycle 0
+  probe.idle = false;
+  probe.requestWake();
+  engine.step();  // cycle 2: active again
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[2], "p.eval@2");
+  EXPECT_EQ(log[3], "p.adv@2");
+  EXPECT_EQ(engine.activeCount(), 1u);
+}
+
+TEST(Engine, ActiveComponentsKeepRegistrationOrderAfterWake) {
+  std::vector<std::string> log;
+  GatedProbe a("a", log);
+  GatedProbe b("b", log);
+  GatedProbe c("c", log);
+  Engine engine;
+  engine.add(a);
+  engine.add(b);
+  engine.add(c);
+  a.idle = true;
+  b.idle = true;
+  engine.step();  // parks a and b
+  log.clear();
+  a.idle = false;
+  a.requestWake();  // rejoin: must run before the always-active c
+  engine.step();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "a.eval@1");
+  EXPECT_EQ(log[1], "c.eval@1");
+  EXPECT_EQ(log[2], "a.adv@1");
+  EXPECT_EQ(log[3], "c.adv@1");
+}
+
+TEST(Engine, GatingOffStepsQuiescentComponents) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.setActivityGating(false);
+  engine.add(probe);
+  probe.idle = true;
+  engine.run(3);
+  EXPECT_EQ(log.size(), 6u);  // both phases every cycle despite quiescence
+  EXPECT_EQ(engine.activeCount(), 1u);
+}
+
+TEST(Engine, DisablingGatingReactivatesParkedComponents) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  probe.idle = true;
+  engine.step();
+  EXPECT_EQ(engine.activeCount(), 0u);
+  engine.setActivityGating(false);
+  engine.step();
+  EXPECT_EQ(log.size(), 4u);
+}
+
 TEST(Clock, DefaultMatchesTable33) {
   Clock clock;
   EXPECT_DOUBLE_EQ(clock.frequencyHz(), 2.5e9);

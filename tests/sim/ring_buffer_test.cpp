@@ -1,0 +1,78 @@
+#include "sim/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnoc::sim {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> buffer(3);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(buffer.full());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 3u);
+  EXPECT_EQ(buffer.freeSlots(), 3u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> buffer(4);
+  for (int i = 1; i <= 4; ++i) buffer.push_back(i);
+  EXPECT_TRUE(buffer.full());
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(buffer.front(), i);
+    buffer.pop_front();
+  }
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBuffer, WrapsAroundManyTimes) {
+  // Interleaved push/pop crosses the wrap boundary repeatedly; FIFO order
+  // and size accounting must survive it.
+  RingBuffer<int> buffer(3);
+  int next = 0;
+  int expect = 0;
+  buffer.push_back(next++);
+  buffer.push_back(next++);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_EQ(buffer.front(), expect++);
+    buffer.pop_front();
+    buffer.push_back(next++);
+    EXPECT_EQ(buffer.size(), 2u);
+  }
+  EXPECT_EQ(buffer.front(), expect);
+}
+
+TEST(RingBuffer, AtIndexesFromFront) {
+  RingBuffer<int> buffer(3);
+  buffer.push_back(10);
+  buffer.push_back(11);
+  buffer.pop_front();
+  buffer.push_back(12);  // storage now wraps
+  ASSERT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.at(0), 11);
+  EXPECT_EQ(buffer.at(1), 12);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> buffer(2);
+  buffer.push_back(1);
+  buffer.push_back(2);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  buffer.push_back(7);
+  EXPECT_EQ(buffer.front(), 7);
+}
+
+TEST(RingBuffer, CapacityOne) {
+  RingBuffer<int> buffer(1);
+  for (int i = 0; i < 5; ++i) {
+    buffer.push_back(i);
+    EXPECT_TRUE(buffer.full());
+    EXPECT_EQ(buffer.front(), i);
+    buffer.pop_front();
+    EXPECT_TRUE(buffer.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pnoc::sim
