@@ -6,25 +6,18 @@
 //   3. Per-channel wavelength cap — Table 3-3's 8 for set 1 vs smaller and
 //      larger caps.
 // All under skewed3 / BW set 1, at a fixed load near Firefly's knee so the
-// effects are visible.
+// effects are visible.  Every ablation point is a ScenarioSpec variation on
+// one base spec; all points fan across the ScenarioRunner pool.
+#include <chrono>
 #include <iostream>
 
-#include "bench/bench_common.hpp"
 #include "metrics/report.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/scenario_runner.hpp"
 
 using namespace pnoc;
 
 namespace {
-
-constexpr double kLoad = 0.0012;
-
-bench::ExperimentConfig baseConfig() {
-  bench::ExperimentConfig config;
-  config.architecture = network::Architecture::kDhetpnoc;
-  config.pattern = "skewed3";
-  config.bandwidthSet = 1;
-  return config;
-}
 
 void addRow(metrics::ReportTable& table, const std::string& label,
             const metrics::RunMetrics& m) {
@@ -36,14 +29,58 @@ void addRow(metrics::ReportTable& table, const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::ScenarioSpec base;
+  base.params.architecture = network::Architecture::kDhetpnoc;
+  base.params.pattern = "skewed3";
+  base.params.offeredLoad = 0.0012;
+  base.params.seed = 7;
+  scenario::Cli cli("ablation_dba",
+                    "DBA ablations: token hop latency, reserved floor, channel cap");
+  cli.addKey("json", "directory for BENCH_ablation_dba.json (default .)");
+  switch (cli.parse(argc, argv, &base)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
+  }
+  const std::string jsonDir = cli.config().getString("json", ".");
+  const auto start = std::chrono::steady_clock::now();
+
+  const Cycle hops[] = {1, 4, 16, 64, 256};
+  const std::uint32_t reserves[] = {1, 2, 3, 4};
+  const std::uint32_t caps[] = {2, 4, 8, 16};
+
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const Cycle hop : hops) {
+    scenario::ScenarioSpec spec = base;
+    spec.params.tokenHopCyclesOverride = hop;
+    spec.label = "token_hop=" + std::to_string(hop);
+    specs.push_back(spec);
+  }
+  for (const std::uint32_t reserved : reserves) {
+    scenario::ScenarioSpec spec = base;
+    spec.params.reservedPerCluster = reserved;
+    spec.label = "reserved=" + std::to_string(reserved);
+    specs.push_back(spec);
+  }
+  for (const std::uint32_t cap : caps) {
+    scenario::ScenarioSpec spec = base;
+    spec.params.maxChannelWavelengthsOverride = cap;
+    spec.label = "channel_cap=" + std::to_string(cap);
+    specs.push_back(spec);
+  }
+  const auto results = scenario::ScenarioRunner().run(specs);
+  scenario::JsonRecorder recorder("ablation_dba");
+  for (const auto& result : results) {
+    scenario::recordRun(recorder, result.spec, result.metrics);
+  }
+
+  std::size_t point = 0;
   {
     metrics::ReportTable table("Ablation: token hop latency (skewed3, set 1, load 0.0012)");
     table.setHeader({"hop latency", "Gb/s", "accept", "avg lat", "EPM pJ"});
-    for (const Cycle hop : {Cycle{1}, Cycle{4}, Cycle{16}, Cycle{64}, Cycle{256}}) {
-      auto config = baseConfig();
-      config.tokenHopCyclesOverride = hop;
-      addRow(table, std::to_string(hop) + " cycles", bench::runAt(config, kLoad));
+    for (const Cycle hop : hops) {
+      addRow(table, std::to_string(hop) + " cycles", results[point++].metrics);
     }
     table.print(std::cout);
     std::cout << "Steady demand makes the ring latency nearly free (allocation happens\n"
@@ -52,10 +89,8 @@ int main() {
   {
     metrics::ReportTable table("Ablation: reserved wavelengths per cluster");
     table.setHeader({"reserved/cluster", "Gb/s", "accept", "avg lat", "EPM pJ"});
-    for (const std::uint32_t reserved : {1u, 2u, 3u, 4u}) {
-      auto config = baseConfig();
-      config.reservedPerCluster = reserved;
-      addRow(table, std::to_string(reserved), bench::runAt(config, kLoad));
+    for (const std::uint32_t reserved : reserves) {
+      addRow(table, std::to_string(reserved), results[point++].metrics);
     }
     table.print(std::cout);
     std::cout << "A larger floor shrinks the tradeable pool (N_TW of eq. (1)) and with\n"
@@ -64,15 +99,18 @@ int main() {
   {
     metrics::ReportTable table("Ablation: per-channel wavelength cap (Table 3-3 uses 8)");
     table.setHeader({"cap", "Gb/s", "accept", "avg lat", "EPM pJ"});
-    for (const std::uint32_t cap : {2u, 4u, 8u, 16u}) {
-      auto config = baseConfig();
-      config.maxChannelWavelengthsOverride = cap;
-      addRow(table, std::to_string(cap), bench::runAt(config, kLoad));
+    for (const std::uint32_t cap : caps) {
+      addRow(table, std::to_string(cap), results[point++].metrics);
     }
     table.print(std::cout);
     std::cout << "Caps below the hot class's demand (8 lambdas) reproduce Firefly-like\n"
                  "congestion; caps above it cannot help because demand, not supply,\n"
                  "saturates first.\n";
   }
+
+  const double wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  scenario::recordTiming(recorder, wallSeconds, specs.size());
+  std::cout << "wrote " << recorder.write(jsonDir) << " (" << wallSeconds << " s)\n";
   return 0;
 }

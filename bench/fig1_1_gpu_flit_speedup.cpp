@@ -7,20 +7,30 @@
 // benchmarks show considerable speedup of up to 63%." — the motivation for
 // heterogeneous interconnect channels.  Demands come from the gpusim
 // substrate (see DESIGN.md substitution table).
+//
+// Kernel-model only (no simulation); key=value overrides size the sweep.
 #include <iostream>
+#include <stdexcept>
 
 #include "gpusim/kernel_model.hpp"
 #include "metrics/report.hpp"
+#include "scenario/cli.hpp"
 
 using namespace pnoc;
 
-int main() {
-  metrics::ReportTable table("Figure 1-1: speedup of 1024B flits over 32B baseline @ 700 MHz");
+namespace {
+
+int run(scenario::Cli& cli) {
+  const auto flitBytes = static_cast<std::uint32_t>(cli.config().getInt("flit", 1024));
+  const std::string sweepKernel = cli.config().getString("sweep", "BFS");
+
+  metrics::ReportTable table("Figure 1-1: speedup of " + std::to_string(flitBytes) +
+                             "B flits over 32B baseline @ 700 MHz");
   table.setHeader({"benchmark", "suite", "speedup", "gain", "achieved Gb/s @128B"});
   gpusim::InterconnectParams profile;
   profile.flitBytes = 128;
   for (const auto& kernel : gpusim::benchmarkRoster()) {
-    const double speedup = gpusim::GpuKernelModel::speedup(kernel, 1024);
+    const double speedup = gpusim::GpuKernelModel::speedup(kernel, flitBytes);
     table.addRow({kernel.name + " (" + std::to_string(kernel.kernelLaunches) + ")",
                   kernel.fromCudaSdk ? "CUDA SDK" : "Rodinia",
                   metrics::ReportTable::num(speedup, 3),
@@ -30,13 +40,34 @@ int main() {
   }
   table.print(std::cout);
 
-  metrics::ReportTable sweep("BFS speedup vs flit size (bandwidth-bound kernel)");
+  metrics::ReportTable sweep(sweepKernel + " speedup vs flit size (bandwidth-bound kernel)");
   sweep.setHeader({"flit bytes", "speedup over 32B"});
   for (const std::uint32_t flit : {32u, 64u, 128u, 256u, 512u, 1024u}) {
     sweep.addRow({std::to_string(flit),
-                  metrics::ReportTable::num(
-                      gpusim::GpuKernelModel::speedup(gpusim::benchmarkByName("BFS"), flit), 3)});
+                  metrics::ReportTable::num(gpusim::GpuKernelModel::speedup(
+                                                gpusim::benchmarkByName(sweepKernel), flit),
+                                            3)});
   }
   sweep.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scenario::Cli cli("fig1_1_gpu_flit_speedup",
+                    "Figure 1-1: GPU kernel speedup of large flits over the 32B baseline");
+  cli.addKey("flit", "large flit size in bytes to compare against 32B (default 1024)");
+  cli.addKey("sweep", "kernel name for the flit-size sweep table (default BFS)");
+  switch (cli.parse(argc, argv, nullptr)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
+  }
+  try {
+    return run(cli);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "fig1_1_gpu_flit_speedup: " << error.what() << "\n";
+    return 1;
+  }
 }

@@ -7,39 +7,52 @@
 // +41.17% (see the area-model tests for the 256-vs-512 typo note),
 // bandwidth +764.52%, EPM -10.85%.
 //
-// All 12 saturation searches run in parallel on the SweepRunner pool.
+// All 12 saturation searches are ScenarioSpecs fanned across the
+// ScenarioRunner pool; key=value overrides apply to every point.
 #include <chrono>
 #include <iostream>
 
-#include "bench/bench_common.hpp"
-#include "bench/bench_json.hpp"
 #include "metrics/report.hpp"
 #include "photonic/area_model.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/scenario_runner.hpp"
 
 using namespace pnoc;
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::ScenarioSpec base;
+  base.params.architecture = network::Architecture::kFirefly;
+  base.params.seed = 7;
+  scenario::Cli cli("fig3_10_firefly_bwsets",
+                    "Figure 3-10: Firefly peak core bandwidth and EPM per bandwidth set");
+  cli.addKey("json", "directory for BENCH_fig3_10.json (default .)");
+  switch (cli.parse(argc, argv, &base)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
+  }
+  const std::string jsonDir = cli.config().getString("json", ".");
+
   const std::string patterns[] = {"uniform", "skewed1", "skewed2", "skewed3"};
   const auto start = std::chrono::steady_clock::now();
 
-  std::vector<bench::ExperimentConfig> configs;
+  std::vector<scenario::ScenarioSpec> specs;
   for (const auto& pattern : patterns) {
     for (int set = 1; set <= 3; ++set) {
-      bench::ExperimentConfig config;
-      config.architecture = network::Architecture::kFirefly;
-      config.bandwidthSet = set;
-      config.pattern = pattern;
-      configs.push_back(config);
+      scenario::ScenarioSpec spec = base;
+      spec.params.bandwidthSet = traffic::BandwidthSet::byIndex(set);
+      spec.params.pattern = pattern;
+      specs.push_back(spec);
     }
   }
-  const auto peaks = bench::findPeaksParallel(configs);
+  const auto peaks = scenario::ScenarioRunner().findPeaks(specs);
 
   metrics::ReportTable bw("Figure 3-10(a): Firefly Peak Core Bandwidth (Gb/s/core)");
   bw.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
   metrics::ReportTable epm("Figure 3-10(b): Firefly Energy Per Message (pJ)");
   epm.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
 
-  bench::JsonRecorder recorder("fig3_10");
+  scenario::JsonRecorder recorder("fig3_10");
   double bw64skew3 = 0.0;
   double bw512skew3 = 0.0;
   double epm64skew3 = 0.0;
@@ -49,15 +62,10 @@ int main() {
     std::vector<std::string> bwRow{pattern};
     std::vector<std::string> epmRow{pattern};
     for (int set = 1; set <= 3; ++set, ++point) {
-      const auto& m = peaks[point].peak.metrics;
+      const auto& m = peaks[point].search.peak.metrics;
       bwRow.push_back(metrics::ReportTable::num(m.deliveredGbpsPerCore(64), 3));
       epmRow.push_back(metrics::ReportTable::num(m.energyPerPacketPj(), 1));
-      recorder.add("peak")
-          .text("pattern", pattern)
-          .integer("bandwidth_set", set)
-          .number("peak_gbps", m.deliveredGbps())
-          .number("energy_per_packet_pj", m.energyPerPacketPj())
-          .number("offered_load", peaks[point].peak.offeredLoad);
+      scenario::recordPeak(recorder, peaks[point]);
       if (pattern == "skewed3" && set == 1) {
         bw64skew3 = m.deliveredGbps();
         epm64skew3 = m.energyPerPacketPj();
@@ -76,9 +84,11 @@ int main() {
   const photonic::AreaParams areaParams;
   const double area64 = photonic::areaMm2(photonic::fireflyCounts(areaParams, 64));
   const double area512 = photonic::areaMm2(photonic::fireflyCounts(areaParams, 512));
-  metrics::ReportTable deltas("Firefly 64 -> 512 scaling (paper: +41.17% area, +764.52% BW, -10.85% EPM)");
+  metrics::ReportTable deltas(
+      "Firefly 64 -> 512 scaling (paper: +41.17% area, +764.52% BW, -10.85% EPM)");
   deltas.setHeader({"quantity", "measured", "paper"});
-  deltas.addRow({"total area", metrics::ReportTable::percent(area512 / area64 - 1.0), "+41.17%"});
+  deltas.addRow({"total area", metrics::ReportTable::percent(area512 / area64 - 1.0),
+                 "+41.17%"});
   deltas.addRow({"peak bandwidth (skewed3)",
                  metrics::ReportTable::percent(bw512skew3 / bw64skew3 - 1.0), "+764.52%"});
   deltas.addRow({"energy per message (skewed3)",
@@ -87,9 +97,7 @@ int main() {
 
   const double wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  recorder.add("timing")
-      .number("wall_seconds", wallSeconds)
-      .integer("points", static_cast<long long>(configs.size()));
-  std::cout << "wrote " << recorder.write() << " (" << wallSeconds << " s)\n";
+  scenario::recordTiming(recorder, wallSeconds, specs.size());
+  std::cout << "wrote " << recorder.write(jsonDir) << " (" << wallSeconds << " s)\n";
   return 0;
 }

@@ -7,44 +7,56 @@
 // one extra cycle for set 3" claim.
 //
 // All 24 saturation searches (3 sets x 4 patterns x 2 architectures) are
-// independent and fan out across the SweepRunner pool; the companion table
+// ScenarioSpecs fanned across the ScenarioRunner pool; the companion table
 // reuses the Firefly set-1 knees instead of re-searching them.
 #include <chrono>
 #include <iostream>
 
-#include "bench/bench_common.hpp"
-#include "bench/bench_json.hpp"
-#include "bench/sweep_runner.hpp"
 #include "core/reservation.hpp"
-#include "photonic/area_model.hpp"
 #include "metrics/report.hpp"
+#include "photonic/area_model.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/scenario_runner.hpp"
 
 using namespace pnoc;
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::ScenarioSpec base;
+  base.params.seed = 7;
+  scenario::Cli cli("fig3_3_peak_bandwidth",
+                    "Figure 3-3: peak bandwidth, Firefly vs d-HetPNoC, per bandwidth set");
+  cli.addKey("json", "directory for BENCH_fig3_3.json (default .)");
+  switch (cli.parse(argc, argv, &base)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
+  }
+  const std::string jsonDir = cli.config().getString("json", ".");
+
   const std::string patterns[] = {"uniform", "skewed1", "skewed2", "skewed3"};
   const auto start = std::chrono::steady_clock::now();
 
   // Point layout: [set-1][pattern-index][arch] with arch 0 = Firefly.
-  std::vector<bench::ExperimentConfig> configs;
+  std::vector<scenario::ScenarioSpec> specs;
   for (int set = 1; set <= 3; ++set) {
     for (const auto& pattern : patterns) {
       for (const auto arch :
            {network::Architecture::kFirefly, network::Architecture::kDhetpnoc}) {
-        bench::ExperimentConfig config;
-        config.bandwidthSet = set;
-        config.pattern = pattern;
-        config.architecture = arch;
-        configs.push_back(config);
+        scenario::ScenarioSpec spec = base;
+        spec.params.bandwidthSet = traffic::BandwidthSet::byIndex(set);
+        spec.params.pattern = pattern;
+        spec.params.architecture = arch;
+        specs.push_back(spec);
       }
     }
   }
-  const auto peaks = bench::findPeaksParallel(configs);
+  const scenario::ScenarioRunner runner;
+  const auto peaks = runner.findPeaks(specs);
   const auto peakAt = [&](int set, std::size_t patternIndex, int arch) -> const auto& {
     return peaks[((set - 1) * 4 + patternIndex) * 2 + static_cast<std::size_t>(arch)];
   };
 
-  bench::JsonRecorder recorder("fig3_3");
+  scenario::JsonRecorder recorder("fig3_3");
   for (int set = 1; set <= 3; ++set) {
     const auto bwSet = traffic::BandwidthSet::byIndex(set);
     metrics::ReportTable table("Figure 3-3(" + std::string(1, char('a' + set - 1)) +
@@ -55,18 +67,15 @@ int main() {
     for (std::size_t p = 0; p < 4; ++p) {
       const auto& firefly = peakAt(set, p, 0);
       const auto& dhet = peakAt(set, p, 1);
-      const double fireflyGbps = firefly.peak.metrics.deliveredGbps();
-      const double dhetGbps = dhet.peak.metrics.deliveredGbps();
+      const double fireflyGbps = firefly.search.peak.metrics.deliveredGbps();
+      const double dhetGbps = dhet.search.peak.metrics.deliveredGbps();
       table.addRow({patterns[p], metrics::ReportTable::num(fireflyGbps),
                     metrics::ReportTable::num(dhetGbps),
                     metrics::ReportTable::percent(dhetGbps / fireflyGbps - 1.0),
-                    metrics::ReportTable::num(firefly.peak.offeredLoad, 5),
-                    metrics::ReportTable::num(dhet.peak.offeredLoad, 5)});
-      recorder.add("peak")
-          .integer("bandwidth_set", set)
-          .text("pattern", patterns[p])
-          .number("firefly_gbps", fireflyGbps)
-          .number("dhetpnoc_gbps", dhetGbps);
+                    metrics::ReportTable::num(firefly.search.peak.offeredLoad, 5),
+                    metrics::ReportTable::num(dhet.search.peak.offeredLoad, 5)});
+      scenario::recordPeak(recorder, firefly);
+      scenario::recordPeak(recorder, dhet);
     }
     table.print(std::cout);
   }
@@ -78,22 +87,24 @@ int main() {
   // peaks above show the full headroom instead.  The knees come from the
   // parallel block above; only the d-HetPNoC points at those loads run here.
   {
-    std::vector<bench::RunPoint> points;
+    std::vector<scenario::ScenarioSpec> points;
     for (std::size_t p = 0; p < 4; ++p) {
-      bench::ExperimentConfig config;
-      config.pattern = patterns[p];
-      config.architecture = network::Architecture::kDhetpnoc;
-      points.push_back(bench::RunPoint{config, peakAt(1, p, 0).peak.offeredLoad});
+      scenario::ScenarioSpec spec = base;
+      spec.params.pattern = patterns[p];
+      spec.params.architecture = network::Architecture::kDhetpnoc;
+      spec.params.offeredLoad = peakAt(1, p, 0).search.peak.offeredLoad;
+      points.push_back(spec);
     }
-    const auto dhetAtKnee = bench::SweepRunner().runPoints(points);
+    const auto dhetAtKnee = runner.run(points);
 
     metrics::ReportTable table(
         "Fig 3-3 companion: delivered Gb/s at a common load (Firefly knee), BW set 1");
     table.setHeader({"traffic", "load", "Firefly (Gb/s)", "d-HetPNoC (Gb/s)", "gain"});
     for (std::size_t p = 0; p < 4; ++p) {
-      const auto& firefly = peakAt(1, p, 0).peak.metrics;
-      const auto& dhet = dhetAtKnee[p];
-      table.addRow({patterns[p], metrics::ReportTable::num(points[p].load, 5),
+      const auto& firefly = peakAt(1, p, 0).search.peak.metrics;
+      const auto& dhet = dhetAtKnee[p].metrics;
+      table.addRow({patterns[p],
+                    metrics::ReportTable::num(points[p].params.offeredLoad, 5),
                     metrics::ReportTable::num(firefly.deliveredGbps()),
                     metrics::ReportTable::num(dhet.deliveredGbps()),
                     metrics::ReportTable::percent(
@@ -126,9 +137,7 @@ int main() {
 
   const double wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  recorder.add("timing")
-      .number("wall_seconds", wallSeconds)
-      .integer("points", static_cast<long long>(configs.size() + 4));
-  std::cout << "wrote " << recorder.write() << " (" << wallSeconds << " s)\n";
+  scenario::recordTiming(recorder, wallSeconds, specs.size() + 4);
+  std::cout << "wrote " << recorder.write(jsonDir) << " (" << wallSeconds << " s)\n";
   return 0;
 }

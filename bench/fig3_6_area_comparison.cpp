@@ -4,19 +4,47 @@
 // Paper anchors: 1.608 mm^2 vs 1.367 mm^2 at 64 data wavelengths; the
 // d-HetPNoC overhead grows with the waveguide count because every router must
 // be able to modulate any wavelength of any data waveguide.
+//
+// Closed-form model only (no simulation); key=value overrides size the sweep.
 #include <iostream>
+#include <stdexcept>
 
 #include "metrics/report.hpp"
 #include "photonic/area_model.hpp"
+#include "scenario/cli.hpp"
 
 using namespace pnoc;
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::Cli cli("fig3_6_area_comparison",
+                    "Figure 3-6: total device area vs aggregate data wavelengths");
+  cli.addKey("max_wavelengths", "upper end of the wavelength sweep (default 512)");
+  cli.addKey("step", "wavelength sweep step (default 64)");
+  switch (cli.parse(argc, argv, nullptr)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
+  }
+  std::uint32_t maxWavelengths = 0;
+  std::uint32_t step = 0;
+  try {
+    maxWavelengths =
+        static_cast<std::uint32_t>(cli.config().getInt("max_wavelengths", 512));
+    step = static_cast<std::uint32_t>(cli.config().getInt("step", 64));
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "fig3_6_area_comparison: " << error.what() << "\n";
+    return 1;
+  }
+  if (step == 0 || maxWavelengths < step) {
+    std::cerr << "fig3_6_area_comparison: need step >= 1 and max_wavelengths >= step\n";
+    return 1;
+  }
+
   const photonic::AreaParams params;  // 16 routers, 64 lambdas/waveguide, 5 um MRRs
   metrics::ReportTable table("Figure 3-6: total area vs aggregate data wavelengths");
   table.setHeader({"wavelengths", "waveguides", "Firefly rings", "Firefly mm^2",
                    "d-HetPNoC rings", "d-HetPNoC mm^2", "overhead"});
-  for (std::uint32_t lambdas = 64; lambdas <= 512; lambdas += 64) {
+  for (std::uint32_t lambdas = step; lambdas <= maxWavelengths; lambdas += step) {
     const auto firefly = photonic::fireflyCounts(params, lambdas);
     const auto dhet = photonic::dhetpnocCounts(params, lambdas);
     const double fireflyArea = photonic::areaMm2(firefly);

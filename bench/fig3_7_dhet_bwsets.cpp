@@ -4,54 +4,63 @@
 // Paper shape: peak bandwidth rises strongly with the aggregate wavelength
 // budget while energy per message falls slightly.
 //
-// The 12 saturation searches are independent, so they fan out across the
-// SweepRunner pool; results land by index and are identical to a sequential
-// run.
+// The 12 saturation searches are declared as ScenarioSpecs and fanned across
+// the ScenarioRunner pool; key=value overrides (seed=, measure=, ...) apply
+// to every point, help=1 lists them.
 #include <chrono>
 #include <iostream>
 
-#include "bench/bench_common.hpp"
-#include "bench/bench_json.hpp"
 #include "metrics/report.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/scenario_runner.hpp"
 
 using namespace pnoc;
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::ScenarioSpec base;
+  base.params.architecture = network::Architecture::kDhetpnoc;
+  base.params.seed = 7;
+  scenario::Cli cli("fig3_7_dhet_bwsets",
+                    "Figure 3-7: d-HetPNoC peak core bandwidth and EPM per bandwidth set");
+  cli.addKey("json", "directory for BENCH_fig3_7.json (default .)");
+  switch (cli.parse(argc, argv, &base)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
+  }
+  const std::string jsonDir = cli.config().getString("json", ".");
+
   const std::string patterns[] = {"uniform", "skewed1", "skewed2", "skewed3"};
   const auto start = std::chrono::steady_clock::now();
 
-  std::vector<bench::ExperimentConfig> configs;
+  std::vector<scenario::ScenarioSpec> specs;
   for (const auto& pattern : patterns) {
     for (int set = 1; set <= 3; ++set) {
-      bench::ExperimentConfig config;
-      config.architecture = network::Architecture::kDhetpnoc;
-      config.bandwidthSet = set;
-      config.pattern = pattern;
-      configs.push_back(config);
+      scenario::ScenarioSpec spec = base;
+      spec.params.bandwidthSet = traffic::BandwidthSet::byIndex(set);
+      spec.params.pattern = pattern;
+      specs.push_back(spec);
     }
   }
-  const auto peaks = bench::findPeaksParallel(configs);
+  const auto peaks = scenario::ScenarioRunner().findPeaks(specs);
 
   metrics::ReportTable bw("Figure 3-7(a): d-HetPNoC Peak Core Bandwidth (Gb/s/core)");
   bw.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
   metrics::ReportTable epm("Figure 3-7(b): d-HetPNoC Energy Per Message (pJ)");
   epm.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});
 
-  bench::JsonRecorder recorder("fig3_7");
+  scenario::JsonRecorder recorder("fig3_7");
   std::size_t point = 0;
   for (const auto& pattern : patterns) {
     std::vector<std::string> bwRow{pattern};
     std::vector<std::string> epmRow{pattern};
     for (int set = 1; set <= 3; ++set, ++point) {
       const auto& peak = peaks[point];
-      bwRow.push_back(metrics::ReportTable::num(peak.peak.metrics.deliveredGbpsPerCore(64), 3));
-      epmRow.push_back(metrics::ReportTable::num(peak.peak.metrics.energyPerPacketPj(), 1));
-      recorder.add("peak")
-          .text("pattern", pattern)
-          .integer("bandwidth_set", set)
-          .number("peak_gbps", peak.peak.metrics.deliveredGbps())
-          .number("energy_per_packet_pj", peak.peak.metrics.energyPerPacketPj())
-          .number("offered_load", peak.peak.offeredLoad);
+      bwRow.push_back(
+          metrics::ReportTable::num(peak.search.peak.metrics.deliveredGbpsPerCore(64), 3));
+      epmRow.push_back(
+          metrics::ReportTable::num(peak.search.peak.metrics.energyPerPacketPj(), 1));
+      scenario::recordPeak(recorder, peak);
     }
     bw.addRow(bwRow);
     epm.addRow(epmRow);
@@ -61,9 +70,7 @@ int main() {
 
   const double wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  recorder.add("timing")
-      .number("wall_seconds", wallSeconds)
-      .integer("points", static_cast<long long>(configs.size()));
-  std::cout << "wrote " << recorder.write() << " (" << wallSeconds << " s)\n";
+  scenario::recordTiming(recorder, wallSeconds, specs.size());
+  std::cout << "wrote " << recorder.write(jsonDir) << " (" << wallSeconds << " s)\n";
   return 0;
 }

@@ -8,18 +8,21 @@
 // CI smoke mode and emits the machine-readable BENCH_microbench.json record
 // that tracks the perf trajectory PR over PR.
 //
-// Usage: microbench [minMs=<per-bench ms, default 300>] [json=<dir, default .>]
+// Usage: microbench [minMs=<per-bench ms>] [json=<dir>] [load=...] [set=...]
+// (scenario keys shape the full-system benchmark's network; help=1 lists
+// everything).
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "bench/bench_json.hpp"
 #include "core/dba.hpp"
 #include "core/token.hpp"
 #include "network/network.hpp"
-#include "sim/config.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/json_record.hpp"
 #include "sim/rng.hpp"
 
 using namespace pnoc;
@@ -45,28 +48,31 @@ Measurement timeLoop(const std::function<void()>& body, double minSeconds) {
   return m;
 }
 
-network::SimulationParameters fullSystemParams(const std::string& pattern, bool gating) {
-  network::SimulationParameters params;
-  params.pattern = pattern;
-  params.offeredLoad = 0.001;
-  params.warmupCycles = 0;
-  params.measureCycles = 0;
-  params.activityGating = gating;
-  return params;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::Config config;
-  if (auto error = config.parseArgs(argc - 1, const_cast<const char**>(argv + 1))) {
-    std::fprintf(stderr, "microbench: %s\n", error->c_str());
+  scenario::ScenarioSpec base;
+  base.params.offeredLoad = 0.001;
+  base.params.warmupCycles = 0;
+  base.params.measureCycles = 0;
+  scenario::Cli cli("microbench", "hot-path microbenchmarks (cycle rate, DBA, RNG)");
+  cli.addKey("minMs", "minimum wall time per benchmark in ms (default 300)");
+  cli.addKey("json", "directory for BENCH_microbench.json (default .)");
+  switch (cli.parse(argc, argv, &base)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
+  }
+  double minSeconds = 0.0;
+  try {
+    minSeconds = cli.config().getInt("minMs", 300) / 1000.0;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "microbench: %s\n", error.what());
     return 1;
   }
-  const double minSeconds = config.getInt("minMs", 300) / 1000.0;
-  const std::string jsonDir = config.getString("json", ".");
+  const std::string jsonDir = cli.config().getString("json", ".");
 
-  bench::JsonRecorder recorder("microbench");
+  scenario::JsonRecorder recorder("microbench");
   std::printf("%-28s %-10s %-8s %14s %12s\n", "bench", "label", "gating", "per_sec",
               "wall_ms");
 
@@ -76,9 +82,11 @@ int main(int argc, char** argv) {
   for (const std::string pattern : {"uniform", "skewed3"}) {
     double rates[2] = {0.0, 0.0};
     for (const bool gating : {false, true}) {
-      network::PhotonicNetwork net(fullSystemParams(pattern, gating));
-      const Measurement m =
-          timeLoop([&] { net.step(kStep); }, minSeconds);
+      scenario::ScenarioSpec spec = base;
+      spec.params.pattern = pattern;
+      spec.params.activityGating = gating;
+      network::PhotonicNetwork net(spec.params);
+      const Measurement m = timeLoop([&] { net.step(kStep); }, minSeconds);
       const double cycles = static_cast<double>(m.calls * kStep);
       const double cyclesPerSec = cycles / m.wallSeconds;
       rates[gating ? 1 : 0] = cyclesPerSec;
@@ -88,7 +96,7 @@ int main(int argc, char** argv) {
       recorder.add("BM_FullSystemCycles")
           .text("label", pattern)
           .text("gating", gating ? "on" : "off")
-          .number("load", 0.001)
+          .number("load", spec.params.offeredLoad)
           .number("cycles_per_sec", cyclesPerSec)
           .integer("cycles", static_cast<long long>(cycles))
           .number("wall_ms", m.wallSeconds * 1e3);
@@ -100,6 +108,39 @@ int main(int argc, char** argv) {
         .text("label", pattern)
         .number("speedup", speedup);
     gatingSpeedups.emplace_back(pattern, speedup);
+  }
+
+  // --- network reset vs rebuild: the saturation search's inner loop ---
+  {
+    scenario::ScenarioSpec spec = base;
+    spec.params.pattern = "uniform";
+    const Measurement rebuild = timeLoop(
+        [&] {
+          network::PhotonicNetwork net(spec.params);
+          net.step(1);
+        },
+        minSeconds);
+    network::PhotonicNetwork reused(spec.params);
+    const Measurement reset = timeLoop(
+        [&] {
+          reused.reset();
+          reused.step(1);
+        },
+        minSeconds);
+    const double rebuildPerSec = static_cast<double>(rebuild.calls) / rebuild.wallSeconds;
+    const double resetPerSec = static_cast<double>(reset.calls) / reset.wallSeconds;
+    std::printf("%-28s %-10s %-8s %14.0f %12.2f\n", "BM_NetworkRebuild", "-", "-",
+                rebuildPerSec, rebuild.wallSeconds * 1e3);
+    std::printf("%-28s %-10s %-8s %14.0f %12.2f\n", "BM_NetworkReset", "-", "-",
+                resetPerSec, reset.wallSeconds * 1e3);
+    recorder.add("BM_NetworkRebuild")
+        .number("items_per_sec", rebuildPerSec)
+        .number("wall_ms", rebuild.wallSeconds * 1e3);
+    recorder.add("BM_NetworkReset")
+        .number("items_per_sec", resetPerSec)
+        .number("wall_ms", reset.wallSeconds * 1e3)
+        .number("speedup_vs_rebuild",
+                rebuildPerSec > 0.0 ? resetPerSec / rebuildPerSec : 0.0);
   }
 
   // --- DBA token handling ---
@@ -157,8 +198,8 @@ int main(int argc, char** argv) {
   const std::string path = recorder.write(jsonDir);
   if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
   for (const auto& [pattern, speedup] : gatingSpeedups) {
-    std::printf("activity gating speedup (%s, load 0.001): %.2fx\n", pattern.c_str(),
-                speedup);
+    std::printf("activity gating speedup (%s, load %.4g): %.2fx\n", pattern.c_str(),
+                base.params.offeredLoad, speedup);
   }
   return 0;
 }

@@ -2,32 +2,46 @@
 // aggregate wavelength budget for a configurable chip and compare Firefly,
 // d-HetPNoC and the waveguide-restricted d-HetPNoC variant.
 //
-//   ./build/examples/area_explorer [routers=16] [lambdas_per_wg=64] \
+//   ./build/area_explorer [routers=16] [lambdas_per_wg=64] \
 //       [radius_um=5] [max_wavelengths=512] [restrict=2]
+//
+// Closed-form model only (no simulation scenario); help=1 lists the keys,
+// unknown keys are rejected.
 #include <iostream>
+#include <stdexcept>
 
 #include "metrics/report.hpp"
 #include "photonic/area_model.hpp"
-#include "sim/config.hpp"
+#include "scenario/cli.hpp"
 
 using namespace pnoc;
 
 int main(int argc, char** argv) {
-  sim::Config config;
-  if (auto error = config.parseArgs(argc - 1, argv + 1)) {
-    std::cerr << "error: " << *error << "\n";
-    return 1;
+  scenario::Cli cli("area_explorer", "Section 3.4.3 area model explorer");
+  cli.addKey("routers", "photonic routers on the chip (default 16)");
+  cli.addKey("lambdas_per_wg", "DWDM wavelengths per waveguide (default 64)");
+  cli.addKey("radius_um", "microring radius in um (default 5)");
+  cli.addKey("max_wavelengths", "upper end of the wavelength sweep (default 512)");
+  cli.addKey("restrict", "writable waveguides per router in the restricted variant "
+                         "(default 2)");
+  switch (cli.parse(argc, argv, nullptr)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
   }
   photonic::AreaParams params;
-  params.numPhotonicRouters = static_cast<std::uint32_t>(config.getInt("routers", 16));
-  params.lambdasPerWaveguide =
-      static_cast<std::uint32_t>(config.getInt("lambdas_per_wg", 64));
-  params.mrrRadiusUm = config.getDouble("radius_um", 5.0);
-  const auto maxWavelengths =
-      static_cast<std::uint32_t>(config.getInt("max_wavelengths", 512));
-  const auto restrict_ = static_cast<std::uint32_t>(config.getInt("restrict", 2));
-  for (const auto& key : config.unconsumedKeys()) {
-    std::cerr << "error: unknown option '" << key << "'\n";
+  std::uint32_t maxWavelengths = 0;
+  std::uint32_t restrict_ = 0;
+  try {
+    params.numPhotonicRouters =
+        static_cast<std::uint32_t>(cli.config().getInt("routers", 16));
+    params.lambdasPerWaveguide =
+        static_cast<std::uint32_t>(cli.config().getInt("lambdas_per_wg", 64));
+    params.mrrRadiusUm = cli.config().getDouble("radius_um", 5.0);
+    maxWavelengths = static_cast<std::uint32_t>(cli.config().getInt("max_wavelengths", 512));
+    restrict_ = static_cast<std::uint32_t>(cli.config().getInt("restrict", 2));
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "area_explorer: " << error.what() << "\n";
     return 1;
   }
 

@@ -7,12 +7,12 @@
 // cluster's owned wavelengths before and after, plus how many token
 // rotations reconvergence took.
 //
-//   ./build/examples/dba_reconfiguration [seed=1]
+//   ./build/dba_reconfiguration [seed=1] [load=0.001] ...   (help=1 lists keys)
 #include <iostream>
 
 #include "metrics/report.hpp"
 #include "network/network.hpp"
-#include "sim/config.hpp"
+#include "scenario/cli.hpp"
 
 using namespace pnoc;
 
@@ -25,21 +25,22 @@ std::string ownedRow(const network::DhetpnocPolicy& policy, ClusterId cluster) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::Config config;
-  if (auto error = config.parseArgs(argc - 1, argv + 1)) {
-    std::cerr << "error: " << *error << "\n";
-    return 1;
+  scenario::ScenarioSpec spec;
+  spec.params.architecture = network::Architecture::kDhetpnoc;
+  spec.params.pattern = "skewed3";
+  spec.params.offeredLoad = 0.001;
+  scenario::Cli cli("dba_reconfiguration",
+                    "DBA reconvergence after a task-remapping event");
+  switch (cli.parse(argc, argv, &spec)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
   }
-  network::SimulationParameters params;
-  params.architecture = network::Architecture::kDhetpnoc;
-  params.pattern = "skewed3";
-  params.offeredLoad = 0.001;
-  params.seed = static_cast<std::uint64_t>(config.getInt("seed", 1));
 
-  network::PhotonicNetwork net(params);
+  network::PhotonicNetwork net(spec.params);
   auto* policy = dynamic_cast<network::DhetpnocPolicy*>(&net.policy());
   if (policy == nullptr) {
-    std::cerr << "expected the d-HetPNoC policy\n";
+    std::cerr << "expected the d-HetPNoC policy (arch=dhetpnoc)\n";
     return 1;
   }
 
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
   // table (4 lambdas to everyone).  Demand-table updates are asynchronous
   // with the token (Section 3.2.1) — they take effect as the token visits.
   const auto uniform =
-      traffic::makePattern("uniform", net.topology(), params.bandwidthSet);
+      traffic::makePattern("uniform", net.topology(), spec.params.bandwidthSet);
   policy->publishDemands(*uniform);
   const auto rotationsBefore = policy->tokenRing().rotations();
   const auto converged = [&] {

@@ -3,29 +3,33 @@
 // application's clusters fare — the heterogeneous-bandwidth story of the
 // paper's introduction, end to end through the public API.
 //
-//   ./build/examples/heterogeneous_workload [load=0.0012] [seed=3]
+//   ./build/heterogeneous_workload [load=0.0012] [seed=3] ...  (help=1 lists keys)
 #include <iostream>
 #include <vector>
 
 #include "metrics/report.hpp"
 #include "network/network.hpp"
-#include "sim/config.hpp"
+#include "scenario/cli.hpp"
 #include "traffic/app_profile.hpp"
 
 using namespace pnoc;
 
 int main(int argc, char** argv) {
-  sim::Config config;
-  if (auto error = config.parseArgs(argc - 1, argv + 1)) {
-    std::cerr << "error: " << *error << "\n";
-    return 1;
+  scenario::ScenarioSpec spec;
+  spec.params.pattern = "real-apps";
+  spec.params.offeredLoad = 0.0012;
+  spec.params.seed = 3;
+  scenario::Cli cli("heterogeneous_workload",
+                    "Section 3.4.2 real-application workload on both architectures");
+  switch (cli.parse(argc, argv, &spec)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
   }
-  const double load = config.getDouble("load", 0.0012);
-  const auto seed = static_cast<std::uint64_t>(config.getInt("seed", 3));
 
   // Show what the gpusim profiling put into the demand tables.
-  noc::ClusterTopology topology;
-  traffic::RealApplicationPattern apps(topology, traffic::BandwidthSet::set1());
+  noc::ClusterTopology topology(spec.params.numCores, spec.params.clusterSize);
+  traffic::RealApplicationPattern apps(topology, spec.params.bandwidthSet);
   metrics::ReportTable profile("application placement and profiled demand");
   profile.setHeader({"app", "clusters", "profiled Gb/s", "lambdas/cluster"});
   for (const auto& app : apps.placements()) {
@@ -35,18 +39,16 @@ int main(int argc, char** argv) {
   }
   profile.print(std::cout);
 
-  metrics::ReportTable table("real-apps workload, BW set 1, load " +
-                             metrics::ReportTable::num(load, 4));
+  metrics::ReportTable table("real-apps workload, " + spec.params.bandwidthSet.name +
+                             ", load " +
+                             metrics::ReportTable::num(spec.params.offeredLoad, 4));
   table.setHeader({"architecture", "delivered Gb/s", "accept", "avg lat (cyc)",
                    "EPM (pJ)", "photonic pkts", "res.failures"});
   for (const auto arch :
        {network::Architecture::kFirefly, network::Architecture::kDhetpnoc}) {
-    network::SimulationParameters params;
-    params.architecture = arch;
-    params.pattern = "real-apps";
-    params.offeredLoad = load;
-    params.seed = seed;
-    network::PhotonicNetwork net(params);
+    scenario::ScenarioSpec point = spec;
+    point.params.architecture = arch;
+    network::PhotonicNetwork net(point.params);
     const auto m = net.run();
     std::uint64_t photonicPackets = 0;
     for (ClusterId c = 0; c < net.topology().numClusters(); ++c) {

@@ -1,48 +1,40 @@
 // Quickstart: simulate the paper's 64-core / 16-cluster chip under a skewed
 // traffic pattern with both architectures and print the comparison.
 //
-//   ./build/examples/quickstart [pattern=skewed3] [set=1] [load=0.002] [seed=1]
+//   ./build/quickstart [pattern=skewed3] [set=1] [load=0.002] [seed=1] ...
 //
-// Keys mirror SimulationParameters; anything omitted uses Table 3-3 defaults.
-#include <cstdio>
+// Every ScenarioSpec key is accepted (help=1 lists them); unknown keys are
+// rejected.  The arch= key is ignored here — this example always runs both
+// architectures side by side.
 #include <iostream>
 
 #include "metrics/report.hpp"
-#include "network/network.hpp"
-#include "sim/config.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/scenario_runner.hpp"
 
 using namespace pnoc;
 
 int main(int argc, char** argv) {
-  sim::Config config;
-  if (auto error = config.parseArgs(argc - 1, argv + 1)) {
-    std::cerr << "error: " << *error << "\n";
-    return 1;
-  }
-  const std::string pattern = config.getString("pattern", "skewed3");
-  const int set = static_cast<int>(config.getInt("set", 1));
-  const double load = config.getDouble("load", 0.002);
-  const auto seed = static_cast<std::uint64_t>(config.getInt("seed", 1));
-  for (const auto& key : config.unconsumedKeys()) {
-    std::cerr << "error: unknown option '" << key << "'\n";
-    return 1;
+  scenario::ScenarioSpec spec;
+  spec.params.pattern = "skewed3";
+  spec.params.offeredLoad = 0.002;
+  scenario::Cli cli("quickstart", "one simulation, both architectures side by side");
+  switch (cli.parse(argc, argv, &spec)) {
+    case scenario::CliStatus::kHelp: return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kRun: break;
   }
 
-  metrics::ReportTable table("quickstart: " + pattern + ", " +
-                             traffic::BandwidthSet::byIndex(set).name);
+  metrics::ReportTable table("quickstart: " + spec.params.pattern + ", " +
+                             spec.params.bandwidthSet.name);
   table.setHeader({"architecture", "delivered Gb/s", "pkts", "accept", "avg lat (cyc)",
                    "p99 lat", "EPM (pJ)", "res.failures"});
 
   for (const auto arch :
        {network::Architecture::kFirefly, network::Architecture::kDhetpnoc}) {
-    network::SimulationParameters params;
-    params.architecture = arch;
-    params.bandwidthSet = traffic::BandwidthSet::byIndex(set);
-    params.pattern = pattern;
-    params.offeredLoad = load;
-    params.seed = seed;
-    network::PhotonicNetwork net(params);
-    const metrics::RunMetrics m = net.run();
+    scenario::ScenarioSpec point = spec;
+    point.params.architecture = arch;
+    const metrics::RunMetrics m = scenario::ScenarioRunner::runOne(point);
     table.addRow({toString(arch), metrics::ReportTable::num(m.deliveredGbps()),
                   std::to_string(m.packetsDelivered),
                   metrics::ReportTable::num(m.acceptance(), 3),

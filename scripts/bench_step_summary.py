@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Render BENCH_*.json records as a GitHub Actions step-summary table.
+
+Usage: bench_step_summary.py BENCH_a.json [BENCH_b.json ...] >> "$GITHUB_STEP_SUMMARY"
+
+Collects the wall-time fields every bench binary emits through the scenario
+layer's JSON recorder ("timing" records: wall_seconds/points; microbench
+records: wall_ms/cycles_per_sec) so perf trends are visible per PR without
+downloading artifacts.
+"""
+import json
+import sys
+
+
+def main(paths):
+    timing_rows = []
+    rate_rows = []
+    for path in paths:
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"<!-- skipped {path}: {error} -->")
+            continue
+        bench = doc.get("bench", path)
+        for record in doc.get("records", []):
+            name = record.get("name", "")
+            if name == "timing":
+                timing_rows.append(
+                    (bench, record.get("points", ""), record.get("wall_seconds", 0.0))
+                )
+            elif "cycles_per_sec" in record or "items_per_sec" in record:
+                rate = record.get("cycles_per_sec", record.get("items_per_sec", 0.0))
+                label = " ".join(
+                    str(record[key]) for key in ("label", "gating") if key in record
+                )
+                rate_rows.append((bench, f"{name} {label}".strip(), rate))
+
+    print("## Bench wall times")
+    if timing_rows:
+        print("")
+        print("| bench | points | wall seconds |")
+        print("|---|---:|---:|")
+        for bench, points, wall in timing_rows:
+            print(f"| {bench} | {points} | {wall:.3f} |")
+    else:
+        print("")
+        print("_no timing records found_")
+
+    if rate_rows:
+        print("")
+        print("## Hot-path rates")
+        print("")
+        print("| bench | record | per second |")
+        print("|---|---|---:|")
+        for bench, record, rate in rate_rows:
+            print(f"| {bench} | {record} | {rate:,.0f} |")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))

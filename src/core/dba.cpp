@@ -9,11 +9,18 @@ DbaController::DbaController(ClusterId self, const DbaConfig& config, RouterTabl
                              photonic::WavelengthAllocationMap& map)
     : self_(self), config_(config), tables_(&tables), map_(&map) {
   assert(config.reservedPerCluster >= 1);
-  const std::uint32_t lambdasPerWg = map.lambdasPerWaveguide();
-  for (std::uint32_t i = 0; i < config.reservedPerCluster; ++i) {
-    const std::uint32_t flat = self * config.reservedPerCluster + i;
+  reset();
+}
+
+void DbaController::reset() {
+  owned_.clear();
+  defective_.clear();
+  stats_ = DbaStats{};
+  const std::uint32_t lambdasPerWg = map_->lambdasPerWaveguide();
+  for (std::uint32_t i = 0; i < config_.reservedPerCluster; ++i) {
+    const std::uint32_t flat = self_ * config_.reservedPerCluster + i;
     const photonic::WavelengthId id = photonic::unflatten(flat, lambdasPerWg);
-    map.allocate(id, self);
+    map_->allocate(id, self_);
     owned_.push_back(id);
   }
   refreshCurrentTable();

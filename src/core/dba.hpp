@@ -55,6 +55,11 @@ class DbaController final : public TokenClient {
   // TokenClient
   void onToken(Token& token, Cycle now) override;
 
+  /// Back to the freshly-constructed state: only the reserved wavelengths
+  /// owned (re-claimed in the shared map), no defects, zeroed statistics.
+  /// The caller clears the map and token first (DhetpnocPolicy::reset()).
+  void reset();
+
   /// Wavelengths currently usable toward `dst` (the current-table entry).
   std::uint32_t lambdasFor(ClusterId dst) const;
 

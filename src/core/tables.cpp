@@ -28,6 +28,12 @@ void RouterTables::updateDemand(std::uint32_t localCore, const WavelengthTable& 
   recomputeRequest();
 }
 
+void RouterTables::reset() {
+  for (auto& demand : demands_) demand.clear();
+  request_.clear();
+  current_.clear();
+}
+
 void RouterTables::recomputeRequest() {
   for (ClusterId dst = 0; dst < numClusters_; ++dst) {
     std::uint32_t best = 0;

@@ -28,6 +28,7 @@ class WavelengthTable {
   std::uint32_t numClusters() const { return static_cast<std::uint32_t>(entries_.size()); }
   std::uint32_t get(ClusterId dst) const { return entries_[dst]; }
   void set(ClusterId dst, std::uint32_t lambdas) { entries_[dst] = lambdas; }
+  void clear() { entries_.assign(entries_.size(), 0); }
 
   /// Largest entry — what the DBA tries to acquire (Section 3.2.1).
   std::uint32_t maxEntry() const;
@@ -56,6 +57,9 @@ class RouterTables {
 
   /// Rebuilds request = element-wise max over all demand tables.
   void recomputeRequest();
+
+  /// Zeroes every demand, request and current entry (network reset).
+  void reset();
 
  private:
   ClusterId self_;

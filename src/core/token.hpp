@@ -38,6 +38,9 @@ class Token {
   void markAllocated(std::uint32_t tokenBit);
   void markFree(std::uint32_t tokenBit);
 
+  /// Marks every tradeable wavelength free again (network reset).
+  void clear() { allocated_.assign(allocated_.size(), false); }
+
   std::uint32_t freeCount() const;
 
   /// Flat wavelength index (across all data waveguides) for a token bit.
@@ -83,6 +86,15 @@ class TokenRing final : public sim::Clocked {
   Cycle hopLatency() const { return hopLatency_; }
   std::size_t holder() const { return holder_; }
   std::uint64_t rotations() const { return rotations_; }
+
+  /// Fresh token (all tradeable wavelengths free), holder back at router 0,
+  /// rotation counter zeroed (network reset).  Clients stay registered.
+  void reset() {
+    token_.clear();
+    holder_ = 0;
+    nextArrival_ = 0;
+    rotations_ = 0;
+  }
 
  private:
   Token token_;

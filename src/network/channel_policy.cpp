@@ -111,6 +111,17 @@ std::uint32_t DhetpnocPolicy::numDataWaveguides() const { return map_.numWavegui
 
 void DhetpnocPolicy::attachTo(sim::Engine& engine) { engine.add(*ring_); }
 
+void DhetpnocPolicy::reset(const traffic::TrafficPattern& pattern) {
+  // Mirror construction: empty map and token, zeroed tables, controllers
+  // re-claiming their reserved wavelengths (in cluster order), then the
+  // pattern's demands published.
+  map_.clear();
+  ring_->reset();
+  for (auto& tables : tables_) tables->reset();
+  for (auto& controller : controllers_) controller->reset();
+  publishDemands(pattern);
+}
+
 const core::DbaController& DhetpnocPolicy::controller(ClusterId cluster) const {
   return *controllers_[cluster];
 }

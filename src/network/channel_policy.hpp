@@ -42,6 +42,10 @@ class ChannelPolicy {
 
   /// Registers any clocked machinery (e.g. the token ring) with the engine.
   virtual void attachTo(sim::Engine& engine) { (void)engine; }
+
+  /// Restores the freshly-constructed allocation state and re-publishes the
+  /// pattern's demand tables (network reset).  No-op for static policies.
+  virtual void reset(const traffic::TrafficPattern& pattern) { (void)pattern; }
 };
 
 /// Firefly [20]: every cluster permanently owns totalWavelengths/numClusters
@@ -80,6 +84,7 @@ class DhetpnocPolicy final : public ChannelPolicy {
   std::uint32_t maxReservationIdentifiers() const override;
   std::uint32_t numDataWaveguides() const override;
   void attachTo(sim::Engine& engine) override;
+  void reset(const traffic::TrafficPattern& pattern) override;
 
   // Introspection for tests, benches and the dba_reconfiguration example.
   const core::DbaController& controller(ClusterId cluster) const;

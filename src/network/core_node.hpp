@@ -62,6 +62,22 @@ class CoreNode final : public sim::Clocked {
   const CoreStats& stats() const { return stats_; }
   std::uint32_t queuedPackets() const { return queue_.size(); }
 
+  /// Restores the freshly-constructed state with a new RNG stream (network
+  /// reset; the network re-seeds every core the same way construction did).
+  void reset(sim::Rng rng) {
+    rng_ = rng;
+    queue_.clear();
+    flitCursor_ = 0;
+    stats_ = CoreStats{};
+  }
+
+  /// Re-targets the injector (PhotonicNetwork::setOfferedLoad()).  Wakes the
+  /// core in case it was parked with a zero probability.
+  void setInjectionProbability(double probability) {
+    config_.injectionProbability = probability;
+    requestWake();
+  }
+
  private:
   void generate(Cycle cycle);
   void injectFlits(Cycle cycle);
@@ -91,6 +107,16 @@ class EjectionSink final : public noc::FlitSink {
   void accept(const noc::Flit& flit, Cycle now) override;
 
   CoreId core() const { return core_; }
+
+  /// Zeroes every delivery counter and the latency histogram (network reset).
+  void reset() {
+    packetsDelivered_ = 0;
+    bitsDelivered_ = 0;
+    latencySum_ = 0;
+    flitsReceived_ = 0;
+    latencies_ = metrics::LatencyHistogram{};
+  }
+
   std::uint64_t packetsDelivered() const { return packetsDelivered_; }
   Bits bitsDelivered() const { return bitsDelivered_; }
   std::uint64_t latencyCyclesSum() const { return latencySum_; }

@@ -126,14 +126,16 @@ void PhotonicNetwork::build() {
   }
 
   // --- cores ---
-  const double totalWeight = [this] {
+  totalSourceWeight_ = [this] {
     double sum = 0.0;
     for (CoreId core = 0; core < params_.numCores; ++core) {
       sum += pattern_->sourceWeight(core);
     }
     return sum;
   }();
-  if (totalWeight <= 0.0) throw std::invalid_argument("pattern weights sum to zero");
+  if (totalSourceWeight_ <= 0.0) {
+    throw std::invalid_argument("pattern weights sum to zero");
+  }
   sim::Rng seeder(params_.seed);
   for (CoreId core = 0; core < params_.numCores; ++core) {
     CoreNode::Config config;
@@ -143,7 +145,7 @@ void PhotonicNetwork::build() {
     config.flitBits = params_.bandwidthSet.flitBits;
     config.localPort = 0;
     const double normalized =
-        pattern_->sourceWeight(core) * params_.numCores / totalWeight;
+        pattern_->sourceWeight(core) * params_.numCores / totalSourceWeight_;
     config.injectionProbability = std::min(1.0, params_.offeredLoad * normalized);
     cores_.push_back(std::make_unique<CoreNode>(config, topology_, *pattern_,
                                                 *coreRouters_[core], slab_,
@@ -160,6 +162,31 @@ void PhotonicNetwork::build() {
 }
 
 void PhotonicNetwork::step(Cycle cycles) { engine_.run(cycles); }
+
+void PhotonicNetwork::reset() {
+  engine_.reset();
+  policy_->reset(*pattern_);
+  for (auto& router : photonicRouters_) router->reset();
+  for (auto& router : coreRouters_) router->reset();
+  for (auto& link : links_) link->reset();
+  for (auto& sink : sinks_) sink->reset();
+  // Re-seed the cores exactly as build() did: one seeder stream split once
+  // per core, in core order, so reset()+run() replays a fresh network.
+  sim::Rng seeder(params_.seed);
+  for (auto& core : cores_) core->reset(seeder.split());
+  slab_.clear();
+  nextPacketId_ = 0;
+}
+
+void PhotonicNetwork::setOfferedLoad(double load) {
+  if (load <= 0.0) throw std::invalid_argument("offered load must be positive");
+  params_.offeredLoad = load;
+  for (CoreId core = 0; core < params_.numCores; ++core) {
+    const double normalized =
+        pattern_->sourceWeight(core) * params_.numCores / totalSourceWeight_;
+    cores_[core]->setInjectionProbability(std::min(1.0, load * normalized));
+  }
+}
 
 PhotonicNetwork::Totals PhotonicNetwork::collectTotals() const {
   Totals totals;
@@ -236,8 +263,6 @@ metrics::RunMetrics PhotonicNetwork::diffToMetrics(const Totals& before,
 }
 
 metrics::RunMetrics PhotonicNetwork::run() {
-  if (ran_) throw std::logic_error("PhotonicNetwork::run() may only be called once");
-  ran_ = true;
   engine_.run(params_.warmupCycles);
   const Totals before = collectTotals();
   engine_.run(params_.measureCycles);

@@ -12,13 +12,30 @@
 // paper's quantities (delivered bandwidth, packet energy decomposition,
 // congestion counters).
 //
-// Typical use:
+// Typical use — describe the run declaratively through the Scenario API
+// (src/scenario), which binds every SimulationParameters field to a
+// key=value / JSON name and runs batches on a thread pool:
+//
+//   scenario::ScenarioSpec spec;
+//   spec.set("arch", "dhetpnoc");
+//   spec.set("pattern", "skewed3");      // or "hotspot:frac=0.3,hot=5", ...
+//   spec.set("load", "0.004");
+//   metrics::RunMetrics m = scenario::ScenarioRunner::runOne(spec);
+//
+// or drive the network directly:
+//
 //   SimulationParameters params;
 //   params.architecture = Architecture::kDhetpnoc;
 //   params.pattern = "skewed3";
 //   params.offeredLoad = 0.004;
 //   PhotonicNetwork net(params);
 //   metrics::RunMetrics m = net.run();
+//   net.setOfferedLoad(0.006);   // retarget the injectors ...
+//   net.reset();                 // ... restore the built network to cycle 0
+//   metrics::RunMetrics n = net.run();  // bit-identical to a fresh network
+//
+// A network is ~465 wired components; reset() rewinds them in place so load
+// sweeps (the saturation search) skip the rebuild entirely.
 #pragma once
 
 #include <memory>
@@ -41,11 +58,29 @@ class PhotonicNetwork {
  public:
   explicit PhotonicNetwork(const SimulationParameters& params);
 
-  /// Runs warmup then the measurement window; returns window metrics.
-  /// May be called once per network instance.
+  /// Runs a warmup window then a measurement window from the network's
+  /// CURRENT state and returns the measurement window's metrics.  May be
+  /// called repeatedly: each call appends another warmup+measure episode to
+  /// the ongoing simulation (metrics are window-differenced, so earlier
+  /// episodes never leak into later ones).  Call reset() first when the next
+  /// run must be statistically fresh.
   metrics::RunMetrics run();
 
-  /// Steps the engine manually (examples/tests); not to be mixed with run().
+  /// Restores the freshly-constructed state in place: cycle 0, empty
+  /// buffers/links/queues, initial DBA allocation, re-seeded RNG streams,
+  /// zeroed counters.  A reset()+run() is bit-identical to constructing a
+  /// new network with the same parameters and running it (asserted by
+  /// tests/integration/determinism_test.cpp) while skipping the rebuild of
+  /// every component — the saturation search leans on this.
+  void reset();
+
+  /// Re-targets every injector at a new offered load (packets/core/cycle,
+  /// weighted by the pattern as at construction).  Effective immediately;
+  /// combine with reset() for a clean measurement at the new load.
+  void setOfferedLoad(double load);
+
+  /// Steps the engine manually (examples/tests); freely mixable with run(),
+  /// which simply continues from the current state.
   void step(Cycle cycles);
 
   const SimulationParameters& params() const { return params_; }
@@ -97,7 +132,9 @@ class PhotonicNetwork {
   /// Owns every live packet descriptor; flits carry handles into it.
   noc::PacketSlab slab_;
   PacketId nextPacketId_ = 0;
-  bool ran_ = false;
+  /// Sum of the pattern's source weights, cached so setOfferedLoad() can
+  /// renormalize without another pattern sweep.
+  double totalSourceWeight_ = 0.0;
 
   std::vector<std::unique_ptr<noc::ElectricalRouter>> coreRouters_;
   std::vector<std::unique_ptr<PhotonicRouter>> photonicRouters_;

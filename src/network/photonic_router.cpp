@@ -209,6 +209,20 @@ void PhotonicRouter::runTransmit(Cycle cycle) {
   }
 }
 
+void PhotonicRouter::reset() {
+  for (auto& port : ingress_) port.reset();
+  receiveBank_.reset();
+  std::fill(receiveBindings_.begin(), receiveBindings_.end(), ReceiveBinding{});
+  inFlight_.clear();
+  std::fill(ejectionRoundRobin_.begin(), ejectionRoundRobin_.end(), VcId{0});
+  tx_ = Transmission{};
+  txScanPort_ = 0;
+  txScanVc_ = 0;
+  bufferedFlits_ = 0;
+  stats_ = PhotonicRouterStats{};
+  ledger_ = photonic::EnergyLedger{};
+}
+
 noc::BufferStats PhotonicRouter::bufferStats() const {
   noc::BufferStats total;
   for (const auto& port : ingress_) total += port.bank().aggregateStats();

@@ -95,6 +95,11 @@ class PhotonicRouter final : public sim::Clocked {
     return bufferedFlits_ == 0 && inFlight_.empty() && !tx_.active;
   }
 
+  /// Restores the freshly-constructed state — empty buffers, no in-flight
+  /// photonic traffic, initial round-robin pointers, zeroed statistics and
+  /// energy ledger.  Peer/ejection wiring is preserved.
+  void reset();
+
   const PhotonicRouterStats& stats() const { return stats_; }
   const photonic::EnergyLedger& transferLedger() const { return ledger_; }
   /// Aggregated buffer statistics over ingress and receive banks (the

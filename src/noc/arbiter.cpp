@@ -1,5 +1,6 @@
 #include "noc/arbiter.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -24,7 +25,12 @@ std::uint32_t RoundRobinArbiter::grant(const std::vector<bool>& requests) {
 MatrixArbiter::MatrixArbiter(std::uint32_t size)
     : size_(size), matrix_(static_cast<std::size_t>(size) * size, false) {
   assert(size > 0);
+  reset();
+}
+
+void MatrixArbiter::reset() {
   // Initial priority: lower index beats higher index.
+  std::fill(matrix_.begin(), matrix_.end(), false);
   for (std::uint32_t i = 0; i < size_; ++i) {
     for (std::uint32_t j = i + 1; j < size_; ++j) matrix_[i * size_ + j] = true;
   }

@@ -30,6 +30,9 @@ class Arbiter {
   /// internal priority state. Returns kNoGrant if nothing is requesting.
   virtual std::uint32_t grant(const std::vector<bool>& requests) = 0;
 
+  /// Restores the freshly-constructed priority state (network reset).
+  virtual void reset() = 0;
+
   virtual std::string name() const = 0;
 };
 
@@ -39,6 +42,7 @@ class RoundRobinArbiter final : public Arbiter {
 
   std::uint32_t size() const override { return size_; }
   std::uint32_t grant(const std::vector<bool>& requests) override;
+  void reset() override { nextPriority_ = 0; }
   std::string name() const override { return "round-robin"; }
 
  private:
@@ -52,6 +56,7 @@ class MatrixArbiter final : public Arbiter {
 
   std::uint32_t size() const override { return size_; }
   std::uint32_t grant(const std::vector<bool>& requests) override;
+  void reset() override;
   std::string name() const override { return "matrix"; }
 
  private:

@@ -36,6 +36,11 @@ void BufferedPort::accept(const Flit& flit, Cycle now) {
   if (owner_ != nullptr) owner_->requestWake();
 }
 
+void BufferedPort::reset() {
+  bank_.reset();
+  receivingVc_.clear();
+}
+
 Flit BufferedPort::pop(VcId vc, Cycle now) {
   Flit flit = bank_.pop(vc, now);
   if (flit.isTail()) bank_.unlock(vc);

@@ -37,6 +37,10 @@ class BufferedPort final : public FlitSink {
   /// popped flit is a tail.
   Flit pop(VcId vc, Cycle now);
 
+  /// Empties the bank and forgets in-progress packets (network reset).  The
+  /// owner hook is preserved; the owner resets its own buffered counter.
+  void reset();
+
  private:
   VcBufferBank bank_;
   std::map<PacketId, VcId> receivingVc_;

@@ -21,6 +21,12 @@ class Crossbar {
   /// Clears all connections (start of a new cycle).
   void reset();
 
+  /// Zeroes the cumulative traversal counters (network reset).
+  void resetStats() {
+    bitsSwitched_ = 0;
+    flitsSwitched_ = 0;
+  }
+
   /// Connects input -> output for this cycle.
   /// Precondition: neither endpoint is already connected.
   void connect(std::uint32_t input, std::uint32_t output);

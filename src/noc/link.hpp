@@ -49,6 +49,13 @@ class Link final : public FlitSink, public sim::Clocked {
   const LinkStats& stats() const { return stats_; }
   std::uint32_t occupancy() const { return pipe_.size(); }
 
+  /// Empties the pipe and zeroes statistics (network reset).
+  void reset() {
+    pipe_.clear();
+    deliverHead_ = false;
+    stats_ = LinkStats{};
+  }
+
  private:
   struct InFlight {
     Flit flit;

@@ -34,6 +34,14 @@ class PacketSlab {
   /// Slots ever allocated == peak simultaneous live descriptors.
   std::size_t slots() const { return storage_.size(); }
 
+  /// Drops every descriptor and recycled slot (network reset).  The caller
+  /// guarantees no flit anywhere still carries a handle into this slab.
+  void clear() {
+    freeList_.clear();
+    storage_.clear();
+    live_ = 0;
+  }
+
  private:
   std::deque<PacketDescriptor> storage_;
   std::vector<PacketDescriptor*> freeList_;

@@ -183,6 +183,24 @@ void ElectricalRouter::advance(Cycle cycle) {
   pendingMoves_.clear();
 }
 
+void ElectricalRouter::reset() {
+  for (auto& bank : inputs_) bank.reset();
+  for (OutputState& state : outputs_) {
+    state.owned = false;
+    state.inPort = 0;
+    state.inVc = kNoVc;
+    state.packet = 0;  // sink wiring survives
+  }
+  crossbar_.reset();
+  crossbar_.resetStats();
+  for (auto& arbiter : inputArbiters_) arbiter->reset();
+  for (auto& arbiter : outputArbiters_) arbiter->reset();
+  for (auto& map : receivingVc_) map.clear();
+  pendingMoves_.clear();
+  occupancy_ = 0;
+  stats_ = RouterStats{};
+}
+
 BufferStats ElectricalRouter::aggregateBufferStats() const {
   BufferStats total;
   for (const auto& bank : inputs_) total += bank.aggregateStats();

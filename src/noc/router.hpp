@@ -88,6 +88,10 @@ class ElectricalRouter final : public sim::Clocked {
   const RouterStats& stats() const { return stats_; }
   BufferStats aggregateBufferStats() const;
 
+  /// Restores the freshly-constructed state — empty buffers, initial
+  /// arbitration priorities, zeroed statistics; wiring is preserved.
+  void reset();
+
   /// Flits currently buffered (all ports, all VCs) — used by tests and by
   /// drain-detection in the network.  O(1): tracked on accept/forward.
   std::uint32_t occupancy() const { return occupancy_; }

@@ -78,6 +78,13 @@ VcId VcBufferBank::findFreeVcForNewPacket() const {
   return static_cast<VcId>(std::countr_zero(freeBits));
 }
 
+void VcBufferBank::reset() {
+  for (auto& vc : vcs_) vc.reset();
+  occupiedMask_ = 0;
+  lockedMask_ = 0;
+  occupancy_ = 0;
+}
+
 BufferStats VcBufferBank::aggregateStats() const {
   BufferStats total;
   for (const auto& vc : vcs_) total += vc.stats();

@@ -56,6 +56,12 @@ class VirtualChannel {
   /// Dequeues the front flit at the given cycle. Precondition: !empty().
   Flit pop(Cycle now);
 
+  /// Empties the channel and zeroes its statistics (network reset).
+  void reset() {
+    entries_.clear();
+    stats_ = BufferStats{};
+  }
+
   const BufferStats& stats() const { return stats_; }
 
  private:
@@ -105,6 +111,9 @@ class VcBufferBank {
   bool allBusy() const { return findFreeVcForNewPacket() == kNoVc; }
 
   BufferStats aggregateStats() const;
+
+  /// Empties every VC, drops all locks and zeroes statistics (network reset).
+  void reset();
 
   /// Total flits currently buffered across all VCs (O(1)).
   std::uint32_t totalOccupancy() const { return occupancy_; }

@@ -1,5 +1,6 @@
 #include "photonic/waveguide.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace pnoc::photonic {
@@ -53,6 +54,10 @@ std::uint32_t WavelengthAllocationMap::freeCount() const {
   std::uint32_t count = 0;
   for (const auto owner : owners_) count += (owner == kInvalidId) ? 1 : 0;
   return count;
+}
+
+void WavelengthAllocationMap::clear() {
+  std::fill(owners_.begin(), owners_.end(), kInvalidId);
 }
 
 std::uint32_t WavelengthAllocationMap::ownedCount(ClusterId cluster) const {

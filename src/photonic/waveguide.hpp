@@ -56,6 +56,9 @@ class WavelengthAllocationMap {
   std::uint32_t freeCount() const;
   std::uint32_t ownedCount(ClusterId cluster) const;
 
+  /// Frees every wavelength (network reset; callers re-claim reservations).
+  void clear();
+
  private:
   std::size_t index(const WavelengthId& id) const;
   std::uint32_t numWaveguides_;

@@ -1,0 +1,73 @@
+#include "scenario/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "traffic/registry.hpp"
+
+namespace pnoc::scenario {
+
+Cli::Cli(std::string binary, std::string synopsis)
+    : binary_(std::move(binary)), synopsis_(std::move(synopsis)) {}
+
+void Cli::addKey(std::string key, std::string doc) {
+  extraKeys_.emplace_back(std::move(key), std::move(doc));
+}
+
+CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
+  if (auto error = config_.parseArgs(argc - 1, argv + 1)) {
+    std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error->c_str());
+    return CliStatus::kError;
+  }
+
+  bool help = false;
+  try {
+    help = config_.getBool("help", false);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error.what());
+    return CliStatus::kError;
+  }
+  if (help) {
+    std::printf("%s — %s\n\n", binary_.c_str(), synopsis_.c_str());
+    if (spec != nullptr) {
+      std::printf("%s", ScenarioSpec::helpText(*spec).c_str());
+      std::printf("\n%s", traffic::PatternRegistry::global().helpText().c_str());
+    }
+    if (!extraKeys_.empty()) {
+      std::printf("\n%s options:\n", binary_.c_str());
+      for (const auto& [key, doc] : extraKeys_) {
+        std::string left = "  " + key;
+        if (left.size() < 30) left.resize(30, ' ');
+        std::printf("%s  %s\n", left.c_str(), doc.c_str());
+      }
+    }
+    return CliStatus::kHelp;
+  }
+
+  if (spec != nullptr) {
+    try {
+      spec->applyOverrides(config_);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error.what());
+      return CliStatus::kError;
+    }
+  }
+
+  // Reject anything that is neither a scenario key (consumed above) nor a
+  // declared binary key — typos must not silently simulate the wrong thing.
+  bool unknown = false;
+  for (const std::string& key : config_.unconsumedKeys()) {
+    const bool declared =
+        std::any_of(extraKeys_.begin(), extraKeys_.end(),
+                    [&](const auto& entry) { return entry.first == key; });
+    if (!declared) {
+      std::fprintf(stderr, "%s: unknown option '%s' (help=1 lists the keys)\n",
+                   binary_.c_str(), key.c_str());
+      unknown = true;
+    }
+  }
+  return unknown ? CliStatus::kError : CliStatus::kRun;
+}
+
+}  // namespace pnoc::scenario

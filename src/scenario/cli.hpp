@@ -1,0 +1,60 @@
+// Shared command-line intake for every bench and example binary.
+//
+// All binaries speak the same dialect: `key=value` tokens, `help=1` for a
+// generated listing, and hard rejection of unknown keys.  Scenario keys come
+// from the ScenarioSpec binding table; a binary declares its own extra keys
+// (json output directory, sweep sizes, ...) up front so they are known too.
+//
+//   scenario::ScenarioSpec spec;             // binary defaults go here
+//   spec.params.pattern = "skewed3";
+//   scenario::Cli cli("quickstart", "one run, both architectures");
+//   cli.addKey("json", "directory for the BENCH record (default .)");
+//   switch (cli.parse(argc, argv, &spec)) {
+//     case scenario::CliStatus::kHelp: return 0;
+//     case scenario::CliStatus::kError: return 1;
+//     case scenario::CliStatus::kRun: break;
+//   }
+//   const std::string jsonDir = cli.config().getString("json", ".");
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+#include "sim/config.hpp"
+
+namespace pnoc::scenario {
+
+enum class CliStatus {
+  kRun,    // proceed; overrides applied
+  kHelp,   // help=1 printed the key listing; exit 0
+  kError,  // malformed/unknown input reported on stderr; exit non-zero
+};
+
+class Cli {
+ public:
+  /// `binary` and `synopsis` head the help=1 output.
+  Cli(std::string binary, std::string synopsis);
+
+  /// Declares a binary-specific key (with its help line).  Declared keys
+  /// pass the unknown-key check; read their values from config() after
+  /// parse().
+  void addKey(std::string key, std::string doc);
+
+  /// Parses argv[1..]: applies scenario-key overrides onto `*spec` (skipped
+  /// when spec == nullptr, for binaries without a simulation scenario),
+  /// handles help=1, rejects unknown keys and malformed values.
+  CliStatus parse(int argc, char** argv, ScenarioSpec* spec);
+
+  /// The parsed key=value store (for binary-specific keys).
+  sim::Config& config() { return config_; }
+
+ private:
+  std::string binary_;
+  std::string synopsis_;
+  std::vector<std::pair<std::string, std::string>> extraKeys_;  // key, doc
+  sim::Config config_;
+};
+
+}  // namespace pnoc::scenario

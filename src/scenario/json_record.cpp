@@ -1,10 +1,10 @@
-#include "bench/bench_json.hpp"
+#include "scenario/json_record.hpp"
 
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 
-namespace pnoc::bench {
+namespace pnoc::scenario {
 namespace {
 
 std::string quote(const std::string& raw) {
@@ -83,4 +83,4 @@ std::string JsonRecorder::write(const std::string& directory) const {
   return path;
 }
 
-}  // namespace pnoc::bench
+}  // namespace pnoc::scenario

@@ -1,4 +1,5 @@
-// Machine-readable bench records.
+// Machine-readable bench records (moved from bench/bench_json into the
+// scenario layer so every binary emits BENCH_*.json through one code path).
 //
 // Every bench binary appends named records (string and numeric fields) and
 // writes a BENCH_<name>.json file next to its stdout report, so CI and later
@@ -15,7 +16,7 @@
 #include <utility>
 #include <vector>
 
-namespace pnoc::bench {
+namespace pnoc::scenario {
 
 /// One JSON object built from typed key/value pairs (insertion ordered).
 class JsonRecord {
@@ -51,4 +52,4 @@ class JsonRecorder {
   std::deque<JsonRecord> records_;
 };
 
-}  // namespace pnoc::bench
+}  // namespace pnoc::scenario

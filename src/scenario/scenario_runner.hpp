@@ -1,0 +1,92 @@
+// ScenarioRunner: the batch execution API of the scenario layer.
+//
+// Takes declarative ScenarioSpecs and runs them across a std::thread pool
+// (absorbing the old bench::SweepRunner).  Scenario points are
+// embarrassingly parallel — each builds its own PhotonicNetwork (own engine,
+// RNG streams, packet slab) — and results land by index, so thread count and
+// scheduling cannot change any number.
+//
+// Saturation searches reuse ONE built network per scenario: each load probe
+// is setOfferedLoad() + reset() + run() instead of reconstructing the ~465
+// wired components, which is where most of a sweep's non-simulation time
+// went.  reset()+run() is bit-identical to a fresh network (asserted by
+// tests/integration/determinism_test.cpp), so the reuse is free.
+//
+// The record* helpers are the single code path through which every bench
+// binary emits its BENCH_*.json records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "metrics/saturation.hpp"
+#include "scenario/json_record.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace pnoc::scenario {
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  metrics::RunMetrics metrics;
+};
+
+struct ScenarioPeak {
+  ScenarioSpec spec;
+  metrics::PeakSearchResult search;
+};
+
+class ScenarioRunner {
+ public:
+  /// `threads` == 0: take PNOC_BENCH_THREADS from the environment, else
+  /// std::thread::hardware_concurrency() (min 1).
+  explicit ScenarioRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, n) across the pool.  Results are indexed
+  /// by i; the first exception thrown by any worker is rethrown after all
+  /// workers join.
+  void forEach(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  /// Batch API: one fixed-load run per spec, in parallel; results indexed
+  /// like `specs`.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs) const;
+
+  /// Batch saturation searches, one per spec, in parallel.  Each search's
+  /// internal ramp/bisection stays sequential (later loads depend on earlier
+  /// results) and reuses one network via reset().
+  std::vector<ScenarioPeak> findPeaks(const std::vector<ScenarioSpec>& specs) const;
+
+  /// One fixed-load run (builds, runs, discards a network).
+  static metrics::RunMetrics runOne(const ScenarioSpec& spec);
+
+  /// One saturation search over a single reused network.
+  static metrics::PeakSearchResult findPeakOne(const ScenarioSpec& spec);
+
+  /// The search schedule for a spec: the start load scales with the
+  /// bandwidth set's wavelength budget so every set's knee is bracketed
+  /// from below.
+  static metrics::PeakSearchOptions peakOptions(const ScenarioSpec& spec);
+
+ private:
+  unsigned threads_;
+};
+
+/// One "run" record: scenario identity (arch/set/pattern/seed/label) plus
+/// the headline quantities of a fixed-load run.
+JsonRecord& recordRun(JsonRecorder& recorder, const ScenarioSpec& spec,
+                      const metrics::RunMetrics& metrics,
+                      const std::string& recordName = "run");
+
+/// One "peak" record: scenario identity plus the saturation-search result.
+JsonRecord& recordPeak(JsonRecorder& recorder, const ScenarioPeak& peak,
+                       const std::string& recordName = "peak");
+
+/// The per-binary wall-time record CI trends ("timing": wall_seconds, points).
+JsonRecord& recordTiming(JsonRecorder& recorder, double wallSeconds,
+                         std::size_t points);
+
+}  // namespace pnoc::scenario

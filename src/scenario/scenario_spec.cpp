@@ -1,0 +1,449 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pnoc::scenario {
+namespace {
+
+// --- value parsing / formatting helpers (strict: trailing junk rejected) ---
+
+std::uint64_t parseU64(const std::string& value) {
+  // Require a leading digit outright: stoull would skip whitespace and
+  // accept a sign, silently wrapping "-5" (or " -5") to a huge value.
+  if (value.empty() || std::isdigit(static_cast<unsigned char>(value[0])) == 0) {
+    throw std::invalid_argument("'" + value + "' is not an unsigned integer");
+  }
+  std::size_t pos = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("'" + value + "' is not an unsigned integer");
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("'" + value + "' is not an unsigned integer");
+  }
+  return parsed;
+}
+
+std::uint32_t parseU32(const std::string& value) {
+  const std::uint64_t parsed = parseU64(value);
+  if (parsed > 0xFFFFFFFFull) {
+    throw std::invalid_argument("'" + value + "' does not fit in 32 bits");
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+double parseDouble(const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("'" + value + "' is not a number");
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("'" + value + "' is not a number");
+  }
+  return parsed;
+}
+
+bool parseBool(const std::string& value) {
+  if (value == "1" || value == "true" || value == "yes" || value == "on") return true;
+  if (value == "0" || value == "false" || value == "no" || value == "off") return false;
+  throw std::invalid_argument("'" + value + "' is not a boolean");
+}
+
+/// Shortest decimal form that parses back to exactly the same double, so
+/// serialized specs stay human-readable AND round-trip bit-exactly.
+std::string formatDouble(double value) {
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+network::Architecture parseArchitecture(const std::string& value) {
+  if (value == "firefly") return network::Architecture::kFirefly;
+  if (value == "dhetpnoc") return network::Architecture::kDhetpnoc;
+  throw std::invalid_argument("'" + value + "' is not an architecture (firefly | dhetpnoc)");
+}
+
+std::string formatArchitecture(network::Architecture arch) {
+  return arch == network::Architecture::kFirefly ? "firefly" : "dhetpnoc";
+}
+
+// --- JSON micro-parser for the flat spec object ---
+
+std::string jsonEscape(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  char peek() {
+    skipSpace();
+    if (pos >= text.size()) throw std::invalid_argument("truncated JSON spec");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::invalid_argument(std::string("expected '") + c + "' at offset " +
+                                  std::to_string(pos) + " of JSON spec");
+    }
+    ++pos;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) throw std::invalid_argument("truncated JSON string");
+        const char escaped = text[pos++];
+        c = escaped == 'n' ? '\n' : escaped;
+      }
+      out += c;
+    }
+    if (pos >= text.size()) throw std::invalid_argument("unterminated JSON string");
+    ++pos;  // closing quote
+    return out;
+  }
+  /// Unquoted scalar (number / true / false), raw text.
+  std::string scalar() {
+    skipSpace();
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+           std::isspace(static_cast<unsigned char>(text[pos])) == 0) {
+      ++pos;
+    }
+    if (pos == start) throw std::invalid_argument("empty JSON value");
+    return text.substr(start, pos - start);
+  }
+};
+
+/// A field whose storage is an unsigned 32-bit member of the params.
+ScenarioField u32Field(std::string key, std::string doc,
+                       std::uint32_t network::SimulationParameters::* member) {
+  return ScenarioField{
+      std::move(key), std::move(doc),
+      [member](ScenarioSpec& spec, const std::string& value) {
+        spec.params.*member = parseU32(value);
+      },
+      [member](const ScenarioSpec& spec) {
+        return std::to_string(spec.params.*member);
+      },
+      false};
+}
+
+ScenarioField cycleField(std::string key, std::string doc,
+                         Cycle network::SimulationParameters::* member) {
+  return ScenarioField{
+      std::move(key), std::move(doc),
+      [member](ScenarioSpec& spec, const std::string& value) {
+        spec.params.*member = parseU64(value);
+      },
+      [member](const ScenarioSpec& spec) {
+        return std::to_string(spec.params.*member);
+      },
+      false};
+}
+
+std::vector<ScenarioField> makeFields() {
+  std::vector<ScenarioField> fields;
+
+  fields.push_back(ScenarioField{
+      "arch", "architecture under test: firefly | dhetpnoc",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.architecture = parseArchitecture(value);
+      },
+      [](const ScenarioSpec& spec) {
+        return formatArchitecture(spec.params.architecture);
+      },
+      true});
+
+  fields.push_back(ScenarioField{
+      "set", "bandwidth set index (Table 3-1): 1 | 2 | 3",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.bandwidthSet =
+            traffic::BandwidthSet::byIndex(static_cast<int>(parseU32(value)));
+      },
+      [](const ScenarioSpec& spec) {
+        const auto index = bandwidthSetIndex(spec.params.bandwidthSet);
+        if (!index) {
+          throw std::invalid_argument(
+              "custom bandwidth sets cannot be serialized through 'set'");
+        }
+        return std::to_string(*index);
+      },
+      false});
+
+  fields.push_back(ScenarioField{
+      "pattern", "traffic pattern spec, e.g. uniform | skewed3 | hotspot:frac=0.3,hot=5",
+      [](ScenarioSpec& spec, const std::string& value) { spec.params.pattern = value; },
+      [](const ScenarioSpec& spec) { return spec.params.pattern; },
+      true});
+
+  fields.push_back(ScenarioField{
+      "load", "offered load in packets per core per cycle",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.offeredLoad = parseDouble(value);
+      },
+      [](const ScenarioSpec& spec) { return formatDouble(spec.params.offeredLoad); },
+      false});
+
+  fields.push_back(ScenarioField{
+      "seed", "RNG seed; same seed + same spec = bit-identical run",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.seed = parseU64(value);
+      },
+      [](const ScenarioSpec& spec) { return std::to_string(spec.params.seed); },
+      false});
+
+  fields.push_back(cycleField("warmup", "warmup cycles before the measurement window",
+                              &network::SimulationParameters::warmupCycles));
+  fields.push_back(cycleField("measure", "measurement window length in cycles",
+                              &network::SimulationParameters::measureCycles));
+  fields.push_back(u32Field("cores", "total processing cores",
+                            &network::SimulationParameters::numCores));
+  fields.push_back(u32Field("cluster_size", "cores per cluster",
+                            &network::SimulationParameters::clusterSize));
+  fields.push_back(u32Field("reserved", "reserved (non-tradeable) wavelengths per cluster",
+                            &network::SimulationParameters::reservedPerCluster));
+  fields.push_back(cycleField("token_hop",
+                              "token-ring hop latency override in cycles (0 = eq. (2))",
+                              &network::SimulationParameters::tokenHopCyclesOverride));
+  fields.push_back(u32Field("channel_cap",
+                            "per-channel wavelength cap override (0 = Table 3-3)",
+                            &network::SimulationParameters::maxChannelWavelengthsOverride));
+  fields.push_back(u32Field("writable_waveguides",
+                            "restricted-waveguide variant: writable waveguides per router "
+                            "(0 = unrestricted)",
+                            &network::SimulationParameters::writableWaveguides));
+
+  fields.push_back(ScenarioField{
+      "gating", "activity-gated engine (bit-identical; off = step everything)",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.activityGating = parseBool(value);
+      },
+      [](const ScenarioSpec& spec) {
+        return spec.params.activityGating ? "true" : "false";
+      },
+      false});
+
+  fields.push_back(u32Field("queue", "injection queue capacity in packets",
+                            &network::SimulationParameters::injectionQueuePackets));
+
+  fields.push_back(ScenarioField{
+      "vcs", "virtual channels per router port",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.coreRouter.vcsPerPort = parseU32(value);
+      },
+      [](const ScenarioSpec& spec) {
+        return std::to_string(spec.params.coreRouter.vcsPerPort);
+      },
+      false});
+
+  fields.push_back(ScenarioField{
+      "vc_depth", "virtual channel depth in flits",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.coreRouter.vcDepthFlits = parseU32(value);
+      },
+      [](const ScenarioSpec& spec) {
+        return std::to_string(spec.params.coreRouter.vcDepthFlits);
+      },
+      false});
+
+  fields.push_back(ScenarioField{
+      "arbiter", "electrical router arbiter: round-robin | matrix",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.coreRouter.arbiter = value;
+      },
+      [](const ScenarioSpec& spec) { return spec.params.coreRouter.arbiter; },
+      true});
+
+  fields.push_back(u32Field("link_latency", "intra-cluster copper link latency in cycles",
+                            &network::SimulationParameters::intraClusterLinkLatency));
+
+  fields.push_back(ScenarioField{
+      "link_pj", "electrical link energy per bit in pJ",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.linkEnergyPerBitPj = parseDouble(value);
+      },
+      [](const ScenarioSpec& spec) {
+        return formatDouble(spec.params.linkEnergyPerBitPj);
+      },
+      false});
+
+  fields.push_back(cycleField("propagation", "photonic propagation latency in cycles",
+                              &network::SimulationParameters::photonicPropagationCycles));
+
+  fields.push_back(ScenarioField{
+      "clock_ghz", "network clock frequency in GHz (Table 3-3: 2.5)",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.clock = sim::Clock(parseDouble(value) * 1e9);
+      },
+      [](const ScenarioSpec& spec) {
+        return formatDouble(spec.params.clock.frequencyHz() / 1e9);
+      },
+      false});
+
+  fields.push_back(ScenarioField{
+      "label", "free-form label carried into reports and BENCH_*.json records",
+      [](ScenarioSpec& spec, const std::string& value) { spec.label = value; },
+      [](const ScenarioSpec& spec) { return spec.label; },
+      true});
+
+  return fields;
+}
+
+}  // namespace
+
+std::optional<int> bandwidthSetIndex(const traffic::BandwidthSet& set) {
+  for (int index = 1; index <= 3; ++index) {
+    const traffic::BandwidthSet standard = traffic::BandwidthSet::byIndex(index);
+    if (set.name == standard.name && set.totalWavelengths == standard.totalWavelengths &&
+        set.maxChannelWavelengths == standard.maxChannelWavelengths &&
+        set.packetFlits == standard.packetFlits && set.flitBits == standard.flitBits &&
+        set.channelGbps == standard.channelGbps) {
+      return index;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<ScenarioField>& ScenarioSpec::fields() {
+  static const std::vector<ScenarioField> kFields = makeFields();
+  return kFields;
+}
+
+const ScenarioField* ScenarioSpec::findField(const std::string& key) {
+  for (const ScenarioField& field : fields()) {
+    if (field.key == key) return &field;
+  }
+  return nullptr;
+}
+
+void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  const ScenarioField* field = findField(key);
+  if (field == nullptr) {
+    throw std::invalid_argument("unknown scenario key '" + key +
+                                "' (help=1 lists the available keys)");
+  }
+  try {
+    field->parse(*this, value);
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument("scenario key '" + key + "': " + error.what());
+  }
+}
+
+std::string ScenarioSpec::get(const std::string& key) const {
+  const ScenarioField* field = findField(key);
+  if (field == nullptr) {
+    throw std::invalid_argument("unknown scenario key '" + key + "'");
+  }
+  return field->format(*this);
+}
+
+void ScenarioSpec::applyOverrides(sim::Config& config) {
+  for (const ScenarioField& field : fields()) {
+    if (config.contains(field.key)) {
+      set(field.key, config.getString(field.key, ""));
+    }
+  }
+}
+
+std::string ScenarioSpec::toKeyValueText() const {
+  std::string out;
+  for (const ScenarioField& field : fields()) {
+    out += field.key + "=" + field.format(*this) + "\n";
+  }
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::fromKeyValueText(const std::string& text) {
+  ScenarioSpec spec;
+  std::size_t begin = 0;
+  std::size_t lineNumber = 0;
+  while (begin < text.size()) {
+    const auto end = std::min(text.find('\n', begin), text.size());
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    ++lineNumber;
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("scenario line " + std::to_string(lineNumber) +
+                                  " is not key=value: '" + line + "'");
+    }
+    spec.set(line.substr(0, eq), line.substr(eq + 1));
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::toJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const ScenarioField& field : fields()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + field.key + "\":";
+    const std::string value = field.format(*this);
+    out += field.jsonString ? "\"" + jsonEscape(value) + "\"" : value;
+  }
+  out += "}";
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::fromJson(const std::string& json) {
+  ScenarioSpec spec;
+  JsonCursor cursor{json};
+  cursor.expect('{');
+  if (cursor.peek() != '}') {
+    for (;;) {
+      const std::string key = cursor.string();
+      cursor.expect(':');
+      const std::string value =
+          cursor.peek() == '"' ? cursor.string() : cursor.scalar();
+      spec.set(key, value);
+      if (cursor.peek() != ',') break;
+      cursor.expect(',');
+    }
+  }
+  cursor.expect('}');
+  return spec;
+}
+
+std::string ScenarioSpec::helpText(const ScenarioSpec& defaults) {
+  std::string out = "scenario keys (key=value; also the JSON field names):\n";
+  for (const ScenarioField& field : fields()) {
+    std::string left = "  " + field.key + "=" + field.format(defaults);
+    if (left.size() < 30) left.resize(30, ' ');
+    out += left + "  " + field.doc + "\n";
+  }
+  return out;
+}
+
+}  // namespace pnoc::scenario

@@ -23,6 +23,12 @@ class Config {
   /// Returns an error description, or std::nullopt on success.
   std::optional<std::string> parseArgs(int argc, const char* const* argv);
 
+  /// Overload binding main()'s `char** argv` directly, so no caller ever
+  /// needs a const_cast.
+  std::optional<std::string> parseArgs(int argc, char** argv) {
+    return parseArgs(argc, static_cast<const char* const*>(argv));
+  }
+
   /// Inserts or overwrites one entry.
   void set(const std::string& key, const std::string& value);
 

@@ -12,6 +12,18 @@ void Engine::add(Clocked& component) {
   activeSlots_.push_back(component.slot_);  // slots ascend, so stays sorted
 }
 
+void Engine::reset() {
+  now_ = 0;
+  wakeQueue_.clear();
+  // Everything starts active, exactly as after the add() calls; with gating
+  // on, the quiescent components park again at the end of the first cycle.
+  activeSlots_.clear();
+  for (std::uint32_t slot = 0; slot < components_.size(); ++slot) {
+    active_[slot] = 1;
+    activeSlots_.push_back(slot);
+  }
+}
+
 void Engine::setActivityGating(bool enabled) {
   gating_ = enabled;
   // Re-activate everything: correct for both directions (when enabling, the

@@ -75,6 +75,11 @@ class Engine {
   /// Runs exactly one cycle.
   void step();
 
+  /// Returns the engine to its just-built state: cycle 0, every registered
+  /// component active, wake queue empty.  The components themselves are not
+  /// touched — callers reset those separately (PhotonicNetwork::reset()).
+  void reset();
+
   /// Cycles executed so far (also the cycle number passed to the next step).
   Cycle now() const { return now_; }
 

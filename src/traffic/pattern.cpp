@@ -1,32 +1,13 @@
 #include "traffic/pattern.hpp"
 
-#include <stdexcept>
-
-#include "traffic/app_profile.hpp"
-#include "traffic/hotspot.hpp"
-#include "traffic/skewed.hpp"
-#include "traffic/uniform.hpp"
+#include "traffic/registry.hpp"
 
 namespace pnoc::traffic {
 
-std::unique_ptr<TrafficPattern> makePattern(const std::string& name,
+std::unique_ptr<TrafficPattern> makePattern(const std::string& spec,
                                             const noc::ClusterTopology& topology,
                                             const BandwidthSet& bandwidthSet) {
-  if (name == "uniform") {
-    return std::make_unique<UniformRandomPattern>(topology, bandwidthSet);
-  }
-  if (name == "real-apps") {
-    return std::make_unique<RealApplicationPattern>(topology, bandwidthSet);
-  }
-  if (name.rfind("skewed-hotspot", 0) == 0 && name.size() == 15) {
-    const int variant = name.back() - '0';
-    return std::make_unique<SkewedHotspotPattern>(variant, topology, bandwidthSet);
-  }
-  if (name.rfind("skewed", 0) == 0 && name.size() == 7) {
-    const int level = name.back() - '0';
-    return std::make_unique<SkewedPattern>(level, topology, bandwidthSet);
-  }
-  throw std::invalid_argument("unknown traffic pattern: '" + name + "'");
+  return PatternRegistry::global().make(spec, topology, bandwidthSet);
 }
 
 }  // namespace pnoc::traffic

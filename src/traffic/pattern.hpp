@@ -50,11 +50,12 @@ class TrafficPattern {
 /// clusters spread across the chip.
 std::uint32_t clusterAppClass(ClusterId cluster);
 
-/// Factory for the patterns evaluated in the paper:
-///   "uniform" | "skewed1" | "skewed2" | "skewed3" |
-///   "skewed-hotspot1" .. "skewed-hotspot4"
-/// Throws std::invalid_argument for unknown names.
-std::unique_ptr<TrafficPattern> makePattern(const std::string& name,
+/// Builds a pattern from a registry spec string ("uniform", "skewed3",
+/// "hotspot:frac=0.3,hot=5", ... — see traffic/registry.hpp for the grammar
+/// and the registered families).  Thin forwarder to
+/// PatternRegistry::global().make(); throws std::invalid_argument for
+/// unknown families/options.
+std::unique_ptr<TrafficPattern> makePattern(const std::string& spec,
                                             const noc::ClusterTopology& topology,
                                             const BandwidthSet& bandwidthSet);
 

@@ -1,0 +1,116 @@
+// Traffic-pattern registry: self-registering, parameterized pattern
+// factories, replacing the old hard-coded makePattern() if-chain.
+//
+// A pattern is requested by SPEC STRING:
+//
+//   spec     := family [":" options]
+//   options  := key "=" value { "," key "=" value }
+//   value    := text without "," | "(" nested spec ")"
+//
+//   "uniform"
+//   "skewed:level=3"
+//   "hotspot:frac=0.3,hot=5"
+//   "tornado:offset=8"
+//   "hotspot:frac=0.2,base=(skewed-hotspot:variant=2,hot=5)"
+//
+// Parentheses group a nested spec so its commas are not split by the outer
+// option list (one grouping layer is unwrapped per value).
+//
+// The family token selects a registered PatternFamily; the options are
+// parsed into a typed sim::Config handed to the family's factory.  Options a
+// factory does not consume are rejected (typos fail loudly), as are unknown
+// families.  Legacy single-token names from the paper ("skewed1".."skewed3",
+// "skewed-hotspot1".."skewed-hotspot4") are registered as aliases that
+// expand to the canonical parameterized spec.
+//
+// Built-in families are registered eagerly when the global registry is first
+// touched (static-library safe: a central bootstrap in registry.cpp, which
+// is always linked alongside the registry itself, references every built-in
+// family).  Downstream code extends the registry at static-initialization
+// time with PNOC_REGISTER_PATTERN_FAMILY — safe whenever the defining
+// translation unit is linked into the binary (object files, whole-archive
+// static libs, or any TU the binary already references).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/topology.hpp"
+#include "sim/config.hpp"
+#include "traffic/bandwidth_set.hpp"
+#include "traffic/pattern.hpp"
+
+namespace pnoc::traffic {
+
+/// Typed option bag a factory receives ("k=v,k2=v2" tail of the spec).
+/// Factories read options through the typed getters; the registry rejects
+/// any option no getter consumed.
+using PatternOptions = sim::Config;
+
+struct PatternFamily {
+  /// Spec family token, e.g. "hotspot".  Must be unique.
+  std::string name;
+  /// One-line description for help listings.
+  std::string summary;
+  /// Option synopsis for help listings, e.g. "frac=<0..1> (0.1), hot=<core> (0)".
+  std::string optionsDoc;
+  std::function<std::unique_ptr<TrafficPattern>(
+      const PatternOptions& options, const noc::ClusterTopology& topology,
+      const BandwidthSet& bandwidthSet)>
+      factory;
+};
+
+/// "family[:options]" split into its parts; throws std::invalid_argument on
+/// malformed option syntax.
+struct ParsedPatternSpec {
+  std::string family;
+  PatternOptions options;
+};
+ParsedPatternSpec parsePatternSpec(const std::string& spec);
+
+class PatternRegistry {
+ public:
+  /// The process-wide registry, with the built-in families pre-registered.
+  static PatternRegistry& global();
+
+  /// Registers a family; returns false (leaving the registry unchanged) when
+  /// the name is already taken or the family is malformed.
+  bool add(PatternFamily family);
+
+  /// Registers `alias` to expand to the full spec `target` (e.g. "skewed3"
+  /// -> "skewed:level=3").  Aliases match whole spec strings only and may
+  /// not carry their own options.
+  bool addAlias(std::string alias, std::string target);
+
+  bool contains(const std::string& family) const;
+  const PatternFamily* find(const std::string& family) const;
+  /// Every registered family, name-sorted.
+  std::vector<const PatternFamily*> families() const;
+  const std::map<std::string, std::string>& aliases() const { return aliases_; }
+
+  /// Builds a pattern from a spec string.  Throws std::invalid_argument for
+  /// unknown families, unknown or malformed options, and factory rejections.
+  std::unique_ptr<TrafficPattern> make(const std::string& spec,
+                                       const noc::ClusterTopology& topology,
+                                       const BandwidthSet& bandwidthSet) const;
+
+  /// Human-readable family/option listing for help=1 output.
+  std::string helpText() const;
+
+ private:
+  std::map<std::string, PatternFamily> families_;
+  std::map<std::string, std::string> aliases_;
+};
+
+/// Self-registration hook for downstream pattern families:
+///   PNOC_REGISTER_PATTERN_FAMILY(myFamily, {"my-family", "...", "...", factory});
+#define PNOC_REGISTER_PATTERN_FAMILY(ident, ...)                             \
+  namespace {                                                                \
+  const bool pnocPatternFamilyRegistered_##ident =                           \
+      ::pnoc::traffic::PatternRegistry::global().add(__VA_ARGS__);           \
+  }
+
+}  // namespace pnoc::traffic

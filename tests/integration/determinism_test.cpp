@@ -100,6 +100,48 @@ INSTANTIATE_TEST_SUITE_P(
         DeterminismParam{"skewed3", Architecture::kFirefly, 0.004},
         DeterminismParam{"real-apps", Architecture::kDhetpnoc, 0.002}));
 
+TEST_P(Determinism, ResetReuseIsBitIdenticalToFreshNetwork) {
+  // The ScenarioRunner's saturation search reuses ONE built network across
+  // load probes via reset(); that is only sound if reset()+run() replays a
+  // fresh construction exactly.
+  const auto& [pattern, arch, load] = GetParam();
+  const auto params = baseParams(pattern, arch, load, 7, true);
+  const RunOutcome fresh = runOnce(params);
+  ASSERT_GT(fresh.metrics.packetsDelivered, 0u);
+
+  PhotonicNetwork reused(params);
+  reused.run();                 // dirty the network thoroughly
+  reused.reset();
+  RunOutcome replay;
+  replay.metrics = reused.run();
+  replay.flitsInjected = reused.totalFlitsInjected();
+  replay.flitsEjected = reused.totalFlitsEjected();
+  replay.occupancy = reused.occupancy();
+  expectIdentical(fresh, replay);
+}
+
+TEST(NetworkReset, LoadSweepOverOneNetworkMatchesFreshBuilds) {
+  // The exact reuse pattern of ScenarioRunner::findPeakOne: retarget the
+  // load, rewind, run — every point must equal a from-scratch network.
+  auto params = baseParams("skewed3", Architecture::kDhetpnoc, 0.0005, 11, true);
+  PhotonicNetwork reused(params);
+  for (const double load : {0.0005, 0.002, 0.004, 0.001}) {
+    reused.setOfferedLoad(load);
+    reused.reset();
+    RunOutcome sweep;
+    sweep.metrics = reused.run();
+    sweep.flitsInjected = reused.totalFlitsInjected();
+    sweep.flitsEjected = reused.totalFlitsEjected();
+    sweep.occupancy = reused.occupancy();
+
+    auto freshParams = params;
+    freshParams.offeredLoad = load;
+    const RunOutcome fresh = runOnce(freshParams);
+    ASSERT_GT(fresh.metrics.packetsDelivered, 0u) << "load " << load;
+    expectIdentical(fresh, sweep);
+  }
+}
+
 TEST(ActivityGating, ParksComponentsAtLowLoad) {
   // The point of the tentpole: at near-zero load most of the machine sleeps.
   SimulationParameters params = baseParams("uniform", Architecture::kDhetpnoc,

@@ -1,0 +1,130 @@
+// ScenarioSpec binding-table tests: the key=value and JSON forms must
+// round-trip byte-identically (they are the scenario interchange format for
+// sweeps, sharding and replay), unknown keys and malformed values must fail
+// loudly, and the generated help must cover every binding.
+#include "scenario/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pnoc::scenario {
+namespace {
+
+ScenarioSpec nonDefaultSpec() {
+  ScenarioSpec spec;
+  spec.set("arch", "firefly");
+  spec.set("set", "2");
+  spec.set("pattern", "hotspot:frac=0.3,hot=5");
+  spec.set("load", "0.00125");
+  spec.set("seed", "987654321");
+  spec.set("warmup", "123");
+  spec.set("measure", "4567");
+  spec.set("reserved", "2");
+  spec.set("gating", "false");
+  spec.set("queue", "4");
+  spec.set("arbiter", "matrix");
+  spec.set("label", "round trip \"quoted\" label");
+  return spec;
+}
+
+TEST(ScenarioSpec, SetWritesThroughToParameters) {
+  const ScenarioSpec spec = nonDefaultSpec();
+  EXPECT_EQ(spec.params.architecture, network::Architecture::kFirefly);
+  EXPECT_EQ(spec.params.bandwidthSet.totalWavelengths, 256u);
+  EXPECT_EQ(spec.params.pattern, "hotspot:frac=0.3,hot=5");
+  EXPECT_DOUBLE_EQ(spec.params.offeredLoad, 0.00125);
+  EXPECT_EQ(spec.params.seed, 987654321u);
+  EXPECT_EQ(spec.params.warmupCycles, 123u);
+  EXPECT_EQ(spec.params.measureCycles, 4567u);
+  EXPECT_EQ(spec.params.reservedPerCluster, 2u);
+  EXPECT_FALSE(spec.params.activityGating);
+  EXPECT_EQ(spec.params.injectionQueuePackets, 4u);
+  EXPECT_EQ(spec.params.coreRouter.arbiter, "matrix");
+}
+
+TEST(ScenarioSpec, KeyValueRoundTripIsByteIdentical) {
+  const ScenarioSpec spec = nonDefaultSpec();
+  const std::string text = spec.toKeyValueText();
+  const ScenarioSpec back = ScenarioSpec::fromKeyValueText(text);
+  EXPECT_EQ(text, back.toKeyValueText());
+}
+
+TEST(ScenarioSpec, JsonRoundTripIsByteIdentical) {
+  const ScenarioSpec spec = nonDefaultSpec();
+  const std::string json = spec.toJson();
+  const ScenarioSpec back = ScenarioSpec::fromJson(json);
+  EXPECT_EQ(json, back.toJson());
+  // And the two forms describe the same spec.
+  EXPECT_EQ(back.toKeyValueText(), spec.toKeyValueText());
+}
+
+TEST(ScenarioSpec, DefaultsRoundTripToo) {
+  const ScenarioSpec spec;
+  EXPECT_EQ(ScenarioSpec::fromJson(spec.toJson()).toJson(), spec.toJson());
+  EXPECT_EQ(ScenarioSpec::fromKeyValueText(spec.toKeyValueText()).toKeyValueText(),
+            spec.toKeyValueText());
+}
+
+TEST(ScenarioSpec, UnknownKeyIsRejected) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.set("wavelenghts", "64"), std::invalid_argument);  // typo
+  EXPECT_THROW(ScenarioSpec::fromKeyValueText("bogus=1\n"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::fromJson(R"({"bogus":1})"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, MalformedValuesAreRejected) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.set("load", "fast"), std::invalid_argument);
+  EXPECT_THROW(spec.set("seed", "-3"), std::invalid_argument);
+  EXPECT_THROW(spec.set("seed", " -3"), std::invalid_argument);  // stoull would wrap
+  EXPECT_THROW(spec.set("seed", "+3"), std::invalid_argument);
+  EXPECT_THROW(spec.set("seed", "12x"), std::invalid_argument);
+  EXPECT_THROW(spec.set("arch", "fireflyy"), std::invalid_argument);
+  EXPECT_THROW(spec.set("set", "4"), std::invalid_argument);
+  EXPECT_THROW(spec.set("gating", "maybe"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, HelpListsEveryBindingKey) {
+  const ScenarioSpec defaults;
+  const std::string help = ScenarioSpec::helpText(defaults);
+  for (const ScenarioField& field : ScenarioSpec::fields()) {
+    EXPECT_NE(help.find("  " + field.key + "="), std::string::npos)
+        << "help is missing key '" << field.key << "'";
+  }
+}
+
+TEST(ScenarioSpec, ApplyOverridesConsumesOnlyBindingKeys) {
+  sim::Config config;
+  config.set("pattern", "tornado");
+  config.set("load", "0.004");
+  config.set("minMs", "50");  // binary-specific key, not a binding
+  ScenarioSpec spec;
+  spec.applyOverrides(config);
+  EXPECT_EQ(spec.params.pattern, "tornado");
+  EXPECT_DOUBLE_EQ(spec.params.offeredLoad, 0.004);
+  const auto leftover = config.unconsumedKeys();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "minMs");
+}
+
+TEST(ScenarioSpec, BandwidthSetIndexRecognizesStandardSets) {
+  EXPECT_EQ(bandwidthSetIndex(traffic::BandwidthSet::set1()), 1);
+  EXPECT_EQ(bandwidthSetIndex(traffic::BandwidthSet::set2()), 2);
+  EXPECT_EQ(bandwidthSetIndex(traffic::BandwidthSet::set3()), 3);
+  traffic::BandwidthSet custom = traffic::BandwidthSet::set1();
+  custom.totalWavelengths = 128;
+  EXPECT_FALSE(bandwidthSetIndex(custom).has_value());
+  ScenarioSpec spec;
+  spec.params.bandwidthSet = custom;
+  EXPECT_THROW(spec.get("set"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, ParamsBuildAndRunThroughTheNetwork) {
+  // A spec is a complete run description: the default spec must validate.
+  ScenarioSpec spec;
+  EXPECT_NO_THROW(spec.params.validate());
+}
+
+}  // namespace
+}  // namespace pnoc::scenario

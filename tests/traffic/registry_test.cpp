@@ -1,0 +1,254 @@
+// PatternRegistry tests: spec grammar, aliases, option rejection,
+// self-registration, and a golden table pinning wavelengthDemand /
+// bandwidthClass for every registered built-in family (so a refactor that
+// shifts any demand table is caught, and a new family must extend the
+// golden table here).
+#include "traffic/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "traffic/hotspot.hpp"
+#include "traffic/synthetic.hpp"
+#include "traffic/uniform.hpp"
+
+namespace pnoc::traffic {
+namespace {
+
+const noc::ClusterTopology& topo() {
+  static noc::ClusterTopology topology;  // 64 cores / 16 clusters
+  return topology;
+}
+
+TEST(PatternSpecGrammar, ParsesFamilyAndOptions) {
+  const auto bare = parsePatternSpec("uniform");
+  EXPECT_EQ(bare.family, "uniform");
+  EXPECT_TRUE(bare.options.unconsumedKeys().empty());
+
+  const auto parameterized = parsePatternSpec("hotspot:frac=0.3,hot=5");
+  EXPECT_EQ(parameterized.family, "hotspot");
+  EXPECT_DOUBLE_EQ(parameterized.options.getDouble("frac", 0.0), 0.3);
+  EXPECT_EQ(parameterized.options.getInt("hot", 0), 5);
+}
+
+TEST(PatternSpecGrammar, RejectsMalformedSpecs) {
+  EXPECT_THROW(parsePatternSpec(""), std::invalid_argument);
+  EXPECT_THROW(parsePatternSpec("hotspot:"), std::invalid_argument);
+  EXPECT_THROW(parsePatternSpec("hotspot:frac"), std::invalid_argument);
+  EXPECT_THROW(parsePatternSpec("hotspot:=0.3"), std::invalid_argument);
+  EXPECT_THROW(parsePatternSpec("hotspot:frac=0.3,,hot=1"), std::invalid_argument);
+}
+
+TEST(PatternRegistry, BuiltinFamiliesAreRegistered) {
+  auto& registry = PatternRegistry::global();
+  for (const char* family : {"uniform", "skewed", "skewed-hotspot", "hotspot",
+                             "real-apps", "transpose", "tornado", "bitcomp",
+                             "permutation", "matrix"}) {
+    EXPECT_TRUE(registry.contains(family)) << family;
+  }
+}
+
+TEST(PatternRegistry, LegacyAliasesStillBuildThePaperPatterns) {
+  auto& registry = PatternRegistry::global();
+  for (const std::string name :
+       {"uniform", "skewed1", "skewed2", "skewed3", "skewed-hotspot1", "skewed-hotspot2",
+        "skewed-hotspot3", "skewed-hotspot4", "real-apps"}) {
+    const auto pattern = registry.make(name, topo(), BandwidthSet::set1());
+    ASSERT_NE(pattern, nullptr) << name;
+    EXPECT_EQ(pattern->name(), name);
+  }
+}
+
+TEST(PatternRegistry, UnknownFamilyAndUnknownOptionAreRejected) {
+  auto& registry = PatternRegistry::global();
+  EXPECT_THROW(registry.make("bogus", topo(), BandwidthSet::set1()),
+               std::invalid_argument);
+  EXPECT_THROW(registry.make("skewed9", topo(), BandwidthSet::set1()),
+               std::invalid_argument);
+  // Known family, typo'd option: must fail loudly, not silently default.
+  EXPECT_THROW(registry.make("hotspot:fraction=0.3", topo(), BandwidthSet::set1()),
+               std::invalid_argument);
+  EXPECT_THROW(registry.make("skewed:level=9", topo(), BandwidthSet::set1()),
+               std::invalid_argument);
+  EXPECT_THROW(registry.make("hotspot:frac=1.5", topo(), BandwidthSet::set1()),
+               std::invalid_argument);
+  EXPECT_THROW(registry.make("tornado:offset=16", topo(), BandwidthSet::set1()),
+               std::invalid_argument);
+}
+
+TEST(PatternRegistry, ParameterizedHotspotSpecWorks) {
+  auto& registry = PatternRegistry::global();
+  const auto pattern =
+      registry.make("hotspot:frac=0.3,hot=5,base=skewed2", topo(), BandwidthSet::set1());
+  const auto* overlay = dynamic_cast<const HotspotOverlayPattern*>(pattern.get());
+  ASSERT_NE(overlay, nullptr);
+  EXPECT_DOUBLE_EQ(overlay->fraction(), 0.3);
+  EXPECT_EQ(overlay->hotspotCore(), 5u);
+  EXPECT_EQ(overlay->base().name(), "skewed2");
+
+  // The hotspot core receives ~frac of draws plus its base share.
+  sim::Rng rng(3);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += (pattern->sampleDestination(20, rng) == 5) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.30 + 0.70 / 63.0, 0.01);
+}
+
+TEST(PatternRegistry, ParenthesizedBaseSpecKeepsNestedOptions) {
+  auto& registry = PatternRegistry::global();
+  // The nested spec's own comma-separated options must reach the base
+  // factory, not be split off and consumed by the outer family.
+  const auto pattern = registry.make("hotspot:frac=0.2,base=(skewed-hotspot:variant=2,hot=5)",
+                                     topo(), BandwidthSet::set1());
+  const auto* overlay = dynamic_cast<const HotspotOverlayPattern*>(pattern.get());
+  ASSERT_NE(overlay, nullptr);
+  EXPECT_EQ(overlay->hotspotCore(), 0u);  // outer default
+  const auto* base = dynamic_cast<const SkewedHotspotPattern*>(&overlay->base());
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->hotspotCore(), 5u);  // nested hot=5 landed on the base
+  EXPECT_EQ(base->name(), "skewed-hotspot2");
+
+  EXPECT_THROW(registry.make("hotspot:base=(uniform", topo(), BandwidthSet::set1()),
+               std::invalid_argument);
+  EXPECT_THROW(registry.make("hotspot:base=uniform)", topo(), BandwidthSet::set1()),
+               std::invalid_argument);
+}
+
+TEST(PatternRegistry, SelfRegistrationExtendsTheRegistry) {
+  auto& registry = PatternRegistry::global();
+  const bool added = registry.add(PatternFamily{
+      "test-only-family", "registered by registry_test", "",
+      [](const PatternOptions&, const noc::ClusterTopology& topology,
+         const BandwidthSet& set) -> std::unique_ptr<TrafficPattern> {
+        return std::make_unique<UniformRandomPattern>(topology, set);
+      }});
+  EXPECT_TRUE(added);
+  EXPECT_NE(registry.make("test-only-family", topo(), BandwidthSet::set1()), nullptr);
+  // Duplicate names are refused.
+  EXPECT_FALSE(registry.add(PatternFamily{
+      "uniform", "", "",
+      [](const PatternOptions&, const noc::ClusterTopology& topology,
+         const BandwidthSet& set) -> std::unique_ptr<TrafficPattern> {
+        return std::make_unique<UniformRandomPattern>(topology, set);
+      }}));
+}
+
+TEST(PatternRegistry, HelpTextListsEveryFamily) {
+  const std::string help = PatternRegistry::global().helpText();
+  for (const PatternFamily* family : PatternRegistry::global().families()) {
+    EXPECT_NE(help.find(family->name), std::string::npos) << family->name;
+  }
+  EXPECT_NE(help.find("skewed3=skewed:level=3"), std::string::npos);
+}
+
+// --- golden demand/class table ----------------------------------------------
+//
+// For every built-in family (default options, BW set 1, 64 cores / 16
+// clusters): pin wavelengthDemand and bandwidthClass on representative
+// (src, dst) cluster pairs.  Values were derived from the pattern
+// definitions; see each family's header for the underlying rule.
+
+struct GoldenEntry {
+  ClusterId src;
+  ClusterId dst;
+  std::uint32_t demand;
+  std::uint32_t bandwidthClass;
+};
+
+TEST(PatternRegistryGolden, DemandsAndClassesArePinnedForEveryFamily) {
+  auto& registry = PatternRegistry::global();
+  const auto set = BandwidthSet::set1();
+
+  const std::map<std::string, std::vector<GoldenEntry>> golden = {
+      // Even split: 64/16 = 4 lambdas everywhere; 4 lambdas = the 50 Gb/s
+      // class (index 2).
+      {"uniform", {{0, 1, 4, 2}, {3, 9, 4, 2}, {15, 0, 4, 2}}},
+      // Cluster class = cluster % 4 -> demands {1,2,4,8}, class = own class.
+      {"skewed", {{0, 1, 1, 0}, {1, 0, 2, 1}, {2, 0, 4, 2}, {3, 0, 8, 3}}},
+      // Hotspot overlays keep the base skewed demands (extra load, not extra
+      // provisioned bandwidth).
+      {"skewed-hotspot", {{0, 1, 1, 0}, {1, 0, 2, 1}, {2, 0, 4, 2}, {3, 0, 8, 3}}},
+      {"hotspot", {{0, 1, 4, 2}, {3, 9, 4, 2}}},  // default base = uniform
+      // GPU clusters address memory clusters with the uniform even split in
+      // the demand tables (profiled bandwidth shapes the placements).
+      {"real-apps", {{0, 1, 4, 2}, {3, 12, 4, 2}}},
+      // Fixed-target patterns demand the full 4-lambda share toward every
+      // targeted cluster (SWMR transmissions serialize, so channel width is
+      // per transmission) and 0 toward untargeted ones.  Transpose: cluster
+      // 0 (row 0, cols 0-3) feeds clusters 2, 4, 6 with one core each.
+      {"transpose",
+       {{0, 2, 4, 2}, {0, 4, 4, 2}, {0, 6, 4, 2}, {0, 1, 0, 0}, {1, 8, 4, 2}}},
+      // Tornado (offset 8): all 4 cores of cluster c feed cluster c+8.
+      {"tornado", {{0, 8, 4, 2}, {1, 9, 4, 2}, {0, 1, 0, 0}, {3, 11, 4, 2}}},
+      // Bit-complement: cluster c feeds cluster 15-c with all 4 cores.
+      {"bitcomp", {{0, 15, 4, 2}, {1, 14, 4, 2}, {3, 12, 4, 2}, {0, 1, 0, 0}}},
+      // Seeded permutation (seed=1): pinned observed flows; a change in the
+      // RNG, the shuffle, or the demand rule shifts these.
+      {"permutation",
+       {{0, 1, 4, 2}, {0, 10, 4, 2}, {0, 13, 4, 2}, {0, 15, 4, 2}, {1, 2, 4, 2}}},
+  };
+
+  std::set<std::string> covered;
+  for (const auto& [family, entries] : golden) {
+    const auto pattern = registry.make(family, topo(), set);
+    ASSERT_NE(pattern, nullptr) << family;
+    for (const GoldenEntry& entry : entries) {
+      EXPECT_EQ(pattern->wavelengthDemand(entry.src, entry.dst), entry.demand)
+          << family << " demand(" << entry.src << "," << entry.dst << ")";
+      EXPECT_EQ(pattern->bandwidthClass(entry.src, entry.dst), entry.bandwidthClass)
+          << family << " class(" << entry.src << "," << entry.dst << ")";
+    }
+    covered.insert(family);
+  }
+
+  // Every registered built-in must appear in the golden table ("matrix"
+  // needs CSV inputs and the test-only family is registered above; both are
+  // exempt).  Extending the registry means extending this table.
+  for (const PatternFamily* family : registry.families()) {
+    if (family->name == "matrix" || family->name == "test-only-family") continue;
+    EXPECT_TRUE(covered.count(family->name) == 1)
+        << "family '" << family->name << "' has no golden demand entries";
+  }
+}
+
+TEST(SyntheticPatterns, TargetsAreValidPermutations) {
+  for (const auto& targets :
+       {transposeTargets(topo()), tornadoTargets(topo(), 8),
+        bitComplementTargets(topo()), permutationTargets(topo(), 1)}) {
+    ASSERT_EQ(targets.size(), 64u);
+    std::set<CoreId> seen;
+    for (CoreId src = 0; src < 64; ++src) {
+      EXPECT_NE(targets[src], src);
+      EXPECT_LT(targets[src], 64u);
+      seen.insert(targets[src]);
+    }
+    // transpose's diagonal fallback can collide, so only the strict
+    // permutations must be bijections; every pattern must avoid self-sends.
+  }
+  // Strict permutations: tornado, bitcomp, permutation are bijective.
+  for (const auto& targets : {tornadoTargets(topo(), 8), bitComplementTargets(topo()),
+                              permutationTargets(topo(), 1)}) {
+    std::set<CoreId> seen(targets.begin(), targets.end());
+    EXPECT_EQ(seen.size(), 64u);
+  }
+}
+
+TEST(SyntheticPatterns, PermutationIsDeterministicPerSeed) {
+  EXPECT_EQ(permutationTargets(topo(), 7), permutationTargets(topo(), 7));
+  EXPECT_NE(permutationTargets(topo(), 7), permutationTargets(topo(), 8));
+}
+
+TEST(SyntheticPatterns, GeometryViolationsThrow) {
+  noc::ClusterTopology rectangular(32, 4);  // 32 is not a square
+  EXPECT_THROW(transposeTargets(rectangular), std::invalid_argument);
+  noc::ClusterTopology nonPow2(36, 4);
+  EXPECT_THROW(bitComplementTargets(nonPow2), std::invalid_argument);
+  EXPECT_THROW(tornadoTargets(topo(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnoc::traffic
