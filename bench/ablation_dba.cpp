@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
   const std::string jsonDir = cli.config().getString("json", ".");
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
     spec.label = "channel_cap=" + std::to_string(cap);
     specs.push_back(spec);
   }
-  const auto results = scenario::ScenarioRunner().run(specs);
+  const auto results = scenario::ScenarioRunner(cli.backendOptions()).run(specs);
   scenario::JsonRecorder recorder("ablation_dba");
   for (const auto& result : results) {
     scenario::recordRun(recorder, result.spec, result.metrics);

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
   const std::string jsonDir = cli.config().getString("json", ".");
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
     spec.label = w == 0 ? "unrestricted" : "writable=" + std::to_string(w);
     specs.push_back(spec);
   }
-  const auto results = scenario::ScenarioRunner().run(specs);
+  const auto results = scenario::ScenarioRunner(cli.backendOptions()).run(specs);
   scenario::JsonRecorder recorder("ablation_restricted_waveguides");
 
   metrics::ReportTable table(

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
   const std::string jsonDir = cli.config().getString("json", ".");
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
       specs.push_back(spec);
     }
   }
-  const auto peaks = scenario::ScenarioRunner().findPeaks(specs);
+  const auto peaks = scenario::ScenarioRunner(cli.backendOptions()).findPeaks(specs);
 
   metrics::ReportTable bw("Figure 3-10(a): Firefly Peak Core Bandwidth (Gb/s/core)");
   bw.setHeader({"traffic", "BW set 1 (64)", "BW set 2 (256)", "BW set 3 (512)"});

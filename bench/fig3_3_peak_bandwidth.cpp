@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
   const std::string jsonDir = cli.config().getString("json", ".");
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const scenario::ScenarioRunner runner;
+  const scenario::ScenarioRunner runner(cli.backendOptions());
   const auto peaks = runner.findPeaks(specs);
   const auto peakAt = [&](int set, std::size_t patternIndex, int arch) -> const auto& {
     return peaks[((set - 1) * 4 + patternIndex) * 2 + static_cast<std::size_t>(arch)];

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
   const std::string jsonDir = cli.config().getString("json", ".");
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const scenario::ScenarioRunner runner;
+  const scenario::ScenarioRunner runner(cli.backendOptions());
   const auto peaks = runner.findPeaks(specs);
 
   scenario::JsonRecorder recorder("fig3_4");

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
   const std::string jsonDir = cli.config().getString("json", ".");
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
       specs.push_back(spec);
     }
   }
-  const auto peaks = scenario::ScenarioRunner().findPeaks(specs);
+  const auto peaks = scenario::ScenarioRunner(cli.backendOptions()).findPeaks(specs);
 
   scenario::JsonRecorder recorder("fig3_5");
   metrics::ReportTable table("Figure 3-5: Peak Core Bandwidth and Packet Energy, BW set 1");

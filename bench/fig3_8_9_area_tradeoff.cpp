@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
   const std::string jsonDir = cli.config().getString("json", ".");
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
     spec.params.bandwidthSet = traffic::BandwidthSet::byIndex(set);
     specs.push_back(spec);
   }
-  const auto peaks = scenario::ScenarioRunner().findPeaks(specs);
+  const auto peaks = scenario::ScenarioRunner(cli.backendOptions()).findPeaks(specs);
 
   const photonic::AreaParams areaParams;
   metrics::ReportTable table(

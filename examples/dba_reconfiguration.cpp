@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &spec)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
 

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   switch (cli.parse(argc, argv, &spec)) {
     case scenario::CliStatus::kHelp: return 0;
     case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
     case scenario::CliStatus::kRun: break;
   }
 
@@ -30,11 +31,20 @@ int main(int argc, char** argv) {
   table.setHeader({"architecture", "delivered Gb/s", "pkts", "accept", "avg lat (cyc)",
                    "p99 lat", "EPM (pJ)", "res.failures"});
 
+  // Both architectures as one batch through the selected backend
+  // (backend=processes shards=2 runs them in two worker subprocesses).
+  std::vector<scenario::ScenarioSpec> points;
   for (const auto arch :
        {network::Architecture::kFirefly, network::Architecture::kDhetpnoc}) {
     scenario::ScenarioSpec point = spec;
     point.params.architecture = arch;
-    const metrics::RunMetrics m = scenario::ScenarioRunner::runOne(point);
+    points.push_back(point);
+  }
+  const auto results = scenario::ScenarioRunner(cli.backendOptions()).run(points);
+
+  for (const auto& result : results) {
+    const metrics::RunMetrics& m = result.metrics;
+    const network::Architecture arch = result.spec.params.architecture;
     table.addRow({toString(arch), metrics::ReportTable::num(m.deliveredGbps()),
                   std::to_string(m.packetsDelivered),
                   metrics::ReportTable::num(m.acceptance(), 3),

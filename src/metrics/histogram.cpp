@@ -49,6 +49,18 @@ double LatencyHistogram::quantile(double q) const {
   return static_cast<double>(max_);
 }
 
+LatencyHistogram LatencyHistogram::restore(
+    const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t sumCycles,
+    Cycle min, Cycle max) {
+  LatencyHistogram histogram;
+  histogram.buckets_ = buckets;
+  for (const std::uint64_t bucket : buckets) histogram.count_ += bucket;
+  histogram.sum_ = sumCycles;
+  histogram.min_ = histogram.count_ == 0 ? kNoCycle : min;
+  histogram.max_ = max;
+  return histogram;
+}
+
 LatencyHistogram& LatencyHistogram::operator+=(const LatencyHistogram& other) {
   for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
   count_ += other.count_;

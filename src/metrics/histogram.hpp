@@ -25,6 +25,18 @@ class LatencyHistogram {
   Cycle max() const { return max_; }
   double mean() const;
 
+  /// Per-bucket count, for serialization (the scenario wire format ships
+  /// histograms between worker processes).
+  std::uint64_t bucketCount(std::size_t bucket) const { return buckets_[bucket]; }
+  /// Sum of all recorded latencies in cycles (the mean() numerator).
+  std::uint64_t sumCycles() const { return sum_; }
+
+  /// Rebuilds a histogram from serialized state: the bucket counts plus the
+  /// values sumCycles()/min()/max() reported.  count is recomputed from the
+  /// buckets; an all-zero histogram restores to the empty state exactly.
+  static LatencyHistogram restore(const std::array<std::uint64_t, kBuckets>& buckets,
+                                  std::uint64_t sumCycles, Cycle min, Cycle max);
+
   /// Quantile in [0,1]; linear interpolation within the bucket.
   double quantile(double q) const;
 

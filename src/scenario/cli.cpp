@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 #include <stdexcept>
+#include <string_view>
 
+#include "scenario/spec_file.hpp"
+#include "scenario/subprocess_backend.hpp"
 #include "traffic/registry.hpp"
 
 namespace pnoc::scenario {
@@ -16,7 +20,24 @@ void Cli::addKey(std::string key, std::string doc) {
 }
 
 CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
-  if (auto error = config_.parseArgs(argc - 1, argv + 1)) {
+  // Worker invocation: the SubprocessBackend re-execs this binary with one
+  // flag; everything else (including the binary's own defaults) is ignored —
+  // the jobs on stdin carry complete specs.
+  if (argc > 1 && std::string_view(argv[1]) == kWorkerFlag) {
+    workerExitCode_ = runWorkerLoop(std::cin, std::cout);
+    return CliStatus::kWorker;
+  }
+
+  // Partition argv: @file spec files (order preserved) vs key=value tokens.
+  std::vector<char*> kvArgs;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '@') {
+      specFiles_.emplace_back(argv[i] + 1);
+    } else {
+      kvArgs.push_back(argv[i]);
+    }
+  }
+  if (auto error = config_.parseArgs(static_cast<int>(kvArgs.size()), kvArgs.data())) {
     std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error->c_str());
     return CliStatus::kError;
   }
@@ -32,6 +53,13 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
     std::printf("%s — %s\n\n", binary_.c_str(), synopsis_.c_str());
     if (spec != nullptr) {
       std::printf("%s", ScenarioSpec::helpText(*spec).c_str());
+      std::printf("\nrunner keys:\n");
+      std::printf("  @file                       load scenario keys from a key=value or"
+                  " JSON spec file\n");
+      std::printf("  backend=threads             execution backend: threads |"
+                  " processes\n");
+      std::printf("  shards=0                    worker threads/processes (0 = auto:"
+                  " PNOC_BENCH_THREADS, else hardware)\n");
       std::printf("\n%s", traffic::PatternRegistry::global().helpText().c_str());
     }
     if (!extraKeys_.empty()) {
@@ -47,15 +75,43 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
 
   if (spec != nullptr) {
     try {
+      // Spec files first, command-line keys second: the command line wins.
+      if (!collectSpecFiles_) {
+        for (const std::string& path : specFiles_) {
+          std::vector<ScenarioSpec> loaded = loadSpecFile(path, *spec);
+          if (loaded.size() != 1) {
+            std::fprintf(stderr,
+                         "%s: spec file '%s' holds %zu specs; this binary takes"
+                         " exactly one (use pnoc_run for grids)\n",
+                         binary_.c_str(), path.c_str(), loaded.size());
+            return CliStatus::kError;
+          }
+          *spec = loaded[0];
+        }
+      }
       spec->applyOverrides(config_);
+      // Runner keys ride next to the scenario keys on every scenario binary.
+      if (config_.contains("backend")) {
+        backendOptions_.kind = parseBackendKind(config_.getString("backend", ""));
+      }
+      const std::int64_t shards = config_.getInt("shards", 0);
+      if (shards < 0) {
+        throw std::invalid_argument("shards must be >= 0");
+      }
+      backendOptions_.workers = static_cast<unsigned>(shards);
     } catch (const std::invalid_argument& error) {
       std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error.what());
       return CliStatus::kError;
     }
+  } else if (!specFiles_.empty()) {
+    std::fprintf(stderr, "%s: @file spec arguments are not accepted (no scenario)\n",
+                 binary_.c_str());
+    return CliStatus::kError;
   }
 
-  // Reject anything that is neither a scenario key (consumed above) nor a
-  // declared binary key — typos must not silently simulate the wrong thing.
+  // Reject anything that is neither a scenario/runner key (consumed above)
+  // nor a declared binary key — typos must not silently simulate the wrong
+  // thing.
   bool unknown = false;
   for (const std::string& key : config_.unconsumedKeys()) {
     const bool declared =

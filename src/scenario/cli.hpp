@@ -1,9 +1,12 @@
-// Shared command-line intake for every bench and example binary.
+// Shared command-line intake for every bench, example and driver binary.
 //
-// All binaries speak the same dialect: `key=value` tokens, `help=1` for a
-// generated listing, and hard rejection of unknown keys.  Scenario keys come
-// from the ScenarioSpec binding table; a binary declares its own extra keys
-// (json output directory, sweep sizes, ...) up front so they are known too.
+// All binaries speak the same dialect: `key=value` tokens, `@file` arguments
+// that load key=value or JSON spec files, `help=1` for a generated listing,
+// and hard rejection of unknown keys.  Scenario keys come from the
+// ScenarioSpec binding table; scenario binaries also get the runner keys
+// `backend=threads|processes` and `shards=N` (read them back via
+// backendOptions()); a binary declares its own extra keys (json output
+// directory, sweep sizes, ...) up front so they are known too.
 //
 //   scenario::ScenarioSpec spec;             // binary defaults go here
 //   spec.params.pattern = "skewed3";
@@ -12,24 +15,32 @@
 //   switch (cli.parse(argc, argv, &spec)) {
 //     case scenario::CliStatus::kHelp: return 0;
 //     case scenario::CliStatus::kError: return 1;
+//     case scenario::CliStatus::kWorker: return cli.workerExitCode();
 //     case scenario::CliStatus::kRun: break;
 //   }
+//   scenario::ScenarioRunner runner(cli.backendOptions());
 //   const std::string jsonDir = cli.config().getString("json", ".");
+//
+// Every binary that parses through Cli is automatically a SubprocessBackend
+// worker host: invoked as `<binary> --pnoc-worker` it speaks the JSON job
+// protocol on stdin/stdout and exits (the kWorker status above).
 #pragma once
 
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "scenario/execution_backend.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "sim/config.hpp"
 
 namespace pnoc::scenario {
 
 enum class CliStatus {
-  kRun,    // proceed; overrides applied
-  kHelp,   // help=1 printed the key listing; exit 0
-  kError,  // malformed/unknown input reported on stderr; exit non-zero
+  kRun,     // proceed; overrides applied
+  kHelp,    // help=1 printed the key listing; exit 0
+  kError,   // malformed/unknown input reported on stderr; exit non-zero
+  kWorker,  // ran as a subprocess protocol worker; exit workerExitCode()
 };
 
 class Cli {
@@ -42,19 +53,40 @@ class Cli {
   /// parse().
   void addKey(std::string key, std::string doc);
 
-  /// Parses argv[1..]: applies scenario-key overrides onto `*spec` (skipped
-  /// when spec == nullptr, for binaries without a simulation scenario),
-  /// handles help=1, rejects unknown keys and malformed values.
+  /// Drivers with their own grid handling: collect @file paths into
+  /// specFiles() instead of applying them onto the parsed spec.
+  void setCollectSpecFiles(bool collect) { collectSpecFiles_ = collect; }
+
+  /// Parses argv[1..]: applies @file spec files and scenario-key overrides
+  /// onto `*spec` (skipped when spec == nullptr, for binaries without a
+  /// simulation scenario), handles help=1 and --pnoc-worker, parses the
+  /// backend=/shards= runner keys, rejects unknown keys and malformed
+  /// values.
   CliStatus parse(int argc, char** argv, ScenarioSpec* spec);
 
   /// The parsed key=value store (for binary-specific keys).
   sim::Config& config() { return config_; }
 
+  /// Backend selection parsed from backend=/shards= (defaults: in-process
+  /// threads, auto worker count).
+  const BackendOptions& backendOptions() const { return backendOptions_; }
+
+  /// @file arguments in command-line order (driver mode; see
+  /// setCollectSpecFiles).
+  const std::vector<std::string>& specFiles() const { return specFiles_; }
+
+  /// Exit code of the worker loop after parse() returned kWorker.
+  int workerExitCode() const { return workerExitCode_; }
+
  private:
   std::string binary_;
   std::string synopsis_;
   std::vector<std::pair<std::string, std::string>> extraKeys_;  // key, doc
+  std::vector<std::string> specFiles_;
   sim::Config config_;
+  BackendOptions backendOptions_;
+  bool collectSpecFiles_ = false;
+  int workerExitCode_ = 0;
 };
 
 }  // namespace pnoc::scenario

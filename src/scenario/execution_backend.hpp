@@ -1,0 +1,123 @@
+// ExecutionBackend: the pluggable execution layer of the scenario API.
+//
+// A backend takes a batch of declarative ScenarioSpecs and produces results
+// indexed exactly like the input — *how* the batch executes (threads in this
+// process, worker subprocesses, some future remote fleet) is the backend's
+// business and must never change a single number.  Two implementations ship:
+//
+//   InProcessBackend   - std::thread pool in this address space (the default)
+//   SubprocessBackend  - shards the batch across N re-exec'd worker processes
+//                        speaking newline-delimited JSON on stdin/stdout
+//
+// The primitive is execute() over mixed ScenarioJob batches (fixed-load runs
+// and saturation searches can share one dispatch); run()/findPeaks() are the
+// typed conveniences every caller actually uses.  Worker-count policy lives
+// in ONE place — resolveWorkerCount() — so PNOC_BENCH_THREADS handling and
+// batch-size clamping cannot drift between backends.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "metrics/saturation.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace pnoc::scenario {
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  metrics::RunMetrics metrics;
+};
+
+struct ScenarioPeak {
+  ScenarioSpec spec;
+  metrics::PeakSearchResult search;
+};
+
+/// One unit of backend work: run the spec at its fixed load, or search for
+/// its saturation peak.
+struct ScenarioJob {
+  enum class Op { kRun, kFindPeak };
+  Op op = Op::kRun;
+  ScenarioSpec spec;
+};
+
+/// The result of one ScenarioJob; `metrics` is filled for kRun, `search` for
+/// kFindPeak (the other member stays default-constructed).
+struct ScenarioOutcome {
+  ScenarioJob::Op op = ScenarioJob::Op::kRun;
+  ScenarioSpec spec;
+  metrics::RunMetrics metrics;
+  metrics::PeakSearchResult search;
+};
+
+struct BackendCapabilities {
+  /// Jobs may execute outside this address space (results cross a process
+  /// boundary through the wire format).
+  bool crossProcess = false;
+  /// Results are merged by input index and are bit-identical to executing
+  /// every job sequentially in this process (both shipped backends).
+  bool deterministicMerge = true;
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual std::string name() const = 0;
+  virtual BackendCapabilities capabilities() const = 0;
+
+  /// Workers this backend would actually use for a batch of `jobCount` jobs
+  /// (environment defaults and batch-size clamping applied).
+  virtual unsigned workersFor(std::size_t jobCount) const = 0;
+
+  /// Executes a mixed batch; results indexed like `jobs`.  The first job
+  /// failure surfaces as an exception after the batch completes.
+  virtual std::vector<ScenarioOutcome> execute(const std::vector<ScenarioJob>& jobs) = 0;
+
+  /// Typed batch APIs over execute(); results indexed like `specs`.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs);
+  std::vector<ScenarioPeak> findPeaks(const std::vector<ScenarioSpec>& specs);
+};
+
+/// Executes one job in this process (the shared bottom of every backend:
+/// worker processes and the thread pool both end up here).
+ScenarioOutcome executeJob(const ScenarioJob& job);
+
+/// One fixed-load run (builds, runs, discards a network).
+metrics::RunMetrics runScenario(const ScenarioSpec& spec);
+
+/// One saturation search over a single network reused via reset().
+metrics::PeakSearchResult findScenarioPeak(const ScenarioSpec& spec);
+
+/// The search schedule for a spec: the start load scales with the bandwidth
+/// set's wavelength budget so every set's knee is bracketed from below.
+metrics::PeakSearchOptions peakOptionsFor(const ScenarioSpec& spec);
+
+/// The one worker-count policy (both backends, every caller):
+///   requested == 0  ->  PNOC_BENCH_THREADS if set to a positive integer,
+///                       else std::thread::hardware_concurrency(), min 1.
+///   The result is clamped to jobCount (a 16-shard backend given 3 specs
+///   uses 3 workers), with a floor of 1.
+unsigned resolveWorkerCount(unsigned requested, std::size_t jobCount);
+
+enum class BackendKind { kThreads, kProcesses };
+
+/// Parses "threads" | "processes" (the `backend=` CLI value); throws
+/// std::invalid_argument otherwise.
+BackendKind parseBackendKind(const std::string& value);
+std::string toString(BackendKind kind);
+
+struct BackendOptions {
+  BackendKind kind = BackendKind::kThreads;
+  /// Thread / worker-process count; 0 = auto (see resolveWorkerCount).
+  unsigned workers = 0;
+};
+
+/// Constructs the backend an options block describes.
+std::unique_ptr<ExecutionBackend> makeBackend(const BackendOptions& options = {});
+
+}  // namespace pnoc::scenario

@@ -1,0 +1,246 @@
+#include "scenario/json_util.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pnoc::scenario {
+namespace {
+
+void skipSpace(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+}
+
+[[noreturn]] void fail(const std::string& what, std::size_t pos) {
+  throw std::invalid_argument(what + " at offset " + std::to_string(pos) +
+                              " of JSON text");
+}
+
+std::string parseString(const std::string& text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] != '"') fail("expected '\"'", pos);
+  ++pos;
+  std::string out;
+  while (pos < text.size() && text[pos] != '"') {
+    char c = text[pos++];
+    if (c == '\\') {
+      if (pos >= text.size()) fail("truncated escape", pos);
+      const char escaped = text[pos++];
+      switch (escaped) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case 'b': c = '\b'; break;
+        case 'f': c = '\f'; break;
+        case 'u':
+          // Unicode escapes never appear in our own output; decoding one as
+          // literal text would silently corrupt a user's spec file.
+          fail("\\uXXXX escapes are not supported", pos - 2);
+        default: c = escaped; break;  // \" \\ \/: literal
+      }
+    }
+    out += c;
+  }
+  if (pos >= text.size()) fail("unterminated string", pos);
+  ++pos;  // closing quote
+  return out;
+}
+
+bool isScalarChar(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) == 0 && c != ',' &&
+         c != '}' && c != ']' && c != ':';
+}
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (kind_ == Kind::kBool) return scalar_ == "true";
+  throw std::invalid_argument("JSON value '" + scalar_ + "' is not a boolean");
+}
+
+double JsonValue::asDouble() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::invalid_argument("JSON value is not a number");
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(scalar_.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument("'" + scalar_ + "' is not a number");
+  }
+  return parsed;
+}
+
+std::uint64_t JsonValue::asU64() const {
+  if (kind_ != Kind::kNumber || scalar_.empty() ||
+      std::isdigit(static_cast<unsigned char>(scalar_[0])) == 0) {
+    throw std::invalid_argument("JSON value is not an unsigned integer");
+  }
+  std::size_t end = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(scalar_, &end);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("'" + scalar_ + "' is not an unsigned integer");
+  }
+  if (end != scalar_.size()) {
+    throw std::invalid_argument("'" + scalar_ + "' is not an unsigned integer");
+  }
+  return parsed;
+}
+
+const std::string& JsonValue::asString() const {
+  if (kind_ != Kind::kString) {
+    throw std::invalid_argument("JSON value is not a string");
+  }
+  return scalar_;
+}
+
+const std::string& JsonValue::scalarText() const {
+  if (kind_ == Kind::kObject || kind_ == Kind::kArray) {
+    throw std::invalid_argument("JSON value is not a scalar");
+  }
+  return scalar_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) {
+    throw std::invalid_argument("JSON value is not an object");
+  }
+  return members_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) {
+    throw std::invalid_argument("JSON value is not an array");
+  }
+  return items_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) {
+    throw std::invalid_argument("JSON object has no member '" + key + "'");
+  }
+  return *value;
+}
+
+JsonValue JsonValue::parsePrefix(const std::string& text, std::size_t& pos) {
+  skipSpace(text, pos);
+  if (pos >= text.size()) fail("truncated JSON", pos);
+  JsonValue value;
+  const char head = text[pos];
+  if (head == '{') {
+    value.kind_ = Kind::kObject;
+    ++pos;
+    skipSpace(text, pos);
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return value;
+    }
+    for (;;) {
+      skipSpace(text, pos);
+      std::string key = parseString(text, pos);
+      skipSpace(text, pos);
+      if (pos >= text.size() || text[pos] != ':') fail("expected ':'", pos);
+      ++pos;
+      value.members_.emplace_back(std::move(key), parsePrefix(text, pos));
+      skipSpace(text, pos);
+      if (pos >= text.size()) fail("unterminated object", pos);
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == '}') {
+        ++pos;
+        return value;
+      }
+      fail("expected ',' or '}'", pos);
+    }
+  }
+  if (head == '[') {
+    value.kind_ = Kind::kArray;
+    ++pos;
+    skipSpace(text, pos);
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return value;
+    }
+    for (;;) {
+      value.items_.push_back(parsePrefix(text, pos));
+      skipSpace(text, pos);
+      if (pos >= text.size()) fail("unterminated array", pos);
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == ']') {
+        ++pos;
+        return value;
+      }
+      fail("expected ',' or ']'", pos);
+    }
+  }
+  if (head == '"') {
+    value.kind_ = Kind::kString;
+    value.scalar_ = parseString(text, pos);
+    return value;
+  }
+  // Bare scalar: number, true/false, null.
+  const std::size_t start = pos;
+  while (pos < text.size() && isScalarChar(text[pos])) ++pos;
+  if (pos == start) fail("empty JSON value", pos);
+  value.scalar_ = text.substr(start, pos - start);
+  if (value.scalar_ == "true" || value.scalar_ == "false") {
+    value.kind_ = Kind::kBool;
+  } else if (value.scalar_ == "null") {
+    value.kind_ = Kind::kNull;
+  } else {
+    value.kind_ = Kind::kNumber;
+  }
+  return value;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+  std::size_t pos = 0;
+  JsonValue value = parsePrefix(text, pos);
+  skipSpace(text, pos);
+  if (pos != text.size()) fail("trailing text after JSON value", pos);
+  return value;
+}
+
+std::string jsonEscape(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string formatDouble(double value) {
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+}  // namespace pnoc::scenario

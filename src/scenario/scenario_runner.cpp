@@ -1,107 +1,28 @@
 #include "scenario/scenario_runner.hpp"
 
-#include <atomic>
-#include <cstdlib>
-#include <exception>
-#include <mutex>
-#include <thread>
-
-#include "network/network.hpp"
+#include "scenario/in_process_backend.hpp"
 
 namespace pnoc::scenario {
 
-ScenarioRunner::ScenarioRunner(unsigned threads) : threads_(threads) {
-  if (threads_ == 0) {
-    // PNOC_BENCH_THREADS pins the pool size (CI, comparisons); otherwise use
-    // every hardware thread.
-    if (const char* env = std::getenv("PNOC_BENCH_THREADS")) {
-      const long parsed = std::strtol(env, nullptr, 10);
-      if (parsed > 0) threads_ = static_cast<unsigned>(parsed);
-    }
-  }
-  if (threads_ == 0) {
-    threads_ = std::thread::hardware_concurrency();
-    if (threads_ == 0) threads_ = 1;
-  }
-}
+ScenarioRunner::ScenarioRunner(unsigned threads)
+    : backend_(std::make_unique<InProcessBackend>(threads)) {}
 
-void ScenarioRunner::forEach(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) const {
-  if (n == 0) return;
-  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(threads_, n));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr firstError;
-  std::mutex errorMutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(errorMutex);
-        if (!firstError) firstError = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
-  if (firstError) std::rethrow_exception(firstError);
-}
+ScenarioRunner::ScenarioRunner(const BackendOptions& options)
+    : backend_(makeBackend(options)) {}
 
 std::vector<ScenarioResult> ScenarioRunner::run(
     const std::vector<ScenarioSpec>& specs) const {
-  std::vector<ScenarioResult> results(specs.size());
-  forEach(specs.size(), [&](std::size_t i) {
-    results[i] = ScenarioResult{specs[i], runOne(specs[i])};
-  });
-  return results;
+  return backend_->run(specs);
 }
 
 std::vector<ScenarioPeak> ScenarioRunner::findPeaks(
     const std::vector<ScenarioSpec>& specs) const {
-  std::vector<ScenarioPeak> results(specs.size());
-  forEach(specs.size(), [&](std::size_t i) {
-    results[i] = ScenarioPeak{specs[i], findPeakOne(specs[i])};
-  });
-  return results;
+  return backend_->findPeaks(specs);
 }
 
-metrics::RunMetrics ScenarioRunner::runOne(const ScenarioSpec& spec) {
-  network::PhotonicNetwork net(spec.params);
-  return net.run();
-}
-
-metrics::PeakSearchResult ScenarioRunner::findPeakOne(const ScenarioSpec& spec) {
-  const metrics::PeakSearchOptions options = peakOptions(spec);
-  // One build, many probes: every load point rewinds the same network.
-  network::PhotonicNetwork net(spec.params);
-  return metrics::findPeak(
-      [&](double load) {
-        net.setOfferedLoad(load);
-        net.reset();
-        return net.run();
-      },
-      options);
-}
-
-metrics::PeakSearchOptions ScenarioRunner::peakOptions(const ScenarioSpec& spec) {
-  metrics::PeakSearchOptions options;
-  // Larger wavelength budgets saturate at proportionally larger loads; start
-  // low enough that set 1's knee is bracketed from below.
-  const int setIndex = bandwidthSetIndex(spec.params.bandwidthSet).value_or(1);
-  options.startLoad = 0.0002 * static_cast<double>(1 << (setIndex - 1));
-  options.growthFactor = 1.5;
-  options.acceptanceFloor = 0.90;
-  options.maxRampSteps = 12;
-  options.bisectionSteps = 3;
-  return options;
+std::vector<ScenarioOutcome> ScenarioRunner::execute(
+    const std::vector<ScenarioJob>& jobs) const {
+  return backend_->execute(jobs);
 }
 
 namespace {

@@ -1,78 +1,70 @@
-// ScenarioRunner: the batch execution API of the scenario layer.
+// ScenarioRunner: the batch entry point of the scenario layer — now a thin
+// façade that selects an ExecutionBackend and forwards to it.
 //
-// Takes declarative ScenarioSpecs and runs them across a std::thread pool
-// (absorbing the old bench::SweepRunner).  Scenario points are
-// embarrassingly parallel — each builds its own PhotonicNetwork (own engine,
-// RNG streams, packet slab) — and results land by index, so thread count and
-// scheduling cannot change any number.
-//
-// Saturation searches reuse ONE built network per scenario: each load probe
-// is setOfferedLoad() + reset() + run() instead of reconstructing the ~465
-// wired components, which is where most of a sweep's non-simulation time
-// went.  reset()+run() is bit-identical to a fresh network (asserted by
-// tests/integration/determinism_test.cpp), so the reuse is free.
+// Callers describe WHAT to run (ScenarioSpecs) and, via BackendOptions,
+// WHERE it runs: a std::thread pool in this process (backend=threads, the
+// default) or a fleet of re-exec'd worker subprocesses speaking the JSON
+// wire protocol (backend=processes).  Results are merged by index and are
+// bit-identical across backends and worker counts — the choice is purely
+// about address spaces and scheduling, never about numbers.
 //
 // The record* helpers are the single code path through which every bench
-// binary emits its BENCH_*.json records.
+// binary (and the pnoc_run driver) emits its BENCH_*.json records.
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
-#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "metrics/metrics.hpp"
 #include "metrics/saturation.hpp"
+#include "scenario/execution_backend.hpp"
 #include "scenario/json_record.hpp"
 #include "scenario/scenario_spec.hpp"
 
 namespace pnoc::scenario {
 
-struct ScenarioResult {
-  ScenarioSpec spec;
-  metrics::RunMetrics metrics;
-};
-
-struct ScenarioPeak {
-  ScenarioSpec spec;
-  metrics::PeakSearchResult search;
-};
-
 class ScenarioRunner {
  public:
-  /// `threads` == 0: take PNOC_BENCH_THREADS from the environment, else
-  /// std::thread::hardware_concurrency() (min 1).
+  /// In-process thread pool; `threads` == 0: auto (PNOC_BENCH_THREADS, else
+  /// hardware concurrency — see resolveWorkerCount()).
   explicit ScenarioRunner(unsigned threads = 0);
 
-  unsigned threads() const { return threads_; }
+  /// Backend per options (e.g. scenario::Cli's parsed backend=/shards= keys).
+  explicit ScenarioRunner(const BackendOptions& options);
 
-  /// Runs fn(i) for every i in [0, n) across the pool.  Results are indexed
-  /// by i; the first exception thrown by any worker is rethrown after all
-  /// workers join.
-  void forEach(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+  /// The selected backend (capability / worker-count introspection).
+  ExecutionBackend& backend() const { return *backend_; }
 
-  /// Batch API: one fixed-load run per spec, in parallel; results indexed
-  /// like `specs`.
+  /// Batch API: one fixed-load run per spec; results indexed like `specs`.
   std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs) const;
 
-  /// Batch saturation searches, one per spec, in parallel.  Each search's
-  /// internal ramp/bisection stays sequential (later loads depend on earlier
-  /// results) and reuses one network via reset().
+  /// Batch saturation searches, one per spec.  Each search's internal
+  /// ramp/bisection stays sequential (later loads depend on earlier results)
+  /// and reuses one network via reset().
   std::vector<ScenarioPeak> findPeaks(const std::vector<ScenarioSpec>& specs) const;
 
+  /// Mixed batch (runs and searches in one dispatch / one worker session).
+  std::vector<ScenarioOutcome> execute(const std::vector<ScenarioJob>& jobs) const;
+
   /// One fixed-load run (builds, runs, discards a network).
-  static metrics::RunMetrics runOne(const ScenarioSpec& spec);
+  static metrics::RunMetrics runOne(const ScenarioSpec& spec) {
+    return runScenario(spec);
+  }
 
   /// One saturation search over a single reused network.
-  static metrics::PeakSearchResult findPeakOne(const ScenarioSpec& spec);
+  static metrics::PeakSearchResult findPeakOne(const ScenarioSpec& spec) {
+    return findScenarioPeak(spec);
+  }
 
-  /// The search schedule for a spec: the start load scales with the
-  /// bandwidth set's wavelength budget so every set's knee is bracketed
-  /// from below.
-  static metrics::PeakSearchOptions peakOptions(const ScenarioSpec& spec);
+  /// The search schedule for a spec.
+  static metrics::PeakSearchOptions peakOptions(const ScenarioSpec& spec) {
+    return peakOptionsFor(spec);
+  }
 
  private:
-  unsigned threads_;
+  std::unique_ptr<ExecutionBackend> backend_;
 };
 
 /// One "run" record: scenario identity (arch/set/pattern/seed/label) plus

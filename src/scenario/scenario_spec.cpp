@@ -1,9 +1,9 @@
 #include "scenario/scenario_spec.hpp"
 
 #include <cctype>
-#include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
+
+#include "scenario/json_util.hpp"
 
 namespace pnoc::scenario {
 namespace {
@@ -57,17 +57,6 @@ bool parseBool(const std::string& value) {
   throw std::invalid_argument("'" + value + "' is not a boolean");
 }
 
-/// Shortest decimal form that parses back to exactly the same double, so
-/// serialized specs stay human-readable AND round-trip bit-exactly.
-std::string formatDouble(double value) {
-  char buffer[64];
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
-  }
-  return buffer;
-}
-
 network::Architecture parseArchitecture(const std::string& value) {
   if (value == "firefly") return network::Architecture::kFirefly;
   if (value == "dhetpnoc") return network::Architecture::kDhetpnoc;
@@ -77,72 +66,6 @@ network::Architecture parseArchitecture(const std::string& value) {
 std::string formatArchitecture(network::Architecture arch) {
   return arch == network::Architecture::kFirefly ? "firefly" : "dhetpnoc";
 }
-
-// --- JSON micro-parser for the flat spec object ---
-
-std::string jsonEscape(const std::string& raw) {
-  std::string out;
-  for (const char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-struct JsonCursor {
-  const std::string& text;
-  std::size_t pos = 0;
-
-  void skipSpace() {
-    while (pos < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
-      ++pos;
-    }
-  }
-  char peek() {
-    skipSpace();
-    if (pos >= text.size()) throw std::invalid_argument("truncated JSON spec");
-    return text[pos];
-  }
-  void expect(char c) {
-    if (peek() != c) {
-      throw std::invalid_argument(std::string("expected '") + c + "' at offset " +
-                                  std::to_string(pos) + " of JSON spec");
-    }
-    ++pos;
-  }
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos < text.size() && text[pos] != '"') {
-      char c = text[pos++];
-      if (c == '\\') {
-        if (pos >= text.size()) throw std::invalid_argument("truncated JSON string");
-        const char escaped = text[pos++];
-        c = escaped == 'n' ? '\n' : escaped;
-      }
-      out += c;
-    }
-    if (pos >= text.size()) throw std::invalid_argument("unterminated JSON string");
-    ++pos;  // closing quote
-    return out;
-  }
-  /// Unquoted scalar (number / true / false), raw text.
-  std::string scalar() {
-    skipSpace();
-    const std::size_t start = pos;
-    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
-           std::isspace(static_cast<unsigned char>(text[pos])) == 0) {
-      ++pos;
-    }
-    if (pos == start) throw std::invalid_argument("empty JSON value");
-    return text.substr(start, pos - start);
-  }
-};
 
 /// A field whose storage is an unsigned 32-bit member of the params.
 ScenarioField u32Field(std::string key, std::string doc,
@@ -419,21 +342,14 @@ std::string ScenarioSpec::toJson() const {
 
 ScenarioSpec ScenarioSpec::fromJson(const std::string& json) {
   ScenarioSpec spec;
-  JsonCursor cursor{json};
-  cursor.expect('{');
-  if (cursor.peek() != '}') {
-    for (;;) {
-      const std::string key = cursor.string();
-      cursor.expect(':');
-      const std::string value =
-          cursor.peek() == '"' ? cursor.string() : cursor.scalar();
-      spec.set(key, value);
-      if (cursor.peek() != ',') break;
-      cursor.expect(',');
-    }
-  }
-  cursor.expect('}');
+  spec.applyJsonObject(JsonValue::parse(json));
   return spec;
+}
+
+void ScenarioSpec::applyJsonObject(const JsonValue& object) {
+  for (const auto& [key, value] : object.members()) {
+    set(key, value.scalarText());
+  }
 }
 
 std::string ScenarioSpec::helpText(const ScenarioSpec& defaults) {

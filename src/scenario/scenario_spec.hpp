@@ -28,6 +28,7 @@
 
 namespace pnoc::scenario {
 
+class JsonValue;
 class ScenarioSpec;
 
 /// One row of the binding table.
@@ -73,6 +74,11 @@ class ScenarioSpec {
   /// byte-identically through fromJson().
   std::string toJson() const;
   static ScenarioSpec fromJson(const std::string& json);
+
+  /// Applies a parsed flat JSON object's members onto *this* spec (partial
+  /// specs layer over defaults — spec files and the wire format use this).
+  /// Throws std::invalid_argument on unknown keys or malformed values.
+  void applyJsonObject(const JsonValue& object);
 
   /// Generated key listing with `defaults`' values — the help=1 output.
   static std::string helpText(const ScenarioSpec& defaults);

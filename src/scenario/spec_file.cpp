@@ -1,0 +1,122 @@
+#include "scenario/spec_file.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/json_util.hpp"
+
+namespace pnoc::scenario {
+namespace {
+
+std::string trimRight(std::string line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                           line.back() == '\t')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+std::vector<ScenarioSpec> parseKeyValueSpecs(const std::string& text,
+                                             const ScenarioSpec& base) {
+  std::vector<ScenarioSpec> specs;
+  ScenarioSpec current = base;
+  bool stanzaHasKeys = false;
+  std::size_t lineNumber = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const auto end = std::min(text.find('\n', begin), text.size());
+    const std::string line = trimRight(text.substr(begin, end - begin));
+    begin = end + 1;
+    ++lineNumber;
+    if (line.empty() || line[0] == '#') {
+      // A blank line closes the current stanza; comments do not.
+      if (line.empty() && stanzaHasKeys) {
+        specs.push_back(current);
+        current = base;
+        stanzaHasKeys = false;
+      }
+      if (end == text.size()) break;
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("line " + std::to_string(lineNumber) +
+                                  " is not key=value: '" + line + "'");
+    }
+    current.set(line.substr(0, eq), line.substr(eq + 1));
+    stanzaHasKeys = true;
+    if (end == text.size()) break;
+  }
+  if (stanzaHasKeys) specs.push_back(current);
+  return specs;
+}
+
+ScenarioSpec specFromJsonObject(const JsonValue& object, const ScenarioSpec& base) {
+  ScenarioSpec spec = base;
+  spec.applyJsonObject(object);
+  return spec;
+}
+
+std::vector<ScenarioSpec> parseJsonSpecs(const std::string& text,
+                                         const ScenarioSpec& base) {
+  std::vector<ScenarioSpec> specs;
+  std::size_t pos = 0;
+  const JsonValue first = JsonValue::parsePrefix(text, pos);
+  if (first.kind() == JsonValue::Kind::kArray) {
+    for (const JsonValue& object : first.items()) {
+      specs.push_back(specFromJsonObject(object, base));
+    }
+  } else {
+    specs.push_back(specFromJsonObject(first, base));
+  }
+  // Newline-delimited / concatenated objects: keep parsing to the end.
+  for (;;) {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    specs.push_back(specFromJsonObject(JsonValue::parsePrefix(text, pos), base));
+  }
+  return specs;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> parseSpecFileText(const std::string& text,
+                                            const ScenarioSpec& base,
+                                            const std::string& origin) {
+  try {
+    std::size_t head = 0;
+    while (head < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[head])) != 0) {
+      ++head;
+    }
+    if (head >= text.size()) {
+      throw std::invalid_argument("file holds no specs");
+    }
+    if (text[head] == '{' || text[head] == '[') {
+      return parseJsonSpecs(text, base);
+    }
+    std::vector<ScenarioSpec> specs = parseKeyValueSpecs(text, base);
+    if (specs.empty()) throw std::invalid_argument("file holds no specs");
+    return specs;
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument("spec file '" + origin + "': " + error.what());
+  }
+}
+
+std::vector<ScenarioSpec> loadSpecFile(const std::string& path,
+                                       const ScenarioSpec& base) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("spec file '" + path + "': cannot open");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parseSpecFileText(text.str(), base, path);
+}
+
+}  // namespace pnoc::scenario

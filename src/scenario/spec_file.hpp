@@ -1,0 +1,39 @@
+// Spec files: ScenarioSpecs loaded from disk, the `@file` half of the CLI.
+//
+// Two formats, auto-detected from the first non-space character:
+//
+//   key=value text        pattern=skewed3          # comments allowed
+//     (default)           load=0.002
+//                                                  <- blank line: next spec
+//                         pattern=uniform
+//
+//   JSON ('{' or '[')     {"pattern":"skewed3","load":0.002}
+//                         {"pattern":"uniform"}        <- newline-delimited,
+//                         or one [ {...}, {...} ] array, or a single object
+//
+// Every spec starts from the caller's `base` and layers the file's
+// assignments on top, so files stay partial (only the keys that vary need
+// appear).  Unknown keys and malformed values throw std::invalid_argument
+// with the file named — a typo in a grid file must not silently simulate
+// the wrong thing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+
+namespace pnoc::scenario {
+
+/// Parses spec-file `text` into specs layered over `base`; `origin` names
+/// the source in error messages (a path, or "<arg>" for inline text).
+std::vector<ScenarioSpec> parseSpecFileText(const std::string& text,
+                                            const ScenarioSpec& base,
+                                            const std::string& origin);
+
+/// Reads and parses one spec file; throws std::invalid_argument when the
+/// file cannot be read or fails to parse.
+std::vector<ScenarioSpec> loadSpecFile(const std::string& path,
+                                       const ScenarioSpec& base = {});
+
+}  // namespace pnoc::scenario

@@ -1,0 +1,329 @@
+#include "scenario/subprocess_backend.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "scenario/wire.hpp"
+
+namespace pnoc::scenario {
+namespace {
+
+struct Worker {
+  pid_t pid = -1;
+  int stdinFd = -1;
+  int stdoutFd = -1;
+  std::vector<std::size_t> jobIndices;  // round-robin share of the batch
+};
+
+void closeFd(int& fd);
+
+/// Owns the worker processes for one execute() call.  The destructor is the
+/// error-path cleanup: closing the pipes gives every still-running child
+/// stdin EOF (or EPIPE on its replies), after which the blocking reap
+/// returns promptly — a spawn or write failure mid-batch must not leak live
+/// workers into a long-lived host process.
+struct WorkerPool {
+  std::vector<Worker> workers;
+
+  ~WorkerPool() {
+    for (Worker& worker : workers) {
+      closeFd(worker.stdinFd);
+      closeFd(worker.stdoutFd);
+      if (worker.pid > 0) {
+        int status = 0;
+        pid_t reaped;
+        do {
+          reaped = ::waitpid(worker.pid, &status, 0);
+        } while (reaped < 0 && errno == EINTR);
+        worker.pid = -1;
+      }
+    }
+  }
+};
+
+std::string selfExecutablePath() {
+  // /proc/self/exe is the running binary regardless of argv[0] games.
+  char buffer[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (len <= 0) {
+    throw std::runtime_error("SubprocessBackend: cannot resolve /proc/self/exe");
+  }
+  buffer[len] = '\0';
+  return buffer;
+}
+
+void closeFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+Worker spawnWorker(const std::string& executable) {
+  int inPipe[2];   // parent writes jobs -> worker stdin
+  int outPipe[2];  // worker stdout -> parent reads replies
+  if (::pipe(inPipe) != 0) {
+    throw std::runtime_error("SubprocessBackend: pipe() failed");
+  }
+  if (::pipe(outPipe) != 0) {
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    throw std::runtime_error("SubprocessBackend: pipe() failed");
+  }
+  // Every pipe fd is close-on-exec: a later-spawned worker forks while the
+  // earlier workers' pipes are still open in the parent, and an inherited
+  // stdin write end would keep an earlier worker's stdin from ever reaching
+  // EOF (serializing the "parallel" workers, and deadlocking outright once a
+  // reply outgrows the pipe buffer).  dup2 below clears the flag on the two
+  // fds the worker actually keeps.
+  for (const int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]}) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]}) ::close(fd);
+    throw std::runtime_error("SubprocessBackend: fork() failed");
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout and become a protocol worker.
+    // Everything else (these four originals, any earlier worker's pipes)
+    // closes at exec via FD_CLOEXEC.
+    ::dup2(inPipe[0], STDIN_FILENO);
+    ::dup2(outPipe[1], STDOUT_FILENO);
+    char* argv[] = {const_cast<char*>(executable.c_str()),
+                    const_cast<char*>(kWorkerFlag), nullptr};
+    ::execv(executable.c_str(), argv);
+    // exec failed; 127 mirrors the shell's "command not found".
+    _exit(127);
+  }
+  ::close(inPipe[0]);
+  ::close(outPipe[1]);
+  Worker worker;
+  worker.pid = pid;
+  worker.stdinFd = inPipe[1];
+  worker.stdoutFd = outPipe[0];
+  return worker;
+}
+
+/// Writes the whole buffer; returns false on EPIPE (worker died — its exit
+/// status will tell the story), throws on any other error.
+bool writeAll(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) return false;
+      throw std::runtime_error(std::string("SubprocessBackend: write failed: ") +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string readAll(int fd) {
+  std::string out;
+  char buffer[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("SubprocessBackend: read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) return out;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+std::string describeExit(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended abnormally";
+}
+
+}  // namespace
+
+int runWorkerLoop(std::istream& in, std::ostream& out) {
+  // Slurp every job first: emitting nothing until stdin EOF is the protocol
+  // invariant that keeps parent and worker from deadlocking on full pipes.
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  int exitCode = 0;
+  for (const std::string& jobText : lines) {
+    std::size_t index = 0;
+    ScenarioJob job;
+    try {
+      job = wire::parseJobLine(jobText, index);
+    } catch (const std::exception& error) {
+      // An unparseable job line is protocol corruption: report what we can
+      // in-band and poison the worker's exit status.
+      out << wire::errorLine(index, error.what()) << "\n";
+      exitCode = 1;
+      continue;
+    }
+    try {
+      out << wire::outcomeLine(index, executeJob(job)) << "\n";
+    } catch (const std::exception& error) {
+      // A job that fails to simulate reports in-band only — the worker
+      // itself is healthy (exit 0), per the header contract.
+      out << wire::errorLine(index, error.what()) << "\n";
+    }
+  }
+  out.flush();
+  return exitCode;
+}
+
+SubprocessBackend::SubprocessBackend(unsigned shards, std::string workerExecutable)
+    : shards_(shards), workerExecutable_(std::move(workerExecutable)) {}
+
+std::vector<ScenarioOutcome> SubprocessBackend::execute(
+    const std::vector<ScenarioJob>& jobs) {
+  if (jobs.empty()) return {};
+  // A worker that died mid-batch must not take the parent down with SIGPIPE;
+  // writeAll() turns the resulting EPIPE into a reported failure instead.
+  static const bool sigpipeIgnored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)sigpipeIgnored;
+
+  const std::string executable =
+      workerExecutable_.empty() ? selfExecutablePath() : workerExecutable_;
+  const unsigned shardCount = workersFor(jobs.size());
+
+  WorkerPool pool;  // reaps and closes on every exit path
+  std::vector<Worker>& workers = pool.workers;
+  workers.reserve(shardCount);
+  for (unsigned s = 0; s < shardCount; ++s) workers.push_back(spawnWorker(executable));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    workers[i % shardCount].jobIndices.push_back(i);
+  }
+
+  // Ship every shard.  Workers stay silent until their stdin closes, so all
+  // writes complete before any stdout pipe can fill.
+  std::vector<std::string> failures;
+  for (Worker& worker : workers) {
+    std::string payload;
+    for (const std::size_t i : worker.jobIndices) {
+      payload += wire::jobLine(i, jobs[i]) + "\n";
+    }
+    const bool delivered = writeAll(worker.stdinFd, payload);
+    closeFd(worker.stdinFd);
+    if (!delivered) {
+      failures.push_back("worker " + std::to_string(worker.pid) +
+                         " closed stdin early");
+    }
+  }
+
+  // Harvest every stdout concurrently: a worker streams replies as it
+  // computes, and once its pipe fills it blocks until drained — reading the
+  // workers one at a time would stall every later worker behind the first.
+  std::vector<std::string> outputs(workers.size());
+  std::vector<std::string> readFailures(workers.size());
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(workers.size());
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      readers.emplace_back([&, w] {
+        try {
+          outputs[w] = readAll(workers[w].stdoutFd);
+        } catch (const std::exception& error) {
+          readFailures[w] = error.what();
+        }
+      });
+    }
+    for (std::thread& reader : readers) reader.join();
+  }
+
+  std::vector<ScenarioOutcome> outcomes(jobs.size());
+  std::vector<bool> filled(jobs.size(), false);
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    Worker& worker = workers[w];
+    closeFd(worker.stdoutFd);
+    int status = 0;
+    const pid_t pid = worker.pid;
+    pid_t reaped;
+    do {
+      reaped = ::waitpid(pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    worker.pid = -1;  // reaped; the pool destructor must not wait again
+    if (reaped != pid) {
+      // A stale status of 0 must not pass for a clean exit.
+      failures.push_back("worker " + std::to_string(pid) + " could not be reaped: " +
+                         std::strerror(errno));
+      continue;
+    }
+    if (!readFailures[w].empty()) {
+      failures.push_back("worker read failed: " + readFailures[w]);
+    }
+    const std::string& output = outputs[w];
+
+    std::size_t begin = 0;
+    while (begin < output.size()) {
+      std::size_t end = output.find('\n', begin);
+      if (end == std::string::npos) end = output.size();
+      const std::string replyText = output.substr(begin, end - begin);
+      begin = end + 1;
+      if (replyText.empty()) continue;
+      try {
+        wire::WorkerReply reply = wire::parseReplyLine(replyText);
+        if (reply.index >= jobs.size()) {
+          failures.push_back("worker replied for out-of-range job index " +
+                             std::to_string(reply.index));
+          continue;
+        }
+        if (!reply.ok) {
+          failures.push_back("job " + std::to_string(reply.index) + ": " +
+                             reply.error);
+          continue;
+        }
+        reply.outcome.spec = jobs[reply.index].spec;
+        outcomes[reply.index] = std::move(reply.outcome);
+        filled[reply.index] = true;
+      } catch (const std::exception& error) {
+        failures.push_back(std::string("unparseable worker reply: ") + error.what());
+      }
+    }
+    if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+      failures.push_back("worker " + std::to_string(pid) + " " +
+                         describeExit(status));
+    }
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!filled[i]) {
+      failures.push_back("job " + std::to_string(i) + " produced no result");
+      break;  // one representative missing-result failure is enough
+    }
+  }
+  if (!failures.empty()) {
+    std::string what = "SubprocessBackend: " + failures[0];
+    if (failures.size() > 1) {
+      what += " (+" + std::to_string(failures.size() - 1) + " more failures)";
+    }
+    throw std::runtime_error(what);
+  }
+  return outcomes;
+}
+
+}  // namespace pnoc::scenario

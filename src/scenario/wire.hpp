@@ -1,0 +1,63 @@
+// The scenario wire format: full JSON serialization for run results, the
+// half of the interchange format ScenarioSpec's JSON round-trip started.
+//
+// RunMetrics, PeakSearchResult, ScenarioResult/ScenarioPeak and the worker
+// protocol lines all serialize to single-line JSON that round-trips
+// BYTE-IDENTICALLY (doubles via shortest-exact formatting, 64-bit counters
+// as decimal integers, histograms as sparse bucket pairs).  That exactness
+// is what lets SubprocessBackend promise bit-identical merged results: a
+// metric that crossed a process boundary is indistinguishable from one
+// computed in-process.
+//
+// Worker protocol (newline-delimited JSON over stdin/stdout):
+//   parent -> worker   {"op":"run"|"peak","index":N,"spec":{...}}
+//   worker -> parent   {"index":N,"op":"run","metrics":{...}}
+//                      {"index":N,"op":"peak","search":{...}}
+//                      {"index":N,"error":"<what>"}
+// The worker reads ALL jobs until stdin EOF before emitting anything, so
+// parent and worker never write concurrently on a full pipe.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "metrics/metrics.hpp"
+#include "metrics/saturation.hpp"
+#include "scenario/execution_backend.hpp"
+#include "scenario/json_util.hpp"
+
+namespace pnoc::scenario::wire {
+
+std::string toJson(const metrics::RunMetrics& metrics);
+metrics::RunMetrics runMetricsFromJson(const JsonValue& value);
+metrics::RunMetrics runMetricsFromJson(const std::string& json);
+
+std::string toJson(const metrics::PeakSearchResult& search);
+metrics::PeakSearchResult peakSearchFromJson(const JsonValue& value);
+metrics::PeakSearchResult peakSearchFromJson(const std::string& json);
+
+std::string toJson(const ScenarioResult& result);
+ScenarioResult scenarioResultFromJson(const std::string& json);
+
+std::string toJson(const ScenarioPeak& peak);
+ScenarioPeak scenarioPeakFromJson(const std::string& json);
+
+// --- worker protocol lines (no trailing newline; one line per job) ---
+
+std::string jobLine(std::size_t index, const ScenarioJob& job);
+/// Parses a job line; fills `index`.  Throws std::invalid_argument on
+/// malformed lines (protocol corruption, not per-job simulation failure).
+ScenarioJob parseJobLine(const std::string& line, std::size_t& index);
+
+std::string outcomeLine(std::size_t index, const ScenarioOutcome& outcome);
+std::string errorLine(std::size_t index, const std::string& message);
+
+struct WorkerReply {
+  std::size_t index = 0;
+  bool ok = false;
+  ScenarioOutcome outcome;  // valid when ok
+  std::string error;        // valid when !ok
+};
+WorkerReply parseReplyLine(const std::string& line);
+
+}  // namespace pnoc::scenario::wire

@@ -1,0 +1,20 @@
+// Test main: plain gtest, plus the subprocess worker hook.
+//
+// pnoc_tests doubles as its own SubprocessBackend worker executable — the
+// backend re-execs /proc/self/exe with --pnoc-worker, so the determinism
+// tests (subprocess results == in-process results) run entirely against the
+// binary ctest already built.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <string_view>
+
+#include "scenario/subprocess_backend.hpp"
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string_view(argv[1]) == pnoc::scenario::kWorkerFlag) {
+    return pnoc::scenario::runWorkerLoop(std::cin, std::cout);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,188 @@
+// Spec-file and @file CLI tests: grid files in both formats load correctly,
+// layer over the caller's base spec, and reject unknown keys loudly —
+// including through Cli::parse, so a typo inside a loaded file cannot
+// silently simulate the wrong thing.
+#include "scenario/spec_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/cli.hpp"
+
+namespace pnoc::scenario {
+namespace {
+
+class TempSpecFile {
+ public:
+  explicit TempSpecFile(const std::string& contents) {
+    static int counter = 0;
+    path_ = ::testing::TempDir() + "pnoc_spec_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter++) + ".spec";
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempSpecFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(SpecFile, KeyValueStanzasYieldOneSpecEach) {
+  const auto specs = parseSpecFileText(
+      "# a comment does not split stanzas\n"
+      "pattern=uniform\n"
+      "load=0.001\n"
+      "\n"
+      "pattern=skewed3\n"
+      "arch=firefly\n"
+      "\n"
+      "\n"
+      "pattern=tornado\n",
+      ScenarioSpec{}, "<test>");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].params.pattern, "uniform");
+  EXPECT_DOUBLE_EQ(specs[0].params.offeredLoad, 0.001);
+  EXPECT_EQ(specs[1].params.pattern, "skewed3");
+  EXPECT_EQ(specs[1].params.architecture, network::Architecture::kFirefly);
+  EXPECT_EQ(specs[2].params.pattern, "tornado");
+}
+
+TEST(SpecFile, SpecsLayerOverTheBase) {
+  ScenarioSpec base;
+  base.set("seed", "99");
+  base.set("warmup", "123");
+  const auto specs =
+      parseSpecFileText("pattern=uniform\n\npattern=skewed1\nseed=7\n", base, "<test>");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].params.seed, 99u);          // inherited from base
+  EXPECT_EQ(specs[0].params.warmupCycles, 123u);
+  EXPECT_EQ(specs[1].params.seed, 7u);           // file overrides base
+  EXPECT_EQ(specs[1].params.warmupCycles, 123u);
+}
+
+TEST(SpecFile, JsonArrayAndNdjsonBothParse) {
+  const auto fromArray = parseSpecFileText(
+      R"([{"pattern":"uniform","load":0.002},{"pattern":"skewed3","arch":"firefly"}])",
+      ScenarioSpec{}, "<test>");
+  ASSERT_EQ(fromArray.size(), 2u);
+  EXPECT_EQ(fromArray[0].params.pattern, "uniform");
+  EXPECT_DOUBLE_EQ(fromArray[0].params.offeredLoad, 0.002);
+  EXPECT_EQ(fromArray[1].params.architecture, network::Architecture::kFirefly);
+
+  const auto fromLines = parseSpecFileText(
+      "{\"pattern\":\"uniform\"}\n{\"pattern\":\"tornado\",\"seed\":5}\n",
+      ScenarioSpec{}, "<test>");
+  ASSERT_EQ(fromLines.size(), 2u);
+  EXPECT_EQ(fromLines[1].params.pattern, "tornado");
+  EXPECT_EQ(fromLines[1].params.seed, 5u);
+
+  // A single pretty-printed object is one spec.
+  const auto fromObject = parseSpecFileText(
+      "{\n  \"pattern\": \"bitcomp\",\n  \"load\": 0.004\n}\n", ScenarioSpec{},
+      "<test>");
+  ASSERT_EQ(fromObject.size(), 1u);
+  EXPECT_EQ(fromObject[0].params.pattern, "bitcomp");
+}
+
+TEST(SpecFile, UnknownKeysInsideFilesAreRejected) {
+  EXPECT_THROW(parseSpecFileText("wavelenghts=64\n", ScenarioSpec{}, "<test>"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parseSpecFileText(R"({"pattern":"uniform","bogus":1})", ScenarioSpec{}, "<test>"),
+      std::invalid_argument);
+  EXPECT_THROW(parseSpecFileText("load=not-a-number\n", ScenarioSpec{}, "<test>"),
+               std::invalid_argument);
+  EXPECT_THROW(parseSpecFileText("   \n\n", ScenarioSpec{}, "<test>"),
+               std::invalid_argument);  // no specs at all
+  EXPECT_THROW(loadSpecFile("/nonexistent/grid.kv"), std::invalid_argument);
+  // \uXXXX escapes are unsupported; decoding one as literal text would
+  // silently corrupt the spec, so it must throw instead.
+  EXPECT_THROW(
+      parseSpecFileText(R"({"label":"caf\u00e9"})", ScenarioSpec{}, "<test>"),
+      std::invalid_argument);
+}
+
+TEST(SpecFile, ErrorsNameTheOrigin) {
+  try {
+    parseSpecFileText("bogus=1\n", ScenarioSpec{}, "grid-7.kv");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("grid-7.kv"), std::string::npos);
+  }
+}
+
+TEST(CliSpecFiles, AtFileAppliesOntoTheSpecAndCommandLineWins) {
+  TempSpecFile file("pattern=skewed2\nload=0.003\nseed=17\n");
+  const std::string atArg = "@" + file.path();
+  const char* argv[] = {"test_binary", atArg.c_str(), "seed=99"};
+  ScenarioSpec spec;
+  Cli cli("test_binary", "spec-file test");
+  ASSERT_EQ(cli.parse(3, const_cast<char**>(argv), &spec), CliStatus::kRun);
+  EXPECT_EQ(spec.params.pattern, "skewed2");        // from the file
+  EXPECT_DOUBLE_EQ(spec.params.offeredLoad, 0.003); // from the file
+  EXPECT_EQ(spec.params.seed, 99u);                 // command line wins
+}
+
+TEST(CliSpecFiles, UnknownKeyInsideLoadedFileFailsTheParse) {
+  TempSpecFile file("pattern=uniform\nwavelenghts=64\n");  // typo'd key
+  const std::string atArg = "@" + file.path();
+  const char* argv[] = {"test_binary", atArg.c_str()};
+  ScenarioSpec spec;
+  Cli cli("test_binary", "spec-file test");
+  EXPECT_EQ(cli.parse(2, const_cast<char**>(argv), &spec), CliStatus::kError);
+}
+
+TEST(CliSpecFiles, MultiSpecFileIsRejectedBySingleScenarioBinaries) {
+  TempSpecFile file("pattern=uniform\n\npattern=skewed3\n");
+  const std::string atArg = "@" + file.path();
+  const char* argv[] = {"test_binary", atArg.c_str()};
+  ScenarioSpec spec;
+  Cli cli("test_binary", "spec-file test");
+  EXPECT_EQ(cli.parse(2, const_cast<char**>(argv), &spec), CliStatus::kError);
+}
+
+TEST(CliSpecFiles, CollectModeKeepsFilesForTheDriver) {
+  TempSpecFile file("pattern=tornado\n\npattern=skewed3\n");
+  const std::string atArg = "@" + file.path();
+  const char* argv[] = {"pnoc_run", atArg.c_str(), "seed=3"};
+  ScenarioSpec spec;
+  Cli cli("pnoc_run", "driver test");
+  cli.setCollectSpecFiles(true);
+  ASSERT_EQ(cli.parse(3, const_cast<char**>(argv), &spec), CliStatus::kRun);
+  ASSERT_EQ(cli.specFiles().size(), 1u);
+  EXPECT_EQ(cli.specFiles()[0], file.path());
+  EXPECT_EQ(spec.params.pattern, "uniform") << "collect mode must not apply files";
+  EXPECT_EQ(spec.params.seed, 3u);  // plain overrides still apply
+}
+
+TEST(CliBackendKeys, BackendAndShardsParse) {
+  const char* argv[] = {"test_binary", "backend=processes", "shards=4"};
+  ScenarioSpec spec;
+  Cli cli("test_binary", "backend keys");
+  ASSERT_EQ(cli.parse(3, const_cast<char**>(argv), &spec), CliStatus::kRun);
+  EXPECT_EQ(cli.backendOptions().kind, BackendKind::kProcesses);
+  EXPECT_EQ(cli.backendOptions().workers, 4u);
+
+  const char* bad[] = {"test_binary", "backend=smoke-signals"};
+  Cli badCli("test_binary", "backend keys");
+  ScenarioSpec badSpec;
+  EXPECT_EQ(badCli.parse(2, const_cast<char**>(bad), &badSpec), CliStatus::kError);
+
+  const char* defaults[] = {"test_binary"};
+  Cli defaultCli("test_binary", "backend keys");
+  ScenarioSpec defaultSpec;
+  ASSERT_EQ(defaultCli.parse(1, const_cast<char**>(defaults), &defaultSpec),
+            CliStatus::kRun);
+  EXPECT_EQ(defaultCli.backendOptions().kind, BackendKind::kThreads);
+  EXPECT_EQ(defaultCli.backendOptions().workers, 0u);
+}
+
+}  // namespace
+}  // namespace pnoc::scenario

@@ -1,0 +1,127 @@
+// pnoc_run: the batch driver — loads a scenario grid from spec files, fans
+// it out through the chosen ExecutionBackend, and emits one merged
+// BENCH_<bench>.json through the scenario layer's single record path.
+//
+//   pnoc_run @grid.json [@more.kv ...] [mode=run|peak] [backend=threads|processes]
+//            [shards=N] [bench=pnoc_run] [json=.] [scenario overrides...]
+//
+// Grid files are key=value stanzas (blank-line separated) or JSON (object,
+// array of objects, or newline-delimited objects); each spec starts from the
+// defaults and command-line scenario keys override every loaded spec (the
+// command line wins).  `mode=run` measures each spec at its fixed load;
+// `mode=peak` runs a saturation search per spec.  Results and BENCH records
+// are bit-identical across backends and shard counts, so a sharded sweep on
+// many cores is a drop-in for the single-process run.
+#include <chrono>
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/scenario_runner.hpp"
+#include "scenario/spec_file.hpp"
+
+using namespace pnoc;
+
+int main(int argc, char** argv) {
+  scenario::ScenarioSpec base;
+  scenario::Cli cli("pnoc_run",
+                    "batch driver: spec grid -> execution backend -> merged BENCH records");
+  cli.addKey("mode", "run (fixed-load, default) | peak (saturation search per spec)");
+  cli.addKey("bench", "BENCH record name (default pnoc_run)");
+  cli.addKey("json", "directory for the BENCH record (default .)");
+  cli.setCollectSpecFiles(true);
+  switch (cli.parse(argc, argv, &base)) {
+    case scenario::CliStatus::kHelp:
+      std::printf("\nusage: pnoc_run @grid.kv [@grid2.json ...] [key=value ...]\n"
+                  "grid files: key=value stanzas (blank-line separated) or JSON\n"
+                  "(object / array / newline-delimited); command-line scenario keys\n"
+                  "override every loaded spec.\n");
+      return 0;
+    case scenario::CliStatus::kError: return 1;
+    case scenario::CliStatus::kWorker: return cli.workerExitCode();
+    case scenario::CliStatus::kRun: break;
+  }
+
+  std::string mode;
+  std::string benchName;
+  std::string jsonDir;
+  try {
+    mode = cli.config().getString("mode", "run");
+    benchName = cli.config().getString("bench", "pnoc_run");
+    jsonDir = cli.config().getString("json", ".");
+    if (mode != "run" && mode != "peak") {
+      std::cerr << "pnoc_run: mode must be run or peak, not '" << mode << "'\n";
+      return 1;
+    }
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "pnoc_run: " << error.what() << "\n";
+    return 1;
+  }
+
+  // The grid: every spec file contributes specs layered over the defaults;
+  // command-line scenario keys are re-applied so they override file values.
+  std::vector<scenario::ScenarioSpec> grid;
+  try {
+    for (const std::string& path : cli.specFiles()) {
+      for (scenario::ScenarioSpec spec : scenario::loadSpecFile(path, base)) {
+        spec.applyOverrides(cli.config());
+        grid.push_back(std::move(spec));
+      }
+    }
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "pnoc_run: " << error.what() << "\n";
+    return 1;
+  }
+  if (grid.empty()) grid.push_back(base);  // no files: one spec from the CLI
+
+  const scenario::ScenarioRunner runner(cli.backendOptions());
+  const auto& backend = runner.backend();
+  std::cout << "pnoc_run: " << grid.size() << " spec(s), mode=" << mode
+            << ", backend=" << backend.name() << " ("
+            << backend.workersFor(grid.size()) << " worker(s))\n";
+
+  scenario::JsonRecorder recorder(benchName);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    if (mode == "run") {
+      const auto results = runner.run(grid);
+      metrics::ReportTable table("pnoc_run: fixed-load runs");
+      table.setHeader({"#", "arch", "pattern", "load", "Gb/s", "accept", "EPM (pJ)"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        table.addRow({std::to_string(i), r.spec.get("arch"), r.spec.params.pattern,
+                      metrics::ReportTable::num(r.spec.params.offeredLoad, 5),
+                      metrics::ReportTable::num(r.metrics.deliveredGbps()),
+                      metrics::ReportTable::num(r.metrics.acceptance(), 3),
+                      metrics::ReportTable::num(r.metrics.energyPerPacketPj(), 1)});
+        scenario::recordRun(recorder, r.spec, r.metrics);
+      }
+      table.print(std::cout);
+    } else {
+      const auto peaks = runner.findPeaks(grid);
+      metrics::ReportTable table("pnoc_run: saturation peaks");
+      table.setHeader({"#", "arch", "pattern", "peak load", "Gb/s", "EPM (pJ)",
+                       "points"});
+      for (std::size_t i = 0; i < peaks.size(); ++i) {
+        const auto& p = peaks[i];
+        table.addRow({std::to_string(i), p.spec.get("arch"), p.spec.params.pattern,
+                      metrics::ReportTable::num(p.search.peak.offeredLoad, 5),
+                      metrics::ReportTable::num(p.search.peak.metrics.deliveredGbps()),
+                      metrics::ReportTable::num(
+                          p.search.peak.metrics.energyPerPacketPj(), 1),
+                      std::to_string(p.search.sweep.size())});
+        scenario::recordPeak(recorder, p);
+      }
+      table.print(std::cout);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "pnoc_run: " << error.what() << "\n";
+    return 1;
+  }
+
+  const double wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  scenario::recordTiming(recorder, wallSeconds, grid.size());
+  std::cout << "wrote " << recorder.write(jsonDir) << " (" << wallSeconds << " s)\n";
+  return 0;
+}
