@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "scenario/dispatch/hosts_file.hpp"
 #include "scenario/spec_file.hpp"
 #include "scenario/subprocess_backend.hpp"
 #include "traffic/registry.hpp"
@@ -57,9 +58,12 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
       std::printf("  @file                       load scenario keys from a key=value or"
                   " JSON spec file\n");
       std::printf("  backend=threads             execution backend: threads |"
-                  " processes\n");
+                  " processes | stream\n");
       std::printf("  shards=0                    worker threads/processes (0 = auto:"
                   " PNOC_BENCH_THREADS, else hardware)\n");
+      std::printf("  hosts=@hosts.json           stream across a hosts file"
+                  " (implies backend=stream; see scripts/grids/"
+                  "hosts.example.json)\n");
       std::printf("\n%s", traffic::PatternRegistry::global().helpText().c_str());
     }
     if (!extraKeys_.empty()) {
@@ -99,6 +103,35 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
         throw std::invalid_argument("shards must be >= 0");
       }
       backendOptions_.workers = static_cast<unsigned>(shards);
+      std::string hosts = config_.getString("hosts", "");
+      const bool hostsGiven = config_.contains("hosts");
+      if (!hosts.empty() && hosts[0] == '@') hosts.erase(0, 1);
+      if (hostsGiven && hosts.empty()) {
+        // hosts= / hosts=@ (an unset shell variable, usually) must not
+        // quietly fall back to a single-machine run.
+        throw std::invalid_argument("hosts= needs a file path");
+      }
+      if (!hosts.empty()) {
+        // A hosts file only makes sense streaming; naming one selects the
+        // backend rather than silently ignoring the fleet.
+        if (config_.contains("backend") &&
+            backendOptions_.kind != BackendKind::kStream) {
+          throw std::invalid_argument(
+              "hosts= requires backend=stream (got backend=" +
+              toString(backendOptions_.kind) + ")");
+        }
+        if (backendOptions_.workers != 0) {
+          throw std::invalid_argument(
+              "shards= and hosts= are mutually exclusive (the hosts file"
+              " sizes the fleet)");
+        }
+        backendOptions_.kind = BackendKind::kStream;
+        backendOptions_.hostsFile = hosts;
+        // Read and validate the fleet HERE, once: an unreadable or
+        // malformed hosts file is a parse error, and the backend is built
+        // from this parsed copy, never by re-reading the file later.
+        backendOptions_.hosts = dispatch::loadHostsFile(hosts);
+      }
     } catch (const std::invalid_argument& error) {
       std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error.what());
       return CliStatus::kError;

@@ -4,9 +4,10 @@
 // that load key=value or JSON spec files, `help=1` for a generated listing,
 // and hard rejection of unknown keys.  Scenario keys come from the
 // ScenarioSpec binding table; scenario binaries also get the runner keys
-// `backend=threads|processes` and `shards=N` (read them back via
-// backendOptions()); a binary declares its own extra keys (json output
-// directory, sweep sizes, ...) up front so they are known too.
+// `backend=threads|processes|stream`, `shards=N` and `hosts=@hosts.json`
+// (read them back via backendOptions()); a binary declares its own extra
+// keys (json output directory, sweep sizes, ...) up front so they are known
+// too.
 //
 //   scenario::ScenarioSpec spec;             // binary defaults go here
 //   spec.params.pattern = "skewed3";

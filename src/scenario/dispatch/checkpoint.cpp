@@ -1,0 +1,179 @@
+#include "scenario/dispatch/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/json_record.hpp"
+#include "scenario/json_util.hpp"
+
+namespace pnoc::scenario::dispatch {
+namespace {
+
+std::string stripTrailing(std::string line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+  if (!line.empty() && line.back() == ',') line.pop_back();
+  return line;
+}
+
+/// The record lines of a BENCH file, verbatim.  JsonRecorder::write's layout
+/// is stable ("  {...}[,]" per record), so the raw text IS the record's
+/// serialize() output.
+std::vector<std::string> extractRecordLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.size() > 2 && line[0] == ' ' && line[1] == ' ' && line[2] == '{') {
+      lines.push_back(stripTrailing(line.substr(2)));
+    }
+  }
+  return lines;
+}
+
+void validateRecordAgainstSpec(const JsonValue& record, std::size_t index,
+                               const ScenarioSpec& spec) {
+  const auto mismatch = [&](const std::string& field, const std::string& recorded,
+                            const std::string& expected) {
+    throw std::invalid_argument(
+        "record for grid index " + std::to_string(index) + " has " + field + "='" +
+        recorded + "' but the grid expects '" + expected +
+        "' — this checkpoint belongs to a different grid");
+  };
+  // A spec_key pins the WHOLE spec (every binding-table field); the
+  // per-field checks below remain as the fallback for records without one.
+  if (const JsonValue* key = record.find("spec_key")) {
+    if (key->asString() != specKey(spec)) {
+      mismatch("spec_key", key->asString(), specKey(spec));
+    }
+    return;
+  }
+  if (const JsonValue* arch = record.find("arch")) {
+    if (arch->asString() != spec.get("arch")) {
+      mismatch("arch", arch->asString(), spec.get("arch"));
+    }
+  }
+  if (const JsonValue* pattern = record.find("pattern")) {
+    if (pattern->asString() != spec.params.pattern) {
+      mismatch("pattern", pattern->asString(), spec.params.pattern);
+    }
+  }
+  if (const JsonValue* seed = record.find("seed")) {
+    if (seed->asU64() != spec.params.seed) {
+      mismatch("seed", seed->raw(), std::to_string(spec.params.seed));
+    }
+  }
+  // Load sweeps are the most common grid shape (same arch/pattern/seed at N
+  // loads), so the recorded load must match exactly too — %.17g formatting
+  // round-trips doubles, making equality the right comparison.
+  if (const JsonValue* load = record.find("load")) {
+    if (load->asDouble() != spec.params.offeredLoad) {
+      mismatch("load", load->raw(), std::to_string(spec.params.offeredLoad));
+    }
+  }
+  if (const JsonValue* set = record.find("bandwidth_set")) {
+    const auto expected = bandwidthSetIndex(spec.params.bandwidthSet);
+    if (!expected || set->asU64() != static_cast<std::uint64_t>(*expected)) {
+      mismatch("bandwidth_set", set->raw(),
+               expected ? std::to_string(*expected) : "<custom>");
+    }
+  }
+}
+
+}  // namespace
+
+std::string specKey(const ScenarioSpec& spec) {
+  // FNV-1a 64-bit over the canonical JSON form: any differing binding-table
+  // field — load, measure window, wavelengths, ... — changes the key.
+  const std::string canonical = spec.toJson();
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : canonical) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  char out[17];
+  std::snprintf(out, sizeof out, "%016llx", static_cast<unsigned long long>(hash));
+  return out;
+}
+
+std::size_t BenchCheckpoint::presentCount() const {
+  std::size_t count = 0;
+  for (const auto& raw : rawByIndex) count += raw.has_value() ? 1 : 0;
+  return count;
+}
+
+std::vector<std::size_t> BenchCheckpoint::missingIndices() const {
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < rawByIndex.size(); ++i) {
+    if (!rawByIndex[i]) missing.push_back(i);
+  }
+  return missing;
+}
+
+BenchCheckpoint parseBenchCheckpoint(const std::string& text,
+                                     const std::string& recordName,
+                                     const std::vector<ScenarioSpec>& grid,
+                                     const std::string& origin) {
+  BenchCheckpoint checkpoint;
+  checkpoint.rawByIndex.resize(grid.size());
+  try {
+    // Whole-document parse first: a truncated or hand-mangled file must be
+    // rejected up front, not half-harvested line by line.
+    JsonValue::parse(text);
+    for (const std::string& raw : extractRecordLines(text)) {
+      const JsonValue record = JsonValue::parse(raw);
+      const JsonValue* name = record.find("name");
+      if (name == nullptr || name->asString() != recordName) continue;
+      const JsonValue* gridIndex = record.find("grid_index");
+      if (gridIndex == nullptr) continue;  // untagged legacy record
+      const std::size_t index = static_cast<std::size_t>(gridIndex->asU64());
+      if (index >= grid.size()) {
+        throw std::invalid_argument(
+            "record grid_index " + std::to_string(index) + " is out of range for a " +
+            std::to_string(grid.size()) + "-spec grid");
+      }
+      if (checkpoint.rawByIndex[index]) {
+        throw std::invalid_argument("duplicate record for grid index " +
+                                    std::to_string(index));
+      }
+      validateRecordAgainstSpec(record, index, grid[index]);
+      checkpoint.rawByIndex[index] = raw;
+    }
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument("resume checkpoint '" + origin + "': " + error.what());
+  }
+  return checkpoint;
+}
+
+BenchCheckpoint loadBenchCheckpoint(const std::string& path,
+                                    const std::string& recordName,
+                                    const std::vector<ScenarioSpec>& grid) {
+  std::ifstream in(path);
+  if (!in) {
+    // Nothing checkpointed yet: resume degenerates to a full run.
+    BenchCheckpoint empty;
+    empty.rawByIndex.resize(grid.size());
+    return empty;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parseBenchCheckpoint(text.str(), recordName, grid, path);
+}
+
+std::string writeBenchFile(const std::string& directory,
+                           const std::string& benchName,
+                           const std::vector<std::string>& rawRecords) {
+  // One layout implementation: the raw records ride through JsonRecorder,
+  // whose write() is already atomic (temp + rename), so the checkpoint
+  // loader's line extraction can never drift from the writer.
+  JsonRecorder recorder(benchName);
+  for (const std::string& raw : rawRecords) recorder.addRaw(raw);
+  return recorder.write(directory);
+}
+
+}  // namespace pnoc::scenario::dispatch

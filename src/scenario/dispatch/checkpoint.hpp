@@ -1,0 +1,68 @@
+// Checkpointed resume for grid drivers (the `resume=1` half of pnoc_run).
+//
+// pnoc_run tags every run/peak record it emits with a `grid_index` field.
+// That makes an existing BENCH_<bench>.json a checkpoint: this module maps
+// its records back onto the grid (validating that each record really
+// belongs to the spec at that index), so the driver can skip the indices
+// already present, dispatch only the remainder, and merge — re-emitting the
+// old records VERBATIM, byte for byte, next to the fresh ones.
+//
+// Record text is recovered from JsonRecorder::write's stable layout (one
+// record per `  {...}[,]` line), not re-serialized from parsed values — a
+// resumed file is byte-identical to the file a single uninterrupted run
+// would have written, regardless of double-formatting subtleties.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+
+namespace pnoc::scenario::dispatch {
+
+struct BenchCheckpoint {
+  /// rawByIndex[i] holds the exact serialized record for grid index i, when
+  /// the checkpoint has one.
+  std::vector<std::optional<std::string>> rawByIndex;
+
+  std::size_t presentCount() const;
+  std::vector<std::size_t> missingIndices() const;
+};
+
+/// Fingerprint of a spec's FULL canonical form (FNV-1a over toJson(), hex).
+/// pnoc_run stamps it on every record so resume can reject records computed
+/// under ANY differing parameter (measure, warmup, wavelengths, ...), not
+/// just the identity fields a record happens to carry.
+std::string specKey(const ScenarioSpec& spec);
+
+/// Parses checkpoint `text` (a BENCH_*.json written by pnoc_run) against
+/// `grid`: records named `recordName` carrying `grid_index` land by index;
+/// other records (timing, untagged legacy) are ignored.  Throws
+/// std::invalid_argument on malformed files, duplicate or out-of-range
+/// indices, or records that contradict the grid (spec_key when present,
+/// else the recorded arch/pattern/seed/load/bandwidth_set) — resuming
+/// against the wrong grid must fail, not silently merge.
+BenchCheckpoint parseBenchCheckpoint(const std::string& text,
+                                     const std::string& recordName,
+                                     const std::vector<ScenarioSpec>& grid,
+                                     const std::string& origin);
+
+/// Loads the checkpoint at `path`; a missing file is an EMPTY checkpoint
+/// (nothing recorded yet — the killed-before-first-write case), any other
+/// read or parse problem throws.
+BenchCheckpoint loadBenchCheckpoint(const std::string& path,
+                                    const std::string& recordName,
+                                    const std::vector<ScenarioSpec>& grid);
+
+/// Writes `rawRecords` (in order) as a BENCH file THROUGH
+/// JsonRecorder::write — the incremental checkpoint writer.  write() is
+/// atomic (temp sibling + rename), so a kill mid-write never leaves a
+/// truncated checkpoint.  Returns the path written, or "" (with a stderr
+/// note) on I/O failure.
+std::string writeBenchFile(const std::string& directory,
+                           const std::string& benchName,
+                           const std::vector<std::string>& rawRecords);
+
+}  // namespace pnoc::scenario::dispatch

@@ -1,0 +1,118 @@
+#include "scenario/dispatch/hosts_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/json_util.hpp"
+
+namespace pnoc::scenario::dispatch {
+namespace {
+
+std::vector<std::string> splitOnSpaces(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+HostEntry parseEntry(const JsonValue& object, std::size_t ordinal) {
+  if (object.kind() != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("host entry #" + std::to_string(ordinal) +
+                                " is not a JSON object");
+  }
+  HostEntry entry;
+  for (const auto& [key, value] : object.members()) {
+    if (key == "launcher") {
+      if (value.kind() == JsonValue::Kind::kArray) {
+        for (const JsonValue& token : value.items()) {
+          entry.launcher.push_back(token.asString());
+        }
+      } else {
+        entry.launcher = splitOnSpaces(value.asString());
+      }
+    } else if (key == "workers") {
+      const std::uint64_t workers = value.asU64();
+      if (workers == 0) {
+        throw std::invalid_argument("host entry #" + std::to_string(ordinal) +
+                                    ": workers must be >= 1");
+      }
+      entry.workers = static_cast<unsigned>(workers);
+    } else if (key == "executable") {
+      entry.executable = value.asString();
+    } else {
+      throw std::invalid_argument("host entry #" + std::to_string(ordinal) +
+                                  ": unknown key '" + key +
+                                  "' (launcher | workers | executable)");
+    }
+  }
+  return entry;
+}
+
+}  // namespace
+
+std::vector<HostEntry> parseHostsFileText(const std::string& text,
+                                          const std::string& origin) {
+  try {
+    const JsonValue document = JsonValue::parse(text);
+    const JsonValue* list = &document;
+    if (document.kind() == JsonValue::Kind::kObject) {
+      for (const auto& [key, value] : document.members()) {
+        if (key != "hosts") {
+          throw std::invalid_argument("unknown top-level key '" + key +
+                                      "' (expected \"hosts\")");
+        }
+        list = &value;
+      }
+    }
+    if (list->kind() != JsonValue::Kind::kArray) {
+      throw std::invalid_argument("expected a JSON array of host entries");
+    }
+    std::vector<HostEntry> hosts;
+    for (std::size_t i = 0; i < list->items().size(); ++i) {
+      hosts.push_back(parseEntry(list->items()[i], i));
+    }
+    if (hosts.empty()) {
+      throw std::invalid_argument("file lists no hosts");
+    }
+    return hosts;
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument("hosts file '" + origin + "': " + error.what());
+  }
+}
+
+std::vector<HostEntry> loadHostsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("hosts file '" + path + "': cannot open");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parseHostsFileText(text.str(), path);
+}
+
+std::vector<std::unique_ptr<WorkerTransport>> transportsFor(
+    const std::vector<HostEntry>& hosts) {
+  std::vector<std::unique_ptr<WorkerTransport>> transports;
+  for (const HostEntry& host : hosts) {
+    for (unsigned w = 0; w < host.workers; ++w) {
+      if (host.launcher.empty()) {
+        transports.push_back(
+            std::make_unique<LocalProcessTransport>(host.executable));
+      } else {
+        transports.push_back(
+            std::make_unique<CommandTransport>(host.launcher, host.executable));
+      }
+    }
+  }
+  return transports;
+}
+
+std::size_t totalWorkers(const std::vector<HostEntry>& hosts) {
+  std::size_t total = 0;
+  for (const HostEntry& host : hosts) total += host.workers;
+  return total;
+}
+
+}  // namespace pnoc::scenario::dispatch

@@ -1,0 +1,50 @@
+// Hosts files: the `hosts=@hosts.json` half of the streaming backend — a
+// declarative list of machines/containers a grid fans out across.
+//
+// Format: a JSON array (or an object {"hosts":[...]}) of entries
+//
+//   [
+//     {"launcher": ["ssh", "hostA"], "workers": 4,
+//      "executable": "/opt/pnoc/build/pnoc_run"},
+//     {"launcher": "docker exec sim0", "workers": 2},
+//     {"workers": 2}
+//   ]
+//
+//   launcher     argv prefix the worker command runs under; an array of
+//                tokens, or one string split on spaces.  Absent/empty:
+//                plain local re-exec (LocalProcessTransport).
+//   workers      worker processes to run through this entry (default 1).
+//   executable   worker binary path ON THE TARGET (default: this binary's
+//                own path — right when the build is shared/mounted).
+//
+// Unknown keys are rejected — a typo in a hosts file must not silently
+// drop a machine from the fleet.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/dispatch/hosts_file_types.hpp"
+#include "scenario/dispatch/worker_transport.hpp"
+
+namespace pnoc::scenario::dispatch {
+
+/// Parses hosts-file `text`; `origin` names the source in error messages.
+/// Throws std::invalid_argument on malformed entries or unknown keys.
+std::vector<HostEntry> parseHostsFileText(const std::string& text,
+                                          const std::string& origin);
+
+/// Reads and parses one hosts file; throws std::invalid_argument when the
+/// file cannot be read or fails to parse.
+std::vector<HostEntry> loadHostsFile(const std::string& path);
+
+/// Expands entries into one transport per worker slot, in file order (an
+/// entry with workers=4 contributes 4 consecutive slots).
+std::vector<std::unique_ptr<WorkerTransport>> transportsFor(
+    const std::vector<HostEntry>& hosts);
+
+/// Total worker slots across all entries.
+std::size_t totalWorkers(const std::vector<HostEntry>& hosts);
+
+}  // namespace pnoc::scenario::dispatch

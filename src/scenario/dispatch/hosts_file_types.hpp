@@ -1,0 +1,17 @@
+// HostEntry: one line of a hosts-file fleet (see hosts_file.hpp for the
+// format and the parser).  Split out so BackendOptions can carry a parsed
+// fleet without pulling the transport layer into every backend user.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pnoc::scenario::dispatch {
+
+struct HostEntry {
+  std::vector<std::string> launcher;  // empty: local re-exec
+  unsigned workers = 1;
+  std::string executable;  // empty: this binary
+};
+
+}  // namespace pnoc::scenario::dispatch

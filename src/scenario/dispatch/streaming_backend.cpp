@@ -1,0 +1,51 @@
+#include "scenario/dispatch/streaming_backend.hpp"
+
+#include <utility>
+
+namespace pnoc::scenario::dispatch {
+
+StreamingBackend::StreamingBackend(unsigned shards, std::string workerExecutable)
+    : shards_(shards), workerExecutable_(std::move(workerExecutable)) {}
+
+StreamingBackend::StreamingBackend(std::vector<HostEntry> hosts)
+    : hosts_(std::move(hosts)) {}
+
+unsigned StreamingBackend::workersFor(std::size_t jobCount) const {
+  if (!hosts_.empty()) {
+    // The hosts file states the fleet size; more workers than jobs would
+    // just idle, so clamp like every other backend.
+    const std::size_t total = totalWorkers(hosts_);
+    const std::size_t clamped = jobCount < total ? jobCount : total;
+    return clamped == 0 ? 1 : static_cast<unsigned>(clamped);
+  }
+  return resolveWorkerCount(shards_, jobCount);
+}
+
+std::vector<ScenarioOutcome> StreamingBackend::execute(
+    const std::vector<ScenarioJob>& jobs) {
+  if (jobs.empty()) return {};
+  const unsigned workers = workersFor(jobs.size());
+  std::vector<std::unique_ptr<WorkerTransport>> transports;
+  if (!hosts_.empty()) {
+    transports = transportsFor(hosts_);
+    if (transports.size() > workers) transports.resize(workers);
+  } else {
+    transports.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      transports.push_back(
+          std::make_unique<LocalProcessTransport>(workerExecutable_));
+    }
+  }
+  StreamingWorkerPool pool(std::move(transports));
+  std::vector<ScenarioOutcome> outcomes;
+  try {
+    outcomes = pool.execute(jobs, observer_);
+  } catch (...) {
+    stats_ = pool.stats();
+    throw;
+  }
+  stats_ = pool.stats();
+  return outcomes;
+}
+
+}  // namespace pnoc::scenario::dispatch

@@ -1,0 +1,56 @@
+// StreamingBackend: the ExecutionBackend face of the dispatch subsystem
+// (`backend=stream` on every scenario binary and pnoc_run).
+//
+// Where SubprocessBackend deals the batch statically and waits for EOF,
+// this backend drives a StreamingWorkerPool: persistent workers, one job
+// in flight per worker, the next job dealt to whichever worker finishes
+// first.  Workers come from either
+//
+//   * N local re-execs of this binary (`shards=N`, like backend=processes), or
+//   * a hosts file (`hosts=@hosts.json`) expanding to launcher-wrapped
+//     workers on other machines/containers (dispatch/hosts_file.hpp),
+//
+// and results are byte-identical to InProcessBackend regardless of worker
+// count, transport, or completion order.  The outcome observer (see
+// ExecutionBackend::setOutcomeObserver) fires per completed job on the
+// calling thread — pnoc_run's checkpointed resume hangs off it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/dispatch/hosts_file.hpp"
+#include "scenario/dispatch/streaming_worker_pool.hpp"
+#include "scenario/execution_backend.hpp"
+
+namespace pnoc::scenario::dispatch {
+
+class StreamingBackend : public ExecutionBackend {
+ public:
+  /// Local pool: `shards` workers (0 = auto, see resolveWorkerCount),
+  /// re-execing `workerExecutable` ("" = this binary).
+  explicit StreamingBackend(unsigned shards = 0, std::string workerExecutable = "");
+
+  /// Hosts-file pool: one worker per slot listed in `hosts`.
+  explicit StreamingBackend(std::vector<HostEntry> hosts);
+
+  std::string name() const override { return "stream"; }
+  BackendCapabilities capabilities() const override {
+    return BackendCapabilities{/*crossProcess=*/true, /*deterministicMerge=*/true};
+  }
+  unsigned workersFor(std::size_t jobCount) const override;
+
+  std::vector<ScenarioOutcome> execute(const std::vector<ScenarioJob>& jobs) override;
+
+  /// Dispatch stats of the most recent execute() (dynamic-dealing
+  /// distribution, retry count).
+  const StreamingWorkerPool::Stats& lastStats() const { return stats_; }
+
+ private:
+  unsigned shards_ = 0;
+  std::string workerExecutable_;
+  std::vector<HostEntry> hosts_;  // empty: local workers
+  StreamingWorkerPool::Stats stats_;
+};
+
+}  // namespace pnoc::scenario::dispatch

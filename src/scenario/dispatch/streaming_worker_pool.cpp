@@ -1,0 +1,376 @@
+#include "scenario/dispatch/streaming_worker_pool.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "scenario/wire.hpp"
+
+namespace pnoc::scenario::dispatch {
+namespace {
+
+/// How long a worker gets from launch to its handshake ack.  Generous
+/// enough for an ssh connect + remote exec; a worker silent past this is
+/// assumed to be an older build speaking the batch protocol (it would slurp
+/// stdin forever) and fails the dispatch instead of hanging it.
+/// PNOC_STREAM_ACK_TIMEOUT_MS overrides (tests, very slow fleets).
+std::chrono::milliseconds handshakeTimeout() {
+  if (const char* env = std::getenv("PNOC_STREAM_ACK_TIMEOUT_MS")) {
+    const long ms = std::strtol(env, nullptr, 10);
+    if (ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return std::chrono::milliseconds(30000);
+}
+
+struct Slot {
+  WorkerConnection conn;
+  std::string buffer;           // partial reply-line accumulation
+  bool ackSeen = false;
+  bool alive = false;
+  std::optional<std::size_t> inFlight;
+  std::optional<int> waitStatus;  // set when reaped at death (markDead)
+  std::chrono::steady_clock::time_point ackDeadline;
+  unsigned completed = 0;
+};
+
+/// The state of one execute() call.  The destructor is the error-path
+/// teardown: SIGTERM + reap everything still alive, so a thrown failure
+/// never leaks worker processes (local or launcher-wrapped).
+class Dealer {
+ public:
+  Dealer(const std::vector<std::unique_ptr<WorkerTransport>>& transports,
+         const std::vector<ScenarioJob>& jobs,
+         const ExecutionBackend::OutcomeObserver& observer,
+         StreamingWorkerPool::Stats& stats)
+      : jobs_(jobs), observer_(observer), stats_(stats) {
+    slots_.reserve(transports.size());
+    try {
+      for (const auto& transport : transports) {
+        Slot slot;
+        slot.conn = transport->launch();
+        slot.alive = true;
+        slots_.push_back(std::move(slot));
+      }
+    } catch (...) {
+      // The destructor never runs for a half-constructed Dealer: tear down
+      // the workers already launched before rethrowing the launch failure.
+      teardownSlots();
+      throw;
+    }
+    outcomes_.resize(jobs.size());
+    filled_.resize(jobs.size(), false);
+    retried_.resize(jobs.size(), false);
+    for (std::size_t i = 0; i < jobs.size(); ++i) pending_.push_back(i);
+  }
+
+  ~Dealer() { teardownSlots(); }
+
+  std::vector<ScenarioOutcome> run() {
+    // The handshake and the first job ship back-to-back — no round-trip
+    // before work starts; the ack is validated when the first line returns.
+    const auto ackTimeout = handshakeTimeout();
+    for (Slot& slot : slots_) {
+      slot.ackDeadline = std::chrono::steady_clock::now() + ackTimeout;
+      if (!writeAllToWorker(slot.conn.stdinFd, wire::streamHelloLine() + "\n")) {
+        const std::string who = describeSlot(slot);
+        markDead(slot);
+        noteTolerableDeath(who, slot, "at handshake");
+      }
+    }
+    while (filledCount_ < jobs_.size()) {
+      dealToIdle();
+      pollOnce();
+    }
+    recordStats();
+    finish();
+    if (!failures_.empty()) throwFailures();
+    return std::move(outcomes_);
+  }
+
+ private:
+  /// Abnormal-path teardown (finish() reaps on the success path): don't
+  /// wait out a worker mid-simulation.
+  void teardownSlots() {
+    for (Slot& slot : slots_) {
+      closeConnection(slot.conn);
+      if (slot.conn.pid > 0) {
+        ::kill(slot.conn.pid, SIGTERM);
+        reapWorker(slot.conn);
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    recordStats();
+    throw std::runtime_error("StreamingWorkerPool: " + message);
+  }
+
+  void throwFailures() {
+    std::string what = "StreamingWorkerPool: " + failures_[0];
+    if (failures_.size() > 1) {
+      what += " (+" + std::to_string(failures_.size() - 1) + " more failures)";
+    }
+    throw std::runtime_error(what);
+  }
+
+  void recordStats() {
+    stats_.jobsPerWorker.clear();
+    for (const Slot& slot : slots_) stats_.jobsPerWorker.push_back(slot.completed);
+  }
+
+  std::string describeSlot(const Slot& slot) const {
+    return slot.conn.description + " (pid " + std::to_string(slot.conn.pid) + ")";
+  }
+
+  /// Streams pending jobs to every idle live worker (initial deal, the
+  /// next-job deal after a reply, and re-deals after a death).
+  void dealToIdle() {
+    for (Slot& slot : slots_) {
+      while (!pending_.empty() && slot.alive && !slot.inFlight) {
+        const std::size_t index = pending_.front();
+        pending_.pop_front();
+        const std::string line = wire::jobLine(index, jobs_[index]) + "\n";
+        if (writeAllToWorker(slot.conn.stdinFd, line)) {
+          slot.inFlight = index;
+        } else {
+          // Died before taking the job: the job goes back untouched (this is
+          // not the one retry — nothing was lost mid-run), but the death is
+          // reported just like one noticed via poll EOF.
+          pending_.push_front(index);
+          const std::string who = describeSlot(slot);
+          markDead(slot);
+          noteTolerableDeath(who, slot, "while idle");
+        }
+      }
+    }
+  }
+
+  void pollOnce() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fdSlot;
+    // A worker past its ack deadline will never flush anything (an older
+    // build's batch loop waits for stdin EOF we never send): fail loudly
+    // now; otherwise poll only until the earliest outstanding deadline.
+    int timeoutMs = -1;
+    bool anyInFlight = false;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      Slot& slot = slots_[s];
+      if (!slot.alive) continue;
+      if (slot.inFlight) {
+        anyInFlight = true;
+        if (!slot.ackSeen) {
+          const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+              slot.ackDeadline - now);
+          if (left.count() <= 0) {
+            fail(describeSlot(slot) + " did not acknowledge the streaming"
+                 " protocol within " + std::to_string(handshakeTimeout().count()) +
+                 " ms — a batch-protocol worker from an older build?");
+          }
+          const int ms = static_cast<int>(left.count()) + 1;
+          timeoutMs = timeoutMs < 0 ? ms : std::min(timeoutMs, ms);
+        }
+      }
+      // Idle slots are polled too: their only possible events are the
+      // handshake ack and EOF, and seeing the EOF promptly is what keeps an
+      // idle death a tolerated (and reported) anomaly instead of a stale
+      // wait status failing the whole batch at finish().
+      fds.push_back(pollfd{slot.conn.stdoutFd, POLLIN, 0});
+      fdSlot.push_back(s);
+    }
+    if (!anyInFlight) {
+      // Invariant: unfinished jobs are pending or in flight, and pending
+      // jobs get dealt whenever an idle live worker exists — so no job in
+      // flight here means no live worker can make progress.
+      fail("no live workers remain with " +
+           std::to_string(jobs_.size() - filledCount_) + " job(s) unfinished" +
+           (deathNotes_.empty() ? std::string() : " — " + deathNotes_.back()));
+    }
+    int ready;
+    do {
+      ready = ::poll(fds.data(), fds.size(), timeoutMs);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      fail(std::string("poll failed: ") + std::strerror(errno));
+    }
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      if (fds[f].revents != 0) readChunk(slots_[fdSlot[f]]);
+    }
+  }
+
+  void readChunk(Slot& slot) {
+    char buffer[65536];
+    const ssize_t n = ::read(slot.conn.stdoutFd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      fail("read from " + describeSlot(slot) + " failed: " + std::strerror(errno));
+    }
+    if (n == 0) {
+      handleDeath(slot);
+      return;
+    }
+    slot.buffer.append(buffer, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (slot.alive && (newline = slot.buffer.find('\n')) != std::string::npos) {
+      const std::string line = slot.buffer.substr(0, newline);
+      slot.buffer.erase(0, newline + 1);
+      if (!line.empty()) handleLine(slot, line);
+    }
+  }
+
+  void handleLine(Slot& slot, const std::string& line) {
+    if (!slot.ackSeen) {
+      try {
+        wire::checkStreamAck(line);
+      } catch (const std::runtime_error& error) {
+        fail(describeSlot(slot) + ": " + error.what());
+      }
+      slot.ackSeen = true;
+      return;
+    }
+    wire::WorkerReply reply;
+    try {
+      reply = wire::parseReplyLine(line);
+    } catch (const std::exception& error) {
+      fail("unparseable reply from " + describeSlot(slot) + ": " + error.what());
+    }
+    if (!slot.inFlight || reply.index != *slot.inFlight) {
+      fail(describeSlot(slot) + " replied for job " + std::to_string(reply.index) +
+           " while job " +
+           (slot.inFlight ? std::to_string(*slot.inFlight) : std::string("<none>")) +
+           " was in flight");
+    }
+    const std::size_t index = *slot.inFlight;
+    slot.inFlight.reset();
+    ++slot.completed;
+    filled_[index] = true;
+    ++filledCount_;
+    if (!reply.ok) {
+      // In-band job failure: the worker is healthy; the batch still fails
+      // after it completes (matching the batch backend's contract).
+      failures_.push_back("job " + std::to_string(index) + ": " + reply.error);
+      return;
+    }
+    reply.outcome.spec = jobs_[index].spec;
+    outcomes_[index] = std::move(reply.outcome);
+    if (observer_) observer_(index, outcomes_[index]);
+  }
+
+  void markDead(Slot& slot) {
+    slot.alive = false;
+    closeConnection(slot.conn);
+    const int status = reapWorker(slot.conn);
+    if (status >= 0) slot.waitStatus = status;
+  }
+
+  /// Records and reports a death the batch survives (no job was lost):
+  /// tolerated, but never silent.  Call AFTER markDead, with the identity
+  /// captured before it (reaping clears the pid).
+  void noteTolerableDeath(const std::string& who, const Slot& slot,
+                          const std::string& context) {
+    const std::string how =
+        slot.waitStatus ? describeWaitStatus(*slot.waitStatus) : "could not be reaped";
+    deathNotes_.push_back(who + " " + how + " " + context);
+    std::fprintf(stderr, "pnoc dispatch: %s %s %s; continuing on the remaining"
+                 " workers\n", who.c_str(), how.c_str(), context.c_str());
+  }
+
+  void handleDeath(Slot& slot) {
+    const std::string who = describeSlot(slot);
+    markDead(slot);
+    const std::string how =
+        slot.waitStatus ? describeWaitStatus(*slot.waitStatus) : "could not be reaped";
+    if (!slot.inFlight) {
+      // Idle death loses no job, so the batch can still complete — but never
+      // silently: the anomaly is reported, it just doesn't cost the run.
+      noteTolerableDeath(who, slot, "while idle");
+      return;
+    }
+    const std::size_t index = *slot.inFlight;
+    slot.inFlight.reset();
+    bool survivors = false;
+    for (const Slot& other : slots_) survivors = survivors || other.alive;
+    if (!retried_[index] && survivors) {
+      retried_[index] = true;
+      ++stats_.retries;
+      deathNotes_.push_back(who + " " + how + " while running job " +
+                            std::to_string(index));
+      std::fprintf(stderr, "pnoc dispatch: %s while running job %zu; retrying on a"
+                   " surviving worker\n", (who + " " + how).c_str(), index);
+      pending_.push_front(index);  // retried job jumps the queue
+      return;
+    }
+    fail(who + " " + how + " while running job " + std::to_string(index) +
+         (retried_[index] ? " (job already retried once)"
+                          : " (no surviving workers to retry on)"));
+  }
+
+  /// Success-path teardown: EOF every stdin (workers exit), reap, and turn
+  /// nonzero exits into failures — a worker that corrupted its protocol must
+  /// not pass silently just because every job has a result.  Slots already
+  /// dead were handled at death time (recovered via retry, noted, or fatal),
+  /// so only still-live workers are judged here.
+  void finish() {
+    for (Slot& slot : slots_) {
+      if (!slot.alive) continue;
+      closeConnection(slot.conn);
+      const int status = reapWorker(slot.conn);
+      if (status < 0) {
+        failures_.push_back(slot.conn.description + " could not be reaped");
+      } else if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+        failures_.push_back(slot.conn.description + " " + describeWaitStatus(status));
+      }
+    }
+  }
+
+  const std::vector<ScenarioJob>& jobs_;
+  const ExecutionBackend::OutcomeObserver& observer_;
+  StreamingWorkerPool::Stats& stats_;
+  std::vector<Slot> slots_;
+  std::deque<std::size_t> pending_;
+  std::vector<ScenarioOutcome> outcomes_;
+  std::vector<bool> filled_;
+  std::vector<bool> retried_;
+  std::size_t filledCount_ = 0;
+  std::vector<std::string> failures_;
+  std::vector<std::string> deathNotes_;
+};
+
+}  // namespace
+
+StreamingWorkerPool::StreamingWorkerPool(
+    std::vector<std::unique_ptr<WorkerTransport>> transports)
+    : transports_(std::move(transports)) {}
+
+std::vector<ScenarioOutcome> StreamingWorkerPool::execute(
+    const std::vector<ScenarioJob>& jobs,
+    const ExecutionBackend::OutcomeObserver& observer) {
+  if (jobs.empty()) return {};
+  if (transports_.empty()) {
+    throw std::runtime_error("StreamingWorkerPool: no worker transports");
+  }
+  // A worker that died mid-stream must not take the parent down with
+  // SIGPIPE; writeAll() turns the resulting EPIPE into a handled death.
+  static const bool sigpipeIgnored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)sigpipeIgnored;
+
+  stats_ = Stats{};
+  Dealer dealer(transports_, jobs, observer, stats_);
+  return dealer.run();
+}
+
+}  // namespace pnoc::scenario::dispatch

@@ -1,0 +1,66 @@
+// StreamingWorkerPool: dynamic job dealing over persistent protocol workers.
+//
+// SubprocessBackend's batch protocol deals the whole grid up front
+// (round-robin) and waits for stdin EOF before any worker replies — optimal
+// only when every spec costs about the same.  This pool keeps each worker's
+// stdin OPEN and streams one NDJSON job line at a time: every worker starts
+// with one job, and each completed reply immediately buys the next pending
+// job, so a worker stuck on a 10x spec simply takes fewer jobs while its
+// siblings drain the rest.  Results still land by input index, so the merge
+// is byte-identical to sequential execution regardless of worker count,
+// transport, or completion order.
+//
+// Session shape (per worker, over any WorkerTransport):
+//
+//   parent -> worker   {"pnoc_stream_hello":1}          handshake (wire.hpp)
+//   worker -> parent   {"pnoc_stream_ack":1}
+//   parent -> worker   one job line            }  repeated: a reply line
+//   worker -> parent   one reply line          }  buys the next job line
+//   parent -> worker   stdin EOF when the batch is done -> worker exits 0
+//
+// Failure handling is loud by construction: a worker that dies mid-job is
+// named together with the job it was running; its in-flight job is retried
+// ONCE on a surviving worker before the whole dispatch fails.  Partial
+// results are never silently merged — execute() either returns the complete
+// batch or throws.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "scenario/dispatch/worker_transport.hpp"
+#include "scenario/execution_backend.hpp"
+
+namespace pnoc::scenario::dispatch {
+
+class StreamingWorkerPool {
+ public:
+  /// How the dispatch actually went — the observable half of dynamic
+  /// dealing (tests assert a slow worker completes fewer jobs).
+  struct Stats {
+    std::vector<unsigned> jobsPerWorker;  // completed jobs per worker slot
+    unsigned retries = 0;  // in-flight jobs re-dealt after a worker death
+  };
+
+  /// One worker per transport; the pool launches them inside execute().
+  explicit StreamingWorkerPool(
+      std::vector<std::unique_ptr<WorkerTransport>> transports);
+
+  /// Executes the batch; results indexed like `jobs`.  `observer` (optional)
+  /// fires on the calling thread as each job completes.  Throws
+  /// std::runtime_error naming the worker and job on unrecoverable failures
+  /// (all in-flight work is torn down first — no leaked processes).
+  std::vector<ScenarioOutcome> execute(
+      const std::vector<ScenarioJob>& jobs,
+      const ExecutionBackend::OutcomeObserver& observer = {});
+
+  /// Stats of the most recent execute() call.
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<WorkerTransport>> transports_;
+  Stats stats_;
+};
+
+}  // namespace pnoc::scenario::dispatch

@@ -1,0 +1,157 @@
+#include "scenario/dispatch/worker_transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "scenario/subprocess_backend.hpp"
+
+namespace pnoc::scenario::dispatch {
+
+std::string selfExecutablePath() {
+  char buffer[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (len <= 0) {
+    throw std::runtime_error("dispatch: cannot resolve /proc/self/exe");
+  }
+  buffer[len] = '\0';
+  return buffer;
+}
+
+WorkerConnection spawnWorkerProcess(const std::vector<std::string>& argv,
+                                    const std::string& description) {
+  if (argv.empty()) {
+    throw std::runtime_error("dispatch: empty worker command");
+  }
+  int inPipe[2];   // parent writes jobs -> worker stdin
+  int outPipe[2];  // worker stdout -> parent reads replies
+  if (::pipe(inPipe) != 0) {
+    throw std::runtime_error("dispatch: pipe() failed");
+  }
+  if (::pipe(outPipe) != 0) {
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    throw std::runtime_error("dispatch: pipe() failed");
+  }
+  // Every pipe fd is close-on-exec: a later-spawned worker forks while the
+  // earlier workers' pipes are still open in the parent, and an inherited
+  // stdin write end would keep an earlier worker's stdin from ever reaching
+  // EOF (serializing the "parallel" workers, and deadlocking outright once a
+  // reply outgrows the pipe buffer).  dup2 below clears the flag on the two
+  // fds the worker actually keeps.
+  for (const int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]}) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]}) ::close(fd);
+    throw std::runtime_error("dispatch: fork() failed");
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout and become a protocol worker.
+    // Everything else (these four originals, any earlier worker's pipes)
+    // closes at exec via FD_CLOEXEC.
+    ::dup2(inPipe[0], STDIN_FILENO);
+    ::dup2(outPipe[1], STDOUT_FILENO);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) args.push_back(const_cast<char*>(arg.c_str()));
+    args.push_back(nullptr);
+    ::execvp(args[0], args.data());
+    // exec failed; 127 mirrors the shell's "command not found".
+    _exit(127);
+  }
+  ::close(inPipe[0]);
+  ::close(outPipe[1]);
+  WorkerConnection connection;
+  connection.pid = pid;
+  connection.stdinFd = inPipe[1];
+  connection.stdoutFd = outPipe[0];
+  connection.description = description;
+  return connection;
+}
+
+void closeConnection(WorkerConnection& connection) {
+  for (int* fd : {&connection.stdinFd, &connection.stdoutFd}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+bool writeAllToWorker(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) return false;
+      throw std::runtime_error(std::string("dispatch: write to worker failed: ") +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int reapWorker(WorkerConnection& connection) {
+  if (connection.pid <= 0) return -1;
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(connection.pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  connection.pid = -1;
+  return reaped < 0 ? -1 : status;
+}
+
+std::string describeWaitStatus(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended abnormally";
+}
+
+LocalProcessTransport::LocalProcessTransport(std::string executable)
+    : executable_(std::move(executable)) {}
+
+WorkerConnection LocalProcessTransport::launch() const {
+  const std::string executable =
+      executable_.empty() ? selfExecutablePath() : executable_;
+  return spawnWorkerProcess({executable, kWorkerFlag}, describe());
+}
+
+CommandTransport::CommandTransport(std::vector<std::string> launcherPrefix,
+                                   std::string executable)
+    : launcher_(std::move(launcherPrefix)), executable_(std::move(executable)) {
+  if (launcher_.empty()) {
+    throw std::runtime_error("CommandTransport: empty launcher prefix");
+  }
+}
+
+std::string CommandTransport::describe() const {
+  std::string out;
+  for (const std::string& token : launcher_) {
+    if (!out.empty()) out += ' ';
+    out += token;
+  }
+  return out + " worker";
+}
+
+WorkerConnection CommandTransport::launch() const {
+  std::vector<std::string> argv = launcher_;
+  argv.push_back(executable_.empty() ? selfExecutablePath() : executable_);
+  argv.push_back(kWorkerFlag);
+  return spawnWorkerProcess(argv, describe());
+}
+
+}  // namespace pnoc::scenario::dispatch

@@ -1,0 +1,103 @@
+// WorkerTransport: how the dispatch layer reaches a worker process.
+//
+// A transport knows how to LAUNCH one worker speaking the NDJSON job
+// protocol on stdin/stdout; everything above it (dealing, merging, retry)
+// is transport-agnostic.  Two implementations:
+//
+//   LocalProcessTransport - re-exec this binary (or a named executable)
+//                           with `--pnoc-worker`, exactly like
+//                           SubprocessBackend has always done
+//   CommandTransport      - prefix the worker command with an arbitrary
+//                           launcher argv (`ssh hostA`, `docker exec c`,
+//                           `env`), so the same protocol fans out across
+//                           machines or containers
+//
+// Both produce a WorkerConnection: a child pid plus the two pipe fds the
+// parent owns.  Pipe fds are FD_CLOEXEC so concurrently-launched workers
+// never inherit each other's ends (the pipe-inheritance deadlock fixed in
+// the subprocess backend applies to every transport).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace pnoc::scenario::dispatch {
+
+/// One live worker as the parent sees it: jobs go down stdinFd, replies
+/// come back on stdoutFd.  `description` names the worker in failure
+/// messages ("local worker", "ssh hostA worker", ...).
+struct WorkerConnection {
+  pid_t pid = -1;
+  int stdinFd = -1;
+  int stdoutFd = -1;
+  std::string description;
+};
+
+class WorkerTransport {
+ public:
+  virtual ~WorkerTransport() = default;
+
+  /// Human name for logs and failure messages.
+  virtual std::string describe() const = 0;
+
+  /// Launches one worker; throws std::runtime_error when the process
+  /// cannot be created.  (An exec failure inside the child surfaces later
+  /// as exit status 127 with no protocol output.)
+  virtual WorkerConnection launch() const = 0;
+};
+
+/// The running binary's path (/proc/self/exe — immune to argv[0] games).
+std::string selfExecutablePath();
+
+/// Re-exec `executable` ("" = this binary) as `<executable> --pnoc-worker`.
+class LocalProcessTransport : public WorkerTransport {
+ public:
+  explicit LocalProcessTransport(std::string executable = "");
+  std::string describe() const override { return "local worker"; }
+  WorkerConnection launch() const override;
+
+ private:
+  std::string executable_;
+};
+
+/// Launch `<prefix...> <executable> --pnoc-worker`, where the prefix is an
+/// arbitrary launcher argv resolved through PATH (`ssh hostA`,
+/// `docker exec sim0`, ...).  `executable` "" means this binary's own path —
+/// right for containers/hosts that mount the same build; remote hosts with
+/// a different install pass the remote path explicitly.
+class CommandTransport : public WorkerTransport {
+ public:
+  CommandTransport(std::vector<std::string> launcherPrefix,
+                   std::string executable = "");
+  std::string describe() const override;
+  WorkerConnection launch() const override;
+
+ private:
+  std::vector<std::string> launcher_;
+  std::string executable_;
+};
+
+/// The shared low-level spawn: fork, stdin/stdout onto fresh FD_CLOEXEC
+/// pipes, execvp(argv).  Throws std::runtime_error on pipe/fork failure.
+WorkerConnection spawnWorkerProcess(const std::vector<std::string>& argv,
+                                    const std::string& description);
+
+/// Closes both pipe fds (idempotent).
+void closeConnection(WorkerConnection& connection);
+
+/// Writes the whole buffer (EINTR-safe); returns false on EPIPE — the
+/// worker died, and its wait status tells the story — and throws
+/// std::runtime_error on any other error.  Callers must have SIGPIPE
+/// ignored (both backends do, process-wide, before their first write).
+bool writeAllToWorker(int fd, const std::string& data);
+
+/// Blocking reap (EINTR-safe); returns the wait status and clears `pid`.
+/// Returns -1 when the pid was already reaped or never valid.
+int reapWorker(WorkerConnection& connection);
+
+/// "exited with status N" / "killed by signal N" for a wait status.
+std::string describeWaitStatus(int status);
+
+}  // namespace pnoc::scenario::dispatch

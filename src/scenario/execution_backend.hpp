@@ -8,6 +8,9 @@
 //   InProcessBackend   - std::thread pool in this address space (the default)
 //   SubprocessBackend  - shards the batch across N re-exec'd worker processes
 //                        speaking newline-delimited JSON on stdin/stdout
+//   StreamingBackend   - persistent worker pool (dispatch/): jobs stream one
+//                        NDJSON line at a time to whichever worker is free,
+//                        over local processes or hosts-file transports
 //
 // The primitive is execute() over mixed ScenarioJob batches (fixed-load runs
 // and saturation searches can share one dispatch); run()/findPeaks() are the
@@ -17,12 +20,14 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "metrics/metrics.hpp"
 #include "metrics/saturation.hpp"
+#include "scenario/dispatch/hosts_file_types.hpp"
 #include "scenario/scenario_spec.hpp"
 
 namespace pnoc::scenario {
@@ -65,10 +70,22 @@ struct BackendCapabilities {
 
 class ExecutionBackend {
  public:
+  /// Completed-job notification: (job index, its outcome).  A backend MAY
+  /// invoke the observer as each job finishes — StreamingBackend does, from
+  /// the caller's thread, which is what lets pnoc_run checkpoint a grid
+  /// mid-flight; the batch backends only deliver results at the end and
+  /// never call it.
+  using OutcomeObserver = std::function<void(std::size_t, const ScenarioOutcome&)>;
+
   virtual ~ExecutionBackend() = default;
 
   virtual std::string name() const = 0;
   virtual BackendCapabilities capabilities() const = 0;
+
+  /// Installs (or clears, with {}) the per-job completion observer.
+  void setOutcomeObserver(OutcomeObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   /// Workers this backend would actually use for a batch of `jobCount` jobs
   /// (environment defaults and batch-size clamping applied).
@@ -81,6 +98,9 @@ class ExecutionBackend {
   /// Typed batch APIs over execute(); results indexed like `specs`.
   std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs);
   std::vector<ScenarioPeak> findPeaks(const std::vector<ScenarioSpec>& specs);
+
+ protected:
+  OutcomeObserver observer_;
 };
 
 /// Executes one job in this process (the shared bottom of every backend:
@@ -104,17 +124,24 @@ metrics::PeakSearchOptions peakOptionsFor(const ScenarioSpec& spec);
 ///   uses 3 workers), with a floor of 1.
 unsigned resolveWorkerCount(unsigned requested, std::size_t jobCount);
 
-enum class BackendKind { kThreads, kProcesses };
+enum class BackendKind { kThreads, kProcesses, kStream };
 
-/// Parses "threads" | "processes" (the `backend=` CLI value); throws
-/// std::invalid_argument otherwise.
+/// Parses "threads" | "processes" | "stream" (the `backend=` CLI value);
+/// throws std::invalid_argument otherwise.
 BackendKind parseBackendKind(const std::string& value);
 std::string toString(BackendKind kind);
 
 struct BackendOptions {
   BackendKind kind = BackendKind::kThreads;
   /// Thread / worker-process count; 0 = auto (see resolveWorkerCount).
+  /// Mutually exclusive with a hosts fleet, which sizes itself.
   unsigned workers = 0;
+  /// The hosts-file path backend=stream fleets came from (diagnostics).
+  std::string hostsFile;
+  /// Parsed hosts-file fleet for backend=stream (empty: local workers).
+  /// Cli::parse fills this from hosts=@file, so the file is read and
+  /// validated exactly once, at parse time.
+  std::vector<dispatch::HostEntry> hosts;
 };
 
 /// Constructs the backend an options block describes.

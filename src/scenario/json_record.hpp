@@ -23,6 +23,11 @@ class JsonRecord {
  public:
   explicit JsonRecord(std::string name);
 
+  /// A record that serializes VERBATIM as `json` — how checkpointed resume
+  /// re-emits records from an earlier run byte-identically.  Further
+  /// number()/integer()/text() calls on a raw record are ignored.
+  static JsonRecord fromSerialized(std::string json);
+
   JsonRecord& number(const std::string& key, double value);
   JsonRecord& integer(const std::string& key, long long value);
   JsonRecord& text(const std::string& key, const std::string& value);
@@ -31,7 +36,10 @@ class JsonRecord {
   std::string serialize() const;
 
  private:
+  JsonRecord() = default;
+
   std::vector<std::pair<std::string, std::string>> fields_;  // key -> literal
+  std::string raw_;  // non-empty: serialize verbatim
 };
 
 /// Collects records and writes BENCH_<benchName>.json.
@@ -42,6 +50,9 @@ class JsonRecorder {
   /// The returned reference stays valid across further add() calls (deque
   /// storage), so records can be built incrementally.
   JsonRecord& add(const std::string& recordName);
+
+  /// Appends a pre-serialized record verbatim (see JsonRecord::fromSerialized).
+  JsonRecord& addRaw(std::string serialized);
 
   /// Writes to `directory`/BENCH_<benchName>.json ("." by default); returns
   /// the path written, or "" (with a stderr note) if it cannot be opened.

@@ -3,10 +3,12 @@
 //
 // Callers describe WHAT to run (ScenarioSpecs) and, via BackendOptions,
 // WHERE it runs: a std::thread pool in this process (backend=threads, the
-// default) or a fleet of re-exec'd worker subprocesses speaking the JSON
-// wire protocol (backend=processes).  Results are merged by index and are
-// bit-identical across backends and worker counts — the choice is purely
-// about address spaces and scheduling, never about numbers.
+// default), a fleet of re-exec'd worker subprocesses speaking the JSON
+// wire protocol (backend=processes), or a streaming worker pool dealing
+// jobs dynamically across local or multi-host transports (backend=stream).
+// Results are merged by index and are bit-identical across backends and
+// worker counts — the choice is purely about address spaces and
+// scheduling, never about numbers.
 //
 // The record* helpers are the single code path through which every bench
 // binary (and the pnoc_run driver) emits its BENCH_*.json records.

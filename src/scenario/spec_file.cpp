@@ -45,7 +45,14 @@ std::vector<ScenarioSpec> parseKeyValueSpecs(const std::string& text,
       throw std::invalid_argument("line " + std::to_string(lineNumber) +
                                   " is not key=value: '" + line + "'");
     }
-    current.set(line.substr(0, eq), line.substr(eq + 1));
+    try {
+      current.set(line.substr(0, eq), line.substr(eq + 1));
+    } catch (const std::invalid_argument& error) {
+      // Unknown keys / malformed values point at the offending line, not
+      // just the file.
+      throw std::invalid_argument("line " + std::to_string(lineNumber) + ": " +
+                                  error.what());
+    }
     stanzaHasKeys = true;
     if (end == text.size()) break;
   }
@@ -53,32 +60,89 @@ std::vector<ScenarioSpec> parseKeyValueSpecs(const std::string& text,
   return specs;
 }
 
-ScenarioSpec specFromJsonObject(const JsonValue& object, const ScenarioSpec& base) {
+/// 1-based line number of byte offset `pos` in `text`.
+std::size_t lineOf(const std::string& text, std::size_t pos) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+ScenarioSpec specFromJsonObject(const JsonValue& object, const ScenarioSpec& base,
+                                const std::string& text, std::size_t startPos) {
   ScenarioSpec spec = base;
-  spec.applyJsonObject(object);
+  try {
+    spec.applyJsonObject(object);
+  } catch (const std::invalid_argument& error) {
+    // Point at the line the offending spec object starts on — in a
+    // 200-entry grid, "unknown scenario key" alone is a needle hunt.
+    throw std::invalid_argument("line " + std::to_string(lineOf(text, startPos)) +
+                                ": " + error.what());
+  }
   return spec;
+}
+
+void skipSpace(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+}
+
+/// Array form parsed element by element so each spec keeps its own start
+/// offset (and therefore its own line number in diagnostics).
+std::vector<ScenarioSpec> parseJsonArraySpecs(const std::string& text,
+                                              const ScenarioSpec& base,
+                                              std::size_t& pos) {
+  std::vector<ScenarioSpec> specs;
+  ++pos;  // consume '['
+  skipSpace(text, pos);
+  if (pos < text.size() && text[pos] == ']') {
+    ++pos;
+    return specs;
+  }
+  for (;;) {
+    skipSpace(text, pos);
+    const std::size_t startPos = pos;
+    const JsonValue object = JsonValue::parsePrefix(text, pos);
+    specs.push_back(specFromJsonObject(object, base, text, startPos));
+    skipSpace(text, pos);
+    if (pos >= text.size()) {
+      throw std::invalid_argument("unterminated JSON array of specs");
+    }
+    if (text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (text[pos] == ']') {
+      ++pos;
+      return specs;
+    }
+    throw std::invalid_argument("line " + std::to_string(lineOf(text, pos)) +
+                                ": expected ',' or ']' in spec array");
+  }
 }
 
 std::vector<ScenarioSpec> parseJsonSpecs(const std::string& text,
                                          const ScenarioSpec& base) {
   std::vector<ScenarioSpec> specs;
   std::size_t pos = 0;
-  const JsonValue first = JsonValue::parsePrefix(text, pos);
-  if (first.kind() == JsonValue::Kind::kArray) {
-    for (const JsonValue& object : first.items()) {
-      specs.push_back(specFromJsonObject(object, base));
-    }
+  skipSpace(text, pos);
+  if (pos < text.size() && text[pos] == '[') {
+    specs = parseJsonArraySpecs(text, base, pos);
   } else {
-    specs.push_back(specFromJsonObject(first, base));
+    const std::size_t startPos = pos;
+    specs.push_back(
+        specFromJsonObject(JsonValue::parsePrefix(text, pos), base, text, startPos));
   }
   // Newline-delimited / concatenated objects: keep parsing to the end.
   for (;;) {
-    while (pos < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
-      ++pos;
-    }
+    skipSpace(text, pos);
     if (pos >= text.size()) break;
-    specs.push_back(specFromJsonObject(JsonValue::parsePrefix(text, pos), base));
+    const std::size_t startPos = pos;
+    specs.push_back(
+        specFromJsonObject(JsonValue::parsePrefix(text, pos), base, text, startPos));
   }
   return specs;
 }

@@ -14,8 +14,10 @@
 // Every spec starts from the caller's `base` and layers the file's
 // assignments on top, so files stay partial (only the keys that vary need
 // appear).  Unknown keys and malformed values throw std::invalid_argument
-// with the file named — a typo in a grid file must not silently simulate
-// the wrong thing.
+// naming the file AND the line (the offending key=value line, or the line
+// the bad JSON spec object starts on) — a typo in a grid file must not
+// silently simulate the wrong thing, and in a long grid it must not be a
+// needle hunt either.
 #pragma once
 
 #include <string>

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -14,19 +15,18 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "scenario/dispatch/worker_transport.hpp"
 #include "scenario/wire.hpp"
 
 namespace pnoc::scenario {
 namespace {
 
+using dispatch::WorkerConnection;
+
 struct Worker {
-  pid_t pid = -1;
-  int stdinFd = -1;
-  int stdoutFd = -1;
+  WorkerConnection conn;
   std::vector<std::size_t> jobIndices;  // round-robin share of the batch
 };
-
-void closeFd(int& fd);
 
 /// Owns the worker processes for one execute() call.  The destructor is the
 /// error-path cleanup: closing the pipes gives every still-running child
@@ -38,100 +38,11 @@ struct WorkerPool {
 
   ~WorkerPool() {
     for (Worker& worker : workers) {
-      closeFd(worker.stdinFd);
-      closeFd(worker.stdoutFd);
-      if (worker.pid > 0) {
-        int status = 0;
-        pid_t reaped;
-        do {
-          reaped = ::waitpid(worker.pid, &status, 0);
-        } while (reaped < 0 && errno == EINTR);
-        worker.pid = -1;
-      }
+      dispatch::closeConnection(worker.conn);
+      dispatch::reapWorker(worker.conn);
     }
   }
 };
-
-std::string selfExecutablePath() {
-  // /proc/self/exe is the running binary regardless of argv[0] games.
-  char buffer[4096];
-  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
-  if (len <= 0) {
-    throw std::runtime_error("SubprocessBackend: cannot resolve /proc/self/exe");
-  }
-  buffer[len] = '\0';
-  return buffer;
-}
-
-void closeFd(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
-  }
-}
-
-Worker spawnWorker(const std::string& executable) {
-  int inPipe[2];   // parent writes jobs -> worker stdin
-  int outPipe[2];  // worker stdout -> parent reads replies
-  if (::pipe(inPipe) != 0) {
-    throw std::runtime_error("SubprocessBackend: pipe() failed");
-  }
-  if (::pipe(outPipe) != 0) {
-    ::close(inPipe[0]);
-    ::close(inPipe[1]);
-    throw std::runtime_error("SubprocessBackend: pipe() failed");
-  }
-  // Every pipe fd is close-on-exec: a later-spawned worker forks while the
-  // earlier workers' pipes are still open in the parent, and an inherited
-  // stdin write end would keep an earlier worker's stdin from ever reaching
-  // EOF (serializing the "parallel" workers, and deadlocking outright once a
-  // reply outgrows the pipe buffer).  dup2 below clears the flag on the two
-  // fds the worker actually keeps.
-  for (const int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]}) {
-    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
-  }
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    for (const int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]}) ::close(fd);
-    throw std::runtime_error("SubprocessBackend: fork() failed");
-  }
-  if (pid == 0) {
-    // Child: wire the pipes to stdin/stdout and become a protocol worker.
-    // Everything else (these four originals, any earlier worker's pipes)
-    // closes at exec via FD_CLOEXEC.
-    ::dup2(inPipe[0], STDIN_FILENO);
-    ::dup2(outPipe[1], STDOUT_FILENO);
-    char* argv[] = {const_cast<char*>(executable.c_str()),
-                    const_cast<char*>(kWorkerFlag), nullptr};
-    ::execv(executable.c_str(), argv);
-    // exec failed; 127 mirrors the shell's "command not found".
-    _exit(127);
-  }
-  ::close(inPipe[0]);
-  ::close(outPipe[1]);
-  Worker worker;
-  worker.pid = pid;
-  worker.stdinFd = inPipe[1];
-  worker.stdoutFd = outPipe[0];
-  return worker;
-}
-
-/// Writes the whole buffer; returns false on EPIPE (worker died — its exit
-/// status will tell the story), throws on any other error.
-bool writeAll(int fd, const std::string& data) {
-  std::size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EPIPE) return false;
-      throw std::runtime_error(std::string("SubprocessBackend: write failed: ") +
-                               std::strerror(errno));
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 std::string readAll(int fd) {
   std::string out;
@@ -148,46 +59,97 @@ std::string readAll(int fd) {
   }
 }
 
-std::string describeExit(int status) {
-  if (WIFEXITED(status)) {
-    return "exited with status " + std::to_string(WEXITSTATUS(status));
+std::string joinIndices(const std::vector<std::size_t>& indices) {
+  std::string out;
+  for (const std::size_t i : indices) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(i);
   }
-  if (WIFSIGNALED(status)) {
-    return "killed by signal " + std::to_string(WTERMSIG(status));
+  return out;
+}
+
+/// Test hook for the worker-death paths (see dispatch tests): when
+/// PNOC_TEST_STREAM_CRASH is "<index>" or "<index>:<path>", a worker
+/// receiving that job index dies abruptly (_exit) BEFORE replying — with a
+/// path, only the first worker to claim the O_EXCL lock file dies, so a
+/// retried job survives on a sibling.  An "after:" prefix flips the timing:
+/// the worker replies first and dies idle (the tolerated-death path).
+void maybeCrashForTest(std::size_t index, bool afterReply) {
+  const char* trigger = std::getenv("PNOC_TEST_STREAM_CRASH");
+  if (trigger == nullptr) return;
+  std::string spec(trigger);
+  const bool wantsAfter = spec.rfind("after:", 0) == 0;
+  if (wantsAfter != afterReply) return;
+  if (wantsAfter) spec.erase(0, 6);
+  const std::size_t colon = spec.find(':');
+  if (std::to_string(index) != spec.substr(0, colon)) return;
+  if (colon != std::string::npos) {
+    const int fd = ::open(spec.substr(colon + 1).c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY, 0600);
+    if (fd < 0) return;  // a sibling already died here; survive this time
+    ::close(fd);
   }
-  return "ended abnormally";
+  ::_exit(57);
+}
+
+/// One job line in, one reply line out (shared by both worker modes).
+/// Returns the exit-code contribution: nonzero only for protocol corruption.
+int processJobLine(const std::string& jobText, std::ostream& out) {
+  std::size_t index = 0;
+  ScenarioJob job;
+  try {
+    job = wire::parseJobLine(jobText, index);
+  } catch (const std::exception& error) {
+    // An unparseable job line is protocol corruption: report what we can
+    // in-band and poison the worker's exit status.
+    out << wire::errorLine(index, error.what()) << "\n";
+    return 1;
+  }
+  maybeCrashForTest(index, /*afterReply=*/false);
+  try {
+    out << wire::outcomeLine(index, executeJob(job)) << "\n";
+  } catch (const std::exception& error) {
+    // A job that fails to simulate reports in-band only — the worker
+    // itself is healthy (exit 0), per the header contract.
+    out << wire::errorLine(index, error.what()) << "\n";
+  }
+  out.flush();
+  maybeCrashForTest(index, /*afterReply=*/true);
+  return 0;
 }
 
 }  // namespace
 
 int runWorkerLoop(std::istream& in, std::ostream& out) {
-  // Slurp every job first: emitting nothing until stdin EOF is the protocol
-  // invariant that keeps parent and worker from deadlocking on full pipes.
-  std::vector<std::string> lines;
   std::string line;
+  if (!std::getline(in, line)) return 0;  // empty session
+
+  // A streaming hello as the FIRST line switches protocols: ack
+  // immediately, then reply (and flush) per job so the dispatcher can deal
+  // the next job the moment this one finishes.
+  int version = 0;
+  if (wire::parseStreamHello(line, version)) {
+    out << wire::streamAckLine() << "\n" << std::flush;
+    int exitCode = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      exitCode |= processJobLine(line, out);
+      out.flush();
+    }
+    return exitCode;
+  }
+
+  // Batch protocol: the first line was already a job.  Slurp every job
+  // before emitting anything — that silence-until-EOF is the invariant that
+  // keeps parent and worker from deadlocking on full pipes.
+  std::vector<std::string> lines;
+  if (!line.empty()) lines.push_back(line);
   while (std::getline(in, line)) {
     if (!line.empty()) lines.push_back(line);
   }
   int exitCode = 0;
   for (const std::string& jobText : lines) {
-    std::size_t index = 0;
-    ScenarioJob job;
-    try {
-      job = wire::parseJobLine(jobText, index);
-    } catch (const std::exception& error) {
-      // An unparseable job line is protocol corruption: report what we can
-      // in-band and poison the worker's exit status.
-      out << wire::errorLine(index, error.what()) << "\n";
-      exitCode = 1;
-      continue;
-    }
-    try {
-      out << wire::outcomeLine(index, executeJob(job)) << "\n";
-    } catch (const std::exception& error) {
-      // A job that fails to simulate reports in-band only — the worker
-      // itself is healthy (exit 0), per the header contract.
-      out << wire::errorLine(index, error.what()) << "\n";
-    }
+    exitCode |= processJobLine(jobText, out);
   }
   out.flush();
   return exitCode;
@@ -207,14 +169,15 @@ std::vector<ScenarioOutcome> SubprocessBackend::execute(
   }();
   (void)sigpipeIgnored;
 
-  const std::string executable =
-      workerExecutable_.empty() ? selfExecutablePath() : workerExecutable_;
+  const dispatch::LocalProcessTransport transport(workerExecutable_);
   const unsigned shardCount = workersFor(jobs.size());
 
   WorkerPool pool;  // reaps and closes on every exit path
   std::vector<Worker>& workers = pool.workers;
   workers.reserve(shardCount);
-  for (unsigned s = 0; s < shardCount; ++s) workers.push_back(spawnWorker(executable));
+  for (unsigned s = 0; s < shardCount; ++s) {
+    workers.push_back(Worker{transport.launch(), {}});
+  }
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     workers[i % shardCount].jobIndices.push_back(i);
   }
@@ -227,10 +190,11 @@ std::vector<ScenarioOutcome> SubprocessBackend::execute(
     for (const std::size_t i : worker.jobIndices) {
       payload += wire::jobLine(i, jobs[i]) + "\n";
     }
-    const bool delivered = writeAll(worker.stdinFd, payload);
-    closeFd(worker.stdinFd);
+    const bool delivered = dispatch::writeAllToWorker(worker.conn.stdinFd, payload);
+    ::close(worker.conn.stdinFd);
+    worker.conn.stdinFd = -1;
     if (!delivered) {
-      failures.push_back("worker " + std::to_string(worker.pid) +
+      failures.push_back("worker " + std::to_string(worker.conn.pid) +
                          " closed stdin early");
     }
   }
@@ -246,7 +210,7 @@ std::vector<ScenarioOutcome> SubprocessBackend::execute(
     for (std::size_t w = 0; w < workers.size(); ++w) {
       readers.emplace_back([&, w] {
         try {
-          outputs[w] = readAll(workers[w].stdoutFd);
+          outputs[w] = readAll(workers[w].conn.stdoutFd);
         } catch (const std::exception& error) {
           readFailures[w] = error.what();
         }
@@ -259,15 +223,11 @@ std::vector<ScenarioOutcome> SubprocessBackend::execute(
   std::vector<bool> filled(jobs.size(), false);
   for (std::size_t w = 0; w < workers.size(); ++w) {
     Worker& worker = workers[w];
-    closeFd(worker.stdoutFd);
-    int status = 0;
-    const pid_t pid = worker.pid;
-    pid_t reaped;
-    do {
-      reaped = ::waitpid(pid, &status, 0);
-    } while (reaped < 0 && errno == EINTR);
-    worker.pid = -1;  // reaped; the pool destructor must not wait again
-    if (reaped != pid) {
+    const pid_t pid = worker.conn.pid;
+    ::close(worker.conn.stdoutFd);
+    worker.conn.stdoutFd = -1;
+    const int status = dispatch::reapWorker(worker.conn);
+    if (status < 0) {
       // A stale status of 0 must not pass for a clean exit.
       failures.push_back("worker " + std::to_string(pid) + " could not be reaped: " +
                          std::strerror(errno));
@@ -305,16 +265,28 @@ std::vector<ScenarioOutcome> SubprocessBackend::execute(
       }
     }
     if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
-      failures.push_back("worker " + std::to_string(pid) + " " +
-                         describeExit(status));
+      // Name the jobs this worker was carrying that never got a reply — the
+      // whole point of failing loudly is telling the operator exactly what
+      // was lost and where.
+      std::vector<std::size_t> lost;
+      for (const std::size_t i : worker.jobIndices) {
+        if (!filled[i]) lost.push_back(i);
+      }
+      std::string what = "worker " + std::to_string(pid) + " " +
+                         dispatch::describeWaitStatus(status);
+      if (!lost.empty()) {
+        what += " with job(s) " + joinIndices(lost) + " unanswered";
+      }
+      failures.push_back(std::move(what));
     }
   }
 
+  std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (!filled[i]) {
-      failures.push_back("job " + std::to_string(i) + " produced no result");
-      break;  // one representative missing-result failure is enough
-    }
+    if (!filled[i]) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    failures.push_back("job(s) " + joinIndices(missing) + " produced no result");
   }
   if (!failures.empty()) {
     std::string what = "SubprocessBackend: " + failures[0];

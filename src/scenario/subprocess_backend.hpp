@@ -31,10 +31,13 @@ namespace pnoc::scenario {
 /// The argv[1] that turns any scenario binary into a protocol worker.
 inline constexpr const char* kWorkerFlag = "--pnoc-worker";
 
-/// The worker side of the protocol: reads job lines from `in` until EOF,
-/// executes them in order, writes one reply line each to `out`.  Returns the
-/// process exit code (non-zero only on protocol corruption; per-job failures
-/// become error replies).
+/// The worker side of the protocol.  Two modes, switched by the FIRST stdin
+/// line: a streaming hello (wire::streamHelloLine) selects the streaming
+/// protocol — ack immediately, then one flushed reply per job line as it
+/// arrives (dispatch/StreamingWorkerPool's side of the deal); anything else
+/// is the first job of a batch session — read ALL lines to EOF, then reply.
+/// Returns the process exit code (non-zero only on protocol corruption;
+/// per-job failures become error replies).
 int runWorkerLoop(std::istream& in, std::ostream& out);
 
 class SubprocessBackend : public ExecutionBackend {

@@ -186,6 +186,46 @@ ScenarioPeak scenarioPeakFromJson(const std::string& json) {
   return peak;
 }
 
+std::string streamHelloLine() {
+  return "{\"pnoc_stream_hello\":" + std::to_string(kStreamProtocolVersion) + "}";
+}
+
+std::string streamAckLine() {
+  return "{\"pnoc_stream_ack\":" + std::to_string(kStreamProtocolVersion) + "}";
+}
+
+bool parseStreamHello(const std::string& line, int& version) {
+  // Cheap reject before parsing: job lines start with {"op": and must not
+  // pay a parse attempt per line.
+  if (line.find("\"pnoc_stream_hello\"") == std::string::npos) return false;
+  try {
+    const JsonValue value = JsonValue::parse(line);
+    const JsonValue* hello = value.find("pnoc_stream_hello");
+    if (hello == nullptr) return false;
+    version = static_cast<int>(hello->asU64());
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+void checkStreamAck(const std::string& line) {
+  std::uint64_t version = 0;
+  try {
+    const JsonValue value = JsonValue::parse(line);
+    version = value.at("pnoc_stream_ack").asU64();
+  } catch (const std::invalid_argument&) {
+    throw std::runtime_error(
+        "worker did not acknowledge the streaming protocol (got '" + line +
+        "' — a batch-protocol worker from an older build?)");
+  }
+  if (version != static_cast<std::uint64_t>(kStreamProtocolVersion)) {
+    throw std::runtime_error("worker speaks streaming protocol version " +
+                             std::to_string(version) + ", this driver speaks " +
+                             std::to_string(kStreamProtocolVersion));
+  }
+}
+
 std::string jobLine(std::size_t index, const ScenarioJob& job) {
   return "{\"op\":\"" + opName(job.op) + "\",\"index\":" + std::to_string(index) +
          ",\"spec\":" + job.spec.toJson() + "}";

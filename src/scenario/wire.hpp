@@ -42,6 +42,29 @@ ScenarioResult scenarioResultFromJson(const std::string& json);
 std::string toJson(const ScenarioPeak& peak);
 ScenarioPeak scenarioPeakFromJson(const std::string& json);
 
+// --- streaming handshake (dispatch/streaming_worker_pool) ---
+//
+// The batch protocol above needs no preamble: the worker slurps stdin to
+// EOF.  The streaming protocol keeps stdin open and deals one job at a
+// time, so both sides must agree to reply per line *before* the first job
+// — the parent's first stdin line is a hello carrying the protocol
+// version, the worker's first stdout line is the matching ack.  A version
+// mismatch (or anything else where the ack should be) fails the dispatch
+// loudly instead of hanging on a worker that will never flush.
+
+inline constexpr int kStreamProtocolVersion = 1;
+
+/// Parent -> worker, the first stdin line of a streaming session.
+std::string streamHelloLine();
+/// Worker -> parent, the first stdout line (carries the worker's version).
+std::string streamAckLine();
+/// True when `line` is a streaming hello (any version — the worker-side
+/// mode switch); fills `version`.
+bool parseStreamHello(const std::string& line, int& version);
+/// Validates a worker's ack line; throws std::runtime_error naming the
+/// problem when the line is not an ack or its version differs from ours.
+void checkStreamAck(const std::string& line);
+
 // --- worker protocol lines (no trailing newline; one line per job) ---
 
 std::string jobLine(std::size_t index, const ScenarioJob& job);

@@ -1,0 +1,591 @@
+// Dispatch-subsystem tests: the streaming worker pool, its transports and
+// the checkpointed-resume machinery.
+//
+// The acceptance bar mirrors the backend tests one layer down: for the same
+// spec batch, StreamingBackend — any worker count, any transport, any
+// completion order — produces results and BENCH records bit-identical to
+// InProcessBackend; a dead worker's in-flight job is retried once on a
+// survivor; unrecoverable losses fail loudly naming the worker and job.
+//
+// Like the subprocess tests, every worker here is a re-exec of THIS test
+// binary (tests/main.cpp recognizes --pnoc-worker; the worker loop
+// auto-detects the streaming handshake).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/dispatch/checkpoint.hpp"
+#include "scenario/dispatch/hosts_file.hpp"
+#include "scenario/dispatch/streaming_backend.hpp"
+#include "scenario/dispatch/streaming_worker_pool.hpp"
+#include "scenario/in_process_backend.hpp"
+#include "scenario/json_record.hpp"
+#include "scenario/scenario_runner.hpp"
+#include "scenario/subprocess_backend.hpp"
+#include "scenario/wire.hpp"
+
+namespace pnoc::scenario {
+namespace {
+
+using dispatch::HostEntry;
+using dispatch::StreamingBackend;
+
+ScenarioSpec quickSpec(const std::string& pattern, const std::string& arch,
+                       double load, std::uint64_t seed,
+                       std::uint64_t measureCycles = 600) {
+  ScenarioSpec spec;
+  spec.set("pattern", pattern);
+  spec.set("arch", arch);
+  spec.params.offeredLoad = load;
+  spec.params.seed = seed;
+  spec.params.warmupCycles = 100;
+  spec.params.measureCycles = measureCycles;
+  return spec;
+}
+
+/// Scoped env override (restored on destruction).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    hadOld_ = old != nullptr;
+    if (hadOld_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (hadOld_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool hadOld_ = false;
+  std::string old_;
+};
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents, const std::string& suffix = ".json") {
+    static int counter = 0;
+    path_ = ::testing::TempDir() + "pnoc_dispatch_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter++) + suffix;
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<ScenarioJob> mixedJobs() {
+  std::vector<ScenarioJob> jobs;
+  jobs.push_back({ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 7)});
+  jobs.push_back(
+      {ScenarioJob::Op::kFindPeak, quickSpec("skewed3", "dhetpnoc", 0.001, 9)});
+  jobs.push_back({ScenarioJob::Op::kRun, quickSpec("bitcomp", "firefly", 0.0008, 11)});
+  jobs.push_back(
+      {ScenarioJob::Op::kFindPeak, quickSpec("uniform", "firefly", 0.001, 13)});
+  return jobs;
+}
+
+void expectSameOutcomes(const std::vector<ScenarioOutcome>& actual,
+                        const std::vector<ScenarioOutcome>& expected,
+                        const std::string& context) {
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].op, expected[i].op) << context << " job=" << i;
+    EXPECT_EQ(actual[i].spec.toJson(), expected[i].spec.toJson())
+        << context << " job=" << i;
+    EXPECT_EQ(wire::toJson(actual[i].metrics), wire::toJson(expected[i].metrics))
+        << context << " job=" << i;
+    EXPECT_EQ(wire::toJson(actual[i].search), wire::toJson(expected[i].search))
+        << context << " job=" << i;
+  }
+}
+
+// --- streaming handshake (wire) ---
+
+TEST(StreamHandshake, HelloRoundTripsAndRejectsNonHellos) {
+  int version = 0;
+  EXPECT_TRUE(wire::parseStreamHello(wire::streamHelloLine(), version));
+  EXPECT_EQ(version, wire::kStreamProtocolVersion);
+  EXPECT_FALSE(wire::parseStreamHello("{\"op\":\"run\",\"index\":0,\"spec\":{}}",
+                                      version));
+  EXPECT_FALSE(wire::parseStreamHello("", version));
+  EXPECT_FALSE(wire::parseStreamHello("not json at all", version));
+}
+
+TEST(StreamHandshake, AckValidatesVersion) {
+  EXPECT_NO_THROW(wire::checkStreamAck(wire::streamAckLine()));
+  EXPECT_THROW(wire::checkStreamAck("{\"pnoc_stream_ack\":999}"), std::runtime_error);
+  EXPECT_THROW(wire::checkStreamAck("{\"index\":0,\"error\":\"x\"}"),
+               std::runtime_error);
+  EXPECT_THROW(wire::checkStreamAck("garbage"), std::runtime_error);
+}
+
+// --- hosts files ---
+
+TEST(HostsFile, ParsesArraysStringsAndDefaults) {
+  const auto hosts = dispatch::parseHostsFileText(
+      R"([{"launcher": ["ssh", "hostA"], "workers": 4,
+           "executable": "/opt/pnoc/bin/pnoc_run"},
+          {"launcher": "docker exec sim0", "workers": 2},
+          {"workers": 3},
+          {}])",
+      "<test>");
+  ASSERT_EQ(hosts.size(), 4u);
+  EXPECT_EQ(hosts[0].launcher, (std::vector<std::string>{"ssh", "hostA"}));
+  EXPECT_EQ(hosts[0].workers, 4u);
+  EXPECT_EQ(hosts[0].executable, "/opt/pnoc/bin/pnoc_run");
+  EXPECT_EQ(hosts[1].launcher, (std::vector<std::string>{"docker", "exec", "sim0"}));
+  EXPECT_EQ(hosts[1].workers, 2u);
+  EXPECT_TRUE(hosts[2].launcher.empty());
+  EXPECT_EQ(hosts[3].workers, 1u);  // default
+  EXPECT_EQ(dispatch::totalWorkers(hosts), 10u);
+  EXPECT_EQ(dispatch::transportsFor(hosts).size(), 10u);
+}
+
+TEST(HostsFile, WrappedObjectFormParses) {
+  const auto hosts = dispatch::parseHostsFileText(
+      R"({"hosts": [{"workers": 2}]})", "<test>");
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0].workers, 2u);
+}
+
+TEST(HostsFile, RejectsTyposAndNonsense) {
+  EXPECT_THROW(dispatch::parseHostsFileText(R"([{"wrokers": 2}])", "<test>"),
+               std::invalid_argument);
+  EXPECT_THROW(dispatch::parseHostsFileText(R"([{"workers": 0}])", "<test>"),
+               std::invalid_argument);
+  EXPECT_THROW(dispatch::parseHostsFileText(R"([])", "<test>"),
+               std::invalid_argument);
+  EXPECT_THROW(dispatch::parseHostsFileText(R"({"machines": []})", "<test>"),
+               std::invalid_argument);
+  EXPECT_THROW(dispatch::parseHostsFileText("42", "<test>"), std::invalid_argument);
+  EXPECT_THROW(dispatch::loadHostsFile("/nonexistent/hosts.json"),
+               std::invalid_argument);
+  // The origin is named.
+  try {
+    dispatch::parseHostsFileText("[]", "fleet-7.json");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("fleet-7.json"), std::string::npos);
+  }
+}
+
+// --- backend selection ---
+
+TEST(StreamingBackend, FactoryNameAndCapabilities) {
+  EXPECT_EQ(parseBackendKind("stream"), BackendKind::kStream);
+  EXPECT_EQ(toString(BackendKind::kStream), "stream");
+  const auto backend = makeBackend(BackendOptions{BackendKind::kStream, 3, ""});
+  EXPECT_EQ(backend->name(), "stream");
+  EXPECT_TRUE(backend->capabilities().crossProcess);
+  EXPECT_TRUE(backend->capabilities().deterministicMerge);
+  EXPECT_EQ(backend->workersFor(8), 3u);
+  EXPECT_EQ(backend->workersFor(2), 2u);  // clamped to the batch
+
+  const ScenarioRunner runner(BackendOptions{BackendKind::kStream, 2, ""});
+  EXPECT_EQ(runner.backend().name(), "stream");
+}
+
+TEST(StreamingBackend, HostsFleetSizesWorkerCount) {
+  StreamingBackend backend({HostEntry{{}, 2, ""}, HostEntry{{"env"}, 3, ""}});
+  EXPECT_EQ(backend.workersFor(100), 5u);  // the whole fleet
+  EXPECT_EQ(backend.workersFor(2), 2u);    // clamped to the batch
+}
+
+TEST(StreamingBackend, EmptyBatchIsANoOp) {
+  StreamingBackend backend(4);
+  EXPECT_TRUE(backend.run({}).empty());
+  EXPECT_TRUE(backend.findPeaks({}).empty());
+}
+
+// --- the acceptance bar: byte-identity across worker counts ---
+
+TEST(StreamingBackend, MixedBatchMatchesInProcessBitForBit) {
+  const std::vector<ScenarioJob> jobs = mixedJobs();
+  InProcessBackend inProcess(2);
+  const auto expected = inProcess.execute(jobs);
+  for (const unsigned shards : {1u, 2u, 3u}) {
+    StreamingBackend streaming(shards);
+    const auto actual = streaming.execute(jobs);
+    expectSameOutcomes(actual, expected, "shards=" + std::to_string(shards));
+  }
+}
+
+TEST(StreamingBackend, CommandTransportMatchesInProcess) {
+  // `env` is a do-nothing launcher prefix: the worker command runs locally
+  // but through the exact argv path an `ssh host` or `docker exec` fleet
+  // would use.
+  const std::vector<ScenarioJob> jobs = mixedJobs();
+  InProcessBackend inProcess(2);
+  const auto expected = inProcess.execute(jobs);
+  StreamingBackend streaming({HostEntry{{}, 1, ""}, HostEntry{{"env"}, 1, ""}});
+  const auto actual = streaming.execute(jobs);
+  expectSameOutcomes(actual, expected, "hosts fleet");
+}
+
+TEST(StreamingBackend, ObserverFiresPerCompletedJob) {
+  const std::vector<ScenarioJob> jobs = mixedJobs();
+  StreamingBackend streaming(2);
+  std::vector<bool> seen(jobs.size(), false);
+  streaming.setOutcomeObserver([&](std::size_t index, const ScenarioOutcome& outcome) {
+    ASSERT_LT(index, seen.size());
+    EXPECT_FALSE(seen[index]) << "observer fired twice for job " << index;
+    seen[index] = true;
+    EXPECT_EQ(outcome.spec.toJson(), jobs[index].spec.toJson());
+  });
+  const auto outcomes = streaming.execute(jobs);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "observer never fired for job " << i;
+  }
+}
+
+// --- uneven-cost grids (the reason the pool exists) ---
+
+// A mixed grid where one spec costs ~50x the others must merge
+// byte-identically across every backend and shard count — completion order
+// is wildly different in each configuration, the records must not be.
+TEST(UnevenGrid, BenchRecordsByteIdenticalAcrossAllBackendsAndShards) {
+  std::vector<ScenarioSpec> runSpecs;
+  runSpecs.push_back(quickSpec("uniform", "dhetpnoc", 0.001, 40, 10000));  // heavy
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    runSpecs.push_back(quickSpec("uniform", "firefly", 0.001, 41 + s, 300));
+  }
+  const std::vector<ScenarioSpec> peakSpecs = {
+      quickSpec("skewed3", "dhetpnoc", 0.001, 50, 400)};
+
+  const auto recordLines = [&](ExecutionBackend& backend) {
+    JsonRecorder recorder("uneven_compare");
+    std::string lines;
+    for (const auto& result : backend.run(runSpecs)) {
+      lines += recordRun(recorder, result.spec, result.metrics).serialize() + "\n";
+    }
+    for (const auto& peak : backend.findPeaks(peakSpecs)) {
+      lines += recordPeak(recorder, peak).serialize() + "\n";
+    }
+    return lines;
+  };
+
+  InProcessBackend reference(1);
+  const std::string expected = recordLines(reference);
+  ASSERT_FALSE(expected.empty());
+  for (const unsigned shards : {1u, 2u, 3u}) {
+    InProcessBackend threads(shards);
+    EXPECT_EQ(recordLines(threads), expected) << "threads shards=" << shards;
+    SubprocessBackend processes(shards);
+    EXPECT_EQ(recordLines(processes), expected) << "processes shards=" << shards;
+    StreamingBackend stream(shards);
+    EXPECT_EQ(recordLines(stream), expected) << "stream shards=" << shards;
+  }
+}
+
+// Dynamic dealing: the worker stuck on the ~100x spec must NOT receive an
+// equal share of the batch — its sibling drains the cheap jobs meanwhile.
+// (Static round-robin would give each worker half.)
+TEST(StreamingWorkerPool, SlowWorkerGetsFewerJobs) {
+  std::vector<ScenarioJob> jobs;
+  jobs.push_back(
+      {ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 60, 40000)});
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    jobs.push_back(
+        {ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 61 + s, 200)});
+  }
+  StreamingBackend streaming(2);
+  const auto outcomes = streaming.execute(jobs);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  const auto& perWorker = streaming.lastStats().jobsPerWorker;
+  ASSERT_EQ(perWorker.size(), 2u);
+  const unsigned lo = std::min(perWorker[0], perWorker[1]);
+  const unsigned hi = std::max(perWorker[0], perWorker[1]);
+  EXPECT_EQ(lo + hi, jobs.size());
+  EXPECT_LE(lo, 2u) << "the worker on the heavy spec should finish few jobs";
+  EXPECT_GE(hi, 7u) << "its sibling should have drained the cheap jobs";
+  EXPECT_EQ(streaming.lastStats().retries, 0u);
+}
+
+// --- worker-death handling (loud failure + retry-once) ---
+
+TEST(StreamingWorkerPool, DeadWorkersInFlightJobIsRetriedOnASurvivor) {
+  // The crash hook kills whichever worker first receives job 2 — once: the
+  // O_EXCL lock file lets the retry run to completion on the survivor.
+  const std::string lock = ::testing::TempDir() + "pnoc_crash_once_" +
+                           std::to_string(::getpid()) + ".lock";
+  std::remove(lock.c_str());
+  ScopedEnv crash("PNOC_TEST_STREAM_CRASH", ("2:" + lock).c_str());
+
+  std::vector<ScenarioJob> jobs;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    jobs.push_back(
+        {ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 70 + s, 500)});
+  }
+  InProcessBackend inProcess(2);
+  std::vector<ScenarioOutcome> expected;
+  {
+    ScopedEnv noCrash("PNOC_TEST_STREAM_CRASH", nullptr);  // in-process reference
+    expected = inProcess.execute(jobs);
+  }
+
+  StreamingBackend streaming(2);
+  const auto actual = streaming.execute(jobs);
+  expectSameOutcomes(actual, expected, "retry-once");
+  EXPECT_EQ(streaming.lastStats().retries, 1u);
+  std::remove(lock.c_str());
+}
+
+TEST(StreamingWorkerPool, IdleDeathIsToleratedWithAllResultsDelivered) {
+  // The worker that handles job 0 replies and THEN dies (the "after:"
+  // crash-hook variant) — no job is lost, so the batch must complete on the
+  // survivors with every outcome intact, not fail at teardown over the dead
+  // worker's exit status.
+  ScopedEnv crash("PNOC_TEST_STREAM_CRASH", "after:0");
+  std::vector<ScenarioJob> jobs;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    jobs.push_back(
+        {ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 75 + s, 500)});
+  }
+  InProcessBackend inProcess(2);
+  const auto expected = inProcess.execute(jobs);
+  StreamingBackend streaming(2);
+  const auto actual = streaming.execute(jobs);
+  expectSameOutcomes(actual, expected, "idle death");
+}
+
+TEST(StreamingWorkerPool, UnrecoverableDeathFailsLoudlyNamingTheJob) {
+  // No lock file: EVERY worker handed job 1 dies, so the one retry is spent
+  // and the dispatch must fail naming the job instead of merging the rest.
+  ScopedEnv crash("PNOC_TEST_STREAM_CRASH", "1");
+  std::vector<ScenarioJob> jobs;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    jobs.push_back(
+        {ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 80 + s, 400)});
+  }
+  StreamingBackend streaming(2);
+  try {
+    streaming.execute(jobs);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("job 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("exited with status 57"), std::string::npos) << what;
+  }
+}
+
+TEST(SubprocessBackend, DeadWorkerFailsLoudlyNamingUnansweredJobs) {
+  // Batch protocol has no retry: a worker dying on job 1 must fail the
+  // execute() naming the jobs that never got replies — silently merging the
+  // partial batch is the bug this guards against.
+  ScopedEnv crash("PNOC_TEST_STREAM_CRASH", "1");
+  std::vector<ScenarioJob> jobs;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    jobs.push_back(
+        {ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 90 + s, 400)});
+  }
+  SubprocessBackend subprocess(2);
+  try {
+    subprocess.execute(jobs);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("exited with status 57"), std::string::npos) << what;
+    EXPECT_NE(what.find("unanswered"), std::string::npos) << what;
+  }
+}
+
+TEST(StreamingWorkerPool, SilentWorkerFailsTheHandshakeInsteadOfHanging) {
+  // `sleep` holds both pipes open and never writes — the observable
+  // behavior of an older-build batch worker waiting for a stdin EOF the
+  // streaming parent never sends.  The handshake deadline must fail the
+  // dispatch, not hang it (teardown SIGTERMs the sleeper).
+  ScopedEnv timeout("PNOC_STREAM_ACK_TIMEOUT_MS", "300");
+  StreamingBackend streaming({HostEntry{{"sh", "-c", "exec sleep 30"}, 1, ""}});
+  std::vector<ScenarioJob> jobs;
+  jobs.push_back({ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 96)});
+  try {
+    streaming.execute(jobs);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("did not acknowledge"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(StreamingWorkerPool, AllWorkersDeadFailsInsteadOfHanging) {
+  // A launcher that exits immediately gives EOF before any ack: no live
+  // workers remain, and execute() must throw, not spin or hang.
+  StreamingBackend streaming({HostEntry{{"false"}, 2, ""}});
+  std::vector<ScenarioJob> jobs;
+  jobs.push_back({ScenarioJob::Op::kRun, quickSpec("uniform", "dhetpnoc", 0.001, 95)});
+  EXPECT_THROW(streaming.execute(jobs), std::runtime_error);
+}
+
+TEST(StreamingBackend, JobFailureSurfacesAsException) {
+  ScenarioSpec bad = quickSpec("uniform", "dhetpnoc", 0.001, 41);
+  bad.params.pattern = "no-such-family";
+  StreamingBackend streaming(1);
+  EXPECT_THROW(streaming.run({bad}), std::runtime_error);
+}
+
+// --- checkpointed resume ---
+
+std::string taggedRecord(JsonRecorder& recorder, const ScenarioResult& result,
+                         std::size_t gridIndex) {
+  return recordRun(recorder, result.spec, result.metrics)
+      .integer("grid_index", static_cast<long long>(gridIndex))
+      .serialize();
+}
+
+TEST(Checkpoint, RoundTripsAndReportsMissingIndices) {
+  const std::vector<ScenarioSpec> grid = {
+      quickSpec("uniform", "dhetpnoc", 0.001, 100),
+      quickSpec("uniform", "firefly", 0.001, 101),
+      quickSpec("skewed3", "dhetpnoc", 0.002, 102),
+  };
+  InProcessBackend backend(1);
+  const auto results = backend.run(grid);
+
+  // Checkpoint holding indices 0 and 2 (index 1 "lost to a kill").
+  JsonRecorder recorder("ckpt");
+  std::vector<std::string> raw = {taggedRecord(recorder, results[0], 0),
+                                  taggedRecord(recorder, results[2], 2)};
+  std::ostringstream file;
+  file << "{\"bench\":\"ckpt\",\"records\":[\n  " << raw[0] << ",\n  " << raw[1]
+       << "\n]}\n";
+
+  const auto checkpoint =
+      dispatch::parseBenchCheckpoint(file.str(), "run", grid, "<test>");
+  EXPECT_EQ(checkpoint.presentCount(), 2u);
+  EXPECT_EQ(checkpoint.missingIndices(), std::vector<std::size_t>{1});
+  ASSERT_TRUE(checkpoint.rawByIndex[0]);
+  EXPECT_EQ(*checkpoint.rawByIndex[0], raw[0]);  // byte-for-byte
+  ASSERT_TRUE(checkpoint.rawByIndex[2]);
+  EXPECT_EQ(*checkpoint.rawByIndex[2], raw[1]);
+
+  // Records named differently (timing, peak-vs-run) are ignored.
+  const auto wrongName =
+      dispatch::parseBenchCheckpoint(file.str(), "peak", grid, "<test>");
+  EXPECT_EQ(wrongName.presentCount(), 0u);
+}
+
+TEST(Checkpoint, MismatchedGridFailsLoudly) {
+  const std::vector<ScenarioSpec> grid = {quickSpec("uniform", "dhetpnoc", 0.001, 1)};
+  const std::string file =
+      "{\"bench\":\"x\",\"records\":[\n"
+      "  {\"name\":\"run\",\"arch\":\"firefly\",\"pattern\":\"uniform\","
+      "\"seed\":1,\"grid_index\":0}\n]}\n";
+  EXPECT_THROW(dispatch::parseBenchCheckpoint(file, "run", grid, "<test>"),
+               std::invalid_argument);  // arch mismatch
+
+  // A spec_key (what pnoc_run actually stamps) pins the WHOLE spec, so a
+  // record computed under ANY differing parameter — a changed measure
+  // window, say, which no identity field would catch — is rejected.
+  ScenarioSpec altered = grid[0];
+  altered.params.measureCycles += 1;
+  const std::string wrongKey =
+      "{\"bench\":\"x\",\"records\":[\n"
+      "  {\"name\":\"run\",\"spec_key\":\"" + dispatch::specKey(altered) +
+      "\",\"grid_index\":0}\n]}\n";
+  EXPECT_THROW(dispatch::parseBenchCheckpoint(wrongKey, "run", grid, "<test>"),
+               std::invalid_argument);
+  const std::string rightKey =
+      "{\"bench\":\"x\",\"records\":[\n"
+      "  {\"name\":\"run\",\"spec_key\":\"" + dispatch::specKey(grid[0]) +
+      "\",\"grid_index\":0}\n]}\n";
+  EXPECT_EQ(dispatch::parseBenchCheckpoint(rightKey, "run", grid, "<test>")
+                .presentCount(),
+            1u);
+
+  // A load sweep varies ONLY the load, so the recorded load must be checked
+  // too — otherwise an edited grid resumes silently with stale numbers.
+  const std::string wrongLoad =
+      "{\"bench\":\"x\",\"records\":[\n"
+      "  {\"name\":\"run\",\"arch\":\"dhetpnoc\",\"pattern\":\"uniform\","
+      "\"seed\":1,\"load\":0.002,\"grid_index\":0}\n]}\n";
+  EXPECT_THROW(dispatch::parseBenchCheckpoint(wrongLoad, "run", grid, "<test>"),
+               std::invalid_argument);
+
+  const std::string wrongSet =
+      "{\"bench\":\"x\",\"records\":[\n"
+      "  {\"name\":\"run\",\"arch\":\"dhetpnoc\",\"pattern\":\"uniform\","
+      "\"seed\":1,\"bandwidth_set\":3,\"grid_index\":0}\n]}\n";
+  EXPECT_THROW(dispatch::parseBenchCheckpoint(wrongSet, "run", grid, "<test>"),
+               std::invalid_argument);
+
+  const std::string outOfRange =
+      "{\"bench\":\"x\",\"records\":[\n"
+      "  {\"name\":\"run\",\"grid_index\":7}\n]}\n";
+  EXPECT_THROW(dispatch::parseBenchCheckpoint(outOfRange, "run", grid, "<test>"),
+               std::invalid_argument);
+
+  const std::string duplicate =
+      "{\"bench\":\"x\",\"records\":[\n"
+      "  {\"name\":\"run\",\"grid_index\":0},\n"
+      "  {\"name\":\"run\",\"grid_index\":0}\n]}\n";
+  EXPECT_THROW(dispatch::parseBenchCheckpoint(duplicate, "run", grid, "<test>"),
+               std::invalid_argument);
+
+  EXPECT_THROW(
+      dispatch::parseBenchCheckpoint("{\"bench\":\"x\",\"records\":[", "run", grid,
+                                     "<test>"),
+      std::invalid_argument);  // truncated by a kill mid-write
+}
+
+TEST(Checkpoint, MissingFileIsAnEmptyCheckpoint) {
+  const std::vector<ScenarioSpec> grid = {quickSpec("uniform", "dhetpnoc", 0.001, 1)};
+  const auto checkpoint =
+      dispatch::loadBenchCheckpoint("/nonexistent/BENCH_x.json", "run", grid);
+  EXPECT_EQ(checkpoint.presentCount(), 0u);
+  EXPECT_EQ(checkpoint.rawByIndex.size(), grid.size());
+}
+
+TEST(Checkpoint, WriterMatchesJsonRecorderFormat) {
+  // The incremental checkpoint writer and JsonRecorder::write must agree
+  // byte for byte — that equivalence is what makes a resumed file identical
+  // to an uninterrupted run's.
+  const std::vector<std::string> raw = {"{\"name\":\"run\",\"gbps\":1}",
+                                        "{\"name\":\"run\",\"gbps\":2}"};
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dispatch::writeBenchFile(dir, "writer_compare", raw);
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::ostringstream actual;
+  actual << in.rdbuf();
+
+  JsonRecorder recorder("writer_compare");
+  for (const std::string& record : raw) recorder.addRaw(record);
+  const std::string recorderPath = recorder.write(dir);
+  std::ifstream in2(recorderPath);
+  std::ostringstream expected;
+  expected << in2.rdbuf();
+
+  EXPECT_EQ(actual.str(), expected.str());
+  std::remove(path.c_str());
+}
+
+TEST(JsonRecord, RawRecordsSerializeVerbatimAndIgnoreFieldCalls) {
+  JsonRecord raw = JsonRecord::fromSerialized("{\"name\":\"x\",\"v\":1}");
+  raw.number("extra", 2.0).integer("more", 3).text("t", "s");
+  EXPECT_EQ(raw.serialize(), "{\"name\":\"x\",\"v\":1}");
+}
+
+}  // namespace
+}  // namespace pnoc::scenario

@@ -118,6 +118,45 @@ TEST(SpecFile, ErrorsNameTheOrigin) {
   }
 }
 
+std::string errorFor(const std::string& text, const std::string& origin) {
+  try {
+    parseSpecFileText(text, ScenarioSpec{}, origin);
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(SpecFile, KeyValueErrorsNameTheLine) {
+  // Unknown key on line 4 of the second stanza.
+  const std::string what = errorFor(
+      "pattern=uniform\nload=0.001\n\nwavelenghts=64\n", "grid.kv");
+  EXPECT_NE(what.find("grid.kv"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  EXPECT_NE(what.find("wavelenghts"), std::string::npos) << what;
+
+  // Malformed value keeps its line too.
+  const std::string badValue =
+      errorFor("pattern=uniform\nload=not-a-number\n", "grid.kv");
+  EXPECT_NE(badValue.find("line 2"), std::string::npos) << badValue;
+}
+
+TEST(SpecFile, JsonErrorsNameTheLineTheSpecStartsOn) {
+  // NDJSON: the offending object is on line 3.
+  const std::string ndjson = errorFor(
+      "{\"pattern\":\"uniform\"}\n{\"pattern\":\"tornado\"}\n{\"bogus\":1}\n",
+      "grid.json");
+  EXPECT_NE(ndjson.find("grid.json"), std::string::npos) << ndjson;
+  EXPECT_NE(ndjson.find("line 3"), std::string::npos) << ndjson;
+
+  // Array form: each element keeps its own start line.
+  const std::string array = errorFor(
+      "[\n  {\"pattern\":\"uniform\"},\n  {\"pattern\":\"tornado\",\n"
+      "   \"wavelenghts\":64}\n]\n",
+      "grid.json");
+  EXPECT_NE(array.find("line 3"), std::string::npos) << array;
+}
+
 TEST(CliSpecFiles, AtFileAppliesOntoTheSpecAndCommandLineWins) {
   TempSpecFile file("pattern=skewed2\nload=0.003\nseed=17\n");
   const std::string atArg = "@" + file.path();
@@ -182,6 +221,60 @@ TEST(CliBackendKeys, BackendAndShardsParse) {
             CliStatus::kRun);
   EXPECT_EQ(defaultCli.backendOptions().kind, BackendKind::kThreads);
   EXPECT_EQ(defaultCli.backendOptions().workers, 0u);
+  EXPECT_TRUE(defaultCli.backendOptions().hostsFile.empty());
+}
+
+TEST(CliBackendKeys, StreamAndHostsParse) {
+  const char* stream[] = {"test_binary", "backend=stream", "shards=3"};
+  ScenarioSpec spec;
+  Cli cli("test_binary", "backend keys");
+  ASSERT_EQ(cli.parse(3, const_cast<char**>(stream), &spec), CliStatus::kRun);
+  EXPECT_EQ(cli.backendOptions().kind, BackendKind::kStream);
+  EXPECT_EQ(cli.backendOptions().workers, 3u);
+
+  // hosts= names a fleet file (leading @ optional) and implies
+  // backend=stream when no backend was chosen.
+  TempSpecFile hosts(R"([{"launcher": ["env"], "workers": 2}])");
+  const std::string hostsAtArg = "hosts=@" + hosts.path();
+  const char* withHosts[] = {"test_binary", hostsAtArg.c_str()};
+  Cli hostsCli("test_binary", "backend keys");
+  ScenarioSpec hostsSpec;
+  ASSERT_EQ(hostsCli.parse(2, const_cast<char**>(withHosts), &hostsSpec),
+            CliStatus::kRun);
+  EXPECT_EQ(hostsCli.backendOptions().kind, BackendKind::kStream);
+  EXPECT_EQ(hostsCli.backendOptions().hostsFile, hosts.path());
+  ASSERT_EQ(hostsCli.backendOptions().hosts.size(), 1u);  // parsed once, here
+  EXPECT_EQ(hostsCli.backendOptions().hosts[0].workers, 2u);
+
+  // ... but contradicting an explicit non-stream backend is an error.
+  const std::string hostsKey = "hosts=" + hosts.path();
+  const char* contradictory[] = {"test_binary", "backend=threads", hostsKey.c_str()};
+  Cli badCli("test_binary", "backend keys");
+  ScenarioSpec badSpec;
+  EXPECT_EQ(badCli.parse(3, const_cast<char**>(contradictory), &badSpec),
+            CliStatus::kError);
+
+  // ... and so is shards= next to a fleet that sizes itself.
+  const char* shardsToo[] = {"test_binary", "shards=8", hostsKey.c_str()};
+  Cli shardsCli("test_binary", "backend keys");
+  ScenarioSpec shardsSpec;
+  EXPECT_EQ(shardsCli.parse(3, const_cast<char**>(shardsToo), &shardsSpec),
+            CliStatus::kError);
+
+  // An unreadable fleet file fails at parse time, not mid-dispatch.
+  const char* missing[] = {"test_binary", "hosts=/nonexistent/hosts.json"};
+  Cli missingCli("test_binary", "backend keys");
+  ScenarioSpec missingSpec;
+  EXPECT_EQ(missingCli.parse(2, const_cast<char**>(missing), &missingSpec),
+            CliStatus::kError);
+
+  // hosts=@ with no path (an unset shell variable) must not silently run
+  // single-machine.
+  const char* emptyHosts[] = {"test_binary", "hosts=@"};
+  Cli emptyCli("test_binary", "backend keys");
+  ScenarioSpec emptySpec;
+  EXPECT_EQ(emptyCli.parse(2, const_cast<char**>(emptyHosts), &emptySpec),
+            CliStatus::kError);
 }
 
 }  // namespace

@@ -2,25 +2,62 @@
 // it out through the chosen ExecutionBackend, and emits one merged
 // BENCH_<bench>.json through the scenario layer's single record path.
 //
-//   pnoc_run @grid.json [@more.kv ...] [mode=run|peak] [backend=threads|processes]
-//            [shards=N] [bench=pnoc_run] [json=.] [scenario overrides...]
+//   pnoc_run @grid.json [@more.kv ...] [mode=run|peak]
+//            [backend=threads|processes|stream] [shards=N] [hosts=@hosts.json]
+//            [resume=1] [bench=pnoc_run] [json=.] [scenario overrides...]
 //
 // Grid files are key=value stanzas (blank-line separated) or JSON (object,
 // array of objects, or newline-delimited objects); each spec starts from the
 // defaults and command-line scenario keys override every loaded spec (the
 // command line wins).  `mode=run` measures each spec at its fixed load;
 // `mode=peak` runs a saturation search per spec.  Results and BENCH records
-// are bit-identical across backends and shard counts, so a sharded sweep on
-// many cores is a drop-in for the single-process run.
+// are bit-identical across backends, shard counts and transports, so a
+// sharded sweep on many cores — or a hosts file of many machines — is a
+// drop-in for the single-process run.
+//
+// Every run/peak record carries its `grid_index`, which makes the BENCH file
+// a checkpoint: with `resume=1` an existing record's indices are skipped and
+// only the remainder is dispatched, and the merged file is byte-identical
+// (timing record aside) to an uninterrupted run.  Under `backend=stream`
+// the driver additionally checkpoints after EVERY completed job — when
+// resuming, or when no BENCH file existed at start; a failed plain re-run
+// never replaces an existing complete record with a partial checkpoint —
+// so a killed grid resumes from its last completion instead of its last
+// exit.
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "metrics/report.hpp"
 #include "scenario/cli.hpp"
+#include "scenario/dispatch/checkpoint.hpp"
 #include "scenario/scenario_runner.hpp"
 #include "scenario/spec_file.hpp"
 
 using namespace pnoc;
+
+namespace {
+
+/// The serialized run/peak record for one grid index — THE record format
+/// (recordRun/recordPeak) plus the grid_index and spec_key tags resume
+/// keys off (spec_key fingerprints the whole spec, so a resumed record can
+/// never silently carry results from different simulation parameters).
+std::string serializedRecord(const scenario::ScenarioOutcome& outcome,
+                             std::size_t gridIndex) {
+  scenario::JsonRecorder scratch("scratch");
+  scenario::JsonRecord& record =
+      outcome.op == scenario::ScenarioJob::Op::kRun
+          ? scenario::recordRun(scratch, outcome.spec, outcome.metrics)
+          : scenario::recordPeak(scratch,
+                                 scenario::ScenarioPeak{outcome.spec, outcome.search});
+  record.integer("grid_index", static_cast<long long>(gridIndex));
+  record.text("spec_key", scenario::dispatch::specKey(outcome.spec));
+  return record.serialize();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   scenario::ScenarioSpec base;
@@ -29,6 +66,8 @@ int main(int argc, char** argv) {
   cli.addKey("mode", "run (fixed-load, default) | peak (saturation search per spec)");
   cli.addKey("bench", "BENCH record name (default pnoc_run)");
   cli.addKey("json", "directory for the BENCH record (default .)");
+  cli.addKey("resume", "1: reuse records from the existing BENCH file and dispatch"
+                       " only missing grid indices");
   cli.setCollectSpecFiles(true);
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp:
@@ -45,10 +84,12 @@ int main(int argc, char** argv) {
   std::string mode;
   std::string benchName;
   std::string jsonDir;
+  bool resume = false;
   try {
     mode = cli.config().getString("mode", "run");
     benchName = cli.config().getString("bench", "pnoc_run");
     jsonDir = cli.config().getString("json", ".");
+    resume = cli.config().getBool("resume", false);
     if (mode != "run" && mode != "peak") {
       std::cerr << "pnoc_run: mode must be run or peak, not '" << mode << "'\n";
       return 1;
@@ -74,54 +115,142 @@ int main(int argc, char** argv) {
   }
   if (grid.empty()) grid.push_back(base);  // no files: one spec from the CLI
 
-  const scenario::ScenarioRunner runner(cli.backendOptions());
-  const auto& backend = runner.backend();
-  std::cout << "pnoc_run: " << grid.size() << " spec(s), mode=" << mode
-            << ", backend=" << backend.name() << " ("
-            << backend.workersFor(grid.size()) << " worker(s))\n";
+  const std::string benchPath = jsonDir + "/BENCH_" + benchName + ".json";
+  const std::string recordName = mode == "run" ? "run" : "peak";
+  // Incremental checkpointing may only touch the BENCH file mid-run when the
+  // operator opted into resume semantics or nothing is there to lose — a
+  // failed re-run must not replace an existing complete record with a
+  // partial checkpoint the user never asked for.
+  const bool checkpointing = resume || !std::ifstream(benchPath).good();
 
-  scenario::JsonRecorder recorder(benchName);
-  const auto start = std::chrono::steady_clock::now();
+  // Resume: map the existing BENCH file's records onto the grid and only
+  // dispatch the indices it is missing.
+  scenario::dispatch::BenchCheckpoint checkpoint;
+  checkpoint.rawByIndex.resize(grid.size());
   try {
-    if (mode == "run") {
-      const auto results = runner.run(grid);
-      metrics::ReportTable table("pnoc_run: fixed-load runs");
-      table.setHeader({"#", "arch", "pattern", "load", "Gb/s", "accept", "EPM (pJ)"});
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto& r = results[i];
-        table.addRow({std::to_string(i), r.spec.get("arch"), r.spec.params.pattern,
-                      metrics::ReportTable::num(r.spec.params.offeredLoad, 5),
-                      metrics::ReportTable::num(r.metrics.deliveredGbps()),
-                      metrics::ReportTable::num(r.metrics.acceptance(), 3),
-                      metrics::ReportTable::num(r.metrics.energyPerPacketPj(), 1)});
-        scenario::recordRun(recorder, r.spec, r.metrics);
-      }
-      table.print(std::cout);
-    } else {
-      const auto peaks = runner.findPeaks(grid);
-      metrics::ReportTable table("pnoc_run: saturation peaks");
-      table.setHeader({"#", "arch", "pattern", "peak load", "Gb/s", "EPM (pJ)",
-                       "points"});
-      for (std::size_t i = 0; i < peaks.size(); ++i) {
-        const auto& p = peaks[i];
-        table.addRow({std::to_string(i), p.spec.get("arch"), p.spec.params.pattern,
-                      metrics::ReportTable::num(p.search.peak.offeredLoad, 5),
-                      metrics::ReportTable::num(p.search.peak.metrics.deliveredGbps()),
-                      metrics::ReportTable::num(
-                          p.search.peak.metrics.energyPerPacketPj(), 1),
-                      std::to_string(p.search.sweep.size())});
-        scenario::recordPeak(recorder, p);
-      }
-      table.print(std::cout);
+    if (resume) {
+      checkpoint =
+          scenario::dispatch::loadBenchCheckpoint(benchPath, recordName, grid);
     }
-  } catch (const std::exception& error) {
+  } catch (const std::invalid_argument& error) {
     std::cerr << "pnoc_run: " << error.what() << "\n";
     return 1;
   }
+  const std::vector<std::size_t> missing = checkpoint.missingIndices();
+  if (resume) {
+    std::cout << "pnoc_run: resume: " << checkpoint.presentCount() << " of "
+              << grid.size() << " spec(s) already recorded, dispatching "
+              << missing.size() << " job(s)\n";
+  }
+
+  const auto op = mode == "run" ? scenario::ScenarioJob::Op::kRun
+                                : scenario::ScenarioJob::Op::kFindPeak;
+  std::vector<scenario::ScenarioJob> jobs;
+  jobs.reserve(missing.size());
+  for (const std::size_t gridIndex : missing) {
+    jobs.push_back(scenario::ScenarioJob{op, grid[gridIndex]});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto flushCheckpoint = [&] {
+    std::vector<std::string> done;
+    for (const auto& raw : checkpoint.rawByIndex) {
+      if (raw) done.push_back(*raw);
+    }
+    if (!done.empty()) {
+      scenario::dispatch::writeBenchFile(jsonDir, benchName, done);
+    }
+  };
+  std::vector<scenario::ScenarioOutcome> outcomes;
+  try {
+    const scenario::ScenarioRunner runner(cli.backendOptions());
+    auto& backend = runner.backend();
+    std::cout << "pnoc_run: " << grid.size() << " spec(s), mode=" << mode
+              << ", backend=" << backend.name() << " ("
+              << backend.workersFor(jobs.size()) << " worker(s))\n";
+
+    // Streaming backends report each completed job: checkpoint the BENCH
+    // file after every completion, so a killed run resumes from its last
+    // finished job.  (Batch backends never fire this; they checkpoint only
+    // via the final write below.)
+    if (checkpointing) {
+      // Rewrites are throttled to ~1/s: a checkpoint exists to bound lost
+      // work after a kill, and one second of it is a fine bound — rewriting
+      // a many-thousand-spec file after every cheap job is not.  Records
+      // held back by the throttle flush in the final write below, or in the
+      // failure path's flushCheckpoint.
+      auto lastWrite = std::chrono::steady_clock::time_point{};
+      backend.setOutcomeObserver(
+          [&, lastWrite](std::size_t jobIndex,
+                         const scenario::ScenarioOutcome& outcome) mutable {
+            checkpoint.rawByIndex[missing[jobIndex]] =
+                serializedRecord(outcome, missing[jobIndex]);
+            const auto now = std::chrono::steady_clock::now();
+            if (now - lastWrite < std::chrono::seconds(1)) return;
+            lastWrite = now;
+            flushCheckpoint();
+          });
+    }
+    if (!jobs.empty()) outcomes = runner.execute(jobs);
+  } catch (const std::exception& error) {
+    std::cerr << "pnoc_run: " << error.what() << "\n";
+    // Keep every completed job a failed dispatch had already delivered —
+    // resume=1 then re-simulates only what is genuinely missing.
+    if (checkpointing) flushCheckpoint();
+    return 1;
+  }
+
+  // Merge: fresh outcomes land at their grid indices next to the resumed
+  // records, and the report table covers what THIS invocation ran.
+  metrics::ReportTable table(mode == "run" ? "pnoc_run: fixed-load runs"
+                                           : "pnoc_run: saturation peaks");
+  if (mode == "run") {
+    table.setHeader({"#", "arch", "pattern", "load", "Gb/s", "accept", "EPM (pJ)"});
+  } else {
+    table.setHeader({"#", "arch", "pattern", "peak load", "Gb/s", "EPM (pJ)",
+                     "points"});
+  }
+  for (std::size_t j = 0; j < outcomes.size(); ++j) {
+    const auto& outcome = outcomes[j];
+    const std::size_t gridIndex = missing[j];
+    if (!checkpoint.rawByIndex[gridIndex]) {  // observer may have stored it
+      checkpoint.rawByIndex[gridIndex] = serializedRecord(outcome, gridIndex);
+    }
+    if (mode == "run") {
+      table.addRow({std::to_string(gridIndex), outcome.spec.get("arch"),
+                    outcome.spec.params.pattern,
+                    metrics::ReportTable::num(outcome.spec.params.offeredLoad, 5),
+                    metrics::ReportTable::num(outcome.metrics.deliveredGbps()),
+                    metrics::ReportTable::num(outcome.metrics.acceptance(), 3),
+                    metrics::ReportTable::num(outcome.metrics.energyPerPacketPj(), 1)});
+    } else {
+      table.addRow({std::to_string(gridIndex), outcome.spec.get("arch"),
+                    outcome.spec.params.pattern,
+                    metrics::ReportTable::num(outcome.search.peak.offeredLoad, 5),
+                    metrics::ReportTable::num(
+                        outcome.search.peak.metrics.deliveredGbps()),
+                    metrics::ReportTable::num(
+                        outcome.search.peak.metrics.energyPerPacketPj(), 1),
+                    std::to_string(outcome.search.sweep.size())});
+    }
+  }
+  table.print(std::cout);
 
   const double wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  scenario::JsonRecorder recorder(benchName);
+  for (const auto& raw : checkpoint.rawByIndex) {
+    if (raw) recorder.addRaw(*raw);
+  }
   scenario::recordTiming(recorder, wallSeconds, grid.size());
-  std::cout << "wrote " << recorder.write(jsonDir) << " (" << wallSeconds << " s)\n";
+  const std::string written = recorder.write(jsonDir);
+  if (written.empty()) {
+    // The BENCH file IS the product of a grid run; a failed write (ENOSPC,
+    // permissions) must not report success.
+    std::cerr << "pnoc_run: failed to write the BENCH record to " << jsonDir
+              << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << written << " (" << wallSeconds << " s)\n";
   return 0;
 }
