@@ -16,17 +16,58 @@ CoreNode::CoreNode(const Config& config, const noc::ClusterTopology& topology,
       nextPacketId_(nextPacketId),
       queue_(config.queueCapacityPackets) {
   assert(nextPacketId != nullptr);
+  nextArrivalAt_ = drawArrivalFrom(0);
+}
+
+void CoreNode::reset(sim::Rng rng) {
+  rng_ = rng;
+  queue_.clear();
+  flitCursor_ = 0;
+  stats_ = CoreStats{};
+  timerScheduledFor_ = kNoCycle;  // the engine reset dropped any pending timer
+  redrawPending_ = false;
+  nextArrivalAt_ = drawArrivalFrom(0);
+}
+
+void CoreNode::setInjectionProbability(double probability) {
+  if (probability == config_.injectionProbability) return;  // parked cores stay parked
+  config_.injectionProbability = probability;
+  redrawPending_ = true;
+  requestWake();
+}
+
+Cycle CoreNode::drawArrivalFrom(Cycle firstCandidate) {
+  if (config_.injectionProbability <= 0.0) return kNoCycle;
+  // One trial per candidate cycle, exactly as the per-cycle injector drew
+  // them: the gap comes out geometric AND the stream position at the success
+  // is the same, so destination draws see identical randomness.
+  return firstCandidate + rng_.nextGeometricTrials(config_.injectionProbability);
 }
 
 void CoreNode::evaluate(Cycle) {}
 
 void CoreNode::advance(Cycle cycle) {
-  generate(cycle);
+  if (redrawPending_) {
+    // Load retarget: trials with the new probability start at this cycle.
+    redrawPending_ = false;
+    nextArrivalAt_ = drawArrivalFrom(cycle);
+  }
+  if (cycle == nextArrivalAt_) {
+    offerPacket(cycle);
+    nextArrivalAt_ = drawArrivalFrom(cycle + 1);
+  }
   injectFlits(cycle);
+  // About to go idle until the pre-drawn arrival: set the wake timer (once
+  // per target cycle; spurious fires on an active core are dropped by the
+  // engine).  With a backlog the core stays active and needs no timer.
+  if (queue_.empty() && nextArrivalAt_ != kNoCycle &&
+      timerScheduledFor_ != nextArrivalAt_) {
+    scheduleWakeAt(nextArrivalAt_);
+    timerScheduledFor_ = nextArrivalAt_;
+  }
 }
 
-void CoreNode::generate(Cycle cycle) {
-  if (!rng_.nextBool(config_.injectionProbability)) return;
+void CoreNode::offerPacket(Cycle cycle) {
   ++stats_.packetsOffered;
   if (queue_.full()) {
     ++stats_.packetsRefused;

@@ -1,13 +1,24 @@
 // A processing core: open-loop packet source with a finite injection queue,
 // plus the ejection sink that terminates packets at their destination.
 //
-// Injection follows the traffic pattern's per-core weight: each cycle the
-// core offers a packet with probability offeredLoad * normalizedWeight; if
-// the injection queue is full the offer is refused (counted — this is how
+// Injection follows the traffic pattern's per-core weight: the core offers a
+// packet with per-cycle probability offeredLoad * normalizedWeight; if the
+// injection queue is full the offer is refused (counted — this is how
 // saturation shows up at the sources).  Queued packets are pushed into the
 // core's electrical router one flit per cycle; a head flit that finds every
 // VC busy is dropped and retransmitted the next cycle (Section 1.4),
 // counted as a retry.
+//
+// Arrivals are PRE-SCHEDULED: instead of flipping a Bernoulli coin every
+// cycle, the core draws the geometric gap to its next offer up front — by
+// replaying the very same per-cycle Bernoulli trials against its private RNG
+// stream, so the offer times AND the stream position at every destination
+// draw are bit-identical to the per-cycle formulation — then schedules an
+// engine timer for the arrival cycle and parks for the whole gap.  At low
+// offered load this is the difference between every core waking every cycle
+// and the whole injection side sleeping (tests/integration/
+// engine_equivalence_test.cpp asserts both the exact replay and the
+// geometric law).
 #pragma once
 
 #include <cstdint>
@@ -52,34 +63,42 @@ class CoreNode final : public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return "core" + std::to_string(config_.core); }
-  /// A core that can never inject (zero traffic weight) and has drained its
-  /// queue is parked; cores with a live injection probability must draw the
-  /// RNG every cycle and stay active.
+  /// A core with an empty queue parks between pre-scheduled arrivals (the
+  /// engine timer it set wakes it at the arrival cycle); a core that can
+  /// never inject (zero probability) parks outright.  A non-empty queue
+  /// keeps the core active: it pushes one flit per cycle and must keep
+  /// retrying dropped head flits so the retry counters stay exact.
   bool quiescent() const override {
-    return config_.injectionProbability <= 0.0 && queue_.empty();
+    return queue_.empty() && !redrawPending_ &&
+           (nextArrivalAt_ == kNoCycle || timerScheduledFor_ == nextArrivalAt_);
   }
 
   const CoreStats& stats() const { return stats_; }
   std::uint32_t queuedPackets() const { return queue_.size(); }
 
+  /// Cycle of the next pre-scheduled offer (kNoCycle when the core can never
+  /// inject) — introspection for tests.
+  Cycle nextArrivalAt() const { return nextArrivalAt_; }
+
   /// Restores the freshly-constructed state with a new RNG stream (network
   /// reset; the network re-seeds every core the same way construction did).
-  void reset(sim::Rng rng) {
-    rng_ = rng;
-    queue_.clear();
-    flitCursor_ = 0;
-    stats_ = CoreStats{};
-  }
+  /// Re-draws the first arrival gap exactly as the constructor does.
+  void reset(sim::Rng rng);
 
-  /// Re-targets the injector (PhotonicNetwork::setOfferedLoad()).  Wakes the
-  /// core in case it was parked with a zero probability.
-  void setInjectionProbability(double probability) {
-    config_.injectionProbability = probability;
-    requestWake();
-  }
+  /// Re-targets the injector (PhotonicNetwork::setOfferedLoad()).  A no-op
+  /// when the probability is unchanged, so parked cores stay parked across
+  /// redundant sweep-point updates; on a real change the pending gap is
+  /// re-drawn at the core's next cycle so the new load takes effect
+  /// immediately (Bernoulli trials with the new probability from that cycle
+  /// on).
+  void setInjectionProbability(double probability);
 
  private:
-  void generate(Cycle cycle);
+  /// Replays per-cycle Bernoulli trials starting at `firstCandidate` and
+  /// returns the first success cycle (kNoCycle when probability <= 0; no RNG
+  /// is consumed then, matching Rng::nextBool's p<=0 short-circuit).
+  Cycle drawArrivalFrom(Cycle firstCandidate);
+  void offerPacket(Cycle cycle);
   void injectFlits(Cycle cycle);
 
   Config config_;
@@ -91,6 +110,9 @@ class CoreNode final : public sim::Clocked {
   PacketId* nextPacketId_;
   sim::RingBuffer<noc::PacketHandle> queue_;
   std::uint32_t flitCursor_ = 0;  // next flit of queue_.front() to inject
+  Cycle nextArrivalAt_ = kNoCycle;
+  Cycle timerScheduledFor_ = kNoCycle;  // engine timer already set for this cycle
+  bool redrawPending_ = false;          // probability changed; re-draw next cycle
   CoreStats stats_;
 };
 

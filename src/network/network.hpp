@@ -90,6 +90,7 @@ class PhotonicNetwork {
   const PhotonicRouter& photonicRouter(ClusterId cluster) const {
     return *photonicRouters_[cluster];
   }
+  const CoreNode& core(CoreId id) const { return *cores_[id]; }
   sim::Engine& engine() { return engine_; }
 
   /// Total flits currently buffered anywhere in the system.

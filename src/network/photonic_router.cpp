@@ -1,6 +1,7 @@
 #include "network/photonic_router.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -16,13 +17,14 @@ PhotonicRouter::PhotonicRouter(std::string name, const PhotonicRouterConfig& con
       receiveBank_(config.vcsPerPort, config.vcDepthFlits),
       receiveBindings_(config.vcsPerPort),
       ejection_(config.clusterSize, nullptr),
-      ejectionRoundRobin_(config.clusterSize, 0) {
+      ejectionRoundRobin_(config.clusterSize, 0),
+      coreBoundVcs_(config.clusterSize, 0) {
   assert(config.vcDepthFlits >= config.packetFlits &&
          "a receive VC must hold a whole packet");
   ingress_.reserve(config.clusterSize);
   for (std::uint32_t i = 0; i < config.clusterSize; ++i) {
     ingress_.emplace_back(config.vcsPerPort, config.vcDepthFlits);
-    ingress_.back().notifyOwner(this, &bufferedFlits_);
+    ingress_.back().notifyOwner(this, &ingressFlits_);
   }
 }
 
@@ -45,6 +47,7 @@ VcId PhotonicRouter::tryReserveReceiveVc(PacketId packet, CoreId dstCore) {
   if (vc == kNoVc) return kNoVc;
   receiveBank_.lock(vc);
   receiveBindings_[vc] = ReceiveBinding{true, packet, dstCore};
+  coreBoundVcs_[dstCore % ejection_.size()] |= 1u << vc;
   return vc;
 }
 
@@ -76,36 +79,43 @@ void PhotonicRouter::processArrivals(Cycle cycle) {
     assert(!receiveBank_.vc(arrival.vc).full() &&
            "receive VC sized to a whole packet cannot overflow");
     receiveBank_.push(arrival.vc, arrival.flit, cycle);
-    ++bufferedFlits_;
+    ++receiveFlits_;
   }
   inFlight_.erase(std::remove_if(inFlight_.begin(), inFlight_.end(), due), inFlight_.end());
 }
 
 void PhotonicRouter::runEjection(Cycle cycle) {
-  if (receiveBank_.totalOccupancy() == 0) return;  // nothing to eject
+  if (receiveFlits_ == 0) return;  // nothing to eject
   // Per-core ejection engines: each local core's down link can take one flit
-  // per cycle; round-robin over the receive VCs bound to that core.
+  // per cycle; round-robin over the receive VCs bound to that core.  The
+  // scan rotates the (occupied & bound-to-core) bitmask so each candidate is
+  // visited in exactly the order the naive VC walk would — just without
+  // touching the empty ones.
+  const std::uint32_t numVcs = receiveBank_.numVcs();
   for (std::uint32_t core = 0; core < ejection_.size(); ++core) {
     noc::FlitSink* sink = ejection_[core];
     if (sink == nullptr) continue;
-    const std::uint32_t numVcs = receiveBank_.numVcs();
-    const std::uint32_t occupied = receiveBank_.occupiedMask();
-    if (occupied == 0) break;  // this cycle's flits all ejected already
-    for (std::uint32_t offset = 0; offset < numVcs; ++offset) {
-      const VcId vc = (ejectionRoundRobin_[core] + offset) % numVcs;
-      if ((occupied >> vc & 1u) == 0) continue;
-      const ReceiveBinding& binding = receiveBindings_[vc];
-      if (!binding.bound) continue;
-      // Bindings are per destination core; skip packets for other cores.
-      if (binding.dstCore % ejection_.size() != core) continue;
+    std::uint32_t candidates = receiveBank_.occupiedMask() & coreBoundVcs_[core];
+    if (candidates == 0) continue;
+    const std::uint32_t rr = ejectionRoundRobin_[core];
+    std::uint32_t rotated =
+        rr == 0 ? candidates
+                : ((candidates >> rr) | (candidates << (numVcs - rr))) &
+                      (numVcs == 32 ? ~0u : (1u << numVcs) - 1);
+    for (; rotated != 0; rotated &= rotated - 1) {
+      const VcId vc =
+          (rr + static_cast<VcId>(std::countr_zero(rotated))) % numVcs;
+      assert(receiveBindings_[vc].bound &&
+             receiveBindings_[vc].dstCore % ejection_.size() == core);
       const noc::Flit& front = receiveBank_.vc(vc).front();
       if (!sink->canAccept(front)) continue;
       const noc::Flit flit = receiveBank_.pop(vc, cycle);
-      assert(bufferedFlits_ > 0);
-      --bufferedFlits_;
+      assert(receiveFlits_ > 0);
+      --receiveFlits_;
       if (flit.isTail()) {
         receiveBank_.unlock(vc);
         receiveBindings_[vc].bound = false;
+        coreBoundVcs_[core] &= ~(1u << vc);
       }
       sink->accept(flit, cycle);
       ejectionRoundRobin_[core] = (vc + 1) % numVcs;
@@ -121,52 +131,65 @@ void PhotonicRouter::chargeReservationEnergy(std::uint32_t identifierCount) {
 }
 
 bool PhotonicRouter::tryStartTransmission(Cycle) {
+  if (ingressFlits_ == 0) return false;  // ejection-only cycles skip the scan
   const std::uint32_t ports = static_cast<std::uint32_t>(ingress_.size());
   const std::uint32_t vcs = config_.vcsPerPort;
-  const std::uint32_t slots = ports * vcs;
-  for (std::uint32_t offset = 0; offset < slots; ++offset) {
-    const std::uint32_t slot = (txScanPort_ * vcs + txScanVc_ + offset) % slots;
-    const std::uint32_t port = slot / vcs;
-    const VcId vc = slot % vcs;
-    if ((ingress_[port].bank().occupiedMask() >> vc & 1u) == 0) continue;
-    const auto& channel = ingress_[port].bank().vc(vc);
-    if (!channel.front().isHead()) continue;
-    const noc::PacketDescriptor& packet = channel.front().packet();
-    assert(packet.dstCluster != config_.cluster &&
-           "intra-cluster packets must not reach the photonic router");
-    const std::uint32_t lambdas = policy_->lambdasFor(config_.cluster, packet.dstCluster);
-    if (lambdas == 0) continue;  // policy temporarily grants nothing
-    PhotonicRouter* peer = peers_[packet.dstCluster];
-    ++stats_.reservationsIssued;
-    const VcId remoteVc = peer->tryReserveReceiveVc(packet.id, packet.dstCore);
-    if (remoteVc == kNoVc) {
-      // All destination VCs busy: the header is dropped and retransmitted
-      // later (Section 1.4), modeled as a failed reservation retried on a
-      // subsequent cycle.
-      ++stats_.reservationFailures;
-      continue;
+  // Round-robin over (port, vc) slots starting at the scan pointer, visiting
+  // only occupied VCs: group g == 0 covers the pointer port from txScanVc_
+  // up, groups 1..ports-1 the following ports in full, and group `ports` the
+  // wrapped remainder of the pointer port — the same slot order as a linear
+  // walk of all ports * vcs slots.
+  for (std::uint32_t group = 0; group <= ports; ++group) {
+    const std::uint32_t port = (txScanPort_ + group) % ports;
+    std::uint32_t candidates = ingress_[port].bank().occupiedMask();
+    if (group == 0) {
+      candidates &= ~((1u << txScanVc_) - 1);
+    } else if (group == ports) {
+      candidates &= (1u << txScanVc_) - 1;
     }
-    tx_.active = true;
-    tx_.inPort = port;
-    tx_.inVc = vc;
-    tx_.packet = packet;
-    tx_.remoteVc = remoteVc;
-    tx_.lambdas = lambdas;
-    const std::uint32_t identifiers =
-        policy_->maxReservationIdentifiers() == 0 ? 0 : lambdas;
-    const double channelBitsPerCycle =
-        static_cast<double>(config_.lambdasPerWaveguide) * config_.bitsPerLambdaPerCycle;
-    const double idBits = core::identifierPayloadBits(identifiers, config_.numDataWaveguides);
-    // The selection cycle itself carries the base reservation flit (as in
-    // Firefly); only identifier payload beyond one channel-cycle adds wait
-    // states (Section 3.4.1.1's 2-cycle case for BW set 3).
-    tx_.reservationRemaining =
-        std::max<Cycle>(1, static_cast<Cycle>(std::ceil(idBits / channelBitsPerCycle))) - 1;
-    tx_.creditBits = 0.0;
-    chargeReservationEnergy(identifiers);
-    txScanPort_ = (slot + 1) / vcs % ports;
-    txScanVc_ = (slot + 1) % vcs;
-    return true;
+    for (; candidates != 0; candidates &= candidates - 1) {
+      const VcId vc = static_cast<VcId>(std::countr_zero(candidates));
+      const auto& channel = ingress_[port].bank().vc(vc);
+      if (!channel.front().isHead()) continue;
+      const noc::PacketDescriptor& packet = channel.front().packet();
+      assert(packet.dstCluster != config_.cluster &&
+             "intra-cluster packets must not reach the photonic router");
+      const std::uint32_t lambdas = policy_->lambdasFor(config_.cluster, packet.dstCluster);
+      if (lambdas == 0) continue;  // policy temporarily grants nothing
+      PhotonicRouter* peer = peers_[packet.dstCluster];
+      ++stats_.reservationsIssued;
+      const VcId remoteVc = peer->tryReserveReceiveVc(packet.id, packet.dstCore);
+      if (remoteVc == kNoVc) {
+        // All destination VCs busy: the header is dropped and retransmitted
+        // later (Section 1.4), modeled as a failed reservation retried on a
+        // subsequent cycle.
+        ++stats_.reservationFailures;
+        continue;
+      }
+      tx_.active = true;
+      tx_.inPort = port;
+      tx_.inVc = vc;
+      tx_.packet = packet;
+      tx_.remoteVc = remoteVc;
+      tx_.lambdas = lambdas;
+      const std::uint32_t identifiers =
+          policy_->maxReservationIdentifiers() == 0 ? 0 : lambdas;
+      const double channelBitsPerCycle =
+          static_cast<double>(config_.lambdasPerWaveguide) * config_.bitsPerLambdaPerCycle;
+      const double idBits =
+          core::identifierPayloadBits(identifiers, config_.numDataWaveguides);
+      // The selection cycle itself carries the base reservation flit (as in
+      // Firefly); only identifier payload beyond one channel-cycle adds wait
+      // states (Section 3.4.1.1's 2-cycle case for BW set 3).
+      tx_.reservationRemaining =
+          std::max<Cycle>(1, static_cast<Cycle>(std::ceil(idBits / channelBitsPerCycle))) - 1;
+      tx_.creditBits = 0.0;
+      chargeReservationEnergy(identifiers);
+      const std::uint32_t slot = port * vcs + vc;
+      txScanPort_ = (slot + 1) / vcs % ports;
+      txScanVc_ = (slot + 1) % vcs;
+      return true;
+    }
   }
   return false;
 }
@@ -215,10 +238,12 @@ void PhotonicRouter::reset() {
   std::fill(receiveBindings_.begin(), receiveBindings_.end(), ReceiveBinding{});
   inFlight_.clear();
   std::fill(ejectionRoundRobin_.begin(), ejectionRoundRobin_.end(), VcId{0});
+  std::fill(coreBoundVcs_.begin(), coreBoundVcs_.end(), 0u);
   tx_ = Transmission{};
   txScanPort_ = 0;
   txScanVc_ = 0;
-  bufferedFlits_ = 0;
+  ingressFlits_ = 0;
+  receiveFlits_ = 0;
   stats_ = PhotonicRouterStats{};
   ledger_ = photonic::EnergyLedger{};
 }

@@ -92,7 +92,7 @@ class PhotonicRouter final : public sim::Clocked {
   /// Parked when nothing is buffered, in flight or mid-transmission; woken
   /// by ingress accepts (uplink traffic) and peers scheduling arrivals.
   bool quiescent() const override {
-    return bufferedFlits_ == 0 && inFlight_.empty() && !tx_.active;
+    return ingressFlits_ == 0 && receiveFlits_ == 0 && inFlight_.empty() && !tx_.active;
   }
 
   /// Restores the freshly-constructed state — empty buffers, no in-flight
@@ -106,7 +106,7 @@ class PhotonicRouter final : public sim::Clocked {
   /// photonic-buffer term of eq. (4) is priced from these).
   noc::BufferStats bufferStats() const;
   std::uint32_t occupancy() const {
-    return bufferedFlits_ + static_cast<std::uint32_t>(inFlight_.size());
+    return ingressFlits_ + receiveFlits_ + static_cast<std::uint32_t>(inFlight_.size());
   }
 
  private:
@@ -149,13 +149,18 @@ class PhotonicRouter final : public sim::Clocked {
   std::vector<PhotonicRouter*> peers_;
   std::vector<noc::FlitSink*> ejection_;  // one per local core
   std::vector<VcId> ejectionRoundRobin_;  // per-core RR pointer over receive VCs
+  /// Receive VCs currently bound to a packet for local core i (bitmask over
+  /// the receive bank): the ejection scan intersects this with the occupied
+  /// mask instead of probing every VC's binding.
+  std::vector<std::uint32_t> coreBoundVcs_;
   Transmission tx_;
   std::uint32_t txScanPort_ = 0;  // RR over (port, vc) candidates
   std::uint32_t txScanVc_ = 0;
-  /// Flits buffered in ingress ports + receive bank; kept current by the
-  /// ingress ports' owner hook and the push/pop sites below (O(1) quiescence
-  /// check).
-  std::uint32_t bufferedFlits_ = 0;
+  /// Flits buffered in the ingress ports (kept current by the ports' owner
+  /// hook) and in the receive bank (push/pop sites below) — split so the
+  /// transmit and ejection sides each have an O(1) nothing-to-do check.
+  std::uint32_t ingressFlits_ = 0;
+  std::uint32_t receiveFlits_ = 0;
   PhotonicRouterStats stats_;
   photonic::EnergyLedger ledger_;
 };

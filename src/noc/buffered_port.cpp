@@ -14,9 +14,9 @@ void BufferedPort::notifyOwner(sim::Clocked* owner, std::uint32_t* bufferedCount
 
 bool BufferedPort::canAccept(const Flit& flit) const {
   if (flit.isHead()) return bank_.findFreeVcForNewPacket() != kNoVc;
-  const auto it = receivingVc_.find(flit.packet().id);
-  if (it == receivingVc_.end()) return false;
-  return !bank_.vc(it->second).full();
+  const VcId vc = receivingVc_.find(flit.packet().id);
+  if (vc == kNoVc) return false;
+  return !bank_.vc(vc).full();
 }
 
 void BufferedPort::accept(const Flit& flit, Cycle now) {
@@ -25,20 +25,27 @@ void BufferedPort::accept(const Flit& flit, Cycle now) {
   if (flit.isHead()) {
     vc = bank_.findFreeVcForNewPacket();
     bank_.lock(vc);
-    if (!flit.isTail()) receivingVc_[flit.packet().id] = vc;
+    if (!flit.isTail()) receivingVc_.insert(flit.packet().id, vc);
   } else {
-    const auto it = receivingVc_.find(flit.packet().id);
-    vc = it->second;
-    if (flit.isTail()) receivingVc_.erase(it);
+    vc = receivingVc_.find(flit.packet().id);
+    if (flit.isTail()) receivingVc_.erase(flit.packet().id);
   }
   bank_.push(vc, flit, now);
   if (bufferedCounter_ != nullptr) ++*bufferedCounter_;
   if (owner_ != nullptr) owner_->requestWake();
 }
 
+bool BufferedPort::notifyOnDrain(sim::Clocked& waiter) {
+  assert((drainWaiter_ == nullptr || drainWaiter_ == &waiter) &&
+         "an ingress port has a single upstream feeder");
+  drainWaiter_ = &waiter;
+  return true;
+}
+
 void BufferedPort::reset() {
   bank_.reset();
   receivingVc_.clear();
+  drainWaiter_ = nullptr;
 }
 
 Flit BufferedPort::pop(VcId vc, Cycle now) {
@@ -47,6 +54,12 @@ Flit BufferedPort::pop(VcId vc, Cycle now) {
   if (bufferedCounter_ != nullptr) {
     assert(*bufferedCounter_ > 0);
     --*bufferedCounter_;
+  }
+  // Buffer space freed (and on a tail, the VC unlocked): wake the parked
+  // upstream.  One-shot — it re-registers if it blocks again.
+  if (drainWaiter_ != nullptr) {
+    drainWaiter_->requestWake();
+    drainWaiter_ = nullptr;
   }
   return flit;
 }

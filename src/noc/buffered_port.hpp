@@ -9,8 +9,6 @@
 // count current, so the owner's quiescence check is O(1).
 #pragma once
 
-#include <map>
-
 #include "noc/router.hpp"
 #include "noc/vc_buffer.hpp"
 #include "sim/engine.hpp"
@@ -29,6 +27,9 @@ class BufferedPort final : public FlitSink {
   // FlitSink
   bool canAccept(const Flit& flit) const override;
   void accept(const Flit& flit, Cycle now) override;
+  /// Wake-on-drain: a blocked upstream parks and is woken by the next pop()
+  /// (one-shot; an ingress port has a single upstream feeder).
+  bool notifyOnDrain(sim::Clocked& waiter) override;
 
   VcBufferBank& bank() { return bank_; }
   const VcBufferBank& bank() const { return bank_; }
@@ -43,9 +44,10 @@ class BufferedPort final : public FlitSink {
 
  private:
   VcBufferBank bank_;
-  std::map<PacketId, VcId> receivingVc_;
+  PacketVcMap receivingVc_;
   sim::Clocked* owner_ = nullptr;
   std::uint32_t* bufferedCounter_ = nullptr;
+  sim::Clocked* drainWaiter_ = nullptr;  // parked upstream awaiting buffer space
 };
 
 }  // namespace pnoc::noc

@@ -16,6 +16,13 @@ Link::Link(std::string name, std::uint32_t latency, double energyPerBitPj,
 
 bool Link::canAccept(const Flit&) const { return !pipe_.full(); }
 
+bool Link::notifyOnDrain(sim::Clocked& waiter) {
+  assert((drainWaiter_ == nullptr || drainWaiter_ == &waiter) &&
+         "a point-to-point link has a single upstream");
+  drainWaiter_ = &waiter;
+  return true;
+}
+
 void Link::accept(const Flit& flit, Cycle now) {
   assert(canAccept(flit));
   pipe_.push_back(InFlight{flit, now + latency_});
@@ -38,6 +45,12 @@ void Link::advance(Cycle cycle) {
   if (!deliverHead_) return;
   const Flit flit = pipe_.front().flit;
   pipe_.pop_front();
+  // A slot just freed: wake the upstream router that parked on the full
+  // pipe.  One-shot — it re-registers if it blocks again.
+  if (drainWaiter_ != nullptr) {
+    drainWaiter_->requestWake();
+    drainWaiter_ = nullptr;
+  }
   // Charge stats before handing over: a sink consuming the tail flit may
   // release the packet's slab slot, after which the handle must not be read.
   const Bits bits = flit.bits();

@@ -39,6 +39,10 @@ class Link final : public FlitSink, public sim::Clocked {
   // FlitSink (upstream side)
   bool canAccept(const Flit& flit) const override;
   void accept(const Flit& flit, Cycle now) override;
+  /// Wake-on-drain: the upstream router blocked on this full pipe parks and
+  /// is woken the next time a slot frees (one-shot; links are point-to-point
+  /// so there is at most one waiter).
+  bool notifyOnDrain(sim::Clocked& waiter) override;
 
   // sim::Clocked
   void evaluate(Cycle cycle) override;
@@ -53,6 +57,7 @@ class Link final : public FlitSink, public sim::Clocked {
   void reset() {
     pipe_.clear();
     deliverHead_ = false;
+    drainWaiter_ = nullptr;
     stats_ = LinkStats{};
   }
 
@@ -67,7 +72,8 @@ class Link final : public FlitSink, public sim::Clocked {
   double energyPerBitPj_;
   FlitSink* downstream_;
   sim::RingBuffer<InFlight> pipe_;
-  bool deliverHead_ = false;  // decision from evaluate()
+  bool deliverHead_ = false;             // decision from evaluate()
+  sim::Clocked* drainWaiter_ = nullptr;  // parked upstream awaiting a free slot
   LinkStats stats_;
 };
 

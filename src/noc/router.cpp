@@ -41,10 +41,9 @@ bool ElectricalRouter::canAcceptFlit(std::uint32_t inputPort, const Flit& flit) 
   if (flit.isHead()) {
     return bank.findFreeVcForNewPacket() != kNoVc;
   }
-  const auto& map = receivingVc_[inputPort];
-  const auto it = map.find(flit.packet().id);
-  if (it == map.end()) return false;  // head was never accepted here
-  return !bank.vc(it->second).full();
+  const VcId vc = receivingVc_[inputPort].find(flit.packet().id);
+  if (vc == kNoVc) return false;  // head was never accepted here
+  return !bank.vc(vc).full();
 }
 
 void ElectricalRouter::acceptFlit(std::uint32_t inputPort, const Flit& flit, Cycle now) {
@@ -54,15 +53,14 @@ void ElectricalRouter::acceptFlit(std::uint32_t inputPort, const Flit& flit, Cyc
   if (flit.isHead()) {
     vc = bank.findFreeVcForNewPacket();
     bank.lock(vc);
-    if (!flit.isTail()) receivingVc_[inputPort][flit.packet().id] = vc;
+    if (!flit.isTail()) receivingVc_[inputPort].insert(flit.packet().id, vc);
   } else {
-    auto& map = receivingVc_[inputPort];
-    const auto it = map.find(flit.packet().id);
-    vc = it->second;
-    if (flit.isTail()) map.erase(it);
+    vc = receivingVc_[inputPort].find(flit.packet().id);
+    if (flit.isTail()) receivingVc_[inputPort].erase(flit.packet().id);
   }
   bank.push(vc, flit, now);
   ++occupancy_;
+  canSleepBlocked_ = false;  // new work: re-evaluate before parking again
   requestWake();
 }
 
@@ -95,6 +93,21 @@ void ElectricalRouter::evaluate(Cycle cycle) {
     if (state.sink == nullptr || !state.sink->canAccept(flit)) continue;
     crossbar_.connect(state.inPort, out);
     pendingMoves_.push_back(Move{state.inPort, state.inVc, out});
+  }
+
+  // Streaming fast path: with no head flit at the front of any VC, stages
+  // 1 and 2 cannot produce a grant — every front flit is body/tail traffic
+  // that only moves through the owned outputs handled above.
+  bool anyHeadFronts = false;
+  for (const VcBufferBank& bank : inputs_) {
+    if (bank.headFrontCount() != 0) {
+      anyHeadFronts = true;
+      break;
+    }
+  }
+  if (!anyHeadFronts) {
+    finishEvaluate(cycle);
+    return;
   }
 
   // Stage 1 (input arbitration): each idle input picks one VC holding an
@@ -145,6 +158,69 @@ void ElectricalRouter::evaluate(Cycle cycle) {
     crossbar_.connect(in, out);
     pendingMoves_.push_back(Move{in, selectedVc_[in], out});
   }
+
+  finishEvaluate(cycle);
+}
+
+void ElectricalRouter::finishEvaluate(Cycle cycle) {
+  // Zero-move cycles are pure no-ops (no grants were issued, advance() will
+  // not touch stats): once the stall persists past a single pipeline bubble,
+  // analyze the blockers and try to park until one of them clears.
+  if (!pendingMoves_.empty()) {
+    zeroMoveStreak_ = 0;
+    canSleepBlocked_ = false;
+    return;
+  }
+  if (++zeroMoveStreak_ >= 2) {
+    prepareBlockedPark(cycle);
+  } else {
+    canSleepBlocked_ = false;
+  }
+}
+
+void ElectricalRouter::prepareBlockedPark(Cycle cycle) {
+  canSleepBlocked_ = false;
+  Cycle nextEligible = kNoCycle;
+  // Streams that own an output port (body/tail flits mid-wormhole).
+  for (std::uint32_t out = 0; out < config_.numPorts; ++out) {
+    const OutputState& state = outputs_[out];
+    if (!state.owned) continue;
+    const VirtualChannel& channel = inputs_[state.inPort].vc(state.inVc);
+    if (channel.empty()) continue;  // next body flit's acceptFlit() wakes us
+    if (!flitEligible(state.inPort, state.inVc, cycle)) {
+      nextEligible =
+          std::min(nextEligible, channel.frontArrival() + config_.pipelineLatency - 1);
+      continue;
+    }
+    // Eligible but stalled on the sink: ask it to wake us when it drains.
+    if (state.sink == nullptr || !state.sink->notifyOnDrain(*this)) return;
+  }
+  // Head flits waiting at the front of their VC.
+  for (std::uint32_t in = 0; in < config_.numPorts; ++in) {
+    for (std::uint32_t occ = inputs_[in].occupiedMask(); occ != 0; occ &= occ - 1) {
+      const VcId vc = static_cast<VcId>(std::countr_zero(occ));
+      const VirtualChannel& channel = inputs_[in].vc(vc);
+      const Flit& front = channel.front();
+      if (!front.isHead()) continue;  // body stream, covered above
+      if (!flitEligible(in, vc, cycle)) {
+        nextEligible =
+            std::min(nextEligible, channel.frontArrival() + config_.pipelineLatency - 1);
+        continue;
+      }
+      const std::uint32_t out = routeFn_(front.packet());
+      const OutputState& state = outputs_[out];
+      // An owned output frees only when its stream moves, and moves only
+      // happen while we are awake — the head rides on the owner's blockers.
+      if (state.owned) continue;
+      if (state.sink == nullptr) return;
+      // A movable head implies a granted move, contradicting the zero-move
+      // premise; stay polling rather than trust the analysis.
+      if (state.sink->canAccept(front)) return;
+      if (!state.sink->notifyOnDrain(*this)) return;
+    }
+  }
+  if (nextEligible != kNoCycle) scheduleWakeAt(nextEligible);
+  canSleepBlocked_ = true;
 }
 
 void ElectricalRouter::advance(Cycle cycle) {
@@ -198,6 +274,8 @@ void ElectricalRouter::reset() {
   for (auto& map : receivingVc_) map.clear();
   pendingMoves_.clear();
   occupancy_ = 0;
+  zeroMoveStreak_ = 0;
+  canSleepBlocked_ = false;
   stats_ = RouterStats{};
 }
 

@@ -13,13 +13,20 @@
 // injection site, which counts the drop.
 //
 // An empty router (no buffered flits) is quiescent and is parked by the
-// engine; acceptFlit() wakes it.  Arbitration scratch state lives in member
-// buffers so evaluate() allocates nothing on the hot path.
+// engine; acceptFlit() wakes it.  A router that is occupied but FULLY
+// blocked — every buffered stream either waits out the router pipeline
+// latency or stalls on a downstream sink that cannot accept — also parks:
+// it schedules an engine timer for the earliest pipeline-eligibility cycle
+// and registers wake-on-drain with each blocking sink (FlitSink::
+// notifyOnDrain), so a congested router sleeps instead of re-arbitrating
+// nothing every cycle.  Blocked cycles are arbitration no-ops (no grants,
+// no stats, no pointer movement), so parking them is bit-identical to
+// polling.  Arbitration scratch state lives in member buffers so evaluate()
+// allocates nothing on the hot path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -42,6 +49,17 @@ class FlitSink {
   /// cycle must succeed.
   virtual bool canAccept(const Flit& flit) const = 0;
   virtual void accept(const Flit& flit, Cycle now) = 0;
+
+  /// Wake-on-drain: arranges a one-shot `waiter.requestWake()` the next time
+  /// this sink frees acceptance capacity (a link pipe slot, a buffered VC
+  /// entry).  Returns false when the sink cannot provide the notification —
+  /// the caller must then keep polling instead of parking.  Re-registering
+  /// the same waiter is idempotent; the registration is consumed by the
+  /// first drain event.
+  virtual bool notifyOnDrain(sim::Clocked& waiter) {
+    (void)waiter;
+    return false;
+  }
 };
 
 struct RouterConfig {
@@ -82,7 +100,9 @@ class ElectricalRouter final : public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return name_; }
-  bool quiescent() const override { return occupancy_ == 0; }
+  /// Empty, or occupied-but-blocked with every wake source armed (see the
+  /// file comment).
+  bool quiescent() const override { return occupancy_ == 0 || canSleepBlocked_; }
 
   const RouterConfig& config() const { return config_; }
   const RouterStats& stats() const { return stats_; }
@@ -112,6 +132,8 @@ class ElectricalRouter final : public sim::Clocked {
   };
 
   bool flitEligible(std::uint32_t inPort, VcId vc, Cycle now) const;
+  void finishEvaluate(Cycle cycle);
+  void prepareBlockedPark(Cycle cycle);
 
   std::string name_;
   RouterConfig config_;
@@ -124,9 +146,17 @@ class ElectricalRouter final : public sim::Clocked {
   /// Output-arbitration stage: one arbiter per output port picks among inputs.
   std::vector<std::unique_ptr<Arbiter>> outputArbiters_;
   /// VC a partially received packet is being written to, per input port.
-  std::vector<std::map<PacketId, VcId>> receivingVc_;
+  std::vector<PacketVcMap> receivingVc_;
   std::vector<Move> pendingMoves_;  // decided in evaluate, applied in advance
   std::uint32_t occupancy_ = 0;     // buffered flits across all ports/VCs
+  /// Consecutive evaluate() calls that produced no move; the blocked-park
+  /// scan only runs once a stall persists (a one-cycle pipeline bubble is
+  /// cheaper to step through than to analyze).
+  std::uint32_t zeroMoveStreak_ = 0;
+  /// Set by evaluate() on a zero-move cycle once every blocked stream has a
+  /// wake source armed (drain notification or eligibility timer); cleared by
+  /// any new work.
+  bool canSleepBlocked_ = false;
   // Arbitration scratch, sized once in the constructor (no per-cycle
   // allocation).
   std::vector<bool> vcRequests_;          // one slot per VC of a port

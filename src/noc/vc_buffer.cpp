@@ -58,6 +58,12 @@ VcBufferBank::VcBufferBank(std::uint32_t numVcs, std::uint32_t depthFlits) {
 }
 
 void VcBufferBank::push(VcId id, const Flit& flit, Cycle now) {
+  // Wormhole invariant: a head is the first flit of its packet into the VC,
+  // so "front is a head" holds from a head's push until that head is popped.
+  if (flit.isHead()) {
+    assert(vcs_[id].empty() && "a head flit must open an empty VC");
+    ++headFronts_;
+  }
   vcs_[id].push(flit, now);
   occupiedMask_ |= bit(id);
   ++occupancy_;
@@ -68,6 +74,10 @@ Flit VcBufferBank::pop(VcId id, Cycle now) {
   if (vcs_[id].empty()) occupiedMask_ &= ~bit(id);
   assert(occupancy_ > 0);
   --occupancy_;
+  if (flit.isHead()) {
+    assert(headFronts_ > 0);
+    --headFronts_;
+  }
   return flit;
 }
 
@@ -83,6 +93,7 @@ void VcBufferBank::reset() {
   occupiedMask_ = 0;
   lockedMask_ = 0;
   occupancy_ = 0;
+  headFronts_ = 0;
 }
 
 BufferStats VcBufferBank::aggregateStats() const {

@@ -96,6 +96,12 @@ class VcBufferBank {
   /// Bit i set iff vc(i) is non-empty.
   std::uint32_t occupiedMask() const { return occupiedMask_; }
 
+  /// VCs whose front flit is a packet head (a head is always the first flit
+  /// pushed into its VC, so the count updates in O(1) on push/pop).  The
+  /// router's arbitration stages only matter when this is non-zero: pure
+  /// body/tail streaming takes the owned-output fast path.
+  std::uint32_t headFrontCount() const { return headFronts_; }
+
   /// First VC that can accept a new packet's head flit (empty and not
   /// reserved by an in-flight packet), or kNoVc.
   VcId findFreeVcForNewPacket() const;
@@ -126,6 +132,38 @@ class VcBufferBank {
   std::uint32_t occupiedMask_ = 0;
   std::uint32_t lockedMask_ = 0;
   std::uint32_t occupancy_ = 0;
+  std::uint32_t headFronts_ = 0;
+};
+
+/// Maps in-flight packet ids to the VC receiving them at one port.  The live
+/// set is tiny (only packets mid-reception, usually 0-2), so a linear-scan
+/// vector beats a node-based map on every hot ingress path.
+class PacketVcMap {
+ public:
+  /// VC receiving `id`, or kNoVc.
+  VcId find(PacketId id) const {
+    for (const auto& [packet, vc] : entries_) {
+      if (packet == id) return vc;
+    }
+    return kNoVc;
+  }
+
+  void insert(PacketId id, VcId vc) { entries_.emplace_back(id, vc); }
+
+  void erase(PacketId id) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == id) {
+        *it = entries_.back();
+        entries_.pop_back();
+        return;
+      }
+    }
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<std::pair<PacketId, VcId>> entries_;
 };
 
 }  // namespace pnoc::noc

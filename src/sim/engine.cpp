@@ -1,14 +1,18 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace pnoc::sim {
+
+Engine::Engine() : level0_(kWheelSlots), level1_(kWheelSlots) {}
 
 void Engine::add(Clocked& component) {
   component.engine_ = this;
   component.slot_ = static_cast<std::uint32_t>(components_.size());
   components_.push_back(&component);
   active_.push_back(1);
+  lastWakeCycle_.push_back(kNoCycle);
   activeSlots_.push_back(component.slot_);  // slots ascend, so stays sorted
 }
 
@@ -20,20 +24,88 @@ void Engine::reset() {
   activeSlots_.clear();
   for (std::uint32_t slot = 0; slot < components_.size(); ++slot) {
     active_[slot] = 1;
+    lastWakeCycle_[slot] = kNoCycle;
     activeSlots_.push_back(slot);
   }
+  for (auto& bucket : level0_) bucket.clear();
+  for (auto& bucket : level1_) bucket.clear();
+  overflow_.clear();
+  pendingTimers_ = 0;
+  stats_ = EngineStats{};
 }
 
 void Engine::setActivityGating(bool enabled) {
   gating_ = enabled;
   // Re-activate everything: correct for both directions (when enabling, the
-  // first parked components drop out at the end of the next cycle).
+  // first parked components drop out at the end of the next cycle).  Timers
+  // stay scheduled — fires on active components are dropped, and components
+  // that park again rely on their still-pending timers.
   activeSlots_.clear();
   for (std::uint32_t slot = 0; slot < components_.size(); ++slot) {
     active_[slot] = 1;
     activeSlots_.push_back(slot);
   }
   wakeQueue_.clear();
+}
+
+void Engine::scheduleAt(std::uint32_t slot, Cycle cycle) {
+  // A timer fires at the start of its cycle; anything due now or earlier can
+  // only take effect next cycle (same contract as requestWake()).
+  const Cycle due = std::max(cycle, now_ + 1);
+  placeTimer(Timer{slot, due});
+  ++pendingTimers_;
+  ++stats_.timersScheduled;
+}
+
+void Engine::placeTimer(const Timer& timer) {
+  // Level-0 window: the 256 cycles containing now_.  Buckets at or before
+  // now_'s index were already expired this lap, and due > now_ always holds,
+  // so placement by masked index is unambiguous.
+  const Cycle level0End = (now_ & ~kWheelMask) + kWheelSlots;
+  if (timer.due < level0End) {
+    level0_[timer.due & kWheelMask].push_back(timer);
+    return;
+  }
+  const Cycle level1End = (now_ & ~(kLevel1Span - 1)) + kLevel1Span;
+  if (timer.due < level1End) {
+    level1_[(timer.due >> kWheelBits) & kWheelMask].push_back(timer);
+    return;
+  }
+  overflow_.push_back(timer);
+}
+
+void Engine::expireTimers() {
+  if (pendingTimers_ == 0) return;
+  const Cycle cycle = now_;
+  if ((cycle & kWheelMask) == 0) {
+    if ((cycle & (kLevel1Span - 1)) == 0 && !overflow_.empty()) {
+      // New level-1 lap: rebin overflow timers that now fit the horizon.
+      std::vector<Timer> pending;
+      pending.swap(overflow_);
+      for (const Timer& timer : pending) placeTimer(timer);
+    }
+    // New level-0 window: cascade its coarse bucket into one-cycle buckets.
+    auto& coarse = level1_[(cycle >> kWheelBits) & kWheelMask];
+    for (const Timer& timer : coarse) {
+      level0_[timer.due & kWheelMask].push_back(timer);
+    }
+    coarse.clear();
+  }
+  auto& bucket = level0_[cycle & kWheelMask];
+  if (bucket.empty()) return;
+  for (const Timer& timer : bucket) {
+    assert(timer.due == cycle && "timer landed in the wrong bucket");
+    assert(pendingTimers_ > 0);
+    --pendingTimers_;
+    // A fire on an active component is dropped: the timer fires at the
+    // START of the cycle, so an active component will run its phases this
+    // cycle anyway and re-park / re-schedule on its own authority.
+    if (gating_ && !active_[timer.slot]) {
+      wakeQueue_.push_back(timer.slot);
+      ++stats_.timersFired;
+    }
+  }
+  bucket.clear();
 }
 
 void Engine::drainWakeQueue() {
@@ -44,6 +116,7 @@ void Engine::drainWakeQueue() {
     if (active_[slot]) continue;  // duplicates collapse here
     active_[slot] = 1;
     activeSlots_.push_back(slot);
+    ++stats_.wakes;
   }
   std::inplace_merge(activeSlots_.begin(),
                      activeSlots_.begin() + static_cast<std::ptrdiff_t>(mid),
@@ -53,14 +126,18 @@ void Engine::drainWakeQueue() {
 
 void Engine::step() {
   if (gating_) {
+    expireTimers();
     drainWakeQueue();
     for (const std::uint32_t slot : activeSlots_) components_[slot]->evaluate(now_);
     for (const std::uint32_t slot : activeSlots_) components_[slot]->advance(now_);
+    stats_.componentSteps += activeSlots_.size();
     // Park components that ended the cycle with nothing to do.  quiescent()
-    // sees the post-advance state, including flits accepted this cycle.
+    // sees the post-advance state, including flits accepted this cycle; a
+    // component woken DURING this cycle stays active (the wake arrived after
+    // its phases ran and must not be lost).
     std::size_t kept = 0;
     for (const std::uint32_t slot : activeSlots_) {
-      if (components_[slot]->quiescent()) {
+      if (components_[slot]->quiescent() && lastWakeCycle_[slot] != now_) {
         active_[slot] = 0;
       } else {
         activeSlots_[kept++] = slot;
@@ -68,9 +145,12 @@ void Engine::step() {
     }
     activeSlots_.resize(kept);
   } else {
+    expireTimers();  // keep the wheel draining so gating can toggle back on
     for (Clocked* c : components_) c->evaluate(now_);
     for (Clocked* c : components_) c->advance(now_);
+    stats_.componentSteps += components_.size();
   }
+  ++stats_.cycles;
   if (onCycleEnd_) onCycleEnd_(now_);
   ++now_;
 }

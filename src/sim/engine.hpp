@@ -14,11 +14,23 @@
 // can report quiescent(); the engine then parks it on an inactive list and
 // stops stepping it.  Whoever hands the component new work (a link delivering
 // a flit, a peer scheduling an arrival) calls requestWake(), which re-joins
-// the component to the active list from the *next* cycle.  Because every
-// hand-off in this simulator has at least one cycle of latency, skipping a
-// quiescent component is exactly equivalent to stepping it — the gated and
-// ungated engines produce bit-identical runs (asserted by
-// tests/integration/determinism_test.cpp).
+// the component to the active list from the *next* cycle.  A wake arriving
+// while the component is still active this cycle instead pins it on the
+// active list through the next cycle, so a mid-cycle hand-off (e.g. a link
+// draining a slot during the advance phase, after the waiter already decided
+// it could park) can never be lost.  Because every hand-off in this simulator
+// has at least one cycle of latency, skipping a quiescent component is
+// exactly equivalent to stepping it — the gated and ungated engines produce
+// bit-identical runs (asserted by tests/integration/determinism_test.cpp).
+//
+// Timer wheel: a parked component that knows WHEN its next work arrives
+// (a core's pre-drawn packet arrival, a router waiting out its pipeline
+// latency) calls scheduleWakeAt(cycle) and sleeps for the whole gap instead
+// of polling.  Timers live in a two-level bucketed wheel (O(1) schedule and
+// expiry; far-future timers cascade down as their window approaches) and
+// fire at the START of their cycle, merging into the same sorted wake-queue
+// drain as ordinary wakes — activation order stays registration order, so
+// timer-driven runs are deterministic and bit-identical to polling.
 #pragma once
 
 #include <cstdint>
@@ -47,14 +59,23 @@ class Clocked {
 
   /// True when both phases would be no-ops until an external event arrives.
   /// A component returning true may be parked; it must arrange (via the
-  /// components that feed it calling requestWake()) to be woken before it has
-  /// work again.  The default keeps a component permanently active.
+  /// components that feed it calling requestWake(), or via a timer it
+  /// scheduled with scheduleWakeAt()) to be woken before it has work again.
+  /// The default keeps a component permanently active.
   virtual bool quiescent() const { return false; }
 
   /// Marks this component active starting next cycle.  Safe to call from any
   /// phase, on active or parked components, and before engine registration
-  /// (no-op until added to an engine).
+  /// (no-op until added to an engine).  Calling it on a component that is
+  /// active this cycle keeps it active through the next cycle.
   void requestWake();
+
+  /// Schedules a wake so this component runs AT `cycle` (clamped to the next
+  /// cycle if already due).  The timer survives parking and activity-gating
+  /// toggles; it is dropped by Engine::reset().  Scheduling is idempotent in
+  /// effect (a fire on an already-active component is a no-op), so callers
+  /// may re-schedule defensively.  No-op before engine registration.
+  void scheduleWakeAt(Cycle cycle);
 
  private:
   friend class Engine;
@@ -62,8 +83,28 @@ class Clocked {
   std::uint32_t slot_ = 0;
 };
 
+/// Counters describing how much work the engine actually did — the park rate
+/// they imply is the whole point of activity gating + the timer wheel, so the
+/// microbench records it per run.
+struct EngineStats {
+  std::uint64_t cycles = 0;             ///< cycles stepped since construction/reset
+  std::uint64_t componentSteps = 0;     ///< sum over cycles of components stepped
+  std::uint64_t wakes = 0;              ///< wake-queue activations (incl. timer fires)
+  std::uint64_t timersScheduled = 0;
+  std::uint64_t timersFired = 0;        ///< fires delivered to a parked component
+
+  /// Fraction of component-cycles skipped by parking: 0 = everything stepped
+  /// every cycle, 1 = everything parked always.
+  double parkRate(std::size_t componentCount) const {
+    const double total = static_cast<double>(cycles) * static_cast<double>(componentCount);
+    return total > 0.0 ? 1.0 - static_cast<double>(componentSteps) / total : 0.0;
+  }
+};
+
 class Engine {
  public:
+  Engine();
+
   /// Registers a component. The engine does not own components; callers keep
   /// them alive for the engine's lifetime (they are typically members of the
   /// network object that also owns the engine).
@@ -76,8 +117,10 @@ class Engine {
   void step();
 
   /// Returns the engine to its just-built state: cycle 0, every registered
-  /// component active, wake queue empty.  The components themselves are not
-  /// touched — callers reset those separately (PhotonicNetwork::reset()).
+  /// component active, wake queue empty, all pending timers dropped, stats
+  /// zeroed.  The components themselves are not touched — callers reset
+  /// those separately (PhotonicNetwork::reset()) and re-schedule their own
+  /// timers as they run.
   void reset();
 
   /// Cycles executed so far (also the cycle number passed to the next step).
@@ -91,8 +134,15 @@ class Engine {
     return gating_ ? activeSlots_.size() : components_.size();
   }
 
+  /// Timers scheduled and not yet fired (tests / introspection).
+  std::size_t pendingTimerCount() const { return pendingTimers_; }
+
+  const EngineStats& stats() const { return stats_; }
+
   /// Enables/disables activity gating (default on).  Disabling re-activates
   /// every component, restoring the classic step-everything behaviour.
+  /// Pending timers are kept: their fires are no-ops while everything is
+  /// active, and they resume waking parked components when gating returns.
   void setActivityGating(bool enabled);
   bool activityGating() const { return gating_; }
 
@@ -101,23 +151,55 @@ class Engine {
 
  private:
   friend class Clocked;
+
+  // Two-level timer wheel: 256 one-cycle buckets, 256 256-cycle buckets
+  // (horizon 65536), and an overflow list rebinned once per level-1 lap.
+  static constexpr std::uint32_t kWheelBits = 8;
+  static constexpr std::uint32_t kWheelSlots = 1u << kWheelBits;
+  static constexpr Cycle kWheelMask = kWheelSlots - 1;
+  static constexpr Cycle kLevel1Span = static_cast<Cycle>(kWheelSlots) * kWheelSlots;
+
+  struct Timer {
+    std::uint32_t slot;
+    Cycle due;
+  };
+
   void wake(std::uint32_t slot) {
-    if (!gating_ || active_[slot]) return;
+    if (!gating_) return;
+    if (active_[slot]) {
+      // Mid-cycle wake on an active component: pin it through next cycle so
+      // the event that arrived after its phases ran is not lost to parking.
+      lastWakeCycle_[slot] = now_;
+      return;
+    }
     wakeQueue_.push_back(slot);
   }
+  void scheduleAt(std::uint32_t slot, Cycle cycle);
+  void placeTimer(const Timer& timer);
+  void expireTimers();
   void drainWakeQueue();
 
   std::vector<Clocked*> components_;
-  std::vector<char> active_;               // parallel to components_
+  std::vector<char> active_;                // parallel to components_
+  std::vector<Cycle> lastWakeCycle_;        // parallel; kNoCycle = never
   std::vector<std::uint32_t> activeSlots_;  // sorted registration order
   std::vector<std::uint32_t> wakeQueue_;    // wakes land next cycle
+  std::vector<std::vector<Timer>> level0_;  // [cycle & mask] -> timers due that cycle
+  std::vector<std::vector<Timer>> level1_;  // [(cycle >> 8) & mask] -> coarse buckets
+  std::vector<Timer> overflow_;             // beyond the level-1 horizon
+  std::size_t pendingTimers_ = 0;
   std::function<void(Cycle)> onCycleEnd_;
+  EngineStats stats_;
   Cycle now_ = 0;
   bool gating_ = true;
 };
 
 inline void Clocked::requestWake() {
   if (engine_ != nullptr) engine_->wake(slot_);
+}
+
+inline void Clocked::scheduleWakeAt(Cycle cycle) {
+  if (engine_ != nullptr) engine_->scheduleAt(slot_, cycle);
 }
 
 }  // namespace pnoc::sim

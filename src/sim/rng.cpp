@@ -71,6 +71,13 @@ bool Rng::nextBool(double p) {
   return nextDouble() < p;
 }
 
+std::uint64_t Rng::nextGeometricTrials(double p) {
+  assert(p > 0.0 && "a zero success probability never terminates");
+  std::uint64_t failures = 0;
+  while (!nextBool(p)) ++failures;
+  return failures;
+}
+
 Rng Rng::split() {
   // Derive a child seed from fresh output; the child re-mixes via SplitMix64
   // so parent and child streams are effectively independent.

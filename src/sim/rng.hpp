@@ -43,6 +43,15 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool nextBool(double p);
 
+  /// Number of failing Bernoulli(p) trials before the first success, drawn
+  /// by RUNNING the trials themselves (one nextBool per trial).  The result
+  /// is geometric by construction, and — crucially for the timer-wheel
+  /// injectors — the stream position afterwards is exactly where per-trial
+  /// sampling would have left it, so pre-drawing a whole inter-arrival gap
+  /// is bit-identical to flipping the coin every cycle.  p >= 1 returns 0
+  /// without consuming state (as nextBool does).  Precondition: p > 0.
+  std::uint64_t nextGeometricTrials(double p);
+
   /// Splits off an independent stream (useful to give each core its own RNG
   /// so per-core behaviour is independent of simulation interleaving).
   Rng split();

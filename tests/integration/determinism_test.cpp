@@ -91,9 +91,12 @@ TEST_P(Determinism, GatedAndUngatedEnginesAreEquivalent) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, Determinism,
     ::testing::Values(
-        // Low load is where gating actually parks components; saturated
-        // skewed traffic exercises wormhole stalls, reservation retries and
-        // DBA churn with most components active.
+        // Low load is where gating actually parks components — 0.001 is the
+        // timer-wheel regime, where cores sleep whole geometric gaps and
+        // blocked routers park on drain wakes; saturated skewed traffic
+        // exercises wormhole stalls, reservation retries and DBA churn with
+        // most components active.
+        DeterminismParam{"uniform", Architecture::kDhetpnoc, 0.001},
         DeterminismParam{"uniform", Architecture::kDhetpnoc, 0.0005},
         DeterminismParam{"uniform", Architecture::kFirefly, 0.0005},
         DeterminismParam{"skewed3", Architecture::kDhetpnoc, 0.004},

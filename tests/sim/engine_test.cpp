@@ -172,6 +172,212 @@ TEST(Engine, DisablingGatingReactivatesParkedComponents) {
   EXPECT_EQ(log.size(), 4u);
 }
 
+// --- timer wheel ---
+
+/// Runs the engine until `cycle` has been stepped (now() == cycle + 1).
+void runThrough(Engine& engine, Cycle cycle) {
+  while (engine.now() <= cycle) engine.step();
+}
+
+TEST(EngineTimers, WakesParkedComponentAtScheduledCycle) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  probe.idle = true;
+  engine.step();  // parks at the end of cycle 0
+  probe.scheduleWakeAt(5);
+  EXPECT_EQ(engine.pendingTimerCount(), 1u);
+  runThrough(engine, 10);
+  // Exactly one extra activation, at cycle 5 (parks again at its end).
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[2], "p.eval@5");
+  EXPECT_EQ(log[3], "p.adv@5");
+  EXPECT_EQ(engine.pendingTimerCount(), 0u);
+  EXPECT_EQ(engine.stats().timersFired, 1u);
+}
+
+TEST(EngineTimers, FarFutureSchedulesCrossWheelLevels) {
+  // 3 lands in the level-0 window, 700 needs a level-1 cascade, 70000 is
+  // beyond the 65536-cycle horizon and sits in overflow until its lap.
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  probe.idle = true;
+  engine.step();
+  for (const Cycle due : {Cycle{3}, Cycle{700}, Cycle{70000}}) {
+    probe.scheduleWakeAt(due);
+  }
+  EXPECT_EQ(engine.pendingTimerCount(), 3u);
+  runThrough(engine, 70001);
+  ASSERT_EQ(log.size(), 8u);
+  EXPECT_EQ(log[2], "p.eval@3");
+  EXPECT_EQ(log[4], "p.eval@700");
+  EXPECT_EQ(log[6], "p.eval@70000");
+  EXPECT_EQ(engine.pendingTimerCount(), 0u);
+}
+
+TEST(EngineTimers, PastDueClampsToNextCycle) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  probe.idle = true;
+  engine.run(4);  // parked after cycle 0; now() == 4
+  probe.scheduleWakeAt(1);  // long past: must fire at cycle 5, not be lost
+  engine.run(3);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[2], "p.eval@5");
+}
+
+TEST(EngineTimers, SameCycleTimerAndWakeActivateOnce) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  probe.idle = true;
+  engine.step();
+  probe.scheduleWakeAt(3);
+  probe.requestWake();  // wake lands at cycle 1... but probe re-parks
+  runThrough(engine, 4);
+  // One activation from the wake (cycle 1), one from the timer (cycle 3);
+  // the coincidence at a single drain would still activate exactly once.
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_EQ(log[2], "p.eval@1");
+  EXPECT_EQ(log[4], "p.eval@3");
+}
+
+TEST(EngineTimers, TimerAndWakeOnSameCycleCollapse) {
+  std::vector<std::string> log;
+  GatedProbe a("a", log);
+  GatedProbe b("b", log);
+  Engine engine;
+  engine.add(a);
+  engine.add(b);
+  a.idle = true;
+  b.idle = true;
+  engine.step();  // both parked after cycle 0
+  // b gets BOTH a timer for cycle 2 and a plain wake landing at cycle 2;
+  // a gets only a timer — activation order must stay registration order.
+  b.scheduleWakeAt(2);
+  a.scheduleWakeAt(2);
+  engine.step();  // cycle 1: both still parked
+  b.requestWake();
+  log.clear();
+  engine.step();  // cycle 2
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "a.eval@2");
+  EXPECT_EQ(log[1], "b.eval@2");
+  EXPECT_EQ(log[2], "a.adv@2");
+  EXPECT_EQ(log[3], "b.adv@2");
+}
+
+TEST(EngineTimers, FireOnActiveComponentIsDropped) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);  // stays active (idle == false)
+  probe.scheduleWakeAt(2);
+  engine.run(4);
+  EXPECT_EQ(engine.pendingTimerCount(), 0u);  // consumed ...
+  EXPECT_EQ(engine.stats().timersFired, 0u);  // ... but not delivered
+  EXPECT_EQ(log.size(), 8u);                  // stepped every cycle regardless
+}
+
+TEST(EngineTimers, ResetDropsPendingTimers) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  probe.idle = true;
+  engine.step();
+  probe.scheduleWakeAt(4);
+  probe.scheduleWakeAt(70000);
+  EXPECT_EQ(engine.pendingTimerCount(), 2u);
+  engine.reset();
+  EXPECT_EQ(engine.pendingTimerCount(), 0u);
+  log.clear();
+  runThrough(engine, 6);
+  // Active at cycle 0 (reset reactivates), parked after; no timer fires.
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "p.eval@0");
+}
+
+TEST(EngineTimers, SurviveGatingToggle) {
+  std::vector<std::string> log;
+  GatedProbe probe("p", log);
+  Engine engine;
+  engine.add(probe);
+  probe.idle = true;
+  engine.step();
+  probe.scheduleWakeAt(1000);
+  engine.setActivityGating(false);
+  engine.run(3);  // everything steps anyway; the timer must survive
+  EXPECT_EQ(engine.pendingTimerCount(), 1u);
+  engine.setActivityGating(true);
+  engine.step();  // probe parks again (idle)
+  log.clear();
+  runThrough(engine, 1001);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "p.eval@1000");
+}
+
+TEST(EngineTimers, MidCycleWakePreventsParkingThatCycle) {
+  // A component that receives a wake DURING a cycle (e.g. a link draining a
+  // slot in its advance phase) must not park at that cycle's end even if it
+  // reports quiescent — the wake would otherwise be lost.
+  std::vector<std::string> log;
+  GatedProbe target("t", log);
+
+  class Waker final : public Clocked {
+   public:
+    explicit Waker(Clocked& target) : target_(&target) {}
+    void evaluate(Cycle) override {}
+    void advance(Cycle) override {
+      if (fire) {
+        target_->requestWake();
+        fire = false;
+      }
+    }
+    std::string name() const override { return "waker"; }
+    bool fire = false;
+
+   private:
+    Clocked* target_;
+  };
+
+  Waker waker(target);
+  Engine engine;
+  engine.add(target);
+  engine.add(waker);
+  target.idle = true;
+  waker.fire = true;
+  engine.step();  // wake arrives mid-cycle 0: target must stay active
+  EXPECT_EQ(engine.activeCount(), 2u);
+  engine.step();  // no new wake: target parks at the end of cycle 1
+  EXPECT_EQ(engine.activeCount(), 1u);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[2], "t.eval@1");
+}
+
+TEST(EngineStats, TracksStepsAndParkRate) {
+  std::vector<std::string> log;
+  GatedProbe busy("busy", log);
+  GatedProbe idle("idle", log);
+  Engine engine;
+  engine.add(busy);
+  engine.add(idle);
+  idle.idle = true;
+  engine.run(10);
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.cycles, 10u);
+  EXPECT_EQ(stats.componentSteps, 11u);  // both at cycle 0, busy alone after
+  EXPECT_NEAR(stats.parkRate(engine.componentCount()), 1.0 - 11.0 / 20.0, 1e-12);
+  engine.reset();
+  EXPECT_EQ(engine.stats().cycles, 0u);
+}
+
 TEST(Clock, DefaultMatchesTable33) {
   Clock clock;
   EXPECT_DOUBLE_EQ(clock.frequencyHz(), 2.5e9);

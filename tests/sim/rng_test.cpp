@@ -100,6 +100,38 @@ TEST(Rng, NextBoolMatchesProbability) {
   EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
 }
 
+TEST(Rng, GeometricTrialsReplayPerTrialSampling) {
+  // The gap draw IS the sequence of per-trial coin flips: same seed, same
+  // successes, same stream position afterwards.
+  Rng gap(37);
+  Rng trials(37);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t failures = gap.nextGeometricTrials(0.05);
+    std::uint64_t expected = 0;
+    while (!trials.nextBool(0.05)) ++expected;
+    ASSERT_EQ(failures, expected);
+  }
+  EXPECT_EQ(gap.next(), trials.next());  // streams still aligned
+}
+
+TEST(Rng, GeometricTrialsMatchTheLaw) {
+  Rng rng(41);
+  const double p = 0.02;
+  constexpr int kDraws = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(rng.nextGeometricTrials(p));
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, (1.0 - p) / p, 0.05 * (1.0 - p) / p);
+}
+
+TEST(Rng, GeometricTrialsCertainSuccessConsumesNothing) {
+  Rng a(43);
+  Rng b(43);
+  EXPECT_EQ(a.nextGeometricTrials(1.0), 0u);
+  EXPECT_EQ(a.nextGeometricTrials(1.5), 0u);
+  EXPECT_EQ(a.next(), b.next());  // no state was consumed
+}
+
 TEST(Rng, SplitStreamsAreIndependentOfParentContinuation) {
   Rng parent(31);
   Rng child = parent.split();
