@@ -64,6 +64,9 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
       std::printf("  hosts=@hosts.json           stream across a hosts file"
                   " (implies backend=stream; see scripts/grids/"
                   "hosts.example.json)\n");
+      std::printf("\nfault policy (backend=stream; hosts-file \"policy\" object,"
+                  " CLI keys win):\n%s",
+                  dispatch::policyHelpText().c_str());
       std::printf("\n%s", traffic::PatternRegistry::global().helpText().c_str());
     }
     if (!extraKeys_.empty()) {
@@ -130,7 +133,21 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
         // Read and validate the fleet HERE, once: an unreadable or
         // malformed hosts file is a parse error, and the backend is built
         // from this parsed copy, never by re-reading the file later.
-        backendOptions_.hosts = dispatch::loadHostsFile(hosts);
+        dispatch::HostsFleet fleet = dispatch::loadHostsFleet(hosts);
+        backendOptions_.hosts = std::move(fleet.hosts);
+        backendOptions_.policy = fleet.policy;
+      }
+      // Fault-policy keys layer key-by-key over the hosts file's "policy"
+      // object (loaded just above), so `retries=3` on the command line
+      // overrides the file's retries but keeps its job_deadline_ms.
+      for (const std::string& key : dispatch::policyKeys()) {
+        if (!config_.contains(key)) continue;
+        const std::int64_t value = config_.getInt(key, 0);
+        if (value < 0) {
+          throw std::invalid_argument(key + " must be >= 0");
+        }
+        dispatch::setPolicyField(backendOptions_.policy, key,
+                                 static_cast<std::uint64_t>(value));
       }
     } catch (const std::invalid_argument& error) {
       std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error.what());

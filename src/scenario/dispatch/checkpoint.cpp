@@ -121,6 +121,7 @@ BenchCheckpoint parseBenchCheckpoint(const std::string& text,
                                      const std::string& origin) {
   BenchCheckpoint checkpoint;
   checkpoint.rawByIndex.resize(grid.size());
+  std::vector<bool> seen(grid.size(), false);
   try {
     // Whole-document parse first: a truncated or hand-mangled file must be
     // rejected up front, not half-harvested line by line.
@@ -137,11 +138,18 @@ BenchCheckpoint parseBenchCheckpoint(const std::string& text,
             "record grid_index " + std::to_string(index) + " is out of range for a " +
             std::to_string(grid.size()) + "-spec grid");
       }
-      if (checkpoint.rawByIndex[index]) {
+      if (seen[index]) {
         throw std::invalid_argument("duplicate record for grid index " +
                                     std::to_string(index));
       }
+      seen[index] = true;
       validateRecordAgainstSpec(record, index, grid[index]);
+      // A per-job FAILURE record (fail_soft dispatch) is a valid checkpoint
+      // entry but not a result: its index stays missing, so resume=1
+      // re-dispatches exactly the failed (and absent) indices, and the old
+      // failure line is superseded rather than re-emitted.
+      const JsonValue* failed = record.find("failed");
+      if (failed != nullptr && failed->asU64() != 0) continue;
       checkpoint.rawByIndex[index] = raw;
     }
   } catch (const std::invalid_argument& error) {

@@ -43,7 +43,9 @@ std::string specKey(const ScenarioSpec& spec);
 /// std::invalid_argument on malformed files, duplicate or out-of-range
 /// indices, or records that contradict the grid (spec_key when present,
 /// else the recorded arch/pattern/seed/load/bandwidth_set) — resuming
-/// against the wrong grid must fail, not silently merge.
+/// against the wrong grid must fail, not silently merge.  Per-job FAILURE
+/// records ("failed":1, written by a fail-soft dispatch) validate like any
+/// record but leave their index missing, so resume re-dispatches them.
 BenchCheckpoint parseBenchCheckpoint(const std::string& text,
                                      const std::string& recordName,
                                      const std::vector<ScenarioSpec>& grid,

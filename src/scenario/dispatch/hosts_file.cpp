@@ -41,55 +41,101 @@ HostEntry parseEntry(const JsonValue& object, std::size_t ordinal) {
       entry.workers = static_cast<unsigned>(workers);
     } else if (key == "executable") {
       entry.executable = value.asString();
+    } else if (key == "connect_timeout_ms") {
+      const std::uint64_t ms = value.asU64();
+      if (ms == 0) {
+        throw std::invalid_argument("host entry #" + std::to_string(ordinal) +
+                                    ": connect_timeout_ms must be >= 1");
+      }
+      entry.connectTimeoutMs = ms;
     } else {
-      throw std::invalid_argument("host entry #" + std::to_string(ordinal) +
-                                  ": unknown key '" + key +
-                                  "' (launcher | workers | executable)");
+      throw std::invalid_argument(
+          "host entry #" + std::to_string(ordinal) + ": unknown key '" + key +
+          "' (launcher | workers | executable | connect_timeout_ms)");
     }
   }
   return entry;
 }
 
+FaultPolicy parsePolicyObject(const JsonValue& object) {
+  if (object.kind() != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("\"policy\" is not a JSON object");
+  }
+  FaultPolicy policy;
+  for (const auto& [key, value] : object.members()) {
+    if (!isPolicyKey(key)) {
+      throw std::invalid_argument("policy: unknown key '" + key + "'\n" +
+                                  policyHelpText());
+    }
+    // fail_soft reads naturally as JSON true/false; every knob also takes
+    // the numeric form the CLI uses.
+    const std::uint64_t number =
+        value.kind() == JsonValue::Kind::kBool ? (value.asBool() ? 1 : 0)
+                                               : value.asU64();
+    try {
+      setPolicyField(policy, key, number);
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument(std::string("policy: ") + error.what());
+    }
+  }
+  return policy;
+}
+
 }  // namespace
 
-std::vector<HostEntry> parseHostsFileText(const std::string& text,
-                                          const std::string& origin) {
+HostsFleet parseHostsFleetText(const std::string& text, const std::string& origin) {
   try {
     const JsonValue document = JsonValue::parse(text);
+    HostsFleet fleet;
     const JsonValue* list = &document;
     if (document.kind() == JsonValue::Kind::kObject) {
+      list = nullptr;
       for (const auto& [key, value] : document.members()) {
-        if (key != "hosts") {
+        if (key == "hosts") {
+          list = &value;
+        } else if (key == "policy") {
+          fleet.policy = parsePolicyObject(value);
+        } else {
           throw std::invalid_argument("unknown top-level key '" + key +
-                                      "' (expected \"hosts\")");
+                                      "' (expected \"hosts\" or \"policy\")");
         }
-        list = &value;
+      }
+      if (list == nullptr) {
+        throw std::invalid_argument("object form lacks a \"hosts\" array");
       }
     }
     if (list->kind() != JsonValue::Kind::kArray) {
       throw std::invalid_argument("expected a JSON array of host entries");
     }
-    std::vector<HostEntry> hosts;
     for (std::size_t i = 0; i < list->items().size(); ++i) {
-      hosts.push_back(parseEntry(list->items()[i], i));
+      fleet.hosts.push_back(parseEntry(list->items()[i], i));
     }
-    if (hosts.empty()) {
+    if (fleet.hosts.empty()) {
       throw std::invalid_argument("file lists no hosts");
     }
-    return hosts;
+    return fleet;
   } catch (const std::invalid_argument& error) {
     throw std::invalid_argument("hosts file '" + origin + "': " + error.what());
   }
 }
 
-std::vector<HostEntry> loadHostsFile(const std::string& path) {
+std::vector<HostEntry> parseHostsFileText(const std::string& text,
+                                          const std::string& origin) {
+  return parseHostsFleetText(text, origin).hosts;
+}
+
+HostsFleet loadHostsFleet(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     throw std::invalid_argument("hosts file '" + path + "': cannot open");
   }
   std::ostringstream text;
   text << in.rdbuf();
-  return parseHostsFileText(text.str(), path);
+  return parseHostsFleetText(text.str(), path);
+}
+
+std::vector<HostEntry> loadHostsFile(const std::string& path) {
+  return loadHostsFleet(path).hosts;
 }
 
 std::vector<std::unique_ptr<WorkerTransport>> transportsFor(
@@ -104,6 +150,7 @@ std::vector<std::unique_ptr<WorkerTransport>> transportsFor(
         transports.push_back(
             std::make_unique<CommandTransport>(host.launcher, host.executable));
       }
+      transports.back()->setConnectTimeoutMs(host.connectTimeoutMs);
     }
   }
   return transports;

@@ -3,6 +3,7 @@
 // fleet without pulling the transport layer into every backend user.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,10 @@ struct HostEntry {
   std::vector<std::string> launcher;  // empty: local re-exec
   unsigned workers = 1;
   std::string executable;  // empty: this binary
+  /// Per-host connect (launch + handshake-ack) budget; 0 = the fleet
+  /// policy's connect_timeout_ms.  A slow-to-ssh host gets its own budget
+  /// without stretching everyone else's.
+  std::uint64_t connectTimeoutMs = 0;
 };
 
 }  // namespace pnoc::scenario::dispatch

@@ -4,11 +4,14 @@
 
 namespace pnoc::scenario::dispatch {
 
-StreamingBackend::StreamingBackend(unsigned shards, std::string workerExecutable)
-    : shards_(shards), workerExecutable_(std::move(workerExecutable)) {}
+StreamingBackend::StreamingBackend(unsigned shards, std::string workerExecutable,
+                                   FaultPolicy policy)
+    : shards_(shards),
+      workerExecutable_(std::move(workerExecutable)),
+      policy_(policy) {}
 
-StreamingBackend::StreamingBackend(std::vector<HostEntry> hosts)
-    : hosts_(std::move(hosts)) {}
+StreamingBackend::StreamingBackend(std::vector<HostEntry> hosts, FaultPolicy policy)
+    : hosts_(std::move(hosts)), policy_(policy) {}
 
 unsigned StreamingBackend::workersFor(std::size_t jobCount) const {
   if (!hosts_.empty()) {
@@ -36,7 +39,7 @@ std::vector<ScenarioOutcome> StreamingBackend::execute(
           std::make_unique<LocalProcessTransport>(workerExecutable_));
     }
   }
-  StreamingWorkerPool pool(std::move(transports));
+  StreamingWorkerPool pool(std::move(transports), policy_);
   std::vector<ScenarioOutcome> outcomes;
   try {
     outcomes = pool.execute(jobs, observer_);

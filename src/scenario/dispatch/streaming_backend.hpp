@@ -28,11 +28,13 @@ namespace pnoc::scenario::dispatch {
 class StreamingBackend : public ExecutionBackend {
  public:
   /// Local pool: `shards` workers (0 = auto, see resolveWorkerCount),
-  /// re-execing `workerExecutable` ("" = this binary).
-  explicit StreamingBackend(unsigned shards = 0, std::string workerExecutable = "");
+  /// re-execing `workerExecutable` ("" = this binary).  `policy` governs
+  /// every failure path (dispatch/fault_policy.hpp).
+  explicit StreamingBackend(unsigned shards = 0, std::string workerExecutable = "",
+                            FaultPolicy policy = {});
 
   /// Hosts-file pool: one worker per slot listed in `hosts`.
-  explicit StreamingBackend(std::vector<HostEntry> hosts);
+  explicit StreamingBackend(std::vector<HostEntry> hosts, FaultPolicy policy = {});
 
   std::string name() const override { return "stream"; }
   BackendCapabilities capabilities() const override {
@@ -50,6 +52,7 @@ class StreamingBackend : public ExecutionBackend {
   unsigned shards_ = 0;
   std::string workerExecutable_;
   std::vector<HostEntry> hosts_;  // empty: local workers
+  FaultPolicy policy_;
   StreamingWorkerPool::Stats stats_;
 };
 

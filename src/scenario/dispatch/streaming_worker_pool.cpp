@@ -20,57 +20,71 @@
 namespace pnoc::scenario::dispatch {
 namespace {
 
-/// How long a worker gets from launch to its handshake ack.  Generous
-/// enough for an ssh connect + remote exec; a worker silent past this is
-/// assumed to be an older build speaking the batch protocol (it would slurp
-/// stdin forever) and fails the dispatch instead of hanging it.
-/// PNOC_STREAM_ACK_TIMEOUT_MS overrides (tests, very slow fleets).
-std::chrono::milliseconds handshakeTimeout() {
+using Clock = std::chrono::steady_clock;
+
+/// PNOC_STREAM_ACK_TIMEOUT_MS overrides every connect/ack budget (tests,
+/// very slow fleets); 0 / unset defers to the policy and per-host values.
+std::uint64_t envConnectTimeoutMs() {
   if (const char* env = std::getenv("PNOC_STREAM_ACK_TIMEOUT_MS")) {
     const long ms = std::strtol(env, nullptr, 10);
-    if (ms > 0) return std::chrono::milliseconds(ms);
+    if (ms > 0) return static_cast<std::uint64_t>(ms);
   }
-  return std::chrono::milliseconds(30000);
+  return 0;
 }
 
 struct Slot {
+  const WorkerTransport* transport = nullptr;  // for respawns and timeouts
   WorkerConnection conn;
   std::string buffer;           // partial reply-line accumulation
   bool ackSeen = false;
   bool alive = false;
+  bool launchFailed = false;    // connect-class death: never respawn
   std::optional<std::size_t> inFlight;
-  std::optional<int> waitStatus;  // set when reaped at death (markDead)
-  std::chrono::steady_clock::time_point ackDeadline;
+  std::optional<int> waitStatus;  // set when reaped at death
+  Clock::time_point ackDeadline;
+  Clock::time_point jobDeadline;  // valid while inFlight, when policy has one
   unsigned completed = 0;
+  unsigned respawns = 0;
 };
 
 /// The state of one execute() call.  The destructor is the error-path
-/// teardown: SIGTERM + reap everything still alive, so a thrown failure
-/// never leaks worker processes (local or launcher-wrapped).
+/// teardown: SIGTERM + bounded-grace SIGKILL escalation for everything
+/// still alive, so a thrown failure never leaks worker processes — and a
+/// WEDGED worker (one that ignores SIGTERM mid-job) can never hang the
+/// teardown either.
 class Dealer {
  public:
   Dealer(const std::vector<std::unique_ptr<WorkerTransport>>& transports,
-         const std::vector<ScenarioJob>& jobs,
+         const FaultPolicy& policy, const std::vector<ScenarioJob>& jobs,
          const ExecutionBackend::OutcomeObserver& observer,
          StreamingWorkerPool::Stats& stats)
-      : jobs_(jobs), observer_(observer), stats_(stats) {
+      : policy_(policy), jobs_(jobs), observer_(observer), stats_(stats) {
+    const std::uint64_t envTimeout = envConnectTimeoutMs();
+    connectTimeoutMs_ = envTimeout != 0 ? envTimeout : policy_.connectTimeoutMs;
+    // The whole fleet connects in parallel: ready hosts are held only until
+    // the slowest in-budget host (or its timeout), never the sum of
+    // connect times.
+    std::vector<LaunchOutcome> launches =
+        launchConcurrently(transports, connectTimeoutMs_);
     slots_.reserve(transports.size());
-    try {
-      for (const auto& transport : transports) {
-        Slot slot;
-        slot.conn = transport->launch();
+    for (std::size_t t = 0; t < transports.size(); ++t) {
+      Slot slot;
+      slot.transport = transports[t].get();
+      if (launches[t].connection) {
+        slot.conn = std::move(*launches[t].connection);
         slot.alive = true;
-        slots_.push_back(std::move(slot));
+      } else {
+        slot.launchFailed = true;
+        ++stats_.launchFailures;
+        deathNotes_.push_back(launches[t].error);
+        std::fprintf(stderr, "pnoc dispatch: %s; continuing on the remaining"
+                     " workers\n", launches[t].error.c_str());
       }
-    } catch (...) {
-      // The destructor never runs for a half-constructed Dealer: tear down
-      // the workers already launched before rethrowing the launch failure.
-      teardownSlots();
-      throw;
+      slots_.push_back(std::move(slot));
     }
     outcomes_.resize(jobs.size());
     filled_.resize(jobs.size(), false);
-    retried_.resize(jobs.size(), false);
+    attempts_.resize(jobs.size(), 0);
     for (std::size_t i = 0; i < jobs.size(); ++i) pending_.push_back(i);
   }
 
@@ -79,16 +93,11 @@ class Dealer {
   std::vector<ScenarioOutcome> run() {
     // The handshake and the first job ship back-to-back — no round-trip
     // before work starts; the ack is validated when the first line returns.
-    const auto ackTimeout = handshakeTimeout();
     for (Slot& slot : slots_) {
-      slot.ackDeadline = std::chrono::steady_clock::now() + ackTimeout;
-      if (!writeAllToWorker(slot.conn.stdinFd, wire::streamHelloLine() + "\n")) {
-        const std::string who = describeSlot(slot);
-        markDead(slot);
-        noteTolerableDeath(who, slot, "at handshake");
-      }
+      if (slot.alive) sendHello(slot);
     }
     while (filledCount_ < jobs_.size()) {
+      releaseDelayed();
       dealToIdle();
       pollOnce();
     }
@@ -99,15 +108,32 @@ class Dealer {
   }
 
  private:
+  std::uint64_t slotConnectTimeoutMs(const Slot& slot) const {
+    // The env override (tests) beats everything; otherwise a per-host
+    // connect_timeout_ms beats the policy default.
+    if (envConnectTimeoutMs() != 0) return envConnectTimeoutMs();
+    if (slot.transport != nullptr && slot.transport->connectTimeoutMs() != 0) {
+      return slot.transport->connectTimeoutMs();
+    }
+    return policy_.connectTimeoutMs;
+  }
+
+  void sendHello(Slot& slot) {
+    slot.ackSeen = false;
+    slot.buffer.clear();
+    slot.ackDeadline =
+        Clock::now() + std::chrono::milliseconds(slotConnectTimeoutMs(slot));
+    if (!writeAllToWorker(slot.conn.stdinFd, wire::streamHelloLine() + "\n")) {
+      connectFailure(slot, describeSlot(slot) + " died at the handshake");
+    }
+  }
+
   /// Abnormal-path teardown (finish() reaps on the success path): don't
-  /// wait out a worker mid-simulation.
+  /// wait out a worker mid-simulation, and never wait past the grace on
+  /// one that ignores SIGTERM.
   void teardownSlots() {
     for (Slot& slot : slots_) {
-      closeConnection(slot.conn);
-      if (slot.conn.pid > 0) {
-        ::kill(slot.conn.pid, SIGTERM);
-        reapWorker(slot.conn);
-      }
+      terminateWorker(slot.conn, policy_.graceMs);
     }
   }
 
@@ -133,6 +159,155 @@ class Dealer {
     return slot.conn.description + " (pid " + std::to_string(slot.conn.pid) + ")";
   }
 
+  /// Kills a worker with SIGTERM-grace-SIGKILL escalation and records how
+  /// it ended.  Safe on already-exited workers (the reap returns at once).
+  void killSlot(Slot& slot) {
+    slot.alive = false;
+    const int status = terminateWorker(slot.conn, policy_.graceMs);
+    if (status >= 0) slot.waitStatus = status;
+  }
+
+  std::string describeEnd(const Slot& slot) const {
+    return slot.waitStatus ? describeWaitStatus(*slot.waitStatus)
+                           : "could not be reaped";
+  }
+
+  void note(const std::string& text) {
+    deathNotes_.push_back(text);
+    std::fprintf(stderr, "pnoc dispatch: %s\n", text.c_str());
+  }
+
+  /// A connect-class death (launch, handshake write, ack timeout, bad ack):
+  /// the host never proved it can run jobs, so its slot is retired — no
+  /// respawn — and any job it was dealt goes back UNCHARGED (the worker
+  /// never started it; this is not one of the job's retries).
+  void connectFailure(Slot& slot, const std::string& what) {
+    killSlot(slot);
+    slot.launchFailed = true;
+    ++stats_.launchFailures;
+    if (slot.inFlight) {
+      pending_.push_front(*slot.inFlight);
+      slot.inFlight.reset();
+    }
+    note(what + "; continuing on the remaining workers");
+  }
+
+  /// Records and reports a death the batch survives (no job was lost):
+  /// tolerated, but never silent.
+  void noteTolerableDeath(const std::string& who, const Slot& slot,
+                          const std::string& context) {
+    note(who + " " + describeEnd(slot) + " " + context +
+         "; continuing on the remaining workers");
+  }
+
+  /// A fault cost `index` its current dispatch: redispatch within the retry
+  /// budget (after exponential backoff), else fail the job — loudly, or as
+  /// a structured failure outcome under fail_soft.  `loudWho` names worker
+  /// and cause for exceptions/stderr; `recordDetail` is the deterministic
+  /// (pid-free) cause a fail-soft record carries.
+  void jobFaulted(std::size_t index, const std::string& loudWho,
+                  const std::string& recordDetail) {
+    ++attempts_[index];
+    if (attempts_[index] <= policy_.retries) {
+      ++stats_.retries;
+      const std::uint64_t backoff = backoffMsForAttempt(policy_, attempts_[index]);
+      std::fprintf(stderr,
+                   "pnoc dispatch: %s while running job %zu; redispatching"
+                   " (attempt %u of %u%s)\n",
+                   loudWho.c_str(), index, attempts_[index] + 1,
+                   policy_.retries + 1,
+                   backoff != 0
+                       ? (" after " + std::to_string(backoff) + " ms").c_str()
+                       : "");
+      if (backoff == 0) {
+        pending_.push_front(index);  // redispatched jobs jump the queue
+      } else {
+        delayed_.push_back(Delayed{index, Clock::now() +
+                                              std::chrono::milliseconds(backoff)});
+      }
+      return;
+    }
+    if (policy_.failSoft) {
+      recordJobFailure(index, recordDetail + " (retry budget of " +
+                                  std::to_string(policy_.retries) +
+                                  " exhausted)");
+      return;
+    }
+    fail(loudWho + " while running job " + std::to_string(index) +
+         " (retry budget exhausted)");
+  }
+
+  /// The fail-soft terminal state: the job completes AS a failure — a
+  /// structured outcome the observer (and so pnoc_run's checkpoint) sees,
+  /// with a deterministic error so two identically-faulty runs record
+  /// identical failures.
+  void recordJobFailure(std::size_t index, const std::string& reason) {
+    ++stats_.failedJobs;
+    ScenarioOutcome outcome;
+    outcome.op = jobs_[index].op;
+    outcome.spec = jobs_[index].spec;
+    outcome.failed = true;
+    outcome.error = reason;
+    outcomes_[index] = std::move(outcome);
+    filled_[index] = true;
+    ++filledCount_;
+    std::fprintf(stderr, "pnoc dispatch: job %zu failed: %s (grid continues;"
+                 " resume=1 re-dispatches it)\n", index, reason.c_str());
+    if (observer_) observer_(index, outcomes_[index]);
+  }
+
+  /// A worker whose protocol is corrupt (unparseable / wrong-index /
+  /// unexpected reply) cannot be trusted with further jobs: kill it, charge
+  /// the in-flight job a retry, and let the slot respawn.
+  void protocolViolation(Slot& slot, const std::string& what) {
+    const std::string who = describeSlot(slot);
+    ++stats_.protocolDeaths;
+    killSlot(slot);
+    note(who + " " + what + " (worker killed)");
+    if (slot.inFlight) {
+      const std::size_t index = *slot.inFlight;
+      slot.inFlight.reset();
+      jobFaulted(index, who + " " + what, "worker-protocol death: " + what);
+    }
+    maybeRespawn(slot);
+  }
+
+  /// Relaunches a dead slot through its original transport (bounded per
+  /// slot): the fleet heals to full width instead of shrinking by one
+  /// worker per crash.  Connect-class failures never respawn.
+  void maybeRespawn(Slot& slot) {
+    if (slot.launchFailed || slot.respawns >= policy_.respawns) return;
+    ++slot.respawns;
+    ++stats_.respawns;
+    try {
+      slot.conn = slot.transport->launch();
+    } catch (const std::exception& error) {
+      slot.launchFailed = true;
+      ++stats_.launchFailures;
+      note(slot.transport->describe() + " respawn failed: " + error.what());
+      return;
+    }
+    slot.alive = true;
+    slot.waitStatus.reset();
+    std::fprintf(stderr, "pnoc dispatch: respawned %s (respawn %u of %u)\n",
+                 describeSlot(slot).c_str(), slot.respawns, policy_.respawns);
+    sendHello(slot);
+  }
+
+  /// Moves backoff-delayed jobs whose wait expired back into the queue.
+  void releaseDelayed() {
+    const auto now = Clock::now();
+    for (std::size_t d = 0; d < delayed_.size();) {
+      if (now >= delayed_[d].readyAt) {
+        pending_.push_front(delayed_[d].index);
+        delayed_[d] = delayed_.back();
+        delayed_.pop_back();
+      } else {
+        ++d;
+      }
+    }
+  }
+
   /// Streams pending jobs to every idle live worker (initial deal, the
   /// next-job deal after a reply, and re-deals after a death).
   void dealToIdle() {
@@ -143,60 +318,81 @@ class Dealer {
         const std::string line = wire::jobLine(index, jobs_[index]) + "\n";
         if (writeAllToWorker(slot.conn.stdinFd, line)) {
           slot.inFlight = index;
+          if (policy_.jobDeadlineMs != 0) {
+            slot.jobDeadline =
+                Clock::now() + std::chrono::milliseconds(policy_.jobDeadlineMs);
+          }
         } else {
-          // Died before taking the job: the job goes back untouched (this is
-          // not the one retry — nothing was lost mid-run), but the death is
-          // reported just like one noticed via poll EOF.
+          // Died before taking the job: the job goes back untouched (nothing
+          // was lost mid-run, so no retry is charged), and the slot may
+          // respawn — dying after an ack is a worker fault, not a connect
+          // fault.
           pending_.push_front(index);
           const std::string who = describeSlot(slot);
-          markDead(slot);
-          noteTolerableDeath(who, slot, "while idle");
+          if (!slot.ackSeen) {
+            connectFailure(slot, who + " died before taking a job");
+          } else {
+            killSlot(slot);
+            noteTolerableDeath(who, slot, "while idle");
+            maybeRespawn(slot);
+          }
         }
       }
     }
   }
 
-  void pollOnce() {
-    std::vector<pollfd> fds;
-    std::vector<std::size_t> fdSlot;
-    // A worker past its ack deadline will never flush anything (an older
-    // build's batch loop waits for stdin EOF we never send): fail loudly
-    // now; otherwise poll only until the earliest outstanding deadline.
-    int timeoutMs = -1;
-    bool anyInFlight = false;
-    const auto now = std::chrono::steady_clock::now();
-    for (std::size_t s = 0; s < slots_.size(); ++s) {
-      Slot& slot = slots_[s];
-      if (!slot.alive) continue;
-      if (slot.inFlight) {
-        anyInFlight = true;
-        if (!slot.ackSeen) {
-          const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-              slot.ackDeadline - now);
-          if (left.count() <= 0) {
-            fail(describeSlot(slot) + " did not acknowledge the streaming"
-                 " protocol within " + std::to_string(handshakeTimeout().count()) +
-                 " ms — a batch-protocol worker from an older build?");
-          }
-          const int ms = static_cast<int>(left.count()) + 1;
-          timeoutMs = timeoutMs < 0 ? ms : std::min(timeoutMs, ms);
-        }
-      }
-      // Idle slots are polled too: their only possible events are the
-      // handshake ack and EOF, and seeing the EOF promptly is what keeps an
-      // idle death a tolerated (and reported) anomaly instead of a stale
-      // wait status failing the whole batch at finish().
-      fds.push_back(pollfd{slot.conn.stdoutFd, POLLIN, 0});
-      fdSlot.push_back(s);
-    }
-    if (!anyInFlight) {
-      // Invariant: unfinished jobs are pending or in flight, and pending
-      // jobs get dealt whenever an idle live worker exists — so no job in
-      // flight here means no live worker can make progress.
+  /// No live worker remains but jobs are unfinished: the terminal state of
+  /// a fully-collapsed fleet.
+  void fleetExhausted() {
+    if (!policy_.failSoft) {
       fail("no live workers remain with " +
            std::to_string(jobs_.size() - filledCount_) + " job(s) unfinished" +
            (deathNotes_.empty() ? std::string() : " — " + deathNotes_.back()));
     }
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (!filled_[i]) recordJobFailure(i, "no live workers remained");
+    }
+    pending_.clear();
+    delayed_.clear();
+  }
+
+  void pollOnce() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fdSlot;
+    int timeoutMs = -1;
+    const auto now = Clock::now();
+    const auto consider = [&](Clock::time_point deadline) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      const int ms = left.count() <= 0 ? 0 : static_cast<int>(left.count()) + 1;
+      timeoutMs = timeoutMs < 0 ? ms : std::min(timeoutMs, ms);
+    };
+    bool anyLive = false;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      Slot& slot = slots_[s];
+      if (!slot.alive) continue;
+      anyLive = true;
+      // A worker past its ack deadline will never flush anything (an older
+      // build's batch loop waits for stdin EOF we never send); an in-flight
+      // job past its deadline means a hung or wedged worker.  Both are
+      // handled after the poll — here they bound its timeout.
+      if (!slot.ackSeen) {
+        consider(slot.ackDeadline);
+      } else if (slot.inFlight && policy_.jobDeadlineMs != 0) {
+        consider(slot.jobDeadline);
+      }
+      // Idle slots are polled too: their only possible events are the
+      // handshake ack and EOF, and seeing the EOF promptly is what keeps an
+      // idle death a tolerated (and healed) anomaly instead of a stale
+      // wait status failing the whole batch at finish().
+      fds.push_back(pollfd{slot.conn.stdoutFd, POLLIN, 0});
+      fdSlot.push_back(s);
+    }
+    if (!anyLive) {
+      fleetExhausted();
+      return;
+    }
+    for (const Delayed& delayed : delayed_) consider(delayed.readyAt);
     int ready;
     do {
       ready = ::poll(fds.data(), fds.size(), timeoutMs);
@@ -206,6 +402,40 @@ class Dealer {
     }
     for (std::size_t f = 0; f < fds.size(); ++f) {
       if (fds[f].revents != 0) readChunk(slots_[fdSlot[f]]);
+    }
+    enforceDeadlines();
+  }
+
+  void enforceDeadlines() {
+    const auto now = Clock::now();
+    for (Slot& slot : slots_) {
+      if (!slot.alive) continue;
+      if (!slot.ackSeen) {
+        if (now >= slot.ackDeadline) {
+          connectFailure(
+              slot, describeSlot(slot) +
+                        " did not acknowledge the streaming protocol within " +
+                        std::to_string(slotConnectTimeoutMs(slot)) +
+                        " ms — a batch-protocol worker from an older build?");
+        }
+        continue;
+      }
+      if (slot.inFlight && policy_.jobDeadlineMs != 0 && now >= slot.jobDeadline) {
+        const std::string who = describeSlot(slot);
+        const std::size_t index = *slot.inFlight;
+        ++stats_.deadlineKills;
+        killSlot(slot);
+        slot.inFlight.reset();
+        note(who + " exceeded the " + std::to_string(policy_.jobDeadlineMs) +
+             " ms job deadline on job " + std::to_string(index) + " (" +
+             describeEnd(slot) + ")");
+        jobFaulted(index,
+                   who + " exceeded the " + std::to_string(policy_.jobDeadlineMs) +
+                       " ms job deadline",
+                   "job deadline exceeded (" + std::to_string(policy_.jobDeadlineMs) +
+                       " ms)");
+        maybeRespawn(slot);
+      }
     }
   }
 
@@ -234,7 +464,10 @@ class Dealer {
       try {
         wire::checkStreamAck(line);
       } catch (const std::runtime_error& error) {
-        fail(describeSlot(slot) + ": " + error.what());
+        // A bad ack is a connect-class failure: the host runs SOMETHING,
+        // but not our protocol — retire it rather than respawn-looping.
+        connectFailure(slot, describeSlot(slot) + ": " + error.what());
+        return;
       }
       slot.ackSeen = true;
       return;
@@ -243,105 +476,113 @@ class Dealer {
     try {
       reply = wire::parseReplyLine(line);
     } catch (const std::exception& error) {
-      fail("unparseable reply from " + describeSlot(slot) + ": " + error.what());
+      protocolViolation(slot, std::string("sent an unparseable reply: ") +
+                                  error.what());
+      return;
     }
     if (!slot.inFlight || reply.index != *slot.inFlight) {
-      fail(describeSlot(slot) + " replied for job " + std::to_string(reply.index) +
-           " while job " +
-           (slot.inFlight ? std::to_string(*slot.inFlight) : std::string("<none>")) +
-           " was in flight");
+      protocolViolation(
+          slot, "replied for job " + std::to_string(reply.index) + " while job " +
+                    (slot.inFlight ? std::to_string(*slot.inFlight)
+                                   : std::string("<none>")) +
+                    " was in flight");
+      return;
     }
     const std::size_t index = *slot.inFlight;
     slot.inFlight.reset();
     ++slot.completed;
-    filled_[index] = true;
-    ++filledCount_;
     if (!reply.ok) {
-      // In-band job failure: the worker is healthy; the batch still fails
-      // after it completes (matching the batch backend's contract).
-      failures_.push_back("job " + std::to_string(index) + ": " + reply.error);
+      // In-band job failure: the worker is healthy and the failure is
+      // deterministic (the simulation itself rejected the spec), so no
+      // retry — fail softly as a recorded outcome, or loudly after the
+      // batch completes (the batch backends' contract).
+      if (policy_.failSoft) {
+        recordJobFailure(index, "job error: " + reply.error);
+      } else {
+        filled_[index] = true;
+        ++filledCount_;
+        failures_.push_back("job " + std::to_string(index) + ": " + reply.error);
+      }
       return;
     }
+    filled_[index] = true;
+    ++filledCount_;
     reply.outcome.spec = jobs_[index].spec;
     outcomes_[index] = std::move(reply.outcome);
     if (observer_) observer_(index, outcomes_[index]);
   }
 
-  void markDead(Slot& slot) {
-    slot.alive = false;
-    closeConnection(slot.conn);
-    const int status = reapWorker(slot.conn);
-    if (status >= 0) slot.waitStatus = status;
-  }
-
-  /// Records and reports a death the batch survives (no job was lost):
-  /// tolerated, but never silent.  Call AFTER markDead, with the identity
-  /// captured before it (reaping clears the pid).
-  void noteTolerableDeath(const std::string& who, const Slot& slot,
-                          const std::string& context) {
-    const std::string how =
-        slot.waitStatus ? describeWaitStatus(*slot.waitStatus) : "could not be reaped";
-    deathNotes_.push_back(who + " " + how + " " + context);
-    std::fprintf(stderr, "pnoc dispatch: %s %s %s; continuing on the remaining"
-                 " workers\n", who.c_str(), how.c_str(), context.c_str());
-  }
-
   void handleDeath(Slot& slot) {
     const std::string who = describeSlot(slot);
-    markDead(slot);
-    const std::string how =
-        slot.waitStatus ? describeWaitStatus(*slot.waitStatus) : "could not be reaped";
+    const bool hadAck = slot.ackSeen;
+    const bool truncated = !slot.buffer.empty();
+    killSlot(slot);
+    if (!hadAck) {
+      connectFailure(slot, who + " " + describeEnd(slot) +
+                               " before the handshake ack");
+      return;
+    }
+    if (truncated) {
+      ++stats_.protocolDeaths;
+      slot.buffer.clear();
+    }
+    const std::string how = describeEnd(slot) +
+                            (truncated ? " with a truncated reply line" : "");
     if (!slot.inFlight) {
-      // Idle death loses no job, so the batch can still complete — but never
-      // silently: the anomaly is reported, it just doesn't cost the run.
+      // Idle death loses no job; the anomaly is reported and the slot may
+      // heal, it just doesn't cost the run.
       noteTolerableDeath(who, slot, "while idle");
+      maybeRespawn(slot);
       return;
     }
     const std::size_t index = *slot.inFlight;
     slot.inFlight.reset();
-    bool survivors = false;
-    for (const Slot& other : slots_) survivors = survivors || other.alive;
-    if (!retried_[index] && survivors) {
-      retried_[index] = true;
-      ++stats_.retries;
-      deathNotes_.push_back(who + " " + how + " while running job " +
-                            std::to_string(index));
-      std::fprintf(stderr, "pnoc dispatch: %s while running job %zu; retrying on a"
-                   " surviving worker\n", (who + " " + how).c_str(), index);
-      pending_.push_front(index);  // retried job jumps the queue
-      return;
-    }
-    fail(who + " " + how + " while running job " + std::to_string(index) +
-         (retried_[index] ? " (job already retried once)"
-                          : " (no surviving workers to retry on)"));
+    note(who + " " + how + " while running job " + std::to_string(index));
+    jobFaulted(index, who + " " + how, "worker death: " + how);
+    maybeRespawn(slot);
   }
 
-  /// Success-path teardown: EOF every stdin (workers exit), reap, and turn
-  /// nonzero exits into failures — a worker that corrupted its protocol must
-  /// not pass silently just because every job has a result.  Slots already
-  /// dead were handled at death time (recovered via retry, noted, or fatal),
-  /// so only still-live workers are judged here.
+  /// Success-path teardown: EOF every stdin (workers exit), reap within the
+  /// grace (SIGKILL past it — a wedged worker must not hang a finished
+  /// grid), and turn nonzero exits into failures — a worker that corrupted
+  /// its protocol must not pass silently just because every job has a
+  /// result.  Slots already dead were handled at death time.
   void finish() {
     for (Slot& slot : slots_) {
+      if (slot.alive) closeConnection(slot.conn);
+    }
+    for (Slot& slot : slots_) {
       if (!slot.alive) continue;
-      closeConnection(slot.conn);
-      const int status = reapWorker(slot.conn);
+      bool killed = false;
+      const int status = reapWorkerWithin(slot.conn, policy_.graceMs, &killed);
       if (status < 0) {
         failures_.push_back(slot.conn.description + " could not be reaped");
+      } else if (killed) {
+        failures_.push_back(slot.conn.description + " did not exit within " +
+                            std::to_string(policy_.graceMs) +
+                            " ms of EOF (killed)");
       } else if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
         failures_.push_back(slot.conn.description + " " + describeWaitStatus(status));
       }
     }
   }
 
+  struct Delayed {
+    std::size_t index;
+    Clock::time_point readyAt;
+  };
+
+  const FaultPolicy policy_;
   const std::vector<ScenarioJob>& jobs_;
   const ExecutionBackend::OutcomeObserver& observer_;
   StreamingWorkerPool::Stats& stats_;
+  std::uint64_t connectTimeoutMs_ = 0;
   std::vector<Slot> slots_;
   std::deque<std::size_t> pending_;
+  std::vector<Delayed> delayed_;  // jobs waiting out a redispatch backoff
   std::vector<ScenarioOutcome> outcomes_;
   std::vector<bool> filled_;
-  std::vector<bool> retried_;
+  std::vector<unsigned> attempts_;  // faulted dispatches per job
   std::size_t filledCount_ = 0;
   std::vector<std::string> failures_;
   std::vector<std::string> deathNotes_;
@@ -350,8 +591,8 @@ class Dealer {
 }  // namespace
 
 StreamingWorkerPool::StreamingWorkerPool(
-    std::vector<std::unique_ptr<WorkerTransport>> transports)
-    : transports_(std::move(transports)) {}
+    std::vector<std::unique_ptr<WorkerTransport>> transports, FaultPolicy policy)
+    : transports_(std::move(transports)), policy_(policy) {}
 
 std::vector<ScenarioOutcome> StreamingWorkerPool::execute(
     const std::vector<ScenarioJob>& jobs,
@@ -369,7 +610,7 @@ std::vector<ScenarioOutcome> StreamingWorkerPool::execute(
   (void)sigpipeIgnored;
 
   stats_ = Stats{};
-  Dealer dealer(transports_, jobs, observer, stats_);
+  Dealer dealer(transports_, policy_, jobs, observer, stats_);
   return dealer.run();
 }
 

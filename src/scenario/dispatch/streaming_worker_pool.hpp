@@ -1,4 +1,5 @@
-// StreamingWorkerPool: dynamic job dealing over persistent protocol workers.
+// StreamingWorkerPool: dynamic job dealing over persistent protocol workers,
+// with fleet-grade fault tolerance governed by a FaultPolicy.
 //
 // SubprocessBackend's batch protocol deals the whole grid up front
 // (round-robin) and waits for stdin EOF before any worker replies — optimal
@@ -18,17 +19,31 @@
 //   worker -> parent   one reply line          }  buys the next job line
 //   parent -> worker   stdin EOF when the batch is done -> worker exits 0
 //
-// Failure handling is loud by construction: a worker that dies mid-job is
-// named together with the job it was running; its in-flight job is retried
-// ONCE on a surviving worker before the whole dispatch fails.  Partial
-// results are never silently merged — execute() either returns the complete
-// batch or throws.
+// Failure semantics (all knobs in dispatch/fault_policy.hpp):
+//
+//   * Transports launch CONCURRENTLY, each against its connect timeout; a
+//     host that cannot connect is reported by name and the fleet proceeds
+//     without it.
+//   * A worker that dies, corrupts the protocol (garbage / truncated /
+//     wrong-index reply), or blows its per-job deadline (SIGTERM, grace,
+//     SIGKILL escalation) loses its job back to the queue: the job is
+//     redispatched up to `retries` times, after an exponential backoff,
+//     and the slot is RESPAWNED through its original transport up to
+//     `respawns` times so the fleet heals instead of shrinking.
+//   * A job that exhausts its budget fails the dispatch loudly (default),
+//     or — fail_soft — becomes a structured failed ScenarioOutcome while
+//     the rest of the grid completes; the observer fires for failed jobs
+//     too, which is how pnoc_run checkpoints them for a later resume.
+//   * Partial results are never silently merged: execute() returns the
+//     complete batch (failed outcomes included, fail_soft only) or throws
+//     with the worker and job named.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "scenario/dispatch/fault_policy.hpp"
 #include "scenario/dispatch/worker_transport.hpp"
 #include "scenario/execution_backend.hpp"
 
@@ -37,20 +52,29 @@ namespace pnoc::scenario::dispatch {
 class StreamingWorkerPool {
  public:
   /// How the dispatch actually went — the observable half of dynamic
-  /// dealing (tests assert a slow worker completes fewer jobs).
+  /// dealing and of every fault-handling path (tests assert against these).
   struct Stats {
     std::vector<unsigned> jobsPerWorker;  // completed jobs per worker slot
-    unsigned retries = 0;  // in-flight jobs re-dealt after a worker death
+    unsigned retries = 0;         // jobs re-dealt after a fault
+    unsigned respawns = 0;        // workers relaunched through their slot
+    unsigned deadlineKills = 0;   // workers killed for blowing a job deadline
+    unsigned protocolDeaths = 0;  // workers killed for corrupt replies
+    unsigned launchFailures = 0;  // transports that never produced a worker
+    unsigned failedJobs = 0;      // fail-soft failure outcomes recorded
   };
 
-  /// One worker per transport; the pool launches them inside execute().
+  /// One worker per transport; the pool launches them (concurrently) inside
+  /// execute().  `policy` governs every failure path.
   explicit StreamingWorkerPool(
-      std::vector<std::unique_ptr<WorkerTransport>> transports);
+      std::vector<std::unique_ptr<WorkerTransport>> transports,
+      FaultPolicy policy = {});
 
   /// Executes the batch; results indexed like `jobs`.  `observer` (optional)
-  /// fires on the calling thread as each job completes.  Throws
-  /// std::runtime_error naming the worker and job on unrecoverable failures
-  /// (all in-flight work is torn down first — no leaked processes).
+  /// fires on the calling thread as each job completes — including, under
+  /// fail_soft, jobs completing AS failures.  Throws std::runtime_error
+  /// naming the worker and job on unrecoverable failures (all in-flight
+  /// work is torn down first, with bounded SIGTERM-to-SIGKILL escalation —
+  /// no leaked and no wedged processes).
   std::vector<ScenarioOutcome> execute(
       const std::vector<ScenarioJob>& jobs,
       const ExecutionBackend::OutcomeObserver& observer = {});
@@ -60,6 +84,7 @@ class StreamingWorkerPool {
 
  private:
   std::vector<std::unique_ptr<WorkerTransport>> transports_;
+  FaultPolicy policy_;
   Stats stats_;
 };
 

@@ -1,8 +1,14 @@
 #include "scenario/dispatch/worker_transport.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include <fcntl.h>
@@ -30,22 +36,21 @@ WorkerConnection spawnWorkerProcess(const std::vector<std::string>& argv,
   }
   int inPipe[2];   // parent writes jobs -> worker stdin
   int outPipe[2];  // worker stdout -> parent reads replies
-  if (::pipe(inPipe) != 0) {
-    throw std::runtime_error("dispatch: pipe() failed");
-  }
-  if (::pipe(outPipe) != 0) {
-    ::close(inPipe[0]);
-    ::close(inPipe[1]);
-    throw std::runtime_error("dispatch: pipe() failed");
-  }
-  // Every pipe fd is close-on-exec: a later-spawned worker forks while the
-  // earlier workers' pipes are still open in the parent, and an inherited
-  // stdin write end would keep an earlier worker's stdin from ever reaching
-  // EOF (serializing the "parallel" workers, and deadlocking outright once a
+  // Every pipe fd is born close-on-exec (pipe2, not pipe-then-fcntl, so a
+  // CONCURRENT launch thread's fork can never slip between the two calls
+  // and inherit a raw fd): a later-spawned worker forks while the earlier
+  // workers' pipes are still open in the parent, and an inherited stdin
+  // write end would keep an earlier worker's stdin from ever reaching EOF
+  // (serializing the "parallel" workers, and deadlocking outright once a
   // reply outgrows the pipe buffer).  dup2 below clears the flag on the two
   // fds the worker actually keeps.
-  for (const int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]}) {
-    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  if (::pipe2(inPipe, O_CLOEXEC) != 0) {
+    throw std::runtime_error("dispatch: pipe2() failed");
+  }
+  if (::pipe2(outPipe, O_CLOEXEC) != 0) {
+    ::close(inPipe[0]);
+    ::close(inPipe[1]);
+    throw std::runtime_error("dispatch: pipe2() failed");
   }
   const pid_t pid = ::fork();
   if (pid < 0) {
@@ -111,6 +116,44 @@ int reapWorker(WorkerConnection& connection) {
   return reaped < 0 ? -1 : status;
 }
 
+int reapWorkerWithin(WorkerConnection& connection, std::uint64_t graceMs,
+                     bool* killed) {
+  if (killed != nullptr) *killed = false;
+  if (connection.pid <= 0) return -1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(graceMs);
+  for (;;) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(connection.pid, &status, WNOHANG);
+    if (reaped == connection.pid) {
+      connection.pid = -1;
+      return status;
+    }
+    if (reaped < 0 && errno != EINTR) {  // ECHILD: already reaped elsewhere
+      connection.pid = -1;
+      return -1;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    ::usleep(2000);
+  }
+  // Grace expired: the worker is wedged.  SIGKILL cannot be ignored, so the
+  // blocking reap below returns promptly.
+  ::kill(connection.pid, SIGKILL);
+  if (killed != nullptr) *killed = true;
+  return reapWorker(connection);
+}
+
+int terminateWorker(WorkerConnection& connection, std::uint64_t graceMs,
+                    bool* killed) {
+  closeConnection(connection);
+  if (connection.pid <= 0) {
+    if (killed != nullptr) *killed = false;
+    return -1;
+  }
+  ::kill(connection.pid, SIGTERM);
+  return reapWorkerWithin(connection, graceMs, killed);
+}
+
 std::string describeWaitStatus(int status) {
   if (WIFEXITED(status)) {
     return "exited with status " + std::to_string(WEXITSTATUS(status));
@@ -152,6 +195,105 @@ WorkerConnection CommandTransport::launch() const {
   argv.push_back(executable_.empty() ? selfExecutablePath() : executable_);
   argv.push_back(kWorkerFlag);
   return spawnWorkerProcess(argv, describe());
+}
+
+namespace {
+
+/// Launch state shared between the caller and the (possibly outliving)
+/// launch threads.  shared_ptr-owned so an abandoned thread can still write
+/// its cell and clean up after the caller has moved on.
+struct LaunchBoard {
+  std::mutex mutex;
+  std::condition_variable cv;
+  struct Cell {
+    bool done = false;
+    bool abandoned = false;
+    std::optional<WorkerConnection> connection;
+    std::string error;
+  };
+  std::vector<Cell> cells;
+};
+
+}  // namespace
+
+std::vector<LaunchOutcome> launchConcurrently(
+    const std::vector<std::unique_ptr<WorkerTransport>>& transports,
+    std::uint64_t defaultTimeoutMs) {
+  using Clock = std::chrono::steady_clock;
+  const auto board = std::make_shared<LaunchBoard>();
+  board->cells.resize(transports.size());
+  std::vector<Clock::time_point> deadlines;
+  deadlines.reserve(transports.size());
+  const auto start = Clock::now();
+  for (std::size_t t = 0; t < transports.size(); ++t) {
+    const std::uint64_t budget = transports[t]->connectTimeoutMs() != 0
+                                     ? transports[t]->connectTimeoutMs()
+                                     : defaultTimeoutMs;
+    deadlines.push_back(start + std::chrono::milliseconds(budget));
+    // Detached by design: a thread stuck inside a wedged launch() (an ssh
+    // that never times out, say) must not block the fleet; it parks until
+    // launch() returns, then tears its worker down under `abandoned`.
+    std::thread([board, t, transport = transports[t].get()] {
+      std::optional<WorkerConnection> connection;
+      std::string error;
+      try {
+        connection = transport->launch();
+      } catch (const std::exception& failure) {
+        error = failure.what();
+      }
+      std::lock_guard<std::mutex> lock(board->mutex);
+      LaunchBoard::Cell& cell = board->cells[t];
+      if (cell.abandoned) {
+        // The caller stopped waiting: this worker never joins the fleet,
+        // and the timeout verdict already written stands.
+        if (connection) terminateWorker(*connection, /*graceMs=*/0);
+      } else {
+        cell.connection = std::move(connection);
+        cell.error = std::move(error);
+      }
+      cell.done = true;
+      board->cv.notify_all();
+    }).detach();
+  }
+
+  std::vector<LaunchOutcome> outcomes(transports.size());
+  std::unique_lock<std::mutex> lock(board->mutex);
+  for (;;) {
+    // Wait until every cell is done or past its own deadline — the fleet
+    // starts after max(connect time, per-host timeout), never the sum.
+    Clock::time_point nextDeadline = Clock::time_point::max();
+    bool pending = false;
+    const auto now = Clock::now();
+    for (std::size_t t = 0; t < board->cells.size(); ++t) {
+      LaunchBoard::Cell& cell = board->cells[t];
+      if (cell.done || cell.abandoned) continue;
+      if (now >= deadlines[t]) {
+        cell.abandoned = true;
+        cell.error = transports[t]->describe() + " did not connect within " +
+                     std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        deadlines[t] - start)
+                                        .count()) +
+                     " ms";
+        continue;
+      }
+      pending = true;
+      nextDeadline = std::min(nextDeadline, deadlines[t]);
+    }
+    if (!pending) break;
+    board->cv.wait_until(lock, nextDeadline);
+  }
+  for (std::size_t t = 0; t < board->cells.size(); ++t) {
+    LaunchBoard::Cell& cell = board->cells[t];
+    if (cell.connection) {
+      outcomes[t].connection = std::move(cell.connection);
+      cell.connection.reset();
+    } else {
+      outcomes[t].error = cell.error.empty()
+                              ? transports[t]->describe() + " failed to launch"
+                              : cell.error;
+    }
+  }
+  return outcomes;
 }
 
 }  // namespace pnoc::scenario::dispatch

@@ -18,6 +18,9 @@
 // the subprocess backend applies to every transport).
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +49,15 @@ class WorkerTransport {
   /// cannot be created.  (An exec failure inside the child surfaces later
   /// as exit status 127 with no protocol output.)
   virtual WorkerConnection launch() const = 0;
+
+  /// Per-transport connect (launch + handshake-ack) budget in milliseconds;
+  /// 0 means "use the fleet policy's connect_timeout_ms".  A hosts-file
+  /// entry's own connect_timeout_ms lands here via transportsFor().
+  void setConnectTimeoutMs(std::uint64_t ms) { connectTimeoutMs_ = ms; }
+  std::uint64_t connectTimeoutMs() const { return connectTimeoutMs_; }
+
+ private:
+  std::uint64_t connectTimeoutMs_ = 0;
 };
 
 /// The running binary's path (/proc/self/exe — immune to argv[0] games).
@@ -97,7 +109,40 @@ bool writeAllToWorker(int fd, const std::string& data);
 /// Returns -1 when the pid was already reaped or never valid.
 int reapWorker(WorkerConnection& connection);
 
+/// Bounded reap: waits up to `graceMs` (WNOHANG polling) for the worker to
+/// exit on its own; one still alive at expiry is SIGKILLed and reaped —
+/// this can never block indefinitely.  Sets *killed (when non-null) if the
+/// escalation fired.  Returns the wait status (-1: nothing to reap) and
+/// clears `pid`.
+int reapWorkerWithin(WorkerConnection& connection, std::uint64_t graceMs,
+                     bool* killed = nullptr);
+
+/// The abnormal-path kill: closes both pipes (stdin EOF lets a healthy
+/// worker exit inside the grace), sends SIGTERM, then escalates per
+/// reapWorkerWithin.  A worker that ignores SIGTERM — or is wedged in a
+/// job — is SIGKILLed after `graceMs`, so teardown is always bounded.
+int terminateWorker(WorkerConnection& connection, std::uint64_t graceMs,
+                    bool* killed = nullptr);
+
 /// "exited with status N" / "killed by signal N" for a wait status.
 std::string describeWaitStatus(int status);
+
+/// One transport's result from a concurrent fleet launch: a live
+/// connection, or the error that (or timeout which) prevented one.
+struct LaunchOutcome {
+  std::optional<WorkerConnection> connection;
+  std::string error;  // set when `connection` is empty
+};
+
+/// Launches every transport CONCURRENTLY, each against its own connect
+/// timeout (transport override, else `defaultTimeoutMs`), so an N-host ssh
+/// fleet pays max — not sum — of the connect times.  A transport whose
+/// launch() has not returned inside its budget is reported by name in
+/// `error` and abandoned: when the straggler eventually returns, its worker
+/// is torn down by the (detached) launch thread, never leaked and never
+/// joined into the fleet.  Outcomes are indexed like `transports`.
+std::vector<LaunchOutcome> launchConcurrently(
+    const std::vector<std::unique_ptr<WorkerTransport>>& transports,
+    std::uint64_t defaultTimeoutMs);
 
 }  // namespace pnoc::scenario::dispatch

@@ -10,6 +10,18 @@
 #include "scenario/subprocess_backend.hpp"
 
 namespace pnoc::scenario {
+namespace {
+
+/// The typed conveniences have nowhere to put a failed outcome (their result
+/// structs carry metrics, not errors), so a fail-soft failure reaching them
+/// is an error — callers that want structured failures use execute().
+void requireNotFailed(const ScenarioOutcome& outcome) {
+  if (outcome.failed) {
+    throw std::runtime_error("scenario job failed: " + outcome.error);
+  }
+}
+
+}  // namespace
 
 std::vector<ScenarioResult> ExecutionBackend::run(
     const std::vector<ScenarioSpec>& specs) {
@@ -22,6 +34,7 @@ std::vector<ScenarioResult> ExecutionBackend::run(
   std::vector<ScenarioResult> results;
   results.reserve(outcomes.size());
   for (ScenarioOutcome& outcome : outcomes) {
+    requireNotFailed(outcome);
     results.push_back(ScenarioResult{std::move(outcome.spec), outcome.metrics});
   }
   return results;
@@ -38,6 +51,7 @@ std::vector<ScenarioPeak> ExecutionBackend::findPeaks(
   std::vector<ScenarioPeak> peaks;
   peaks.reserve(outcomes.size());
   for (ScenarioOutcome& outcome : outcomes) {
+    requireNotFailed(outcome);
     peaks.push_back(ScenarioPeak{std::move(outcome.spec), std::move(outcome.search)});
   }
   return peaks;
@@ -127,9 +141,11 @@ std::unique_ptr<ExecutionBackend> makeBackend(const BackendOptions& options) {
   }
   if (options.kind == BackendKind::kStream) {
     if (!options.hosts.empty()) {
-      return std::make_unique<dispatch::StreamingBackend>(options.hosts);
+      return std::make_unique<dispatch::StreamingBackend>(options.hosts,
+                                                          options.policy);
     }
-    return std::make_unique<dispatch::StreamingBackend>(options.workers);
+    return std::make_unique<dispatch::StreamingBackend>(options.workers, "",
+                                                        options.policy);
   }
   return std::make_unique<InProcessBackend>(options.workers);
 }

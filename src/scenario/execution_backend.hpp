@@ -27,6 +27,7 @@
 
 #include "metrics/metrics.hpp"
 #include "metrics/saturation.hpp"
+#include "scenario/dispatch/fault_policy.hpp"
 #include "scenario/dispatch/hosts_file_types.hpp"
 #include "scenario/scenario_spec.hpp"
 
@@ -51,12 +52,18 @@ struct ScenarioJob {
 };
 
 /// The result of one ScenarioJob; `metrics` is filled for kRun, `search` for
-/// kFindPeak (the other member stays default-constructed).
+/// kFindPeak (the other member stays default-constructed).  Under a
+/// fail-soft fault policy a job that exhausts its retry budget completes AS
+/// a failure: `failed` set, `error` naming the (deterministic) cause, both
+/// metric members default.  run()/findPeaks() refuse failed outcomes —
+/// fail-soft consumers (pnoc_run) go through execute() and record them.
 struct ScenarioOutcome {
   ScenarioJob::Op op = ScenarioJob::Op::kRun;
   ScenarioSpec spec;
   metrics::RunMetrics metrics;
   metrics::PeakSearchResult search;
+  bool failed = false;
+  std::string error;
 };
 
 struct BackendCapabilities {
@@ -142,6 +149,11 @@ struct BackendOptions {
   /// Cli::parse fills this from hosts=@file, so the file is read and
   /// validated exactly once, at parse time.
   std::vector<dispatch::HostEntry> hosts;
+  /// Fault policy for backend=stream: hosts-file "policy" object first,
+  /// individual CLI keys (retries=, job_deadline_ms=, ...) layered on top.
+  /// The batch backends ignore it.  (Appended last so existing positional
+  /// aggregate initializations keep meaning what they meant.)
+  dispatch::FaultPolicy policy;
 };
 
 /// Constructs the backend an options block describes.

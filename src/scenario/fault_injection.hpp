@@ -1,0 +1,95 @@
+// Deterministic fault injection for the dispatch layer's tests and smokes.
+//
+// PNOC_TEST_FAULT=<spec> makes a protocol worker misbehave in a precisely
+// scripted way when it receives a given job index — the generalization of
+// PR 4's one-off PNOC_TEST_STREAM_CRASH lockfile hook.  The worker loop
+// (runWorkerLoop) consults this module around every job; the parent-side
+// pool never reads the variable, so every injected fault exercises the REAL
+// recovery paths: death detection, deadline kills, retry/backoff, respawn,
+// fail-soft degradation.
+//
+// Spec grammar (comma-separated clauses, each applied at most once per
+// match):
+//
+//   <kind>@<index>[:opt=val]...
+//
+//   kind    crash      _exit before replying (like PNOC_TEST_STREAM_CRASH)
+//           hang       never reply: sleep until killed (ignoreterm=1 also
+//                      ignores SIGTERM, forcing the SIGKILL escalation)
+//           garbage    emit a non-JSON line instead of the reply
+//           truncate   emit half the reply with no newline, then exit 0
+//                      (the truncated-line-at-EOF protocol death)
+//           dup        emit the reply twice (duplicate-index protocol death)
+//           wrongindex emit the reply under index+1000
+//           slow       sleep ms= milliseconds, then reply normally
+//           exit       reply normally, then _exit(code=) (nonzero-exit)
+//   index   the wire job index the fault triggers on, or * for every job
+//   opts    once=<path>  claim an O_EXCL lock file first; only the first
+//                        claimant across the whole fleet injects, so a
+//                        retried job succeeds on the next worker
+//           ms=<n>       sleep for slow (default 200)
+//           code=<n>     exit status for crash (default 57) and exit
+//                        (default 41)
+//           ignoreterm=1 hang ignores SIGTERM (SIGKILL escalation test)
+//
+// Examples:
+//   PNOC_TEST_FAULT="crash@2:once=/tmp/f.lock"   first worker on job 2 dies
+//   PNOC_TEST_FAULT="hang@1:ignoreterm=1"        job 1 wedges its worker
+//   PNOC_TEST_FAULT="garbage@0,slow@3:ms=50"     two independent clauses
+//
+// Everything here is worker-side and compiled unconditionally: the hooks
+// cost one getenv on first use and nothing at all when the variable is
+// unset.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pnoc::scenario::testfault {
+
+enum class Kind {
+  kCrash,
+  kHang,
+  kGarbage,
+  kTruncate,
+  kDupReply,
+  kWrongIndex,
+  kSlow,
+  kExit,
+};
+
+struct Fault {
+  Kind kind = Kind::kCrash;
+  bool anyIndex = false;  // index was '*'
+  std::size_t index = 0;
+  std::string oncePath;  // empty: inject on every match
+  unsigned ms = 200;     // slow
+  int exitCode = 0;      // 0: the kind's default (crash 57, exit 41)
+  bool ignoreTerm = false;
+};
+
+/// Parses a PNOC_TEST_FAULT spec; throws std::invalid_argument naming the
+/// malformed clause (a typo'd fault spec must fail the test, not silently
+/// run fault-free).
+std::vector<Fault> parseFaultSpec(const std::string& text);
+
+/// The clause matching `index` whose once-lock (if any) this call claimed,
+/// or nullptr.  Parses PNOC_TEST_FAULT on first use; at most one clause
+/// fires per job (the first match in spec order).
+const Fault* claimFault(std::size_t index);
+
+/// Pre-reply faults: crash / hang / slow.  May not return (crash, hang).
+void applyPreReplyFault(const Fault& fault);
+
+/// Reply-corruption faults: writes the corrupted form of `replyLine` to
+/// `out` and returns true (caller must not emit the real reply), or returns
+/// false for kinds that leave the reply alone.  May not return (truncate).
+bool applyReplyFault(const Fault& fault, const std::string& replyLine,
+                     std::ostream& out);
+
+/// Post-reply faults: nonzero exit.  May not return.
+void applyPostReplyFault(const Fault& fault);
+
+}  // namespace pnoc::scenario::testfault

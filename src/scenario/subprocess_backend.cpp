@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include "scenario/dispatch/worker_transport.hpp"
+#include "scenario/fault_injection.hpp"
 #include "scenario/wire.hpp"
 
 namespace pnoc::scenario {
@@ -106,14 +107,24 @@ int processJobLine(const std::string& jobText, std::ostream& out) {
     return 1;
   }
   maybeCrashForTest(index, /*afterReply=*/false);
+  // Deterministic fault injection (PNOC_TEST_FAULT, fault_injection.hpp):
+  // the matching clause — if any — is claimed before the job runs, then
+  // drives the worker through exactly one failure mode around the reply.
+  const testfault::Fault* fault = testfault::claimFault(index);
+  if (fault != nullptr) testfault::applyPreReplyFault(*fault);
+  std::string replyLine;
   try {
-    out << wire::outcomeLine(index, executeJob(job)) << "\n";
+    replyLine = wire::outcomeLine(index, executeJob(job));
   } catch (const std::exception& error) {
     // A job that fails to simulate reports in-band only — the worker
     // itself is healthy (exit 0), per the header contract.
-    out << wire::errorLine(index, error.what()) << "\n";
+    replyLine = wire::errorLine(index, error.what());
+  }
+  if (fault == nullptr || !testfault::applyReplyFault(*fault, replyLine, out)) {
+    out << replyLine << "\n";
   }
   out.flush();
+  if (fault != nullptr) testfault::applyPostReplyFault(*fault);
   maybeCrashForTest(index, /*afterReply=*/true);
   return 0;
 }

@@ -47,6 +47,20 @@ namespace {
 std::string serializedRecord(const scenario::ScenarioOutcome& outcome,
                              std::size_t gridIndex) {
   scenario::JsonRecorder scratch("scratch");
+  if (outcome.failed) {
+    // A fail-soft per-job failure: a record with the job's identity and the
+    // deterministic cause, no metrics.  The checkpoint loader treats it as
+    // missing, so resume=1 re-dispatches exactly these indices.
+    scenario::JsonRecord& record = scratch.add(
+        outcome.op == scenario::ScenarioJob::Op::kRun ? "run" : "peak");
+    record.integer("failed", 1);
+    record.text("error", outcome.error);
+    record.text("arch", outcome.spec.get("arch"));
+    record.text("pattern", outcome.spec.params.pattern);
+    record.integer("grid_index", static_cast<long long>(gridIndex));
+    record.text("spec_key", scenario::dispatch::specKey(outcome.spec));
+    return record.serialize();
+  }
   scenario::JsonRecord& record =
       outcome.op == scenario::ScenarioJob::Op::kRun
           ? scenario::recordRun(scratch, outcome.spec, outcome.metrics)
@@ -55,6 +69,15 @@ std::string serializedRecord(const scenario::ScenarioOutcome& outcome,
   record.integer("grid_index", static_cast<long long>(gridIndex));
   record.text("spec_key", scenario::dispatch::specKey(outcome.spec));
   return record.serialize();
+}
+
+std::string joinIndices(const std::vector<std::size_t>& indices) {
+  std::string out;
+  for (const std::size_t i : indices) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(i);
+  }
+  return out;
 }
 
 }  // namespace
@@ -197,6 +220,19 @@ int main(int argc, char** argv) {
     // Keep every completed job a failed dispatch had already delivered —
     // resume=1 then re-simulates only what is genuinely missing.
     if (checkpointing) flushCheckpoint();
+    std::vector<std::size_t> stillMissing;
+    for (std::size_t i = 0; i < checkpoint.rawByIndex.size(); ++i) {
+      if (!checkpoint.rawByIndex[i]) stillMissing.push_back(i);
+    }
+    std::cerr << "pnoc_run: " << checkpoint.presentCount() << " of "
+              << grid.size() << " spec(s) checkpointed";
+    if (!stillMissing.empty() && stillMissing.size() <= 32) {
+      std::cerr << "; grid index(es) " << joinIndices(stillMissing)
+                << " missing";
+    } else if (!stillMissing.empty()) {
+      std::cerr << "; " << stillMissing.size() << " missing";
+    }
+    std::cerr << (checkpointing ? " (resume=1 re-dispatches the rest)\n" : "\n");
     return 1;
   }
 
@@ -210,11 +246,18 @@ int main(int argc, char** argv) {
     table.setHeader({"#", "arch", "pattern", "peak load", "Gb/s", "EPM (pJ)",
                      "points"});
   }
+  std::vector<std::size_t> failedIndices;
   for (std::size_t j = 0; j < outcomes.size(); ++j) {
     const auto& outcome = outcomes[j];
     const std::size_t gridIndex = missing[j];
     if (!checkpoint.rawByIndex[gridIndex]) {  // observer may have stored it
       checkpoint.rawByIndex[gridIndex] = serializedRecord(outcome, gridIndex);
+    }
+    if (outcome.failed) {
+      // Fail-soft failures reach the BENCH file (just above) but not the
+      // metrics table — their row would be all zeros.
+      failedIndices.push_back(gridIndex);
+      continue;
     }
     if (mode == "run") {
       table.addRow({std::to_string(gridIndex), outcome.spec.get("arch"),
@@ -252,5 +295,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "wrote " << written << " (" << wallSeconds << " s)\n";
+  if (!failedIndices.empty()) {
+    // A partially-failed grid is still a failed run: every completed record
+    // is checkpointed above, the failures are named, and the exit status
+    // says so — scripts must not mistake a grid with holes for a clean one.
+    std::cerr << "pnoc_run: " << failedIndices.size()
+              << " job(s) failed at grid index(es) " << joinIndices(failedIndices)
+              << " (failure records written; resume=1 re-dispatches them)\n";
+    return 1;
+  }
   return 0;
 }
