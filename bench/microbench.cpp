@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
   const std::string jsonDir = cli.config().getString("json", ".");
 
   scenario::JsonRecorder recorder("microbench");
+  scenario::JsonRecorder closedRecorder("microbench_closed");
   std::printf("%-28s %-10s %-8s %14s %12s\n", "bench", "label", "gating", "per_sec",
               "wall_ms");
 
@@ -147,6 +148,43 @@ int main(int argc, char** argv) {
     // (the timed loops above always run for ~minMs by construction).
     scenario::recordTiming(recorder, m.wallSeconds,
                            static_cast<std::size_t>(kFixedCycles));
+  }
+
+  // --- closed-loop fixed work: the workload subsystem's gated record ---
+  // Same fixed-work rationale as BM_LowLoadTimerWheel, but with the
+  // closed-loop request-reply workload driving injection: window credits,
+  // per-flow state, reply generation and the request-latency histogram are
+  // all on the hot path.  Emitted as its own BENCH_microbench_closed.json
+  // document so the committed baseline gates the workload subsystem's
+  // overhead independently of the open-loop record above.
+  {
+    const Cycle kClosedCycles = 200000;
+    scenario::ScenarioSpec spec = base;
+    spec.params.pattern = "skewed3";
+    spec.params.workload = "closed:window=4,think=20";
+    network::PhotonicNetwork net(spec.params);
+    const Measurement m = timeLoop([&] { net.step(kClosedCycles); }, 0.0);  // once
+    const double cyclesPerSec = static_cast<double>(kClosedCycles) / m.wallSeconds;
+    std::uint64_t requestsCompleted = 0;
+    for (CoreId core = 0; core < spec.params.numCores; ++core) {
+      requestsCompleted += net.core(core).stats().requestsCompleted;
+    }
+    const sim::EngineStats& stats = net.engine().stats();
+    const double parkRate = stats.parkRate(net.engine().componentCount());
+    std::printf("%-28s %-10s %-8s %14.0f %12.2f\n", "BM_ClosedLoopCycles", "skewed3",
+                "on", cyclesPerSec, m.wallSeconds * 1e3);
+    closedRecorder.add("BM_ClosedLoopCycles")
+        .text("label", "skewed3")
+        .text("workload", spec.params.workload)
+        .number("cycles_per_sec", cyclesPerSec)
+        .integer("cycles", static_cast<long long>(kClosedCycles))
+        .number("wall_ms", m.wallSeconds * 1e3)
+        .number("park_rate", parkRate)
+        .integer("requests_completed", static_cast<long long>(requestsCompleted))
+        .number("achieved_req_per_kcycle",
+                static_cast<double>(requestsCompleted) * 1000.0 / kClosedCycles);
+    scenario::recordTiming(closedRecorder, m.wallSeconds,
+                           static_cast<std::size_t>(kClosedCycles));
   }
 
   // --- network reset vs rebuild: the saturation search's inner loop ---
@@ -236,6 +274,8 @@ int main(int argc, char** argv) {
 
   const std::string path = recorder.write(jsonDir);
   if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+  const std::string closedPath = closedRecorder.write(jsonDir);
+  if (!closedPath.empty()) std::printf("wrote %s\n", closedPath.c_str());
   for (const auto& [pattern, speedup] : gatingSpeedups) {
     std::printf("activity gating speedup (%s, load %.4g): %.2fx\n", pattern.c_str(),
                 base.params.offeredLoad, speedup);

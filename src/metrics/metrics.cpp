@@ -22,6 +22,24 @@ double RunMetrics::avgLatencyCycles() const {
   return static_cast<double>(latencyCyclesSum) / static_cast<double>(packetsDelivered);
 }
 
+double RunMetrics::avgRequestLatencyCycles() const {
+  if (requestsCompleted == 0) return 0.0;
+  return static_cast<double>(requestLatencyCyclesSum) /
+         static_cast<double>(requestsCompleted);
+}
+
+double RunMetrics::offeredRequestsPerKcycle() const {
+  if (measuredCycles == 0) return 0.0;
+  return static_cast<double>(requestsIssued) * 1000.0 /
+         static_cast<double>(measuredCycles);
+}
+
+double RunMetrics::achievedRequestsPerKcycle() const {
+  if (measuredCycles == 0) return 0.0;
+  return static_cast<double>(requestsCompleted) * 1000.0 /
+         static_cast<double>(measuredCycles);
+}
+
 double RunMetrics::acceptance() const {
   if (packetsOffered == 0) return 1.0;
   return static_cast<double>(packetsDelivered) / static_cast<double>(packetsOffered);

@@ -35,6 +35,15 @@ struct RunMetrics {
   std::uint64_t reservationsIssued = 0;
   std::uint64_t reservationFailures = 0;
 
+  // --- request--reply flows (all zero for open-loop runs) ---
+  std::uint64_t requestsIssued = 0;
+  std::uint64_t repliesGenerated = 0;
+  std::uint64_t requestsCompleted = 0;
+  /// End-to-end flow latency (reply tail ejection minus request enqueue),
+  /// distinct from the per-packet flit latency above.
+  std::uint64_t requestLatencyCyclesSum = 0;
+  LatencyHistogram requestLatency;
+
   // --- energy (eq. (3)/(4) decomposition lives in the ledger) ---
   photonic::EnergyLedger ledger;
 
@@ -47,6 +56,14 @@ struct RunMetrics {
   double avgLatencyCycles() const;
   double latencyP50() const { return latency.quantile(0.50); }
   double latencyP99() const { return latency.quantile(0.99); }
+  /// Mean request (flow) latency in cycles; 0 when no flow completed.
+  double avgRequestLatencyCycles() const;
+  double requestLatencyP99() const { return requestLatency.quantile(0.99); }
+  /// Requests issued / completed per 1000 cycles across all cores: the
+  /// offered vs achieved throughput of a closed-loop run (they converge in
+  /// steady state; the window bounds both past open-loop saturation).
+  double offeredRequestsPerKcycle() const;
+  double achievedRequestsPerKcycle() const;
   /// Fraction of offered packets actually delivered during the window; the
   /// saturation criterion (mix-preserving operation needs this near 1).
   double acceptance() const;

@@ -6,7 +6,9 @@ namespace pnoc::network {
 
 CoreNode::CoreNode(const Config& config, const noc::ClusterTopology& topology,
                    const traffic::TrafficPattern& pattern, noc::ElectricalRouter& router,
-                   noc::PacketSlab& slab, sim::Rng rng, PacketId* nextPacketId)
+                   noc::PacketSlab& slab, sim::Rng rng, PacketId* nextPacketId,
+                   std::unique_ptr<workload::CoreWorkload> coreWorkload,
+                   workload::TraceRecorder* recorder)
     : config_(config),
       topology_(&topology),
       pattern_(&pattern),
@@ -14,9 +16,13 @@ CoreNode::CoreNode(const Config& config, const noc::ClusterTopology& topology,
       slab_(&slab),
       rng_(rng),
       nextPacketId_(nextPacketId),
-      queue_(config.queueCapacityPackets) {
+      queue_(config.queueCapacityPackets),
+      workload_(std::move(coreWorkload)),
+      recorder_(recorder) {
   assert(nextPacketId != nullptr);
-  nextArrivalAt_ = drawArrivalFrom(0);
+  // Workload mode never consults the open-loop arrival process, and must not
+  // perturb the RNG stream the model draws from.
+  if (workload_ == nullptr) nextArrivalAt_ = drawArrivalFrom(0);
 }
 
 void CoreNode::reset(sim::Rng rng) {
@@ -24,12 +30,19 @@ void CoreNode::reset(sim::Rng rng) {
   queue_.clear();
   flitCursor_ = 0;
   stats_ = CoreStats{};
+  requestLatencies_ = metrics::LatencyHistogram{};
+  requestLatencySum_ = 0;
   timerScheduledFor_ = kNoCycle;  // the engine reset dropped any pending timer
   redrawPending_ = false;
-  nextArrivalAt_ = drawArrivalFrom(0);
+  if (workload_ != nullptr) {
+    workload_->reset();
+  } else {
+    nextArrivalAt_ = drawArrivalFrom(0);
+  }
 }
 
 void CoreNode::setInjectionProbability(double probability) {
+  if (workload_ != nullptr) return;  // closed loops pace themselves
   if (probability == config_.injectionProbability) return;  // parked cores stay parked
   config_.injectionProbability = probability;
   redrawPending_ = true;
@@ -47,6 +60,19 @@ Cycle CoreNode::drawArrivalFrom(Cycle firstCandidate) {
 void CoreNode::evaluate(Cycle) {}
 
 void CoreNode::advance(Cycle cycle) {
+  if (workload_ != nullptr) {
+    workload_->step(cycle, *this);
+    injectFlits(cycle);
+    // Park until the model's next pre-announced event; a non-empty queue
+    // keeps the core active without a timer (and covers submissions a full
+    // queue deferred: room only appears by draining the queue).
+    const Cycle next = workload_->nextEventAt();
+    if (queue_.empty() && next != kNoCycle && timerScheduledFor_ != next) {
+      scheduleWakeAt(next);
+      timerScheduledFor_ = next;
+    }
+    return;
+  }
   if (redrawPending_) {
     // Load retarget: trials with the new probability start at this cycle.
     redrawPending_ = false;
@@ -65,6 +91,13 @@ void CoreNode::advance(Cycle cycle) {
     scheduleWakeAt(nextArrivalAt_);
     timerScheduledFor_ = nextArrivalAt_;
   }
+}
+
+void CoreNode::enqueue(const noc::PacketDescriptor& packet) {
+  assert(!queue_.full());
+  queue_.push_back(slab_->intern(packet));
+  ++stats_.packetsGenerated;
+  if (recorder_ != nullptr) recorder_->record(packet);
 }
 
 void CoreNode::offerPacket(Cycle cycle) {
@@ -86,8 +119,66 @@ void CoreNode::offerPacket(Cycle cycle) {
   if (packet.srcCluster != packet.dstCluster) {
     packet.bandwidthClass = pattern_->bandwidthClass(packet.srcCluster, packet.dstCluster);
   }
-  queue_.push_back(slab_->intern(packet));
-  ++stats_.packetsGenerated;
+  enqueue(packet);
+}
+
+bool CoreNode::submitPacket(const workload::PacketRequest& request, Cycle cycle) {
+  if (queue_.full()) return false;
+  noc::PacketDescriptor packet;
+  packet.id = (*nextPacketId_)++;
+  packet.srcCore = config_.core;
+  packet.dstCore = request.dst;
+  // Self-addressed packets are legal here (a chain's data core can be the
+  // flow's origin); the router loops them straight to the ejection port.
+  packet.srcCluster = topology_->clusterOf(packet.srcCore);
+  packet.dstCluster = topology_->clusterOf(packet.dstCore);
+  packet.numFlits = request.flits != 0 ? request.flits : config_.packetFlits;
+  packet.bitsPerFlit = config_.flitBits;
+  packet.createdAt = cycle;
+  packet.flowKind = request.kind;
+  if (request.kind == noc::FlowKind::kRequest) {
+    // A fresh flow: identified by its own packet id, originating here, now.
+    packet.flowId = packet.id;
+    packet.originCore = config_.core;
+    packet.flowStartedAt = cycle;
+  } else {
+    packet.flowId = request.flowId;
+    packet.originCore = request.originCore;
+    packet.flowStartedAt = request.flowStartedAt;
+  }
+  if (packet.srcCluster != packet.dstCluster) {
+    packet.bandwidthClass = pattern_->bandwidthClass(packet.srcCluster, packet.dstCluster);
+  }
+  // Offered == generated in workload mode: models check canSubmit() first,
+  // so a refusal never happens silently and trace replays count identically.
+  ++stats_.packetsOffered;
+  if (request.kind == noc::FlowKind::kRequest) ++stats_.requestsIssued;
+  if (request.kind == noc::FlowKind::kReply) ++stats_.repliesGenerated;
+  enqueue(packet);
+  return true;
+}
+
+void CoreNode::onFlitEjected(const noc::Flit& flit, Cycle now) {
+  ++stats_.flitsEjected;
+  if (!flit.isTail()) return;
+  ++stats_.packetsEjected;
+  const noc::PacketDescriptor& packet = flit.packet();
+  if (packet.flowKind == noc::FlowKind::kReply) {
+    // Flow completion is accounted HERE, not in the model, so a trace
+    // replay (which runs no closed-loop logic) reproduces request metrics
+    // byte-identically from the replayed flow fields.
+    ++stats_.requestsCompleted;
+    const Cycle latency = now >= packet.flowStartedAt ? now - packet.flowStartedAt : 0;
+    requestLatencySum_ += latency;
+    requestLatencies_.record(latency);
+  }
+  if (workload_ != nullptr) {
+    workload_->onPacketEjected(packet, now, *this);
+    // The model's reaction is stamped for `now`+1; make sure we are active
+    // to deliver it (mid-cycle wake if active, queued wake if parked — both
+    // land next cycle, on gated and ungated engines alike).
+    requestWake();
+  }
 }
 
 void CoreNode::injectFlits(Cycle cycle) {
@@ -110,6 +201,9 @@ void CoreNode::injectFlits(Cycle cycle) {
 void EjectionSink::accept(const noc::Flit& flit, Cycle now) {
   assert(flit.packet().dstCore == core_ && "flit ejected at the wrong core");
   ++flitsReceived_;
+  // Destination-side core accounting (and the workload model's ejection
+  // callback) run BEFORE the tail releases the descriptor slot.
+  if (coreNode_ != nullptr) coreNode_->onFlitEjected(flit, now);
   if (flit.isTail()) {
     ++packetsDelivered_;
     bitsDelivered_ += flit.packet().totalBits();

@@ -1,13 +1,15 @@
-// A processing core: open-loop packet source with a finite injection queue,
-// plus the ejection sink that terminates packets at their destination.
+// A processing core: packet source with a finite injection queue, plus the
+// ejection sink that terminates packets at their destination.
 //
-// Injection follows the traffic pattern's per-core weight: the core offers a
-// packet with per-cycle probability offeredLoad * normalizedWeight; if the
-// injection queue is full the offer is refused (counted — this is how
-// saturation shows up at the sources).  Queued packets are pushed into the
-// core's electrical router one flit per cycle; a head flit that finds every
-// VC busy is dropped and retransmitted the next cycle (Section 1.4),
-// counted as a retry.
+// Two injection regimes:
+//
+// OPEN LOOP (default, no workload model).  Injection follows the traffic
+// pattern's per-core weight: the core offers a packet with per-cycle
+// probability offeredLoad * normalizedWeight; if the injection queue is full
+// the offer is refused (counted — this is how saturation shows up at the
+// sources).  Queued packets are pushed into the core's electrical router one
+// flit per cycle; a head flit that finds every VC busy is dropped and
+// retransmitted the next cycle (Section 1.4), counted as a retry.
 //
 // Arrivals are PRE-SCHEDULED: instead of flipping a Bernoulli coin every
 // cycle, the core draws the geometric gap to its next offer up front — by
@@ -19,9 +21,22 @@
 // and the whole injection side sleeping (tests/integration/
 // engine_equivalence_test.cpp asserts both the exact replay and the
 // geometric law).
+//
+// WORKLOAD MODE (workload= spec, src/workload).  A per-core workload model
+// decides what to enqueue and when, reacting to ejections (closed-loop
+// request--reply, dependency chains, trace replay) through the CoreContext
+// interface this class implements.  The core still parks between the
+// model's pre-announced events (nextEventAt() + the same engine timer
+// machinery), and every ejection-triggered action is deferred to the cycle
+// after the ejection so gated and ungated engines stay bit-identical.  The
+// core also keeps the flow bookkeeping model-independent: request latency
+// and completion counts are recorded HERE, from the flow fields riding in
+// the packet descriptor, so a trace replay reproduces them byte-identically
+// without replaying any model logic.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "noc/flit.hpp"
@@ -34,6 +49,8 @@
 #include "sim/types.hpp"
 #include "metrics/histogram.hpp"
 #include "traffic/pattern.hpp"
+#include "workload/trace.hpp"
+#include "workload/workload.hpp"
 
 namespace pnoc::network {
 
@@ -43,9 +60,17 @@ struct CoreStats {
   std::uint64_t packetsGenerated = 0;
   std::uint64_t headRetries = 0;  // header flit dropped by a full router port
   std::uint64_t flitsInjected = 0;
+  /// Flits/packets fully ejected at THIS core (the destination side of the
+  /// conservation invariant: sum injected == sum ejected + in flight).
+  std::uint64_t flitsEjected = 0;
+  std::uint64_t packetsEjected = 0;
+  // --- flow counters (all zero in open loop) ---
+  std::uint64_t requestsIssued = 0;     // kRequest packets enqueued here
+  std::uint64_t repliesGenerated = 0;   // kReply packets enqueued here
+  std::uint64_t requestsCompleted = 0;  // kReply tails ejected here
 };
 
-class CoreNode final : public sim::Clocked {
+class CoreNode final : public sim::Clocked, public workload::CoreContext {
  public:
   struct Config {
     CoreId core = 0;
@@ -56,20 +81,29 @@ class CoreNode final : public sim::Clocked {
     std::uint32_t localPort = 0;  // router port used for injection
   };
 
+  /// `coreWorkload` switches the core into workload mode (nullptr: open
+  /// loop); `recorder` captures every enqueued packet (nullptr: off).
   CoreNode(const Config& config, const noc::ClusterTopology& topology,
            const traffic::TrafficPattern& pattern, noc::ElectricalRouter& router,
-           noc::PacketSlab& slab, sim::Rng rng, PacketId* nextPacketId);
+           noc::PacketSlab& slab, sim::Rng rng, PacketId* nextPacketId,
+           std::unique_ptr<workload::CoreWorkload> coreWorkload = nullptr,
+           workload::TraceRecorder* recorder = nullptr);
 
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return "core" + std::to_string(config_.core); }
-  /// A core with an empty queue parks between pre-scheduled arrivals (the
-  /// engine timer it set wakes it at the arrival cycle); a core that can
-  /// never inject (zero probability) parks outright.  A non-empty queue
-  /// keeps the core active: it pushes one flit per cycle and must keep
-  /// retrying dropped head flits so the retry counters stay exact.
+  /// A core with an empty queue parks between pre-scheduled arrivals / model
+  /// events (the engine timer it set wakes it at the event cycle); a core
+  /// that can never inject parks outright.  A non-empty queue keeps the core
+  /// active: it pushes one flit per cycle and must keep retrying dropped
+  /// head flits so the retry counters stay exact.
   bool quiescent() const override {
-    return queue_.empty() && !redrawPending_ &&
+    if (!queue_.empty()) return false;
+    if (workload_ != nullptr) {
+      const Cycle next = workload_->nextEventAt();
+      return next == kNoCycle || timerScheduledFor_ == next;
+    }
+    return !redrawPending_ &&
            (nextArrivalAt_ == kNoCycle || timerScheduledFor_ == nextArrivalAt_);
   }
 
@@ -80,9 +114,18 @@ class CoreNode final : public sim::Clocked {
   /// inject) — introspection for tests.
   Cycle nextArrivalAt() const { return nextArrivalAt_; }
 
+  /// Request-latency accounting (reply tail ejection minus the originating
+  /// request's enqueue cycle), separate from per-packet flit latency.
+  const metrics::LatencyHistogram& requestLatencies() const { return requestLatencies_; }
+  std::uint64_t requestLatencyCyclesSum() const { return requestLatencySum_; }
+
+  /// The per-core workload model, if any (tests / introspection).
+  const workload::CoreWorkload* coreWorkload() const { return workload_.get(); }
+
   /// Restores the freshly-constructed state with a new RNG stream (network
   /// reset; the network re-seeds every core the same way construction did).
-  /// Re-draws the first arrival gap exactly as the constructor does.
+  /// Re-draws the first arrival gap exactly as the constructor does and
+  /// rewinds the workload model.
   void reset(sim::Rng rng);
 
   /// Re-targets the injector (PhotonicNetwork::setOfferedLoad()).  A no-op
@@ -90,8 +133,21 @@ class CoreNode final : public sim::Clocked {
   /// redundant sweep-point updates; on a real change the pending gap is
   /// re-drawn at the core's next cycle so the new load takes effect
   /// immediately (Bernoulli trials with the new probability from that cycle
-  /// on).
+  /// on).  Workload mode ignores load entirely: a closed loop paces itself.
   void setInjectionProbability(double probability);
+
+  /// Destination-side delivery accounting, called by this core's
+  /// EjectionSink for every ejected flit (before the slab slot is released).
+  /// On a tail flit this completes flows and hands the packet to the
+  /// workload model, whose reaction lands at `now`+1 or later.
+  void onFlitEjected(const noc::Flit& flit, Cycle now);
+
+  // --- workload::CoreContext (the model's view of its host) ---
+  CoreId coreId() const override { return config_.core; }
+  sim::Rng& workloadRng() override { return rng_; }
+  const traffic::TrafficPattern& trafficPattern() const override { return *pattern_; }
+  bool canSubmit() const override { return !queue_.full(); }
+  bool submitPacket(const workload::PacketRequest& request, Cycle cycle) override;
 
  private:
   /// Replays per-cycle Bernoulli trials starting at `firstCandidate` and
@@ -100,6 +156,9 @@ class CoreNode final : public sim::Clocked {
   Cycle drawArrivalFrom(Cycle firstCandidate);
   void offerPacket(Cycle cycle);
   void injectFlits(Cycle cycle);
+  /// The single enqueue bottom (open-loop offers and model submissions):
+  /// interns, queues, counts, and records to the trace.
+  void enqueue(const noc::PacketDescriptor& packet);
 
   Config config_;
   const noc::ClusterTopology* topology_;
@@ -109,17 +168,24 @@ class CoreNode final : public sim::Clocked {
   sim::Rng rng_;
   PacketId* nextPacketId_;
   sim::RingBuffer<noc::PacketHandle> queue_;
+  std::unique_ptr<workload::CoreWorkload> workload_;  // nullptr: open loop
+  workload::TraceRecorder* recorder_ = nullptr;       // nullptr: not recording
   std::uint32_t flitCursor_ = 0;  // next flit of queue_.front() to inject
   Cycle nextArrivalAt_ = kNoCycle;
   Cycle timerScheduledFor_ = kNoCycle;  // engine timer already set for this cycle
   bool redrawPending_ = false;          // probability changed; re-draw next cycle
   CoreStats stats_;
+  metrics::LatencyHistogram requestLatencies_;
+  std::uint64_t requestLatencySum_ = 0;
 };
 
 /// Terminates packets at the destination core: counts delivered packets,
 /// bits and latency (tail arrival minus creation).  When given a slab it
 /// releases each packet's descriptor as the tail flit is consumed, so
-/// steady-state traffic recycles slab slots instead of growing it.
+/// steady-state traffic recycles slab slots instead of growing it.  When
+/// attached to its CoreNode it also feeds every flit to the core's
+/// destination-side accounting (and through it the workload model) BEFORE
+/// the descriptor is recycled.
 class EjectionSink final : public noc::FlitSink {
  public:
   explicit EjectionSink(CoreId core, noc::PacketSlab* slab = nullptr)
@@ -129,6 +195,10 @@ class EjectionSink final : public noc::FlitSink {
   void accept(const noc::Flit& flit, Cycle now) override;
 
   CoreId core() const { return core_; }
+
+  /// Attaches the destination core (PhotonicNetwork wiring; the sink is
+  /// built before its core).
+  void setCoreNode(CoreNode* core) { coreNode_ = core; }
 
   /// Zeroes every delivery counter and the latency histogram (network reset).
   void reset() {
@@ -148,6 +218,7 @@ class EjectionSink final : public noc::FlitSink {
  private:
   CoreId core_;
   noc::PacketSlab* slab_;
+  CoreNode* coreNode_ = nullptr;
   std::uint64_t packetsDelivered_ = 0;
   Bits bitsDelivered_ = 0;
   std::uint64_t latencySum_ = 0;

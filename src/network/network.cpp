@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "workload/registry.hpp"
+
 namespace pnoc::network {
 namespace {
 
@@ -136,6 +138,20 @@ void PhotonicNetwork::build() {
   if (totalSourceWeight_ <= 0.0) {
     throw std::invalid_argument("pattern weights sum to zero");
   }
+  // Workload model ("open" resolves to nullptr: the per-core geometric
+  // injectors below stay in charge).  Built before the cores so each core
+  // owns its per-core state machine from birth.
+  workload::WorkloadBuildContext workloadContext;
+  workloadContext.topology = &topology_;
+  workloadContext.pattern = pattern_.get();
+  workloadContext.defaultPacketFlits = params_.bandwidthSet.packetFlits;
+  workload_ = workload::makeWorkload(params_.workload, workloadContext);
+  workload::TraceRecorder* recorder = nullptr;
+  if (!params_.traceOut.empty()) {
+    recorder_.start(params_.numCores);
+    recorder = &recorder_;
+  }
+
   sim::Rng seeder(params_.seed);
   for (CoreId core = 0; core < params_.numCores; ++core) {
     CoreNode::Config config;
@@ -147,9 +163,12 @@ void PhotonicNetwork::build() {
     const double normalized =
         pattern_->sourceWeight(core) * params_.numCores / totalSourceWeight_;
     config.injectionProbability = std::min(1.0, params_.offeredLoad * normalized);
-    cores_.push_back(std::make_unique<CoreNode>(config, topology_, *pattern_,
-                                                *coreRouters_[core], slab_,
-                                                seeder.split(), &nextPacketId_));
+    cores_.push_back(std::make_unique<CoreNode>(
+        config, topology_, *pattern_, *coreRouters_[core], slab_, seeder.split(),
+        &nextPacketId_,
+        workload_ != nullptr ? workload_->makeCoreWorkload(core) : nullptr,
+        recorder));
+    sinks_[core]->setCoreNode(cores_.back().get());
   }
 
   // --- engine registration (deterministic order) ---
@@ -176,6 +195,7 @@ void PhotonicNetwork::reset() {
   for (auto& core : cores_) core->reset(seeder.split());
   slab_.clear();
   nextPacketId_ = 0;
+  recorder_.clear();
 }
 
 void PhotonicNetwork::setOfferedLoad(double load) {
@@ -202,6 +222,11 @@ PhotonicNetwork::Totals PhotonicNetwork::collectTotals() const {
     totals.packetsRefused += stats.packetsRefused;
     totals.packetsGenerated += stats.packetsGenerated;
     totals.headRetries += stats.headRetries;
+    totals.requestsIssued += stats.requestsIssued;
+    totals.repliesGenerated += stats.repliesGenerated;
+    totals.requestsCompleted += stats.requestsCompleted;
+    totals.requestLatencySum += core->requestLatencyCyclesSum();
+    totals.requestLatency += core->requestLatencies();
   }
   for (const auto& router : coreRouters_) {
     totals.electricalRouterPj += router->stats().energyPj;
@@ -232,6 +257,11 @@ metrics::RunMetrics PhotonicNetwork::diffToMetrics(const Totals& before,
   m.packetsRefused = after.packetsRefused - before.packetsRefused;
   m.packetsGenerated = after.packetsGenerated - before.packetsGenerated;
   m.headRetries = after.headRetries - before.headRetries;
+  m.requestsIssued = after.requestsIssued - before.requestsIssued;
+  m.repliesGenerated = after.repliesGenerated - before.repliesGenerated;
+  m.requestsCompleted = after.requestsCompleted - before.requestsCompleted;
+  m.requestLatencyCyclesSum = after.requestLatencySum - before.requestLatencySum;
+  m.requestLatency = after.requestLatency.since(before.requestLatency);
   m.reservationsIssued = after.reservationsIssued - before.reservationsIssued;
   m.reservationFailures = after.reservationFailures - before.reservationFailures;
 
@@ -267,6 +297,11 @@ metrics::RunMetrics PhotonicNetwork::run() {
   const Totals before = collectTotals();
   engine_.run(params_.measureCycles);
   const Totals after = collectTotals();
+  // Dump the trace recorded so far (construction/reset onward, warmup
+  // included — a replay must reproduce the whole run, not just the window).
+  if (!params_.traceOut.empty()) {
+    workload::writeTraceFile(params_.traceOut, recorder_.trace());
+  }
   return diffToMetrics(before, after, params_.measureCycles);
 }
 

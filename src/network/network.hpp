@@ -51,6 +51,8 @@
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
 #include "sim/engine.hpp"
+#include "workload/trace.hpp"
+#include "workload/workload.hpp"
 
 namespace pnoc::network {
 
@@ -93,6 +95,13 @@ class PhotonicNetwork {
   const CoreNode& core(CoreId id) const { return *cores_[id]; }
   sim::Engine& engine() { return engine_; }
 
+  /// The workload model driving the cores (nullptr: open loop).
+  const workload::Workload* workload() const { return workload_.get(); }
+
+  /// The packet trace recorded so far (empty unless params.traceOut is set,
+  /// which enables recording; run() writes it to that path as well).
+  const workload::TraceData& recordedTrace() const { return recorder_.trace(); }
+
   /// Total flits currently buffered anywhere in the system.
   std::uint64_t occupancy() const;
 
@@ -111,6 +120,11 @@ class PhotonicNetwork {
     std::uint64_t packetsRefused = 0;
     std::uint64_t packetsGenerated = 0;
     std::uint64_t headRetries = 0;
+    std::uint64_t requestsIssued = 0;
+    std::uint64_t repliesGenerated = 0;
+    std::uint64_t requestsCompleted = 0;
+    std::uint64_t requestLatencySum = 0;
+    metrics::LatencyHistogram requestLatency;
     std::uint64_t reservationsIssued = 0;
     std::uint64_t reservationFailures = 0;
     double electricalRouterPj = 0.0;
@@ -133,6 +147,10 @@ class PhotonicNetwork {
   /// Owns every live packet descriptor; flits carry handles into it.
   noc::PacketSlab slab_;
   PacketId nextPacketId_ = 0;
+  /// Workload model (nullptr: the default open-loop injectors).
+  std::unique_ptr<workload::Workload> workload_;
+  /// Records every enqueued packet when params.traceOut is set.
+  workload::TraceRecorder recorder_;
   /// Sum of the pattern's source weights, cached so setOfferedLoad() can
   /// renormalize without another pattern sweep.
   double totalSourceWeight_ = 0.0;

@@ -53,6 +53,14 @@ struct SimulationParameters {
 
   // --- traffic ---
   std::string pattern = "uniform";
+  /// Workload model spec ("family:key=value,..."; src/workload/registry).
+  /// "open" keeps the classic open-loop injectors; "closed"/"chain" switch
+  /// the cores to self-pacing request--reply loops (offeredLoad is then
+  /// ignored); "trace:file=..." replays a recorded packet trace.
+  std::string workload = "open";
+  /// When non-empty, record every enqueued packet and write the NDJSON trace
+  /// to this path at the end of run() (replayable via workload=trace:file=).
+  std::string traceOut;
   /// Offered load in packets per core per cycle (before per-core weighting).
   double offeredLoad = 0.02;
   std::uint64_t seed = 1;

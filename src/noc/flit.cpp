@@ -14,6 +14,16 @@ std::string toString(FlitType type) {
   return "?";
 }
 
+std::string toString(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kNone: return "none";
+    case FlowKind::kRequest: return "req";
+    case FlowKind::kForward: return "fwd";
+    case FlowKind::kReply: return "rep";
+  }
+  return "?";
+}
+
 Flit makeFlit(PacketHandle packet, std::uint32_t sequence) {
   assert(packet != nullptr);
   assert(sequence < packet->numFlits);

@@ -27,6 +27,18 @@ enum class FlitType : std::uint8_t {
 
 std::string toString(FlitType type);
 
+/// Role of a packet within a request--reply flow (src/workload).  Open-loop
+/// traffic is all kNone; the closed-loop and chain workloads tag each hop so
+/// the ejecting core knows whether to answer, forward, or complete the flow.
+enum class FlowKind : std::uint8_t {
+  kNone,     // plain open-loop packet, not part of any flow
+  kRequest,  // first hop: requester -> destination (or directory)
+  kForward,  // intermediate hop of a dependency chain
+  kReply,    // final hop: carries the response back to the flow's origin
+};
+
+std::string toString(FlowKind kind);
+
 /// Static description of a packet, shared by all its flits.
 struct PacketDescriptor {
   PacketId id = 0;
@@ -41,6 +53,18 @@ struct PacketDescriptor {
   /// (0..3 for the four per-BW-set channel bandwidths of Table 3-1); used by
   /// the DBA layer to look up the wavelength demand of the flow.
   std::uint32_t bandwidthClass = 0;
+
+  // --- flow state (closed-loop / chain workloads; kNone for open loop) ---
+  /// Role of this hop in its request--reply flow.
+  FlowKind flowKind = FlowKind::kNone;
+  /// Flow identity: the packet id of the flow's originating request; every
+  /// continuation (forward, reply) carries it unchanged.
+  PacketId flowId = 0;
+  /// Core that issued the originating request (where the reply completes).
+  CoreId originCore = 0;
+  /// Cycle the originating request was enqueued; request latency is the
+  /// reply's tail ejection minus this.
+  Cycle flowStartedAt = 0;
 
   Bits totalBits() const { return static_cast<Bits>(numFlits) * bitsPerFlit; }
 };

@@ -9,7 +9,9 @@
 #include "scenario/dispatch/hosts_file.hpp"
 #include "scenario/spec_file.hpp"
 #include "scenario/subprocess_backend.hpp"
+#include "sim/suggest.hpp"
 #include "traffic/registry.hpp"
+#include "workload/registry.hpp"
 
 namespace pnoc::scenario {
 
@@ -68,6 +70,7 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
                   " CLI keys win):\n%s",
                   dispatch::policyHelpText().c_str());
       std::printf("\n%s", traffic::PatternRegistry::global().helpText().c_str());
+      std::printf("\n%s", workload::WorkloadRegistry::global().helpText().c_str());
     }
     if (!extraKeys_.empty()) {
       std::printf("\n%s options:\n", binary_.c_str());
@@ -161,15 +164,26 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
 
   // Reject anything that is neither a scenario/runner key (consumed above)
   // nor a declared binary key — typos must not silently simulate the wrong
-  // thing.
+  // thing.  The rejection names the nearest real key when one is close.
+  std::vector<std::string> knownKeys;
+  if (spec != nullptr) {
+    for (const ScenarioField& field : ScenarioSpec::fields()) {
+      knownKeys.push_back(field.key);
+    }
+    for (const std::string& key : dispatch::policyKeys()) knownKeys.push_back(key);
+    knownKeys.insert(knownKeys.end(), {"backend", "shards", "hosts"});
+  }
+  knownKeys.push_back("help");
+  for (const auto& [key, doc] : extraKeys_) knownKeys.push_back(key);
   bool unknown = false;
   for (const std::string& key : config_.unconsumedKeys()) {
     const bool declared =
         std::any_of(extraKeys_.begin(), extraKeys_.end(),
                     [&](const auto& entry) { return entry.first == key; });
     if (!declared) {
-      std::fprintf(stderr, "%s: unknown option '%s' (help=1 lists the keys)\n",
-                   binary_.c_str(), key.c_str());
+      std::fprintf(stderr, "%s: unknown option '%s'%s (help=1 lists the keys)\n",
+                   binary_.c_str(), key.c_str(),
+                   sim::didYouMean(key, knownKeys).c_str());
       unknown = true;
     }
   }

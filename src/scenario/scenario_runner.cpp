@@ -44,12 +44,24 @@ JsonRecord& recordIdentity(JsonRecorder& recorder, const ScenarioSpec& spec,
 JsonRecord& recordRun(JsonRecorder& recorder, const ScenarioSpec& spec,
                       const metrics::RunMetrics& metrics,
                       const std::string& recordName) {
-  return recordIdentity(recorder, spec, recordName)
-      .number("load", spec.params.offeredLoad)
-      .number("gbps", metrics.deliveredGbps())
-      .number("acceptance", metrics.acceptance())
-      .number("avg_latency_cycles", metrics.avgLatencyCycles())
-      .number("energy_per_packet_pj", metrics.energyPerPacketPj());
+  JsonRecord& record =
+      recordIdentity(recorder, spec, recordName)
+          .number("load", spec.params.offeredLoad)
+          .number("gbps", metrics.deliveredGbps())
+          .number("acceptance", metrics.acceptance())
+          .number("avg_latency_cycles", metrics.avgLatencyCycles())
+          .number("energy_per_packet_pj", metrics.energyPerPacketPj());
+  // Flow metrics only exist under a request--reply workload; keeping them out
+  // of open-loop records leaves those byte-identical across workload builds.
+  if (metrics.requestsIssued > 0 || metrics.requestsCompleted > 0) {
+    record.integer("requests_issued", static_cast<long long>(metrics.requestsIssued))
+        .integer("requests_completed", static_cast<long long>(metrics.requestsCompleted))
+        .number("request_latency_avg", metrics.avgRequestLatencyCycles())
+        .number("request_latency_p99", metrics.requestLatencyP99())
+        .number("offered_req_per_kcycle", metrics.offeredRequestsPerKcycle())
+        .number("achieved_req_per_kcycle", metrics.achievedRequestsPerKcycle());
+  }
+  return record;
 }
 
 JsonRecord& recordPeak(JsonRecorder& recorder, const ScenarioPeak& peak,

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "scenario/json_util.hpp"
+#include "sim/suggest.hpp"
 
 namespace pnoc::scenario {
 namespace {
@@ -127,6 +128,22 @@ std::vector<ScenarioField> makeFields() {
       "pattern", "traffic pattern spec, e.g. uniform | skewed3 | hotspot:frac=0.3,hot=5",
       [](ScenarioSpec& spec, const std::string& value) { spec.params.pattern = value; },
       [](const ScenarioSpec& spec) { return spec.params.pattern; },
+      true});
+
+  fields.push_back(ScenarioField{
+      "workload",
+      "workload model spec: open | closed:window=4,think=0 | chain:... | "
+      "trace:file=PATH (closed loops ignore load=)",
+      [](ScenarioSpec& spec, const std::string& value) { spec.params.workload = value; },
+      [](const ScenarioSpec& spec) { return spec.params.workload; },
+      true});
+
+  fields.push_back(ScenarioField{
+      "trace_out",
+      "record every injected packet and write an NDJSON trace here "
+      "(replay with workload=trace:file=...)",
+      [](ScenarioSpec& spec, const std::string& value) { spec.params.traceOut = value; },
+      [](const ScenarioSpec& spec) { return spec.params.traceOut; },
       true});
 
   fields.push_back(ScenarioField{
@@ -272,8 +289,12 @@ const ScenarioField* ScenarioSpec::findField(const std::string& key) {
 void ScenarioSpec::set(const std::string& key, const std::string& value) {
   const ScenarioField* field = findField(key);
   if (field == nullptr) {
-    throw std::invalid_argument("unknown scenario key '" + key +
-                                "' (help=1 lists the available keys)");
+    std::vector<std::string> keys;
+    keys.reserve(fields().size());
+    for (const ScenarioField& candidate : fields()) keys.push_back(candidate.key);
+    throw std::invalid_argument("unknown scenario key '" + key + "'" +
+                                sim::didYouMean(key, keys) +
+                                " (help=1 lists the available keys)");
   }
   try {
     field->parse(*this, value);

@@ -110,6 +110,11 @@ std::string toJson(const metrics::RunMetrics& metrics) {
   out += ",\"head_retries\":" + u64(metrics.headRetries);
   out += ",\"reservations_issued\":" + u64(metrics.reservationsIssued);
   out += ",\"reservation_failures\":" + u64(metrics.reservationFailures);
+  out += ",\"requests_issued\":" + u64(metrics.requestsIssued);
+  out += ",\"replies_generated\":" + u64(metrics.repliesGenerated);
+  out += ",\"requests_completed\":" + u64(metrics.requestsCompleted);
+  out += ",\"request_latency_cycles_sum\":" + u64(metrics.requestLatencyCyclesSum);
+  out += ",\"request_latency\":" + latencyToJson(metrics.requestLatency);
   out += ",\"energy\":" + energyToJson(metrics.ledger);
   out += "}";
   return out;
@@ -129,6 +134,11 @@ metrics::RunMetrics runMetricsFromJson(const JsonValue& value) {
   metrics.headRetries = value.at("head_retries").asU64();
   metrics.reservationsIssued = value.at("reservations_issued").asU64();
   metrics.reservationFailures = value.at("reservation_failures").asU64();
+  metrics.requestsIssued = value.at("requests_issued").asU64();
+  metrics.repliesGenerated = value.at("replies_generated").asU64();
+  metrics.requestsCompleted = value.at("requests_completed").asU64();
+  metrics.requestLatencyCyclesSum = value.at("request_latency_cycles_sum").asU64();
+  metrics.requestLatency = latencyFromJson(value.at("request_latency"));
   metrics.ledger = energyFromJson(value.at("energy"));
   return metrics;
 }

@@ -1,0 +1,50 @@
+#include "sim/suggest.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pnoc::sim {
+
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  // Single-row dynamic program; key lengths are tiny so O(|a|*|b|) is fine.
+  std::vector<std::size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), std::size_t{0});
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];  // row[i-1][j-1]
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t above = row[j];  // row[i-1][j]
+      const std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, above + 1, substitute});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string suggestNearest(const std::string& key,
+                           const std::vector<std::string>& candidates) {
+  // A typo plausibly differs in up to 2 edits; a 1-2 character key only in 1
+  // (otherwise almost everything "matches").
+  const std::size_t threshold = std::min<std::size_t>(2, (key.size() + 2) / 3);
+  if (threshold == 0) return "";
+  std::string best;
+  std::size_t bestDistance = threshold + 1;
+  for (const std::string& candidate : candidates) {
+    if (candidate == key || candidate.empty()) continue;
+    const std::size_t distance = editDistance(key, candidate);
+    if (distance < bestDistance) {
+      bestDistance = distance;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::string didYouMean(const std::string& key,
+                       const std::vector<std::string>& candidates) {
+  const std::string best = suggestNearest(key, candidates);
+  return best.empty() ? "" : "; did you mean '" + best + "'?";
+}
+
+}  // namespace pnoc::sim

@@ -1,0 +1,29 @@
+// "Did you mean?" suggestions for unknown-key rejections.
+//
+// Every layer that rejects typos (scenario CLI keys, scenario spec fields,
+// workload/pattern spec options) shares this one nearest-candidate helper so
+// the hints behave identically everywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pnoc::sim {
+
+/// Levenshtein edit distance between two keys (insert/delete/substitute,
+/// unit cost).
+std::size_t editDistance(const std::string& a, const std::string& b);
+
+/// The candidate closest to `key` by edit distance, or "" when nothing is
+/// close enough to be a plausible typo (distance capped at 2, tighter for
+/// very short keys).  Ties resolve to the earliest candidate, so hints are
+/// deterministic.
+std::string suggestNearest(const std::string& key,
+                           const std::vector<std::string>& candidates);
+
+/// Convenience: "; did you mean 'window'?" or "" when there is no suggestion
+/// — appended verbatim to unknown-key error messages.
+std::string didYouMean(const std::string& key,
+                       const std::vector<std::string>& candidates);
+
+}  // namespace pnoc::sim

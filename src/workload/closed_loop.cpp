@@ -1,0 +1,122 @@
+#include "workload/closed_loop.hpp"
+
+#include <cassert>
+
+#include "traffic/app_profile.hpp"
+#include "traffic/pattern.hpp"
+
+namespace pnoc::workload {
+
+ClosedLoopWorkload::ClosedLoopWorkload(const Config& config,
+                                       const traffic::TrafficPattern& pattern,
+                                       const noc::ClusterTopology& topology)
+    : config_(config), pattern_(&pattern), topology_(&topology) {}
+
+bool ClosedLoopWorkload::isRequester(CoreId core) const {
+  if (pattern_->sourceWeight(core) <= 0.0) return false;
+  // Real-apps memory clusters are designated responders: GPU cores request,
+  // memory cores only stream replies back (Section 3.4.2's flow structure).
+  if (const auto* apps =
+          dynamic_cast<const traffic::RealApplicationPattern*>(pattern_)) {
+    return !apps->isMemoryCluster(topology_->clusterOf(core));
+  }
+  return true;
+}
+
+std::unique_ptr<CoreWorkload> ClosedLoopWorkload::makeCoreWorkload(CoreId core) const {
+  return std::make_unique<ClosedLoopCoreWorkload>(config_, isRequester(core));
+}
+
+ClosedLoopCoreWorkload::ClosedLoopCoreWorkload(
+    const ClosedLoopWorkload::Config& config, bool requester)
+    : config_(config), requester_(requester) {
+  reset();
+}
+
+void ClosedLoopCoreWorkload::reset() {
+  responses_.clear();
+  issueReadyAt_.clear();
+  outstanding_ = 0;
+  // The whole window is issuable immediately at cycle 0.
+  if (requester_) issueReadyAt_.assign(config_.window, Cycle{0});
+}
+
+void ClosedLoopCoreWorkload::step(Cycle cycle, CoreContext& core) {
+  // Responder obligations first: replies/forwards are on another core's
+  // critical path, new requests only lengthen our own.  canSubmit() is
+  // checked before every destination draw so a full queue (which keeps the
+  // core active — it still has flits to push) never perturbs the RNG stream.
+  while (!responses_.empty() && responses_.front().readyAt <= cycle &&
+         core.canSubmit()) {
+    const PendingResponse& response = responses_.front();
+    PacketRequest request;
+    request.kind = response.kind;
+    request.flowId = response.flowId;
+    request.originCore = response.originCore;
+    request.flowStartedAt = response.flowStartedAt;
+    if (response.kind == noc::FlowKind::kReply) {
+      request.dst = response.originCore;
+      request.flits = config_.replyFlits;
+    } else {
+      // Directory hop: the data core is drawn from THIS core's stream (the
+      // destination core's private RNG, per the determinism contract).
+      request.dst = core.trafficPattern().sampleDestination(core.coreId(),
+                                                            core.workloadRng());
+      request.flits = config_.forwardFlits;
+    }
+    const bool submitted = core.submitPacket(request, cycle);
+    assert(submitted);
+    (void)submitted;
+    responses_.pop_front();
+  }
+  while (requester_ && !issueReadyAt_.empty() && issueReadyAt_.front() <= cycle &&
+         core.canSubmit()) {
+    PacketRequest request;
+    request.kind = noc::FlowKind::kRequest;
+    request.dst = core.trafficPattern().sampleDestination(core.coreId(),
+                                                          core.workloadRng());
+    request.flits = config_.requestFlits;
+    const bool submitted = core.submitPacket(request, cycle);
+    assert(submitted);
+    (void)submitted;
+    issueReadyAt_.pop_front();
+    ++outstanding_;
+  }
+}
+
+void ClosedLoopCoreWorkload::onPacketEjected(const noc::PacketDescriptor& packet,
+                                             Cycle cycle, CoreContext&) {
+  switch (packet.flowKind) {
+    case noc::FlowKind::kRequest:
+      responses_.push_back(PendingResponse{
+          cycle + 1, config_.chain ? noc::FlowKind::kForward : noc::FlowKind::kReply,
+          packet.flowId, packet.originCore, packet.flowStartedAt});
+      break;
+    case noc::FlowKind::kForward:
+      responses_.push_back(PendingResponse{cycle + 1, noc::FlowKind::kReply,
+                                           packet.flowId, packet.originCore,
+                                           packet.flowStartedAt});
+      break;
+    case noc::FlowKind::kReply:
+      // Flow complete: the credit returns after the think time (plus the
+      // mandatory one-cycle deferral that keeps gated == ungated).
+      assert(requester_ && "reply ejected at a non-requester core");
+      assert(outstanding_ > 0);
+      --outstanding_;
+      issueReadyAt_.push_back(cycle + 1 + config_.thinkCycles);
+      break;
+    case noc::FlowKind::kNone:
+      break;
+  }
+}
+
+Cycle ClosedLoopCoreWorkload::nextEventAt() const {
+  Cycle next = kNoCycle;
+  if (!responses_.empty()) next = responses_.front().readyAt;
+  if (!issueReadyAt_.empty() && issueReadyAt_.front() < next) {
+    next = issueReadyAt_.front();
+  }
+  return next;
+}
+
+}  // namespace pnoc::workload

@@ -1,0 +1,104 @@
+// Closed-loop request--reply workload (ROADMAP item 3, modeled on the
+// memory-subsystem request/reply flows of Graphite-style cycle-level
+// simulators), with an optional directory hop for dependency chains.
+//
+// Every requester core starts with `window` issue credits.  Issuing a
+// request consumes a credit; the credit returns `think` cycles after the
+// matching reply ejects, so at most `window` requests per core are ever in
+// flight and the offer rate self-limits at window / (round-trip + think)
+// instead of collapsing past saturation.
+//
+// Flow shapes:
+//   closed:  requester --request--> destination --reply--> requester
+//   chain:   requester --request--> directory --forward--> data core
+//                                                 --reply--> requester
+//
+// Destinations come from the traffic pattern (request draws from the
+// requester's RNG stream, forward draws from the directory core's own
+// stream).  With the real-apps pattern, memory-cluster cores never issue
+// requests: they are pure responders, exactly the request->memory->response
+// structure of Section 3.4.2.
+//
+// Determinism: an ejection observed at cycle C schedules its consequence
+// (reply, forward, credit return) no earlier than C+1 — see workload.hpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "noc/topology.hpp"
+#include "workload/workload.hpp"
+
+namespace pnoc::workload {
+
+class ClosedLoopWorkload final : public Workload {
+ public:
+  struct Config {
+    /// Maximum outstanding requests per requester core.
+    std::uint32_t window = 4;
+    /// Cycles between a reply's ejection and the replacement request's
+    /// earliest issue (on top of the mandatory one-cycle deferral).
+    Cycle thinkCycles = 0;
+    /// Request packet size in flits (0 = the full default packet).
+    std::uint32_t requestFlits = 8;
+    /// Forward-hop packet size in flits (chains only; 0 = default packet).
+    std::uint32_t forwardFlits = 8;
+    /// Reply packet size in flits (0 = the full default packet — replies
+    /// carry data, so they default big while requests default small).
+    std::uint32_t replyFlits = 0;
+    /// Insert the directory forward hop (the `chain` family).
+    bool chain = false;
+  };
+
+  ClosedLoopWorkload(const Config& config, const traffic::TrafficPattern& pattern,
+                     const noc::ClusterTopology& topology);
+
+  std::string name() const override { return config_.chain ? "chain" : "closed"; }
+  std::unique_ptr<CoreWorkload> makeCoreWorkload(CoreId core) const override;
+
+  /// True when `core` issues requests: it has pattern weight and (for
+  /// real-apps) does not sit in a memory cluster — memory cores only answer.
+  bool isRequester(CoreId core) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  const traffic::TrafficPattern* pattern_;
+  const noc::ClusterTopology* topology_;
+};
+
+class ClosedLoopCoreWorkload final : public CoreWorkload {
+ public:
+  ClosedLoopCoreWorkload(const ClosedLoopWorkload::Config& config, bool requester);
+
+  void step(Cycle cycle, CoreContext& core) override;
+  void onPacketEjected(const noc::PacketDescriptor& packet, Cycle cycle,
+                       CoreContext& core) override;
+  Cycle nextEventAt() const override;
+  void reset() override;
+
+  /// Requests issued and not yet completed (window invariant: <= window).
+  std::uint32_t outstanding() const { return outstanding_; }
+  bool requester() const { return requester_; }
+
+ private:
+  /// A responder-side obligation: answer (or forward) an ejected request.
+  struct PendingResponse {
+    Cycle readyAt = 0;
+    noc::FlowKind kind = noc::FlowKind::kReply;
+    PacketId flowId = 0;
+    CoreId originCore = 0;
+    Cycle flowStartedAt = 0;
+  };
+
+  ClosedLoopWorkload::Config config_;
+  bool requester_;
+  /// Issue credits as earliest-usable cycles; both deques stay sorted
+  /// because ejections are observed in cycle order and offsets are constant.
+  std::deque<Cycle> issueReadyAt_;
+  std::deque<PendingResponse> responses_;
+  std::uint32_t outstanding_ = 0;
+};
+
+}  // namespace pnoc::workload

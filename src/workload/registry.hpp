@@ -1,0 +1,88 @@
+// Workload registry: `workload=` spec strings -> Workload factories,
+// mirroring the traffic-pattern registry (and reusing its spec grammar):
+//
+//   workload := family [":" options]
+//
+//   "open"                                   (the default: no model object;
+//                                             CoreNode's geometric injector)
+//   "closed:window=4,think=10,reply_flits=64"
+//   "chain:window=2,req_flits=8"
+//   "trace:file=run.trace"
+//
+// Unknown families and unconsumed options are rejected, with a nearest-key
+// hint on option typos ("unknown option 'windw'; did you mean 'window'?").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/topology.hpp"
+#include "sim/config.hpp"
+#include "workload/workload.hpp"
+
+namespace pnoc::traffic {
+class TrafficPattern;
+}
+
+namespace pnoc::workload {
+
+/// What a factory needs to size and wire its model.
+struct WorkloadBuildContext {
+  const noc::ClusterTopology* topology = nullptr;
+  const traffic::TrafficPattern* pattern = nullptr;
+  /// The bandwidth set's packet size — the default for 0-valued flit counts.
+  std::uint32_t defaultPacketFlits = 64;
+};
+
+struct WorkloadFamily {
+  /// Spec family token, e.g. "closed".  Must be unique.
+  std::string name;
+  /// One-line description for help listings.
+  std::string summary;
+  /// Option synopsis for help listings, e.g. "window=<n> (4), think=<cycles> (0)".
+  std::string optionsDoc;
+  /// Option keys the factory consumes — the candidate set for typo hints.
+  std::vector<std::string> optionKeys;
+  /// Returns the model, or nullptr for the open-loop default (the "open"
+  /// family), which leaves the core's geometric injector in charge.
+  std::function<std::unique_ptr<Workload>(const sim::Config& options,
+                                          const WorkloadBuildContext& context)>
+      factory;
+};
+
+class WorkloadRegistry {
+ public:
+  /// The process-wide registry, with the built-in families pre-registered.
+  static WorkloadRegistry& global();
+
+  /// Registers a family; returns false (registry unchanged) when the name is
+  /// already taken or the family is malformed.
+  bool add(WorkloadFamily family);
+
+  bool contains(const std::string& family) const;
+  const WorkloadFamily* find(const std::string& family) const;
+  /// Every registered family, name-sorted.
+  std::vector<const WorkloadFamily*> families() const;
+
+  /// Builds a workload from a spec string; nullptr means open loop.  Throws
+  /// std::invalid_argument for unknown families and unknown or malformed
+  /// options.
+  std::unique_ptr<Workload> make(const std::string& spec,
+                                 const WorkloadBuildContext& context) const;
+
+  /// Human-readable family/option listing for help=1 output.
+  std::string helpText() const;
+
+ private:
+  std::map<std::string, WorkloadFamily> families_;
+};
+
+/// Shorthand for WorkloadRegistry::global().make(spec, context).
+std::unique_ptr<Workload> makeWorkload(const std::string& spec,
+                                       const WorkloadBuildContext& context);
+
+}  // namespace pnoc::workload

@@ -1,0 +1,187 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/json_util.hpp"  // leaf JSON parser (no scenario deps)
+
+namespace pnoc::workload {
+namespace {
+
+noc::FlowKind parseKind(const std::string& text) {
+  if (text == "req") return noc::FlowKind::kRequest;
+  if (text == "fwd") return noc::FlowKind::kForward;
+  if (text == "rep") return noc::FlowKind::kReply;
+  throw std::invalid_argument("'" + text + "' is not a trace flow kind (req | fwd | rep)");
+}
+
+TraceEvent parseEventLine(const scenario::JsonValue& value, std::size_t lineNumber) {
+  TraceEvent event;
+  try {
+    event.cycle = value.at("c").asU64();
+    event.src = static_cast<CoreId>(value.at("s").asU64());
+    event.dst = static_cast<CoreId>(value.at("d").asU64());
+    event.flits = static_cast<std::uint32_t>(value.at("f").asU64());
+    event.flowId = value.at("id").asU64();
+    if (const scenario::JsonValue* kind = value.find("k")) {
+      event.kind = parseKind(kind->asString());
+      event.originCore = static_cast<CoreId>(value.at("o").asU64());
+      event.flowStartedAt = value.at("t").asU64();
+    }
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument("trace line " + std::to_string(lineNumber) + ": " +
+                                error.what());
+  }
+  return event;
+}
+
+}  // namespace
+
+TraceEvent traceEventOf(const noc::PacketDescriptor& packet) {
+  TraceEvent event;
+  event.cycle = packet.createdAt;
+  event.src = packet.srcCore;
+  event.dst = packet.dstCore;
+  event.flits = packet.numFlits;
+  event.flowId = packet.flowId;
+  event.kind = packet.flowKind;
+  event.originCore = packet.originCore;
+  event.flowStartedAt = packet.flowStartedAt;
+  return event;
+}
+
+std::string toLine(const TraceEvent& event) {
+  std::string out = "{\"c\":" + std::to_string(event.cycle) +
+                    ",\"s\":" + std::to_string(event.src) +
+                    ",\"d\":" + std::to_string(event.dst) +
+                    ",\"f\":" + std::to_string(event.flits) +
+                    ",\"id\":" + std::to_string(event.flowId);
+  if (event.kind != noc::FlowKind::kNone) {
+    out += ",\"k\":\"" + noc::toString(event.kind) + "\"";
+    out += ",\"o\":" + std::to_string(event.originCore);
+    out += ",\"t\":" + std::to_string(event.flowStartedAt);
+  }
+  out += "}";
+  return out;
+}
+
+std::string traceToText(const TraceData& trace) {
+  std::string out = "{\"pnoc_trace\":" + std::to_string(trace.version) +
+                    ",\"cores\":" + std::to_string(trace.numCores) + "}\n";
+  for (const TraceEvent& event : trace.events) {
+    out += toLine(event);
+    out += "\n";
+  }
+  return out;
+}
+
+TraceData parseTrace(const std::string& text) {
+  TraceData trace;
+  std::size_t begin = 0;
+  std::size_t lineNumber = 0;
+  bool sawHeader = false;
+  Cycle lastCycle = 0;
+  while (begin < text.size()) {
+    const std::size_t end = std::min(text.find('\n', begin), text.size());
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    ++lineNumber;
+    if (line.empty()) continue;
+    const scenario::JsonValue value = scenario::JsonValue::parse(line);
+    if (!sawHeader) {
+      // The header MUST come first: a trace without one is either truncated
+      // or from a future format we must not misread.
+      const scenario::JsonValue* version = value.find("pnoc_trace");
+      if (version == nullptr) {
+        throw std::invalid_argument(
+            "trace has no {\"pnoc_trace\":...} header line");
+      }
+      trace.version = static_cast<int>(version->asU64());
+      if (trace.version != kTraceVersion) {
+        throw std::invalid_argument(
+            "trace is format version " + std::to_string(trace.version) +
+            "; this build reads version " + std::to_string(kTraceVersion));
+      }
+      trace.numCores = static_cast<std::uint32_t>(value.at("cores").asU64());
+      sawHeader = true;
+      continue;
+    }
+    TraceEvent event = parseEventLine(value, lineNumber);
+    if (event.src >= trace.numCores || event.dst >= trace.numCores) {
+      throw std::invalid_argument("trace line " + std::to_string(lineNumber) +
+                                  ": core out of range for a " +
+                                  std::to_string(trace.numCores) + "-core trace");
+    }
+    if (event.cycle < lastCycle) {
+      throw std::invalid_argument("trace line " + std::to_string(lineNumber) +
+                                  ": events must be cycle-ordered");
+    }
+    lastCycle = event.cycle;
+    trace.events.push_back(event);
+  }
+  if (!sawHeader) {
+    throw std::invalid_argument("trace is empty (no header line)");
+  }
+  return trace;
+}
+
+TraceData loadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot read trace file '" + path + "'");
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return parseTrace(content.str());
+}
+
+void writeTraceFile(const std::string& path, const TraceData& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot write trace file '" + path + "'");
+  }
+  out << traceToText(trace);
+}
+
+TraceReplayWorkload::TraceReplayWorkload(TraceData trace, std::uint32_t numCores) {
+  if (trace.numCores != numCores) {
+    throw std::invalid_argument(
+        "trace was recorded on " + std::to_string(trace.numCores) +
+        " cores; this network has " + std::to_string(numCores));
+  }
+  auto perCore = std::make_shared<std::vector<std::vector<TraceEvent>>>(numCores);
+  for (const TraceEvent& event : trace.events) {
+    (*perCore)[event.src].push_back(event);
+  }
+  perCore_ = std::move(perCore);
+}
+
+std::unique_ptr<CoreWorkload> TraceReplayWorkload::makeCoreWorkload(CoreId core) const {
+  return std::make_unique<TraceReplayCoreWorkload>(perCore_, core);
+}
+
+void TraceReplayCoreWorkload::step(Cycle cycle, CoreContext& core) {
+  // In a faithful replay the queue has room exactly when it did during the
+  // recording; if a hand-edited trace overfills a queue, the overdue events
+  // go in as soon as room returns (the backlog keeps the core active).
+  while (next_ < events().size() && events()[next_].cycle <= cycle &&
+         core.canSubmit()) {
+    const TraceEvent& event = events()[next_];
+    PacketRequest request;
+    request.dst = event.dst;
+    request.flits = event.flits;
+    request.kind = event.kind;
+    request.flowId = event.flowId;
+    request.originCore = event.originCore;
+    request.flowStartedAt = event.flowStartedAt;
+    core.submitPacket(request, cycle);
+    ++next_;
+  }
+}
+
+Cycle TraceReplayCoreWorkload::nextEventAt() const {
+  return next_ < events().size() ? events()[next_].cycle : kNoCycle;
+}
+
+}  // namespace pnoc::workload

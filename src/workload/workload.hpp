@@ -1,0 +1,108 @@
+// Workload models: WHO injects WHAT and WHEN, decoupled from the traffic
+// pattern (which only says WHERE packets go).
+//
+// The default open-loop injector (geometric arrivals at a fixed offered
+// load) lives directly in network::CoreNode; a workload model replaces it
+// with closed-loop behaviour: packets are issued in reaction to ejections
+// (replies, forwards, window credits) instead of by an exogenous clock.
+// Three concrete models ship (see registry.hpp for the spec grammar):
+//
+//   closed  - bounded-window request--reply: every requester core keeps at
+//             most `window` outstanding requests and issues a new one only
+//             `think` cycles after a reply ejects.  Latency throttles the
+//             offer rate, so saturation self-limits instead of collapsing.
+//   chain   - dependency flows: request -> directory (forward) -> data
+//             reply, carried as per-packet flow state in the PacketSlab.
+//   trace   - replays a recorded NDJSON trace (see trace.hpp) by
+//             re-enqueuing every recorded packet at its recorded cycle.
+//
+// Determinism contract: a per-core model may draw randomness ONLY from the
+// hosting core's private RNG stream (CoreContext::workloadRng()), and any
+// action triggered by an ejection observed at cycle C becomes effective at
+// cycle C+1 or later.  Ejections happen while routers/links advance — before
+// the cores in engine registration order — so an always-active (ungated)
+// core could otherwise react a cycle earlier than its parked (gated) twin.
+// The one-cycle deferral makes gated and ungated engines bit-identical, and
+// with them every execution backend.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "noc/flit.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::traffic {
+class TrafficPattern;
+}
+
+namespace pnoc::workload {
+
+/// What a model asks its hosting core to enqueue.  Flow fields are ignored
+/// for kRequest submissions (the core starts a fresh flow: flowId = packet
+/// id, originCore = the core, flowStartedAt = the submission cycle); for
+/// kForward/kReply they carry the originating request's identity forward.
+struct PacketRequest {
+  CoreId dst = 0;
+  /// Flit count; 0 = the core's configured default packet size.
+  std::uint32_t flits = 0;
+  noc::FlowKind kind = noc::FlowKind::kNone;
+  PacketId flowId = 0;
+  CoreId originCore = 0;
+  Cycle flowStartedAt = 0;
+};
+
+/// The hosting core, as seen by its workload model.  Implemented by
+/// network::CoreNode; models hold no core state of their own beyond flow
+/// bookkeeping.
+class CoreContext {
+ public:
+  virtual ~CoreContext() = default;
+
+  virtual CoreId coreId() const = 0;
+  /// The core's private RNG stream — the ONLY legal randomness source for a
+  /// model (reply/forward destination draws included).
+  virtual sim::Rng& workloadRng() = 0;
+  virtual const traffic::TrafficPattern& trafficPattern() const = 0;
+  /// True while the injection queue has room for one more packet.  Models
+  /// must check this BEFORE drawing a destination, so a full queue never
+  /// perturbs the RNG stream.
+  virtual bool canSubmit() const = 0;
+  /// Interns and enqueues a packet at `cycle`.  Returns false (and changes
+  /// nothing) when the injection queue is full.
+  virtual bool submitPacket(const PacketRequest& request, Cycle cycle) = 0;
+};
+
+/// Per-core workload state machine, driven by the hosting CoreNode:
+///   step()            from CoreNode::advance(), every active cycle;
+///   onPacketEjected() when a packet addressed to this core fully ejects
+///                     (stamped at the ejection cycle C; any resulting
+///                     submission must happen at C+1 or later — see the
+///                     determinism contract above);
+///   nextEventAt()     the earliest future cycle step() has work, so the
+///                     core can park on an engine timer until then.
+class CoreWorkload {
+ public:
+  virtual ~CoreWorkload() = default;
+
+  virtual void step(Cycle cycle, CoreContext& core) = 0;
+  virtual void onPacketEjected(const noc::PacketDescriptor& packet, Cycle cycle,
+                               CoreContext& core) = 0;
+  /// Earliest cycle at which step() will have work (kNoCycle: none pending).
+  virtual Cycle nextEventAt() const = 0;
+  /// Restores the freshly-constructed state (network reset).
+  virtual void reset() = 0;
+};
+
+/// Network-level workload: a factory for the per-core state machines.
+/// Built once per network from the `workload=` spec (registry.hpp).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<CoreWorkload> makeCoreWorkload(CoreId core) const = 0;
+};
+
+}  // namespace pnoc::workload

@@ -1,0 +1,55 @@
+// Nearest-key suggestion used by every "unknown key" rejection (scenario
+// keys, CLI options, workload/pattern options).
+#include "sim/suggest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnoc::sim {
+namespace {
+
+TEST(EditDistance, BasicCases) {
+  EXPECT_EQ(editDistance("", ""), 0u);
+  EXPECT_EQ(editDistance("abc", "abc"), 0u);
+  EXPECT_EQ(editDistance("abc", ""), 3u);
+  EXPECT_EQ(editDistance("", "abc"), 3u);
+  EXPECT_EQ(editDistance("windw", "window"), 1u);   // deletion
+  EXPECT_EQ(editDistance("wnidow", "window"), 2u);  // transposition = 2 edits
+  EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(editDistance("load", "seed"), 3u);
+}
+
+TEST(SuggestNearest, FindsCloseKeysOnly) {
+  const std::vector<std::string> keys = {"window", "think", "req_flits",
+                                         "reply_flits"};
+  EXPECT_EQ(suggestNearest("windw", keys), "window");
+  EXPECT_EQ(suggestNearest("thinks", keys), "think");
+  EXPECT_EQ(suggestNearest("reply_flit", keys), "reply_flits");
+  // Nothing nearby: no suggestion beats a wrong suggestion.
+  EXPECT_EQ(suggestNearest("zzzzzz", keys), "");
+  EXPECT_EQ(suggestNearest("", keys), "");
+}
+
+TEST(SuggestNearest, ShortKeysUseATightThreshold) {
+  // A 3-letter typo must not match some arbitrary 3-letter key two edits
+  // away ("din" -> "max" would be nonsense).
+  const std::vector<std::string> keys = {"set", "load", "seed"};
+  EXPECT_EQ(suggestNearest("sed", keys), "set");  // distance 1: ok
+  EXPECT_EQ(suggestNearest("xyz", keys), "");     // distance 3 from all
+}
+
+TEST(SuggestNearest, TiePicksTheEarliestCandidate) {
+  // "sead" is distance 1 from both "seed" and "sead"-less lists; with two
+  // candidates at equal distance the earliest wins, deterministically.
+  const std::vector<std::string> keys = {"lead", "bead"};
+  EXPECT_EQ(suggestNearest("read", keys), "lead");
+}
+
+TEST(DidYouMean, FormatsTheHintOrStaysSilent) {
+  const std::vector<std::string> keys = {"window", "think"};
+  EXPECT_EQ(didYouMean("windw", keys), "; did you mean 'window'?");
+  EXPECT_EQ(didYouMean("totally-different", keys), "");
+  EXPECT_EQ(didYouMean("window", keys), "");  // exact match: caller's bug
+}
+
+}  // namespace
+}  // namespace pnoc::sim

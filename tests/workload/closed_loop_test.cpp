@@ -1,0 +1,321 @@
+// Closed-loop request--reply workload: window accounting at the model level
+// (mock core), and the self-limiting behaviour the window buys at the system
+// level — bounded request latency and window-limited throughput where the
+// open loop collapses.
+#include "workload/closed_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "network/network.hpp"
+#include "traffic/registry.hpp"
+
+namespace pnoc::workload {
+namespace {
+
+// --- model-level tests against a scripted CoreContext ---
+
+class MockCore final : public CoreContext {
+ public:
+  MockCore(CoreId id, const traffic::TrafficPattern& pattern)
+      : id_(id), pattern_(&pattern), rng_(7) {}
+
+  CoreId coreId() const override { return id_; }
+  sim::Rng& workloadRng() override { return rng_; }
+  const traffic::TrafficPattern& trafficPattern() const override { return *pattern_; }
+  bool canSubmit() const override { return !full; }
+  bool submitPacket(const PacketRequest& request, Cycle cycle) override {
+    if (full) return false;
+    submitted.push_back({request, cycle});
+    return true;
+  }
+
+  struct Submission {
+    PacketRequest request;
+    Cycle cycle = 0;
+  };
+  std::vector<Submission> submitted;
+  bool full = false;
+
+ private:
+  CoreId id_;
+  const traffic::TrafficPattern* pattern_;
+  sim::Rng rng_;
+};
+
+class ModelFixture : public ::testing::Test {
+ protected:
+  ModelFixture()
+      : topology_(64, 4),
+        pattern_(traffic::makePattern("uniform", topology_,
+                                      traffic::BandwidthSet::set1())),
+        core_(5, *pattern_) {}
+
+  noc::ClusterTopology topology_;
+  std::unique_ptr<traffic::TrafficPattern> pattern_;
+  MockCore core_;
+};
+
+TEST_F(ModelFixture, IssuesExactlyTheWindowUpFront) {
+  ClosedLoopWorkload::Config config;
+  config.window = 3;
+  ClosedLoopCoreWorkload model(config, /*requester=*/true);
+  model.step(0, core_);
+  EXPECT_EQ(core_.submitted.size(), 3u);
+  EXPECT_EQ(model.outstanding(), 3u);
+  for (const auto& s : core_.submitted) {
+    EXPECT_EQ(s.request.kind, noc::FlowKind::kRequest);
+    EXPECT_EQ(s.request.flits, config.requestFlits);
+  }
+  // No credits left: further steps issue nothing.
+  model.step(1, core_);
+  model.step(50, core_);
+  EXPECT_EQ(core_.submitted.size(), 3u);
+  EXPECT_EQ(model.nextEventAt(), kNoCycle);
+}
+
+TEST_F(ModelFixture, ReplyReturnsTheCreditAfterThink) {
+  ClosedLoopWorkload::Config config;
+  config.window = 1;
+  config.thinkCycles = 10;
+  ClosedLoopCoreWorkload model(config, /*requester=*/true);
+  model.step(0, core_);
+  ASSERT_EQ(core_.submitted.size(), 1u);
+
+  noc::PacketDescriptor reply;
+  reply.flowKind = noc::FlowKind::kReply;
+  model.onPacketEjected(reply, /*cycle=*/100, core_);
+  EXPECT_EQ(model.outstanding(), 0u);
+  // Credit usable at 100 + 1 (deferral) + 10 (think) = 111, not before.
+  EXPECT_EQ(model.nextEventAt(), Cycle{111});
+  model.step(110, core_);
+  EXPECT_EQ(core_.submitted.size(), 1u);
+  model.step(111, core_);
+  EXPECT_EQ(core_.submitted.size(), 2u);
+  EXPECT_EQ(model.outstanding(), 1u);
+}
+
+TEST_F(ModelFixture, RequestEjectionSchedulesTheReplyNextCycle) {
+  ClosedLoopWorkload::Config config;
+  config.replyFlits = 4;
+  ClosedLoopCoreWorkload model(config, /*requester=*/false);
+  model.step(0, core_);
+  EXPECT_TRUE(core_.submitted.empty());  // responders never issue requests
+
+  noc::PacketDescriptor request;
+  request.flowKind = noc::FlowKind::kRequest;
+  request.flowId = 77;
+  request.originCore = 12;
+  request.flowStartedAt = 40;
+  model.onPacketEjected(request, /*cycle=*/50, core_);
+  EXPECT_EQ(model.nextEventAt(), Cycle{51});  // strictly after the ejection
+  model.step(50, core_);
+  EXPECT_TRUE(core_.submitted.empty());
+  model.step(51, core_);
+  ASSERT_EQ(core_.submitted.size(), 1u);
+  const auto& submission = core_.submitted[0];
+  EXPECT_EQ(submission.request.kind, noc::FlowKind::kReply);
+  EXPECT_EQ(submission.request.dst, 12u);       // back to the flow's origin
+  EXPECT_EQ(submission.request.flits, 4u);      // reply_flits honoured
+  EXPECT_EQ(submission.request.flowId, 77u);    // flow identity carried
+  EXPECT_EQ(submission.request.flowStartedAt, Cycle{40});
+}
+
+TEST_F(ModelFixture, ChainForwardsBeforeReplying) {
+  ClosedLoopWorkload::Config config;
+  config.chain = true;
+  config.forwardFlits = 6;
+  ClosedLoopCoreWorkload model(config, /*requester=*/false);
+
+  noc::PacketDescriptor request;
+  request.flowKind = noc::FlowKind::kRequest;
+  request.flowId = 5;
+  request.originCore = 9;
+  model.onPacketEjected(request, 20, core_);
+  model.step(21, core_);
+  ASSERT_EQ(core_.submitted.size(), 1u);
+  EXPECT_EQ(core_.submitted[0].request.kind, noc::FlowKind::kForward);
+  EXPECT_EQ(core_.submitted[0].request.flits, 6u);
+  EXPECT_EQ(core_.submitted[0].request.flowId, 5u);
+
+  noc::PacketDescriptor forward;
+  forward.flowKind = noc::FlowKind::kForward;
+  forward.flowId = 5;
+  forward.originCore = 9;
+  model.onPacketEjected(forward, 30, core_);
+  model.step(31, core_);
+  ASSERT_EQ(core_.submitted.size(), 2u);
+  EXPECT_EQ(core_.submitted[1].request.kind, noc::FlowKind::kReply);
+  EXPECT_EQ(core_.submitted[1].request.dst, 9u);
+}
+
+TEST_F(ModelFixture, FullQueueDefersWithoutDrawingRandomness) {
+  ClosedLoopWorkload::Config config;
+  config.window = 2;
+  ClosedLoopCoreWorkload model(config, /*requester=*/true);
+  core_.full = true;
+  const sim::Rng before = core_.workloadRng();
+  model.step(0, core_);
+  EXPECT_TRUE(core_.submitted.empty());
+  EXPECT_EQ(model.outstanding(), 0u);
+  // The blocked issue consumed NO randomness: the stream's next draws are
+  // exactly what an unblocked core would have drawn.
+  sim::Rng untouched = before;
+  EXPECT_EQ(core_.workloadRng().next(), untouched.next());
+  core_.full = false;
+  model.step(1, core_);
+  EXPECT_EQ(core_.submitted.size(), 2u);
+}
+
+TEST_F(ModelFixture, ResetRestoresTheFullWindow) {
+  ClosedLoopWorkload::Config config;
+  config.window = 2;
+  ClosedLoopCoreWorkload model(config, /*requester=*/true);
+  model.step(0, core_);
+  ASSERT_EQ(model.outstanding(), 2u);
+  model.reset();
+  EXPECT_EQ(model.outstanding(), 0u);
+  EXPECT_EQ(model.nextEventAt(), Cycle{0});
+  core_.submitted.clear();
+  model.step(0, core_);
+  EXPECT_EQ(core_.submitted.size(), 2u);
+}
+
+// --- system-level tests over the full network ---
+
+network::SimulationParameters closedParams(const std::string& workload,
+                                           const char* pattern = "uniform") {
+  network::SimulationParameters params;
+  params.pattern = pattern;
+  params.workload = workload;
+  params.warmupCycles = 300;
+  params.measureCycles = 3000;
+  params.seed = 11;
+  return params;
+}
+
+/// Max outstanding across all cores' models, polled between steps.
+std::uint32_t maxOutstanding(const network::PhotonicNetwork& net) {
+  std::uint32_t worst = 0;
+  for (CoreId core = 0; core < net.params().numCores; ++core) {
+    const auto* model = dynamic_cast<const ClosedLoopCoreWorkload*>(
+        net.core(core).coreWorkload());
+    if (model != nullptr) worst = std::max(worst, model->outstanding());
+  }
+  return worst;
+}
+
+TEST(ClosedLoopSystem, WindowBoundsOutstandingAtEveryCore) {
+  auto params = closedParams("closed:window=3");
+  network::PhotonicNetwork net(params);
+  for (int chunk = 0; chunk < 30; ++chunk) {
+    net.step(100);
+    EXPECT_LE(maxOutstanding(net), 3u) << "chunk " << chunk;
+  }
+  // Global window accounting: issued - completed = in-flight <= 64 * window.
+  std::uint64_t issued = 0, completed = 0;
+  for (CoreId core = 0; core < 64; ++core) {
+    issued += net.core(core).stats().requestsIssued;
+    completed += net.core(core).stats().requestsCompleted;
+  }
+  ASSERT_GT(completed, 0u);
+  EXPECT_LE(issued - completed, 64u * 3u);
+}
+
+TEST(ClosedLoopSystem, SelfLimitsWhereTheOpenLoopCollapses) {
+  // Open loop far past saturation: offers outstrip delivery, the injection
+  // queues overflow and refusals pile up.
+  auto open = closedParams("open", "skewed3");
+  open.offeredLoad = 0.01;  // several times the skewed3 knee
+  network::PhotonicNetwork openNet(open);
+  const auto openMetrics = openNet.run();
+  ASSERT_GT(openMetrics.packetsRefused, 0u);
+  EXPECT_LT(openMetrics.acceptance(), 0.9);
+
+  // Closed loop on the same pattern: the window throttles the offer rate to
+  // what the network actually completes, so nothing is ever refused and the
+  // request latency stays bounded by window * round-trip.
+  const auto closed = closedParams("closed:window=2", "skewed3");
+  network::PhotonicNetwork closedNet(closed);
+  const auto closedMetrics = closedNet.run();
+  EXPECT_EQ(closedMetrics.packetsRefused, 0u);
+  ASSERT_GT(closedMetrics.requestsCompleted, 0u);
+  // Offered == achieved in steady state (within one window per core).
+  EXPECT_LE(closedMetrics.requestsIssued - closedMetrics.requestsCompleted,
+            64u * 2u);
+  // Bounded request latency: with 2 outstanding per core a request waits at
+  // most ~2 round trips; far below the open loop's runaway queueing delay.
+  EXPECT_LT(closedMetrics.avgRequestLatencyCycles(), 2000.0);
+  EXPECT_GT(closedMetrics.avgRequestLatencyCycles(), 0.0);
+}
+
+TEST(ClosedLoopSystem, LargerWindowBuysThroughputAtHigherLatency) {
+  const auto small = closedParams("closed:window=1");
+  network::PhotonicNetwork smallNet(small);
+  const auto smallMetrics = smallNet.run();
+
+  const auto large = closedParams("closed:window=8");
+  network::PhotonicNetwork largeNet(large);
+  const auto largeMetrics = largeNet.run();
+
+  ASSERT_GT(smallMetrics.requestsCompleted, 0u);
+  // More outstanding requests per core: strictly more work completes ...
+  EXPECT_GT(largeMetrics.achievedRequestsPerKcycle(),
+            smallMetrics.achievedRequestsPerKcycle());
+  // ... at equal or worse per-request latency (queueing, never less).
+  EXPECT_GE(largeMetrics.avgRequestLatencyCycles(),
+            smallMetrics.avgRequestLatencyCycles());
+}
+
+TEST(ClosedLoopSystem, ChainFlowsCompleteWithAForwardHop) {
+  auto params = closedParams("chain:window=2");
+  network::PhotonicNetwork net(params);
+  const auto metrics = net.run();
+  ASSERT_GT(metrics.requestsCompleted, 0u);
+  EXPECT_GT(metrics.repliesGenerated, 0u);
+  // Every flow is request + forward + reply: the packet count strictly
+  // exceeds requests + replies (the difference is the directory forwards).
+  EXPECT_GT(metrics.packetsGenerated,
+            metrics.requestsIssued + metrics.repliesGenerated);
+  EXPECT_GT(metrics.avgRequestLatencyCycles(), 0.0);
+}
+
+TEST(ClosedLoopSystem, RealAppsMemoryClustersOnlyRespond) {
+  auto params = closedParams("closed:window=2", "real-apps");
+  network::PhotonicNetwork net(params);
+  net.run();
+  const auto* model = dynamic_cast<const ClosedLoopWorkload*>(net.workload());
+  ASSERT_NE(model, nullptr);
+  std::uint64_t responderReplies = 0;
+  bool sawResponder = false;
+  for (CoreId core = 0; core < 64; ++core) {
+    const auto& stats = net.core(core).stats();
+    if (!model->isRequester(core)) {
+      sawResponder = true;
+      EXPECT_EQ(stats.requestsIssued, 0u) << "memory core " << core << " issued";
+      responderReplies += stats.repliesGenerated;
+    }
+  }
+  ASSERT_TRUE(sawResponder) << "real-apps should designate memory clusters";
+  EXPECT_GT(responderReplies, 0u);
+}
+
+TEST(ClosedLoopSystem, LoadKeyIsIgnoredInWorkloadMode) {
+  // A closed loop paces itself: the load field (and setOfferedLoad) must not
+  // change anything.
+  auto params = closedParams("closed:window=2");
+  params.offeredLoad = 0.0001;
+  network::PhotonicNetwork slow(params);
+  const auto slowMetrics = slow.run();
+  params.offeredLoad = 0.02;
+  network::PhotonicNetwork fast(params);
+  const auto fastMetrics = fast.run();
+  EXPECT_EQ(slowMetrics.packetsGenerated, fastMetrics.packetsGenerated);
+  EXPECT_EQ(slowMetrics.requestsCompleted, fastMetrics.requestsCompleted);
+  EXPECT_EQ(slowMetrics.latencyCyclesSum, fastMetrics.latencyCyclesSum);
+}
+
+}  // namespace
+}  // namespace pnoc::workload

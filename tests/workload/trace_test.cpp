@@ -1,0 +1,223 @@
+// NDJSON packet traces: format round-trip, strict parsing, and the headline
+// guarantee — replaying a recorded run reproduces the recorded run's metrics
+// byte-for-byte (checked through the exact wire serialization and through
+// the BENCH record lines a bench binary would emit).
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "network/network.hpp"
+#include "scenario/json_record.hpp"
+#include "scenario/scenario_runner.hpp"
+#include "scenario/wire.hpp"
+
+namespace pnoc::workload {
+namespace {
+
+class TempTraceFile {
+ public:
+  TempTraceFile()
+      : path_(::testing::TempDir() + "pnoc_trace_" + std::to_string(::getpid()) +
+              "_" + std::to_string(counter_++) + ".ndjson") {}
+  ~TempTraceFile() { std::remove(path_.c_str()); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+
+int TempTraceFile::counter_ = 0;
+
+TraceData sampleTrace() {
+  TraceData trace;
+  trace.numCores = 64;
+  TraceEvent plain;
+  plain.cycle = 3;
+  plain.src = 1;
+  plain.dst = 9;
+  plain.flits = 64;
+  trace.events.push_back(plain);
+  TraceEvent flow;
+  flow.cycle = 5;
+  flow.src = 2;
+  flow.dst = 40;
+  flow.flits = 8;
+  flow.flowId = 17;
+  flow.kind = noc::FlowKind::kRequest;
+  flow.originCore = 2;
+  flow.flowStartedAt = 5;
+  trace.events.push_back(flow);
+  return trace;
+}
+
+TEST(TraceFormat, TextRoundTripPreservesEveryField) {
+  const TraceData trace = sampleTrace();
+  const TraceData parsed = parseTrace(traceToText(trace));
+  EXPECT_EQ(parsed.version, kTraceVersion);
+  EXPECT_EQ(parsed.numCores, 64u);
+  ASSERT_EQ(parsed.events.size(), 2u);
+  EXPECT_EQ(parsed.events[0].cycle, Cycle{3});
+  EXPECT_EQ(parsed.events[0].dst, 9u);
+  EXPECT_EQ(parsed.events[0].kind, noc::FlowKind::kNone);
+  EXPECT_EQ(parsed.events[1].flowId, 17u);
+  EXPECT_EQ(parsed.events[1].kind, noc::FlowKind::kRequest);
+  EXPECT_EQ(parsed.events[1].originCore, 2u);
+  EXPECT_EQ(parsed.events[1].flowStartedAt, Cycle{5});
+}
+
+TEST(TraceFormat, FileRoundTrip) {
+  TempTraceFile file;
+  writeTraceFile(file.path(), sampleTrace());
+  const TraceData loaded = loadTraceFile(file.path());
+  EXPECT_EQ(loaded.numCores, 64u);
+  EXPECT_EQ(loaded.events.size(), 2u);
+  EXPECT_EQ(loaded.events[1].flowId, 17u);
+}
+
+TEST(TraceFormat, PlainEventsOmitTheFlowFields) {
+  // Open-loop packets dominate most traces; their lines must stay minimal.
+  const std::string text = traceToText(sampleTrace());
+  const std::string firstEvent = text.substr(text.find('\n') + 1);
+  EXPECT_EQ(firstEvent.substr(0, firstEvent.find('\n')),
+            "{\"c\":3,\"s\":1,\"d\":9,\"f\":64,\"id\":0}");
+}
+
+TEST(TraceFormat, RejectsMissingHeaderWrongVersionAndBadEvents) {
+  EXPECT_THROW(parseTrace(""), std::invalid_argument);
+  // Events before any header.
+  EXPECT_THROW(parseTrace("{\"c\":1,\"s\":0,\"d\":1,\"f\":8,\"id\":0}\n"),
+               std::invalid_argument);
+  // Future version.
+  EXPECT_THROW(parseTrace("{\"pnoc_trace\":99,\"cores\":64}\n"),
+               std::invalid_argument);
+  const std::string header = "{\"pnoc_trace\":1,\"cores\":64}\n";
+  // Core out of range.
+  EXPECT_THROW(parseTrace(header + "{\"c\":1,\"s\":64,\"d\":1,\"f\":8,\"id\":0}\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parseTrace(header + "{\"c\":1,\"s\":0,\"d\":70,\"f\":8,\"id\":0}\n"),
+               std::invalid_argument);
+  // Cycles must be non-decreasing (the recorder emits them in order).
+  EXPECT_THROW(parseTrace(header + "{\"c\":9,\"s\":0,\"d\":1,\"f\":8,\"id\":0}\n" +
+                          "{\"c\":3,\"s\":0,\"d\":1,\"f\":8,\"id\":1}\n"),
+               std::invalid_argument);
+  // Malformed JSON line.
+  EXPECT_THROW(parseTrace(header + "not json\n"), std::invalid_argument);
+  // Unreadable file.
+  EXPECT_THROW(loadTraceFile("/nonexistent/dir/trace.ndjson"), std::invalid_argument);
+}
+
+TEST(TraceReplay, RejectsCoreCountMismatch) {
+  TraceData trace = sampleTrace();
+  EXPECT_THROW(TraceReplayWorkload(trace, 32), std::invalid_argument);
+  EXPECT_NO_THROW(TraceReplayWorkload(trace, 64));
+}
+
+network::SimulationParameters traceParams(const std::string& workload) {
+  network::SimulationParameters params;
+  params.pattern = "skewed3";
+  params.workload = workload;
+  params.warmupCycles = 150;
+  params.measureCycles = 1200;
+  params.seed = 23;
+  return params;
+}
+
+// The headline guarantee: record a closed-loop run, replay the trace, and
+// every metric — flit latency, request latency, counters, energy — matches
+// byte-for-byte through the exact wire serialization.
+TEST(TraceReplay, ReproducesARecordedRunByteForByte) {
+  TempTraceFile file;
+  auto recordedParams = traceParams("closed:window=2,think=5");
+  recordedParams.traceOut = file.path();
+  network::PhotonicNetwork recorded(recordedParams);
+  const auto recordedMetrics = recorded.run();
+  ASSERT_GT(recordedMetrics.requestsCompleted, 0u);
+
+  auto replayParams = traceParams("trace:file=" + file.path());
+  network::PhotonicNetwork replayed(replayParams);
+  const auto replayedMetrics = replayed.run();
+  EXPECT_EQ(scenario::wire::toJson(replayedMetrics),
+            scenario::wire::toJson(recordedMetrics));
+  // Conservation holds for the replay too.
+  EXPECT_EQ(replayed.totalFlitsInjected(),
+            replayed.totalFlitsEjected() + replayed.occupancy());
+}
+
+TEST(TraceReplay, ReproducesAnOpenLoopRunToo) {
+  TempTraceFile file;
+  auto recordedParams = traceParams("open");
+  recordedParams.offeredLoad = 0.002;
+  recordedParams.traceOut = file.path();
+  network::PhotonicNetwork recorded(recordedParams);
+  const auto recordedMetrics = recorded.run();
+  ASSERT_GT(recordedMetrics.packetsDelivered, 0u);
+
+  auto replayParams = traceParams("trace:file=" + file.path());
+  network::PhotonicNetwork replayed(replayParams);
+  const auto replayedMetrics = replayed.run();
+  // Refused offers never entered a queue, so the replay offers exactly the
+  // accepted packets: delivery, latency and energy match byte-for-byte;
+  // packetsOffered differs by exactly the refusals.
+  EXPECT_EQ(replayedMetrics.packetsGenerated, recordedMetrics.packetsGenerated);
+  EXPECT_EQ(replayedMetrics.bitsDelivered, recordedMetrics.bitsDelivered);
+  EXPECT_EQ(replayedMetrics.latencyCyclesSum, recordedMetrics.latencyCyclesSum);
+  EXPECT_EQ(replayedMetrics.ledger.total(), recordedMetrics.ledger.total());
+  EXPECT_EQ(replayedMetrics.packetsOffered + recordedMetrics.packetsRefused,
+            recordedMetrics.packetsOffered);
+}
+
+// ... and the BENCH record lines built from a replay are byte-identical to
+// the recorded run's (the spec identity fields — arch, pattern, seed — are
+// shared; `workload` is deliberately not part of recordIdentity).
+TEST(TraceReplay, BenchRecordsMatchByteForByte) {
+  TempTraceFile file;
+  scenario::ScenarioSpec recordedSpec;
+  recordedSpec.set("pattern", "skewed3");
+  recordedSpec.set("workload", "chain:window=2");
+  recordedSpec.set("trace_out", file.path());
+  recordedSpec.set("seed", "31");
+  recordedSpec.set("warmup", "150");
+  recordedSpec.set("measure", "1200");
+  const auto recordedMetrics = scenario::runScenario(recordedSpec);
+  ASSERT_GT(recordedMetrics.requestsCompleted, 0u);
+
+  scenario::ScenarioSpec replaySpec = recordedSpec;
+  replaySpec.set("workload", "trace:file=" + file.path());
+  replaySpec.set("trace_out", "");
+  const auto replayedMetrics = scenario::runScenario(replaySpec);
+
+  scenario::JsonRecorder recorder("trace_replay_compare");
+  const std::string recordedLine =
+      scenario::recordRun(recorder, recordedSpec, recordedMetrics).serialize();
+  const std::string replayedLine =
+      scenario::recordRun(recorder, replaySpec, replayedMetrics).serialize();
+  EXPECT_EQ(replayedLine, recordedLine);
+}
+
+TEST(TraceRecorder, ResetClearsRecordedEvents) {
+  TempTraceFile file;
+  auto params = traceParams("closed:window=1");
+  params.traceOut = file.path();
+  params.warmupCycles = 50;
+  params.measureCycles = 300;
+  network::PhotonicNetwork net(params);
+  net.run();
+  const std::size_t firstRun = net.recordedTrace().events.size();
+  ASSERT_GT(firstRun, 0u);
+  net.reset();
+  EXPECT_TRUE(net.recordedTrace().events.empty());
+  net.run();
+  // A reset run records the identical event sequence, not an appended one.
+  EXPECT_EQ(net.recordedTrace().events.size(), firstRun);
+}
+
+}  // namespace
+}  // namespace pnoc::workload
