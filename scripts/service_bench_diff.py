@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Byte-compare a daemon-written BENCH file against a one-shot reference.
+
+pnoc_serve checkpoints carry exactly the per-unit records; a one-shot
+pnoc_run additionally appends one {"name":"timing",...} record.  Service
+mode promises byte-identity modulo that record, so: strip every file's
+timing line (a no-op for daemon files, plus the trailing comma its
+removal leaves behind), then the files must match byte for byte.
+
+usage: service_bench_diff.py ONE_SHOT_REF DAEMON_FILE [DAEMON_FILE ...]
+"""
+import re
+import sys
+
+
+def strip_timing(text: str) -> str:
+    kept = [line for line in text.splitlines(keepends=True)
+            if '"name":"timing"' not in line]
+    # Dropping the last record leaves a trailing comma on the new last one.
+    return re.sub(r"},\n(\])", r"}\n\1", "".join(kept))
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        reference = strip_timing(handle.read())
+    # The reference carries its bench name in the header line; each daemon
+    # file carries its own.  Compare everything below the header byte for
+    # byte and the headers modulo the name.
+    ref_head, ref_body = reference.split("\n", 1)
+    status = 0
+    for path in argv[2:]:
+        with open(path, encoding="utf-8") as handle:
+            head, body = strip_timing(handle.read()).split("\n", 1)
+        if body != ref_body or not re.fullmatch(
+                r'{"bench":"[^"]*","records":\[', head):
+            sys.stderr.write(f"{path} diverges from {argv[1]}\n")
+            sys.stderr.write(f"--- reference ---\n{ref_head}\n{ref_body}")
+            sys.stderr.write(f"--- {path} ---\n{head}\n{body}")
+            status = 1
+        else:
+            print(f"{path}: byte-identical to {argv[1]} (timing record aside)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

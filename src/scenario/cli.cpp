@@ -56,9 +56,13 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
     std::printf("%s — %s\n\n", binary_.c_str(), synopsis_.c_str());
     if (spec != nullptr) {
       std::printf("%s", ScenarioSpec::helpText(*spec).c_str());
+    }
+    if (spec != nullptr || runnerKeysWithoutSpec_) {
       std::printf("\nrunner keys:\n");
-      std::printf("  @file                       load scenario keys from a key=value or"
-                  " JSON spec file\n");
+      if (spec != nullptr) {
+        std::printf("  @file                       load scenario keys from a key=value"
+                    " or JSON spec file\n");
+      }
       std::printf("  backend=threads             execution backend: threads |"
                   " processes | stream\n");
       std::printf("  shards=0                    worker threads/processes (0 = auto:"
@@ -69,6 +73,8 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
       std::printf("\nfault policy (backend=stream; hosts-file \"policy\" object,"
                   " CLI keys win):\n%s",
                   dispatch::policyHelpText().c_str());
+    }
+    if (spec != nullptr) {
       std::printf("\n%s", traffic::PatternRegistry::global().helpText().c_str());
       std::printf("\n%s", workload::WorkloadRegistry::global().helpText().c_str());
     }
@@ -100,66 +106,23 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
         }
       }
       spec->applyOverrides(config_);
-      // Runner keys ride next to the scenario keys on every scenario binary.
-      if (config_.contains("backend")) {
-        backendOptions_.kind = parseBackendKind(config_.getString("backend", ""));
-      }
-      const std::int64_t shards = config_.getInt("shards", 0);
-      if (shards < 0) {
-        throw std::invalid_argument("shards must be >= 0");
-      }
-      backendOptions_.workers = static_cast<unsigned>(shards);
-      std::string hosts = config_.getString("hosts", "");
-      const bool hostsGiven = config_.contains("hosts");
-      if (!hosts.empty() && hosts[0] == '@') hosts.erase(0, 1);
-      if (hostsGiven && hosts.empty()) {
-        // hosts= / hosts=@ (an unset shell variable, usually) must not
-        // quietly fall back to a single-machine run.
-        throw std::invalid_argument("hosts= needs a file path");
-      }
-      if (!hosts.empty()) {
-        // A hosts file only makes sense streaming; naming one selects the
-        // backend rather than silently ignoring the fleet.
-        if (config_.contains("backend") &&
-            backendOptions_.kind != BackendKind::kStream) {
-          throw std::invalid_argument(
-              "hosts= requires backend=stream (got backend=" +
-              toString(backendOptions_.kind) + ")");
-        }
-        if (backendOptions_.workers != 0) {
-          throw std::invalid_argument(
-              "shards= and hosts= are mutually exclusive (the hosts file"
-              " sizes the fleet)");
-        }
-        backendOptions_.kind = BackendKind::kStream;
-        backendOptions_.hostsFile = hosts;
-        // Read and validate the fleet HERE, once: an unreadable or
-        // malformed hosts file is a parse error, and the backend is built
-        // from this parsed copy, never by re-reading the file later.
-        dispatch::HostsFleet fleet = dispatch::loadHostsFleet(hosts);
-        backendOptions_.hosts = std::move(fleet.hosts);
-        backendOptions_.policy = fleet.policy;
-      }
-      // Fault-policy keys layer key-by-key over the hosts file's "policy"
-      // object (loaded just above), so `retries=3` on the command line
-      // overrides the file's retries but keeps its job_deadline_ms.
-      for (const std::string& key : dispatch::policyKeys()) {
-        if (!config_.contains(key)) continue;
-        const std::int64_t value = config_.getInt(key, 0);
-        if (value < 0) {
-          throw std::invalid_argument(key + " must be >= 0");
-        }
-        dispatch::setPolicyField(backendOptions_.policy, key,
-                                 static_cast<std::uint64_t>(value));
-      }
     } catch (const std::invalid_argument& error) {
       std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error.what());
       return CliStatus::kError;
     }
-  } else if (!specFiles_.empty()) {
+  } else if (!specFiles_.empty() && !collectSpecFiles_) {
     std::fprintf(stderr, "%s: @file spec arguments are not accepted (no scenario)\n",
                  binary_.c_str());
     return CliStatus::kError;
+  }
+
+  if (spec != nullptr || runnerKeysWithoutSpec_) {
+    try {
+      applyRunnerKeys();
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s: %s\n", binary_.c_str(), error.what());
+      return CliStatus::kError;
+    }
   }
 
   // Reject anything that is neither a scenario/runner key (consumed above)
@@ -170,6 +133,8 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
     for (const ScenarioField& field : ScenarioSpec::fields()) {
       knownKeys.push_back(field.key);
     }
+  }
+  if (spec != nullptr || runnerKeysWithoutSpec_) {
     for (const std::string& key : dispatch::policyKeys()) knownKeys.push_back(key);
     knownKeys.insert(knownKeys.end(), {"backend", "shards", "hosts"});
   }
@@ -188,6 +153,62 @@ CliStatus Cli::parse(int argc, char** argv, ScenarioSpec* spec) {
     }
   }
   return unknown ? CliStatus::kError : CliStatus::kRun;
+}
+
+void Cli::applyRunnerKeys() {
+  // Runner keys ride next to the scenario keys on every scenario binary
+  // (and stand alone on spec-less fleet drivers like pnoc_serve).
+  if (config_.contains("backend")) {
+    backendOptions_.kind = parseBackendKind(config_.getString("backend", ""));
+  }
+  const std::int64_t shards = config_.getInt("shards", 0);
+  if (shards < 0) {
+    throw std::invalid_argument("shards must be >= 0");
+  }
+  backendOptions_.workers = static_cast<unsigned>(shards);
+  std::string hosts = config_.getString("hosts", "");
+  const bool hostsGiven = config_.contains("hosts");
+  if (!hosts.empty() && hosts[0] == '@') hosts.erase(0, 1);
+  if (hostsGiven && hosts.empty()) {
+    // hosts= / hosts=@ (an unset shell variable, usually) must not
+    // quietly fall back to a single-machine run.
+    throw std::invalid_argument("hosts= needs a file path");
+  }
+  if (!hosts.empty()) {
+    // A hosts file only makes sense streaming; naming one selects the
+    // backend rather than silently ignoring the fleet.
+    if (config_.contains("backend") &&
+        backendOptions_.kind != BackendKind::kStream) {
+      throw std::invalid_argument(
+          "hosts= requires backend=stream (got backend=" +
+          toString(backendOptions_.kind) + ")");
+    }
+    if (backendOptions_.workers != 0) {
+      throw std::invalid_argument(
+          "shards= and hosts= are mutually exclusive (the hosts file"
+          " sizes the fleet)");
+    }
+    backendOptions_.kind = BackendKind::kStream;
+    backendOptions_.hostsFile = hosts;
+    // Read and validate the fleet HERE, once: an unreadable or
+    // malformed hosts file is a parse error, and the backend is built
+    // from this parsed copy, never by re-reading the file later.
+    dispatch::HostsFleet fleet = dispatch::loadHostsFleet(hosts);
+    backendOptions_.hosts = std::move(fleet.hosts);
+    backendOptions_.policy = fleet.policy;
+  }
+  // Fault-policy keys layer key-by-key over the hosts file's "policy"
+  // object (loaded just above), so `retries=3` on the command line
+  // overrides the file's retries but keeps its job_deadline_ms.
+  for (const std::string& key : dispatch::policyKeys()) {
+    if (!config_.contains(key)) continue;
+    const std::int64_t value = config_.getInt(key, 0);
+    if (value < 0) {
+      throw std::invalid_argument(key + " must be >= 0");
+    }
+    dispatch::setPolicyField(backendOptions_.policy, key,
+                             static_cast<std::uint64_t>(value));
+  }
 }
 
 }  // namespace pnoc::scenario

@@ -58,6 +58,11 @@ class Cli {
   /// specFiles() instead of applying them onto the parsed spec.
   void setCollectSpecFiles(bool collect) { collectSpecFiles_ = collect; }
 
+  /// Binaries WITHOUT a scenario spec that still drive a worker fleet
+  /// (pnoc_serve): accept the runner keys (backend=/shards=/hosts=) and the
+  /// fault-policy keys even when parse() is called with spec == nullptr.
+  void setRunnerKeys(bool enable) { runnerKeysWithoutSpec_ = enable; }
+
   /// Parses argv[1..]: applies @file spec files and scenario-key overrides
   /// onto `*spec` (skipped when spec == nullptr, for binaries without a
   /// simulation scenario), handles help=1 and --pnoc-worker, parses the
@@ -87,7 +92,10 @@ class Cli {
   sim::Config config_;
   BackendOptions backendOptions_;
   bool collectSpecFiles_ = false;
+  bool runnerKeysWithoutSpec_ = false;
   int workerExitCode_ = 0;
+
+  void applyRunnerKeys();  // backend=/shards=/hosts= + policy keys; throws
 };
 
 }  // namespace pnoc::scenario

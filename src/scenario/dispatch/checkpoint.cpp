@@ -8,6 +8,7 @@
 
 #include "scenario/json_record.hpp"
 #include "scenario/json_util.hpp"
+#include "scenario/scenario_runner.hpp"
 
 namespace pnoc::scenario::dispatch {
 namespace {
@@ -122,12 +123,38 @@ BenchCheckpoint parseBenchCheckpoint(const std::string& text,
   BenchCheckpoint checkpoint;
   checkpoint.rawByIndex.resize(grid.size());
   std::vector<bool> seen(grid.size(), false);
+  // Whole-document parse first.  A file that fails it is either mid-file
+  // corruption (rejected below — resuming against a mangled checkpoint must
+  // not silently merge) or the one damage shape a crash legitimately
+  // produces: a truncated or garbage TRAILING line.  In tolerant mode each
+  // record line is parsed individually and a damaged final line counts as
+  // valid-but-missing — the affected job is simply re-dispatched, and the
+  // rewritten file is byte-identical to a never-interrupted run.
+  bool tolerant = false;
   try {
-    // Whole-document parse first: a truncated or hand-mangled file must be
-    // rejected up front, not half-harvested line by line.
     JsonValue::parse(text);
-    for (const std::string& raw : extractRecordLines(text)) {
-      const JsonValue record = JsonValue::parse(raw);
+  } catch (const std::invalid_argument&) {
+    tolerant = true;
+  }
+  try {
+    const std::vector<std::string> lines = extractRecordLines(text);
+    for (std::size_t l = 0; l < lines.size(); ++l) {
+      const std::string& raw = lines[l];
+      JsonValue record;
+      try {
+        record = JsonValue::parse(raw);
+      } catch (const std::invalid_argument& error) {
+        if (tolerant && l + 1 == lines.size()) {
+          std::fprintf(stderr,
+                       "pnoc checkpoint: '%s' ends in a truncated/garbage"
+                       " record line; treating it as missing (its job will be"
+                       " re-dispatched)\n",
+                       origin.c_str());
+          continue;
+        }
+        throw std::invalid_argument("record line " + std::to_string(l + 1) +
+                                    " is corrupt: " + error.what());
+      }
       const JsonValue* name = record.find("name");
       if (name == nullptr || name->asString() != recordName) continue;
       const JsonValue* gridIndex = record.find("grid_index");
@@ -171,6 +198,32 @@ BenchCheckpoint loadBenchCheckpoint(const std::string& path,
   std::ostringstream text;
   text << in.rdbuf();
   return parseBenchCheckpoint(text.str(), recordName, grid, path);
+}
+
+std::string serializedOutcomeRecord(const ScenarioOutcome& outcome,
+                                    std::size_t gridIndex) {
+  JsonRecorder scratch("scratch");
+  if (outcome.failed) {
+    // A fail-soft per-job failure: a record with the job's identity and the
+    // deterministic cause, no metrics.  The checkpoint loader treats it as
+    // missing, so resume=1 re-dispatches exactly these indices.
+    JsonRecord& record =
+        scratch.add(outcome.op == ScenarioJob::Op::kRun ? "run" : "peak");
+    record.integer("failed", 1);
+    record.text("error", outcome.error);
+    record.text("arch", outcome.spec.get("arch"));
+    record.text("pattern", outcome.spec.params.pattern);
+    record.integer("grid_index", static_cast<long long>(gridIndex));
+    record.text("spec_key", specKey(outcome.spec));
+    return record.serialize();
+  }
+  JsonRecord& record =
+      outcome.op == ScenarioJob::Op::kRun
+          ? recordRun(scratch, outcome.spec, outcome.metrics)
+          : recordPeak(scratch, ScenarioPeak{outcome.spec, outcome.search});
+  record.integer("grid_index", static_cast<long long>(gridIndex));
+  record.text("spec_key", specKey(outcome.spec));
+  return record.serialize();
 }
 
 std::string writeBenchFile(const std::string& directory,

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/execution_backend.hpp"
 #include "scenario/scenario_spec.hpp"
 
 namespace pnoc::scenario::dispatch {
@@ -57,6 +58,15 @@ BenchCheckpoint parseBenchCheckpoint(const std::string& text,
 BenchCheckpoint loadBenchCheckpoint(const std::string& path,
                                     const std::string& recordName,
                                     const std::vector<ScenarioSpec>& grid);
+
+/// The serialized run/peak record for one grid index — THE record format
+/// (recordRun/recordPeak) plus the grid_index and spec_key tags resume keys
+/// off.  A failed outcome (fail_soft) serializes as a failure record with
+/// the job's identity and deterministic cause, no metrics.  Shared by every
+/// writer of BENCH records (pnoc_run, pnoc_serve) so a job's bytes are
+/// identical no matter which driver computed it.
+std::string serializedOutcomeRecord(const ScenarioOutcome& outcome,
+                                    std::size_t gridIndex);
 
 /// Writes `rawRecords` (in order) as a BENCH file THROUGH
 /// JsonRecorder::write — the incremental checkpoint writer.  write() is

@@ -9,6 +9,7 @@ namespace {
 constexpr const char* kKeys[] = {
     "retries",     "respawns",           "backoff_ms", "backoff_cap_ms",
     "job_deadline_ms", "grace_ms",       "connect_timeout_ms", "fail_soft",
+    "pipeline",
 };
 
 }  // namespace
@@ -56,6 +57,11 @@ void setPolicyField(FaultPolicy& policy, const std::string& key,
       throw std::invalid_argument("fail_soft must be 0 or 1");
     }
     policy.failSoft = value == 1;
+  } else if (key == "pipeline") {
+    if (value == 0) {
+      throw std::invalid_argument("pipeline must be >= 1");
+    }
+    policy.pipeline = asUnsigned();
   } else {
     throw std::invalid_argument("'" + key + "' is not a fault-policy key");
   }
@@ -86,7 +92,9 @@ std::string policyHelpText() {
       "  connect_timeout_ms=30000    per-worker launch-to-ack budget (hosts connect"
       " concurrently)\n"
       "  fail_soft=0                 1: exhausted jobs become per-job failure"
-      " records instead of aborting the grid\n";
+      " records instead of aborting the grid\n"
+      "  pipeline=1                  jobs kept in flight per worker (>1 hides"
+      " high-RTT job lines; replies stay in order)\n";
 }
 
 }  // namespace pnoc::scenario::dispatch

@@ -64,11 +64,19 @@ struct FaultPolicy {
   std::uint64_t graceMs = 2000;
   std::uint64_t connectTimeoutMs = 30000;
   bool failSoft = false;
+  /// Jobs kept in flight per worker (>= 1).  A worker executes its lines in
+  /// order, so pipelining trades ordering risk for hidden round-trip time:
+  /// while job N simulates, job N+1's line is already queued on the worker's
+  /// stdin — the win that matters on high-RTT transports (ssh fleets) and
+  /// the pnoc_serve fleet's default.  Dispatch deadlines apply to the FRONT
+  /// job of a worker's queue; a death charges the front job its retry and
+  /// refunds the queued ones uncharged.
+  unsigned pipeline = 1;
 };
 
 /// True for keys settable via setPolicyField (the shared CLI / hosts-file
 /// key set): retries, respawns, backoff_ms, backoff_cap_ms, job_deadline_ms,
-/// grace_ms, connect_timeout_ms, fail_soft.
+/// grace_ms, connect_timeout_ms, fail_soft, pipeline.
 bool isPolicyKey(const std::string& key);
 
 /// The shared key set itself, for callers that iterate it (Cli layers each

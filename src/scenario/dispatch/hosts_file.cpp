@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "scenario/json_util.hpp"
+#include "sim/suggest.hpp"
 
 namespace pnoc::scenario::dispatch {
 namespace {
@@ -51,7 +52,10 @@ HostEntry parseEntry(const JsonValue& object, std::size_t ordinal) {
     } else {
       throw std::invalid_argument(
           "host entry #" + std::to_string(ordinal) + ": unknown key '" + key +
-          "' (launcher | workers | executable | connect_timeout_ms)");
+          "'" +
+          sim::didYouMean(
+              key, {"launcher", "workers", "executable", "connect_timeout_ms"}) +
+          " (launcher | workers | executable | connect_timeout_ms)");
     }
   }
   return entry;
@@ -64,7 +68,8 @@ FaultPolicy parsePolicyObject(const JsonValue& object) {
   FaultPolicy policy;
   for (const auto& [key, value] : object.members()) {
     if (!isPolicyKey(key)) {
-      throw std::invalid_argument("policy: unknown key '" + key + "'\n" +
+      throw std::invalid_argument("policy: unknown key '" + key + "'" +
+                                  sim::didYouMean(key, policyKeys()) + "\n" +
                                   policyHelpText());
     }
     // fail_soft reads naturally as JSON true/false; every knob also takes
@@ -96,8 +101,9 @@ HostsFleet parseHostsFleetText(const std::string& text, const std::string& origi
         } else if (key == "policy") {
           fleet.policy = parsePolicyObject(value);
         } else {
-          throw std::invalid_argument("unknown top-level key '" + key +
-                                      "' (expected \"hosts\" or \"policy\")");
+          throw std::invalid_argument("unknown top-level key '" + key + "'" +
+                                      sim::didYouMean(key, {"hosts", "policy"}) +
+                                      " (expected \"hosts\" or \"policy\")");
         }
       }
       if (list == nullptr) {

@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include "scenario/wire.hpp"
+#include "sim/interrupt.hpp"
 
 namespace pnoc::scenario::dispatch {
 namespace {
@@ -39,10 +40,17 @@ struct Slot {
   bool ackSeen = false;
   bool alive = false;
   bool launchFailed = false;    // connect-class death: never respawn
-  std::optional<std::size_t> inFlight;
+  /// Jobs streamed to this worker and not yet replied to, in wire order —
+  /// the worker executes its stdin lines sequentially, so replies MUST come
+  /// back for front() first (anything else is a protocol violation).  Up to
+  /// policy.pipeline entries deep.
+  std::deque<std::size_t> inFlight;
   std::optional<int> waitStatus;  // set when reaped at death
   Clock::time_point ackDeadline;
-  Clock::time_point jobDeadline;  // valid while inFlight, when policy has one
+  /// Deadline for the FRONT in-flight job: re-armed whenever a job becomes
+  /// the front (dealt onto an empty queue, or promoted by the reply ahead
+  /// of it) — queued-behind time never counts against a job's budget.
+  Clock::time_point jobDeadline;
   unsigned completed = 0;
   unsigned respawns = 0;
 };
@@ -97,6 +105,14 @@ class Dealer {
       if (slot.alive) sendHello(slot);
     }
     while (filledCount_ < jobs_.size()) {
+      // A SIGINT/SIGTERM (drivers install sim::installInterruptHandlers)
+      // aborts the batch as a named failure: the destructor tears the fleet
+      // down and the driver's failure path flushes its checkpoint, so the
+      // interrupted grid is resumable.
+      if (sim::interruptRequested()) {
+        fail("interrupted by signal; aborting the dispatch (completed jobs"
+             " were delivered — resume=1 re-dispatches the rest)");
+      }
       releaseDelayed();
       dealToIdle();
       pollOnce();
@@ -177,6 +193,27 @@ class Dealer {
     std::fprintf(stderr, "pnoc dispatch: %s\n", text.c_str());
   }
 
+  /// Puts every in-flight job of a dead slot back at the head of the queue
+  /// UNCHARGED, preserving their relative order (reverse push_front).
+  void refundInFlight(Slot& slot) {
+    while (!slot.inFlight.empty()) {
+      pending_.push_front(slot.inFlight.back());
+      slot.inFlight.pop_back();
+    }
+  }
+
+  /// A dead/corrupt/overdue worker loses its whole in-flight queue: the
+  /// FRONT job — the one the worker was actually executing — is charged a
+  /// retry; the queued-behind jobs were never started and go back uncharged.
+  void chargeFrontRefundRest(Slot& slot, const std::string& loudWho,
+                             const std::string& recordDetail) {
+    if (slot.inFlight.empty()) return;
+    const std::size_t front = slot.inFlight.front();
+    slot.inFlight.pop_front();
+    refundInFlight(slot);
+    jobFaulted(front, loudWho, recordDetail);
+  }
+
   /// A connect-class death (launch, handshake write, ack timeout, bad ack):
   /// the host never proved it can run jobs, so its slot is retired — no
   /// respawn — and any job it was dealt goes back UNCHARGED (the worker
@@ -185,10 +222,7 @@ class Dealer {
     killSlot(slot);
     slot.launchFailed = true;
     ++stats_.launchFailures;
-    if (slot.inFlight) {
-      pending_.push_front(*slot.inFlight);
-      slot.inFlight.reset();
-    }
+    refundInFlight(slot);
     note(what + "; continuing on the remaining workers");
   }
 
@@ -258,17 +292,14 @@ class Dealer {
 
   /// A worker whose protocol is corrupt (unparseable / wrong-index /
   /// unexpected reply) cannot be trusted with further jobs: kill it, charge
-  /// the in-flight job a retry, and let the slot respawn.
+  /// the front in-flight job a retry, and let the slot respawn.
   void protocolViolation(Slot& slot, const std::string& what) {
     const std::string who = describeSlot(slot);
     ++stats_.protocolDeaths;
     killSlot(slot);
     note(who + " " + what + " (worker killed)");
-    if (slot.inFlight) {
-      const std::size_t index = *slot.inFlight;
-      slot.inFlight.reset();
-      jobFaulted(index, who + " " + what, "worker-protocol death: " + what);
-    }
+    chargeFrontRefundRest(slot, who + " " + what,
+                          "worker-protocol death: " + what);
     maybeRespawn(slot);
   }
 
@@ -308,32 +339,45 @@ class Dealer {
     }
   }
 
-  /// Streams pending jobs to every idle live worker (initial deal, the
-  /// next-job deal after a reply, and re-deals after a death).
+  /// Streams pending jobs to every live worker with pipeline capacity
+  /// (initial deal, the next-job deal after a reply, and re-deals after a
+  /// death).  With pipeline > 1 a worker's next job line is already queued
+  /// on its stdin while the current one simulates — the round trip hides
+  /// behind the work.
   void dealToIdle() {
+    const unsigned depth = policy_.pipeline == 0 ? 1 : policy_.pipeline;
     for (Slot& slot : slots_) {
-      while (!pending_.empty() && slot.alive && !slot.inFlight) {
+      while (!pending_.empty() && slot.alive && slot.inFlight.size() < depth) {
         const std::size_t index = pending_.front();
         pending_.pop_front();
         const std::string line = wire::jobLine(index, jobs_[index]) + "\n";
         if (writeAllToWorker(slot.conn.stdinFd, line)) {
-          slot.inFlight = index;
-          if (policy_.jobDeadlineMs != 0) {
+          if (slot.inFlight.empty() && policy_.jobDeadlineMs != 0) {
             slot.jobDeadline =
                 Clock::now() + std::chrono::milliseconds(policy_.jobDeadlineMs);
           }
+          slot.inFlight.push_back(index);
+          const auto inFlightNow = static_cast<unsigned>(slot.inFlight.size());
+          if (inFlightNow > stats_.maxInFlight) stats_.maxInFlight = inFlightNow;
         } else {
-          // Died before taking the job: the job goes back untouched (nothing
-          // was lost mid-run, so no retry is charged), and the slot may
-          // respawn — dying after an ack is a worker fault, not a connect
-          // fault.
+          // Died before taking this job: it goes back untouched, and jobs
+          // already on the dead worker's queue are handled like any death —
+          // front charged, the rest refunded.  Dying after an ack is a
+          // worker fault (respawnable), not a connect fault.
           pending_.push_front(index);
           const std::string who = describeSlot(slot);
           if (!slot.ackSeen) {
             connectFailure(slot, who + " died before taking a job");
           } else {
             killSlot(slot);
-            noteTolerableDeath(who, slot, "while idle");
+            if (slot.inFlight.empty()) {
+              noteTolerableDeath(who, slot, "while idle");
+            } else {
+              note(who + " " + describeEnd(slot) + " with " +
+                   std::to_string(slot.inFlight.size()) + " job(s) in flight");
+              chargeFrontRefundRest(slot, who + " " + describeEnd(slot),
+                                    "worker death: " + describeEnd(slot));
+            }
             maybeRespawn(slot);
           }
         }
@@ -378,7 +422,7 @@ class Dealer {
       // handled after the poll — here they bound its timeout.
       if (!slot.ackSeen) {
         consider(slot.ackDeadline);
-      } else if (slot.inFlight && policy_.jobDeadlineMs != 0) {
+      } else if (!slot.inFlight.empty() && policy_.jobDeadlineMs != 0) {
         consider(slot.jobDeadline);
       }
       // Idle slots are polled too: their only possible events are the
@@ -396,6 +440,9 @@ class Dealer {
     int ready;
     do {
       ready = ::poll(fds.data(), fds.size(), timeoutMs);
+      // A graceful-signal EINTR must surface to run()'s interrupt check,
+      // not restart a possibly-long poll timeout.
+      if (ready < 0 && errno == EINTR && sim::interruptRequested()) return;
     } while (ready < 0 && errno == EINTR);
     if (ready < 0) {
       fail(std::string("poll failed: ") + std::strerror(errno));
@@ -420,15 +467,17 @@ class Dealer {
         }
         continue;
       }
-      if (slot.inFlight && policy_.jobDeadlineMs != 0 && now >= slot.jobDeadline) {
+      if (!slot.inFlight.empty() && policy_.jobDeadlineMs != 0 &&
+          now >= slot.jobDeadline) {
         const std::string who = describeSlot(slot);
-        const std::size_t index = *slot.inFlight;
+        const std::size_t index = slot.inFlight.front();
         ++stats_.deadlineKills;
         killSlot(slot);
-        slot.inFlight.reset();
         note(who + " exceeded the " + std::to_string(policy_.jobDeadlineMs) +
              " ms job deadline on job " + std::to_string(index) + " (" +
              describeEnd(slot) + ")");
+        slot.inFlight.pop_front();
+        refundInFlight(slot);
         jobFaulted(index,
                    who + " exceeded the " + std::to_string(policy_.jobDeadlineMs) +
                        " ms job deadline",
@@ -480,16 +529,25 @@ class Dealer {
                                   error.what());
       return;
     }
-    if (!slot.inFlight || reply.index != *slot.inFlight) {
+    // In-order pipeline: the reply must answer the FRONT of the worker's
+    // queue (it executes stdin lines sequentially) — anything else is
+    // corruption.
+    if (slot.inFlight.empty() || reply.index != slot.inFlight.front()) {
       protocolViolation(
           slot, "replied for job " + std::to_string(reply.index) + " while job " +
-                    (slot.inFlight ? std::to_string(*slot.inFlight)
-                                   : std::string("<none>")) +
+                    (!slot.inFlight.empty() ? std::to_string(slot.inFlight.front())
+                                            : std::string("<none>")) +
                     " was in flight");
       return;
     }
-    const std::size_t index = *slot.inFlight;
-    slot.inFlight.reset();
+    const std::size_t index = slot.inFlight.front();
+    slot.inFlight.pop_front();
+    // The next queued job is now the one the worker is executing: its
+    // deadline budget starts here.
+    if (!slot.inFlight.empty() && policy_.jobDeadlineMs != 0) {
+      slot.jobDeadline =
+          Clock::now() + std::chrono::milliseconds(policy_.jobDeadlineMs);
+    }
     ++slot.completed;
     if (!reply.ok) {
       // In-band job failure: the worker is healthy and the failure is
@@ -528,17 +586,16 @@ class Dealer {
     }
     const std::string how = describeEnd(slot) +
                             (truncated ? " with a truncated reply line" : "");
-    if (!slot.inFlight) {
+    if (slot.inFlight.empty()) {
       // Idle death loses no job; the anomaly is reported and the slot may
       // heal, it just doesn't cost the run.
       noteTolerableDeath(who, slot, "while idle");
       maybeRespawn(slot);
       return;
     }
-    const std::size_t index = *slot.inFlight;
-    slot.inFlight.reset();
-    note(who + " " + how + " while running job " + std::to_string(index));
-    jobFaulted(index, who + " " + how, "worker death: " + how);
+    note(who + " " + how + " while running job " +
+         std::to_string(slot.inFlight.front()));
+    chargeFrontRefundRest(slot, who + " " + how, "worker death: " + how);
     maybeRespawn(slot);
   }
 

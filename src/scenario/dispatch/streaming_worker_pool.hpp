@@ -61,6 +61,7 @@ class StreamingWorkerPool {
     unsigned protocolDeaths = 0;  // workers killed for corrupt replies
     unsigned launchFailures = 0;  // transports that never produced a worker
     unsigned failedJobs = 0;      // fail-soft failure outcomes recorded
+    unsigned maxInFlight = 0;     // high-water in-flight jobs on one worker
   };
 
   /// One worker per transport; the pool launches them (concurrently) inside

@@ -1,0 +1,19 @@
+// The build-version stamp every cross-process surface carries.
+//
+// The dispatch layer and the service mode both bridge process boundaries:
+// a streaming worker re-exec'd from a stale build, or a pnoc_run client
+// talking to a daemon left over from last week, speaks *almost* the same
+// protocol — close enough to get past the version integer and die mid-job
+// on a wire-format drift.  Stamping the build into the worker hello/ack and
+// the pnoc_serve banner turns that protocol death into a named rejection at
+// connect time ("worker build 'pnoc-7' != driver build 'pnoc-8'").
+//
+// Bump kBuildVersion whenever the wire format, the BENCH record layout, or
+// the service protocol changes shape.
+#pragma once
+
+namespace pnoc::scenario {
+
+inline constexpr const char* kBuildVersion = "pnoc-8";
+
+}  // namespace pnoc::scenario

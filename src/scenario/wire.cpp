@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "photonic/energy_model.hpp"
+#include "scenario/version.hpp"
 
 namespace pnoc::scenario::wire {
 namespace {
@@ -197,11 +198,13 @@ ScenarioPeak scenarioPeakFromJson(const std::string& json) {
 }
 
 std::string streamHelloLine() {
-  return "{\"pnoc_stream_hello\":" + std::to_string(kStreamProtocolVersion) + "}";
+  return "{\"pnoc_stream_hello\":" + std::to_string(kStreamProtocolVersion) +
+         ",\"build\":\"" + std::string(kBuildVersion) + "\"}";
 }
 
 std::string streamAckLine() {
-  return "{\"pnoc_stream_ack\":" + std::to_string(kStreamProtocolVersion) + "}";
+  return "{\"pnoc_stream_ack\":" + std::to_string(kStreamProtocolVersion) +
+         ",\"build\":\"" + std::string(kBuildVersion) + "\"}";
 }
 
 bool parseStreamHello(const std::string& line, int& version) {
@@ -221,9 +224,15 @@ bool parseStreamHello(const std::string& line, int& version) {
 
 void checkStreamAck(const std::string& line) {
   std::uint64_t version = 0;
+  std::string build;
+  bool buildStamped = false;
   try {
     const JsonValue value = JsonValue::parse(line);
     version = value.at("pnoc_stream_ack").asU64();
+    if (const JsonValue* stamp = value.find("build")) {
+      build = stamp->asString();
+      buildStamped = true;
+    }
   } catch (const std::invalid_argument&) {
     throw std::runtime_error(
         "worker did not acknowledge the streaming protocol (got '" + line +
@@ -233,6 +242,19 @@ void checkStreamAck(const std::string& line) {
     throw std::runtime_error("worker speaks streaming protocol version " +
                              std::to_string(version) + ", this driver speaks " +
                              std::to_string(kStreamProtocolVersion));
+  }
+  // The protocol version gates the session SHAPE; the build stamp gates the
+  // payload format.  A worker binary from a different build is rejected by
+  // name here, at the handshake, instead of corrupting a job line later.
+  if (!buildStamped) {
+    throw std::runtime_error(
+        "worker acknowledged the streaming protocol but carries no build"
+        " stamp — a worker binary from an older build; rebuild the fleet");
+  }
+  if (build != kBuildVersion) {
+    throw std::runtime_error("worker build '" + build +
+                             "' does not match driver build '" + kBuildVersion +
+                             "' — rebuild the fleet from one tree");
   }
 }
 

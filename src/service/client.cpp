@@ -1,0 +1,97 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+
+namespace pnoc::service {
+
+ServeClient::ServeClient(const std::string& socketPath) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("pnoc client: socket failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof addr.sun_path) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("pnoc client: socket path '" + socketPath +
+                             "' is too long");
+  }
+  std::strncpy(addr.sun_path, socketPath.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("pnoc client: cannot connect to '" + socketPath +
+                             "': " + std::strerror(err) +
+                             " (is pnoc_serve running?)");
+  }
+  checkServiceBanner(readLine());  // throws the named mismatch errors
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::sendLine(const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("pnoc client: send failed: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string ServeClient::readLine() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      return line;
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      throw std::runtime_error(
+          "pnoc client: the daemon closed the connection");
+    }
+    throw std::runtime_error(std::string("pnoc client: recv failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+scenario::JsonValue ServeClient::request(const std::string& line) {
+  sendLine(line);
+  scenario::JsonValue reply = scenario::JsonValue::parse(readLine());
+  if (const scenario::JsonValue* ok = reply.find("ok");
+      ok != nullptr && ok->asU64() == 0) {
+    throw std::runtime_error("pnoc_serve: " + reply.at("error").asString());
+  }
+  return reply;
+}
+
+}  // namespace pnoc::service

@@ -1,0 +1,48 @@
+// ServeClient: the thin client side of the pnoc_serve protocol.
+//
+// Connects to the daemon's Unix-domain socket, validates the service banner
+// (protocol version + build stamp — a client from tree A must not submit
+// into a daemon from tree B), and exchanges newline-delimited JSON:
+//
+//   ServeClient client(socketPath);          // connects + checks the banner
+//   JsonValue reply = client.request(line);  // one request, one reply
+//   std::string event = client.readLine();   // watch streams: event by event
+//
+// Used by pnoc_run's serve= client mode and by the service tests; the class
+// is deliberately blocking — interactivity comes from the daemon streaming
+// events, not from client-side concurrency.
+#pragma once
+
+#include <string>
+
+#include "scenario/json_util.hpp"
+
+namespace pnoc::service {
+
+class ServeClient {
+ public:
+  /// Connects and validates the banner line; throws std::runtime_error on
+  /// connect failure, std::invalid_argument on a banner mismatch.
+  explicit ServeClient(const std::string& socketPath);
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends one request line; does not wait for the reply.
+  void sendLine(const std::string& line);
+
+  /// Blocks for the next line from the daemon; throws std::runtime_error on
+  /// EOF (daemon gone) or a read error.
+  std::string readLine();
+
+  /// sendLine + readLine + parse, the one-shot request primitive.  Replies
+  /// with `"ok":0` are surfaced as std::runtime_error carrying the daemon's
+  /// error text.
+  scenario::JsonValue request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace pnoc::service

@@ -1,0 +1,185 @@
+// FleetManager: the service daemon's shared elastic worker fleet.
+//
+// The dispatch layer's StreamingWorkerPool is a BATCH engine: execute()
+// owns the calling thread until a fixed job vector completes.  A daemon
+// needs the same machinery — persistent protocol workers, handshake with
+// build-stamp validation, pipelined in-order dealing, retry/backoff,
+// deadline kills, respawns — but driven from an external poll loop over an
+// OPEN-ENDED stream of units pulled from the job queue.  This class is that
+// generalization: every fault-handling rule matches streaming_worker_pool
+// (same FaultPolicy knobs, same charge-the-front/refund-the-rest death
+// semantics), restructured as non-blocking event-loop calls.
+//
+//   FleetManager fleet(policy, callbacks);
+//   fleet.addWorker(std::move(transport));   // repeatable at runtime
+//   loop {
+//     fleet.pump(nowMs);                         // deal units to capacity
+//     poll(fleet.pollFds() + your own fds, min(fleet.nextDeadlineMs(), ...));
+//     for (ready worker fd) fleet.onReadable(fd, nowMs);
+//     fleet.onTick(nowMs);                       // deadlines, respawn backoff
+//   }
+//
+// Units enter via callbacks.nextUnit (the queue's scheduler) and leave via
+// callbacks.unitDone — ALWAYS, the fleet is fail-soft per unit: a unit that
+// exhausts its retry budget completes as a failed ScenarioOutcome, never as
+// a thrown batch abort (one poisonous job must not take a multi-tenant
+// daemon down).  Workers join with addWorker() and leave with
+// removeWorker(); a removed or dead worker's in-flight units are refunded
+// to the queue, so elasticity never drops a job.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+
+#include "scenario/dispatch/fault_policy.hpp"
+#include "scenario/dispatch/worker_transport.hpp"
+#include "scenario/execution_backend.hpp"
+#include "service/job_queue.hpp"
+
+namespace pnoc::service {
+
+/// One schedulable unit with its payload, as the queue hands it over.
+struct FleetUnit {
+  UnitRef ref;
+  scenario::ScenarioJob job;
+};
+
+class FleetManager {
+ public:
+  struct Callbacks {
+    /// Pulls the next unit to dispatch; std::nullopt when nothing pends.
+    std::function<std::optional<FleetUnit>()> nextUnit;
+    /// A unit completed — successfully or (retry budget exhausted) as a
+    /// failed outcome.  Fires on the loop thread.
+    std::function<void(const UnitRef&, scenario::ScenarioOutcome)> unitDone;
+  };
+
+  /// Cumulative fault/pipelining counters (never reset; the status
+  /// endpoint reports them verbatim).
+  struct Stats {
+    unsigned retries = 0;
+    unsigned respawns = 0;
+    unsigned deadlineKills = 0;
+    unsigned protocolDeaths = 0;
+    unsigned launchFailures = 0;
+    unsigned failedUnits = 0;
+    unsigned maxInFlight = 0;  // high-water in-flight units on one worker
+  };
+
+  struct WorkerStatus {
+    std::size_t worker = 0;
+    std::string description;
+    std::string state;  // connecting | ready | dead | removed
+    unsigned completed = 0;
+    std::size_t inFlight = 0;
+    unsigned maxInFlight = 0;
+    unsigned respawns = 0;
+  };
+
+  FleetManager(scenario::dispatch::FaultPolicy policy, Callbacks callbacks);
+  ~FleetManager();  // terminates every live worker (bounded escalation)
+
+  /// Spawns one worker through `transport` and starts its handshake; the
+  /// slot becomes ready when the ack (with a matching build stamp) arrives
+  /// within the connect budget.  Returns the slot index.
+  std::size_t addWorker(std::unique_ptr<scenario::dispatch::WorkerTransport> t,
+                        std::uint64_t nowMs);
+
+  /// Removes one worker: its in-flight units are returned to the queue
+  /// UNCHARGED and the process is terminated.  False (with *error named)
+  /// when the index is unknown or already removed.
+  bool removeWorker(std::size_t worker, std::uint64_t nowMs, std::string* error);
+
+  /// Deals queued retries and fresh units to every ready worker with
+  /// pipeline capacity.
+  void pump(std::uint64_t nowMs);
+
+  /// The worker fds to poll for readability.
+  std::vector<pollfd> pollFds() const;
+
+  /// Handles a readable worker fd (replies, handshake acks, EOF deaths).
+  void onReadable(int fd, std::uint64_t nowMs);
+
+  /// Time-based work: connect/job deadlines, backoff expiry.  Call once per
+  /// loop iteration, after the poll.
+  void onTick(std::uint64_t nowMs);
+
+  /// The soonest pending deadline (connect, front-job, retry backoff), as
+  /// an absolute nowMs-scale time; std::nullopt when nothing is armed.
+  std::optional<std::uint64_t> nextDeadlineMs() const;
+
+  /// Returns every queued-but-undealt retry AND recalls nothing in flight:
+  /// cancel support — in-flight units of a canceled job finish on their
+  /// workers and the server discards the results.
+  void dropUnitsForJob(std::uint64_t jobId);
+
+  /// True when no unit is in flight and no retry is queued.
+  bool idle() const;
+
+  std::size_t readyWorkers() const;
+  std::size_t liveWorkers() const;  // ready + connecting
+  std::vector<WorkerStatus> workerStatus() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Flight {
+    FleetUnit unit;
+    unsigned attempts = 0;   // faulted dispatches so far
+    std::size_t seq = 0;     // wire index of this dispatch
+  };
+
+  enum class SlotState { kConnecting, kReady, kDead, kRemoved };
+
+  struct Slot {
+    std::unique_ptr<scenario::dispatch::WorkerTransport> transport;
+    scenario::dispatch::WorkerConnection conn;
+    SlotState state = SlotState::kConnecting;
+    std::string buffer;
+    std::deque<Flight> inFlight;  // front is the unit the worker is executing
+    std::uint64_t connectDeadlineMs = 0;  // while connecting
+    std::uint64_t frontDeadlineMs = 0;    // job deadline for front(); 0: none
+    unsigned completed = 0;
+    unsigned maxInFlight = 0;
+    unsigned respawns = 0;
+    bool launchFailed = false;  // connect-class death: never respawn
+  };
+
+  struct DelayedFlight {
+    Flight flight;
+    std::uint64_t readyAtMs = 0;
+  };
+
+  std::uint64_t connectBudgetMs(const Slot& slot) const;
+  void startWorker(Slot& slot, std::uint64_t nowMs);
+  void killSlot(Slot& slot, SlotState endState);
+  void refundInFlight(Slot& slot);
+  void chargeFrontRefundRest(Slot& slot, const std::string& loudWho,
+                             const std::string& recordDetail,
+                             std::uint64_t nowMs);
+  void unitFaulted(Flight flight, const std::string& loudWho,
+                   const std::string& recordDetail, std::uint64_t nowMs);
+  void recordUnitFailure(const Flight& flight, const std::string& reason);
+  void connectFailure(Slot& slot, const std::string& what);
+  void maybeRespawn(Slot& slot, std::uint64_t nowMs);
+  void handleLine(Slot& slot, const std::string& line, std::uint64_t nowMs);
+  void handleDeath(Slot& slot, std::uint64_t nowMs);
+  void releaseDelayed(std::uint64_t nowMs);
+  void note(const std::string& text);
+
+  scenario::dispatch::FaultPolicy policy_;
+  Callbacks callbacks_;
+  std::vector<Slot> slots_;
+  std::deque<Flight> retryQueue_;        // refunded/retried units, dealt first
+  std::vector<DelayedFlight> delayed_;   // units waiting out a backoff
+  Stats stats_;
+  std::size_t nextSeq_ = 0;  // wire index generator (daemon-unique)
+};
+
+}  // namespace pnoc::service

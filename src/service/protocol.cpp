@@ -1,0 +1,79 @@
+#include "service/protocol.hpp"
+
+#include <stdexcept>
+
+#include "scenario/json_util.hpp"
+#include "scenario/version.hpp"
+#include "sim/suggest.hpp"
+
+namespace pnoc::service {
+
+std::string serviceBannerLine() {
+  return std::string("{\"pnoc_serve\":") + std::to_string(kServeProtocolVersion) +
+         ",\"build\":\"" + scenario::jsonEscape(scenario::kBuildVersion) + "\"}";
+}
+
+void checkServiceBanner(const std::string& line) {
+  scenario::JsonValue banner;
+  try {
+    banner = scenario::JsonValue::parse(line);
+  } catch (const std::invalid_argument&) {
+    throw std::runtime_error(
+        "expected a pnoc_serve banner, got an unparseable line: " +
+        (line.size() > 120 ? line.substr(0, 120) + "..." : line));
+  }
+  const scenario::JsonValue* version = banner.find("pnoc_serve");
+  if (version == nullptr) {
+    throw std::runtime_error("the socket did not present a pnoc_serve banner"
+                             " — is this a pnoc_serve socket?");
+  }
+  if (version->asU64() != static_cast<std::uint64_t>(kServeProtocolVersion)) {
+    throw std::runtime_error(
+        "daemon speaks service protocol version " + version->raw() +
+        ", this client speaks " + std::to_string(kServeProtocolVersion));
+  }
+  const scenario::JsonValue* build = banner.find("build");
+  if (build == nullptr) {
+    throw std::runtime_error(
+        "daemon banner carries no build stamp — a daemon from an older"
+        " build; restart it from this tree");
+  }
+  if (build->asString() != scenario::kBuildVersion) {
+    throw std::runtime_error("daemon build '" + build->asString() +
+                             "' does not match client build '" +
+                             scenario::kBuildVersion +
+                             "' — restart the daemon from this tree");
+  }
+}
+
+const std::vector<std::string>& verbNames() {
+  static const std::vector<std::string> names = {
+      "submit", "status",   "watch",     "cancel",
+      "drain",  "shutdown", "fleet-add", "fleet-remove",
+  };
+  return names;
+}
+
+std::string toString(Verb verb) {
+  return verbNames()[static_cast<std::size_t>(verb)];
+}
+
+Verb parseVerb(const std::string& name) {
+  const std::vector<std::string>& names = verbNames();
+  for (std::size_t v = 0; v < names.size(); ++v) {
+    if (name == names[v]) return static_cast<Verb>(v);
+  }
+  std::string listed;
+  for (const std::string& candidate : names) {
+    if (!listed.empty()) listed += " | ";
+    listed += candidate;
+  }
+  throw std::invalid_argument("unknown op '" + name + "'" +
+                              sim::didYouMean(name, names) + " (" + listed + ")");
+}
+
+std::string errorReplyLine(const std::string& message) {
+  return "{\"ok\":0,\"error\":\"" + scenario::jsonEscape(message) + "\"}";
+}
+
+}  // namespace pnoc::service

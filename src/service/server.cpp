@@ -1,0 +1,714 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "scenario/dispatch/checkpoint.hpp"
+#include "scenario/dispatch/hosts_file.hpp"
+#include "service/protocol.hpp"
+#include "sim/interrupt.hpp"
+
+namespace pnoc::service {
+namespace {
+
+constexpr std::uint64_t kCheckpointThrottleMs = 1000;
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::vector<std::string> splitOnSpaces(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string modeOf(scenario::ScenarioJob::Op op) {
+  return op == scenario::ScenarioJob::Op::kRun ? "run" : "peak";
+}
+
+std::string benchPathFor(const GridJob& job) {
+  return job.outDir + "/BENCH_" + job.benchName + ".json";
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(ServeOptions options) : options_(std::move(options)) {
+  if (::pipe(stopPipe_) == 0) {
+    setNonBlocking(stopPipe_[0]);
+    setNonBlocking(stopPipe_[1]);
+    ::fcntl(stopPipe_[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(stopPipe_[1], F_SETFD, FD_CLOEXEC);
+  }
+}
+
+ServeDaemon::~ServeDaemon() {
+  for (Session& session : sessions_) {
+    if (session.fd >= 0) ::close(session.fd);
+  }
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    ::unlink(options_.socketPath.c_str());
+  }
+  if (stopPipe_[0] >= 0) ::close(stopPipe_[0]);
+  if (stopPipe_[1] >= 0) ::close(stopPipe_[1]);
+}
+
+std::uint64_t ServeDaemon::nowMs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ServeDaemon::requestStop() {
+  if (stopPipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stopPipe_[1], &byte, 1);
+  }
+}
+
+void ServeDaemon::start() {
+  // Socket writes to a vanished client must surface as EPIPE, not SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (options_.socketPath.empty()) {
+    throw std::invalid_argument("pnoc_serve: socket= needs a path");
+  }
+
+  // --- listening socket ---
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listenFd_ < 0) {
+    throw std::runtime_error(std::string("pnoc_serve: socket failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socketPath.size() >= sizeof addr.sun_path) {
+    throw std::invalid_argument("pnoc_serve: socket path '" +
+                                options_.socketPath + "' is too long");
+  }
+  std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+               sizeof addr.sun_path - 1);
+  // A stale socket file from a killed daemon would fail the bind; removing
+  // it is what makes kill-and-restart (the durability story) a one-liner.
+  ::unlink(options_.socketPath.c_str());
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listenFd_, 64) != 0) {
+    throw std::runtime_error("pnoc_serve: cannot listen on '" +
+                             options_.socketPath + "': " + std::strerror(errno));
+  }
+  setNonBlocking(listenFd_);
+
+  // --- journal replay: every job accepted before the restart comes back ---
+  std::vector<JournalJob> live;
+  if (!options_.journalPath.empty()) {
+    live = journal_.open(options_.journalPath);
+  }
+  for (JournalJob& entry : live) {
+    GridJob job;
+    job.id = entry.id;
+    job.client = entry.client;
+    job.priority = entry.priority;
+    job.op = entry.mode == "peak" ? scenario::ScenarioJob::Op::kFindPeak
+                                  : scenario::ScenarioJob::Op::kRun;
+    job.benchName = entry.bench;
+    job.outDir = entry.dir;
+    for (const std::string& specJson : entry.specJson) {
+      job.grid.push_back(scenario::ScenarioSpec::fromJson(specJson));
+    }
+    const std::uint64_t id = queue_.submit(std::move(job));
+    GridJob* resumed = queue_.find(id);
+    // The job's own BENCH checkpoint carries its unit-level progress;
+    // recorded units come back VERBATIM, the rest re-dispatch.  A
+    // checkpoint that contradicts the journaled grid (or is unreadable) is
+    // reported and the whole job re-dispatches — resume must never merge
+    // records from a different grid.
+    try {
+      const scenario::dispatch::BenchCheckpoint checkpoint =
+          scenario::dispatch::loadBenchCheckpoint(
+              benchPathFor(*resumed), modeOf(resumed->op), resumed->grid);
+      for (std::size_t u = 0; u < checkpoint.rawByIndex.size(); ++u) {
+        if (!checkpoint.rawByIndex[u]) continue;
+        if (queue_.unitDone(UnitRef{id, u}, *checkpoint.rawByIndex[u], false)) {
+          finalizeJob(*resumed);
+        }
+      }
+      if (!resumed->terminal()) {
+        std::fprintf(stderr,
+                     "pnoc_serve: resumed job %llu (%zu of %zu unit(s)"
+                     " checkpointed)\n",
+                     static_cast<unsigned long long>(id),
+                     resumed->doneUnits(), resumed->unitCount());
+      }
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "pnoc_serve: job %llu: %s; re-dispatching the"
+                   " whole job\n",
+                   static_cast<unsigned long long>(id), error.what());
+    }
+  }
+
+  // --- the shared fleet ---
+  FleetManager::Callbacks callbacks;
+  callbacks.nextUnit = [this] { return nextUnit(); };
+  callbacks.unitDone = [this](const UnitRef& ref,
+                              scenario::ScenarioOutcome outcome) {
+    unitDone(ref, std::move(outcome));
+  };
+  fleet_ = std::make_unique<FleetManager>(options_.policy, std::move(callbacks));
+  const std::uint64_t now = nowMs();
+  if (!options_.hosts.empty()) {
+    for (auto& transport : scenario::dispatch::transportsFor(options_.hosts)) {
+      fleet_->addWorker(std::move(transport), now);
+    }
+  } else {
+    const unsigned shards = options_.shards == 0 ? 1 : options_.shards;
+    for (unsigned w = 0; w < shards; ++w) {
+      fleet_->addWorker(std::make_unique<scenario::dispatch::LocalProcessTransport>(
+                            options_.workerExecutable),
+                        now);
+    }
+  }
+  std::fprintf(stderr, "pnoc_serve: listening on %s (%zu worker(s), %zu job(s)"
+               " resumed)\n",
+               options_.socketPath.c_str(), fleet_->liveWorkers(), live.size());
+}
+
+int ServeDaemon::run() {
+  while (!stopping_) {
+    const std::uint64_t now = nowMs();
+    fleet_->pump(now);
+
+    std::vector<pollfd> fds;
+    // Fixed fds first: stop pipe, interrupt pipe, listener.
+    fds.push_back(pollfd{stopPipe_[0], POLLIN, 0});
+    const int interruptFd = sim::interruptFd();
+    if (interruptFd >= 0) fds.push_back(pollfd{interruptFd, POLLIN, 0});
+    fds.push_back(pollfd{listenFd_, POLLIN, 0});
+    const std::size_t sessionBase = fds.size();
+    for (const Session& session : sessions_) {
+      short events = POLLIN;
+      if (!session.outBuf.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{session.fd, events, 0});
+    }
+    const std::size_t fleetBase = fds.size();
+    const std::vector<pollfd> fleetFds = fleet_->pollFds();
+    fds.insert(fds.end(), fleetFds.begin(), fleetFds.end());
+
+    int timeoutMs = -1;
+    const auto consider = [&](std::uint64_t when) {
+      const int ms = when <= now ? 0 : static_cast<int>(when - now) + 1;
+      timeoutMs = timeoutMs < 0 ? ms : std::min(timeoutMs, ms);
+    };
+    if (const auto deadline = fleet_->nextDeadlineMs()) consider(*deadline);
+    for (const std::uint64_t jobId : dirtyJobs_) {
+      const auto it = lastCheckpointMs_.find(jobId);
+      consider(it == lastCheckpointMs_.end()
+                   ? now
+                   : it->second + kCheckpointThrottleMs);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
+    if (ready < 0 && errno != EINTR) {
+      std::fprintf(stderr, "pnoc_serve: poll failed: %s\n", std::strerror(errno));
+      exitCode_ = 1;
+      break;
+    }
+    if (sim::interruptRequested()) {
+      std::fprintf(stderr, "pnoc_serve: interrupted; flushing checkpoints and"
+                   " the journal (restart resumes every accepted job)\n");
+      flushAllState();
+      exitCode_ = 130;
+      break;
+    }
+    if (ready > 0) {
+      if ((fds[0].revents & POLLIN) != 0) {
+        flushAllState();
+        exitCode_ = 0;
+        break;
+      }
+      if ((fds[sessionBase - 1].revents & POLLIN) != 0) acceptSessions();
+      for (std::size_t s = 0; s < sessions_.size(); ++s) {
+        const pollfd& fd = fds[sessionBase + s];
+        if ((fd.revents & POLLOUT) != 0) flushSession(sessions_[s]);
+        if ((fd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          serviceSession(sessions_[s]);
+        }
+      }
+      const std::uint64_t after = nowMs();
+      for (std::size_t f = fleetBase; f < fds.size(); ++f) {
+        if (fds[f].revents != 0) fleet_->onReadable(fds[f].fd, after);
+      }
+    }
+    fleet_->onTick(nowMs());
+
+    // Throttled checkpoint writes that came due.
+    const std::uint64_t flushNow = nowMs();
+    std::vector<std::uint64_t> stillDirty;
+    for (const std::uint64_t jobId : dirtyJobs_) {
+      GridJob* job = queue_.find(jobId);
+      if (job == nullptr) continue;
+      const auto it = lastCheckpointMs_.find(jobId);
+      if (it == lastCheckpointMs_.end() ||
+          flushNow - it->second >= kCheckpointThrottleMs) {
+        flushJobCheckpoint(*job, true);
+      } else {
+        stillDirty.push_back(jobId);
+      }
+    }
+    dirtyJobs_ = std::move(stillDirty);
+
+    maybeAnswerDrains();
+    sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                   [](const Session& s) { return s.fd < 0; }),
+                    sessions_.end());
+  }
+  // Give pending replies (the shutdown ack, terminal watch events) one last
+  // nonblocking push before the sockets close.
+  for (Session& session : sessions_) {
+    if (session.fd >= 0) flushSession(session);
+  }
+  return exitCode_;
+}
+
+void ServeDaemon::acceptSessions() {
+  while (true) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing more to accept
+    setNonBlocking(fd);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    Session session;
+    session.fd = fd;
+    sessions_.push_back(std::move(session));
+    send(sessions_.back(), serviceBannerLine());
+  }
+}
+
+void ServeDaemon::closeSession(Session& session) {
+  if (session.fd >= 0) ::close(session.fd);
+  session.fd = -1;
+  session.watchJob = 0;
+  session.awaitingDrain = false;
+}
+
+void ServeDaemon::send(Session& session, const std::string& line) {
+  if (session.fd < 0) return;
+  session.outBuf += line;
+  session.outBuf += '\n';
+  flushSession(session);
+}
+
+void ServeDaemon::flushSession(Session& session) {
+  while (session.fd >= 0 && !session.outBuf.empty()) {
+    const ssize_t n = ::send(session.fd, session.outBuf.data(),
+                             session.outBuf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      session.outBuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    closeSession(session);  // EPIPE/ECONNRESET: the client is gone
+    return;
+  }
+  if (session.fd >= 0 && session.outBuf.empty() && session.closeAfterFlush) {
+    closeSession(session);
+  }
+}
+
+void ServeDaemon::serviceSession(Session& session) {
+  char buffer[65536];
+  while (session.fd >= 0) {
+    const ssize_t n = ::recv(session.fd, buffer, sizeof buffer, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      closeSession(session);
+      return;
+    }
+    if (n == 0) {
+      closeSession(session);
+      return;
+    }
+    session.inBuf.append(buffer, static_cast<std::size_t>(n));
+    if (static_cast<std::size_t>(n) < sizeof buffer) break;
+  }
+  std::size_t newline;
+  while (session.fd >= 0 &&
+         (newline = session.inBuf.find('\n')) != std::string::npos) {
+    std::string line = session.inBuf.substr(0, newline);
+    session.inBuf.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) handleRequest(session, line);
+  }
+}
+
+void ServeDaemon::handleRequest(Session& session, const std::string& line) {
+  scenario::JsonValue request;
+  Verb verb;
+  try {
+    request = scenario::JsonValue::parse(line);
+    verb = parseVerb(request.at("op").asString());
+  } catch (const std::exception& error) {
+    send(session, errorReplyLine(error.what()));
+    return;
+  }
+  try {
+    switch (verb) {
+      case Verb::kSubmit: handleSubmit(session, request); break;
+      case Verb::kStatus: handleStatus(session); break;
+      case Verb::kWatch: handleWatch(session, request); break;
+      case Verb::kCancel: handleCancel(session, request); break;
+      case Verb::kDrain:
+        draining_ = true;
+        session.awaitingDrain = true;
+        maybeAnswerDrains();
+        break;
+      case Verb::kShutdown:
+        send(session, "{\"ok\":1,\"shutdown\":1}");
+        flushAllState();
+        stopping_ = true;
+        exitCode_ = 0;
+        break;
+      case Verb::kFleetAdd: handleFleetAdd(session, request); break;
+      case Verb::kFleetRemove: handleFleetRemove(session, request); break;
+    }
+  } catch (const std::exception& error) {
+    send(session, errorReplyLine(error.what()));
+  }
+}
+
+void ServeDaemon::handleSubmit(Session& session,
+                               const scenario::JsonValue& request) {
+  if (draining_) {
+    send(session, errorReplyLine("daemon is draining; not accepting submits"));
+    return;
+  }
+  GridJob job;
+  if (const scenario::JsonValue* client = request.find("client")) {
+    job.client = client->asString();
+  }
+  if (const scenario::JsonValue* priority = request.find("priority")) {
+    job.priority = priority->asU64();
+  }
+  std::string mode = "run";
+  if (const scenario::JsonValue* m = request.find("mode")) mode = m->asString();
+  if (mode != "run" && mode != "peak") {
+    send(session, errorReplyLine("mode must be run or peak, not '" + mode + "'"));
+    return;
+  }
+  job.op = mode == "peak" ? scenario::ScenarioJob::Op::kFindPeak
+                          : scenario::ScenarioJob::Op::kRun;
+  job.benchName = "pnoc_run";
+  if (const scenario::JsonValue* bench = request.find("bench")) {
+    job.benchName = bench->asString();
+  }
+  job.outDir = ".";
+  if (const scenario::JsonValue* dir = request.find("dir")) {
+    job.outDir = dir->asString();
+  }
+  const scenario::JsonValue* specs = request.find("specs");
+  if (specs == nullptr || specs->items().empty()) {
+    send(session, errorReplyLine("submit needs a non-empty \"specs\" array"));
+    return;
+  }
+  try {
+    for (const scenario::JsonValue& item : specs->items()) {
+      scenario::ScenarioSpec spec;
+      spec.applyJsonObject(item);
+      job.grid.push_back(std::move(spec));
+    }
+  } catch (const std::invalid_argument& error) {
+    send(session, errorReplyLine(std::string("bad spec: ") + error.what()));
+    return;
+  }
+  // Two live jobs writing one BENCH path would interleave checkpoints into
+  // a file neither owns; reject the second up front.
+  for (const auto& [id, existing] : queue_.jobs()) {
+    if (!existing.terminal() && existing.outDir == job.outDir &&
+        existing.benchName == job.benchName) {
+      send(session,
+           errorReplyLine("job " + std::to_string(id) + " is already writing " +
+                          benchPathFor(existing) +
+                          "; pick another bench= or dir="));
+      return;
+    }
+  }
+  JournalJob entry;
+  for (const scenario::ScenarioSpec& spec : job.grid) {
+    entry.specJson.push_back(spec.toJson());
+  }
+  const std::size_t units = job.grid.size();
+  const std::uint64_t id = queue_.submit(std::move(job));
+  const GridJob* accepted = queue_.find(id);
+  entry.id = id;
+  entry.client = accepted->client;
+  entry.priority = accepted->priority;
+  entry.mode = mode;
+  entry.bench = accepted->benchName;
+  entry.dir = accepted->outDir;
+  // Journal BEFORE the ack: an acknowledged submit must survive any crash.
+  journal_.appendSubmit(entry);
+  send(session, "{\"ok\":1,\"job\":" + std::to_string(id) +
+                    ",\"units\":" + std::to_string(units) + "}");
+}
+
+void ServeDaemon::handleStatus(Session& session) { send(session, statusJson()); }
+
+void ServeDaemon::handleWatch(Session& session,
+                              const scenario::JsonValue& request) {
+  const std::uint64_t id = request.at("job").asU64();
+  const GridJob* job = queue_.find(id);
+  if (job == nullptr) {
+    send(session, errorReplyLine("no job " + std::to_string(id)));
+    return;
+  }
+  send(session, "{\"ok\":1,\"event\":\"watch\",\"job\":" + std::to_string(id) +
+                    ",\"units\":" + std::to_string(job->unitCount()) +
+                    ",\"done\":" + std::to_string(job->doneUnits()) + "}");
+  if (job->terminal()) {
+    send(session, jobEventLine(*job, true));
+    return;
+  }
+  session.watchJob = id;
+}
+
+void ServeDaemon::handleCancel(Session& session,
+                               const scenario::JsonValue& request) {
+  const std::uint64_t id = request.at("job").asU64();
+  if (!queue_.cancel(id)) {
+    send(session, errorReplyLine("no live job " + std::to_string(id)));
+    return;
+  }
+  GridJob* job = queue_.find(id);
+  fleet_->dropUnitsForJob(id);
+  // Completed units stay on disk (the checkpoint keeps its records); the
+  // journal's terminal event is the cancel itself.
+  flushJobCheckpoint(*job, true);
+  journal_.appendCancel(id);
+  notifyWatchers(*job, true);
+  send(session, "{\"ok\":1,\"job\":" + std::to_string(id) + ",\"canceled\":1}");
+}
+
+void ServeDaemon::handleFleetAdd(Session& session,
+                                 const scenario::JsonValue& request) {
+  std::uint64_t workers = 1;
+  if (const scenario::JsonValue* w = request.find("workers")) {
+    workers = w->asU64();
+  }
+  if (workers == 0 || workers > 1024) {
+    send(session, errorReplyLine("workers must be between 1 and 1024"));
+    return;
+  }
+  std::vector<std::string> launcher;
+  if (const scenario::JsonValue* l = request.find("launcher")) {
+    launcher = splitOnSpaces(l->asString());
+  }
+  std::string executable = options_.workerExecutable;
+  if (const scenario::JsonValue* e = request.find("executable")) {
+    executable = e->asString();
+  }
+  const std::uint64_t now = nowMs();
+  for (std::uint64_t w = 0; w < workers; ++w) {
+    if (launcher.empty()) {
+      fleet_->addWorker(
+          std::make_unique<scenario::dispatch::LocalProcessTransport>(executable),
+          now);
+    } else {
+      fleet_->addWorker(std::make_unique<scenario::dispatch::CommandTransport>(
+                            launcher, executable),
+                        now);
+    }
+  }
+  send(session, "{\"ok\":1,\"added\":" + std::to_string(workers) +
+                    ",\"workers\":" + std::to_string(fleet_->liveWorkers()) +
+                    "}");
+}
+
+void ServeDaemon::handleFleetRemove(Session& session,
+                                    const scenario::JsonValue& request) {
+  const std::uint64_t worker = request.at("worker").asU64();
+  std::string error;
+  if (!fleet_->removeWorker(static_cast<std::size_t>(worker), nowMs(), &error)) {
+    send(session, errorReplyLine(error));
+    return;
+  }
+  send(session, "{\"ok\":1,\"worker\":" + std::to_string(worker) +
+                    ",\"workers\":" + std::to_string(fleet_->liveWorkers()) +
+                    "}");
+}
+
+std::optional<FleetUnit> ServeDaemon::nextUnit() {
+  const std::optional<UnitRef> ref = queue_.nextUnit();
+  if (!ref) return std::nullopt;
+  const GridJob* job = queue_.find(ref->job);
+  FleetUnit unit;
+  unit.ref = *ref;
+  unit.job = scenario::ScenarioJob{job->op, job->grid[ref->unit]};
+  return unit;
+}
+
+void ServeDaemon::unitDone(const UnitRef& ref, scenario::ScenarioOutcome outcome) {
+  GridJob* job = queue_.find(ref.job);
+  if (job == nullptr) return;
+  // grid_index tags the unit's index within ITS job's grid, so the BENCH
+  // file is indistinguishable from the one pnoc_run writes for that grid.
+  const std::string record =
+      scenario::dispatch::serializedOutcomeRecord(outcome, ref.unit);
+  const bool terminal = queue_.unitDone(ref, record, outcome.failed);
+  if (job->state == JobState::kCanceled) return;  // late result, discarded
+  if (terminal) {
+    finalizeJob(*job);
+    return;
+  }
+  if (std::find(dirtyJobs_.begin(), dirtyJobs_.end(), ref.job) ==
+      dirtyJobs_.end()) {
+    dirtyJobs_.push_back(ref.job);
+  }
+  const auto it = lastCheckpointMs_.find(ref.job);
+  if (it == lastCheckpointMs_.end() ||
+      nowMs() - it->second >= kCheckpointThrottleMs) {
+    flushJobCheckpoint(*job, true);
+    dirtyJobs_.erase(std::remove(dirtyJobs_.begin(), dirtyJobs_.end(), ref.job),
+                     dirtyJobs_.end());
+  }
+  notifyWatchers(*job, false);
+}
+
+void ServeDaemon::flushJobCheckpoint(GridJob& job, bool force) {
+  (void)force;
+  std::vector<std::string> records;
+  for (const std::string& record : job.records) {
+    if (!record.empty()) records.push_back(record);
+  }
+  if (records.empty()) return;
+  const std::string written =
+      scenario::dispatch::writeBenchFile(job.outDir, job.benchName, records);
+  if (!written.empty()) job.benchPath = written;
+  lastCheckpointMs_[job.id] = nowMs();
+}
+
+void ServeDaemon::finalizeJob(GridJob& job) {
+  flushJobCheckpoint(job, true);
+  dirtyJobs_.erase(std::remove(dirtyJobs_.begin(), dirtyJobs_.end(), job.id),
+                   dirtyJobs_.end());
+  journal_.appendDone(job.id);
+  std::fprintf(stderr, "pnoc_serve: job %llu %s (%zu unit(s), %zu failed) ->"
+               " %s\n",
+               static_cast<unsigned long long>(job.id),
+               toString(job.state).c_str(), job.unitCount(), job.failedUnits(),
+               job.benchPath.c_str());
+  notifyWatchers(job, true);
+}
+
+std::string ServeDaemon::jobEventLine(const GridJob& job, bool terminal) const {
+  std::string line = "{\"ok\":1,\"event\":\"";
+  line += terminal ? "job" : "unit";
+  line += "\",\"job\":" + std::to_string(job.id);
+  if (terminal) {
+    line += ",\"state\":\"" + toString(job.state) + "\"";
+    line += ",\"file\":\"" + scenario::jsonEscape(job.benchPath) + "\"";
+  }
+  line += ",\"done\":" + std::to_string(job.doneUnits());
+  line += ",\"failed\":" + std::to_string(job.failedUnits());
+  line += ",\"units\":" + std::to_string(job.unitCount());
+  line += "}";
+  return line;
+}
+
+void ServeDaemon::notifyWatchers(const GridJob& job, bool terminal) {
+  const std::string line = jobEventLine(job, terminal);
+  for (Session& session : sessions_) {
+    if (session.fd < 0 || session.watchJob != job.id) continue;
+    send(session, line);
+    if (terminal) session.watchJob = 0;
+  }
+}
+
+void ServeDaemon::maybeAnswerDrains() {
+  if (!draining_ || !queue_.drained() || !fleet_->idle()) return;
+  for (Session& session : sessions_) {
+    if (session.fd >= 0 && session.awaitingDrain) {
+      send(session, "{\"ok\":1,\"drained\":1}");
+      session.awaitingDrain = false;
+    }
+  }
+}
+
+std::string ServeDaemon::statusJson() const {
+  // The status endpoint: queue depth, per-job progress, per-worker
+  // utilization (in_flight / max_in_flight prove pipelining), fault
+  // counters.  One line, parseable by anything that reads JSON.
+  std::string out = serviceBannerLine();
+  out.pop_back();  // reopen the banner object: status extends it
+  out += ",\"draining\":" + std::to_string(draining_ ? 1 : 0);
+  out += ",\"queue_depth\":" + std::to_string(queue_.pendingUnits());
+  out += ",\"dispatched\":" + std::to_string(queue_.dispatchedUnits());
+  out += ",\"jobs\":[";
+  bool first = true;
+  for (const auto& [id, job] : queue_.jobs()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"job\":" + std::to_string(id);
+    out += ",\"client\":\"" + scenario::jsonEscape(job.client) + "\"";
+    out += ",\"priority\":" + std::to_string(job.priority);
+    out += ",\"state\":\"" + toString(job.state) + "\"";
+    out += ",\"bench\":\"" + scenario::jsonEscape(job.benchName) + "\"";
+    out += ",\"units\":" + std::to_string(job.unitCount());
+    out += ",\"done\":" + std::to_string(job.doneUnits());
+    out += ",\"failed\":" + std::to_string(job.failedUnits());
+    out += "}";
+  }
+  out += "],\"workers\":[";
+  first = true;
+  for (const FleetManager::WorkerStatus& worker : fleet_->workerStatus()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"worker\":" + std::to_string(worker.worker);
+    out += ",\"description\":\"" + scenario::jsonEscape(worker.description) + "\"";
+    out += ",\"state\":\"" + worker.state + "\"";
+    out += ",\"completed\":" + std::to_string(worker.completed);
+    out += ",\"in_flight\":" + std::to_string(worker.inFlight);
+    out += ",\"max_in_flight\":" + std::to_string(worker.maxInFlight);
+    out += ",\"respawns\":" + std::to_string(worker.respawns);
+    out += "}";
+  }
+  const FleetManager::Stats& stats = fleet_->stats();
+  out += "],\"stats\":{";
+  out += "\"retries\":" + std::to_string(stats.retries);
+  out += ",\"respawns\":" + std::to_string(stats.respawns);
+  out += ",\"deadline_kills\":" + std::to_string(stats.deadlineKills);
+  out += ",\"protocol_deaths\":" + std::to_string(stats.protocolDeaths);
+  out += ",\"launch_failures\":" + std::to_string(stats.launchFailures);
+  out += ",\"failed_units\":" + std::to_string(stats.failedUnits);
+  out += ",\"max_in_flight\":" + std::to_string(stats.maxInFlight);
+  out += "}}";
+  return out;
+}
+
+void ServeDaemon::flushAllState() {
+  // The graceful-exit flush: every live job's checkpoint hits disk so a
+  // restart re-dispatches only what is genuinely missing.  The journal
+  // needs no flush — every append was fsync'd when it happened.
+  for (auto& [id, job] : queue_.jobs()) {
+    GridJob* mutableJob = queue_.find(id);
+    if (!mutableJob->terminal()) flushJobCheckpoint(*mutableJob, true);
+  }
+  dirtyJobs_.clear();
+}
+
+}  // namespace pnoc::service

@@ -1,0 +1,136 @@
+// ServeDaemon: the pnoc_serve service — a persistent scheduler daemon on a
+// Unix-domain socket, serving many concurrent clients from one shared
+// elastic worker fleet.
+//
+// One single-threaded poll loop owns everything: the listening socket,
+// every client session, every worker pipe, the interrupt self-pipe and the
+// stop pipe.  No locks, no cross-thread state — determinism and crash
+// safety come from the loop's strict event ordering plus two durable
+// artifacts:
+//
+//   * the queue journal (service/journal): every ACCEPTED submit is fsync'd
+//     before it is acknowledged, so a daemon restart reconstructs every
+//     accepted job exactly;
+//   * per-job BENCH checkpoint files (dispatch/checkpoint): unit results
+//     are flushed as they complete (throttled ~1/s per job), so a restart
+//     re-dispatches only the units genuinely missing and re-emits the rest
+//     VERBATIM — the final file is byte-identical to a one-shot pnoc_run
+//     of the same grid (timing record aside).
+//
+// Request verbs (service/protocol.hpp; one JSON line each):
+//
+//   {"op":"submit","client":"a","priority":2,"mode":"run","bench":"x",
+//    "dir":"out","specs":[{...},...]}         -> {"ok":1,"job":N,"units":M}
+//   {"op":"status"}                           -> one status document
+//   {"op":"watch","job":N}                    -> event stream until terminal
+//   {"op":"cancel","job":N}                   -> {"ok":1,"job":N}
+//   {"op":"drain"}                            -> {"ok":1,"drained":1} when empty
+//   {"op":"shutdown"}                         -> {"ok":1} then the loop exits
+//   {"op":"fleet-add","workers":K,...}        -> {"ok":1,"workers":<live>}
+//   {"op":"fleet-remove","worker":S}          -> {"ok":1,"worker":S}
+//
+// SIGINT/SIGTERM (sim/interrupt) and requestStop() drain the same way
+// shutdown does: checkpoints and the journal are flushed before exit, so
+// an interrupted daemon resumes every accepted job on restart.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/execution_backend.hpp"
+#include "scenario/json_util.hpp"
+#include "service/fleet.hpp"
+#include "service/job_queue.hpp"
+#include "service/journal.hpp"
+
+namespace pnoc::service {
+
+struct ServeOptions {
+  std::string socketPath;
+  /// NDJSON queue journal; "" runs without durability (tests only).
+  std::string journalPath;
+  /// Local worker count when `hosts` is empty (0: one worker).
+  unsigned shards = 0;
+  /// Worker binary for local shards ("" = this executable).
+  std::string workerExecutable;
+  /// Hosts-file fleet (hosts= / fleet snippet); overrides `shards`.
+  std::vector<scenario::dispatch::HostEntry> hosts;
+  scenario::dispatch::FaultPolicy policy;
+};
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(ServeOptions options);
+  ~ServeDaemon();
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Binds the socket, opens + replays the journal (resuming every live
+  /// job through its BENCH checkpoint), and launches the fleet.  Throws
+  /// std::runtime_error / std::invalid_argument on failure.
+  void start();
+
+  /// The poll loop; returns the process exit code (0: shutdown verb or
+  /// requestStop(), 130: interrupted by signal).  start() first.
+  int run();
+
+  /// Stops the loop from another thread (in-process tests): flushes like a
+  /// shutdown verb.  Safe to call at any time after construction.
+  void requestStop();
+
+  const std::string& socketPath() const { return options_.socketPath; }
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::string inBuf;
+    std::string outBuf;
+    std::uint64_t watchJob = 0;  // 0: not watching
+    bool awaitingDrain = false;
+    bool closeAfterFlush = false;
+  };
+
+  std::uint64_t nowMs() const;
+  void acceptSessions();
+  void serviceSession(Session& session);
+  void handleRequest(Session& session, const std::string& line);
+  void send(Session& session, const std::string& line);
+  void flushSession(Session& session);
+  void closeSession(Session& session);
+
+  void handleSubmit(Session& session, const scenario::JsonValue& request);
+  void handleStatus(Session& session);
+  void handleWatch(Session& session, const scenario::JsonValue& request);
+  void handleCancel(Session& session, const scenario::JsonValue& request);
+  void handleFleetAdd(Session& session, const scenario::JsonValue& request);
+  void handleFleetRemove(Session& session, const scenario::JsonValue& request);
+
+  std::optional<FleetUnit> nextUnit();
+  void unitDone(const UnitRef& ref, scenario::ScenarioOutcome outcome);
+  void flushJobCheckpoint(GridJob& job, bool force);
+  void finalizeJob(GridJob& job);
+  void notifyWatchers(const GridJob& job, bool terminal);
+  void maybeAnswerDrains();
+  std::string statusJson() const;
+  std::string jobEventLine(const GridJob& job, bool terminal) const;
+  void flushAllState();
+
+  ServeOptions options_;
+  JobQueue queue_;
+  QueueJournal journal_;
+  std::unique_ptr<FleetManager> fleet_;
+  std::vector<Session> sessions_;
+  std::map<std::uint64_t, std::uint64_t> lastCheckpointMs_;  // job -> last flush
+  std::vector<std::uint64_t> dirtyJobs_;  // throttled checkpoint writes pending
+  int listenFd_ = -1;
+  int stopPipe_[2] = {-1, -1};
+  bool draining_ = false;
+  bool stopping_ = false;
+  int exitCode_ = 0;
+};
+
+}  // namespace pnoc::service

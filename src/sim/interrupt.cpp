@@ -1,0 +1,78 @@
+#include "sim/interrupt.hpp"
+
+#include <atomic>
+#include <csignal>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace pnoc::sim {
+namespace {
+
+std::atomic<bool> interrupted{false};
+int pipeReadFd = -1;
+int pipeWriteFd = -1;
+
+extern "C" void onInterrupt(int signum) {
+  interrupted.store(true, std::memory_order_relaxed);
+  if (pipeWriteFd >= 0) {
+    const char byte = 1;
+    // Best effort: a full pipe already woke the loop.
+    [[maybe_unused]] const ssize_t n = ::write(pipeWriteFd, &byte, 1);
+  }
+  // One graceful chance per signal: restore the default disposition so a
+  // second Ctrl-C kills a wedged flush instead of being swallowed.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void installInterruptHandlers() {
+  static const bool installed = [] {
+    int fds[2];
+    if (::pipe(fds) == 0) {
+      ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+      ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+      // The write side must never block inside a signal handler.
+      ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+      pipeReadFd = fds[0];
+      pipeWriteFd = fds[1];
+    }
+    struct sigaction action = {};
+    action.sa_handler = onInterrupt;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: blocking polls must EINTR out
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+bool interruptRequested() {
+  return interrupted.load(std::memory_order_relaxed);
+}
+
+int interruptFd() { return pipeReadFd; }
+
+void clearInterruptForTest() {
+  interrupted.store(false, std::memory_order_relaxed);
+  if (pipeReadFd >= 0) {
+    char drain[16];
+    const int flags = ::fcntl(pipeReadFd, F_GETFL);
+    ::fcntl(pipeReadFd, F_SETFL, flags | O_NONBLOCK);
+    while (::read(pipeReadFd, drain, sizeof drain) > 0) {
+    }
+    ::fcntl(pipeReadFd, F_SETFL, flags);
+  }
+}
+
+void raiseInterruptForTest() {
+  interrupted.store(true, std::memory_order_relaxed);
+  if (pipeWriteFd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(pipeWriteFd, &byte, 1);
+  }
+}
+
+}  // namespace pnoc::sim

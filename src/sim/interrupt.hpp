@@ -1,0 +1,42 @@
+// Graceful SIGINT/SIGTERM plumbing for the long-running drivers.
+//
+// pnoc_run mid-grid and pnoc_serve mid-queue both hold state worth flushing
+// (the BENCH checkpoint, the queue journal) when the operator hits Ctrl-C
+// or systemd sends SIGTERM.  This module turns those signals into two
+// async-signal-safe observables the event loops already know how to consume:
+//
+//   * a flag     — interruptRequested(), polled between dispatch steps; the
+//                  streaming dispatcher aborts its batch with a named
+//                  exception so the driver's failure path flushes the
+//                  checkpoint exactly as it would for any other fault;
+//   * a pipe fd  — interruptFd() becomes readable on the first signal, so a
+//                  poll()-based loop (the pnoc_serve daemon) wakes at once
+//                  instead of at its next timeout.
+//
+// Handlers are installed WITHOUT SA_RESTART, so a signal also breaks any
+// blocking poll/read with EINTR — the loops re-check the flag there.  A
+// second signal while the graceful path runs falls through to the default
+// disposition (the handler resets itself), so a wedged flush can still be
+// killed the ordinary way.
+#pragma once
+
+namespace pnoc::sim {
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent, first call wins).
+void installInterruptHandlers();
+
+/// True once a handled signal arrived.
+bool interruptRequested();
+
+/// Read end of the self-pipe; readable once a signal arrived (never drained
+/// by this module).  -1 before installInterruptHandlers().
+int interruptFd();
+
+/// Test hook: clears the flag and drains the pipe so suites stay isolated.
+void clearInterruptForTest();
+
+/// Test hook: sets the flag exactly as the handler would (signal-free
+/// deterministic coverage of the abort paths).
+void raiseInterruptForTest();
+
+}  // namespace pnoc::sim

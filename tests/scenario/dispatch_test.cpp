@@ -189,6 +189,27 @@ TEST(HostsFile, RejectsTyposAndNonsense) {
   }
 }
 
+TEST(HostsFile, TyposGetSuggestions) {
+  // Entry keys, policy keys, and top-level keys each suggest their nearest
+  // neighbor — a hosts-file typo names its fix.
+  const auto messageOf = [](const std::string& text) -> std::string {
+    try {
+      dispatch::parseHostsFleetText(text, "<test>");
+    } catch (const std::invalid_argument& error) {
+      return error.what();
+    }
+    return "";
+  };
+  EXPECT_NE(messageOf(R"([{"wrokers": 2}])").find("did you mean 'workers'?"),
+            std::string::npos);
+  EXPECT_NE(messageOf(R"({"hosts": [{"workers": 1}], "policy": {"retrys": 2}})")
+                .find("did you mean 'retries'?"),
+            std::string::npos);
+  EXPECT_NE(messageOf(R"({"host": [{"workers": 1}]})")
+                .find("did you mean 'hosts'?"),
+            std::string::npos);
+}
+
 // --- backend selection ---
 
 TEST(StreamingBackend, FactoryNameAndCapabilities) {
@@ -543,10 +564,13 @@ TEST(Checkpoint, MismatchedGridFailsLoudly) {
   EXPECT_THROW(dispatch::parseBenchCheckpoint(duplicate, "run", grid, "<test>"),
                std::invalid_argument);
 
-  EXPECT_THROW(
-      dispatch::parseBenchCheckpoint("{\"bench\":\"x\",\"records\":[", "run", grid,
-                                     "<test>"),
-      std::invalid_argument);  // truncated by a kill mid-write
+  // Truncated by a kill mid-write: the one damage shape a crash legitimately
+  // produces.  Tolerated as valid-but-missing (every intact record line is
+  // still harvested; here there are none), NOT rejected — a daemon restart
+  // must resume through such a file.
+  const auto truncated = dispatch::parseBenchCheckpoint(
+      "{\"bench\":\"x\",\"records\":[", "run", grid, "<test>");
+  EXPECT_EQ(truncated.presentCount(), 0u);
 }
 
 TEST(Checkpoint, MissingFileIsAnEmptyCheckpoint) {

@@ -1,0 +1,114 @@
+// Pipelined dealing (policy.pipeline > 1) and graceful-interrupt coverage
+// for the batch streaming pool: pipelining must change wall-clock behavior
+// only — results stay byte-identical and in input order — and a pending
+// SIGINT/SIGTERM must abort the dispatch with a named exception so the
+// driver's failure path flushes its checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/dispatch/streaming_worker_pool.hpp"
+#include "scenario/execution_backend.hpp"
+#include "scenario/wire.hpp"
+#include "sim/interrupt.hpp"
+
+namespace pnoc::scenario {
+namespace {
+
+/// Scoped env override (restored on destruction).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    hadOld_ = old != nullptr;
+    if (hadOld_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (hadOld_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool hadOld_ = false;
+  std::string old_;
+};
+
+std::vector<ScenarioJob> quickJobs(std::size_t count) {
+  std::vector<ScenarioJob> jobs;
+  for (std::size_t j = 0; j < count; ++j) {
+    ScenarioSpec spec;
+    spec.set("pattern", j % 2 == 0 ? "uniform" : "skewed3");
+    spec.set("arch", "firefly");
+    spec.params.offeredLoad = 0.001 + 0.0005 * static_cast<double>(j % 3);
+    spec.params.seed = 60 + j;
+    spec.params.warmupCycles = 100;
+    spec.params.measureCycles = 400;
+    jobs.push_back({ScenarioJob::Op::kRun, spec});
+  }
+  return jobs;
+}
+
+std::vector<std::unique_ptr<dispatch::WorkerTransport>> localWorkers(
+    std::size_t count) {
+  std::vector<std::unique_ptr<dispatch::WorkerTransport>> transports;
+  for (std::size_t w = 0; w < count; ++w) {
+    transports.push_back(std::make_unique<dispatch::LocalProcessTransport>());
+  }
+  return transports;
+}
+
+TEST(StreamingPipeline, DepthTwoIsByteIdenticalAndReachesTheDepth) {
+  const std::vector<ScenarioJob> jobs = quickJobs(5);
+  std::vector<ScenarioOutcome> expected;
+  for (const ScenarioJob& job : jobs) expected.push_back(executeJob(job));
+
+  // Slow every reply so the dealer demonstrably queues a second line while
+  // the first job simulates.
+  ScopedEnv fault("PNOC_TEST_FAULT", "slow@*:ms=30");
+  dispatch::FaultPolicy policy;
+  policy.pipeline = 2;
+  dispatch::StreamingWorkerPool pool(localWorkers(1), policy);
+  const std::vector<ScenarioOutcome> actual = pool.execute(jobs);
+
+  EXPECT_GE(pool.stats().maxInFlight, 2u);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t j = 0; j < expected.size(); ++j) {
+    EXPECT_EQ(actual[j].spec.toJson(), expected[j].spec.toJson()) << "job " << j;
+    EXPECT_EQ(wire::toJson(actual[j].metrics), wire::toJson(expected[j].metrics))
+        << "job " << j;
+  }
+}
+
+TEST(StreamingInterrupt, PendingInterruptAbortsTheDispatchByName) {
+  sim::installInterruptHandlers();
+  sim::raiseInterruptForTest();
+  dispatch::StreamingWorkerPool pool(localWorkers(1));
+  try {
+    pool.execute(quickJobs(2));
+    sim::clearInterruptForTest();
+    FAIL() << "a pending interrupt must abort the dispatch";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("interrupt"), std::string::npos);
+  }
+  sim::clearInterruptForTest();
+  EXPECT_FALSE(sim::interruptRequested());
+
+  // Cleared: the same pool shape dispatches normally again.
+  dispatch::StreamingWorkerPool again(localWorkers(1));
+  EXPECT_EQ(again.execute(quickJobs(1)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pnoc::scenario

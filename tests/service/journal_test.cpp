@@ -1,0 +1,145 @@
+// Queue-journal tests: event-line round-trips, replay (terminal events
+// retire their submits), trailing-corruption tolerance (only the LAST line
+// may be a crash artifact), and open()'s atomic compaction.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/scenario_spec.hpp"
+#include "service/journal.hpp"
+
+namespace pnoc::service {
+namespace {
+
+std::string readAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+JournalJob sampleJob(std::uint64_t id, const std::string& client) {
+  scenario::ScenarioSpec spec;
+  spec.set("pattern", "skewed3");
+  spec.params.offeredLoad = 0.004;
+  JournalJob job;
+  job.id = id;
+  job.client = client;
+  job.priority = 3;
+  job.mode = "run";
+  job.bench = "nightly";
+  job.dir = "out";
+  job.specJson.push_back(spec.toJson());
+  return job;
+}
+
+class TempPath {
+ public:
+  TempPath() {
+    static int counter = 0;
+    path_ = ::testing::TempDir() + "pnoc_journal_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter++) + ".ndjson";
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ServiceJournal, SubmitLineRoundTripsByteExactSpecs) {
+  const JournalJob job = sampleJob(4, "alice");
+  const std::vector<JournalJob> live =
+      replayJournalText(submitEventLine(job) + "\n", "test");
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].id, 4u);
+  EXPECT_EQ(live[0].client, "alice");
+  EXPECT_EQ(live[0].priority, 3u);
+  EXPECT_EQ(live[0].mode, "run");
+  EXPECT_EQ(live[0].bench, "nightly");
+  EXPECT_EQ(live[0].dir, "out");
+  // The spec bytes survive replay VERBATIM — restart re-dispatch must hash
+  // to the same spec_key as the original submit.
+  ASSERT_EQ(live[0].specJson.size(), 1u);
+  EXPECT_EQ(live[0].specJson[0], job.specJson[0]);
+}
+
+TEST(ServiceJournal, TerminalEventsRetireTheirSubmits) {
+  std::string text = submitEventLine(sampleJob(1, "a")) + "\n" +
+                     submitEventLine(sampleJob(2, "b")) + "\n" +
+                     submitEventLine(sampleJob(3, "c")) + "\n" +
+                     "{\"event\":\"done\",\"job\":1}\n" +
+                     "{\"event\":\"cancel\",\"job\":3}\n";
+  const std::vector<JournalJob> live = replayJournalText(text, "test");
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].id, 2u);
+}
+
+TEST(ServiceJournal, TrailingGarbageIsToleratedMidFileIsNot) {
+  const std::string good = submitEventLine(sampleJob(1, "a")) + "\n";
+  // A torn final line is the signature of a crash mid-append: the event was
+  // never acknowledged, so dropping it is correct.
+  const std::vector<JournalJob> live =
+      replayJournalText(good + "{\"event\":\"submit\",\"jo", "test");
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].id, 1u);
+
+  // The same damage ANYWHERE else means real corruption and must throw.
+  EXPECT_THROW(replayJournalText("{\"event\":\"submit\",\"jo\n" + good, "test"),
+               std::invalid_argument);
+  // So do semantic violations, wherever they sit.
+  EXPECT_THROW(replayJournalText(good + good, "test"), std::invalid_argument);
+  EXPECT_THROW(replayJournalText("{\"event\":\"done\",\"job\":9}\n", "test"),
+               std::invalid_argument);
+  EXPECT_THROW(replayJournalText("{\"event\":\"nope\",\"job\":1}\n", "test"),
+               std::invalid_argument);
+}
+
+TEST(ServiceJournal, OpenCompactsRetiredJobsAndTrailingDamage) {
+  TempPath temp;
+  {
+    std::ofstream out(temp.path());
+    out << submitEventLine(sampleJob(1, "a")) << "\n"
+        << submitEventLine(sampleJob(2, "b")) << "\n"
+        << "{\"event\":\"done\",\"job\":1}\n"
+        << "{\"event\":\"sub";  // torn final append
+  }
+  QueueJournal journal;
+  const std::vector<JournalJob> live = journal.open(temp.path());
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].id, 2u);
+  journal.close();
+  // After compaction the file holds exactly the live submits.
+  EXPECT_EQ(readAll(temp.path()), submitEventLine(live[0]) + "\n");
+}
+
+TEST(ServiceJournal, AppendsAreReplayableAcrossReopen) {
+  TempPath temp;
+  {
+    QueueJournal journal;
+    EXPECT_TRUE(journal.open(temp.path()).empty());
+    journal.appendSubmit(sampleJob(1, "a"));
+    journal.appendSubmit(sampleJob(2, "b"));
+    journal.appendDone(1);
+  }
+  QueueJournal reopened;
+  const std::vector<JournalJob> live = reopened.open(temp.path());
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].id, 2u);
+  EXPECT_EQ(live[0].client, "b");
+}
+
+TEST(ServiceJournal, DisabledJournalIsANoOp) {
+  QueueJournal journal;  // never opened: journaling off (no journal= path)
+  EXPECT_NO_THROW(journal.appendSubmit(sampleJob(1, "a")));
+  EXPECT_NO_THROW(journal.appendDone(1));
+}
+
+}  // namespace
+}  // namespace pnoc::service

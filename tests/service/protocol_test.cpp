@@ -1,0 +1,90 @@
+// Service-protocol tests: the banner's version/build handshake (satellite of
+// the same stamp the streaming worker handshake carries) and the verb parser
+// with its did-you-mean rejection.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/version.hpp"
+#include "scenario/wire.hpp"
+#include "service/protocol.hpp"
+
+namespace pnoc::service {
+namespace {
+
+std::string thrownMessage(const std::function<void()>& call) {
+  try {
+    call();
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(ServiceBanner, OwnBannerPassesTheHandshake) {
+  EXPECT_NO_THROW(checkServiceBanner(serviceBannerLine()));
+}
+
+TEST(ServiceBanner, RejectionsAreNamed) {
+  // Not a banner at all (some other JSON service answered).
+  EXPECT_THROW(checkServiceBanner("{\"ok\":1}"), std::runtime_error);
+  EXPECT_THROW(checkServiceBanner("hello"), std::runtime_error);
+  // Protocol version mismatch.
+  EXPECT_THROW(checkServiceBanner("{\"pnoc_serve\":99,\"build\":\"x\"}"),
+               std::runtime_error);
+  // A daemon from before build stamps.
+  const std::string unstamped =
+      "{\"pnoc_serve\":" + std::to_string(kServeProtocolVersion) + "}";
+  EXPECT_NE(thrownMessage([&] { checkServiceBanner(unstamped); })
+                .find("no build stamp"),
+            std::string::npos);
+  // A daemon from a DIFFERENT build: rejected by name, both stamps shown.
+  const std::string mismatched =
+      "{\"pnoc_serve\":" + std::to_string(kServeProtocolVersion) +
+      ",\"build\":\"pnoc-0\"}";
+  const std::string message =
+      thrownMessage([&] { checkServiceBanner(mismatched); });
+  EXPECT_NE(message.find("pnoc-0"), std::string::npos);
+  EXPECT_NE(message.find(scenario::kBuildVersion), std::string::npos);
+}
+
+TEST(StreamHandshakeBuildStamp, WorkerAckIsBuildChecked) {
+  // The worker-fleet side of the same satellite: an ack without a stamp, or
+  // with a foreign stamp, is rejected at the handshake by name.
+  EXPECT_NO_THROW(scenario::wire::checkStreamAck(scenario::wire::streamAckLine()));
+  const std::string unstamped =
+      "{\"pnoc_stream_ack\":" +
+      std::to_string(scenario::wire::kStreamProtocolVersion) + "}";
+  EXPECT_NE(thrownMessage([&] { scenario::wire::checkStreamAck(unstamped); })
+                .find("no build stamp"),
+            std::string::npos);
+  const std::string foreign =
+      "{\"pnoc_stream_ack\":" +
+      std::to_string(scenario::wire::kStreamProtocolVersion) +
+      ",\"build\":\"pnoc-0\"}";
+  const std::string message =
+      thrownMessage([&] { scenario::wire::checkStreamAck(foreign); });
+  EXPECT_NE(message.find("pnoc-0"), std::string::npos);
+  EXPECT_NE(message.find(scenario::kBuildVersion), std::string::npos);
+}
+
+TEST(ServiceVerbs, RoundTripAndSuggest) {
+  for (const std::string& name : verbNames()) {
+    EXPECT_EQ(toString(parseVerb(name)), name);
+  }
+  // A typo is rejected with a suggestion, not a silent default.
+  const std::string message = thrownMessage([] { parseVerb("sumbit"); });
+  EXPECT_NE(message.find("did you mean"), std::string::npos);
+  EXPECT_NE(message.find("submit"), std::string::npos);
+  EXPECT_THROW(parseVerb(""), std::invalid_argument);
+}
+
+TEST(ServiceProtocol, ErrorReplyEscapes) {
+  EXPECT_EQ(errorReplyLine("bad \"spec\""),
+            "{\"ok\":0,\"error\":\"bad \\\"spec\\\"\"}");
+}
+
+}  // namespace
+}  // namespace pnoc::service

@@ -35,41 +35,13 @@
 #include "scenario/dispatch/checkpoint.hpp"
 #include "scenario/scenario_runner.hpp"
 #include "scenario/spec_file.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "sim/interrupt.hpp"
 
 using namespace pnoc;
 
 namespace {
-
-/// The serialized run/peak record for one grid index — THE record format
-/// (recordRun/recordPeak) plus the grid_index and spec_key tags resume
-/// keys off (spec_key fingerprints the whole spec, so a resumed record can
-/// never silently carry results from different simulation parameters).
-std::string serializedRecord(const scenario::ScenarioOutcome& outcome,
-                             std::size_t gridIndex) {
-  scenario::JsonRecorder scratch("scratch");
-  if (outcome.failed) {
-    // A fail-soft per-job failure: a record with the job's identity and the
-    // deterministic cause, no metrics.  The checkpoint loader treats it as
-    // missing, so resume=1 re-dispatches exactly these indices.
-    scenario::JsonRecord& record = scratch.add(
-        outcome.op == scenario::ScenarioJob::Op::kRun ? "run" : "peak");
-    record.integer("failed", 1);
-    record.text("error", outcome.error);
-    record.text("arch", outcome.spec.get("arch"));
-    record.text("pattern", outcome.spec.params.pattern);
-    record.integer("grid_index", static_cast<long long>(gridIndex));
-    record.text("spec_key", scenario::dispatch::specKey(outcome.spec));
-    return record.serialize();
-  }
-  scenario::JsonRecord& record =
-      outcome.op == scenario::ScenarioJob::Op::kRun
-          ? scenario::recordRun(scratch, outcome.spec, outcome.metrics)
-          : scenario::recordPeak(scratch,
-                                 scenario::ScenarioPeak{outcome.spec, outcome.search});
-  record.integer("grid_index", static_cast<long long>(gridIndex));
-  record.text("spec_key", scenario::dispatch::specKey(outcome.spec));
-  return record.serialize();
-}
 
 std::string joinIndices(const std::vector<std::size_t>& indices) {
   std::string out;
@@ -78,6 +50,130 @@ std::string joinIndices(const std::vector<std::size_t>& indices) {
     out += std::to_string(i);
   }
   return out;
+}
+
+/// Streams one job's watch events until it goes terminal; returns 0 when the
+/// job completed clean, 1 otherwise (failed, canceled, daemon gone).
+int watchJob(service::ServeClient& client, std::uint64_t job) {
+  client.sendLine("{\"op\":\"watch\",\"job\":" + std::to_string(job) + "}");
+  while (true) {
+    const scenario::JsonValue event = scenario::JsonValue::parse(client.readLine());
+    if (const scenario::JsonValue* ok = event.find("ok");
+        ok != nullptr && ok->asU64() == 0) {
+      std::cerr << "pnoc_run: " << event.at("error").asString() << "\n";
+      return 1;
+    }
+    const std::string kind = event.at("event").asString();
+    if (kind == "unit") {
+      std::cout << "pnoc_run: job " << job << ": " << event.at("done").asU64()
+                << "/" << event.at("units").asU64() << " unit(s) done\n";
+      continue;
+    }
+    if (kind != "job") continue;  // the initial watch ack
+    const std::string state = event.at("state").asString();
+    std::cout << "pnoc_run: job " << job << " " << state;
+    if (const scenario::JsonValue* file = event.find("file");
+        file != nullptr && !file->asString().empty()) {
+      std::cout << " -> " << file->asString();
+    }
+    std::cout << "\n";
+    return state == "done" ? 0 : 1;
+  }
+}
+
+/// The serve= thin-client mode: one protocol op against a running
+/// pnoc_serve daemon instead of a local dispatch.
+int runServeClient(scenario::Cli& cli, const std::string& socketPath,
+                   const std::string& mode, const std::string& benchName,
+                   const std::string& jsonDir,
+                   const std::vector<scenario::ScenarioSpec>& grid) {
+  const std::string opName = cli.config().getString("op", "submit");
+  service::Verb verb;
+  try {
+    verb = service::parseVerb(opName);  // typos get a did-you-mean
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "pnoc_run: " << error.what() << "\n";
+    return 1;
+  }
+  try {
+    service::ServeClient client(socketPath);
+    switch (verb) {
+      case service::Verb::kSubmit: {
+        std::string line = "{\"op\":\"submit\"";
+        const std::string clientName = cli.config().getString("client", "");
+        if (!clientName.empty()) {
+          line += ",\"client\":\"" + scenario::jsonEscape(clientName) + "\"";
+        }
+        line += ",\"priority\":" +
+                std::to_string(cli.config().getInt("priority", 0));
+        line += ",\"mode\":\"" + mode + "\"";
+        line += ",\"bench\":\"" + scenario::jsonEscape(benchName) + "\"";
+        line += ",\"dir\":\"" + scenario::jsonEscape(jsonDir) + "\"";
+        line += ",\"specs\":[";
+        for (std::size_t s = 0; s < grid.size(); ++s) {
+          if (s != 0) line += ",";
+          line += grid[s].toJson();
+        }
+        line += "]}";
+        const scenario::JsonValue reply = client.request(line);
+        const std::uint64_t job = reply.at("job").asU64();
+        std::cout << "pnoc_run: job " << job << " accepted ("
+                  << reply.at("units").asU64() << " unit(s))\n";
+        if (!cli.config().getBool("wait", true)) return 0;
+        return watchJob(client, job);
+      }
+      case service::Verb::kStatus:
+        client.sendLine("{\"op\":\"status\"}");
+        std::cout << client.readLine() << "\n";
+        return 0;
+      case service::Verb::kWatch:
+        return watchJob(client,
+                        static_cast<std::uint64_t>(cli.config().getInt("job", 0)));
+      case service::Verb::kCancel: {
+        const int job = cli.config().getInt("job", 0);
+        client.request("{\"op\":\"cancel\",\"job\":" + std::to_string(job) + "}");
+        std::cout << "pnoc_run: job " << job << " canceled\n";
+        return 0;
+      }
+      case service::Verb::kDrain:
+        client.request("{\"op\":\"drain\"}");  // blocks until the queue is empty
+        std::cout << "pnoc_run: daemon drained\n";
+        return 0;
+      case service::Verb::kShutdown:
+        client.request("{\"op\":\"shutdown\"}");
+        std::cout << "pnoc_run: daemon shutting down\n";
+        return 0;
+      case service::Verb::kFleetAdd: {
+        std::string line = "{\"op\":\"fleet-add\",\"workers\":" +
+                           std::to_string(cli.config().getInt("workers", 1));
+        const std::string launcher = cli.config().getString("launcher", "");
+        if (!launcher.empty()) {
+          line += ",\"launcher\":\"" + scenario::jsonEscape(launcher) + "\"";
+        }
+        const std::string executable = cli.config().getString("executable", "");
+        if (!executable.empty()) {
+          line += ",\"executable\":\"" + scenario::jsonEscape(executable) + "\"";
+        }
+        line += "}";
+        const scenario::JsonValue reply = client.request(line);
+        std::cout << "pnoc_run: fleet now " << reply.at("workers").asU64()
+                  << " worker(s)\n";
+        return 0;
+      }
+      case service::Verb::kFleetRemove: {
+        const int worker = cli.config().getInt("worker", 0);
+        const scenario::JsonValue reply = client.request(
+            "{\"op\":\"fleet-remove\",\"worker\":" + std::to_string(worker) + "}");
+        std::cout << "pnoc_run: removed worker " << worker << ", fleet now "
+                  << reply.at("workers").asU64() << " worker(s)\n";
+        return 0;
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "pnoc_run: " << error.what() << "\n";
+    return 1;
+  }
+  return 1;
 }
 
 }  // namespace
@@ -91,6 +187,19 @@ int main(int argc, char** argv) {
   cli.addKey("json", "directory for the BENCH record (default .)");
   cli.addKey("resume", "1: reuse records from the existing BENCH file and dispatch"
                        " only missing grid indices");
+  cli.addKey("serve", "pnoc_serve socket path: run as a thin client against the"
+                      " daemon instead of dispatching locally");
+  cli.addKey("op", "client operation (with serve=): submit (default) | status |"
+                   " watch | cancel | drain | shutdown | fleet-add | fleet-remove");
+  cli.addKey("job", "job id for op=watch / op=cancel");
+  cli.addKey("priority", "submit priority; larger runs sooner (default 0)");
+  cli.addKey("client", "client name for per-client fairness accounting");
+  cli.addKey("wait", "0: return after the submit ack instead of watching the"
+                     " job to completion (default 1)");
+  cli.addKey("workers", "worker count for op=fleet-add (default 1)");
+  cli.addKey("launcher", "launcher prefix for op=fleet-add (e.g. 'ssh hostA')");
+  cli.addKey("executable", "worker binary for op=fleet-add");
+  cli.addKey("worker", "worker slot index for op=fleet-remove");
   cli.setCollectSpecFiles(true);
   switch (cli.parse(argc, argv, &base)) {
     case scenario::CliStatus::kHelp:
@@ -137,6 +246,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (grid.empty()) grid.push_back(base);  // no files: one spec from the CLI
+
+  // SIGINT/SIGTERM mid-grid abort the dispatch with a named exception, so
+  // the failure path below flushes the checkpoint and resume=1 picks the
+  // grid back up from its last completed job.
+  sim::installInterruptHandlers();
+
+  // serve=: thin-client mode — the grid (and every other key) goes to the
+  // daemon instead of a local backend.
+  const std::string serveSocket = cli.config().getString("serve", "");
+  if (!serveSocket.empty()) {
+    return runServeClient(cli, serveSocket, mode, benchName, jsonDir, grid);
+  }
 
   const std::string benchPath = jsonDir + "/BENCH_" + benchName + ".json";
   const std::string recordName = mode == "run" ? "run" : "peak";
@@ -207,7 +328,8 @@ int main(int argc, char** argv) {
           [&, lastWrite](std::size_t jobIndex,
                          const scenario::ScenarioOutcome& outcome) mutable {
             checkpoint.rawByIndex[missing[jobIndex]] =
-                serializedRecord(outcome, missing[jobIndex]);
+                scenario::dispatch::serializedOutcomeRecord(outcome,
+                                                            missing[jobIndex]);
             const auto now = std::chrono::steady_clock::now();
             if (now - lastWrite < std::chrono::seconds(1)) return;
             lastWrite = now;
@@ -251,7 +373,8 @@ int main(int argc, char** argv) {
     const auto& outcome = outcomes[j];
     const std::size_t gridIndex = missing[j];
     if (!checkpoint.rawByIndex[gridIndex]) {  // observer may have stored it
-      checkpoint.rawByIndex[gridIndex] = serializedRecord(outcome, gridIndex);
+      checkpoint.rawByIndex[gridIndex] =
+          scenario::dispatch::serializedOutcomeRecord(outcome, gridIndex);
     }
     if (outcome.failed) {
       // Fail-soft failures reach the BENCH file (just above) but not the
