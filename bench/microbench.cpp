@@ -21,6 +21,7 @@
 #include "core/dba.hpp"
 #include "core/token.hpp"
 #include "network/network.hpp"
+#include "obs/profiler.hpp"
 #include "scenario/cli.hpp"
 #include "scenario/json_record.hpp"
 #include "scenario/scenario_runner.hpp"
@@ -148,6 +149,54 @@ int main(int argc, char** argv) {
     // (the timed loops above always run for ~minMs by construction).
     scenario::recordTiming(recorder, m.wallSeconds,
                            static_cast<std::size_t>(kFixedCycles));
+  }
+
+  // --- phase profile: where the engine's wall time goes ---
+  // The same fixed work as BM_LowLoadTimerWheel but with the cycle profiler
+  // attached (profile=1): the record carries per-phase and per-component-kind
+  // attribution, which scripts/bench_step_summary.py publishes per PR.
+  // Simulation results are bit-identical with the profiler on (asserted by
+  // tests/obs/profiler_test.cpp) — only the wall time differs, and comparing
+  // this record's cycles_per_sec against BM_LowLoadTimerWheel bounds the
+  // profiler's own overhead.
+  {
+    const Cycle kProfiledCycles = 300000;
+    scenario::ScenarioSpec spec = base;
+    spec.params.pattern = "uniform";
+    spec.params.profile = true;
+    network::PhotonicNetwork net(spec.params);
+    const Measurement m = timeLoop([&] { net.step(kProfiledCycles); }, 0.0);  // once
+    const double cyclesPerSec = static_cast<double>(kProfiledCycles) / m.wallSeconds;
+    const obs::CycleProfiler::Snapshot profile = net.profiler()->snapshot();
+    const double totalNs = static_cast<double>(profile.totalNs());
+    std::printf("%-28s %-10s %-8s %14.0f %12.2f\n", "BM_PhaseProfile", "uniform",
+                "on", cyclesPerSec, m.wallSeconds * 1e3);
+    scenario::JsonRecord& record = recorder.add("BM_PhaseProfile");
+    record.text("label", "uniform")
+        .number("load", spec.params.offeredLoad)
+        .number("cycles_per_sec", cyclesPerSec)
+        .integer("cycles", static_cast<long long>(kProfiledCycles))
+        .number("wall_ms", m.wallSeconds * 1e3);
+    for (std::size_t p = 0; p < obs::CycleProfiler::kPhaseCount; ++p) {
+      const auto phase = static_cast<obs::CycleProfiler::Phase>(p);
+      const std::string name = obs::CycleProfiler::phaseName(phase);
+      record.integer("phase_" + name + "_ns",
+                     static_cast<long long>(profile.phaseNs[p]));
+      record.number("phase_" + name + "_share",
+                    totalNs > 0.0 ? profile.phaseNs[p] / totalNs : 0.0);
+      std::printf("%-28s %-10s %-8s %13.1f%% %12s\n",
+                  ("BM_PhaseProfile/" + name).c_str(), "uniform", "on",
+                  totalNs > 0.0 ? profile.phaseNs[p] / totalNs * 100.0 : 0.0,
+                  "-");
+    }
+    for (std::size_t k = 0; k < obs::kComponentKindCount; ++k) {
+      if (profile.kindSteps[k] == 0) continue;
+      const std::string name = obs::toString(static_cast<obs::ComponentKind>(k));
+      record.integer("kind_" + name + "_ns",
+                     static_cast<long long>(profile.kindNs[k]));
+      record.integer("kind_" + name + "_steps",
+                     static_cast<long long>(profile.kindSteps[k]));
+    }
   }
 
   // --- closed-loop fixed work: the workload subsystem's gated record ---

@@ -29,7 +29,8 @@ MIN_ABS_DELTA_SECONDS = 0.1  # ... by more than this (sub-100ms wall times
 
 def load_records(paths):
     timing_rows = []  # (bench, points, wall_seconds)
-    rate_rows = []    # (bench, record label, per-second rate)
+    rate_rows = []    # (bench, record label, per-second rate, park_rate|None)
+    phase_rows = []   # (bench, record label, phase name, ns, share)
     for path in paths:
         try:
             with open(path) as handle:
@@ -49,8 +50,19 @@ def load_records(paths):
                 label = " ".join(
                     str(record[key]) for key in ("label", "gating") if key in record
                 )
-                rate_rows.append((bench, f"{name} {label}".strip(), rate))
-    return timing_rows, rate_rows
+                rate_rows.append(
+                    (bench, f"{name} {label}".strip(), rate, record.get("park_rate"))
+                )
+                # The cycle profiler's per-phase attribution (BM_PhaseProfile):
+                # phase_<name>_ns / phase_<name>_share field pairs.
+                for key in sorted(record):
+                    if key.startswith("phase_") and key.endswith("_share"):
+                        phase = key[len("phase_"):-len("_share")]
+                        phase_rows.append(
+                            (bench, name, phase,
+                             record.get(f"phase_{phase}_ns", 0), record[key])
+                        )
+    return timing_rows, rate_rows, phase_rows
 
 
 def main():
@@ -70,7 +82,7 @@ def main():
     )
     args = parser.parse_args()
 
-    timing_rows, rate_rows = load_records(args.records)
+    timing_rows, rate_rows, phase_rows = load_records(args.records)
 
     baseline = {}
     baseline_error = None
@@ -145,10 +157,20 @@ def main():
         print("")
         print("## Hot-path rates")
         print("")
-        print("| bench | record | per second |")
-        print("|---|---|---:|")
-        for bench, record, rate in rate_rows:
-            print(f"| {bench} | {record} | {rate:,.0f} |")
+        print("| bench | record | per second | park rate |")
+        print("|---|---|---:|---:|")
+        for bench, record, rate, park in rate_rows:
+            park_cell = f"{park:.1%}" if isinstance(park, (int, float)) else "—"
+            print(f"| {bench} | {record} | {rate:,.0f} | {park_cell} |")
+
+    if phase_rows:
+        print("")
+        print("## Cycle-profiler phase attribution")
+        print("")
+        print("| bench | record | phase | ns | share |")
+        print("|---|---|---|---:|---:|")
+        for bench, record, phase, ns, share in phase_rows:
+            print(f"| {bench} | {record} | {phase} | {ns:,} | {share:.1%} |")
 
     if regressions:
         print("")
@@ -163,6 +185,16 @@ def main():
             f" `bench_step_summary.py --baseline {args.baseline}"
             " --update-baseline BENCH_*.json`."
         )
+        # Stdout is redirected into $GITHUB_STEP_SUMMARY, so the failing CI
+        # step's log would otherwise show an exit 1 with no explanation:
+        # name the offending metric and both values on stderr too.
+        for bench, previous, wall, ratio in regressions:
+            print(
+                f"REGRESSION: {bench} wall_seconds baseline={previous:.3f}"
+                f" current={wall:.3f} ({ratio:+.1%} >"
+                f" {REGRESSION_THRESHOLD:.0%} threshold)",
+                file=sys.stderr,
+            )
         return 1
     if baseline_error is not None:
         print(f"baseline {args.baseline} unreadable: {baseline_error}",

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Example: a traced pnoc_serve session, end to end.
+#
+# Starts a daemon with span tracing enabled, submits the ci_smoke grid,
+# dumps both metrics expositions, shuts the daemon down, and validates the
+# trace.  The resulting trace.json opens directly in https://ui.perfetto.dev
+# (or chrome://tracing): queue-wait and unit-execution async spans per unit,
+# dispatch/checkpoint-flush/journal-fsync thread spans, worker handshakes.
+#
+# Run from the build directory:
+#   ../scripts/grids/traced_serve_example.sh
+set -euo pipefail
+
+DIR=traced_example
+mkdir -p "$DIR"
+
+./pnoc_serve socket="$DIR/sock" journal="$DIR/journal" shards=2 \
+  trace="$DIR/trace.json" &
+DAEMON=$!
+for _ in $(seq 50); do [ -S "$DIR/sock" ] && break; sleep 0.1; done
+
+# Submit a grid and stream it to completion (op=submit waits by default).
+./pnoc_run serve="$DIR/sock" op=submit @../scripts/grids/ci_smoke.json \
+  warmup=100 measure=500 bench=traced json="$DIR"
+
+# The metrics verb: full registry snapshot as JSON, or Prometheus text.
+./pnoc_run serve="$DIR/sock" op=metrics > "$DIR/metrics.json"
+./pnoc_run serve="$DIR/sock" op=metrics metrics=text > "$DIR/metrics.prom"
+
+./pnoc_run serve="$DIR/sock" op=shutdown
+wait "$DAEMON"
+
+python3 ../scripts/validate_trace.py "$DIR/trace.json" \
+  --require queue-wait,dispatch,unit-execution,checkpoint-flush,journal-fsync
+echo "open $DIR/trace.json in https://ui.perfetto.dev"

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a Chrome Trace Event file written by the obs::TraceWriter.
+
+Usage:
+  validate_trace.py trace.json
+  validate_trace.py trace.json --require queue-wait,dispatch,unit-execution
+
+Checks, in order, each with a named failure:
+  1. The file is well-formed JSON with a `traceEvents` array — TraceWriter
+     must close the array even when the process exits through a destructor.
+  2. Every event carries a `ph`, and a `ts` where the phase requires one.
+  3. Thread spans balance: per (pid, tid), B and E events nest like
+     parentheses — no E without an open B, none left open at EOF.
+  4. Async spans balance: per (cat, name, id), every `b` has exactly one `e`
+     and ids are never reopened while open.
+  5. With --require, every named span (B or b) appears at least once — this
+     is how CI pins the job-lifecycle vocabulary (queue-wait, dispatch,
+     unit-execution, checkpoint-flush, journal-fsync, ...).
+
+Exits 0 with a one-line summary on success, 1 with per-violation messages on
+stderr otherwise.  Stdlib only.
+"""
+import argparse
+import json
+import sys
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def validate(doc, required):
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, "top-level `traceEvents` array is missing")
+        return errors, 0
+    if not events:
+        fail(errors, "`traceEvents` is empty — the writer recorded nothing")
+
+    open_threads = {}  # (pid, tid) -> depth of nested B spans
+    open_async = {}    # (cat, name, id) -> count of open b spans
+    seen_names = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(errors, f"event {index} is not an object: {event!r}")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            fail(errors, f"event {index} has no `ph` phase field")
+            continue
+        if ph != "M" and not isinstance(event.get("ts"), (int, float)):
+            fail(errors, f"event {index} (ph={ph}) has no numeric `ts`")
+        name = event.get("name")
+        if ph in ("B", "b", "i") and isinstance(name, str):
+            seen_names.add(name)
+
+        if ph in ("B", "E"):
+            key = (event.get("pid"), event.get("tid"))
+            depth = open_threads.get(key, 0)
+            if ph == "B":
+                open_threads[key] = depth + 1
+            elif depth == 0:
+                fail(errors, f"event {index}: E with no open B on pid/tid {key}")
+            else:
+                open_threads[key] = depth - 1
+        elif ph in ("b", "e"):
+            key = (event.get("cat"), name, event.get("id"))
+            count = open_async.get(key, 0)
+            if ph == "b":
+                if count > 0:
+                    fail(errors, f"event {index}: async span reopened while"
+                                 f" open: {key}")
+                open_async[key] = count + 1
+            elif count == 0:
+                fail(errors, f"event {index}: async end with no begin: {key}")
+            else:
+                open_async[key] = count - 1
+
+    for key, depth in sorted(open_threads.items(), key=str):
+        if depth > 0:
+            fail(errors, f"{depth} thread span(s) never ended on pid/tid {key}")
+    for key, count in sorted(open_async.items(), key=str):
+        if count > 0:
+            fail(errors, f"async span never ended: {key}")
+    for name in required:
+        if name not in seen_names:
+            fail(errors, f"required span `{name}` never appeared"
+                         f" (saw: {', '.join(sorted(seen_names)) or 'none'})")
+    return errors, len(events)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("trace", help="Chrome-trace JSON file to validate")
+    parser.add_argument(
+        "--require",
+        default="",
+        help="comma-separated span/instant names that must appear at least once",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as handle:
+            doc = json.load(handle)
+    except OSError as error:
+        print(f"{args.trace}: unreadable: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"{args.trace}: not well-formed JSON: {error}", file=sys.stderr)
+        return 1
+
+    required = [name for name in args.require.split(",") if name]
+    errors, count = validate(doc, required)
+    if errors:
+        for message in errors:
+            print(f"{args.trace}: {message}", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: OK ({count} events"
+          + (f", required spans: {', '.join(required)}" if required else "")
+          + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

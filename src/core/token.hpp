@@ -80,6 +80,9 @@ class TokenRing final : public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return "token-ring"; }
+  obs::ComponentKind profileKind() const override {
+    return obs::ComponentKind::kPolicy;
+  }
 
   const Token& token() const { return token_; }
   Token& token() { return token_; }

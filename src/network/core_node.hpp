@@ -92,6 +92,9 @@ class CoreNode final : public sim::Clocked, public workload::CoreContext {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return "core" + std::to_string(config_.core); }
+  obs::ComponentKind profileKind() const override {
+    return obs::ComponentKind::kCore;
+  }
   /// A core with an empty queue parks between pre-scheduled arrivals / model
   /// events (the engine timer it set wakes it at the event cycle); a core
   /// that can never inject parks outright.  A non-empty queue keeps the core

@@ -173,6 +173,10 @@ void PhotonicNetwork::build() {
 
   // --- engine registration (deterministic order) ---
   engine_.setActivityGating(params_.activityGating);
+  if (params_.profile) {
+    profiler_ = std::make_unique<obs::CycleProfiler>();
+    engine_.setProfiler(profiler_.get());
+  }
   policy_->attachTo(engine_);
   for (auto& router : photonicRouters_) engine_.add(*router);
   for (auto& router : coreRouters_) engine_.add(*router);

@@ -95,6 +95,10 @@ class PhotonicNetwork {
   const CoreNode& core(CoreId id) const { return *cores_[id]; }
   sim::Engine& engine() { return engine_; }
 
+  /// The cycle profiler attached to the engine when params.profile is set;
+  /// nullptr otherwise.
+  const obs::CycleProfiler* profiler() const { return profiler_.get(); }
+
   /// The workload model driving the cores (nullptr: open loop).
   const workload::Workload* workload() const { return workload_.get(); }
 
@@ -144,6 +148,9 @@ class PhotonicNetwork {
   std::unique_ptr<traffic::TrafficPattern> pattern_;
   std::unique_ptr<ChannelPolicy> policy_;
   sim::Engine engine_;
+  /// Owned per-phase/per-kind profiler (params.profile); outlives every
+  /// engine step because it lives next to engine_.
+  std::unique_ptr<obs::CycleProfiler> profiler_;
   /// Owns every live packet descriptor; flits carry handles into it.
   noc::PacketSlab slab_;
   PacketId nextPacketId_ = 0;

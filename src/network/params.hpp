@@ -50,6 +50,10 @@ struct SimulationParameters {
   /// speedup at low load; off = classic step-everything engine).  Exposed so
   /// the microbench and the equivalence test can compare both modes.
   bool activityGating = true;
+  /// Attach an obs::CycleProfiler to the engine: per-phase / per-kind wall
+  /// time attribution (bit-identical results; modest slowdown from the
+  /// clock reads).  Read back via PhotonicNetwork::profiler().
+  bool profile = false;
 
   // --- traffic ---
   std::string pattern = "uniform";

@@ -89,6 +89,9 @@ class PhotonicRouter final : public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return name_; }
+  obs::ComponentKind profileKind() const override {
+    return obs::ComponentKind::kPhotonicRouter;
+  }
   /// Parked when nothing is buffered, in flight or mid-transmission; woken
   /// by ingress accepts (uplink traffic) and peers scheduling arrivals.
   bool quiescent() const override {

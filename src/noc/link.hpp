@@ -48,6 +48,9 @@ class Link final : public FlitSink, public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return name_; }
+  obs::ComponentKind profileKind() const override {
+    return obs::ComponentKind::kLink;
+  }
   bool quiescent() const override { return pipe_.empty(); }
 
   const LinkStats& stats() const { return stats_; }

@@ -100,6 +100,9 @@ class ElectricalRouter final : public sim::Clocked {
   void evaluate(Cycle cycle) override;
   void advance(Cycle cycle) override;
   std::string name() const override { return name_; }
+  obs::ComponentKind profileKind() const override {
+    return obs::ComponentKind::kElectricalRouter;
+  }
   /// Empty, or occupied-but-blocked with every wake source armed (see the
   /// file comment).
   bool quiescent() const override { return occupancy_ == 0 || canSleepBlocked_; }

@@ -1,0 +1,105 @@
+#include "obs/profiler.hpp"
+
+#include "obs/registry.hpp"
+
+namespace pnoc::obs {
+
+const char* toString(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kOther:
+      return "other";
+    case ComponentKind::kPolicy:
+      return "policy";
+    case ComponentKind::kPhotonicRouter:
+      return "photonic_router";
+    case ComponentKind::kElectricalRouter:
+      return "electrical_router";
+    case ComponentKind::kLink:
+      return "link";
+    case ComponentKind::kCore:
+      return "core";
+  }
+  return "other";
+}
+
+const char* CycleProfiler::phaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kTimerExpire:
+      return "timer_expire";
+    case Phase::kWakeDrain:
+      return "wake_drain";
+    case Phase::kEvaluate:
+      return "evaluate";
+    case Phase::kAdvance:
+      return "advance";
+    case Phase::kParkScan:
+      return "park_scan";
+  }
+  return "unknown";
+}
+
+void CycleProfiler::reset() {
+  cycles_ = 0;
+  phaseNs_.fill(0);
+  kindNs_.fill(0);
+  kindSteps_.fill(0);
+}
+
+std::uint64_t CycleProfiler::Snapshot::totalNs() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t ns : phaseNs) total += ns;
+  return total;
+}
+
+std::string CycleProfiler::Snapshot::toJson() const {
+  std::string out = "{\"cycles\":" + std::to_string(cycles) +
+                    ",\"total_ns\":" + std::to_string(totalNs()) +
+                    ",\"phases\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (!first) out += ',';
+    first = false;
+    out += std::string("\"") + phaseName(static_cast<Phase>(i)) +
+           "_ns\":" + std::to_string(phaseNs[i]);
+  }
+  out += "},\"kinds\":{";
+  first = true;
+  for (std::size_t i = 0; i < kComponentKindCount; ++i) {
+    if (kindSteps[i] == 0 && kindNs[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += std::string("\"") + toString(static_cast<ComponentKind>(i)) +
+           "\":{\"ns\":" + std::to_string(kindNs[i]) +
+           ",\"steps\":" + std::to_string(kindSteps[i]) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+CycleProfiler::Snapshot CycleProfiler::snapshot() const {
+  Snapshot out;
+  out.cycles = cycles_;
+  out.phaseNs = phaseNs_;
+  out.kindNs = kindNs_;
+  out.kindSteps = kindSteps_;
+  return out;
+}
+
+void CycleProfiler::publishTo(Registry& registry) const {
+  registry.gauge("profile_cycles").set(static_cast<std::int64_t>(cycles_));
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    registry
+        .gauge(std::string("profile_") + phaseName(static_cast<Phase>(i)) +
+               "_ns")
+        .set(static_cast<std::int64_t>(phaseNs_[i]));
+  }
+  for (std::size_t i = 0; i < kComponentKindCount; ++i) {
+    const std::string kind = toString(static_cast<ComponentKind>(i));
+    registry.gauge("profile_kind_" + kind + "_ns")
+        .set(static_cast<std::int64_t>(kindNs_[i]));
+    registry.gauge("profile_kind_" + kind + "_steps")
+        .set(static_cast<std::int64_t>(kindSteps_[i]));
+  }
+}
+
+}  // namespace pnoc::obs

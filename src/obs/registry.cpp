@@ -1,0 +1,212 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "scenario/json_util.hpp"
+
+namespace pnoc::obs {
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string sanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest 1-based rank covering a q fraction of samples.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < HistogramCell::kBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen >= rank) return Histogram::bucketUpperBound(i);
+  }
+  return Histogram::bucketUpperBound(HistogramCell::kBuckets - 1);
+}
+
+Snapshot Snapshot::diff(const Snapshot& earlier) const {
+  Snapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const std::uint64_t before = it != earlier.counters.end() ? it->second : 0;
+    out.counters[name] = value >= before ? value - before : 0;
+  }
+  out.gauges = gauges;  // levels, not flows: keep the later reading
+  for (const auto& [name, hist] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      out.histograms[name] = hist;
+      continue;
+    }
+    const HistogramSnapshot& before = it->second;
+    HistogramSnapshot d;
+    d.count = hist.count >= before.count ? hist.count - before.count : 0;
+    d.sum = hist.sum >= before.sum ? hist.sum - before.sum : 0;
+    for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+      d.buckets[i] = hist.buckets[i] >= before.buckets[i]
+                         ? hist.buckets[i] - before.buckets[i]
+                         : 0;
+    }
+    out.histograms[name] = d;
+  }
+  return out;
+}
+
+std::string Snapshot::toJson() const {
+  using scenario::formatDouble;
+  using scenario::jsonEscape;
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + jsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + jsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + jsonEscape(name) + "\":{\"count\":" +
+           std::to_string(hist.count) + ",\"sum\":" + std::to_string(hist.sum) +
+           ",\"avg\":" + formatDouble(hist.mean()) +
+           ",\"p50\":" + std::to_string(hist.quantile(0.5)) +
+           ",\"p99\":" + std::to_string(hist.quantile(0.99)) + ",\"buckets\":[";
+    bool firstBucket = true;
+    for (int i = 0; i < HistogramCell::kBuckets; ++i) {
+      const std::uint64_t n = hist.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      if (!firstBucket) out += ',';
+      firstBucket = false;
+      out += '[' + std::to_string(Histogram::bucketUpperBound(i)) + ',' +
+             std::to_string(n) + ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::toPrometheus(const std::string& prefix) const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string metric = sanitizeMetricName(prefix + name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string metric = sanitizeMetricName(prefix + name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, hist] : histograms) {
+    const std::string metric = sanitizeMetricName(prefix + name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < HistogramCell::kBuckets; ++i) {
+      const std::uint64_t n = hist.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;  // elide empty buckets; cumulative stays correct
+      cumulative += n;
+      out += metric + "_bucket{le=\"" +
+             std::to_string(Histogram::bucketUpperBound(i)) + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + '\n';
+    out += metric + "_sum " + std::to_string(hist.sum) + '\n';
+    out += metric + "_count " + std::to_string(hist.count) + '\n';
+  }
+  return out;
+}
+
+void Registry::checkKind(const std::string& name, Kind kind) const {
+  const auto it = kinds_.find(name);
+  if (it != kinds_.end() && it->second != kind) {
+    throw std::invalid_argument("obs metric '" + name +
+                                "' already registered as a different kind");
+  }
+}
+
+Counter Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  checkKind(name, Kind::kCounter);
+  auto& cell = counters_[name];
+  if (!cell) {
+    cell = std::make_unique<std::uint64_t>(0);
+    kinds_[name] = Kind::kCounter;
+  }
+  return Counter(cell.get());
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  checkKind(name, Kind::kGauge);
+  auto& cell = gauges_[name];
+  if (!cell) {
+    cell = std::make_unique<std::int64_t>(0);
+    kinds_[name] = Kind::kGauge;
+  }
+  return Gauge(cell.get());
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  checkKind(name, Kind::kHistogram);
+  auto& cell = histograms_[name];
+  if (!cell) {
+    cell = std::make_unique<HistogramCell>();
+    kinds_[name] = Kind::kHistogram;
+  }
+  return Histogram(cell.get());
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  for (const auto& [name, cell] : counters_) out.counters[name] = *cell;
+  for (const auto& [name, cell] : gauges_) out.gauges[name] = *cell;
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSnapshot h;
+    h.count = cell->count;
+    h.sum = cell->sum;
+    h.buckets = cell->buckets;
+    out.histograms[name] = h;
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : counters_) *cell = 0;
+  for (auto& [name, cell] : gauges_) *cell = 0;
+  for (auto& [name, cell] : histograms_) *cell = HistogramCell{};
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return kinds_.size();
+}
+
+}  // namespace pnoc::obs

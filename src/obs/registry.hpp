@@ -1,0 +1,181 @@
+// obs::Registry — named metrics with register-once, lock-free-on-hot-path
+// handles.
+//
+// The design constraint comes from the engine: the per-cycle loop runs a few
+// hundred million increments per second, so recording a metric must compile
+// to a plain `uint64_t` add — no atomics, no hash lookup, no branch on a
+// registry pointer.  Registration (a name lookup under a mutex) happens once,
+// up front, and hands back a value-type handle holding a raw pointer to the
+// metric's cell; the hot path touches only the cell.
+//
+// Threading contract: each cell has a SINGLE WRITER (the thread that owns the
+// instrumented object — the engine's stepping thread, the daemon's poll
+// loop).  snapshot() may be called from any thread and reads the cells
+// without synchronization; on the platforms we target an aligned 8-byte read
+// is atomic in practice, and a monitoring snapshot tolerates being a few
+// increments stale.  Registration and snapshot serialize on the registry
+// mutex, so handles may be created while other threads increment.
+//
+// Registries are instanceable, not global: the engine owns one, ServeDaemon
+// owns one, tests make throwaways — so parallel tests and multiple daemons
+// in one process never cross-pollute.  reset() zeroes every cell but keeps
+// the registrations (existing handles stay valid and simply count from zero
+// again).
+//
+// Histograms are log2-bucketed: bucket i holds values whose bit width is i,
+// i.e. bucket 0 holds only the value 0 and bucket i (i >= 1) holds
+// [2^(i-1), 2^i - 1].  65 buckets cover the full uint64 range; observe() is
+// one bit_width() plus two adds.  Quantiles reported from a snapshot are the
+// bucket upper bound — an overestimate by at most 2x, which is the right
+// trade for a histogram cheap enough to time every journal fsync.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pnoc::obs {
+
+class Registry;
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) {
+    if (cell_ != nullptr) *cell_ += n;
+  }
+  std::uint64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  std::uint64_t* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) {
+    if (cell_ != nullptr) *cell_ = v;
+  }
+  /// Keeps the running maximum — the idiom for high-water marks.
+  void observeMax(std::int64_t v) {
+    if (cell_ != nullptr && v > *cell_) *cell_ = v;
+  }
+  std::int64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::int64_t* cell) : cell_(cell) {}
+  std::int64_t* cell_ = nullptr;
+};
+
+/// Log2-bucketed histogram storage.  See the header comment for the bucket
+/// boundaries; kBuckets = 65 covers bit widths 0..64.
+struct HistogramCell {
+  static constexpr int kBuckets = 65;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::uint64_t v) {
+    if (cell_ == nullptr) return;
+    ++cell_->count;
+    cell_->sum += v;
+    ++cell_->buckets[static_cast<std::size_t>(bucketIndex(v))];
+  }
+  std::uint64_t count() const { return cell_ != nullptr ? cell_->count : 0; }
+  std::uint64_t sum() const { return cell_ != nullptr ? cell_->sum : 0; }
+
+  /// Bucket index for a value: its bit width (0 for the value 0).
+  static int bucketIndex(std::uint64_t v) { return std::bit_width(v); }
+  /// Largest value bucket i can hold: 0 for bucket 0, else 2^i - 1.
+  static std::uint64_t bucketUpperBound(int i) {
+    if (i <= 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramCell* cell) : cell_(cell) {}
+  HistogramCell* cell_ = nullptr;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, HistogramCell::kBuckets> buckets{};
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+  /// Upper bound of the bucket containing the q-th sample (q in [0, 1]);
+  /// 0 when empty.  An overestimate of the true quantile by < 2x.
+  std::uint64_t quantile(double q) const;
+};
+
+/// A point-in-time copy of every metric in a registry.  diff() turns two
+/// snapshots into an interval view (counters and histograms subtract; gauges
+/// keep the later value — a gauge is a level, not a flow).
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  Snapshot diff(const Snapshot& earlier) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  /// "sum":..,"avg":..,"p50":..,"p99":..,"buckets":[[upper,count],...]}}}
+  /// Histogram bucket lists carry only non-empty buckets.
+  std::string toJson() const;
+
+  /// Prometheus text exposition (one line per sample, histogram buckets
+  /// cumulative with an +Inf terminator).  Names are prefixed and sanitized
+  /// to the Prometheus charset.
+  std::string toPrometheus(const std::string& prefix = "pnoc_") const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register-once: the first call for a name creates the metric, later
+  /// calls return a handle to the SAME cell.  A name registered as one kind
+  /// cannot be re-registered as another (throws std::invalid_argument).
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every cell; registrations (and outstanding handles) survive.
+  void reset();
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  void checkKind(const std::string& name, Kind kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind> kinds_;
+  // unique_ptr cells so handles stay stable as the maps grow.
+  std::map<std::string, std::unique_ptr<std::uint64_t>> counters_;
+  std::map<std::string, std::unique_ptr<std::int64_t>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramCell>> histograms_;
+};
+
+}  // namespace pnoc::obs

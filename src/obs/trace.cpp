@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "scenario/json_util.hpp"
+
+namespace pnoc::obs {
+namespace {
+
+std::atomic<TraceWriter*> g_trace{nullptr};
+
+#if defined(__unix__) || defined(__APPLE__)
+int processId() { return static_cast<int>(::getpid()); }
+#else
+int processId() { return 1; }
+#endif
+
+// Stable small ids instead of raw native handles so traces diff cleanly.
+int threadId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path,
+                         const std::string& processName)
+    : start_(std::chrono::steady_clock::now()) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) return;
+  std::fputs("{\"traceEvents\":[", file_);
+  emit("{\"ph\":\"M\",\"pid\":" + std::to_string(processId()) +
+       ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+       scenario::jsonEscape(processName) + "\"}}");
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+std::string TraceWriter::tsField() const {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  // Microseconds with nanosecond decimals, e.g. 1234.567.
+  const auto us = ns / 1000;
+  const auto frac = ns % 1000;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(us),
+                static_cast<long long>(frac));
+  return buf;
+}
+
+void TraceWriter::emit(const std::string& event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  if (!first_) std::fputc(',', file_);
+  first_ = false;
+  std::fputc('\n', file_);
+  std::fputs(event.c_str(), file_);
+}
+
+void TraceWriter::begin(const std::string& name, const std::string& cat) {
+  if (file_ == nullptr) return;
+  emit("{\"ph\":\"B\",\"pid\":" + std::to_string(processId()) +
+       ",\"tid\":" + std::to_string(threadId()) + ",\"ts\":" + tsField() +
+       ",\"name\":\"" + scenario::jsonEscape(name) + "\",\"cat\":\"" +
+       scenario::jsonEscape(cat) + "\"}");
+}
+
+void TraceWriter::end() {
+  if (file_ == nullptr) return;
+  emit("{\"ph\":\"E\",\"pid\":" + std::to_string(processId()) +
+       ",\"tid\":" + std::to_string(threadId()) + ",\"ts\":" + tsField() +
+       "}");
+}
+
+void TraceWriter::instant(const std::string& name, const std::string& cat) {
+  if (file_ == nullptr) return;
+  emit("{\"ph\":\"i\",\"s\":\"t\",\"pid\":" + std::to_string(processId()) +
+       ",\"tid\":" + std::to_string(threadId()) + ",\"ts\":" + tsField() +
+       ",\"name\":\"" + scenario::jsonEscape(name) + "\",\"cat\":\"" +
+       scenario::jsonEscape(cat) + "\"}");
+}
+
+void TraceWriter::asyncBegin(const std::string& name, const std::string& cat,
+                             std::uint64_t id) {
+  if (file_ == nullptr) return;
+  emit("{\"ph\":\"b\",\"pid\":" + std::to_string(processId()) +
+       ",\"tid\":" + std::to_string(threadId()) + ",\"ts\":" + tsField() +
+       ",\"name\":\"" + scenario::jsonEscape(name) + "\",\"cat\":\"" +
+       scenario::jsonEscape(cat) + "\",\"id\":\"" + std::to_string(id) +
+       "\"}");
+}
+
+void TraceWriter::asyncEnd(const std::string& name, const std::string& cat,
+                           std::uint64_t id) {
+  if (file_ == nullptr) return;
+  emit("{\"ph\":\"e\",\"pid\":" + std::to_string(processId()) +
+       ",\"tid\":" + std::to_string(threadId()) + ",\"ts\":" + tsField() +
+       ",\"name\":\"" + scenario::jsonEscape(name) + "\",\"cat\":\"" +
+       scenario::jsonEscape(cat) + "\",\"id\":\"" + std::to_string(id) +
+       "\"}");
+}
+
+void TraceWriter::counter(const std::string& name, std::int64_t value) {
+  if (file_ == nullptr) return;
+  emit("{\"ph\":\"C\",\"pid\":" + std::to_string(processId()) +
+       ",\"tid\":" + std::to_string(threadId()) + ",\"ts\":" + tsField() +
+       ",\"name\":\"" + scenario::jsonEscape(name) +
+       "\",\"args\":{\"value\":" + std::to_string(value) + "}}");
+}
+
+void TraceWriter::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fputs("\n]}\n", file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceWriter* trace() { return g_trace.load(std::memory_order_relaxed); }
+
+void setTrace(TraceWriter* writer) {
+  g_trace.store(writer, std::memory_order_release);
+}
+
+}  // namespace pnoc::obs

@@ -1,0 +1,92 @@
+// obs::TraceWriter — Chrome-trace / Perfetto span export.
+//
+// Emits the Chrome Trace Event JSON format ({"traceEvents":[...]}), which
+// ui.perfetto.dev and chrome://tracing open directly.  Three event shapes:
+//
+//   * thread spans   — begin()/end() ("ph":"B"/"E"), strictly nested per
+//                      thread; ScopedSpan is the RAII wrapper.
+//   * async spans    — asyncBegin()/asyncEnd() ("ph":"b"/"e"), matched by
+//                      (category, name, id) and free to cross threads — the
+//                      shape for queue-wait and in-flight unit execution.
+//   * instants       — instant() ("ph":"i"), point events (respawns,
+//                      backoff).
+//
+// Timestamps are microseconds (sub-µs as decimals) from a steady clock, so
+// spans are monotonic even if the wall clock steps.  The writer is mutex
+// serialized and buffered through stdio; close() (or the destructor) writes
+// the closing bracket so the file is complete, well-formed JSON — what
+// scripts/validate_trace.py checks in CI.
+//
+// Tracing is opt-in per process via the trace=FILE key on pnoc_run and
+// pnoc_serve.  Instrumentation sites use the process-global writer
+// (obs::trace(), null when tracing is off), so a disabled trace costs one
+// relaxed atomic load per site.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace pnoc::obs {
+
+class TraceWriter {
+ public:
+  /// Opens `path` for writing and emits the header + process-name metadata.
+  /// ok() is false when the file could not be opened (callers report and run
+  /// untraced).
+  explicit TraceWriter(const std::string& path,
+                       const std::string& processName = "pnoc");
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void begin(const std::string& name, const std::string& cat);
+  void end();
+  void instant(const std::string& name, const std::string& cat);
+  void asyncBegin(const std::string& name, const std::string& cat,
+                  std::uint64_t id);
+  void asyncEnd(const std::string& name, const std::string& cat,
+                std::uint64_t id);
+  void counter(const std::string& name, std::int64_t value);
+
+  /// Writes the closing bracket and closes the file; further events are
+  /// dropped.  Idempotent; the destructor calls it.
+  void close();
+
+ private:
+  std::string tsField() const;
+  void emit(const std::string& event);
+
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  bool first_ = true;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-global trace sink; null when tracing is off.  The owner of the
+/// TraceWriter (the tool main / ServeDaemon) installs it for its lifetime
+/// and must setTrace(nullptr) before destroying it.
+TraceWriter* trace();
+void setTrace(TraceWriter* writer);
+
+/// RAII thread span against the global writer; a no-op when tracing is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat) : writer_(trace()) {
+    if (writer_ != nullptr) writer_->begin(name, cat);
+  }
+  ~ScopedSpan() {
+    if (writer_ != nullptr) writer_->end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceWriter* writer_;
+};
+
+}  // namespace pnoc::obs

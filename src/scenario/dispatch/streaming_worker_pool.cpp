@@ -15,6 +15,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "scenario/wire.hpp"
 #include "sim/interrupt.hpp"
 
@@ -53,6 +54,7 @@ struct Slot {
   Clock::time_point jobDeadline;
   unsigned completed = 0;
   unsigned respawns = 0;
+  std::uint64_t handshakeSpanId = 0;  // open worker-handshake trace span
 };
 
 /// The state of one execute() call.  The destructor is the error-path
@@ -134,9 +136,33 @@ class Dealer {
     return policy_.connectTimeoutMs;
   }
 
+  // Trace spans mirror the service fleet's vocabulary (worker-handshake,
+  // dispatch, unit-execution, retry/respawn instants) so a traced pnoc_run
+  // and a traced pnoc_serve read the same in ui.perfetto.dev.  Job spans use
+  // the job index as the async id: a job is on exactly one worker at a time,
+  // so successive attempts produce sequential (never overlapping) spans.
+  void endHandshakeSpan(Slot& slot) {
+    if (slot.handshakeSpanId == 0) return;
+    if (obs::TraceWriter* writer = obs::trace()) {
+      writer->asyncEnd("worker-handshake", "dispatch", slot.handshakeSpanId);
+    }
+    slot.handshakeSpanId = 0;
+  }
+
+  void endJobSpan(std::size_t index) {
+    if (obs::TraceWriter* writer = obs::trace()) {
+      writer->asyncEnd("unit-execution", "dispatch",
+                       static_cast<std::uint64_t>(index));
+    }
+  }
+
   void sendHello(Slot& slot) {
     slot.ackSeen = false;
     slot.buffer.clear();
+    if (obs::TraceWriter* writer = obs::trace()) {
+      slot.handshakeSpanId = ++nextHandshakeId_;
+      writer->asyncBegin("worker-handshake", "dispatch", slot.handshakeSpanId);
+    }
     slot.ackDeadline =
         Clock::now() + std::chrono::milliseconds(slotConnectTimeoutMs(slot));
     if (!writeAllToWorker(slot.conn.stdinFd, wire::streamHelloLine() + "\n")) {
@@ -178,6 +204,7 @@ class Dealer {
   /// Kills a worker with SIGTERM-grace-SIGKILL escalation and records how
   /// it ended.  Safe on already-exited workers (the reap returns at once).
   void killSlot(Slot& slot) {
+    endHandshakeSpan(slot);
     slot.alive = false;
     const int status = terminateWorker(slot.conn, policy_.graceMs);
     if (status >= 0) slot.waitStatus = status;
@@ -197,6 +224,7 @@ class Dealer {
   /// UNCHARGED, preserving their relative order (reverse push_front).
   void refundInFlight(Slot& slot) {
     while (!slot.inFlight.empty()) {
+      endJobSpan(slot.inFlight.back());
       pending_.push_front(slot.inFlight.back());
       slot.inFlight.pop_back();
     }
@@ -210,6 +238,7 @@ class Dealer {
     if (slot.inFlight.empty()) return;
     const std::size_t front = slot.inFlight.front();
     slot.inFlight.pop_front();
+    endJobSpan(front);
     refundInFlight(slot);
     jobFaulted(front, loudWho, recordDetail);
   }
@@ -245,6 +274,9 @@ class Dealer {
     if (attempts_[index] <= policy_.retries) {
       ++stats_.retries;
       const std::uint64_t backoff = backoffMsForAttempt(policy_, attempts_[index]);
+      if (obs::TraceWriter* writer = obs::trace()) {
+        writer->instant(backoff == 0 ? "retry" : "retry-backoff", "dispatch");
+      }
       std::fprintf(stderr,
                    "pnoc dispatch: %s while running job %zu; redispatching"
                    " (attempt %u of %u%s)\n",
@@ -320,6 +352,9 @@ class Dealer {
     }
     slot.alive = true;
     slot.waitStatus.reset();
+    if (obs::TraceWriter* writer = obs::trace()) {
+      writer->instant("respawn", "dispatch");
+    }
     std::fprintf(stderr, "pnoc dispatch: respawned %s (respawn %u of %u)\n",
                  describeSlot(slot).c_str(), slot.respawns, policy_.respawns);
     sendHello(slot);
@@ -351,10 +386,19 @@ class Dealer {
         const std::size_t index = pending_.front();
         pending_.pop_front();
         const std::string line = wire::jobLine(index, jobs_[index]) + "\n";
-        if (writeAllToWorker(slot.conn.stdinFd, line)) {
+        bool written;
+        {
+          const obs::ScopedSpan span("dispatch", "dispatch");
+          written = writeAllToWorker(slot.conn.stdinFd, line);
+        }
+        if (written) {
           if (slot.inFlight.empty() && policy_.jobDeadlineMs != 0) {
             slot.jobDeadline =
                 Clock::now() + std::chrono::milliseconds(policy_.jobDeadlineMs);
+          }
+          if (obs::TraceWriter* writer = obs::trace()) {
+            writer->asyncBegin("unit-execution", "dispatch",
+                               static_cast<std::uint64_t>(index));
           }
           slot.inFlight.push_back(index);
           const auto inFlightNow = static_cast<unsigned>(slot.inFlight.size());
@@ -477,6 +521,7 @@ class Dealer {
              " ms job deadline on job " + std::to_string(index) + " (" +
              describeEnd(slot) + ")");
         slot.inFlight.pop_front();
+        endJobSpan(index);
         refundInFlight(slot);
         jobFaulted(index,
                    who + " exceeded the " + std::to_string(policy_.jobDeadlineMs) +
@@ -519,6 +564,7 @@ class Dealer {
         return;
       }
       slot.ackSeen = true;
+      endHandshakeSpan(slot);
       return;
     }
     wire::WorkerReply reply;
@@ -542,6 +588,7 @@ class Dealer {
     }
     const std::size_t index = slot.inFlight.front();
     slot.inFlight.pop_front();
+    endJobSpan(index);
     // The next queued job is now the one the worker is executing: its
     // deadline budget starts here.
     if (!slot.inFlight.empty() && policy_.jobDeadlineMs != 0) {
@@ -643,6 +690,7 @@ class Dealer {
   std::size_t filledCount_ = 0;
   std::vector<std::string> failures_;
   std::vector<std::string> deathNotes_;
+  std::uint64_t nextHandshakeId_ = 0;  // trace span ids across respawns
 };
 
 }  // namespace

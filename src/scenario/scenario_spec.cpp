@@ -193,6 +193,17 @@ std::vector<ScenarioField> makeFields() {
       },
       false});
 
+  fields.push_back(ScenarioField{
+      "profile",
+      "cycle profiler: per-phase/per-kind engine time (bit-identical)",
+      [](ScenarioSpec& spec, const std::string& value) {
+        spec.params.profile = parseBool(value);
+      },
+      [](const ScenarioSpec& spec) {
+        return spec.params.profile ? "true" : "false";
+      },
+      false});
+
   fields.push_back(u32Field("queue", "injection queue capacity in packets",
                             &network::SimulationParameters::injectionQueuePackets));
 

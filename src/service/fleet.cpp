@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "scenario/wire.hpp"
 
 namespace pnoc::service {
@@ -32,10 +33,48 @@ std::uint64_t envConnectTimeoutMs() {
 }  // namespace
 
 FleetManager::FleetManager(scenario::dispatch::FaultPolicy policy,
-                           Callbacks callbacks)
+                           Callbacks callbacks, obs::Registry* registry)
     : policy_(policy), callbacks_(std::move(callbacks)) {
   // A worker dying mid-write must surface as EPIPE, not SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
+  if (registry == nullptr) {
+    ownedRegistry_ = std::make_unique<obs::Registry>();
+    registry = ownedRegistry_.get();
+  }
+  statRetries_ = registry->counter("fleet_retries_total");
+  statRespawns_ = registry->counter("fleet_respawns_total");
+  statDeadlineKills_ = registry->counter("fleet_deadline_kills_total");
+  statProtocolDeaths_ = registry->counter("fleet_protocol_deaths_total");
+  statLaunchFailures_ = registry->counter("fleet_launch_failures_total");
+  statFailedUnits_ = registry->counter("fleet_failed_units_total");
+  statUnitsCompleted_ = registry->counter("fleet_units_completed_total");
+  statMaxInFlight_ = registry->gauge("fleet_max_in_flight");
+}
+
+FleetManager::Stats FleetManager::stats() const {
+  Stats s;
+  s.retries = static_cast<unsigned>(statRetries_.value());
+  s.respawns = static_cast<unsigned>(statRespawns_.value());
+  s.deadlineKills = static_cast<unsigned>(statDeadlineKills_.value());
+  s.protocolDeaths = static_cast<unsigned>(statProtocolDeaths_.value());
+  s.launchFailures = static_cast<unsigned>(statLaunchFailures_.value());
+  s.failedUnits = static_cast<unsigned>(statFailedUnits_.value());
+  s.maxInFlight = static_cast<unsigned>(statMaxInFlight_.value());
+  return s;
+}
+
+void FleetManager::endHandshakeSpan(Slot& slot) {
+  if (slot.handshakeSpanId == 0) return;
+  if (obs::TraceWriter* writer = obs::trace()) {
+    writer->asyncEnd("worker-handshake", "fleet", slot.handshakeSpanId);
+  }
+  slot.handshakeSpanId = 0;
+}
+
+void FleetManager::endUnitSpan(const Flight& flight) {
+  if (obs::TraceWriter* writer = obs::trace()) {
+    writer->asyncEnd("unit-execution", "fleet", flight.seq);
+  }
 }
 
 FleetManager::~FleetManager() {
@@ -62,13 +101,17 @@ void FleetManager::startWorker(Slot& slot, std::uint64_t nowMs) {
   } catch (const std::exception& error) {
     slot.state = SlotState::kDead;
     slot.launchFailed = true;
-    ++stats_.launchFailures;
+    statLaunchFailures_.inc();
     note(slot.transport->describe() + " failed to launch: " + error.what());
     return;
   }
   slot.state = SlotState::kConnecting;
   slot.buffer.clear();
   slot.connectDeadlineMs = nowMs + connectBudgetMs(slot);
+  if (obs::TraceWriter* writer = obs::trace()) {
+    slot.handshakeSpanId = ++nextHandshakeId_;
+    writer->asyncBegin("worker-handshake", "fleet", slot.handshakeSpanId);
+  }
   // Handshake hello (carries this build's stamp); the ack is validated when
   // the worker's first line arrives.
   if (!writeAllToWorker(slot.conn.stdinFd,
@@ -106,6 +149,7 @@ bool FleetManager::removeWorker(std::size_t worker, std::uint64_t nowMs,
   }
   // In-flight units return to the retry queue UNCHARGED — removal is an
   // operator action, not a fault of the unit.
+  endHandshakeSpan(slot);
   refundInFlight(slot);
   terminateWorker(slot.conn, policy_.graceMs);
   slot.state = SlotState::kRemoved;
@@ -115,6 +159,7 @@ bool FleetManager::removeWorker(std::size_t worker, std::uint64_t nowMs,
 }
 
 void FleetManager::killSlot(Slot& slot, SlotState endState) {
+  endHandshakeSpan(slot);
   terminateWorker(slot.conn, policy_.graceMs);
   slot.state = endState;
   slot.buffer.clear();
@@ -125,6 +170,7 @@ void FleetManager::refundInFlight(Slot& slot) {
   // Order-preserving reverse push_front: the refunded units re-deal in the
   // order the dead worker would have executed them.
   while (!slot.inFlight.empty()) {
+    endUnitSpan(slot.inFlight.back());  // the re-deal gets a fresh seq/span
     retryQueue_.push_front(std::move(slot.inFlight.back()));
     slot.inFlight.pop_back();
   }
@@ -136,6 +182,7 @@ void FleetManager::chargeFrontRefundRest(Slot& slot, const std::string& loudWho,
   if (slot.inFlight.empty()) return;
   Flight front = std::move(slot.inFlight.front());
   slot.inFlight.pop_front();
+  endUnitSpan(front);
   refundInFlight(slot);
   unitFaulted(std::move(front), loudWho, recordDetail, nowMs);
 }
@@ -145,8 +192,11 @@ void FleetManager::unitFaulted(Flight flight, const std::string& loudWho,
                                std::uint64_t nowMs) {
   ++flight.attempts;
   if (flight.attempts <= policy_.retries) {
-    ++stats_.retries;
+    statRetries_.inc();
     const std::uint64_t backoff = backoffMsForAttempt(policy_, flight.attempts);
+    if (obs::TraceWriter* writer = obs::trace()) {
+      writer->instant(backoff != 0 ? "retry-backoff" : "retry", "fleet");
+    }
     note(loudWho + " while running job " + std::to_string(flight.unit.ref.job) +
          " unit " + std::to_string(flight.unit.ref.unit) + "; redispatching" +
          (backoff != 0 ? " after " + std::to_string(backoff) + " ms" : ""));
@@ -166,7 +216,7 @@ void FleetManager::recordUnitFailure(const Flight& flight,
   // The fleet is fail-soft per unit: a multi-tenant daemon records the
   // failure (the job's BENCH checkpoint keeps it re-dispatchable) and keeps
   // serving every other unit.
-  ++stats_.failedUnits;
+  statFailedUnits_.inc();
   scenario::ScenarioOutcome outcome;
   outcome.op = flight.unit.job.op;
   outcome.spec = flight.unit.job.spec;
@@ -180,9 +230,10 @@ void FleetManager::recordUnitFailure(const Flight& flight,
 void FleetManager::connectFailure(Slot& slot, const std::string& what) {
   // The host never proved it can run jobs: retire the slot (no respawn) and
   // refund anything dealt to it uncharged.
+  endHandshakeSpan(slot);
   killSlot(slot, SlotState::kDead);
   slot.launchFailed = true;
-  ++stats_.launchFailures;
+  statLaunchFailures_.inc();
   refundInFlight(slot);
   note(what + "; continuing on the remaining workers");
 }
@@ -190,7 +241,10 @@ void FleetManager::connectFailure(Slot& slot, const std::string& what) {
 void FleetManager::maybeRespawn(Slot& slot, std::uint64_t nowMs) {
   if (slot.launchFailed || slot.respawns >= policy_.respawns) return;
   ++slot.respawns;
-  ++stats_.respawns;
+  statRespawns_.inc();
+  if (obs::TraceWriter* writer = obs::trace()) {
+    writer->instant("respawn", "fleet");
+  }
   note("respawning " + slot.transport->describe() + " (respawn " +
        std::to_string(slot.respawns) + " of " + std::to_string(policy_.respawns) +
        ")");
@@ -217,14 +271,22 @@ void FleetManager::pump(std::uint64_t nowMs) {
       flight.seq = nextSeq_++;
       const std::string line =
           scenario::wire::jobLine(flight.seq, flight.unit.job) + "\n";
-      if (writeAllToWorker(slot.conn.stdinFd, line)) {
+      bool written;
+      {
+        const obs::ScopedSpan span("dispatch", "fleet");
+        written = writeAllToWorker(slot.conn.stdinFd, line);
+      }
+      if (written) {
+        if (obs::TraceWriter* writer = obs::trace()) {
+          writer->asyncBegin("unit-execution", "fleet", flight.seq);
+        }
         if (slot.inFlight.empty() && policy_.jobDeadlineMs != 0) {
           slot.frontDeadlineMs = nowMs + policy_.jobDeadlineMs;
         }
         slot.inFlight.push_back(std::move(flight));
         const auto inFlightNow = static_cast<unsigned>(slot.inFlight.size());
         slot.maxInFlight = std::max(slot.maxInFlight, inFlightNow);
-        stats_.maxInFlight = std::max(stats_.maxInFlight, inFlightNow);
+        statMaxInFlight_.observeMax(inFlightNow);
       } else {
         // Died taking the line: this unit goes back untouched; queued units
         // are handled like any death — front charged, rest refunded.
@@ -294,13 +356,14 @@ void FleetManager::handleLine(Slot& slot, const std::string& line,
       return;
     }
     slot.state = SlotState::kReady;
+    endHandshakeSpan(slot);
     return;
   }
   scenario::wire::WorkerReply reply;
   try {
     reply = scenario::wire::parseReplyLine(line);
   } catch (const std::exception& error) {
-    ++stats_.protocolDeaths;
+    statProtocolDeaths_.inc();
     const std::string who = slot.conn.description;
     killSlot(slot, SlotState::kDead);
     note(who + " sent an unparseable reply (worker killed): " + error.what());
@@ -313,7 +376,7 @@ void FleetManager::handleLine(Slot& slot, const std::string& line,
   // queue (it executes stdin lines sequentially) — anything else is
   // corruption.
   if (slot.inFlight.empty() || reply.index != slot.inFlight.front().seq) {
-    ++stats_.protocolDeaths;
+    statProtocolDeaths_.inc();
     const std::string who = slot.conn.description;
     killSlot(slot, SlotState::kDead);
     note(who + " replied out of order (worker killed)");
@@ -324,6 +387,8 @@ void FleetManager::handleLine(Slot& slot, const std::string& line,
   }
   Flight flight = std::move(slot.inFlight.front());
   slot.inFlight.pop_front();
+  endUnitSpan(flight);
+  statUnitsCompleted_.inc();
   // The next queued unit is now the one the worker is executing: its
   // deadline budget starts here.
   if (!slot.inFlight.empty() && policy_.jobDeadlineMs != 0) {
@@ -352,7 +417,7 @@ void FleetManager::handleDeath(Slot& slot, std::uint64_t nowMs) {
     connectFailure(slot, who + " died before the handshake ack");
     return;
   }
-  if (truncated) ++stats_.protocolDeaths;
+  if (truncated) statProtocolDeaths_.inc();
   const std::string how =
       truncated ? "died with a truncated reply line" : "died";
   if (slot.inFlight.empty()) {
@@ -390,10 +455,11 @@ void FleetManager::onTick(std::uint64_t nowMs) {
     if (slot.state == SlotState::kReady && !slot.inFlight.empty() &&
         policy_.jobDeadlineMs != 0 && slot.frontDeadlineMs != 0 &&
         nowMs >= slot.frontDeadlineMs) {
-      ++stats_.deadlineKills;
+      statDeadlineKills_.inc();
       const std::string who = slot.conn.description;
       Flight front = std::move(slot.inFlight.front());
       slot.inFlight.pop_front();
+      endUnitSpan(front);
       killSlot(slot, SlotState::kDead);
       refundInFlight(slot);
       note(who + " exceeded the " + std::to_string(policy_.jobDeadlineMs) +

@@ -38,6 +38,7 @@
 
 #include <poll.h>
 
+#include "obs/registry.hpp"
 #include "scenario/dispatch/fault_policy.hpp"
 #include "scenario/dispatch/worker_transport.hpp"
 #include "scenario/execution_backend.hpp"
@@ -62,7 +63,9 @@ class FleetManager {
   };
 
   /// Cumulative fault/pipelining counters (never reset; the status
-  /// endpoint reports them verbatim).
+  /// endpoint reports them verbatim).  A VALUE SNAPSHOT over the fleet's
+  /// registry counters (fleet_*_total / fleet_max_in_flight) — the metrics
+  /// endpoint and this struct read the same cells by construction.
   struct Stats {
     unsigned retries = 0;
     unsigned respawns = 0;
@@ -83,7 +86,11 @@ class FleetManager {
     unsigned respawns = 0;
   };
 
-  FleetManager(scenario::dispatch::FaultPolicy policy, Callbacks callbacks);
+  /// `registry` hosts the fleet_* metrics (the daemon passes its own so one
+  /// snapshot covers queue+fleet+journal); nullptr makes the fleet own a
+  /// private registry — same behaviour, uncoordinated exposition.
+  FleetManager(scenario::dispatch::FaultPolicy policy, Callbacks callbacks,
+               obs::Registry* registry = nullptr);
   ~FleetManager();  // terminates every live worker (bounded escalation)
 
   /// Spawns one worker through `transport` and starts its handshake; the
@@ -126,7 +133,7 @@ class FleetManager {
   std::size_t readyWorkers() const;
   std::size_t liveWorkers() const;  // ready + connecting
   std::vector<WorkerStatus> workerStatus() const;
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   struct Flight {
@@ -149,6 +156,7 @@ class FleetManager {
     unsigned maxInFlight = 0;
     unsigned respawns = 0;
     bool launchFailed = false;  // connect-class death: never respawn
+    std::uint64_t handshakeSpanId = 0;  // open worker-handshake trace span
   };
 
   struct DelayedFlight {
@@ -172,14 +180,28 @@ class FleetManager {
   void handleDeath(Slot& slot, std::uint64_t nowMs);
   void releaseDelayed(std::uint64_t nowMs);
   void note(const std::string& text);
+  void endHandshakeSpan(Slot& slot);
+  void endUnitSpan(const Flight& flight);
 
   scenario::dispatch::FaultPolicy policy_;
   Callbacks callbacks_;
   std::vector<Slot> slots_;
   std::deque<Flight> retryQueue_;        // refunded/retried units, dealt first
   std::vector<DelayedFlight> delayed_;   // units waiting out a backoff
-  Stats stats_;
   std::size_t nextSeq_ = 0;  // wire index generator (daemon-unique)
+  std::uint64_t nextHandshakeId_ = 0;  // trace span ids across respawns
+
+  // Registry-backed fault counters (see Stats); the registry outlives the
+  // handles: either `registry` from the ctor or ownedRegistry_.
+  std::unique_ptr<obs::Registry> ownedRegistry_;
+  obs::Counter statRetries_;
+  obs::Counter statRespawns_;
+  obs::Counter statDeadlineKills_;
+  obs::Counter statProtocolDeaths_;
+  obs::Counter statLaunchFailures_;
+  obs::Counter statFailedUnits_;
+  obs::Counter statUnitsCompleted_;
+  obs::Gauge statMaxInFlight_;
 };
 
 }  // namespace pnoc::service

@@ -1,6 +1,7 @@
 #include "service/journal.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,7 @@
 
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "scenario/json_util.hpp"
 
 namespace pnoc::service {
@@ -16,6 +18,13 @@ namespace {
 std::string terminalEventLine(const char* event, std::uint64_t id) {
   return std::string("{\"event\":\"") + event +
          "\",\"job\":" + std::to_string(id) + "}";
+}
+
+std::uint64_t microsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 }  // namespace
@@ -143,7 +152,25 @@ void QueueJournal::close() {
   }
 }
 
+void QueueJournal::bindMetrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    appends_ = obs::Counter();
+    fsyncUs_ = obs::Histogram();
+    compactions_ = obs::Counter();
+    compactUs_ = obs::Histogram();
+    liveJobs_ = obs::Gauge();
+    return;
+  }
+  appends_ = registry->counter("journal_appends_total");
+  fsyncUs_ = registry->histogram("journal_fsync_us");
+  compactions_ = registry->counter("journal_compactions_total");
+  compactUs_ = registry->histogram("journal_compact_us");
+  liveJobs_ = registry->gauge("journal_live_jobs");
+}
+
 std::vector<JournalJob> QueueJournal::open(const std::string& path) {
+  const obs::ScopedSpan span("journal-compact", "journal");
+  const auto start = std::chrono::steady_clock::now();
   close();
   path_ = path;
   std::vector<JournalJob> live;
@@ -179,11 +206,16 @@ std::vector<JournalJob> QueueJournal::open(const std::string& path) {
     throw std::runtime_error("service journal '" + path +
                              "': cannot append: " + std::strerror(errno));
   }
+  compactions_.inc();
+  compactUs_.observe(microsSince(start));
+  liveJobs_.set(static_cast<std::int64_t>(live.size()));
   return live;
 }
 
 void QueueJournal::appendLine(const std::string& line) {
   if (file_ == nullptr) return;  // journaling disabled (no journal= path)
+  const obs::ScopedSpan span("journal-fsync", "journal");
+  const auto start = std::chrono::steady_clock::now();
   const std::string out = line + "\n";
   if (std::fwrite(out.data(), 1, out.size(), file_) != out.size() ||
       std::fflush(file_) != 0) {
@@ -191,6 +223,8 @@ void QueueJournal::appendLine(const std::string& line) {
                              "': append failed: " + std::strerror(errno));
   }
   ::fsync(fileno(file_));
+  appends_.inc();
+  fsyncUs_.observe(microsSince(start));
 }
 
 void QueueJournal::appendSubmit(const JournalJob& job) {

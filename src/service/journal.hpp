@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace pnoc::service {
 
 /// One live job as replay reconstructs it.
@@ -77,6 +79,13 @@ class QueueJournal {
   void appendCancel(std::uint64_t id);
   void appendDone(std::uint64_t id);
 
+  /// Registers the journal's metrics in `registry` (nullptr detaches):
+  /// journal_appends_total / journal_fsync_us (per-event append+fsync
+  /// latency histogram), journal_compactions_total / journal_compact_us,
+  /// and the journal_live_jobs gauge from the last compaction.  Call before
+  /// open() to capture the startup compaction.
+  void bindMetrics(obs::Registry* registry);
+
   void close();
 
  private:
@@ -84,6 +93,11 @@ class QueueJournal {
 
   std::FILE* file_ = nullptr;
   std::string path_;
+  obs::Counter appends_;
+  obs::Histogram fsyncUs_;
+  obs::Counter compactions_;
+  obs::Histogram compactUs_;
+  obs::Gauge liveJobs_;
 };
 
 }  // namespace pnoc::service

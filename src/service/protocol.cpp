@@ -48,8 +48,8 @@ void checkServiceBanner(const std::string& line) {
 
 const std::vector<std::string>& verbNames() {
   static const std::vector<std::string> names = {
-      "submit", "status",   "watch",     "cancel",
-      "drain",  "shutdown", "fleet-add", "fleet-remove",
+      "submit", "status",   "watch",     "cancel",  "drain",
+      "shutdown", "fleet-add", "fleet-remove", "metrics",
   };
   return names;
 }

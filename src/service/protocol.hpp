@@ -44,6 +44,8 @@ enum class Verb {
   kShutdown,     // flush journal + checkpoints and exit the daemon
   kFleetAdd,     // add workers to the shared fleet at runtime
   kFleetRemove,  // remove one worker from the fleet (its jobs requeue)
+  kMetrics,      // full metrics snapshot (JSON, or Prometheus text via
+                 // "format":"text")
 };
 
 /// Every verb's wire name ("submit", ..., "fleet-add", "fleet-remove").

@@ -49,6 +49,10 @@ std::string benchPathFor(const GridJob& job) {
 }  // namespace
 
 ServeDaemon::ServeDaemon(ServeOptions options) : options_(std::move(options)) {
+  eventsTotal_ = registry_.counter("serve_events_total");
+  // The journal's fsync/compaction metrics land in the daemon's registry, so
+  // one snapshot covers queue + fleet + journal.  Bind before open().
+  journal_.bindMetrics(&registry_);
   if (::pipe(stopPipe_) == 0) {
     setNonBlocking(stopPipe_[0]);
     setNonBlocking(stopPipe_[1]);
@@ -58,6 +62,7 @@ ServeDaemon::ServeDaemon(ServeOptions options) : options_(std::move(options)) {
 }
 
 ServeDaemon::~ServeDaemon() {
+  if (trace_ != nullptr && obs::trace() == trace_.get()) obs::setTrace(nullptr);
   for (Session& session : sessions_) {
     if (session.fd >= 0) ::close(session.fd);
   }
@@ -88,6 +93,21 @@ void ServeDaemon::start() {
   std::signal(SIGPIPE, SIG_IGN);
   if (options_.socketPath.empty()) {
     throw std::invalid_argument("pnoc_serve: socket= needs a path");
+  }
+  startMs_ = nowMs();
+
+  // Tracing goes up FIRST so the journal replay's compaction span and the
+  // resumed units' queue-waits land in the file.
+  if (!options_.tracePath.empty()) {
+    trace_ = std::make_unique<obs::TraceWriter>(options_.tracePath, "pnoc_serve");
+    if (trace_->ok()) {
+      obs::setTrace(trace_.get());
+    } else {
+      std::fprintf(stderr, "pnoc_serve: cannot write trace '%s'; running"
+                   " untraced\n",
+                   options_.tracePath.c_str());
+      trace_.reset();
+    }
   }
 
   // --- listening socket ---
@@ -160,6 +180,15 @@ void ServeDaemon::start() {
                    " whole job\n",
                    static_cast<unsigned long long>(id), error.what());
     }
+    if (obs::TraceWriter* writer = obs::trace();
+        writer != nullptr && !resumed->terminal()) {
+      for (std::size_t u = 0; u < resumed->unitStates.size(); ++u) {
+        if (resumed->unitStates[u] == UnitState::kPending) {
+          writer->asyncBegin("queue-wait", "queue",
+                             queueWaitSpanId(UnitRef{id, u}));
+        }
+      }
+    }
   }
 
   // --- the shared fleet ---
@@ -169,7 +198,8 @@ void ServeDaemon::start() {
                               scenario::ScenarioOutcome outcome) {
     unitDone(ref, std::move(outcome));
   };
-  fleet_ = std::make_unique<FleetManager>(options_.policy, std::move(callbacks));
+  fleet_ = std::make_unique<FleetManager>(options_.policy, std::move(callbacks),
+                                          &registry_);
   const std::uint64_t now = nowMs();
   if (!options_.hosts.empty()) {
     for (auto& transport : scenario::dispatch::transportsFor(options_.hosts)) {
@@ -358,6 +388,7 @@ void ServeDaemon::serviceSession(Session& session) {
 }
 
 void ServeDaemon::handleRequest(Session& session, const std::string& line) {
+  eventsTotal_.inc();
   scenario::JsonValue request;
   Verb verb;
   try {
@@ -386,6 +417,7 @@ void ServeDaemon::handleRequest(Session& session, const std::string& line) {
         break;
       case Verb::kFleetAdd: handleFleetAdd(session, request); break;
       case Verb::kFleetRemove: handleFleetRemove(session, request); break;
+      case Verb::kMetrics: handleMetrics(session, request); break;
     }
   } catch (const std::exception& error) {
     send(session, errorReplyLine(error.what()));
@@ -463,6 +495,12 @@ void ServeDaemon::handleSubmit(Session& session,
   entry.dir = accepted->outDir;
   // Journal BEFORE the ack: an acknowledged submit must survive any crash.
   journal_.appendSubmit(entry);
+  if (obs::TraceWriter* writer = obs::trace()) {
+    writer->instant("submit", "service");
+    for (std::size_t u = 0; u < units; ++u) {
+      writer->asyncBegin("queue-wait", "queue", queueWaitSpanId(UnitRef{id, u}));
+    }
+  }
   send(session, "{\"ok\":1,\"job\":" + std::to_string(id) +
                     ",\"units\":" + std::to_string(units) + "}");
 }
@@ -495,6 +533,14 @@ void ServeDaemon::handleCancel(Session& session,
     return;
   }
   GridJob* job = queue_.find(id);
+  if (obs::TraceWriter* writer = obs::trace()) {
+    // Pending units never dispatch; their queue-waits end here.
+    for (std::size_t u = 0; u < job->unitStates.size(); ++u) {
+      if (job->unitStates[u] == UnitState::kCanceled) {
+        writer->asyncEnd("queue-wait", "queue", queueWaitSpanId(UnitRef{id, u}));
+      }
+    }
+  }
   fleet_->dropUnitsForJob(id);
   // Completed units stay on disk (the checkpoint keeps its records); the
   // journal's terminal event is the cancel itself.
@@ -555,6 +601,9 @@ void ServeDaemon::handleFleetRemove(Session& session,
 std::optional<FleetUnit> ServeDaemon::nextUnit() {
   const std::optional<UnitRef> ref = queue_.nextUnit();
   if (!ref) return std::nullopt;
+  if (obs::TraceWriter* writer = obs::trace()) {
+    writer->asyncEnd("queue-wait", "queue", queueWaitSpanId(*ref));
+  }
   const GridJob* job = queue_.find(ref->job);
   FleetUnit unit;
   unit.ref = *ref;
@@ -563,6 +612,7 @@ std::optional<FleetUnit> ServeDaemon::nextUnit() {
 }
 
 void ServeDaemon::unitDone(const UnitRef& ref, scenario::ScenarioOutcome outcome) {
+  eventsTotal_.inc();
   GridJob* job = queue_.find(ref.job);
   if (job == nullptr) return;
   // grid_index tags the unit's index within ITS job's grid, so the BENCH
@@ -596,6 +646,7 @@ void ServeDaemon::flushJobCheckpoint(GridJob& job, bool force) {
     if (!record.empty()) records.push_back(record);
   }
   if (records.empty()) return;
+  const obs::ScopedSpan span("checkpoint-flush", "service");
   const std::string written =
       scenario::dispatch::writeBenchFile(job.outDir, job.benchName, records);
   if (!written.empty()) job.benchPath = written;
@@ -655,6 +706,10 @@ std::string ServeDaemon::statusJson() const {
   // counters.  One line, parseable by anything that reads JSON.
   std::string out = serviceBannerLine();
   out.pop_back();  // reopen the banner object: status extends it
+  out += ",\"uptime_s\":" + std::to_string((nowMs() - startMs_) / 1000);
+  // events_total only ever grows within one daemon lifetime, so a watch
+  // client that sees it shrink knows the daemon restarted underneath it.
+  out += ",\"events_total\":" + std::to_string(eventsTotal_.value());
   out += ",\"draining\":" + std::to_string(draining_ ? 1 : 0);
   out += ",\"queue_depth\":" + std::to_string(queue_.pendingUnits());
   out += ",\"dispatched\":" + std::to_string(queue_.dispatchedUnits());
@@ -696,8 +751,60 @@ std::string ServeDaemon::statusJson() const {
   out += ",\"launch_failures\":" + std::to_string(stats.launchFailures);
   out += ",\"failed_units\":" + std::to_string(stats.failedUnits);
   out += ",\"max_in_flight\":" + std::to_string(stats.maxInFlight);
+  out += "}";
+  // Journal health, read off the same registry cells the metrics verb dumps.
+  const obs::Snapshot snap = registry_.snapshot();
+  const auto counterOf = [&snap](const char* name) {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  out += ",\"journal\":{";
+  out += "\"appends\":" + std::to_string(counterOf("journal_appends_total"));
+  out += ",\"compactions\":" +
+         std::to_string(counterOf("journal_compactions_total"));
+  const auto fsync = snap.histograms.find("journal_fsync_us");
+  if (fsync != snap.histograms.end() && fsync->second.count > 0) {
+    out += ",\"fsync_p50_us\":" + std::to_string(fsync->second.quantile(0.5));
+    out += ",\"fsync_p99_us\":" + std::to_string(fsync->second.quantile(0.99));
+  }
   out += "}}";
   return out;
+}
+
+void ServeDaemon::publishRuntimeGauges() {
+  registry_.gauge("serve_queue_depth").set(
+      static_cast<std::int64_t>(queue_.pendingUnits()));
+  registry_.gauge("serve_dispatched_units").set(
+      static_cast<std::int64_t>(queue_.dispatchedUnits()));
+  registry_.gauge("serve_uptime_s").set(
+      static_cast<std::int64_t>((nowMs() - startMs_) / 1000));
+  if (fleet_ != nullptr) {
+    registry_.gauge("serve_workers_live").set(
+        static_cast<std::int64_t>(fleet_->liveWorkers()));
+    registry_.gauge("serve_workers_ready").set(
+        static_cast<std::int64_t>(fleet_->readyWorkers()));
+  }
+}
+
+void ServeDaemon::handleMetrics(Session& session,
+                                const scenario::JsonValue& request) {
+  publishRuntimeGauges();
+  const obs::Snapshot snap = registry_.snapshot();
+  std::string format = "json";
+  if (const scenario::JsonValue* f = request.find("format")) {
+    format = f->asString();
+  }
+  if (format == "text") {
+    send(session, "{\"ok\":1,\"format\":\"text\",\"body\":\"" +
+                      scenario::jsonEscape(snap.toPrometheus()) + "\"}");
+    return;
+  }
+  if (format != "json") {
+    send(session,
+         errorReplyLine("format must be json or text, not '" + format + "'"));
+    return;
+  }
+  send(session, "{\"ok\":1,\"metrics\":" + snap.toJson() + "}");
 }
 
 void ServeDaemon::flushAllState() {

@@ -28,6 +28,16 @@
 //   {"op":"shutdown"}                         -> {"ok":1} then the loop exits
 //   {"op":"fleet-add","workers":K,...}        -> {"ok":1,"workers":<live>}
 //   {"op":"fleet-remove","worker":S}          -> {"ok":1,"worker":S}
+//   {"op":"metrics"}                          -> {"ok":1,"metrics":{...}}
+//   {"op":"metrics","format":"text"}          -> {"ok":1,...,"body":"<prom>"}
+//
+// Observability: the daemon owns one obs::Registry hosting the fleet's
+// fault counters, the journal's fsync/compaction histograms, and the
+// daemon's own queue gauges — `status` summarizes and `metrics` dumps the
+// SAME cells, so the two can never disagree.  ServeOptions.tracePath
+// additionally streams Chrome-trace spans (queue-wait, dispatch,
+// unit-execution, checkpoint-flush, journal-fsync, worker handshakes,
+// respawns) for ui.perfetto.dev.
 //
 // SIGINT/SIGTERM (sim/interrupt) and requestStop() drain the same way
 // shutdown does: checkpoints and the journal are flushed before exit, so
@@ -41,6 +51,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "scenario/execution_backend.hpp"
 #include "scenario/json_util.hpp"
 #include "service/fleet.hpp"
@@ -60,6 +72,8 @@ struct ServeOptions {
   /// Hosts-file fleet (hosts= / fleet snippet); overrides `shards`.
   std::vector<scenario::dispatch::HostEntry> hosts;
   scenario::dispatch::FaultPolicy policy;
+  /// Chrome-trace span output ("" = tracing off).
+  std::string tracePath;
 };
 
 class ServeDaemon {
@@ -83,6 +97,10 @@ class ServeDaemon {
   void requestStop();
 
   const std::string& socketPath() const { return options_.socketPath; }
+
+  /// The daemon's metric registry (fleet + journal + queue gauges); what
+  /// the metrics verb snapshots.  Exposed for in-process tests.
+  obs::Registry& metrics() { return registry_; }
 
  private:
   struct Session {
@@ -108,6 +126,7 @@ class ServeDaemon {
   void handleCancel(Session& session, const scenario::JsonValue& request);
   void handleFleetAdd(Session& session, const scenario::JsonValue& request);
   void handleFleetRemove(Session& session, const scenario::JsonValue& request);
+  void handleMetrics(Session& session, const scenario::JsonValue& request);
 
   std::optional<FleetUnit> nextUnit();
   void unitDone(const UnitRef& ref, scenario::ScenarioOutcome outcome);
@@ -118,11 +137,22 @@ class ServeDaemon {
   std::string statusJson() const;
   std::string jobEventLine(const GridJob& job, bool terminal) const;
   void flushAllState();
+  /// Refreshes the registry's level gauges (queue depth, workers, uptime)
+  /// so a snapshot is coherent at read time.
+  void publishRuntimeGauges();
+  /// Trace-span id for one unit's queue-wait (job and unit packed).
+  static std::uint64_t queueWaitSpanId(const UnitRef& ref) {
+    return (ref.job << 20) | static_cast<std::uint64_t>(ref.unit);
+  }
 
   ServeOptions options_;
   JobQueue queue_;
   QueueJournal journal_;
   std::unique_ptr<FleetManager> fleet_;
+  obs::Registry registry_;
+  std::unique_ptr<obs::TraceWriter> trace_;
+  obs::Counter eventsTotal_;
+  std::uint64_t startMs_ = 0;
   std::vector<Session> sessions_;
   std::map<std::uint64_t, std::uint64_t> lastCheckpointMs_;  // job -> last flush
   std::vector<std::uint64_t> dirtyJobs_;  // throttled checkpoint writes pending

@@ -2,15 +2,35 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace pnoc::sim {
 
-Engine::Engine() : level0_(kWheelSlots), level1_(kWheelSlots) {}
+namespace {
+
+using ProfClock = std::chrono::steady_clock;
+
+std::uint64_t elapsedNs(ProfClock::time_point from, ProfClock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+Engine::Engine()
+    : level0_(kWheelSlots),
+      level1_(kWheelSlots),
+      statCycles_(metrics_.counter("engine_cycles_total")),
+      statComponentSteps_(metrics_.counter("engine_component_steps_total")),
+      statWakes_(metrics_.counter("engine_wakes_total")),
+      statTimersScheduled_(metrics_.counter("engine_timers_scheduled_total")),
+      statTimersFired_(metrics_.counter("engine_timers_fired_total")) {}
 
 void Engine::add(Clocked& component) {
   component.engine_ = this;
   component.slot_ = static_cast<std::uint32_t>(components_.size());
   components_.push_back(&component);
+  kinds_.push_back(component.profileKind());
   active_.push_back(1);
   lastWakeCycle_.push_back(kNoCycle);
   activeSlots_.push_back(component.slot_);  // slots ascend, so stays sorted
@@ -31,7 +51,18 @@ void Engine::reset() {
   for (auto& bucket : level1_) bucket.clear();
   overflow_.clear();
   pendingTimers_ = 0;
-  stats_ = EngineStats{};
+  metrics_.reset();
+  if (profiler_ != nullptr) profiler_->reset();
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.cycles = statCycles_.value();
+  s.componentSteps = statComponentSteps_.value();
+  s.wakes = statWakes_.value();
+  s.timersScheduled = statTimersScheduled_.value();
+  s.timersFired = statTimersFired_.value();
+  return s;
 }
 
 void Engine::setActivityGating(bool enabled) {
@@ -39,7 +70,8 @@ void Engine::setActivityGating(bool enabled) {
   // Re-activate everything: correct for both directions (when enabling, the
   // first parked components drop out at the end of the next cycle).  Timers
   // stay scheduled — fires on active components are dropped, and components
-  // that park again rely on their still-pending timers.
+  // that park again rely on their still-pending timers.  Stats survive the
+  // toggle: the counters describe the whole run, not one gating regime.
   activeSlots_.clear();
   for (std::uint32_t slot = 0; slot < components_.size(); ++slot) {
     active_[slot] = 1;
@@ -54,7 +86,7 @@ void Engine::scheduleAt(std::uint32_t slot, Cycle cycle) {
   const Cycle due = std::max(cycle, now_ + 1);
   placeTimer(Timer{slot, due});
   ++pendingTimers_;
-  ++stats_.timersScheduled;
+  statTimersScheduled_.inc();
 }
 
 void Engine::placeTimer(const Timer& timer) {
@@ -102,7 +134,7 @@ void Engine::expireTimers() {
     // cycle anyway and re-park / re-schedule on its own authority.
     if (gating_ && !active_[timer.slot]) {
       wakeQueue_.push_back(timer.slot);
-      ++stats_.timersFired;
+      statTimersFired_.inc();
     }
   }
   bucket.clear();
@@ -116,7 +148,7 @@ void Engine::drainWakeQueue() {
     if (active_[slot]) continue;  // duplicates collapse here
     active_[slot] = 1;
     activeSlots_.push_back(slot);
-    ++stats_.wakes;
+    statWakes_.inc();
   }
   std::inplace_merge(activeSlots_.begin(),
                      activeSlots_.begin() + static_cast<std::ptrdiff_t>(mid),
@@ -124,13 +156,13 @@ void Engine::drainWakeQueue() {
   wakeQueue_.clear();
 }
 
-void Engine::step() {
+void Engine::stepFast() {
   if (gating_) {
     expireTimers();
     drainWakeQueue();
     for (const std::uint32_t slot : activeSlots_) components_[slot]->evaluate(now_);
     for (const std::uint32_t slot : activeSlots_) components_[slot]->advance(now_);
-    stats_.componentSteps += activeSlots_.size();
+    statComponentSteps_.inc(activeSlots_.size());
     // Park components that ended the cycle with nothing to do.  quiescent()
     // sees the post-advance state, including flits accepted this cycle; a
     // component woken DURING this cycle stays active (the wake arrived after
@@ -148,11 +180,103 @@ void Engine::step() {
     expireTimers();  // keep the wheel draining so gating can toggle back on
     for (Clocked* c : components_) c->evaluate(now_);
     for (Clocked* c : components_) c->advance(now_);
-    stats_.componentSteps += components_.size();
+    statComponentSteps_.inc(components_.size());
   }
-  ++stats_.cycles;
+  statCycles_.inc();
   if (onCycleEnd_) onCycleEnd_(now_);
   ++now_;
+}
+
+// The profiled step: IDENTICAL stepping semantics to stepFast(), plus
+// steady-clock brackets around each phase and around each run of
+// consecutive same-kind components (registration order groups kinds, so
+// runs are long and the extra clock reads are a handful per cycle, not per
+// component).  Any semantic change here must be mirrored in stepFast() —
+// tests/obs/profiler_test.cpp asserts bit-identical results between the two.
+void Engine::stepProfiled() {
+  obs::CycleProfiler& prof = *profiler_;
+  const ProfClock::time_point t0 = ProfClock::now();
+  if (gating_) {
+    expireTimers();
+    const ProfClock::time_point t1 = ProfClock::now();
+    prof.addPhase(obs::CycleProfiler::Phase::kTimerExpire, elapsedNs(t0, t1));
+    drainWakeQueue();
+    const ProfClock::time_point t2 = ProfClock::now();
+    prof.addPhase(obs::CycleProfiler::Phase::kWakeDrain, elapsedNs(t1, t2));
+
+    ProfClock::time_point runStart = t2;
+    obs::ComponentKind runKind = obs::ComponentKind::kOther;
+    std::uint64_t runLen = 0;
+    for (const std::uint32_t slot : activeSlots_) {
+      const obs::ComponentKind kind = kinds_[slot];
+      if (runLen > 0 && kind != runKind) {
+        const ProfClock::time_point now = ProfClock::now();
+        prof.addKind(runKind, elapsedNs(runStart, now), runLen);
+        runStart = now;
+        runLen = 0;
+      }
+      runKind = kind;
+      components_[slot]->evaluate(now_);
+      ++runLen;
+    }
+    ProfClock::time_point t3 = ProfClock::now();
+    if (runLen > 0) prof.addKind(runKind, elapsedNs(runStart, t3), runLen);
+    prof.addPhase(obs::CycleProfiler::Phase::kEvaluate, elapsedNs(t2, t3));
+
+    runStart = t3;
+    runLen = 0;
+    for (const std::uint32_t slot : activeSlots_) {
+      const obs::ComponentKind kind = kinds_[slot];
+      if (runLen > 0 && kind != runKind) {
+        const ProfClock::time_point now = ProfClock::now();
+        prof.addKind(runKind, elapsedNs(runStart, now), runLen);
+        runStart = now;
+        runLen = 0;
+      }
+      runKind = kind;
+      components_[slot]->advance(now_);
+      ++runLen;
+    }
+    const ProfClock::time_point t4 = ProfClock::now();
+    if (runLen > 0) prof.addKind(runKind, elapsedNs(runStart, t4), runLen);
+    prof.addPhase(obs::CycleProfiler::Phase::kAdvance, elapsedNs(t3, t4));
+
+    statComponentSteps_.inc(activeSlots_.size());
+    std::size_t kept = 0;
+    for (const std::uint32_t slot : activeSlots_) {
+      if (components_[slot]->quiescent() && lastWakeCycle_[slot] != now_) {
+        active_[slot] = 0;
+      } else {
+        activeSlots_[kept++] = slot;
+      }
+    }
+    activeSlots_.resize(kept);
+    prof.addPhase(obs::CycleProfiler::Phase::kParkScan,
+                  elapsedNs(t4, ProfClock::now()));
+  } else {
+    expireTimers();
+    const ProfClock::time_point t1 = ProfClock::now();
+    prof.addPhase(obs::CycleProfiler::Phase::kTimerExpire, elapsedNs(t0, t1));
+    for (Clocked* c : components_) c->evaluate(now_);
+    const ProfClock::time_point t2 = ProfClock::now();
+    prof.addPhase(obs::CycleProfiler::Phase::kEvaluate, elapsedNs(t1, t2));
+    for (Clocked* c : components_) c->advance(now_);
+    const ProfClock::time_point t3 = ProfClock::now();
+    prof.addPhase(obs::CycleProfiler::Phase::kAdvance, elapsedNs(t2, t3));
+    statComponentSteps_.inc(components_.size());
+  }
+  prof.addCycle();
+  statCycles_.inc();
+  if (onCycleEnd_) onCycleEnd_(now_);
+  ++now_;
+}
+
+void Engine::step() {
+  if (profiler_ != nullptr) {
+    stepProfiled();
+  } else {
+    stepFast();
+  }
 }
 
 void Engine::run(Cycle cycles) {

@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
 #include "sim/types.hpp"
 
 namespace pnoc::sim {
@@ -77,6 +79,13 @@ class Clocked {
   /// may re-schedule defensively.  No-op before engine registration.
   void scheduleWakeAt(Cycle cycle);
 
+  /// Coarse taxonomy for profile attribution (obs::CycleProfiler buckets
+  /// evaluate/advance time by kind).  Purely observational — never affects
+  /// stepping order or results.
+  virtual obs::ComponentKind profileKind() const {
+    return obs::ComponentKind::kOther;
+  }
+
  private:
   friend class Engine;
   Engine* engine_ = nullptr;
@@ -85,7 +94,10 @@ class Clocked {
 
 /// Counters describing how much work the engine actually did — the park rate
 /// they imply is the whole point of activity gating + the timer wheel, so the
-/// microbench records it per run.
+/// microbench records it per run.  This is a VALUE SNAPSHOT built from the
+/// engine's obs::Registry counters (Engine::metrics() exposes the registry
+/// itself for exposition); the hot loop increments plain uint64 registry
+/// cells, exactly as cheap as the bare struct this used to be.
 struct EngineStats {
   std::uint64_t cycles = 0;             ///< cycles stepped since construction/reset
   std::uint64_t componentSteps = 0;     ///< sum over cycles of components stepped
@@ -137,7 +149,22 @@ class Engine {
   /// Timers scheduled and not yet fired (tests / introspection).
   std::size_t pendingTimerCount() const { return pendingTimers_; }
 
-  const EngineStats& stats() const { return stats_; }
+  /// Snapshot of the work counters (a view over metrics(); see EngineStats).
+  EngineStats stats() const;
+
+  /// The engine's metric registry — engine_* counters live here; exposition
+  /// layers (microbench, service) snapshot it.  Single-writer: only the
+  /// stepping thread increments.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// Attaches (or detaches, with nullptr) a cycle profiler.  When attached,
+  /// step() switches to a variant that brackets each phase and each
+  /// component-kind run with steady-clock reads; stepping semantics and
+  /// results are bit-identical either way.  Costs one pointer test per
+  /// cycle when detached.  The profiler must outlive the attachment.
+  void setProfiler(obs::CycleProfiler* profiler) { profiler_ = profiler; }
+  obs::CycleProfiler* profiler() const { return profiler_; }
 
   /// Enables/disables activity gating (default on).  Disabling re-activates
   /// every component, restoring the classic step-everything behaviour.
@@ -178,6 +205,8 @@ class Engine {
   void placeTimer(const Timer& timer);
   void expireTimers();
   void drainWakeQueue();
+  void stepFast();
+  void stepProfiled();
 
   std::vector<Clocked*> components_;
   std::vector<char> active_;                // parallel to components_
@@ -189,7 +218,16 @@ class Engine {
   std::vector<Timer> overflow_;             // beyond the level-1 horizon
   std::size_t pendingTimers_ = 0;
   std::function<void(Cycle)> onCycleEnd_;
-  EngineStats stats_;
+  // Registry-backed work counters; handles cache raw cell pointers so the
+  // hot path is a plain uint64 add (metrics_ must precede the handles).
+  obs::Registry metrics_;
+  obs::Counter statCycles_;
+  obs::Counter statComponentSteps_;
+  obs::Counter statWakes_;
+  obs::Counter statTimersScheduled_;
+  obs::Counter statTimersFired_;
+  obs::CycleProfiler* profiler_ = nullptr;
+  std::vector<obs::ComponentKind> kinds_;  // parallel to components_
   Cycle now_ = 0;
   bool gating_ = true;
 };

@@ -1,0 +1,189 @@
+// obs::Registry unit tests: register-once handle identity, kind safety,
+// reset semantics, snapshot/diff arithmetic, the log2 histogram's bucket
+// boundaries, and both exposition formats.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "scenario/json_util.hpp"
+
+namespace pnoc::obs {
+namespace {
+
+TEST(Registry, RegisterOnceReturnsTheSameCell) {
+  Registry registry;
+  Counter a = registry.counter("hits");
+  Counter b = registry.counter("hits");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(registry.size(), 1u);
+
+  Gauge g1 = registry.gauge("depth");
+  Gauge g2 = registry.gauge("depth");
+  g1.set(12);
+  EXPECT_EQ(g2.value(), 12);
+
+  Histogram h1 = registry.histogram("lat");
+  Histogram h2 = registry.histogram("lat");
+  h1.observe(5);
+  EXPECT_EQ(h2.count(), 1u);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x"), std::invalid_argument);
+  registry.gauge("g");
+  EXPECT_THROW(registry.counter("g"), std::invalid_argument);
+}
+
+TEST(Registry, ResetDropsValuesButKeepsHandles) {
+  Registry registry;
+  Counter c = registry.counter("events");
+  Gauge g = registry.gauge("level");
+  Histogram h = registry.histogram("us");
+  c.inc(10);
+  g.set(-3);
+  h.observe(100);
+
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(registry.size(), 3u);  // registrations survive
+
+  // Old handles keep working against the zeroed cells.
+  c.inc();
+  h.observe(7);
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(registry.counter("events").value(), 1u);
+  EXPECT_EQ(registry.histogram("us").sum(), 7u);
+}
+
+TEST(Registry, SnapshotDiffSubtractsCountersAndKeepsLaterGauges) {
+  Registry registry;
+  Counter c = registry.counter("ops");
+  Gauge g = registry.gauge("depth");
+  Histogram h = registry.histogram("ns");
+
+  c.inc(5);
+  g.set(10);
+  h.observe(8);
+  h.observe(8);
+  const Snapshot before = registry.snapshot();
+
+  c.inc(7);
+  g.set(3);
+  h.observe(8);
+  const Snapshot after = registry.snapshot();
+
+  const Snapshot interval = after.diff(before);
+  EXPECT_EQ(interval.counters.at("ops"), 7u);
+  EXPECT_EQ(interval.gauges.at("depth"), 3);  // a gauge is a level, not a flow
+  EXPECT_EQ(interval.histograms.at("ns").count, 1u);
+  EXPECT_EQ(interval.histograms.at("ns").sum, 8u);
+
+  // diff against a LATER snapshot (e.g. across a reset) clamps at zero
+  // instead of wrapping.
+  const Snapshot clamped = before.diff(after);
+  EXPECT_EQ(clamped.counters.at("ops"), 0u);
+  EXPECT_EQ(clamped.histograms.at("ns").count, 0u);
+}
+
+TEST(Registry, HistogramBucketBoundaries) {
+  // Bucket i holds values of bit width i: bucket 0 = {0}, bucket i >= 1 =
+  // [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucketIndex(0), 0);
+  EXPECT_EQ(Histogram::bucketIndex(1), 1);
+  EXPECT_EQ(Histogram::bucketIndex(2), 2);
+  EXPECT_EQ(Histogram::bucketIndex(3), 2);
+  EXPECT_EQ(Histogram::bucketIndex(4), 3);
+  EXPECT_EQ(Histogram::bucketIndex(7), 3);
+  EXPECT_EQ(Histogram::bucketIndex(8), 4);
+  EXPECT_EQ(Histogram::bucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            64);
+
+  EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::bucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::bucketUpperBound(64),
+            std::numeric_limits<std::uint64_t>::max());
+
+  // Every boundary value lands in the bucket whose upper bound covers it.
+  for (int i = 1; i < 64; ++i) {
+    const std::uint64_t low = std::uint64_t{1} << (i - 1);
+    const std::uint64_t high = Histogram::bucketUpperBound(i);
+    EXPECT_EQ(Histogram::bucketIndex(low), i);
+    EXPECT_EQ(Histogram::bucketIndex(high), i);
+  }
+}
+
+TEST(Registry, HistogramQuantilesAreBucketUpperBounds) {
+  Registry registry;
+  Histogram h = registry.histogram("lat");
+  // 9 samples in bucket 3 ([4,7]), 1 sample in bucket 7 ([64,127]).
+  for (int i = 0; i < 9; ++i) h.observe(5);
+  h.observe(100);
+
+  const HistogramSnapshot snap = registry.snapshot().histograms.at("lat");
+  EXPECT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.sum, 145u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 14.5);
+  EXPECT_EQ(snap.quantile(0.5), 7u);     // within the 9-sample bucket
+  EXPECT_EQ(snap.quantile(0.9), 7u);     // rank 9 is still the first bucket
+  EXPECT_EQ(snap.quantile(0.99), 127u);  // rank 10 is the outlier's bucket
+  EXPECT_EQ(snap.quantile(1.0), 127u);
+
+  const HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+}
+
+TEST(Registry, JsonExpositionParsesAndCarriesEveryMetric) {
+  Registry registry;
+  registry.counter("reqs \"quoted\"").inc(3);
+  registry.gauge("depth").set(-2);
+  Histogram h = registry.histogram("us");
+  h.observe(0);
+  h.observe(9);
+
+  const std::string json = registry.snapshot().toJson();
+  const scenario::JsonValue doc = scenario::JsonValue::parse(json);
+  EXPECT_EQ(doc.at("counters").at("reqs \"quoted\"").asU64(), 3u);
+  EXPECT_EQ(doc.at("gauges").at("depth").raw(), "-2");
+  EXPECT_EQ(doc.at("histograms").at("us").at("count").asU64(), 2u);
+  EXPECT_EQ(doc.at("histograms").at("us").at("sum").asU64(), 9u);
+  EXPECT_EQ(doc.at("histograms").at("us").at("p50").asU64(), 0u);
+  EXPECT_EQ(doc.at("histograms").at("us").at("buckets").items().size(), 2u);
+}
+
+TEST(Registry, PrometheusExpositionShapesAndSanitizesNames) {
+  Registry registry;
+  registry.counter("journal appends-total").inc(2);
+  registry.gauge("queue_depth").set(4);
+  registry.histogram("fsync_us").observe(3);
+
+  const std::string text = registry.snapshot().toPrometheus();
+  EXPECT_NE(text.find("# TYPE pnoc_journal_appends_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("pnoc_journal_appends_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pnoc_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("pnoc_queue_depth 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pnoc_fsync_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("pnoc_fsync_us_bucket{le=\"3\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("pnoc_fsync_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pnoc_fsync_us_sum 3"), std::string::npos);
+  EXPECT_NE(text.find("pnoc_fsync_us_count 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnoc::obs

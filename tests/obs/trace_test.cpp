@@ -1,0 +1,133 @@
+// TraceWriter tests: the emitted file must be complete, well-formed Chrome
+// Trace Event JSON with matched span begin/end pairs — the same contract
+// scripts/validate_trace.py enforces on CI traces — and the global sink must
+// be a safe no-op when tracing is off.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "scenario/json_util.hpp"
+
+namespace pnoc::obs {
+namespace {
+
+std::string tempTracePath(const std::string& tag) {
+  return ::testing::TempDir() + "trace_" + tag + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+std::string readAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(TraceWriter, EmitsWellFormedMatchedSpans) {
+  const std::string path = tempTracePath("spans");
+  {
+    TraceWriter writer(path, "unit-test");
+    ASSERT_TRUE(writer.ok());
+    writer.begin("outer", "test");
+    writer.begin("inner", "test");
+    writer.instant("ping", "test");
+    writer.end();
+    writer.end();
+    writer.asyncBegin("queue-wait", "queue", 42);
+    writer.asyncEnd("queue-wait", "queue", 42);
+    writer.counter("depth", 3);
+  }  // destructor closes: the file must be complete JSON
+
+  const scenario::JsonValue doc = scenario::JsonValue::parse(readAll(path));
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_FALSE(events.empty());
+
+  int begins = 0, ends = 0, instants = 0, counters = 0, meta = 0;
+  std::map<std::string, int> asyncOpen;
+  for (const scenario::JsonValue& event : events) {
+    const std::string ph = event.at("ph").asString();
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "i") ++instants;
+    if (ph == "C") ++counters;
+    if (ph == "M") ++meta;
+    if (ph == "b" || ph == "e") {
+      const std::string key = event.at("cat").asString() + "/" +
+                              event.at("name").asString() + "/" +
+                              event.at("id").asString();
+      asyncOpen[key] += ph == "b" ? 1 : -1;
+    }
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(counters, 1);
+  EXPECT_GE(meta, 1);  // process_name metadata
+  for (const auto& [key, open] : asyncOpen) {
+    EXPECT_EQ(open, 0) << "unmatched async span " << key;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, CloseIsIdempotentAndDropsLaterEvents) {
+  const std::string path = tempTracePath("close");
+  TraceWriter writer(path);
+  writer.instant("before", "test");
+  writer.close();
+  writer.instant("after", "test");  // dropped, not appended
+  writer.close();                   // idempotent
+
+  const scenario::JsonValue doc = scenario::JsonValue::parse(readAll(path));
+  bool sawBefore = false, sawAfter = false;
+  for (const scenario::JsonValue& event : doc.at("traceEvents").items()) {
+    if (const scenario::JsonValue* name = event.find("name")) {
+      if (name->asString() == "before") sawBefore = true;
+      if (name->asString() == "after") sawAfter = true;
+    }
+  }
+  EXPECT_TRUE(sawBefore);
+  EXPECT_FALSE(sawAfter);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, UnopenableFileReportsNotOk) {
+  TraceWriter writer("/nonexistent-dir-for-pnoc-test/trace.json");
+  EXPECT_FALSE(writer.ok());
+  writer.begin("x", "test");  // must not crash
+  writer.end();
+  writer.close();
+}
+
+TEST(TraceGlobal, OffByDefaultAndScopedSpanIsANoop) {
+  ASSERT_EQ(trace(), nullptr);
+  { const ScopedSpan span("noop", "test"); }  // no writer: nothing happens
+
+  const std::string path = tempTracePath("global");
+  {
+    TraceWriter writer(path);
+    setTrace(&writer);
+    EXPECT_EQ(trace(), &writer);
+    { const ScopedSpan span("scoped", "test"); }
+    setTrace(nullptr);
+  }
+  EXPECT_EQ(trace(), nullptr);
+
+  const scenario::JsonValue doc = scenario::JsonValue::parse(readAll(path));
+  int spanEvents = 0;
+  for (const scenario::JsonValue& event : doc.at("traceEvents").items()) {
+    const std::string ph = event.at("ph").asString();
+    if (ph == "B" || ph == "E") ++spanEvents;
+  }
+  EXPECT_EQ(spanEvents, 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pnoc::obs

@@ -419,6 +419,51 @@ TEST(ServeDaemon, FleetAddRescuesAFleetThatNeverLaunched) {
                std::runtime_error);
 }
 
+TEST(ServeDaemon, MetricsVerbExposesTheSameCellsStatusSummarizes) {
+  DaemonHarness harness;
+  harness.start();
+  ServeClient client(harness.options.socketPath);
+
+  const std::vector<scenario::ScenarioSpec> grid = quickGrid(2, 900);
+  const scenario::JsonValue ack =
+      client.request(submitLine(grid, harness.dir(), "obs"));
+  const std::uint64_t job = ack.at("job").asU64();
+  EXPECT_EQ(watchToTerminal(client, job), "done");
+
+  const scenario::JsonValue status = client.request("{\"op\":\"status\"}");
+  EXPECT_GT(status.at("events_total").asU64(), 0u);
+  EXPECT_GE(status.at("journal").at("appends").asU64(), 2u);
+  ASSERT_NE(status.find("uptime_s"), nullptr);
+  ASSERT_NE(status.at("journal").find("fsync_p50_us"), nullptr);
+
+  // The metrics verb dumps the same registry cells the status summary reads.
+  const scenario::JsonValue reply = client.request("{\"op\":\"metrics\"}");
+  const scenario::JsonValue& metrics = reply.at("metrics");
+  const scenario::JsonValue& counters = metrics.at("counters");
+  EXPECT_EQ(counters.at("fleet_units_completed_total").asU64(), grid.size());
+  EXPECT_EQ(counters.at("fleet_retries_total").asU64(),
+            status.at("stats").at("retries").asU64());
+  EXPECT_EQ(counters.at("journal_appends_total").asU64(),
+            status.at("journal").at("appends").asU64());
+  EXPECT_GT(metrics.at("histograms").at("journal_fsync_us").at("count").asU64(),
+            0u);
+  EXPECT_GE(metrics.at("gauges").at("serve_workers_live").asU64(), 1u);
+
+  // Prometheus text exposition rides the same snapshot.
+  const scenario::JsonValue text =
+      client.request("{\"op\":\"metrics\",\"format\":\"text\"}");
+  const std::string body = text.at("body").asString();
+  EXPECT_NE(body.find("# TYPE pnoc_fleet_units_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("pnoc_fleet_units_completed_total " +
+                      std::to_string(grid.size())),
+            std::string::npos);
+  EXPECT_NE(body.find("pnoc_journal_fsync_us_count"), std::string::npos);
+
+  EXPECT_THROW(client.request("{\"op\":\"metrics\",\"format\":\"xml\"}"),
+               std::runtime_error);
+}
+
 TEST(ServeDaemon, ProtocolErrorsAreNamedAndSuggested) {
   DaemonHarness harness;
   harness.start();

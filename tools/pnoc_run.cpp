@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "metrics/report.hpp"
+#include "obs/trace.hpp"
 #include "scenario/cli.hpp"
 #include "scenario/dispatch/checkpoint.hpp"
 #include "scenario/scenario_runner.hpp"
@@ -168,6 +169,33 @@ int runServeClient(scenario::Cli& cli, const std::string& socketPath,
                   << reply.at("workers").asU64() << " worker(s)\n";
         return 0;
       }
+      case service::Verb::kMetrics: {
+        const std::string format = cli.config().getString("metrics", "json");
+        client.sendLine("{\"op\":\"metrics\",\"format\":\"" +
+                        scenario::jsonEscape(format) + "\"}");
+        const std::string line = client.readLine();
+        const scenario::JsonValue reply = scenario::JsonValue::parse(line);
+        if (const scenario::JsonValue* ok = reply.find("ok");
+            ok != nullptr && ok->asU64() == 0) {
+          throw std::runtime_error("pnoc_serve: " +
+                                   reply.at("error").asString());
+        }
+        if (const scenario::JsonValue* body = reply.find("body")) {
+          std::cout << body->asString();  // Prometheus text, verbatim
+          return 0;
+        }
+        // The reply is {"ok":1,"metrics":<snapshot>}; print the snapshot
+        // object itself (JsonValue keeps no raw text for objects).
+        const std::string prefix = "{\"ok\":1,\"metrics\":";
+        if (line.rfind(prefix, 0) == 0 && line.back() == '}') {
+          std::cout << line.substr(prefix.size(),
+                                   line.size() - prefix.size() - 1)
+                    << "\n";
+        } else {
+          std::cout << line << "\n";
+        }
+        return 0;
+      }
     }
   } catch (const std::exception& error) {
     std::cerr << "pnoc_run: " << error.what() << "\n";
@@ -190,7 +218,11 @@ int main(int argc, char** argv) {
   cli.addKey("serve", "pnoc_serve socket path: run as a thin client against the"
                       " daemon instead of dispatching locally");
   cli.addKey("op", "client operation (with serve=): submit (default) | status |"
-                   " watch | cancel | drain | shutdown | fleet-add | fleet-remove");
+                   " watch | cancel | drain | shutdown | fleet-add |"
+                   " fleet-remove | metrics");
+  cli.addKey("metrics", "metrics format for op=metrics: json (default) | text"
+                        " (Prometheus exposition)");
+  cli.addKey("trace", "Chrome-trace span output file (open in ui.perfetto.dev)");
   cli.addKey("job", "job id for op=watch / op=cancel");
   cli.addKey("priority", "submit priority; larger runs sooner (default 0)");
   cli.addKey("client", "client name for per-client fairness accounting");
@@ -252,6 +284,27 @@ int main(int argc, char** argv) {
   // grid back up from its last completed job.
   sim::installInterruptHandlers();
 
+  // trace=: Chrome-trace spans for this process (dispatch, unit execution,
+  // checkpoint flushes).  The guard uninstalls the global sink before the
+  // writer closes on every return path.
+  struct TraceGuard {
+    std::unique_ptr<obs::TraceWriter> writer;
+    ~TraceGuard() {
+      if (writer != nullptr) obs::setTrace(nullptr);
+    }
+  } traceGuard;
+  const std::string tracePath = cli.config().getString("trace", "");
+  if (!tracePath.empty()) {
+    traceGuard.writer = std::make_unique<obs::TraceWriter>(tracePath, "pnoc_run");
+    if (traceGuard.writer->ok()) {
+      obs::setTrace(traceGuard.writer.get());
+    } else {
+      std::cerr << "pnoc_run: cannot write trace '" << tracePath
+                << "'; running untraced\n";
+      traceGuard.writer.reset();
+    }
+  }
+
   // serve=: thin-client mode — the grid (and every other key) goes to the
   // daemon instead of a local backend.
   const std::string serveSocket = cli.config().getString("serve", "");
@@ -302,6 +355,7 @@ int main(int argc, char** argv) {
       if (raw) done.push_back(*raw);
     }
     if (!done.empty()) {
+      const obs::ScopedSpan span("checkpoint-flush", "driver");
       scenario::dispatch::writeBenchFile(jsonDir, benchName, done);
     }
   };
@@ -409,7 +463,11 @@ int main(int argc, char** argv) {
     if (raw) recorder.addRaw(*raw);
   }
   scenario::recordTiming(recorder, wallSeconds, grid.size());
-  const std::string written = recorder.write(jsonDir);
+  std::string written;
+  {
+    const obs::ScopedSpan span("checkpoint-flush", "driver");
+    written = recorder.write(jsonDir);
+  }
   if (written.empty()) {
     // The BENCH file IS the product of a grid run; a failed write (ENOSPC,
     // permissions) must not report success.

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   cli.addKey("journal", "queue journal path (default <socket>.journal)");
   cli.addKey("executable",
              "worker binary for local shards (default: this binary)");
+  cli.addKey("trace", "Chrome-trace span output file (open in ui.perfetto.dev)");
   cli.setRunnerKeys(true);
   switch (cli.parse(argc, argv, nullptr)) {
     case scenario::CliStatus::kHelp:
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
     options.journalPath =
         cli.config().getString("journal", options.socketPath + ".journal");
     options.workerExecutable = cli.config().getString("executable", "");
+    options.tracePath = cli.config().getString("trace", "");
     options.shards = cli.backendOptions().workers;
     options.hosts = cli.backendOptions().hosts;
     options.policy = cli.backendOptions().policy;
