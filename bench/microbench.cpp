@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
 
   scenario::JsonRecorder recorder("microbench");
   scenario::JsonRecorder closedRecorder("microbench_closed");
+  scenario::JsonRecorder satRecorder("microbench_sat");
   std::printf("%-28s %-10s %-8s %14s %12s\n", "bench", "label", "gating", "per_sec",
               "wall_ms");
 
@@ -236,6 +237,43 @@ int main(int argc, char** argv) {
                            static_cast<std::size_t>(kClosedCycles));
   }
 
+  // --- saturation fixed work: the blocked-regime gated record ---
+  // The complement of BM_LowLoadTimerWheel: a hotspot pattern at a load deep
+  // into saturation, where the SoA mask scans (transmit candidate selection,
+  // per-core ejection rotation) and the reservation-retry machinery carry
+  // the whole cycle.  Emitted as its own BENCH_microbench_sat.json document
+  // so the committed baseline gates the saturated hot path independently of
+  // the low-load timer-wheel record.
+  {
+    const Cycle kSatCycles = 100000;
+    scenario::ScenarioSpec spec = base;
+    spec.params.pattern = "skewed-hotspot2";
+    spec.params.offeredLoad = 0.02;
+    network::PhotonicNetwork net(spec.params);
+    const Measurement m = timeLoop([&] { net.step(kSatCycles); }, 0.0);  // once
+    const double cyclesPerSec = static_cast<double>(kSatCycles) / m.wallSeconds;
+    std::uint64_t reservationFailures = 0;
+    for (ClusterId cluster = 0; cluster < spec.params.numClusters(); ++cluster) {
+      reservationFailures +=
+          net.photonicRouter(cluster).stats().reservationFailures;
+    }
+    const sim::EngineStats& stats = net.engine().stats();
+    const double parkRate = stats.parkRate(net.engine().componentCount());
+    std::printf("%-28s %-10s %-8s %14.0f %12.2f\n", "BM_SaturationCycles",
+                "hotspot2", "on", cyclesPerSec, m.wallSeconds * 1e3);
+    satRecorder.add("BM_SaturationCycles")
+        .text("label", "skewed-hotspot2")
+        .number("load", spec.params.offeredLoad)
+        .number("cycles_per_sec", cyclesPerSec)
+        .integer("cycles", static_cast<long long>(kSatCycles))
+        .number("wall_ms", m.wallSeconds * 1e3)
+        .number("park_rate", parkRate)
+        .integer("reservation_failures",
+                 static_cast<long long>(reservationFailures));
+    scenario::recordTiming(satRecorder, m.wallSeconds,
+                           static_cast<std::size_t>(kSatCycles));
+  }
+
   // --- network reset vs rebuild: the saturation search's inner loop ---
   {
     scenario::ScenarioSpec spec = base;
@@ -325,6 +363,8 @@ int main(int argc, char** argv) {
   if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
   const std::string closedPath = closedRecorder.write(jsonDir);
   if (!closedPath.empty()) std::printf("wrote %s\n", closedPath.c_str());
+  const std::string satPath = satRecorder.write(jsonDir);
+  if (!satPath.empty()) std::printf("wrote %s\n", satPath.c_str());
   for (const auto& [pattern, speedup] : gatingSpeedups) {
     std::printf("activity gating speedup (%s, load %.4g): %.2fx\n", pattern.c_str(),
                 base.params.offeredLoad, speedup);

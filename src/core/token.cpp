@@ -55,10 +55,12 @@ void TokenRing::evaluate(Cycle) {}
 
 void TokenRing::advance(Cycle cycle) {
   if (clients_.empty() || cycle < nextArrival_) return;
-  clients_[holder_]->onToken(token_, cycle);
+  const std::size_t visited = holder_;
+  clients_[visited]->onToken(token_, cycle);
   holder_ = (holder_ + 1) % clients_.size();
   if (holder_ == 0) ++rotations_;
   nextArrival_ = cycle + hopLatency_;
+  if (visitHook_) visitHook_(visited);
 }
 
 }  // namespace pnoc::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "photonic/waveguide.hpp"
@@ -90,6 +91,15 @@ class TokenRing final : public sim::Clocked {
   std::size_t holder() const { return holder_; }
   std::uint64_t rotations() const { return rotations_; }
 
+  /// Observer fired right after a client's onToken() with the visited client
+  /// index.  The DBA policy uses it to wake routers parked on a grant change
+  /// in the SAME cycle the grants changed — the ring registers before every
+  /// router, so the woken router's advance still runs this cycle, exactly
+  /// where a polling engine would have rescanned.  Survives reset().
+  void setVisitHook(std::function<void(std::size_t)> hook) {
+    visitHook_ = std::move(hook);
+  }
+
   /// Fresh token (all tradeable wavelengths free), holder back at router 0,
   /// rotation counter zeroed (network reset).  Clients stay registered.
   void reset() {
@@ -103,6 +113,7 @@ class TokenRing final : public sim::Clocked {
   Token token_;
   Cycle hopLatency_;
   std::vector<TokenClient*> clients_;
+  std::function<void(std::size_t)> visitHook_;
   std::size_t holder_ = 0;
   Cycle nextArrival_ = 0;
   std::uint64_t rotations_ = 0;

@@ -1,5 +1,6 @@
 #include "network/channel_policy.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "network/params.hpp"
@@ -69,6 +70,18 @@ DhetpnocPolicy::DhetpnocPolicy(const noc::ClusterTopology& topology,
         std::make_unique<core::DbaController>(c, dbaConfig_, *tables_[c], map_));
     ring_->addClient(*controllers_[c]);
   }
+  grantWaiters_.assign(numClusters, nullptr);
+  // Grants for cluster c change only inside c's own controller's onToken();
+  // waking the parked router right after that visit (same cycle — the ring
+  // registers before every router) is therefore exactly when a polling
+  // router would first see the new allocation.
+  ring_->setVisitHook([this](std::size_t visited) {
+    sim::Clocked* waiter = grantWaiters_[visited];
+    if (waiter != nullptr) {
+      grantWaiters_[visited] = nullptr;
+      waiter->requestWakeInCycle();
+    }
+  });
   publishDemands(pattern);
 }
 
@@ -111,6 +124,14 @@ std::uint32_t DhetpnocPolicy::numDataWaveguides() const { return map_.numWavegui
 
 void DhetpnocPolicy::attachTo(sim::Engine& engine) { engine.add(*ring_); }
 
+bool DhetpnocPolicy::armGrantWake(ClusterId src, sim::Clocked& waiter) const {
+  assert(src < grantWaiters_.size());
+  assert((grantWaiters_[src] == nullptr || grantWaiters_[src] == &waiter) &&
+         "one photonic router per cluster");
+  grantWaiters_[src] = &waiter;
+  return true;
+}
+
 void DhetpnocPolicy::reset(const traffic::TrafficPattern& pattern) {
   // Mirror construction: empty map and token, zeroed tables, controllers
   // re-claiming their reserved wavelengths (in cluster order), then the
@@ -119,6 +140,7 @@ void DhetpnocPolicy::reset(const traffic::TrafficPattern& pattern) {
   ring_->reset();
   for (auto& tables : tables_) tables->reset();
   for (auto& controller : controllers_) controller->reset();
+  std::fill(grantWaiters_.begin(), grantWaiters_.end(), nullptr);
   publishDemands(pattern);
 }
 

@@ -43,6 +43,21 @@ class ChannelPolicy {
   /// Registers any clocked machinery (e.g. the token ring) with the engine.
   virtual void attachTo(sim::Engine& engine) { (void)engine; }
 
+  /// A router whose transmit scan is blocked (every candidate failed its
+  /// reservation or holds zero granted wavelengths) asks the policy to wake
+  /// it when `src`'s grants next change, so it can park instead of
+  /// rescanning unchanged state every cycle.  Returns false when the policy
+  /// cannot provide the notification — the router must then keep polling.
+  /// Static policies return true without arming anything: their grants never
+  /// change, so a blocked scan can only be unblocked by a destination VC
+  /// freeing up (which the router tracks separately).  One-shot: consumed by
+  /// the first grant change; re-arm after every blocked scan.
+  virtual bool armGrantWake(ClusterId src, sim::Clocked& waiter) const {
+    (void)src;
+    (void)waiter;
+    return true;
+  }
+
   /// Restores the freshly-constructed allocation state and re-publishes the
   /// pattern's demand tables (network reset).  No-op for static policies.
   virtual void reset(const traffic::TrafficPattern& pattern) { (void)pattern; }
@@ -84,6 +99,7 @@ class DhetpnocPolicy final : public ChannelPolicy {
   std::uint32_t maxReservationIdentifiers() const override;
   std::uint32_t numDataWaveguides() const override;
   void attachTo(sim::Engine& engine) override;
+  bool armGrantWake(ClusterId src, sim::Clocked& waiter) const override;
   void reset(const traffic::TrafficPattern& pattern) override;
 
   // Introspection for tests, benches and the dba_reconfiguration example.
@@ -109,6 +125,12 @@ class DhetpnocPolicy final : public ChannelPolicy {
   std::vector<std::unique_ptr<core::RouterTables>> tables_;
   std::vector<std::unique_ptr<core::DbaController>> controllers_;
   std::unique_ptr<core::TokenRing> ring_;
+  /// One-shot grant-change waiters, indexed by cluster (== ring client
+  /// index); fired by the token ring's visit hook via requestWakeInCycle()
+  /// so the woken router rescans in the same cycle its grants changed.
+  /// Mutable: routers hold the policy by const reference, and arming a wake
+  /// is observer registration, not an allocation-state change.
+  mutable std::vector<sim::Clocked*> grantWaiters_;
 };
 
 /// Builds the policy matching `params.architecture`.

@@ -1,0 +1,21 @@
+#include "network/hot_state.hpp"
+
+#include <cassert>
+
+namespace pnoc::network {
+
+void PhotonicHotState::build(std::uint32_t numRouters, std::uint32_t clusterSize,
+                             std::uint32_t vcsPerPort) {
+  assert(vcsPerPort > 0 && vcsPerPort <= 32);
+  clusterSize_ = clusterSize;
+  vcsPerPort_ = vcsPerPort;
+  const std::size_t banks =
+      static_cast<std::size_t>(numRouters) * banksPerRouter();
+  occupied_.assign(banks, 0u);
+  headFront_.assign(banks, 0u);
+  front_.assign(banks * vcsPerPort_, noc::Flit{});
+  frontArrival_.assign(banks * vcsPerPort_, 0);
+  coreBound_.assign(static_cast<std::size_t>(numRouters) * clusterSize_, 0u);
+}
+
+}  // namespace pnoc::network

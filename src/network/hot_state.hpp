@@ -1,0 +1,90 @@
+// Network-wide SoA storage for the photonic routers' hot VC-front metadata
+// (ROADMAP item 2; enabler for the parallel engine of item 1, whose
+// partition slices want contiguous per-router state).
+//
+// Layout: one "bank row" per router per port, ingress ports first (bank
+// index 0..clusterSize-1), then the photonic receive bank (bank index
+// clusterSize).  Per bank row there is one occupied word, one head-front
+// word, and numVcs front-flit / front-arrival slots.  The per-cycle
+// transmit scan of router r therefore reads clusterSize adjacent occupied
+// and head words; the ejection scan reads one receive word plus the
+// receive-bank front slots — compact contiguous memory instead of
+// pointer-chased ingress_[port].bank().vc(vc) chains.
+//
+// Bound-core masks (which receive VCs are bound to which ejection core)
+// live here too: clusterSize words per router, adjacent per router.
+//
+// All arrays are sized once in build(); banks attach via
+// VcBufferBank::attachHotState and never cause reallocation afterwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/vc_buffer.hpp"
+#include "sim/types.hpp"
+
+namespace pnoc::network {
+
+class PhotonicHotState {
+ public:
+  PhotonicHotState() = default;
+
+  /// Sizes the arrays for `numRouters` routers of `clusterSize` ingress
+  /// ports (plus one receive bank each) and `vcsPerPort` VCs per bank.
+  void build(std::uint32_t numRouters, std::uint32_t clusterSize,
+             std::uint32_t vcsPerPort);
+
+  std::uint32_t banksPerRouter() const { return clusterSize_ + 1; }
+
+  /// Slice for router `router`'s bank `bank` (ingress port index, or
+  /// clusterSize for the receive bank), suitable for attachHotState.
+  noc::VcHotSlice slice(std::uint32_t router, std::uint32_t bank) {
+    const std::size_t row = bankRow(router, bank);
+    return noc::VcHotSlice{&occupied_[row], &headFront_[row],
+                           &front_[row * vcsPerPort_],
+                           &frontArrival_[row * vcsPerPort_]};
+  }
+
+  /// Raw pointers for a router's cached views (see PhotonicRouter):
+  /// clusterSize adjacent ingress occupied/head words starting here.
+  std::uint32_t* ingressOccupied(std::uint32_t router) {
+    return &occupied_[bankRow(router, 0)];
+  }
+  std::uint32_t* ingressHeadFront(std::uint32_t router) {
+    return &headFront_[bankRow(router, 0)];
+  }
+  noc::Flit* ingressFront(std::uint32_t router) {
+    return &front_[bankRow(router, 0) * vcsPerPort_];
+  }
+  Cycle* ingressFrontArrival(std::uint32_t router) {
+    return &frontArrival_[bankRow(router, 0) * vcsPerPort_];
+  }
+  std::uint32_t* receiveOccupied(std::uint32_t router) {
+    return &occupied_[bankRow(router, clusterSize_)];
+  }
+  noc::Flit* receiveFront(std::uint32_t router) {
+    return &front_[bankRow(router, clusterSize_) * vcsPerPort_];
+  }
+
+  /// clusterSize adjacent bound-core masks for `router` (bit v of word c set
+  /// iff receive VC v is bound to ejection core c).
+  std::uint32_t* coreBound(std::uint32_t router) {
+    return &coreBound_[static_cast<std::size_t>(router) * clusterSize_];
+  }
+
+ private:
+  std::size_t bankRow(std::uint32_t router, std::uint32_t bank) const {
+    return static_cast<std::size_t>(router) * banksPerRouter() + bank;
+  }
+
+  std::uint32_t clusterSize_ = 0;
+  std::uint32_t vcsPerPort_ = 0;
+  std::vector<std::uint32_t> occupied_;       // [router][bank]
+  std::vector<std::uint32_t> headFront_;      // [router][bank]
+  std::vector<noc::Flit> front_;              // [router][bank][vc]
+  std::vector<Cycle> frontArrival_;      // [router][bank][vc]
+  std::vector<std::uint32_t> coreBound_;      // [router][core]
+};
+
+}  // namespace pnoc::network

@@ -82,10 +82,11 @@ void PhotonicNetwork::build() {
   photonicConfig.bitsPerLambdaPerCycle =
       params_.clock.bitsPerCycle(photonic::kBitsPerSecondPerWavelength);
   photonicConfig.energy = params_.energy;
+  hotState_.build(topology_.numClusters(), clusterSize, photonicConfig.vcsPerPort);
   for (ClusterId cluster = 0; cluster < topology_.numClusters(); ++cluster) {
     photonicConfig.cluster = cluster;
     photonicRouters_.push_back(std::make_unique<PhotonicRouter>(
-        "p" + std::to_string(cluster), photonicConfig, *policy_));
+        "p" + std::to_string(cluster), photonicConfig, *policy_, &hotState_, cluster));
   }
   std::vector<PhotonicRouter*> peers;
   for (auto& router : photonicRouters_) peers.push_back(router.get());
@@ -213,6 +214,11 @@ void PhotonicNetwork::setOfferedLoad(double load) {
 }
 
 PhotonicNetwork::Totals PhotonicNetwork::collectTotals() const {
+  // Parked photonic routers defer their per-cycle stat accumulation; flush
+  // the replay up to now so window boundaries read polling-exact totals.
+  for (const auto& router : photonicRouters_) {
+    router->syncParkedStats(engine_.now());
+  }
   Totals totals;
   for (const auto& sink : sinks_) {
     totals.packetsDelivered += sink->packetsDelivered();

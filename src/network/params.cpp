@@ -33,6 +33,12 @@ void SimulationParameters::validate() const {
     throw std::invalid_argument(
         "core routers need clusterSize + 1 ports (local, peers, photonic uplink)");
   }
+  if (coreRouter.vcsPerPort == 0 || coreRouter.vcsPerPort > 32) {
+    // VC occupancy, head-front, lock and bound-core state all live in 32-bit
+    // masks (`1u << vc`); more than 32 VCs would shift out of range.
+    throw std::invalid_argument(
+        "vcsPerPort must be between 1 and 32 (VC state is tracked in 32-bit masks)");
+  }
   if (coreRouter.vcDepthFlits < bandwidthSet.packetFlits) {
     throw std::invalid_argument(
         "VC depth must hold a whole packet (wormhole VC-per-packet discipline)");

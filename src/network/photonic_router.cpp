@@ -4,21 +4,43 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "network/channel_policy.hpp"
 
 namespace pnoc::network {
+namespace {
+
+/// Parses PNOC_TEST_PHOTONIC="deny@<cluster>:until=<cycle>" (test fault
+/// hook).  Returns false when absent or malformed (malformed is ignored —
+/// this is a test-only escape hatch, not user input).
+bool parseDenyHook(std::uint32_t& cluster, Cycle& until) {
+  const char* env = std::getenv("PNOC_TEST_PHOTONIC");
+  if (env == nullptr || std::strncmp(env, "deny@", 5) != 0) return false;
+  char* end = nullptr;
+  const unsigned long c = std::strtoul(env + 5, &end, 10);
+  if (end == env + 5 || std::strncmp(end, ":until=", 7) != 0) return false;
+  const char* untilStr = end + 7;
+  const unsigned long long u = std::strtoull(untilStr, &end, 10);
+  if (end == untilStr) return false;
+  cluster = static_cast<std::uint32_t>(c);
+  until = static_cast<Cycle>(u);
+  return true;
+}
+
+}  // namespace
 
 PhotonicRouter::PhotonicRouter(std::string name, const PhotonicRouterConfig& config,
-                               const ChannelPolicy& policy)
+                               const ChannelPolicy& policy, PhotonicHotState* hotState,
+                               std::uint32_t hotIndex)
     : name_(std::move(name)),
       config_(config),
       policy_(&policy),
       receiveBank_(config.vcsPerPort, config.vcDepthFlits),
       receiveBindings_(config.vcsPerPort),
       ejection_(config.clusterSize, nullptr),
-      ejectionRoundRobin_(config.clusterSize, 0),
-      coreBoundVcs_(config.clusterSize, 0) {
+      ejectionRoundRobin_(config.clusterSize, 0) {
   assert(config.vcDepthFlits >= config.packetFlits &&
          "a receive VC must hold a whole packet");
   ingress_.reserve(config.clusterSize);
@@ -26,9 +48,29 @@ PhotonicRouter::PhotonicRouter(std::string name, const PhotonicRouterConfig& con
     ingress_.emplace_back(config.vcsPerPort, config.vcDepthFlits);
     ingress_.back().notifyOwner(this, &ingressFlits_);
   }
+  if (hotState == nullptr) {
+    ownedHot_ = std::make_unique<PhotonicHotState>();
+    ownedHot_->build(1, config.clusterSize, config.vcsPerPort);
+    hotState = ownedHot_.get();
+    hotIndex = 0;
+  }
+  for (std::uint32_t i = 0; i < config.clusterSize; ++i) {
+    ingress_[i].attachHotState(hotState->slice(hotIndex, i));
+  }
+  receiveBank_.attachHotState(hotState->slice(hotIndex, config.clusterSize));
+  ingressOccupied_ = hotState->ingressOccupied(hotIndex);
+  ingressHeads_ = hotState->ingressHeadFront(hotIndex);
+  ingressFront_ = hotState->ingressFront(hotIndex);
+  ingressFrontArrival_ = hotState->ingressFrontArrival(hotIndex);
+  recvOccupied_ = hotState->receiveOccupied(hotIndex);
+  recvFront_ = hotState->receiveFront(hotIndex);
+  coreBound_ = hotState->coreBound(hotIndex);
+  parseDenyHook(denyCluster_, denyUntil_);
+  restoreFreshState();
 }
 
 void PhotonicRouter::setPeers(std::vector<PhotonicRouter*> peers) {
+  assert(peers.size() <= 64 && "reservation waiters are a 64-bit mask");
   peers_ = std::move(peers);
 }
 
@@ -42,12 +84,13 @@ noc::FlitSink& PhotonicRouter::inputPort(std::uint32_t localIndex) {
   return ingress_[localIndex];
 }
 
-VcId PhotonicRouter::tryReserveReceiveVc(PacketId packet, CoreId dstCore) {
+VcId PhotonicRouter::tryReserveReceiveVc(PacketId packet, CoreId dstCore, Cycle cycle) {
+  if (config_.cluster == denyCluster_ && cycle < denyUntil_) return kNoVc;
   const VcId vc = receiveBank_.findFreeVcForNewPacket();
   if (vc == kNoVc) return kNoVc;
   receiveBank_.lock(vc);
   receiveBindings_[vc] = ReceiveBinding{true, packet, dstCore};
-  coreBoundVcs_[dstCore % ejection_.size()] |= 1u << vc;
+  coreBound_[dstCore % ejection_.size()] |= 1u << vc;
   return vc;
 }
 
@@ -62,16 +105,48 @@ void PhotonicRouter::evaluate(Cycle) {
   // All state the router mutates is either its own or a peer's receive-VC
   // reservation, which is inherently sequential (the token of contention is
   // the VC lock itself); work happens in advance() in deterministic engine
-  // order, so a two-phase split is unnecessary here.
+  // order, so a two-phase split is unnecessary here.  This no-op is also
+  // what makes requestWakeInCycle() hand-offs to this router sound: a
+  // same-cycle joiner only ever skips a no-op evaluate.
+}
+
+void PhotonicRouter::replayParkedCycles(Cycle skipped) {
+  if (skipped == 0) return;
+  stats_.reservationsIssued += park_.issuedPerCycle * skipped;
+  stats_.reservationFailures += park_.failuresPerCycle * skipped;
+  stats_.transmitBusyCycles += park_.busyPerCycle * skipped;
+  stats_.reservationCyclesSpent += park_.resWaitPerCycle * skipped;
+}
+
+void PhotonicRouter::syncParkedStats(Cycle now) {
+  if (park_.parkedAt == kNoCycle || now == 0) return;
+  const Cycle upTo = now - 1;  // cycles < now have fully elapsed
+  if (upTo > park_.parkedAt) {
+    replayParkedCycles(upTo - park_.parkedAt);
+    park_.parkedAt = upTo;
+  }
 }
 
 void PhotonicRouter::advance(Cycle cycle) {
+  // First replay whatever a polling engine would have done in the skipped
+  // cycles (park_.parkedAt+1 .. cycle-1); this cycle itself runs live.
+  if (park_.parkedAt != kNoCycle) {
+    if (cycle > park_.parkedAt) replayParkedCycles(cycle - park_.parkedAt - 1);
+    park_.parkedAt = kNoCycle;
+  }
+  canSleep_ = false;
+  txScanBlocked_ = false;
+  ejectedThisCycle_ = false;
   processArrivals(cycle);
   runEjection(cycle);
   runTransmit(cycle);
+  // Ungated, quiescent() is never consulted and wakes are never delivered,
+  // so the eligibility scan and its wake arming would be pure overhead.
+  if (activityGated()) updateParkEligibility(cycle);
 }
 
 void PhotonicRouter::processArrivals(Cycle cycle) {
+  if (inFlight_.empty()) return;
   auto due = [cycle](const PendingArrival& a) { return a.arriveAt <= cycle; };
   // Deliver due flits in scheduling order (FIFO per VC by construction).
   for (const PendingArrival& arrival : inFlight_) {
@@ -90,12 +165,13 @@ void PhotonicRouter::runEjection(Cycle cycle) {
   // per cycle; round-robin over the receive VCs bound to that core.  The
   // scan rotates the (occupied & bound-to-core) bitmask so each candidate is
   // visited in exactly the order the naive VC walk would — just without
-  // touching the empty ones.
+  // touching the empty ones.  Masks and front flits come straight from the
+  // SoA slice: no bank pointer chasing on the hot path.
   const std::uint32_t numVcs = receiveBank_.numVcs();
   for (std::uint32_t core = 0; core < ejection_.size(); ++core) {
     noc::FlitSink* sink = ejection_[core];
     if (sink == nullptr) continue;
-    std::uint32_t candidates = receiveBank_.occupiedMask() & coreBoundVcs_[core];
+    std::uint32_t candidates = *recvOccupied_ & coreBound_[core];
     if (candidates == 0) continue;
     const std::uint32_t rr = ejectionRoundRobin_[core];
     std::uint32_t rotated =
@@ -107,7 +183,7 @@ void PhotonicRouter::runEjection(Cycle cycle) {
           (rr + static_cast<VcId>(std::countr_zero(rotated))) % numVcs;
       assert(receiveBindings_[vc].bound &&
              receiveBindings_[vc].dstCore % ejection_.size() == core);
-      const noc::Flit& front = receiveBank_.vc(vc).front();
+      const noc::Flit& front = recvFront_[vc];
       if (!sink->canAccept(front)) continue;
       const noc::Flit flit = receiveBank_.pop(vc, cycle);
       assert(receiveFlits_ > 0);
@@ -115,10 +191,21 @@ void PhotonicRouter::runEjection(Cycle cycle) {
       if (flit.isTail()) {
         receiveBank_.unlock(vc);
         receiveBindings_[vc].bound = false;
-        coreBoundVcs_[core] &= ~(1u << vc);
+        coreBound_[core] &= ~(1u << vc);
+        // A VC just freed: fire the parked sources whose reservations this
+        // bank refused.  Sources registered later than this router join the
+        // current cycle's advance — exactly where polling would rescan them.
+        if (reservationWaiters_ != 0) {
+          for (std::uint64_t m = reservationWaiters_; m != 0; m &= m - 1) {
+            peers_[static_cast<std::size_t>(std::countr_zero(m))]
+                ->requestWakeInCycle();
+          }
+          reservationWaiters_ = 0;
+        }
       }
       sink->accept(flit, cycle);
       ejectionRoundRobin_[core] = (vc + 1) % numVcs;
+      ejectedThisCycle_ = true;
       break;  // one flit per core per cycle
     }
   }
@@ -130,18 +217,23 @@ void PhotonicRouter::chargeReservationEnergy(std::uint32_t identifierCount) {
   photonic::chargePhotonicTransfer(ledger_, config_.energy, bits);
 }
 
-bool PhotonicRouter::tryStartTransmission(Cycle) {
+bool PhotonicRouter::tryStartTransmission(Cycle cycle) {
   if (ingressFlits_ == 0) return false;  // ejection-only cycles skip the scan
   const std::uint32_t ports = static_cast<std::uint32_t>(ingress_.size());
   const std::uint32_t vcs = config_.vcsPerPort;
+  std::uint64_t issued = 0;
+  std::uint64_t failures = 0;
   // Round-robin over (port, vc) slots starting at the scan pointer, visiting
-  // only occupied VCs: group g == 0 covers the pointer port from txScanVc_
-  // up, groups 1..ports-1 the following ports in full, and group `ports` the
-  // wrapped remainder of the pointer port — the same slot order as a linear
-  // walk of all ports * vcs slots.
+  // only occupied head-front VCs: group g == 0 covers the pointer port from
+  // txScanVc_ up, groups 1..ports-1 the following ports in full, and group
+  // `ports` the wrapped remainder of the pointer port — the same slot order
+  // as a linear walk of all ports * vcs slots.  Pre-intersecting with the
+  // head mask is exact: when no transmission is active, every occupied
+  // ingress VC front is a head (streaming pops a packet contiguously), and
+  // the old scan skipped non-head fronts without any side effect anyway.
   for (std::uint32_t group = 0; group <= ports; ++group) {
     const std::uint32_t port = (txScanPort_ + group) % ports;
-    std::uint32_t candidates = ingress_[port].bank().occupiedMask();
+    std::uint32_t candidates = ingressOccupied_[port] & ingressHeads_[port];
     if (group == 0) {
       candidates &= ~((1u << txScanVc_) - 1);
     } else if (group == ports) {
@@ -149,21 +241,23 @@ bool PhotonicRouter::tryStartTransmission(Cycle) {
     }
     for (; candidates != 0; candidates &= candidates - 1) {
       const VcId vc = static_cast<VcId>(std::countr_zero(candidates));
-      const auto& channel = ingress_[port].bank().vc(vc);
-      if (!channel.front().isHead()) continue;
-      const noc::PacketDescriptor& packet = channel.front().packet();
+      const noc::PacketDescriptor& packet = ingressFront_[port * vcs + vc].packet();
       assert(packet.dstCluster != config_.cluster &&
              "intra-cluster packets must not reach the photonic router");
       const std::uint32_t lambdas = policy_->lambdasFor(config_.cluster, packet.dstCluster);
       if (lambdas == 0) continue;  // policy temporarily grants nothing
       PhotonicRouter* peer = peers_[packet.dstCluster];
       ++stats_.reservationsIssued;
-      const VcId remoteVc = peer->tryReserveReceiveVc(packet.id, packet.dstCore);
+      ++issued;
+      const VcId remoteVc = peer->tryReserveReceiveVc(packet.id, packet.dstCore, cycle);
       if (remoteVc == kNoVc) {
         // All destination VCs busy: the header is dropped and retransmitted
         // later (Section 1.4), modeled as a failed reservation retried on a
-        // subsequent cycle.
+        // subsequent cycle.  Arm a wake on the destination's next VC unlock
+        // so the retry loop can park instead of polling.
         ++stats_.reservationFailures;
+        ++failures;
+        peer->addReservationWaiter(config_.cluster);
         continue;
       }
       tx_.active = true;
@@ -180,9 +274,12 @@ bool PhotonicRouter::tryStartTransmission(Cycle) {
           core::identifierPayloadBits(identifiers, config_.numDataWaveguides);
       // The selection cycle itself carries the base reservation flit (as in
       // Firefly); only identifier payload beyond one channel-cycle adds wait
-      // states (Section 3.4.1.1's 2-cycle case for BW set 3).
-      tx_.reservationRemaining =
-          std::max<Cycle>(1, static_cast<Cycle>(std::ceil(idBits / channelBitsPerCycle))) - 1;
+      // states (Section 3.4.1.1's 2-cycle case for BW set 3).  Streaming
+      // starts the cycle after the wait states end.
+      tx_.reservationDoneAt =
+          cycle + 1 +
+          (std::max<Cycle>(1, static_cast<Cycle>(std::ceil(idBits / channelBitsPerCycle))) -
+           1);
       tx_.creditBits = 0.0;
       chargeReservationEnergy(identifiers);
       const std::uint32_t slot = port * vcs + vc;
@@ -191,26 +288,30 @@ bool PhotonicRouter::tryStartTransmission(Cycle) {
       return true;
     }
   }
+  txScanIssued_ = issued;
+  txScanFailures_ = failures;
   return false;
 }
 
 void PhotonicRouter::runTransmit(Cycle cycle) {
   if (!tx_.active) {
-    tryStartTransmission(cycle);
+    if (!tryStartTransmission(cycle) && ingressFlits_ > 0) txScanBlocked_ = true;
     return;  // reservation occupies at least this cycle
   }
   ++stats_.transmitBusyCycles;
-  if (tx_.reservationRemaining > 0) {
-    --tx_.reservationRemaining;
+  if (cycle < tx_.reservationDoneAt) {
     ++stats_.reservationCyclesSpent;
     return;
   }
   // Stream data: the channel moves lambdas * 5 bits per cycle.
   tx_.creditBits += static_cast<double>(tx_.lambdas) * config_.bitsPerLambdaPerCycle;
-  const auto& channel = ingress_[tx_.inPort].bank().vc(tx_.inVc);
+  const std::uint32_t vcBit = 1u << tx_.inVc;
   bool sentTail = false;
-  while (!channel.empty() && tx_.creditBits >= static_cast<double>(config_.flitBits)) {
-    assert(channel.front().packet().id == tx_.packet.id && "VC lock violated");
+  while ((ingressOccupied_[tx_.inPort] & vcBit) != 0 &&
+         tx_.creditBits >= static_cast<double>(config_.flitBits)) {
+    assert(ingressFront_[tx_.inPort * config_.vcsPerPort + tx_.inVc].packet().id ==
+               tx_.packet.id &&
+           "VC lock violated");
     const noc::Flit flit = ingress_[tx_.inPort].pop(tx_.inVc, cycle);
     tx_.creditBits -= static_cast<double>(flit.bits());
     photonic::chargePhotonicTransfer(ledger_, config_.energy, flit.bits());
@@ -225,27 +326,107 @@ void PhotonicRouter::runTransmit(Cycle cycle) {
   if (sentTail) {
     ++stats_.packetsTransmitted;
     tx_ = Transmission{};
-  } else if (channel.empty()) {
+  } else if ((ingressOccupied_[tx_.inPort] & vcBit) == 0) {
     // Wormhole bubble: the source core has not yet delivered the next flit.
     // The wavelengths idle; unspent capacity cannot be banked.
     tx_.creditBits = 0.0;
   }
 }
 
-void PhotonicRouter::reset() {
+void PhotonicRouter::updateParkEligibility(Cycle cycle) {
+  // Decide whether every cycle from here until an armed wake would be a pure
+  // replay of per-cycle constants.  Any "no" leaves the router live (the
+  // conservative, polling-equivalent answer).
+  canSleep_ = false;
+  if (!inFlight_.empty()) return;  // arrivals land at specific future cycles
+  std::uint64_t issued = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t resWait = 0;
+  if (tx_.active) {
+    if (cycle < tx_.reservationDoneAt) {
+      // Streaming starts at reservationDoneAt; when that is next cycle there
+      // is nothing to skip — stay live.
+      if (tx_.reservationDoneAt == cycle + 1) return;
+      // Waiting out reservation serialization: each polled cycle is one busy
+      // + one wait-state count.  Wake exactly when streaming starts.
+      busy = 1;
+      resWait = 1;
+      if (timerArmedFor_ != tx_.reservationDoneAt) {
+        scheduleWakeAt(tx_.reservationDoneAt);
+        timerArmedFor_ = tx_.reservationDoneAt;
+      }
+    } else if ((ingressOccupied_[tx_.inPort] & (1u << tx_.inVc)) != 0) {
+      return;  // flits ready to stream next cycle: stay live
+    } else {
+      // Wormhole bubble: each polled cycle burns one busy cycle and zeroes
+      // the credit it just accrued (creditBits is 0 here by construction).
+      // The ingress port's owner-wake fires when the next flit lands.
+      busy = 1;
+    }
+  } else if (ingressFlits_ > 0) {
+    // Buffered heads but no transmission started: only safe to park if the
+    // scan actually ran and failed this cycle (so its outcome is the replay
+    // constant) and every unblock path is armed — destination-VC unlocks
+    // via the reservation waiters the scan registered, grant growth via the
+    // policy wake, deny-hook expiry via a timer.
+    if (!txScanBlocked_) return;
+    if (!policy_->armGrantWake(config_.cluster, *this)) return;
+    if (denyCluster_ != kNoDenyCluster && cycle < denyUntil_ && !denyTimerArmed_) {
+      scheduleWakeAt(denyUntil_);
+      denyTimerArmed_ = true;
+    }
+    issued = txScanIssued_;
+    failures = txScanFailures_;
+  }
+  if (receiveFlits_ > 0) {
+    // Buffered receive flits: safe to park only if nothing ejected this
+    // cycle (otherwise more progress is likely next cycle) and every stalled
+    // down link can wake us when it drains.  Blocked polled cycles touch no
+    // counters, so the receive side contributes zero replay constants.
+    if (ejectedThisCycle_) return;
+    for (std::uint32_t core = 0; core < ejection_.size(); ++core) {
+      if ((*recvOccupied_ & coreBound_[core]) == 0) continue;
+      noc::FlitSink* sink = ejection_[core];
+      if (sink == nullptr || !sink->notifyOnDrain(*this)) return;
+    }
+  }
+  park_.issuedPerCycle = issued;
+  park_.failuresPerCycle = failures;
+  park_.busyPerCycle = busy;
+  park_.resWaitPerCycle = resWait;
+  park_.parkedAt = cycle;
+  canSleep_ = true;
+}
+
+void PhotonicRouter::restoreFreshState() {
+  // Single restore-from-construction path shared by the constructor and
+  // reset(): every field that construction establishes is re-established
+  // here, so reset can never miss a new member (the bug class this replaces
+  // was member-by-member re-zeroing drifting out of sync with the header).
   for (auto& port : ingress_) port.reset();
   receiveBank_.reset();
   std::fill(receiveBindings_.begin(), receiveBindings_.end(), ReceiveBinding{});
   inFlight_.clear();
   std::fill(ejectionRoundRobin_.begin(), ejectionRoundRobin_.end(), VcId{0});
-  std::fill(coreBoundVcs_.begin(), coreBoundVcs_.end(), 0u);
+  std::fill(coreBound_, coreBound_ + ejection_.size(), 0u);
   tx_ = Transmission{};
   txScanPort_ = 0;
   txScanVc_ = 0;
   ingressFlits_ = 0;
   receiveFlits_ = 0;
+  park_ = ParkState{};
+  canSleep_ = true;
+  txScanBlocked_ = false;
+  ejectedThisCycle_ = false;
+  txScanIssued_ = 0;
+  txScanFailures_ = 0;
+  reservationWaiters_ = 0;
+  timerArmedFor_ = 0;
+  denyTimerArmed_ = false;
   stats_ = PhotonicRouterStats{};
   ledger_ = photonic::EnergyLedger{};
+  assert(occupancy() == 0 && "restored router must hold no flits");
 }
 
 noc::BufferStats PhotonicRouter::bufferStats() const {

@@ -20,6 +20,25 @@
 //      toward the destination cores' routers.
 // One transmission is in flight per write channel at a time (SWMR: the
 // cluster owns a single write channel whose width the DBA varies).
+//
+// Hot state lives in the network-owned PhotonicHotState SoA (occupancy,
+// head-front and bound-core masks, front flits and arrival cycles); the
+// router caches raw pointers into its slice, so the per-cycle scans touch
+// compact contiguous memory.  A router built standalone (unit tests) owns a
+// private single-router SoA with identical semantics.
+//
+// Parking: instead of polling while blocked, the router computes per-cycle
+// replay constants — what a polled cycle would have added to its stats —
+// and parks, arming the wake source that ends the blockage:
+//   * reservation wait states  -> engine timer at the wait's end,
+//   * wormhole bubble          -> the ingress port's owner-wake on accept,
+//   * failed reservations      -> a waiter bit at each refusing destination,
+//     fired on its next VC unlock (plus a policy grant-change wake, since a
+//     d-HetPNoC grant growth can also unblock the scan),
+//   * blocked ejection         -> notifyOnDrain on each stalled down link.
+// On wake the skipped cycles are replayed into the statistics, keeping
+// gated runs bit-identical to the polling engine (the same invariant the
+// activity-gating layer proves for every other component).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +48,7 @@
 #include <vector>
 
 #include "core/reservation.hpp"
+#include "network/hot_state.hpp"
 #include "noc/buffered_port.hpp"
 #include "noc/flit.hpp"
 #include "noc/topology.hpp"
@@ -67,8 +87,12 @@ struct PhotonicRouterStats {
 
 class PhotonicRouter final : public sim::Clocked {
  public:
+  /// `hotState`/`hotIndex` place this router's hot VC metadata in a shared
+  /// network-wide SoA (PhotonicNetwork passes its own, indexed by cluster);
+  /// nullptr gives the router a private single-router SoA (unit tests).
   PhotonicRouter(std::string name, const PhotonicRouterConfig& config,
-                 const ChannelPolicy& policy);
+                 const ChannelPolicy& policy, PhotonicHotState* hotState = nullptr,
+                 std::uint32_t hotIndex = 0);
 
   /// Wiring: peers[c] is cluster c's photonic router (peers[self] unused).
   void setPeers(std::vector<PhotonicRouter*> peers);
@@ -80,10 +104,17 @@ class PhotonicRouter final : public sim::Clocked {
 
   // --- remote-side API (called by the source router during its advance) ---
   /// Reserves a free receive VC for an incoming packet; returns kNoVc when
-  /// none is available (reservation failure at the source).
-  VcId tryReserveReceiveVc(PacketId packet, CoreId dstCore);
+  /// none is available (reservation failure at the source).  `cycle` feeds
+  /// the PNOC_TEST_PHOTONIC deny hook (fault injection for tests).
+  VcId tryReserveReceiveVc(PacketId packet, CoreId dstCore, Cycle cycle);
   /// Schedules a flit to arrive into a previously reserved receive VC.
   void scheduleArrival(VcId vc, const noc::Flit& flit, Cycle arriveAt);
+  /// Registers cluster `src`'s router for a wake on this router's next
+  /// receive-VC unlock (one-shot; the whole set is fired and cleared
+  /// together).  A source whose reservation failed arms this before parking.
+  void addReservationWaiter(ClusterId src) {
+    reservationWaiters_ |= std::uint64_t{1} << src;
+  }
 
   // sim::Clocked
   void evaluate(Cycle cycle) override;
@@ -92,16 +123,22 @@ class PhotonicRouter final : public sim::Clocked {
   obs::ComponentKind profileKind() const override {
     return obs::ComponentKind::kPhotonicRouter;
   }
-  /// Parked when nothing is buffered, in flight or mid-transmission; woken
-  /// by ingress accepts (uplink traffic) and peers scheduling arrivals.
-  bool quiescent() const override {
-    return ingressFlits_ == 0 && receiveFlits_ == 0 && inFlight_.empty() && !tx_.active;
-  }
+  /// Parked when the last advance() proved every subsequent cycle would be a
+  /// pure replay of stored per-cycle constants until an armed wake fires
+  /// (fully idle is the zero-constants special case).
+  bool quiescent() const override { return canSleep_; }
 
   /// Restores the freshly-constructed state — empty buffers, no in-flight
   /// photonic traffic, initial round-robin pointers, zeroed statistics and
-  /// energy ledger.  Peer/ejection wiring is preserved.
-  void reset();
+  /// energy ledger, no parked-replay state.  Peer/ejection wiring and the
+  /// SoA attachment are preserved.
+  void reset() { restoreFreshState(); }
+
+  /// Flushes the parked-stats replay up to (but excluding) `now`, so stats()
+  /// reads taken mid-run (collectTotals at window boundaries) see exactly
+  /// what a polling engine would have accumulated.  Idempotent; no-op when
+  /// the router is live.
+  void syncParkedStats(Cycle now);
 
   const PhotonicRouterStats& stats() const { return stats_; }
   const photonic::EnergyLedger& transferLedger() const { return ledger_; }
@@ -120,7 +157,10 @@ class PhotonicRouter final : public sim::Clocked {
     noc::PacketDescriptor packet;
     VcId remoteVc = kNoVc;
     std::uint32_t lambdas = 0;
-    Cycle reservationRemaining = 0;
+    /// First cycle data may stream (reservation wait states end the cycle
+    /// before).  Absolute, so parked wait cycles need no per-cycle
+    /// decrement — the replay just counts them.
+    Cycle reservationDoneAt = 0;
     double creditBits = 0.0;
   };
 
@@ -136,15 +176,29 @@ class PhotonicRouter final : public sim::Clocked {
     CoreId dstCore = 0;
   };
 
+  /// Replay state while parked: what every skipped cycle would have added.
+  struct ParkState {
+    Cycle parkedAt = kNoCycle;  ///< last cycle the router actually ran
+    std::uint64_t issuedPerCycle = 0;
+    std::uint64_t failuresPerCycle = 0;
+    std::uint64_t busyPerCycle = 0;
+    std::uint64_t resWaitPerCycle = 0;
+  };
+
   void processArrivals(Cycle cycle);
   void runEjection(Cycle cycle);
   void runTransmit(Cycle cycle);
   bool tryStartTransmission(Cycle cycle);
   void chargeReservationEnergy(std::uint32_t identifierCount);
+  void updateParkEligibility(Cycle cycle);
+  void replayParkedCycles(Cycle skipped);
+  void restoreFreshState();
 
   std::string name_;
   PhotonicRouterConfig config_;
   const ChannelPolicy* policy_;
+  /// Private SoA when constructed without a shared one (unit tests).
+  std::unique_ptr<PhotonicHotState> ownedHot_;
   std::vector<noc::BufferedPort> ingress_;  // one per local core
   noc::VcBufferBank receiveBank_;
   std::vector<ReceiveBinding> receiveBindings_;
@@ -152,10 +206,19 @@ class PhotonicRouter final : public sim::Clocked {
   std::vector<PhotonicRouter*> peers_;
   std::vector<noc::FlitSink*> ejection_;  // one per local core
   std::vector<VcId> ejectionRoundRobin_;  // per-core RR pointer over receive VCs
+  // Cached raw pointers into the SoA slice (set once at construction):
+  // clusterSize adjacent words / rows each, so the hot scans stride
+  // contiguous memory.
+  std::uint32_t* ingressOccupied_ = nullptr;   // [clusterSize]
+  std::uint32_t* ingressHeads_ = nullptr;      // [clusterSize]
+  noc::Flit* ingressFront_ = nullptr;          // [clusterSize * vcsPerPort]
+  Cycle* ingressFrontArrival_ = nullptr;  // [clusterSize * vcsPerPort]
+  std::uint32_t* recvOccupied_ = nullptr;      // single word
+  noc::Flit* recvFront_ = nullptr;             // [vcsPerPort]
   /// Receive VCs currently bound to a packet for local core i (bitmask over
   /// the receive bank): the ejection scan intersects this with the occupied
-  /// mask instead of probing every VC's binding.
-  std::vector<std::uint32_t> coreBoundVcs_;
+  /// mask instead of probing every VC's binding.  Lives in the SoA.
+  std::uint32_t* coreBound_ = nullptr;  // [clusterSize]
   Transmission tx_;
   std::uint32_t txScanPort_ = 0;  // RR over (port, vc) candidates
   std::uint32_t txScanVc_ = 0;
@@ -164,6 +227,22 @@ class PhotonicRouter final : public sim::Clocked {
   /// transmit and ejection sides each have an O(1) nothing-to-do check.
   std::uint32_t ingressFlits_ = 0;
   std::uint32_t receiveFlits_ = 0;
+  // --- parking machinery ---
+  ParkState park_;
+  bool canSleep_ = true;
+  bool txScanBlocked_ = false;    // this cycle's scan ran and started nothing
+  bool ejectedThisCycle_ = false;
+  std::uint64_t txScanIssued_ = 0;    // counters of the last blocked scan
+  std::uint64_t txScanFailures_ = 0;
+  std::uint64_t reservationWaiters_ = 0;  // bit c: wake cluster c on VC unlock
+  Cycle timerArmedFor_ = 0;   // reservation-end timer already scheduled for
+  bool denyTimerArmed_ = false;
+  // PNOC_TEST_PHOTONIC="deny@<cluster>:until=<cycle>" fault hook: the named
+  // cluster's router refuses every reservation before `until` (parsed once
+  // at construction; kNoDenyCluster = hook absent).
+  static constexpr std::uint32_t kNoDenyCluster = ~0u;
+  std::uint32_t denyCluster_ = kNoDenyCluster;
+  Cycle denyUntil_ = 0;
   PhotonicRouterStats stats_;
   photonic::EnergyLedger ledger_;
 };

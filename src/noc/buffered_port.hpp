@@ -34,6 +34,10 @@ class BufferedPort final : public FlitSink {
   VcBufferBank& bank() { return bank_; }
   const VcBufferBank& bank() const { return bank_; }
 
+  /// Repoints the bank's hot VC-front metadata at a slice of an external
+  /// SoA (see VcBufferBank::attachHotState).
+  void attachHotState(const VcHotSlice& slice) { bank_.attachHotState(slice); }
+
   /// Consumer side: pops the front flit of `vc`; unlocks the VC when the
   /// popped flit is a tail.
   Flit pop(VcId vc, Cycle now);

@@ -57,16 +57,38 @@ VcBufferBank::VcBufferBank(std::uint32_t numVcs, std::uint32_t depthFlits) {
   allVcsMask_ = numVcs == 32 ? ~0u : (1u << numVcs) - 1;
 }
 
+void VcBufferBank::attachHotState(const VcHotSlice& slice) {
+  assert(occupancy_ == 0 && "attach before the bank carries traffic");
+  ext_ = slice;
+  *ext_.occupied = 0;
+  *ext_.headFront = 0;
+  for (std::uint32_t i = 0; i < numVcs(); ++i) {
+    ext_.front[i] = Flit{};
+    ext_.frontArrival[i] = 0;
+  }
+}
+
 void VcBufferBank::push(VcId id, const Flit& flit, Cycle now) {
   // Wormhole invariant: a head is the first flit of its packet into the VC,
   // so "front is a head" holds from a head's push until that head is popped.
   if (flit.isHead()) {
     assert(vcs_[id].empty() && "a head flit must open an empty VC");
-    ++headFronts_;
+    headFrontMask_ |= bit(id);
   }
+  const bool wasEmpty = vcs_[id].empty();
   vcs_[id].push(flit, now);
   occupiedMask_ |= bit(id);
   ++occupancy_;
+  if (ext_.occupied != nullptr) {
+    *ext_.occupied = occupiedMask_;
+    *ext_.headFront = headFrontMask_;
+    if (wasEmpty) {
+      // The pushed flit becomes the front.  A non-head can land in an empty
+      // (locked) VC mid-packet when the consumer drained ahead of the source.
+      ext_.front[id] = flit;
+      ext_.frontArrival[id] = now;
+    }
+  }
 }
 
 Flit VcBufferBank::pop(VcId id, Cycle now) {
@@ -74,9 +96,17 @@ Flit VcBufferBank::pop(VcId id, Cycle now) {
   if (vcs_[id].empty()) occupiedMask_ &= ~bit(id);
   assert(occupancy_ > 0);
   --occupancy_;
-  if (flit.isHead()) {
-    assert(headFronts_ > 0);
-    --headFronts_;
+  // A popped head exposes a body/tail (heads only open empty VCs, so a
+  // second head can never be queued behind one); a popped body/tail never
+  // exposes a head for the same reason.
+  if (flit.isHead()) headFrontMask_ &= ~bit(id);
+  if (ext_.occupied != nullptr) {
+    *ext_.occupied = occupiedMask_;
+    *ext_.headFront = headFrontMask_;
+    if (!vcs_[id].empty()) {
+      ext_.front[id] = vcs_[id].front();
+      ext_.frontArrival[id] = vcs_[id].frontArrival();
+    }
   }
   return flit;
 }
@@ -91,9 +121,17 @@ VcId VcBufferBank::findFreeVcForNewPacket() const {
 void VcBufferBank::reset() {
   for (auto& vc : vcs_) vc.reset();
   occupiedMask_ = 0;
+  headFrontMask_ = 0;
   lockedMask_ = 0;
   occupancy_ = 0;
-  headFronts_ = 0;
+  if (ext_.occupied != nullptr) {
+    *ext_.occupied = 0;
+    *ext_.headFront = 0;
+    for (std::uint32_t i = 0; i < numVcs(); ++i) {
+      ext_.front[i] = Flit{};
+      ext_.frontArrival[i] = 0;
+    }
+  }
 }
 
 BufferStats VcBufferBank::aggregateStats() const {

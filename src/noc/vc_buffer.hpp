@@ -11,6 +11,7 @@
 // RingBuffer: one allocation per VC for the network's lifetime.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -73,16 +74,40 @@ class VirtualChannel {
   BufferStats stats_;
 };
 
+/// Hot VC-front metadata for one bank, exposed as raw pointers so an owner
+/// (PhotonicNetwork's PhotonicHotState) can place every bank's slice in flat
+/// contiguous arrays.  The per-cycle transmit/ejection scans then read
+/// compact SoA memory instead of chasing bank->vc(id) object chains.  A bank
+/// not attached to shared storage keeps its masks in plain members and pays
+/// nothing for the mirroring (the electrical routers' banks stay exactly as
+/// cheap as before the SoA existed).
+struct VcHotSlice {
+  std::uint32_t* occupied = nullptr;   ///< one word: bit i set iff VC i non-empty
+  std::uint32_t* headFront = nullptr;  ///< one word: bit i set iff VC i's front is a head
+  Flit* front = nullptr;               ///< [numVcs] front flit of each occupied VC
+  Cycle* frontArrival = nullptr;       ///< [numVcs] enqueue cycle of each front flit
+};
+
 /// A bank of VCs forming one router input port (at most 32 VCs so occupancy
 /// and lock state fit in bitmasks).
 ///
 /// All mutation goes through the bank — push/pop/lock — so it can maintain
-/// an occupied-VC bitmask and an O(1) flit count.  The hot arbitration loops
-/// iterate set bits of occupiedMask() instead of scanning every VC, and
-/// free-VC lookup is a count-trailing-zeros.
+/// an occupied-VC bitmask, a head-front bitmask and an O(1) flit count in
+/// the hot slice.  The hot arbitration loops iterate set bits of
+/// occupiedMask() instead of scanning every VC, free-VC lookup is a
+/// count-trailing-zeros, and front flits are read from the slice without
+/// touching the ring buffers at all.
 class VcBufferBank {
  public:
   VcBufferBank(std::uint32_t numVcs, std::uint32_t depthFlits);
+
+  // An attached external slice mirrors this bank's state; copying would
+  // alias it, so banks move but never copy.  Moves keep the attachment (the
+  // external storage does not belong to the bank).
+  VcBufferBank(const VcBufferBank&) = delete;
+  VcBufferBank& operator=(const VcBufferBank&) = delete;
+  VcBufferBank(VcBufferBank&&) = default;
+  VcBufferBank& operator=(VcBufferBank&&) = default;
 
   std::uint32_t numVcs() const { return static_cast<std::uint32_t>(vcs_.size()); }
   const VirtualChannel& vc(VcId id) const { return vcs_[id]; }
@@ -96,11 +121,23 @@ class VcBufferBank {
   /// Bit i set iff vc(i) is non-empty.
   std::uint32_t occupiedMask() const { return occupiedMask_; }
 
-  /// VCs whose front flit is a packet head (a head is always the first flit
-  /// pushed into its VC, so the count updates in O(1) on push/pop).  The
-  /// router's arbitration stages only matter when this is non-zero: pure
-  /// body/tail streaming takes the owned-output fast path.
-  std::uint32_t headFrontCount() const { return headFronts_; }
+  /// Bit i set iff vc(i)'s front flit is a packet head (a head is always the
+  /// first flit pushed into its VC, so the mask updates in O(1) on
+  /// push/pop).  The router's arbitration stages only matter when this is
+  /// non-zero: pure body/tail streaming takes the owned-output fast path,
+  /// and the transmit scan pre-intersects candidates with this mask.
+  std::uint32_t headFrontMask() const { return headFrontMask_; }
+  std::uint32_t headFrontCount() const {
+    return static_cast<std::uint32_t>(std::popcount(headFrontMask_));
+  }
+
+  /// Mirrors this bank's hot metadata into externally owned storage (one
+  /// slice of a network-wide SoA) from now on: push/pop keep the slice's
+  /// masks and front-flit copies current, so the owner can scan the flat
+  /// arrays instead of the banks.  Must be called while the bank is empty
+  /// (it is — attachment happens at construction); the external storage must
+  /// outlive the bank.  Slice arrays must hold at least numVcs() elements.
+  void attachHotState(const VcHotSlice& slice);
 
   /// First VC that can accept a new packet's head flit (empty and not
   /// reserved by an in-flight packet), or kNoVc.
@@ -129,10 +166,13 @@ class VcBufferBank {
 
   std::vector<VirtualChannel> vcs_;
   std::uint32_t allVcsMask_ = 0;
-  std::uint32_t occupiedMask_ = 0;
   std::uint32_t lockedMask_ = 0;
+  std::uint32_t occupiedMask_ = 0;
+  std::uint32_t headFrontMask_ = 0;
   std::uint32_t occupancy_ = 0;
-  std::uint32_t headFronts_ = 0;
+  /// External SoA mirror; all pointers null when unattached (the common,
+  /// electrical-router case — push/pop then skip the mirroring entirely).
+  VcHotSlice ext_;
 };
 
 /// Maps in-flight packet ids to the VC receiving them at one port.  The live

@@ -1,6 +1,7 @@
 #include "scenario/json_util.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -20,6 +21,43 @@ void skipSpace(const std::string& text, std::size_t& pos) {
                               " of JSON text");
 }
 
+std::uint32_t parseHex4(const std::string& text, std::size_t& pos) {
+  if (pos + 4 > text.size()) fail("truncated \\u escape", pos);
+  std::uint32_t code = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char h = text[pos++];
+    code <<= 4;
+    if (h >= '0' && h <= '9') {
+      code |= static_cast<std::uint32_t>(h - '0');
+    } else if (h >= 'a' && h <= 'f') {
+      code |= static_cast<std::uint32_t>(h - 'a' + 10);
+    } else if (h >= 'A' && h <= 'F') {
+      code |= static_cast<std::uint32_t>(h - 'A' + 10);
+    } else {
+      fail("bad hex digit in \\u escape", pos - 1);
+    }
+  }
+  return code;
+}
+
+void appendUtf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
 std::string parseString(const std::string& text, std::size_t& pos) {
   if (pos >= text.size() || text[pos] != '"') fail("expected '\"'", pos);
   ++pos;
@@ -35,10 +73,28 @@ std::string parseString(const std::string& text, std::size_t& pos) {
         case 'r': c = '\r'; break;
         case 'b': c = '\b'; break;
         case 'f': c = '\f'; break;
-        case 'u':
-          // Unicode escapes never appear in our own output; decoding one as
-          // literal text would silently corrupt a user's spec file.
-          fail("\\uXXXX escapes are not supported", pos - 2);
+        case 'u': {
+          std::uint32_t code = parseHex4(text, pos);
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: RFC 8259 requires a paired \uDC00..\uDFFF
+            // low surrogate; together they name one supplementary-plane
+            // code point.
+            if (pos + 2 > text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u') {
+              fail("high surrogate without a \\u low surrogate", pos);
+            }
+            pos += 2;
+            const std::uint32_t low = parseHex4(text, pos);
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate paired with a non-surrogate", pos - 4);
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate", pos - 4);
+          }
+          appendUtf8(out, code);
+          continue;  // already emitted as UTF-8 bytes
+        }
         default: c = escaped; break;  // \" \\ \/: literal
       }
     }
@@ -228,7 +284,19 @@ std::string jsonEscape(const std::string& raw) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out += c;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters are illegal raw inside a JSON
+          // string; \u00XX keeps the round trip byte-identical.
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
     }
   }
   return out;

@@ -51,6 +51,10 @@ void Engine::reset() {
   for (auto& bucket : level1_) bucket.clear();
   overflow_.clear();
   pendingTimers_ = 0;
+  joiners_.clear();
+  joinerNext_ = 0;
+  nextJoiner_ = kNoJoiner;
+  advancing_ = false;
   metrics_.reset();
   if (profiler_ != nullptr) profiler_->reset();
 }
@@ -78,6 +82,9 @@ void Engine::setActivityGating(bool enabled) {
     activeSlots_.push_back(slot);
   }
   wakeQueue_.clear();
+  joiners_.clear();
+  joinerNext_ = 0;
+  nextJoiner_ = kNoJoiner;
 }
 
 void Engine::scheduleAt(std::uint32_t slot, Cycle cycle) {
@@ -156,13 +163,46 @@ void Engine::drainWakeQueue() {
   wakeQueue_.clear();
 }
 
+void Engine::runJoinersBefore(std::uint32_t limit) {
+  // Cold path: only entered when a requestWakeInCycle() actually spliced a
+  // joiner ahead of `limit`.  Re-reads joiners_ each iteration because a
+  // joiner's advance can insert further joiners (cascading hand-offs).
+  while (joinerNext_ < joiners_.size() && joiners_[joinerNext_] < limit) {
+    const std::uint32_t joiner = joiners_[joinerNext_++];
+    advanceSlot_ = joiner;
+    components_[joiner]->advance(now_);
+  }
+  nextJoiner_ = joinerNext_ < joiners_.size() ? joiners_[joinerNext_] : kNoJoiner;
+}
+
 void Engine::stepFast() {
   if (gating_) {
     expireTimers();
     drainWakeQueue();
     for (const std::uint32_t slot : activeSlots_) components_[slot]->evaluate(now_);
-    for (const std::uint32_t slot : activeSlots_) components_[slot]->advance(now_);
-    statComponentSteps_.inc(activeSlots_.size());
+    // Advance with same-cycle joins: a requestWakeInCycle() from the slot
+    // currently advancing splices later parked slots into this sweep at
+    // their registration-order position (see wakeInCycle()).  The hot loop
+    // pays one nextJoiner_ compare per slot; the drain itself is out of line.
+    advancing_ = true;
+    joinerNext_ = 0;
+    for (const std::uint32_t slot : activeSlots_) {
+      if (nextJoiner_ < slot) runJoinersBefore(slot);
+      advanceSlot_ = slot;
+      components_[slot]->advance(now_);
+    }
+    if (nextJoiner_ != kNoJoiner) runJoinersBefore(kNoJoiner);
+    advancing_ = false;
+    statComponentSteps_.inc(activeSlots_.size() + joiners_.size());
+    if (!joiners_.empty()) {
+      const std::size_t mid = activeSlots_.size();
+      activeSlots_.insert(activeSlots_.end(), joiners_.begin(), joiners_.end());
+      std::inplace_merge(activeSlots_.begin(),
+                         activeSlots_.begin() + static_cast<std::ptrdiff_t>(mid),
+                         activeSlots_.end());
+      joiners_.clear();
+      nextJoiner_ = kNoJoiner;
+    }
     // Park components that ended the cycle with nothing to do.  quiescent()
     // sees the post-advance state, including flits accepted this cycle; a
     // component woken DURING this cycle stays active (the wake arrived after
@@ -225,7 +265,26 @@ void Engine::stepProfiled() {
 
     runStart = t3;
     runLen = 0;
+    // Same-cycle join interleave — must stay mirrored with stepFast().
+    // Joiner advances are attributed to the joiner's own kind (flushing the
+    // current run if the kind changes), so profile buckets stay truthful.
+    advancing_ = true;
+    joinerNext_ = 0;
     for (const std::uint32_t slot : activeSlots_) {
+      while (joinerNext_ < joiners_.size() && joiners_[joinerNext_] < slot) {
+        const std::uint32_t joiner = joiners_[joinerNext_++];
+        const obs::ComponentKind jkind = kinds_[joiner];
+        if (runLen > 0 && jkind != runKind) {
+          const ProfClock::time_point now = ProfClock::now();
+          prof.addKind(runKind, elapsedNs(runStart, now), runLen);
+          runStart = now;
+          runLen = 0;
+        }
+        runKind = jkind;
+        advanceSlot_ = joiner;
+        components_[joiner]->advance(now_);
+        ++runLen;
+      }
       const obs::ComponentKind kind = kinds_[slot];
       if (runLen > 0 && kind != runKind) {
         const ProfClock::time_point now = ProfClock::now();
@@ -234,14 +293,39 @@ void Engine::stepProfiled() {
         runLen = 0;
       }
       runKind = kind;
+      advanceSlot_ = slot;
       components_[slot]->advance(now_);
       ++runLen;
     }
+    while (joinerNext_ < joiners_.size()) {
+      const std::uint32_t joiner = joiners_[joinerNext_++];
+      const obs::ComponentKind jkind = kinds_[joiner];
+      if (runLen > 0 && jkind != runKind) {
+        const ProfClock::time_point now = ProfClock::now();
+        prof.addKind(runKind, elapsedNs(runStart, now), runLen);
+        runStart = now;
+        runLen = 0;
+      }
+      runKind = jkind;
+      advanceSlot_ = joiner;
+      components_[joiner]->advance(now_);
+      ++runLen;
+    }
+    advancing_ = false;
     const ProfClock::time_point t4 = ProfClock::now();
     if (runLen > 0) prof.addKind(runKind, elapsedNs(runStart, t4), runLen);
     prof.addPhase(obs::CycleProfiler::Phase::kAdvance, elapsedNs(t3, t4));
 
-    statComponentSteps_.inc(activeSlots_.size());
+    statComponentSteps_.inc(activeSlots_.size() + joiners_.size());
+    if (!joiners_.empty()) {
+      const std::size_t mid = activeSlots_.size();
+      activeSlots_.insert(activeSlots_.end(), joiners_.begin(), joiners_.end());
+      std::inplace_merge(activeSlots_.begin(),
+                         activeSlots_.begin() + static_cast<std::ptrdiff_t>(mid),
+                         activeSlots_.end());
+      joiners_.clear();
+      nextJoiner_ = kNoJoiner;  // consumed without the stepFast sentinel
+    }
     std::size_t kept = 0;
     for (const std::uint32_t slot : activeSlots_) {
       if (components_[slot]->quiescent() && lastWakeCycle_[slot] != now_) {

@@ -33,6 +33,8 @@
 // timer-driven runs are deterministic and bit-identical to polling.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -78,6 +80,23 @@ class Clocked {
   /// effect (a fire on an already-active component is a no-op), so callers
   /// may re-schedule defensively.  No-op before engine registration.
   void scheduleWakeAt(Cycle cycle);
+
+  /// Same-cycle wake for advance-phase hand-offs between components whose
+  /// evaluate() is a no-op.  When called during the advance phase on a
+  /// parked component registered AFTER the one currently advancing, the
+  /// component joins THIS cycle's advance sweep at its registration-order
+  /// position — exactly where a polling engine would have stepped it.  In
+  /// every other situation (component active, earlier slot, outside the
+  /// advance phase, gating off) it degrades to requestWake().  This is how
+  /// a destination router's VC unlock reaches a parked source in the same
+  /// cycle the polling engine's scan would have seen it.
+  void requestWakeInCycle();
+
+  /// True when this component is registered with an engine whose activity
+  /// gating is on — the only regime where parking bookkeeping (quiescent()
+  /// eligibility, wake arming) has any effect.  Components with a
+  /// non-trivial eligibility scan skip it entirely when this is false.
+  bool activityGated() const;
 
   /// Coarse taxonomy for profile attribution (obs::CycleProfiler buckets
   /// evaluate/advance time by kind).  Purely observational — never affects
@@ -201,10 +220,33 @@ class Engine {
     }
     wakeQueue_.push_back(slot);
   }
+
+  // Same-cycle join (see Clocked::requestWakeInCycle).  A parked component
+  // registered after the slot currently advancing is spliced into this
+  // cycle's sweep; the joiner list stays sorted so cascading joins (a joiner
+  // waking a later joiner) run in registration order, mirroring polling.
+  void wakeInCycle(std::uint32_t slot) {
+    if (!gating_) return;
+    if (active_[slot]) {
+      lastWakeCycle_[slot] = now_;
+      return;
+    }
+    if (advancing_ && slot > advanceSlot_) {
+      active_[slot] = 1;
+      auto it = std::lower_bound(joiners_.begin() + static_cast<std::ptrdiff_t>(joinerNext_),
+                                 joiners_.end(), slot);
+      joiners_.insert(it, slot);
+      nextJoiner_ = joiners_[joinerNext_];
+      statWakes_.inc();
+      return;
+    }
+    wakeQueue_.push_back(slot);
+  }
   void scheduleAt(std::uint32_t slot, Cycle cycle);
   void placeTimer(const Timer& timer);
   void expireTimers();
   void drainWakeQueue();
+  void runJoinersBefore(std::uint32_t limit);
   void stepFast();
   void stepProfiled();
 
@@ -228,6 +270,16 @@ class Engine {
   obs::Counter statTimersFired_;
   obs::CycleProfiler* profiler_ = nullptr;
   std::vector<obs::ComponentKind> kinds_;  // parallel to components_
+  // Same-cycle join state: valid only while the advance loop runs.  Joins
+  // are rare, so the hot advance loop only compares the current slot against
+  // nextJoiner_ (a cached copy of joiners_[joinerNext_], kNoJoiner when none
+  // are pending) — a single register compare instead of vector bookkeeping.
+  static constexpr std::uint32_t kNoJoiner = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> joiners_;  // sorted slots joining this cycle
+  std::size_t joinerNext_ = 0;          // first not-yet-run joiner
+  std::uint32_t nextJoiner_ = kNoJoiner;
+  std::uint32_t advanceSlot_ = 0;  // slot currently advancing
+  bool advancing_ = false;
   Cycle now_ = 0;
   bool gating_ = true;
 };
@@ -238,6 +290,14 @@ inline void Clocked::requestWake() {
 
 inline void Clocked::scheduleWakeAt(Cycle cycle) {
   if (engine_ != nullptr) engine_->scheduleAt(slot_, cycle);
+}
+
+inline void Clocked::requestWakeInCycle() {
+  if (engine_ != nullptr) engine_->wakeInCycle(slot_);
+}
+
+inline bool Clocked::activityGated() const {
+  return engine_ != nullptr && engine_->activityGating();
 }
 
 }  // namespace pnoc::sim

@@ -115,6 +115,8 @@ TEST_P(Determinism, ResetReuseIsBitIdenticalToFreshNetwork) {
   PhotonicNetwork reused(params);
   reused.run();                 // dirty the network thoroughly
   reused.reset();
+  ASSERT_EQ(reused.occupancy(), 0u)
+      << "reset() must drain every buffer before the replay run";
   RunOutcome replay;
   replay.metrics = reused.run();
   replay.flitsInjected = reused.totalFlitsInjected();
@@ -131,6 +133,7 @@ TEST(NetworkReset, LoadSweepOverOneNetworkMatchesFreshBuilds) {
   for (const double load : {0.0005, 0.002, 0.004, 0.001}) {
     reused.setOfferedLoad(load);
     reused.reset();
+    ASSERT_EQ(reused.occupancy(), 0u) << "stale flits after reset at load " << load;
     RunOutcome sweep;
     sweep.metrics = reused.run();
     sweep.flitsInjected = reused.totalFlitsInjected();

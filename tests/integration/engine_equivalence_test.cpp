@@ -201,6 +201,55 @@ TEST(PreWheelGoldens, SaturationSweepPeakRecordsAreByteIdentical) {
   }
 }
 
+TEST(SaturationGoldens, HighLoadRunRecordsAreByteIdenticalToPrePartitionEngine) {
+  // Captured from the engine before the SoA hot-state split and photonic
+  // reservation parking landed, at loads deep into saturation — the regime
+  // where the compact-scan transmit/ejection paths and the parking replay
+  // actually run.  String equality pins every metric byte.
+  const GoldenRun goldens[] = {
+      {"dhetpnoc", "uniform", 0.01, 7,
+       R"({"name":"run","arch":"dhetpnoc","pattern":"uniform","bandwidth_set":1,"seed":7,"load":0.01,"gbps":911.3599999999999,"acceptance":0.29741019214703424,"avg_latency_cycles":735.38764044943821,"energy_per_packet_pj":8492.4758953651763})"},
+      {"dhetpnoc", "skewed3", 0.02, 7,
+       R"({"name":"run","arch":"dhetpnoc","pattern":"skewed3","bandwidth_set":1,"seed":7,"load":0.02,"gbps":724.4799999999999,"acceptance":0.10707529322739312,"avg_latency_cycles":829.41342756183747,"energy_per_packet_pj":7174.4117237190885})"},
+      {"firefly", "uniform", 0.01, 7,
+       R"({"name":"run","arch":"firefly","pattern":"uniform","bandwidth_set":1,"seed":7,"load":0.01,"gbps":916.4799999999999,"acceptance":0.29908103592314117,"avg_latency_cycles":724.96648044692733,"energy_per_packet_pj":8447.0345338687239})"},
+      {"dhetpnoc", "skewed-hotspot2", 0.02, 3,
+       R"({"name":"run","arch":"dhetpnoc","pattern":"skewed-hotspot2","bandwidth_set":1,"seed":3,"load":0.02,"gbps":701.43999999999983,"acceptance":0.10686427457098284,"avg_latency_cycles":835.37956204379566,"energy_per_packet_pj":7294.3761792883288})"},
+  };
+  for (const GoldenRun& golden : goldens) {
+    EXPECT_EQ(runRecordFor(golden), golden.record)
+        << golden.arch << "/" << golden.pattern << "@" << golden.load;
+  }
+}
+
+TEST(SaturationGoldens, PeakRecordsAreByteIdenticalToPrePartitionEngine) {
+  struct GoldenPeak {
+    const char* arch;
+    const char* pattern;
+    std::uint64_t seed;
+    const char* record;
+  };
+  const GoldenPeak goldens[] = {
+      {"dhetpnoc", "skewed3", 7,
+       R"({"name":"peak","arch":"dhetpnoc","pattern":"skewed3","bandwidth_set":1,"seed":7,"offered_load":0.00020000000000000001,"gbps":68.266666666666652,"energy_per_packet_pj":7177.7525000000005,"points_evaluated":5})"},
+      {"firefly", "uniform", 7,
+       R"({"name":"peak","arch":"firefly","pattern":"uniform","bandwidth_set":1,"seed":7,"offered_load":0.00037500000000000001,"gbps":119.46666666666665,"energy_per_packet_pj":5920.6208705357149,"points_evaluated":6})"},
+  };
+  for (const GoldenPeak& golden : goldens) {
+    scenario::ScenarioSpec spec;
+    spec.set("arch", golden.arch);
+    spec.set("pattern", golden.pattern);
+    spec.params.seed = golden.seed;
+    spec.params.warmupCycles = 100;
+    spec.params.measureCycles = 600;
+    const metrics::PeakSearchResult result = scenario::findScenarioPeak(spec);
+    scenario::JsonRecorder scratch("scratch");
+    const std::string record =
+        scenario::recordPeak(scratch, scenario::ScenarioPeak{spec, result}).serialize();
+    EXPECT_EQ(record, golden.record) << golden.arch << "/" << golden.pattern;
+  }
+}
+
 TEST(TimerParking, CoresParkBetweenArrivalsAtNonzeroLoad) {
   // The tentpole claim: at low-but-nonzero offered load the injection side
   // sleeps between pre-scheduled arrivals instead of flipping a per-cycle

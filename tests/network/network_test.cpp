@@ -45,6 +45,27 @@ TEST(Params, RejectsVcShallowerThanPacket) {
   EXPECT_THROW(PhotonicNetwork net(params), std::invalid_argument);
 }
 
+TEST(Params, RejectsVcCountsOutsideMaskRange) {
+  // VC occupancy / head-front / lock / bound-core state is kept in 32-bit
+  // masks; a 33rd VC would shift out of range (UB), so validate() must refuse
+  // it before any bank is constructed.
+  auto params = baseParams();
+  params.coreRouter.vcsPerPort = 33;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  EXPECT_THROW(PhotonicNetwork net(params), std::invalid_argument);
+  params.coreRouter.vcsPerPort = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(Params, AcceptsFullMaskWidthVcCount) {
+  // 32 VCs exactly fills the mask (`~0u`), the widest legal configuration.
+  auto params = baseParams();
+  params.coreRouter.vcsPerPort = 32;
+  EXPECT_NO_THROW(params.validate());
+  PhotonicNetwork net(params);
+  net.step(200);
+}
+
 TEST(FireflyPolicy, StaticEvenSplit) {
   noc::ClusterTopology topology;
   FireflyPolicy policy(topology, traffic::BandwidthSet::set1());

@@ -181,6 +181,144 @@ TEST_F(PhotonicRouterTest, EjectionRoundRobinsAcrossConcurrentReceives) {
   EXPECT_EQ(destinationSinks[0].flits.size(), 16u);
 }
 
+/// Ejection sink with wake-on-drain support, like the production down links:
+/// a stalled router may park and is re-woken when the sink frees up.
+class NotifyingSink final : public noc::FlitSink {
+ public:
+  bool canAccept(const noc::Flit&) const override { return !blocked; }
+  void accept(const noc::Flit& flit, Cycle) override { flits.push_back(flit); }
+  bool notifyOnDrain(sim::Clocked& waiter) override {
+    waiter_ = &waiter;
+    return true;
+  }
+  void unblock() {
+    blocked = false;
+    if (waiter_ != nullptr) {
+      waiter_->requestWake();
+      waiter_ = nullptr;
+    }
+  }
+  bool blocked = false;
+  std::vector<noc::Flit> flits;
+
+ private:
+  sim::Clocked* waiter_ = nullptr;
+};
+
+/// Sets an environment variable for the lifetime of one test body.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+/// A minimal two-router rig built per test (unlike the fixture, construction
+/// happens inside the test body so EnvGuard hooks are visible to it).
+struct Rig {
+  explicit Rig(bool gating) : policy(4), source("p0", smallConfig(0), policy),
+                              destination("p1", smallConfig(1), policy) {
+    source.setPeers({&source, &destination});
+    destination.setPeers({&source, &destination});
+    for (std::uint32_t i = 0; i < 4; ++i) destination.connectEjection(i, sinks[i]);
+    engine.setActivityGating(gating);
+    engine.add(source);
+    engine.add(destination);
+  }
+  void inject(noc::PacketHandle packet, std::uint32_t flits, std::uint32_t first = 0) {
+    for (std::uint32_t i = first; i < first + flits; ++i) {
+      source.inputPort(0).accept(noc::makeFlit(packet, i), engine.now());
+    }
+  }
+  StubPolicy policy;
+  PhotonicRouter source;
+  PhotonicRouter destination;
+  NotifyingSink sinks[4];
+  sim::Engine engine;
+};
+
+bool statsEqual(const PhotonicRouterStats& a, const PhotonicRouterStats& b) {
+  return a.reservationsIssued == b.reservationsIssued &&
+         a.reservationFailures == b.reservationFailures &&
+         a.packetsTransmitted == b.packetsTransmitted &&
+         a.bitsTransmitted == b.bitsTransmitted &&
+         a.transmitBusyCycles == b.transmitBusyCycles &&
+         a.reservationCyclesSpent == b.reservationCyclesSpent;
+}
+
+TEST(PhotonicParking, FullDownLinkStallParksUntilDrainNotify) {
+  // Every down link at the destination is blocked: after transmission the
+  // received flits cannot eject.  With notifyOnDrain-capable sinks both
+  // routers must park (zero engine work) until the sink wakes them.
+  Rig rig(true);
+  for (auto& sink : rig.sinks) sink.blocked = true;
+  rig.inject(interPacket(40, 0, 4), 8);
+  rig.engine.run(60);
+  EXPECT_EQ(rig.sinks[0].flits.size(), 0u);
+  EXPECT_TRUE(rig.source.quiescent());
+  EXPECT_TRUE(rig.destination.quiescent());
+  const std::uint64_t stepsBefore = rig.engine.stats().componentSteps;
+  const PhotonicRouterStats frozen = rig.destination.stats();
+  rig.engine.run(50);
+  EXPECT_EQ(rig.engine.stats().componentSteps, stepsBefore)
+      << "a fully stalled rig must burn no engine work";
+  EXPECT_TRUE(statsEqual(rig.destination.stats(), frozen))
+      << "blocked polled cycles touch no counters";
+  rig.sinks[0].unblock();
+  rig.engine.run(60);
+  EXPECT_EQ(rig.sinks[0].flits.size(), 8u);
+}
+
+TEST(PhotonicParking, DenyHookStormReplaysRetryStatsExactly) {
+  // A reservation-failure storm via the test fault hook: cluster 1 refuses
+  // every reservation until cycle 120.  The gated source parks between
+  // retries; its replayed issue/failure counts must match the poll-mode rig
+  // bit for bit, and the packet must still arrive after the deny expires.
+  EnvGuard deny("PNOC_TEST_PHOTONIC", "deny@1:until=120");
+  Rig gated(true);
+  Rig polled(false);
+  gated.inject(interPacket(41, 0, 4), 8);
+  polled.inject(interPacket(41, 0, 4), 8);
+  gated.engine.run(200);
+  polled.engine.run(200);
+  EXPECT_GT(gated.source.stats().reservationFailures, 20u) << "storm never happened";
+  EXPECT_EQ(gated.sinks[0].flits.size(), 8u);
+  EXPECT_EQ(polled.sinks[0].flits.size(), 8u);
+  EXPECT_TRUE(statsEqual(gated.source.stats(), polled.source.stats()));
+  EXPECT_TRUE(statsEqual(gated.destination.stats(), polled.destination.stats()));
+  EXPECT_LT(gated.engine.stats().componentSteps, polled.engine.stats().componentSteps)
+      << "the gated source should park through the deny window, not poll it";
+}
+
+TEST(PhotonicParking, WormholeBubbleReplaysBusyCyclesExactly) {
+  // Start an 8-flit transmission with only 2 flits buffered: the channel
+  // drains ahead of the feeder and the transmission bubbles mid-packet.
+  // The gated router parks through the bubble (burning replayed busy
+  // cycles); topping up the ingress wakes it via the owner hook.
+  Rig gated(true);
+  Rig polled(false);
+  const auto packet = interPacket(42, 0, 4);
+  gated.inject(packet, 2);
+  polled.inject(packet, 2);
+  gated.engine.run(30);
+  polled.engine.run(30);
+  EXPECT_LT(gated.sinks[0].flits.size(), 8u) << "packet cannot finish on 2 flits";
+  gated.inject(packet, 6, 2);
+  polled.inject(packet, 6, 2);
+  gated.engine.run(60);
+  polled.engine.run(60);
+  EXPECT_EQ(gated.sinks[0].flits.size(), 8u);
+  EXPECT_EQ(polled.sinks[0].flits.size(), 8u);
+  ASSERT_TRUE(statsEqual(gated.source.stats(), polled.source.stats()));
+  // ~13 streaming cycles suffice for a 256-bit packet at 20 bits/cycle; the
+  // bubble must have held the channel busy well beyond that.
+  EXPECT_GT(gated.source.stats().transmitBusyCycles, 20u) << "no bubble occurred";
+}
+
 TEST_F(PhotonicRouterTest, ChargesPhotonicEnergyPerBit) {
   inject(interPacket(1, 0, 4));
   engine.run(40);

@@ -102,10 +102,14 @@ TEST(SpecFile, UnknownKeysInsideFilesAreRejected) {
   EXPECT_THROW(parseSpecFileText("   \n\n", ScenarioSpec{}, "<test>"),
                std::invalid_argument);  // no specs at all
   EXPECT_THROW(loadSpecFile("/nonexistent/grid.kv"), std::invalid_argument);
-  // \uXXXX escapes are unsupported; decoding one as literal text would
-  // silently corrupt the spec, so it must throw instead.
+  // \uXXXX escapes decode to UTF-8 (clients legitimately submit them in
+  // journal/spec strings); a truncated or unpaired one still throws.
+  const auto decoded =
+      parseSpecFileText(R"({"label":"caf\u00e9"})", ScenarioSpec{}, "<test>");
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].label, "caf\xC3\xA9");
   EXPECT_THROW(
-      parseSpecFileText(R"({"label":"caf\u00e9"})", ScenarioSpec{}, "<test>"),
+      parseSpecFileText(R"({"label":"caf\uD83D"})", ScenarioSpec{}, "<test>"),
       std::invalid_argument);
 }
 

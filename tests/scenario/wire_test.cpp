@@ -9,6 +9,8 @@
 
 #include <stdexcept>
 
+#include "scenario/json_util.hpp"
+
 namespace pnoc::scenario {
 namespace {
 
@@ -147,6 +149,40 @@ TEST(Wire, JobAndReplyLinesRoundTrip) {
   EXPECT_FALSE(error.ok);
   EXPECT_EQ(error.index, 3u);
   EXPECT_EQ(error.error, "network \"exploded\"\nbadly");
+}
+
+TEST(JsonString, DecodesUnicodeEscapesToUtf8) {
+  // BMP code points: 1-, 2- and 3-byte UTF-8, upper- and lower-case hex.
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").asString(), "A");
+  EXPECT_EQ(JsonValue::parse("\"\\u00E9\"").asString(), "\xC3\xA9");    // é
+  EXPECT_EQ(JsonValue::parse("\"\\u20ac\"").asString(), "\xE2\x82\xAC");  // €
+  // Supplementary plane via a surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::parse("\"\\uD83D\\uDE00\"").asString(),
+            "\xF0\x9F\x98\x80");
+  // Escapes compose with surrounding literal text.
+  EXPECT_EQ(JsonValue::parse("\"a\\u0009b\"").asString(), "a\tb");
+}
+
+TEST(JsonString, RejectsMalformedUnicodeEscapes) {
+  EXPECT_THROW(JsonValue::parse("\"\\u12\""), std::invalid_argument);    // short
+  EXPECT_THROW(JsonValue::parse("\"\\u12g4\""), std::invalid_argument);  // bad hex
+  EXPECT_THROW(JsonValue::parse("\"\\uD83D\""), std::invalid_argument);  // lone high
+  EXPECT_THROW(JsonValue::parse("\"\\uD83Dx\""), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("\"\\uD83D\\u0041\""),
+               std::invalid_argument);  // high + non-surrogate
+  EXPECT_THROW(JsonValue::parse("\"\\uDE00\""), std::invalid_argument);  // lone low
+}
+
+TEST(JsonString, EscapeRoundTripIsByteIdentical) {
+  // Every byte a metrics label or error message can carry must survive
+  // escape -> parse unchanged, including control characters (which JSON
+  // forbids raw) and multi-byte UTF-8 (which passes through verbatim).
+  std::string raw;
+  for (int b = 1; b < 0x20; ++b) raw += static_cast<char>(b);
+  raw += "plain \"quoted\" back\\slash ";
+  raw += "\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80";  // é € 😀 as UTF-8
+  const std::string wire = "\"" + jsonEscape(raw) + "\"";
+  EXPECT_EQ(JsonValue::parse(wire).asString(), raw);
 }
 
 TEST(Wire, MalformedInputIsRejected) {

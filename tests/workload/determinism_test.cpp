@@ -65,6 +65,8 @@ TEST_P(WorkloadDeterminism, ResetReuseReplaysAFreshNetwork) {
   network::PhotonicNetwork reused(params);
   reused.run();  // dirty every deque, credit list and flow counter
   reused.reset();
+  ASSERT_EQ(reused.occupancy(), 0u)
+      << "reset() must drain every buffer before the replay run";
   EXPECT_EQ(scenario::wire::toJson(reused.run()), fresh);
 }
 
